@@ -1,0 +1,74 @@
+//! Criterion bench: the genetic-operator costs (selection, crossover,
+//! mutation) and a whole evaluated generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gest_core::{GestConfig, GestRun};
+use gest_ga::{crossover_one_point, crossover_uniform, mutate, tournament_select, Evaluated};
+use gest_isa::Gene;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn population(pool: &gest_isa::InstructionPool, n: usize, genes: usize) -> Vec<Evaluated<Gene>> {
+    let mut rng = StdRng::seed_from_u64(3);
+    (0..n)
+        .map(|i| Evaluated {
+            id: i as u64,
+            parents: (None, None),
+            genes: (0..genes).map(|_| pool.random_gene(&mut rng)).collect(),
+            fitness: i as f64,
+            measurements: vec![],
+        })
+        .collect()
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let pool = gest_core::full_pool();
+    let individuals = population(&pool, 50, 50);
+
+    c.bench_function("tournament_select_size5", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| tournament_select(&individuals, 5, &mut rng));
+    });
+
+    c.bench_function("crossover_one_point_len50", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| crossover_one_point(&individuals[0].genes, &individuals[1].genes, &mut rng));
+    });
+
+    c.bench_function("crossover_uniform_len50", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| crossover_uniform(&individuals[0].genes, &individuals[1].genes, &mut rng));
+    });
+
+    c.bench_function("mutate_rate2pct_len50", |b| {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut genes = individuals[0].genes.clone();
+        b.iter(|| {
+            mutate(&mut genes, 0.02, &mut rng, |gene, rng| pool.mutate_operand(gene, rng))
+        });
+    });
+
+    c.bench_function("random_gene", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| pool.random_gene(&mut rng));
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("full_generation_pop16", |b| {
+        b.iter(|| {
+            let config = GestConfig::builder("cortex-a7")
+                .measurement("power")
+                .population_size(16)
+                .individual_size(20)
+                .generations(1)
+                .seed(11)
+                .build()
+                .expect("static config");
+            GestRun::new(config).expect("static config").run().expect("run succeeds")
+        });
+    });
+}
+
+criterion_group!(benches, bench_operators, bench_generation);
+criterion_main!(benches);

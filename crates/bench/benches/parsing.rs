@@ -1,0 +1,57 @@
+//! Criterion bench: configuration parsing and assembler round-trips.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gest_isa::{asm, Template};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CONFIG_XML: &str = r#"<gest>
+  <target machine="cortex-a15" measurement="power" fitness="default"/>
+  <ga population_size="50" individual_size="50" generations="100" seed="1"/>
+  <instructions>
+    <operand id="r" values="x0 x1 x2 x3 x4 x5 x6 x7" type="register"/>
+    <operand id="v" values="v0 v1 v2 v3" type="register"/>
+    <operand id="imm" min="0" max="256" stride="8" type="immediate"/>
+    <instruction name="ADD" num_of_operands="3" operand1="r" operand2="r" operand3="r" type="shortint"/>
+    <instruction name="VFMLA" num_of_operands="3" operand1="v" operand2="v" operand3="v" type="float"/>
+    <instruction name="LDR" num_of_operands="3" operand1="r" operand2="r" operand3="imm" type="mem"/>
+  </instructions>
+</gest>"#;
+
+fn bench_parsing(c: &mut Criterion) {
+    c.bench_function("xml_document_parse", |b| {
+        b.iter(|| gest_xml::Document::parse(CONFIG_XML).expect("static xml"));
+    });
+
+    c.bench_function("gest_config_from_xml", |b| {
+        b.iter(|| gest_core::GestConfig::from_xml_str(CONFIG_XML).expect("static xml"));
+    });
+
+    // Assembler round-trip over a realistic 50-instruction virus body.
+    let pool = gest_core::full_pool();
+    let mut rng = StdRng::seed_from_u64(2);
+    let genes: Vec<_> = (0..50).map(|_| pool.random_gene(&mut rng)).collect();
+    let body = gest_isa::InstructionPool::flatten(&genes);
+    let text = asm::format_block(&body);
+    let mut group = c.benchmark_group("assembler");
+    group.throughput(Throughput::Elements(body.len() as u64));
+    group.bench_function("format_block_50", |b| {
+        b.iter(|| asm::format_block(&body));
+    });
+    group.bench_function("parse_block_50", |b| {
+        b.iter(|| asm::parse_block(&text).expect("static block"));
+    });
+    group.finish();
+
+    let template_text =
+        ".mem checkerboard\n.init\nMOVI x10, #0\n.loop\nNOP\n#loop_code\nNOP\n";
+    c.bench_function("template_parse_and_materialize", |b| {
+        b.iter(|| {
+            let template = Template::parse(template_text).expect("static template");
+            template.materialize("bench", body.clone())
+        });
+    });
+}
+
+criterion_group!(benches, bench_parsing);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: simulator throughput per machine model.
+//!
+//! The per-individual measurement dominates GA runtime (paper §IV: "5
+//! seconds per measurement ... approximately 7 hours"); this bench tracks
+//! how fast the substrate measures one individual.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gest_isa::Template;
+use gest_sim::{MachineConfig, RunConfig, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_machines(c: &mut Criterion) {
+    let pool = gest_core::full_pool();
+    let mut rng = StdRng::seed_from_u64(1);
+    let genes: Vec<_> = (0..50).map(|_| pool.random_gene(&mut rng)).collect();
+    let program = Template::default_stress()
+        .materialize("bench", gest_isa::InstructionPool::flatten(&genes));
+    let run_config = RunConfig::quick();
+
+    let mut group = c.benchmark_group("simulator_measure_individual");
+    for machine in MachineConfig::all_presets() {
+        let simulator = Simulator::new(machine.clone());
+        let instructions = simulator
+            .run(&program, &run_config)
+            .expect("bench program runs")
+            .instructions;
+        group.throughput(Throughput::Elements(instructions));
+        group.bench_with_input(BenchmarkId::from_parameter(&machine.name), &simulator, |b, s| {
+            b.iter(|| s.run(&program, &run_config).expect("bench program runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vmin_sweep(c: &mut Criterion) {
+    let machine = MachineConfig::athlon_x4();
+    let program = Template::default_stress().materialize(
+        "vmin",
+        gest_isa::asm::parse_block("VFMLA v8, v0, v1\nSDIV x1, x1, x2\nLDR x11, [x10, #0]")
+            .expect("static block"),
+    );
+    c.bench_function("vmin_characterization", |b| {
+        b.iter(|| {
+            gest_sim::characterize_vmin(
+                &machine,
+                &program,
+                &RunConfig::quick(),
+                &gest_sim::VminConfig::default(),
+            )
+            .expect("sweep runs")
+        });
+    });
+}
+
+criterion_group!(benches, bench_machines, bench_vmin_sweep);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Runs every paper experiment in sequence and prints the combined report.
+//!
+//! ```text
+//! cargo run --release -p gest-bench --bin all_experiments [output.md]
+//! ```
+//!
+//! Set `GEST_FAST=1` for a quick smoke run with reduced GA budgets.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let mut document = String::new();
+    for (name, runner) in gest_bench::experiments::all() {
+        eprintln!("running {name}...");
+        let started = Instant::now();
+        match runner() {
+            Ok(report) => {
+                let _ = writeln!(
+                    document,
+                    "## {name} ({:.1} s)\n\n```\n{report}```\n",
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("{document}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &document).expect("write report file");
+        eprintln!("report written to {path}");
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the llc_stress extension experiment (see DESIGN.md).
+fn main() {
+    match gest_bench::experiments::run_llc_stress() {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the mitigation extension experiment (see DESIGN.md).
+fn main() {
+    match gest_bench::experiments::run_mitigation() {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

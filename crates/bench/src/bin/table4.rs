@@ -1,0 +1,10 @@
+//! Regenerates the paper's table4 (see DESIGN.md experiment index).
+fn main() {
+    match gest_bench::experiments::run_table4() {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

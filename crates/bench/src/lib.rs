@@ -1,0 +1,206 @@
+//! Shared harness code for the experiment binaries.
+//!
+//! Each `src/bin/*.rs` binary regenerates one table or figure of the paper
+//! (see DESIGN.md for the full index). This library holds the common
+//! plumbing: paper-scale search budgets, workload measurement, and the
+//! normalized-bar table rendering the figures use.
+
+use gest_core::{GestConfig, GestError, GestRun, RunSummary};
+use gest_sim::{MachineConfig, RunConfig, RunResult, Simulator};
+use gest_workloads::Workload;
+
+/// Search budget used by the headline experiments. Matches the paper's
+/// defaults (population 50, "70–100 generations"); override with the
+/// `GEST_FAST=1` environment variable for a quick smoke run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Loop length.
+    pub individual: usize,
+    /// Generations to run.
+    pub generations: u32,
+}
+
+impl Budget {
+    /// The paper-scale budget (or a fast one when `GEST_FAST` is set).
+    pub fn paper() -> Budget {
+        // Empty or "0" means unset, so `GEST_FAST= cmd` leftovers don't
+        // silently shrink budgets.
+        let fast = std::env::var("GEST_FAST").is_ok_and(|v| !v.is_empty() && v != "0");
+        if fast {
+            Budget { population: 16, individual: 20, generations: 12 }
+        } else {
+            Budget { population: 50, individual: 50, generations: 80 }
+        }
+    }
+
+    /// Same selection logic with an explicit individual (loop) size, for
+    /// the dI/dt experiments where the loop length follows the PDN
+    /// resonance rule of thumb.
+    pub fn paper_with_individual(individual: usize) -> Budget {
+        Budget { individual, ..Budget::paper() }
+    }
+}
+
+/// The measurement window used when comparing finished viruses and
+/// workloads (longer than the GA's inner-loop window for tighter
+/// estimates).
+pub fn compare_run_config() -> RunConfig {
+    RunConfig { max_iterations: 600, max_cycles: 30_000, ..RunConfig::default() }
+}
+
+/// Runs one GA search and returns its summary.
+///
+/// # Errors
+///
+/// Propagates framework errors.
+pub fn evolve(
+    machine: &str,
+    measurement: &str,
+    fitness: &str,
+    budget: Budget,
+    seed: u64,
+) -> Result<RunSummary, GestError> {
+    let config = GestConfig::builder(machine)
+        .measurement(measurement)
+        .fitness(fitness)
+        .population_size(budget.population)
+        .individual_size(budget.individual)
+        .generations(budget.generations)
+        .seed(seed)
+        .build()?;
+    GestRun::new(config)?.run()
+}
+
+/// Measures a program on a machine with the comparison window.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure(machine: &MachineConfig, program: &gest_isa::Program) -> Result<RunResult, GestError> {
+    Ok(Simulator::new(machine.clone()).run(program, &compare_run_config())?)
+}
+
+/// One bar of a figure: a label and its measured value.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Workload / virus name.
+    pub label: String,
+    /// Raw measured value.
+    pub value: f64,
+}
+
+/// Renders a figure as an ASCII bar chart normalized to `baseline_label`
+/// (the paper normalizes Figure 5/6 to coremark and Figure 7 to
+/// bodytrack).
+///
+/// # Panics
+///
+/// Panics if the baseline label is missing.
+pub fn render_normalized(title: &str, unit: &str, bars: &[Bar], baseline_label: &str) -> String {
+    let baseline = bars
+        .iter()
+        .find(|b| b.label == baseline_label)
+        .unwrap_or_else(|| panic!("baseline {baseline_label:?} missing"))
+        .value;
+    let max_norm = bars.iter().map(|b| b.value / baseline).fold(0.0f64, f64::max);
+    let mut out = format!("{title}\n(normalized to {baseline_label}; raw unit: {unit})\n");
+    for bar in bars {
+        let norm = bar.value / baseline;
+        let width = ((norm / max_norm) * 46.0).round() as usize;
+        out.push_str(&format!(
+            "{:<24} {:>6.3}  |{:<46}| ({:.4} {unit})\n",
+            bar.label,
+            norm,
+            "#".repeat(width),
+            bar.value
+        ));
+    }
+    out
+}
+
+/// Measures a set of workloads into bars using the given metric extractor.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn workload_bars(
+    machine: &MachineConfig,
+    workloads: &[Workload],
+    metric: impl Fn(&RunResult) -> f64,
+) -> Result<Vec<Bar>, GestError> {
+    workloads
+        .iter()
+        .map(|w| {
+            let result = measure(machine, &w.program)?;
+            Ok(Bar { label: w.name.to_owned(), value: metric(&result) })
+        })
+        .collect()
+}
+
+/// Renders an instruction-breakdown row in the paper's Table III/IV
+/// format.
+pub fn breakdown_row(label: &str, breakdown: [usize; 6], total_label: bool) -> String {
+    let mut row = format!(
+        "{:<20} {:>9} {:>9} {:>11} {:>5} {:>7}",
+        label, breakdown[0], breakdown[1], breakdown[2], breakdown[3], breakdown[4]
+    );
+    if total_label {
+        let total: usize = breakdown.iter().sum();
+        row.push_str(&format!(" {:>6}", total));
+    }
+    row
+}
+
+/// Header matching [`breakdown_row`].
+pub fn breakdown_header(total_label: bool) -> String {
+    let mut header = format!(
+        "{:<20} {:>9} {:>9} {:>11} {:>5} {:>7}",
+        "", "ShortInt", "LongInt", "Float/SIMD", "Mem", "Branch"
+    );
+    if total_label {
+        header.push_str(&format!(" {:>6}", "Total"));
+    }
+    header
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_normalized_marks_baseline_as_one() {
+        let bars = vec![
+            Bar { label: "coremark".into(), value: 2.0 },
+            Bar { label: "virus".into(), value: 3.0 },
+        ];
+        let text = render_normalized("t", "W", &bars, "coremark");
+        assert!(text.contains(" 1.000"), "{text}");
+        assert!(text.contains(" 1.500"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn missing_baseline_panics() {
+        let bars = vec![Bar { label: "x".into(), value: 1.0 }];
+        let _ = render_normalized("t", "W", &bars, "coremark");
+    }
+
+    #[test]
+    fn breakdown_rows_align() {
+        let header = breakdown_header(true);
+        let row = breakdown_row("virus", [4, 5, 22, 18, 1, 0], true);
+        assert_eq!(header.len(), row.len());
+        assert!(row.contains("22"));
+    }
+
+    #[test]
+    fn budget_fast_override() {
+        // Can't set env safely in parallel tests; just check the default
+        // shape.
+        let budget = Budget { population: 50, individual: 50, generations: 80 };
+        assert!(budget.generations >= 70 || std::env::var_os("GEST_FAST").is_some());
+    }
+}
+pub mod experiments;

@@ -1,0 +1,110 @@
+//! The framework's unified error type.
+
+use gest_ga::GaConfigError;
+use gest_isa::{CodecError, IsaError};
+use gest_sim::SimError;
+use gest_xml::XmlError;
+use std::error::Error;
+use std::fmt;
+
+/// Any error the GeST framework can produce.
+#[derive(Debug)]
+pub enum GestError {
+    /// Configuration problems (unknown machine/measurement/fitness names,
+    /// missing XML elements…).
+    Config(String),
+    /// ISA-level errors (pool validation, assembler, template).
+    Isa(IsaError),
+    /// XML parse errors.
+    Xml(XmlError),
+    /// GA configuration validation errors.
+    Ga(GaConfigError),
+    /// Simulator errors during measurement.
+    Sim(SimError),
+    /// Population (de)serialization errors.
+    Codec(CodecError),
+    /// Filesystem errors while writing run outputs.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GestError::Config(msg) => write!(f, "configuration error: {msg}"),
+            GestError::Isa(e) => write!(f, "isa error: {e}"),
+            GestError::Xml(e) => write!(f, "xml error: {e}"),
+            GestError::Ga(e) => write!(f, "ga configuration error: {e}"),
+            GestError::Sim(e) => write!(f, "simulation error: {e}"),
+            GestError::Codec(e) => write!(f, "population codec error: {e}"),
+            GestError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl Error for GestError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GestError::Config(_) => None,
+            GestError::Isa(e) => Some(e),
+            GestError::Xml(e) => Some(e),
+            GestError::Ga(e) => Some(e),
+            GestError::Sim(e) => Some(e),
+            GestError::Codec(e) => Some(e),
+            GestError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<IsaError> for GestError {
+    fn from(e: IsaError) -> Self {
+        GestError::Isa(e)
+    }
+}
+
+impl From<XmlError> for GestError {
+    fn from(e: XmlError) -> Self {
+        GestError::Xml(e)
+    }
+}
+
+impl From<GaConfigError> for GestError {
+    fn from(e: GaConfigError) -> Self {
+        GestError::Ga(e)
+    }
+}
+
+impl From<SimError> for GestError {
+    fn from(e: SimError) -> Self {
+        GestError::Sim(e)
+    }
+}
+
+impl From<CodecError> for GestError {
+    fn from(e: CodecError) -> Self {
+        GestError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for GestError {
+    fn from(e: std::io::Error) -> Self {
+        GestError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let err: GestError = IsaError::UnknownMnemonic("FOO".into()).into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("FOO"));
+
+        let err: GestError = SimError::EmptyProgram.into();
+        assert!(err.to_string().contains("empty"));
+
+        let err = GestError::Config("bad".into());
+        assert!(err.source().is_none());
+    }
+}

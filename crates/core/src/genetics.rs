@@ -1,0 +1,112 @@
+//! Specializes the generic GA engine to instruction genes.
+
+use gest_ga::Genetics;
+use gest_isa::{Gene, InstructionPool};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// [`Genetics`] over an [`InstructionPool`]: random genes are random
+/// instruction instantiations; mutation follows the paper's Figure 3 —
+/// either the whole instruction is replaced or one operand is re-sampled.
+#[derive(Debug, Clone)]
+pub struct PoolGenetics {
+    pool: Arc<InstructionPool>,
+    /// Probability that a mutation replaces the whole instruction (the
+    /// remainder mutates a single operand).
+    whole_instruction_prob: f64,
+}
+
+impl PoolGenetics {
+    /// Creates genetics over a pool with the default 50/50
+    /// whole-instruction vs operand mutation split.
+    pub fn new(pool: Arc<InstructionPool>) -> PoolGenetics {
+        PoolGenetics { pool, whole_instruction_prob: 0.5 }
+    }
+
+    /// Overrides the whole-instruction mutation probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]`.
+    pub fn with_whole_instruction_prob(mut self, prob: f64) -> PoolGenetics {
+        assert!((0.0..=1.0).contains(&prob), "probability {prob} outside [0,1]");
+        self.whole_instruction_prob = prob;
+        self
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &Arc<InstructionPool> {
+        &self.pool
+    }
+}
+
+impl Genetics for PoolGenetics {
+    type Gene = Gene;
+
+    fn random_gene(&self, rng: &mut StdRng) -> Gene {
+        self.pool.random_gene(rng)
+    }
+
+    fn mutate_gene(&self, gene: &mut Gene, rng: &mut StdRng) {
+        if rng.random_bool(self.whole_instruction_prob) {
+            self.pool.mutate_whole(gene, rng);
+        } else {
+            self.pool.mutate_operand(gene, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pools::full_pool;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_genes_are_valid() {
+        let genetics = PoolGenetics::new(Arc::new(full_pool()));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let gene = genetics.random_gene(&mut rng);
+            assert!(genetics.pool().match_def_seq(&gene.instrs).is_some());
+        }
+    }
+
+    #[test]
+    fn operand_only_mutation_keeps_opcode() {
+        let genetics =
+            PoolGenetics::new(Arc::new(full_pool())).with_whole_instruction_prob(0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut gene = genetics.random_gene(&mut rng);
+        let opcode = gene.first().opcode();
+        for _ in 0..50 {
+            genetics.mutate_gene(&mut gene, &mut rng);
+            assert_eq!(gene.first().opcode(), opcode, "operand mutation must keep the opcode");
+        }
+    }
+
+    #[test]
+    fn whole_mutation_eventually_changes_opcode() {
+        let genetics =
+            PoolGenetics::new(Arc::new(full_pool())).with_whole_instruction_prob(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut gene = genetics.random_gene(&mut rng);
+        let original = gene.first().opcode();
+        let mut changed = false;
+        for _ in 0..50 {
+            genetics.mutate_gene(&mut gene, &mut rng);
+            if gene.first().opcode() != original {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "50 whole-instruction mutations never changed the opcode");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_probability_panics() {
+        let _ = PoolGenetics::new(Arc::new(full_pool())).with_whole_instruction_prob(1.5);
+    }
+}

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! The GeST framework: automatic CPU stress-test generation by genetic
+//! algorithm search (reproduction of Hadjilambrou et al., ISPASS 2019).
+//!
+//! The framework ties together the five parts of paper Figure 1:
+//!
+//! 1. **Inputs** — [`GestConfig`]: GA parameters, the instruction/operand
+//!    pool (paper Figure 4 schema, loadable from XML via
+//!    [`GestConfig::from_xml_str`]), the template source with its
+//!    `#loop_code` marker, and the names of the measurement and fitness
+//!    plug-ins to use.
+//! 2. **GA engine** — reused from [`gest_ga`], specialized to instruction
+//!    genes by [`PoolGenetics`].
+//! 3. **Measurement** — the [`Measurement`] trait (the paper's
+//!    `Measurement.py`); shipped implementations run programs on the
+//!    simulated machines from [`gest_sim`] and report average power,
+//!    chip temperature, IPC, or oscilloscope-style voltage-noise numbers.
+//! 4. **Fitness evaluation** — the [`Fitness`] trait (the paper's
+//!    `DefaultFitness.py`), including the multi-objective
+//!    temperature + instruction-simplicity function of paper Equation 1.
+//! 5. **Outputs** — per-individual source files named
+//!    `{generation}_{id}_{measurement...}.txt` and per-generation binary
+//!    population files that can be post-processed ([`stats`]) or used to
+//!    seed a new search, exactly as §III.D describes.
+//!
+//! # Examples
+//!
+//! A miniature power-virus search on the Cortex-A15 model:
+//!
+//! ```
+//! # fn main() -> Result<(), gest_core::GestError> {
+//! use gest_core::{GestConfig, GestRun};
+//!
+//! let config = GestConfig::builder("cortex-a15")
+//!     .measurement("power")
+//!     .population_size(8)
+//!     .individual_size(10)
+//!     .generations(3)
+//!     .seed(42)
+//!     .build()?;
+//! let summary = GestRun::new(config)?.run()?;
+//! assert!(summary.best.fitness > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod error;
+mod fitness;
+mod genetics;
+mod measurement;
+mod output;
+mod pools;
+mod runner;
+pub mod stats;
+
+pub use config::{GestConfig, GestConfigBuilder};
+pub use error::GestError;
+pub use fitness::{
+    fitness_by_name, DefaultFitness, Fitness, FitnessContext, IpcPowerFitness,
+    TempSimplicityFitness,
+};
+pub use genetics::PoolGenetics;
+pub use measurement::{
+    measurement_by_name, CacheMissMeasurement, IpcMeasurement, Measurement, NoisyMeasurement,
+    PowerMeasurement, TemperatureMeasurement, VoltageNoiseMeasurement,
+};
+pub use output::{OutputWriter, SavedIndividual, SavedPopulation};
+pub use pools::{didt_pool, full_pool, ipc_pool, llc_pool, power_pool};
+pub use runner::{GestRun, RunSummary};

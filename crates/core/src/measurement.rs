@@ -1,0 +1,418 @@
+//! The measurement plug-in interface (the paper's `Measurement.py`).
+//!
+//! In the paper, a measurement script copies the compiled individual to the
+//! target over ssh, runs it, and samples an instrument (energy probe, i2c
+//! sensor, perf, oscilloscope). Here the "target machine" is a simulated
+//! CPU, and each shipped measurement runs the program on it and reports
+//! the corresponding instrument's numbers. Custom measurements implement
+//! [`Measurement`] and can be selected by name in the main configuration,
+//! mirroring the paper's dynamic class loading.
+
+use crate::error::GestError;
+use gest_isa::Program;
+use gest_sim::{MachineConfig, RunConfig, RunResult, Simulator};
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// A measurement procedure: run a program, return metric values.
+///
+/// The first value is the headline metric — by the paper's convention it
+/// becomes the default fitness and leads the output file name.
+pub trait Measurement: Send + Sync + Debug {
+    /// Identifier used in configuration files.
+    fn name(&self) -> &'static str;
+
+    /// Names of the values returned by [`measure`](Measurement::measure),
+    /// in order.
+    fn metrics(&self) -> &'static [&'static str];
+
+    /// Runs the program and returns the metric values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures as [`GestError::Sim`].
+    fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError>;
+}
+
+/// Shared plumbing: a simulator plus run parameters.
+#[derive(Debug, Clone)]
+struct SimBacked {
+    simulator: Simulator,
+    run_config: RunConfig,
+}
+
+impl SimBacked {
+    fn run(&self, program: &Program) -> Result<RunResult, GestError> {
+        Ok(self.simulator.run(program, &self.run_config)?)
+    }
+}
+
+/// Average-power measurement (the ARM energy-probe stand-in; paper §V).
+///
+/// Metrics: `[avg_power_w, peak_power_w, ipc]`.
+#[derive(Debug, Clone)]
+pub struct PowerMeasurement(SimBacked);
+
+impl PowerMeasurement {
+    /// Creates the measurement for a machine.
+    pub fn new(machine: MachineConfig, run_config: RunConfig) -> PowerMeasurement {
+        PowerMeasurement(SimBacked { simulator: Simulator::new(machine), run_config })
+    }
+}
+
+impl Measurement for PowerMeasurement {
+    fn name(&self) -> &'static str {
+        "power"
+    }
+
+    fn metrics(&self) -> &'static [&'static str] {
+        &["avg_power_w", "peak_power_w", "ipc"]
+    }
+
+    fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+        let result = self.0.run(program)?;
+        Ok(vec![result.avg_power_w, result.peak_power_w, result.ipc])
+    }
+}
+
+/// Chip-temperature measurement (the i2c sensor stand-in; paper §V,
+/// X-Gene2).
+///
+/// Metrics: `[temperature_c, avg_power_w, ipc]`.
+#[derive(Debug, Clone)]
+pub struct TemperatureMeasurement(SimBacked);
+
+impl TemperatureMeasurement {
+    /// Creates the measurement for a machine.
+    pub fn new(machine: MachineConfig, run_config: RunConfig) -> TemperatureMeasurement {
+        TemperatureMeasurement(SimBacked { simulator: Simulator::new(machine), run_config })
+    }
+}
+
+impl Measurement for TemperatureMeasurement {
+    fn name(&self) -> &'static str {
+        "temperature"
+    }
+
+    fn metrics(&self) -> &'static [&'static str] {
+        &["temperature_c", "avg_power_w", "ipc"]
+    }
+
+    fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+        let result = self.0.run(program)?;
+        Ok(vec![result.temperature_c, result.avg_power_w, result.ipc])
+    }
+}
+
+/// IPC measurement (the `perf` stand-in; paper §V, IPC virus).
+///
+/// Metrics: `[ipc, avg_power_w, temperature_c]`.
+#[derive(Debug, Clone)]
+pub struct IpcMeasurement(SimBacked);
+
+impl IpcMeasurement {
+    /// Creates the measurement for a machine.
+    pub fn new(machine: MachineConfig, run_config: RunConfig) -> IpcMeasurement {
+        IpcMeasurement(SimBacked { simulator: Simulator::new(machine), run_config })
+    }
+}
+
+impl Measurement for IpcMeasurement {
+    fn name(&self) -> &'static str {
+        "ipc"
+    }
+
+    fn metrics(&self) -> &'static [&'static str] {
+        &["ipc", "avg_power_w", "temperature_c"]
+    }
+
+    fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+        let result = self.0.run(program)?;
+        Ok(vec![result.ipc, result.avg_power_w, result.temperature_c])
+    }
+}
+
+/// Voltage-noise measurement (the oscilloscope stand-in; paper §VI).
+///
+/// Metrics: `[peak_to_peak_v, max_droop_v, avg_power_w]`.
+#[derive(Debug, Clone)]
+pub struct VoltageNoiseMeasurement(SimBacked);
+
+impl VoltageNoiseMeasurement {
+    /// Creates the measurement for a machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GestError::Config`] if the machine has no PDN model (no
+    /// voltage sense points, like the paper's Versatile Express boards).
+    pub fn new(
+        machine: MachineConfig,
+        run_config: RunConfig,
+    ) -> Result<VoltageNoiseMeasurement, GestError> {
+        if machine.pdn.is_none() {
+            return Err(GestError::Config(format!(
+                "machine {:?} has no PDN model: voltage noise cannot be measured",
+                machine.name
+            )));
+        }
+        Ok(VoltageNoiseMeasurement(SimBacked {
+            simulator: Simulator::new(machine),
+            run_config,
+        }))
+    }
+}
+
+impl Measurement for VoltageNoiseMeasurement {
+    fn name(&self) -> &'static str {
+        "voltage_noise"
+    }
+
+    fn metrics(&self) -> &'static [&'static str] {
+        &["peak_to_peak_v", "max_droop_v", "avg_power_w"]
+    }
+
+    fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+        let result = self.0.run(program)?;
+        let stats = result.voltage.expect("constructor verified the PDN exists");
+        Ok(vec![stats.peak_to_peak(), stats.max_droop(), result.avg_power_w])
+    }
+}
+
+/// Cache-miss measurement, for the paper's §VII extension: "with GeST is
+/// possible to stress LLC or DRAM by instructing the framework to optimize
+/// towards cache-misses and providing in the input file load/store
+/// instruction definitions with various strides".
+///
+/// Metrics: `[l1_misses_per_kinstr, l1_miss_rate, avg_power_w]`. Pair it
+/// with a machine whose scratch buffer exceeds L1 (see
+/// [`crate::pools::llc_pool`]).
+#[derive(Debug, Clone)]
+pub struct CacheMissMeasurement(SimBacked);
+
+impl CacheMissMeasurement {
+    /// Creates the measurement for a machine.
+    pub fn new(machine: MachineConfig, run_config: RunConfig) -> CacheMissMeasurement {
+        CacheMissMeasurement(SimBacked { simulator: Simulator::new(machine), run_config })
+    }
+}
+
+impl Measurement for CacheMissMeasurement {
+    fn name(&self) -> &'static str {
+        "cache_miss"
+    }
+
+    fn metrics(&self) -> &'static [&'static str] {
+        &["l1_misses_per_kinstr", "l1_miss_rate", "avg_power_w"]
+    }
+
+    fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+        let result = self.0.run(program)?;
+        let misses_per_kinstr =
+            1000.0 * result.l1.misses as f64 / result.instructions.max(1) as f64;
+        Ok(vec![misses_per_kinstr, 1.0 - result.l1.hit_rate(), result.avg_power_w])
+    }
+}
+
+/// Wraps any measurement with multiplicative Gaussian noise, modelling the
+/// instrument variability the paper works around by optimizing on a single
+/// core ("less measurement variability which helps the GA optimization to
+/// converge faster", §IV).
+///
+/// Noise is a pure function of the program name and metric index, so runs
+/// stay reproducible regardless of evaluation-thread interleaving.
+#[derive(Debug)]
+pub struct NoisyMeasurement {
+    inner: Arc<dyn Measurement>,
+    sigma_rel: f64,
+    seed: u64,
+}
+
+impl NoisyMeasurement {
+    /// Wraps `inner`, perturbing every value by `N(0, sigma_rel)` relative
+    /// noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_rel` is negative.
+    pub fn wrap(inner: Arc<dyn Measurement>, sigma_rel: f64, seed: u64) -> NoisyMeasurement {
+        assert!(sigma_rel >= 0.0, "noise sigma must be non-negative");
+        NoisyMeasurement { inner, sigma_rel, seed }
+    }
+
+    fn gaussian(&self, name: &str, index: usize) -> f64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.seed.hash(&mut hasher);
+        name.hash(&mut hasher);
+        index.hash(&mut hasher);
+        let bits = hasher.finish();
+        // Box-Muller from two 32-bit halves.
+        let u1 = ((bits >> 32) as f64 + 1.0) / (u32::MAX as f64 + 2.0);
+        let u2 = ((bits & 0xFFFF_FFFF) as f64 + 1.0) / (u32::MAX as f64 + 2.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Measurement for NoisyMeasurement {
+    fn name(&self) -> &'static str {
+        "noisy"
+    }
+
+    fn metrics(&self) -> &'static [&'static str] {
+        self.inner.metrics()
+    }
+
+    fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+        let mut values = self.inner.measure(program)?;
+        for (index, value) in values.iter_mut().enumerate() {
+            *value *= 1.0 + self.sigma_rel * self.gaussian(&program.name, index);
+        }
+        Ok(values)
+    }
+}
+
+/// Instantiates a shipped measurement by its configuration name —
+/// the substrate equivalent of the paper's dynamic Python class loading.
+///
+/// Known names: `power`, `temperature`, `ipc`, `voltage_noise`,
+/// `cache_miss`.
+///
+/// # Errors
+///
+/// [`GestError::Config`] for unknown names or invalid machine/measurement
+/// combinations.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gest_core::GestError> {
+/// use gest_sim::{MachineConfig, RunConfig};
+/// let m = gest_core::measurement_by_name(
+///     "power",
+///     MachineConfig::cortex_a15(),
+///     RunConfig::default(),
+/// )?;
+/// assert_eq!(m.name(), "power");
+/// # Ok(())
+/// # }
+/// ```
+pub fn measurement_by_name(
+    name: &str,
+    machine: MachineConfig,
+    run_config: RunConfig,
+) -> Result<Arc<dyn Measurement>, GestError> {
+    match name {
+        "power" => Ok(Arc::new(PowerMeasurement::new(machine, run_config))),
+        "temperature" => Ok(Arc::new(TemperatureMeasurement::new(machine, run_config))),
+        "ipc" => Ok(Arc::new(IpcMeasurement::new(machine, run_config))),
+        "voltage_noise" => Ok(Arc::new(VoltageNoiseMeasurement::new(machine, run_config)?)),
+        "cache_miss" => Ok(Arc::new(CacheMissMeasurement::new(machine, run_config))),
+        other => Err(GestError::Config(format!(
+            "unknown measurement {other:?} (expected power, temperature, ipc, voltage_noise, or cache_miss)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gest_isa::{asm, Template};
+
+    fn demo_program() -> Program {
+        Template::default_stress()
+            .materialize("demo", asm::parse_block("FMUL v8, v1, v2\nADD x1, x2, x3").unwrap())
+    }
+
+    #[test]
+    fn power_measurement_reports_three_metrics() {
+        let m = PowerMeasurement::new(MachineConfig::cortex_a15(), RunConfig::quick());
+        let values = m.measure(&demo_program()).unwrap();
+        assert_eq!(values.len(), m.metrics().len());
+        assert!(values[0] > 0.0);
+        assert!(values[1] >= values[0], "peak >= avg");
+    }
+
+    #[test]
+    fn temperature_headline_is_celsius() {
+        let m = TemperatureMeasurement::new(MachineConfig::xgene2(), RunConfig::quick());
+        let values = m.measure(&demo_program()).unwrap();
+        let ambient = MachineConfig::xgene2().thermal.ambient_c;
+        assert!(values[0] > ambient, "temperature {} above ambient", values[0]);
+    }
+
+    #[test]
+    fn ipc_headline_bounded_by_width() {
+        let m = IpcMeasurement::new(MachineConfig::xgene2(), RunConfig::quick());
+        let values = m.measure(&demo_program()).unwrap();
+        assert!(values[0] > 0.0 && values[0] <= 4.0);
+    }
+
+    #[test]
+    fn voltage_noise_requires_pdn() {
+        assert!(matches!(
+            VoltageNoiseMeasurement::new(MachineConfig::cortex_a15(), RunConfig::quick()),
+            Err(GestError::Config(_))
+        ));
+        let m =
+            VoltageNoiseMeasurement::new(MachineConfig::athlon_x4(), RunConfig::quick()).unwrap();
+        let values = m.measure(&demo_program()).unwrap();
+        assert!(values[0] >= 0.0, "p2p noise");
+        assert!(values[1] >= 0.0, "droop");
+    }
+
+    #[test]
+    fn cache_miss_measurement_counts_misses() {
+        // Small buffer: everything hits; big buffer with striding loads:
+        // misses dominate.
+        let mut machine = MachineConfig::xgene2();
+        machine.mem_bytes = 1 << 20;
+        let m = CacheMissMeasurement::new(machine, RunConfig::quick());
+        let resident = m.measure(&demo_program()).unwrap();
+        assert!(resident[1] < 0.05, "L1-resident program should hit: {resident:?}");
+        let streaming = Template::default_stress().materialize(
+            "stream",
+            asm::parse_block("LDR x11, [x10, #0]\nADDI x10, x10, #64").unwrap(),
+        );
+        let missing = m.measure(&streaming).unwrap();
+        assert!(missing[0] > 100.0, "striding loads should miss: {missing:?}");
+        assert!(missing[1] > 0.3, "miss rate: {missing:?}");
+    }
+
+    #[test]
+    fn noisy_measurement_perturbs_reproducibly() {
+        let inner: Arc<dyn Measurement> =
+            Arc::new(PowerMeasurement::new(MachineConfig::cortex_a15(), RunConfig::quick()));
+        let clean = inner.measure(&demo_program()).unwrap();
+        let noisy = NoisyMeasurement::wrap(Arc::clone(&inner), 0.05, 9);
+        let a = noisy.measure(&demo_program()).unwrap();
+        let b = noisy.measure(&demo_program()).unwrap();
+        assert_eq!(a, b, "noise must be a pure function of the program");
+        assert_ne!(a, clean, "5% noise should perturb");
+        assert!((a[0] / clean[0] - 1.0).abs() < 0.3, "noise bounded: {a:?} vs {clean:?}");
+        // Different seeds decorrelate.
+        let other = NoisyMeasurement::wrap(inner, 0.05, 10).measure(&demo_program()).unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn noisy_zero_sigma_is_identity() {
+        let inner: Arc<dyn Measurement> =
+            Arc::new(PowerMeasurement::new(MachineConfig::cortex_a15(), RunConfig::quick()));
+        let clean = inner.measure(&demo_program()).unwrap();
+        let wrapped = NoisyMeasurement::wrap(inner, 0.0, 1).measure(&demo_program()).unwrap();
+        assert_eq!(clean, wrapped);
+    }
+
+    #[test]
+    fn registry_resolves_all_names() {
+        for name in ["power", "temperature", "ipc", "cache_miss"] {
+            let m = measurement_by_name(name, MachineConfig::xgene2(), RunConfig::quick()).unwrap();
+            assert_eq!(m.name(), name);
+        }
+        let m = measurement_by_name("voltage_noise", MachineConfig::athlon_x4(), RunConfig::quick())
+            .unwrap();
+        assert_eq!(m.name(), "voltage_noise");
+        assert!(measurement_by_name("oscilloscope", MachineConfig::athlon_x4(), RunConfig::quick())
+            .is_err());
+    }
+}

@@ -1,0 +1,354 @@
+//! The run driver: coordinates the GA engine, measurement, fitness, and
+//! outputs across generations (the paper's Figure 2 loop).
+
+use crate::config::GestConfig;
+use crate::error::GestError;
+use crate::fitness::{fitness_by_name, Fitness, FitnessContext};
+use crate::genetics::PoolGenetics;
+use crate::measurement::{measurement_by_name, Measurement};
+use crate::output::{OutputWriter, SavedPopulation};
+use gest_ga::{Candidate, Evaluated, GaEngine, History, Population};
+use gest_isa::{Gene, Program};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Final outcome of a GeST search.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// The fittest individual found across all generations.
+    pub best: Evaluated<Gene>,
+    /// The program the best individual materializes to.
+    pub best_program: Program,
+    /// Per-generation convergence history.
+    pub history: History,
+    /// Number of generations evaluated (including the seed generation).
+    pub generations: u32,
+    /// Metric names of the measurement used.
+    pub metric_names: Vec<&'static str>,
+}
+
+impl RunSummary {
+    /// Instruction-class breakdown of the best individual, in
+    /// [`gest_isa::InstrClass::ALL`] order (the paper's Table III/IV rows).
+    pub fn best_breakdown(&self) -> [usize; 6] {
+        gest_isa::InstructionPool::class_breakdown(&self.best.genes)
+    }
+
+    /// Unique instruction definitions used by the best individual (the
+    /// paper's simplicity metric).
+    pub fn best_unique_defs(&self) -> usize {
+        gest_isa::InstructionPool::unique_defs(&self.best.genes)
+    }
+}
+
+/// A configured GeST search.
+///
+/// Use [`GestRun::run`] for the whole search, or [`GestRun::step`] to
+/// drive it generation by generation (e.g. for live plotting).
+#[derive(Debug)]
+pub struct GestRun {
+    config: GestConfig,
+    engine: GaEngine<PoolGenetics>,
+    measurement: Arc<dyn Measurement>,
+    fitness: Arc<dyn Fitness>,
+    history: History,
+    writer: Option<OutputWriter>,
+    current: Option<Population<Gene>>,
+    best: Option<Evaluated<Gene>>,
+    generation: u32,
+}
+
+impl GestRun {
+    /// Builds the run: resolves the measurement and fitness plug-ins by
+    /// name, prepares the GA engine, and opens the output directory when
+    /// configured.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors for unknown plug-in names; I/O errors opening
+    /// the output directory.
+    pub fn new(config: GestConfig) -> Result<GestRun, GestError> {
+        let measurement = measurement_by_name(
+            &config.measurement_name,
+            config.machine.clone(),
+            config.run_config,
+        )?;
+        GestRun::with_measurement(config, measurement)
+    }
+
+    /// Like [`GestRun::new`] but with an explicit measurement instance —
+    /// the programmatic equivalent of dropping a custom measurement class
+    /// next to the framework (paper §III.C), e.g. a
+    /// [`crate::NoisyMeasurement`] wrapper.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GestRun::new`].
+    pub fn with_measurement(
+        config: GestConfig,
+        measurement: Arc<dyn Measurement>,
+    ) -> Result<GestRun, GestError> {
+        // Equation-1 parameters: idle temperature = steady state under
+        // static power alone; max = TJMAX (overridable via
+        // `fitness_override`).
+        let idle_c = config.machine.thermal.steady_state_c(config.machine.energy.static_w);
+        let fitness = match &config.fitness_override {
+            Some(custom) => Arc::clone(custom),
+            None => {
+                fitness_by_name(&config.fitness_name, idle_c, config.machine.thermal.tjmax_c)?
+            }
+        };
+        let genetics = PoolGenetics::new(Arc::clone(&config.pool))
+            .with_whole_instruction_prob(config.whole_instruction_mutation_prob);
+        let engine = GaEngine::new(config.ga, genetics, config.seed);
+        let writer = match &config.output_dir {
+            Some(dir) => Some(OutputWriter::new(dir, &config, &config.template)?),
+            None => None,
+        };
+        Ok(GestRun {
+            config,
+            engine,
+            measurement,
+            fitness,
+            history: History::new(),
+            writer,
+            current: None,
+            best: None,
+            generation: 0,
+        })
+    }
+
+    /// The convergence history so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The most recently evaluated population.
+    pub fn population(&self) -> Option<&Population<Gene>> {
+        self.current.as_ref()
+    }
+
+    /// Materializes an individual's genes into a runnable program.
+    pub fn materialize(&self, name: &str, genes: &[Gene]) -> Program {
+        let body = gest_isa::InstructionPool::flatten(genes);
+        self.config.template.materialize(name, body)
+    }
+
+    /// Advances one generation: seeds on the first call, breeds afterwards;
+    /// evaluates candidates in parallel; records history and outputs.
+    ///
+    /// # Errors
+    ///
+    /// Measurement/simulation errors; I/O errors when saving.
+    pub fn step(&mut self) -> Result<&Population<Gene>, GestError> {
+        let candidates = match &self.current {
+            None => match &self.config.seed_population {
+                Some(path) => {
+                    let saved = SavedPopulation::load(path)?;
+                    let seeds = saved.seed_genes(&self.config.pool);
+                    self.engine.seed_from(seeds)
+                }
+                None => self.engine.seed(),
+            },
+            Some(population) => self.engine.next_generation(population),
+        };
+        let population = self.evaluate(self.generation, candidates)?;
+        self.history.record(&population);
+        if let Some(best) = population.best() {
+            let replace = self.best.as_ref().is_none_or(|b| best.fitness > b.fitness);
+            if replace {
+                self.best = Some(best.clone());
+            }
+        }
+        if let Some(writer) = &self.writer {
+            writer.save_generation(&population, &self.config.pool, &self.config.template)?;
+        }
+        self.generation += 1;
+        self.current = Some(population);
+        Ok(self.current.as_ref().expect("just assigned"))
+    }
+
+    /// Runs all configured generations and summarizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from any generation.
+    pub fn run(mut self) -> Result<RunSummary, GestError> {
+        for _ in 0..self.config.generations {
+            self.step()?;
+        }
+        let best = self.best.expect("at least one generation ran");
+        let best_program = {
+            let body = gest_isa::InstructionPool::flatten(&best.genes);
+            self.config.template.materialize("best", body)
+        };
+        Ok(RunSummary {
+            best,
+            best_program,
+            history: self.history,
+            generations: self.generation,
+            metric_names: self.measurement.metrics().to_vec(),
+        })
+    }
+
+    /// Evaluates candidates in parallel across the configured number of
+    /// threads (the substrate analogue of the paper's per-individual
+    /// measure step, which dominates runtime: "5 seconds per measurement …
+    /// the runtime is approximately 7 hours").
+    fn evaluate(
+        &self,
+        generation: u32,
+        candidates: Vec<Candidate<Gene>>,
+    ) -> Result<Population<Gene>, GestError> {
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.config.threads
+        }
+        .min(candidates.len().max(1));
+
+        type Slot = Mutex<Option<Result<Evaluated<Gene>, GestError>>>;
+        let results: Vec<Slot> = candidates.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let candidates_ref = &candidates;
+        let results_ref = &results;
+        let next_ref = &next;
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(move |_| loop {
+                    let index = next_ref.fetch_add(1, Ordering::Relaxed);
+                    let Some(candidate) = candidates_ref.get(index) else { break };
+                    let outcome = self.evaluate_one(generation, candidate);
+                    *results_ref[index].lock() = Some(outcome);
+                });
+            }
+        })
+        .expect("evaluation workers do not panic");
+
+        let mut individuals = Vec::with_capacity(candidates.len());
+        for slot in results {
+            match slot.into_inner().expect("every candidate was evaluated") {
+                Ok(evaluated) => individuals.push(evaluated),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Population { generation, individuals })
+    }
+
+    fn evaluate_one(
+        &self,
+        generation: u32,
+        candidate: &Candidate<Gene>,
+    ) -> Result<Evaluated<Gene>, GestError> {
+        let program = self.materialize(&format!("{generation}_{}", candidate.id), &candidate.genes);
+        let measurements = self.measurement.measure(&program)?;
+        let fitness = self.fitness.fitness(&FitnessContext {
+            measurements: &measurements,
+            genes: &candidate.genes,
+            pool: &self.config.pool,
+        });
+        Ok(Evaluated {
+            id: candidate.id,
+            parents: candidate.parents,
+            genes: candidate.genes.clone(),
+            fitness,
+            measurements,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GestConfig;
+
+    fn tiny_config(machine: &str, measurement: &str) -> GestConfig {
+        GestConfig::builder(machine)
+            .measurement(measurement)
+            .population_size(6)
+            .individual_size(8)
+            .generations(3)
+            .seed(11)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn run_improves_or_holds_power_fitness() {
+        let summary = GestRun::new(tiny_config("cortex-a15", "power")).unwrap().run().unwrap();
+        assert_eq!(summary.generations, 3);
+        let series = summary.history.best_series();
+        assert_eq!(series.len(), 3);
+        // Elitism: monotone non-decreasing best fitness.
+        for window in series.windows(2) {
+            assert!(window[1] >= window[0] - 1e-12, "{series:?}");
+        }
+        assert!(summary.best.fitness > 0.0);
+        assert_eq!(summary.metric_names[0], "avg_power_w");
+        assert_eq!(summary.best_breakdown().iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = GestRun::new(tiny_config("cortex-a7", "power")).unwrap().run().unwrap();
+        let b = GestRun::new(tiny_config("cortex-a7", "power")).unwrap().run().unwrap();
+        assert_eq!(a.best.genes, b.best.genes);
+        assert_eq!(a.best.fitness, b.best.fitness);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let mut parallel_cfg = tiny_config("cortex-a7", "ipc");
+        parallel_cfg.threads = 4;
+        let mut serial_cfg = tiny_config("cortex-a7", "ipc");
+        serial_cfg.threads = 1;
+        let a = GestRun::new(parallel_cfg).unwrap().run().unwrap();
+        let b = GestRun::new(serial_cfg).unwrap().run().unwrap();
+        assert_eq!(a.best.genes, b.best.genes);
+    }
+
+    #[test]
+    fn voltage_noise_run_on_athlon() {
+        let summary =
+            GestRun::new(tiny_config("athlon-x4", "voltage_noise")).unwrap().run().unwrap();
+        assert!(summary.best.fitness > 0.0, "p2p noise should be positive");
+        assert_eq!(summary.metric_names[0], "peak_to_peak_v");
+    }
+
+    #[test]
+    fn step_api_exposes_populations() {
+        let mut run = GestRun::new(tiny_config("cortex-a15", "power")).unwrap();
+        assert!(run.population().is_none());
+        let population = run.step().unwrap();
+        assert_eq!(population.generation, 0);
+        assert_eq!(population.len(), 6);
+        run.step().unwrap();
+        assert_eq!(run.population().unwrap().generation, 1);
+        assert_eq!(run.history().summaries().len(), 2);
+    }
+
+    #[test]
+    fn output_dir_receives_files_and_seeds_new_run() {
+        let dir = std::env::temp_dir().join(format!("gest_runner_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = tiny_config("cortex-a15", "power");
+        config.output_dir = Some(dir.clone());
+        let summary = GestRun::new(config).unwrap().run().unwrap();
+        let files = OutputWriter::population_files(&dir).unwrap();
+        assert_eq!(files.len(), 3, "one population file per generation");
+
+        // Seed a new run from the last population: its seed generation
+        // must already contain the old best fitness (elite genes carried).
+        let mut seeded_cfg = tiny_config("cortex-a15", "power");
+        seeded_cfg.seed_population = Some(files.last().unwrap().clone());
+        let mut seeded = GestRun::new(seeded_cfg).unwrap();
+        let first = seeded.step().unwrap();
+        assert!(
+            first.best().unwrap().fitness >= summary.best.fitness * 0.99,
+            "seeded run should start near the previous best"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

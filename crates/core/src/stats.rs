@@ -1,0 +1,171 @@
+//! Post-processing of saved populations.
+//!
+//! Reproduces the paper's release script that "reads the populations in
+//! binary format and extracts statistics such as the fitness value of the
+//! fittest individual per generation and instruction mix breakdown of
+//! fittest individual per generation" (§III.D).
+
+use crate::error::GestError;
+use crate::output::{OutputWriter, SavedPopulation};
+use gest_isa::{InstrClass, InstructionPool};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Statistics of one generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationStats {
+    /// Generation number.
+    pub generation: u32,
+    /// Best fitness in the generation.
+    pub best_fitness: f64,
+    /// Mean fitness across the generation.
+    pub mean_fitness: f64,
+    /// Measurement values of the fittest individual.
+    pub best_measurements: Vec<f64>,
+    /// Instruction-class breakdown of the fittest individual, in
+    /// [`InstrClass::ALL`] order.
+    pub best_breakdown: [usize; 6],
+    /// Unique instruction definitions used by the fittest individual.
+    pub best_unique_defs: usize,
+}
+
+/// Computes per-generation statistics from loaded populations.
+pub fn analyze_populations(populations: &[SavedPopulation]) -> Vec<GenerationStats> {
+    populations
+        .iter()
+        .filter_map(|population| {
+            let best = population.best()?;
+            let mean = population.individuals.iter().map(|i| i.fitness).sum::<f64>()
+                / population.individuals.len() as f64;
+            Some(GenerationStats {
+                generation: population.generation,
+                best_fitness: best.fitness,
+                mean_fitness: mean,
+                best_measurements: best.measurements.clone(),
+                best_breakdown: InstructionPool::class_breakdown(&best.genes),
+                best_unique_defs: InstructionPool::unique_defs(&best.genes),
+            })
+        })
+        .collect()
+}
+
+/// Loads every population file in a run's output directory and analyzes
+/// it.
+///
+/// # Errors
+///
+/// I/O and codec errors reading the population files.
+pub fn analyze_dir(dir: &Path) -> Result<Vec<GenerationStats>, GestError> {
+    let files = OutputWriter::population_files(dir)?;
+    let mut populations = Vec::with_capacity(files.len());
+    for file in files {
+        populations.push(SavedPopulation::load(&file)?);
+    }
+    Ok(analyze_populations(&populations))
+}
+
+/// Renders the statistics as an aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// let report = gest_core::stats::render_report(&[]);
+/// assert!(report.contains("generation"));
+/// ```
+pub fn render_report(stats: &[GenerationStats]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>12} {:>7} | {}",
+        "generation",
+        "best",
+        "mean",
+        "unique",
+        InstrClass::ALL.map(|c| format!("{:>10}", c.label())).join(" ")
+    );
+    for s in stats {
+        let _ = write!(
+            out,
+            "{:>10} {:>12.4} {:>12.4} {:>7} |",
+            s.generation, s.best_fitness, s.mean_fitness, s.best_unique_defs
+        );
+        for count in s.best_breakdown {
+            let _ = write!(out, " {count:>10}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::SavedIndividual;
+    use crate::pools::full_pool;
+    use gest_isa::Gene;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn saved(generation: u32, fitnesses: &[f64]) -> SavedPopulation {
+        let pool = full_pool();
+        let mut rng = StdRng::seed_from_u64(generation as u64);
+        SavedPopulation {
+            generation,
+            individuals: fitnesses
+                .iter()
+                .enumerate()
+                .map(|(i, &fitness)| SavedIndividual {
+                    id: i as u64,
+                    parents: (None, None),
+                    fitness,
+                    measurements: vec![fitness, 1.0],
+                    genes: (0..6).map(|_| pool.random_gene(&mut rng)).collect::<Vec<Gene>>(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn analyze_extracts_best_and_mean() {
+        let stats = analyze_populations(&[saved(0, &[1.0, 3.0]), saved(1, &[2.0, 4.0])]);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].best_fitness, 3.0);
+        assert_eq!(stats[0].mean_fitness, 2.0);
+        assert_eq!(stats[1].generation, 1);
+        assert_eq!(stats[1].best_breakdown.iter().sum::<usize>(), 6);
+        assert!(stats[1].best_unique_defs >= 1);
+    }
+
+    #[test]
+    fn empty_populations_are_skipped() {
+        let empty = SavedPopulation { generation: 5, individuals: vec![] };
+        assert!(analyze_populations(&[empty]).is_empty());
+    }
+
+    #[test]
+    fn report_contains_rows_and_headers() {
+        let stats = analyze_populations(&[saved(0, &[1.0]), saved(1, &[2.0])]);
+        let report = render_report(&stats);
+        assert!(report.contains("generation"));
+        assert!(report.contains("Float/SIMD"));
+        assert_eq!(report.lines().count(), 3, "header + 2 rows");
+    }
+
+    #[test]
+    fn analyze_dir_round_trip() {
+        let dir = std::env::temp_dir().join(format!("gest_stats_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for generation in 0..3u32 {
+            let population = saved(generation, &[generation as f64, generation as f64 + 0.5]);
+            std::fs::write(
+                dir.join(format!("population_{generation:04}.bin")),
+                population.encode(),
+            )
+            .unwrap();
+        }
+        let stats = analyze_dir(&dir).unwrap();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[2].best_fitness, 2.5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

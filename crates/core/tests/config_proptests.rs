@@ -1,0 +1,68 @@
+//! Property tests over the framework configuration layer: XML round-trips
+//! for arbitrary GA settings and robustness against mangled input.
+
+use gest_core::GestConfig;
+use proptest::prelude::*;
+
+fn machine_strategy() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec!["cortex-a15", "cortex-a7", "xgene2", "athlon-x4"])
+}
+
+proptest! {
+    #[test]
+    fn builder_to_xml_round_trips(
+        machine in machine_strategy(),
+        population in 2usize..100,
+        individual in 1usize..80,
+        generations in 1u32..200,
+        seed in any::<u64>(),
+        elitism in any::<bool>(),
+    ) {
+        let config = GestConfig::builder(machine)
+            .population_size(population)
+            .individual_size(individual)
+            .generations(generations)
+            .seed(seed)
+            .elitism(elitism)
+            .build()
+            .unwrap();
+        let xml = config.to_xml().to_string();
+        let reparsed = GestConfig::from_xml_str(&xml).unwrap();
+        prop_assert_eq!(reparsed.machine.name, config.machine.name);
+        prop_assert_eq!(reparsed.ga.population_size, population);
+        prop_assert_eq!(reparsed.ga.individual_size, individual);
+        prop_assert_eq!(reparsed.generations, generations);
+        prop_assert_eq!(reparsed.seed, seed);
+        prop_assert_eq!(reparsed.ga.elitism, elitism);
+        prop_assert_eq!(reparsed.pool.defs().len(), config.pool.defs().len());
+        prop_assert_eq!(
+            reparsed.pool.total_variations(),
+            config.pool.total_variations()
+        );
+    }
+
+    #[test]
+    fn from_xml_never_panics_on_mangled_config(
+        mutation_index in 0usize..512,
+        replacement in "[ -~]{0,8}",
+    ) {
+        // Start from a valid config and splice arbitrary ASCII into it.
+        let base = GestConfig::builder("cortex-a15").build().unwrap().to_xml().to_string();
+        let index = mutation_index.min(base.len());
+        let mut mangled = String::with_capacity(base.len() + replacement.len());
+        mangled.push_str(&base[..index]);
+        mangled.push_str(&replacement);
+        // Keep UTF-8 boundaries safe: base is ASCII (to_xml emits ASCII for
+        // the default pool).
+        mangled.push_str(&base[index..]);
+        let _ = GestConfig::from_xml_str(&mangled); // must not panic
+    }
+
+    #[test]
+    fn invalid_ga_numbers_are_config_errors(population in 0usize..2) {
+        let xml = format!(
+            r#"<gest><target machine="xgene2"/><ga population_size="{population}"/></gest>"#
+        );
+        prop_assert!(GestConfig::from_xml_str(&xml).is_err());
+    }
+}

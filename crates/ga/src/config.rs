@@ -1,0 +1,207 @@
+//! GA configuration (paper Table I).
+
+use std::error::Error;
+use std::fmt;
+
+/// Crossover operator choice.
+///
+/// The paper prefers one-point crossover because it "does a better job in
+/// preserving the instruction-order of strong individuals compared to
+/// uniform-crossover"; both are provided so the claim can be measured
+/// (see the `crossover_ablation` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CrossoverOp {
+    /// Split both parents at one random point and swap tails.
+    #[default]
+    OnePoint,
+    /// Swap each gene between the parents with probability 1/2.
+    Uniform,
+}
+
+/// Parent-selection operator choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionOp {
+    /// Pick `size` random individuals, select the fittest (paper default,
+    /// size 5).
+    Tournament {
+        /// Number of individuals entering each tournament.
+        size: usize,
+    },
+}
+
+impl Default for SelectionOp {
+    fn default() -> Self {
+        SelectionOp::Tournament { size: 5 }
+    }
+}
+
+/// All GA engine parameters, with the paper's defaults (Table I).
+///
+/// | parameter | paper default |
+/// |---|---|
+/// | `population_size` | 50 |
+/// | `individual_size` | 15–50 (50 here; dI/dt searches use shorter loops) |
+/// | `mutation_rate` | 0.02–0.08 (0.02 here, ≈1 mutated instruction at size 50) |
+/// | `crossover` | one-point |
+/// | `elitism` | true |
+/// | `selection` | tournament of 5 |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population_size: usize,
+    /// Genes (loop instructions) per individual.
+    pub individual_size: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Crossover operator.
+    pub crossover: CrossoverOp,
+    /// Whether the best individual is copied unchanged into the next
+    /// generation.
+    pub elitism: bool,
+    /// Parent selection operator.
+    pub selection: SelectionOp,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population_size: 50,
+            individual_size: 50,
+            mutation_rate: 0.02,
+            crossover: CrossoverOp::OnePoint,
+            elitism: true,
+            selection: SelectionOp::default(),
+        }
+    }
+}
+
+impl GaConfig {
+    /// The paper's rule of thumb for the mutation rate: aim for about one
+    /// mutated instruction per individual (2 % at loop length 50, 8 % at
+    /// 15).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert_eq!(gest_ga::GaConfig::mutation_rate_for(50), 0.02);
+    /// assert!((gest_ga::GaConfig::mutation_rate_for(15) - 0.0667).abs() < 1e-3);
+    /// ```
+    pub fn mutation_rate_for(individual_size: usize) -> f64 {
+        1.0 / individual_size.max(1) as f64
+    }
+
+    /// The paper's rule of thumb for dI/dt loop length:
+    /// `IPC × f_clk / f_resonance`, with IPC ≈ half the theoretical maximum
+    /// ("dI/dt should contain low and fast activity phases").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// // 3.1 GHz clock, 100 MHz resonance, max IPC 3 → target IPC 1.5 → 47 instructions.
+    /// let len = gest_ga::GaConfig::didt_loop_length(3.1e9, 100.0e6, 3.0);
+    /// assert_eq!(len, 47);
+    /// ```
+    pub fn didt_loop_length(clock_hz: f64, resonance_hz: f64, max_ipc: f64) -> usize {
+        ((max_ipc / 2.0) * clock_hz / resonance_hz).round() as usize
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GaConfigError`] describing the first invalid field.
+    pub fn validate(&self) -> Result<(), GaConfigError> {
+        if self.population_size < 2 {
+            return Err(GaConfigError::PopulationTooSmall(self.population_size));
+        }
+        if self.individual_size == 0 {
+            return Err(GaConfigError::EmptyIndividual);
+        }
+        if !(0.0..=1.0).contains(&self.mutation_rate) {
+            return Err(GaConfigError::BadMutationRate(self.mutation_rate));
+        }
+        match self.selection {
+            SelectionOp::Tournament { size: 0 } => Err(GaConfigError::EmptyTournament),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Validation errors for [`GaConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GaConfigError {
+    /// Fewer than two individuals cannot breed.
+    PopulationTooSmall(usize),
+    /// Individuals must have at least one gene.
+    EmptyIndividual,
+    /// Mutation rate must lie in `[0, 1]`.
+    BadMutationRate(f64),
+    /// Tournaments need at least one entrant.
+    EmptyTournament,
+}
+
+impl fmt::Display for GaConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GaConfigError::PopulationTooSmall(n) => {
+                write!(f, "population size {n} is too small (need at least 2)")
+            }
+            GaConfigError::EmptyIndividual => write!(f, "individual size must be at least 1"),
+            GaConfigError::BadMutationRate(r) => {
+                write!(f, "mutation rate {r} outside [0, 1]")
+            }
+            GaConfigError::EmptyTournament => write!(f, "tournament size must be at least 1"),
+        }
+    }
+}
+
+impl Error for GaConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_table1() {
+        let config = GaConfig::default();
+        assert_eq!(config.population_size, 50);
+        assert_eq!(config.individual_size, 50);
+        assert_eq!(config.mutation_rate, 0.02);
+        assert_eq!(config.crossover, CrossoverOp::OnePoint);
+        assert!(config.elitism);
+        assert_eq!(config.selection, SelectionOp::Tournament { size: 5 });
+        config.validate().unwrap();
+    }
+
+    #[test]
+    fn mutation_rule_of_thumb() {
+        // Paper: "for loop lengths of 50 instructions we need 2% mutation
+        // rate, for 15 instructions we need 8%" (approximately 1/15 ≈ 6.7%,
+        // rounded up to 8% in the paper's prose).
+        assert_eq!(GaConfig::mutation_rate_for(50), 0.02);
+        assert!(GaConfig::mutation_rate_for(15) > 0.06);
+    }
+
+    #[test]
+    fn didt_length_falls_in_paper_range() {
+        // "the aforementioned equation typically results in loop lengths of
+        // 15 to 50 instructions"
+        let len = GaConfig::didt_loop_length(3.1e9, 100.0e6, 2.0);
+        assert!((15..=50).contains(&len), "{len}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let mut config = GaConfig { population_size: 1, ..GaConfig::default() };
+        assert!(matches!(config.validate(), Err(GaConfigError::PopulationTooSmall(1))));
+        config.population_size = 10;
+        config.individual_size = 0;
+        assert!(matches!(config.validate(), Err(GaConfigError::EmptyIndividual)));
+        config.individual_size = 10;
+        config.mutation_rate = 1.5;
+        assert!(matches!(config.validate(), Err(GaConfigError::BadMutationRate(_))));
+        config.mutation_rate = 0.1;
+        config.selection = SelectionOp::Tournament { size: 0 };
+        assert!(matches!(config.validate(), Err(GaConfigError::EmptyTournament)));
+    }
+}

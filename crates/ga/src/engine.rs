@@ -1,0 +1,307 @@
+//! The GA engine: seeding and generation turnover.
+
+use crate::config::{CrossoverOp, GaConfig, SelectionOp};
+use crate::ops::{crossover_one_point, crossover_uniform, mutate, tournament_select};
+use crate::population::Population;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Domain plug-in: how to create and mutate genes.
+///
+/// For GeST this is implemented over an instruction pool (random gene =
+/// random instruction instantiation; mutation = whole-instruction or
+/// operand mutation). The trait keeps the engine reusable for other gene
+/// types.
+pub trait Genetics {
+    /// The gene type individuals are sequences of.
+    type Gene: Clone;
+
+    /// Draws a fresh random gene.
+    fn random_gene(&self, rng: &mut StdRng) -> Self::Gene;
+
+    /// Mutates one gene in place.
+    fn mutate_gene(&self, gene: &mut Self::Gene, rng: &mut StdRng);
+}
+
+/// An individual awaiting measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate<G> {
+    /// Unique id across the run.
+    pub id: u64,
+    /// Ids of the two parents, when bred (elite copies carry their own
+    /// single ancestor in the first slot).
+    pub parents: (Option<u64>, Option<u64>),
+    /// The gene sequence.
+    pub genes: Vec<G>,
+}
+
+/// Coordinates the GA: owns the RNG, id allocation, and configuration.
+///
+/// See the crate-level example for a full loop.
+#[derive(Debug)]
+pub struct GaEngine<X: Genetics> {
+    config: GaConfig,
+    genetics: X,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl<X: Genetics> GaEngine<X> {
+    /// Creates an engine with the given configuration and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation; call [`GaConfig::validate`]
+    /// first to handle errors gracefully.
+    pub fn new(config: GaConfig, genetics: X, seed: u64) -> GaEngine<X> {
+        config.validate().expect("invalid GA configuration");
+        GaEngine { config, genetics, rng: StdRng::seed_from_u64(seed), next_id: 0 }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    /// Access to the domain plug-in.
+    pub fn genetics(&self) -> &X {
+        &self.genetics
+    }
+
+    fn allocate_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Creates the random seed population (paper Figure 2, first step).
+    pub fn seed(&mut self) -> Vec<Candidate<X::Gene>> {
+        (0..self.config.population_size)
+            .map(|_| {
+                let genes = (0..self.config.individual_size)
+                    .map(|_| self.genetics.random_gene(&mut self.rng))
+                    .collect();
+                Candidate { id: self.allocate_id(), parents: (None, None), genes }
+            })
+            .collect()
+    }
+
+    /// Wraps externally-supplied individuals (e.g. a population loaded from
+    /// a previous run's binary file) as candidates, assigning fresh ids.
+    ///
+    /// Individuals shorter than `individual_size` are padded with random
+    /// genes; longer ones are truncated, so a seed file from a different
+    /// loop-length configuration still works.
+    pub fn seed_from(&mut self, individuals: Vec<Vec<X::Gene>>) -> Vec<Candidate<X::Gene>> {
+        let mut candidates: Vec<Candidate<X::Gene>> = individuals
+            .into_iter()
+            .map(|mut genes| {
+                genes.truncate(self.config.individual_size);
+                while genes.len() < self.config.individual_size {
+                    genes.push(self.genetics.random_gene(&mut self.rng));
+                }
+                Candidate { id: self.allocate_id(), parents: (None, None), genes }
+            })
+            .collect();
+        // Top up or trim to the configured population size.
+        while candidates.len() < self.config.population_size {
+            let genes = (0..self.config.individual_size)
+                .map(|_| self.genetics.random_gene(&mut self.rng))
+                .collect();
+            candidates.push(Candidate { id: self.allocate_id(), parents: (None, None), genes });
+        }
+        candidates.truncate(self.config.population_size);
+        candidates
+    }
+
+    /// Breeds the next generation from an evaluated population (paper
+    /// Figure 3): repeated tournament selection of two parents, crossover,
+    /// and mutation, until the population size is reached; with elitism the
+    /// best individual is copied through unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population` is empty.
+    pub fn next_generation(
+        &mut self,
+        population: &Population<X::Gene>,
+    ) -> Vec<Candidate<X::Gene>> {
+        assert!(!population.is_empty(), "cannot breed from an empty population");
+        let mut next = Vec::with_capacity(self.config.population_size);
+        if self.config.elitism {
+            let best = population.best().expect("non-empty population");
+            next.push(Candidate {
+                id: self.allocate_id(),
+                parents: (Some(best.id), None),
+                genes: best.genes.clone(),
+            });
+        }
+        while next.len() < self.config.population_size {
+            let SelectionOp::Tournament { size } = self.config.selection;
+            let p1 = tournament_select(&population.individuals, size, &mut self.rng);
+            let p2 = tournament_select(&population.individuals, size, &mut self.rng);
+            let parent1 = &population.individuals[p1];
+            let parent2 = &population.individuals[p2];
+            let (mut genes1, mut genes2) = match self.config.crossover {
+                CrossoverOp::OnePoint => {
+                    crossover_one_point(&parent1.genes, &parent2.genes, &mut self.rng)
+                }
+                CrossoverOp::Uniform => {
+                    crossover_uniform(&parent1.genes, &parent2.genes, &mut self.rng)
+                }
+            };
+            mutate(&mut genes1, self.config.mutation_rate, &mut self.rng, |g, rng| {
+                self.genetics.mutate_gene(g, rng)
+            });
+            mutate(&mut genes2, self.config.mutation_rate, &mut self.rng, |g, rng| {
+                self.genetics.mutate_gene(g, rng)
+            });
+            let parents = (Some(parent1.id), Some(parent2.id));
+            next.push(Candidate { id: self.next_id, parents, genes: genes1 });
+            self.next_id += 1;
+            if next.len() < self.config.population_size {
+                next.push(Candidate { id: self.next_id, parents, genes: genes2 });
+                self.next_id += 1;
+            }
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    struct Bytes;
+
+    impl Genetics for Bytes {
+        type Gene = u8;
+        fn random_gene(&self, rng: &mut StdRng) -> u8 {
+            rng.random()
+        }
+        fn mutate_gene(&self, gene: &mut u8, rng: &mut StdRng) {
+            *gene = rng.random();
+        }
+    }
+
+    fn sum_fitness(genes: &[u8]) -> (f64, Vec<f64>) {
+        let fitness: f64 = genes.iter().map(|&b| b as f64).sum();
+        (fitness, vec![fitness])
+    }
+
+    fn small_config() -> GaConfig {
+        GaConfig { population_size: 20, individual_size: 10, ..GaConfig::default() }
+    }
+
+    #[test]
+    fn seed_population_shape_and_unique_ids() {
+        let mut engine = GaEngine::new(small_config(), Bytes, 1);
+        let seed = engine.seed();
+        assert_eq!(seed.len(), 20);
+        assert!(seed.iter().all(|c| c.genes.len() == 10));
+        let mut ids: Vec<u64> = seed.iter().map(|c| c.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut engine = GaEngine::new(small_config(), Bytes, seed);
+            let mut population = Population::evaluate(0, engine.seed(), sum_fitness);
+            for generation in 1..=5 {
+                let candidates = engine.next_generation(&population);
+                population = Population::evaluate(generation, candidates, sum_fitness);
+            }
+            population.best().unwrap().genes.clone()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds explore differently");
+    }
+
+    #[test]
+    fn fitness_improves_on_toy_problem() {
+        let mut engine = GaEngine::new(small_config(), Bytes, 7);
+        let mut population = Population::evaluate(0, engine.seed(), sum_fitness);
+        let initial = population.best().unwrap().fitness;
+        for generation in 1..=40 {
+            let candidates = engine.next_generation(&population);
+            population = Population::evaluate(generation, candidates, sum_fitness);
+        }
+        let final_best = population.best().unwrap().fitness;
+        assert!(
+            final_best > initial * 1.2,
+            "GA failed to improve: {initial} -> {final_best}"
+        );
+        // Optimum is 255 * 10; forty generations should get close.
+        assert!(final_best > 0.85 * 2550.0, "final fitness too low: {final_best}");
+    }
+
+    #[test]
+    fn elitism_never_loses_the_best() {
+        let mut engine = GaEngine::new(small_config(), Bytes, 9);
+        let mut population = Population::evaluate(0, engine.seed(), sum_fitness);
+        let mut best_so_far = population.best().unwrap().fitness;
+        for generation in 1..=20 {
+            let candidates = engine.next_generation(&population);
+            population = Population::evaluate(generation, candidates, sum_fitness);
+            let best = population.best().unwrap().fitness;
+            assert!(best >= best_so_far, "generation {generation} regressed");
+            best_so_far = best;
+        }
+    }
+
+    #[test]
+    fn without_elitism_best_can_regress() {
+        let config = GaConfig { elitism: false, mutation_rate: 0.5, ..small_config() };
+        let mut engine = GaEngine::new(config, Bytes, 11);
+        let mut population = Population::evaluate(0, engine.seed(), sum_fitness);
+        let mut regressed = false;
+        let mut prev = population.best().unwrap().fitness;
+        for generation in 1..=30 {
+            let candidates = engine.next_generation(&population);
+            population = Population::evaluate(generation, candidates, sum_fitness);
+            let best = population.best().unwrap().fitness;
+            if best < prev {
+                regressed = true;
+            }
+            prev = best;
+        }
+        assert!(regressed, "high mutation without elitism should regress at least once");
+    }
+
+    #[test]
+    fn children_record_parent_ids() {
+        let mut engine = GaEngine::new(small_config(), Bytes, 13);
+        let population = Population::evaluate(0, engine.seed(), sum_fitness);
+        let next = engine.next_generation(&population);
+        let parent_ids: std::collections::HashSet<u64> =
+            population.individuals.iter().map(|i| i.id).collect();
+        // First candidate is the elite copy.
+        assert_eq!(next[0].parents.1, None);
+        for child in &next[1..] {
+            let (Some(a), Some(b)) = child.parents else {
+                panic!("bred child missing parents")
+            };
+            assert!(parent_ids.contains(&a) && parent_ids.contains(&b));
+        }
+    }
+
+    #[test]
+    fn seed_from_pads_and_truncates() {
+        let mut engine = GaEngine::new(small_config(), Bytes, 17);
+        let seeded = engine.seed_from(vec![vec![1u8; 3], vec![2u8; 30]]);
+        assert_eq!(seeded.len(), 20, "topped up to population size");
+        assert!(seeded.iter().all(|c| c.genes.len() == 10));
+        assert_eq!(&seeded[0].genes[..3], &[1, 1, 1]);
+        assert!(seeded[1].genes.iter().all(|&g| g == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GA configuration")]
+    fn invalid_config_panics() {
+        let config = GaConfig { population_size: 0, ..GaConfig::default() };
+        let _ = GaEngine::new(config, Bytes, 0);
+    }
+}

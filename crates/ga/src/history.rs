@@ -1,0 +1,152 @@
+//! Convergence tracking across generations.
+//!
+//! The paper reports that GeST "produces stress-tests that exceed
+//! significantly conventional workloads after 70-100 generations"; this
+//! module records the per-generation statistics that back such claims and
+//! provides a plateau detector usable as a stopping criterion.
+
+use crate::population::Population;
+
+/// Summary statistics of one generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationSummary {
+    /// Generation number.
+    pub generation: u32,
+    /// Best fitness in the generation.
+    pub best_fitness: f64,
+    /// Mean fitness across the generation.
+    pub mean_fitness: f64,
+    /// Id of the best individual.
+    pub best_id: u64,
+}
+
+/// Records per-generation summaries for convergence analysis.
+///
+/// # Examples
+///
+/// ```
+/// use gest_ga::{History, Population, Evaluated};
+/// let mut history = History::new();
+/// let population = Population {
+///     generation: 0,
+///     individuals: vec![Evaluated {
+///         id: 0, parents: (None, None), genes: vec![1u8],
+///         fitness: 3.0, measurements: vec![3.0],
+///     }],
+/// };
+/// history.record(&population);
+/// assert_eq!(history.best_ever().unwrap().best_fitness, 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct History {
+    summaries: Vec<GenerationSummary>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Records an evaluated population.
+    ///
+    /// Populations with no individuals are ignored.
+    pub fn record<G>(&mut self, population: &Population<G>) {
+        if let Some(best) = population.best() {
+            self.summaries.push(GenerationSummary {
+                generation: population.generation,
+                best_fitness: best.fitness,
+                mean_fitness: population.mean_fitness(),
+                best_id: best.id,
+            });
+        }
+    }
+
+    /// All recorded summaries in order.
+    pub fn summaries(&self) -> &[GenerationSummary] {
+        &self.summaries
+    }
+
+    /// The summary of the generation with the highest best-fitness.
+    pub fn best_ever(&self) -> Option<&GenerationSummary> {
+        self.summaries
+            .iter()
+            .reduce(|best, s| if s.best_fitness > best.best_fitness { s } else { best })
+    }
+
+    /// Whether the best fitness has failed to improve by more than
+    /// `epsilon` for the last `window` recorded generations.
+    ///
+    /// Returns `false` until at least `window + 1` generations are
+    /// recorded.
+    pub fn plateaued(&self, window: usize, epsilon: f64) -> bool {
+        if self.summaries.len() <= window {
+            return false;
+        }
+        let reference = self.summaries[self.summaries.len() - 1 - window].best_fitness;
+        self.summaries[self.summaries.len() - window..]
+            .iter()
+            .all(|s| s.best_fitness - reference <= epsilon)
+    }
+
+    /// The best-fitness series, one value per generation (useful for
+    /// convergence plots).
+    pub fn best_series(&self) -> Vec<f64> {
+        self.summaries.iter().map(|s| s.best_fitness).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::Evaluated;
+
+    fn pop(generation: u32, fitness: f64) -> Population<u8> {
+        Population {
+            generation,
+            individuals: vec![Evaluated {
+                id: generation as u64,
+                parents: (None, None),
+                genes: vec![0],
+                fitness,
+                measurements: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn records_and_finds_best() {
+        let mut history = History::new();
+        for (generation, fitness) in [(0, 1.0), (1, 5.0), (2, 3.0)] {
+            history.record(&pop(generation, fitness));
+        }
+        assert_eq!(history.summaries().len(), 3);
+        assert_eq!(history.best_ever().unwrap().generation, 1);
+        assert_eq!(history.best_series(), vec![1.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn plateau_detection() {
+        let mut history = History::new();
+        for (generation, fitness) in [(0, 1.0), (1, 2.0), (2, 2.0), (3, 2.0), (4, 2.0)] {
+            history.record(&pop(generation, fitness));
+        }
+        assert!(history.plateaued(3, 1e-9));
+        assert!(!history.plateaued(4, 1e-9), "window reaching the 1.0->2.0 jump");
+    }
+
+    #[test]
+    fn plateau_needs_enough_data() {
+        let mut history = History::new();
+        history.record(&pop(0, 1.0));
+        assert!(!history.plateaued(3, 0.1));
+    }
+
+    #[test]
+    fn empty_population_ignored() {
+        let mut history = History::new();
+        history.record(&Population::<u8>::default());
+        assert!(history.summaries().is_empty());
+        assert!(history.best_ever().is_none());
+    }
+}

@@ -1,0 +1,228 @@
+//! The genetic operators: selection, crossover, mutation.
+//!
+//! Exposed as free functions so ablation benchmarks and property tests can
+//! exercise them directly, independent of the engine loop.
+
+use crate::population::Evaluated;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Tournament selection (paper Figure 3, step 1): draw `size` individuals
+/// uniformly at random (with replacement) and return the index of the
+/// fittest among them.
+///
+/// # Panics
+///
+/// Panics if the population is empty or `size` is zero.
+pub fn tournament_select<G>(
+    population: &[Evaluated<G>],
+    size: usize,
+    rng: &mut StdRng,
+) -> usize {
+    assert!(!population.is_empty(), "tournament over an empty population");
+    assert!(size > 0, "tournament size must be positive");
+    let mut best = rng.random_range(0..population.len());
+    for _ in 1..size {
+        let challenger = rng.random_range(0..population.len());
+        if population[challenger].fitness > population[best].fitness {
+            best = challenger;
+        }
+    }
+    best
+}
+
+/// One-point crossover (paper Figure 3, step 2): choose a cut point and
+/// exchange tails. `child1` inherits the head of `parent1`, `child2` the
+/// head of `parent2`.
+///
+/// Cut points are drawn from `1..len`, so each child always receives genes
+/// from both parents (when `len >= 2`; length-1 parents are cloned).
+///
+/// # Panics
+///
+/// Panics if the parents have different lengths or are empty.
+pub fn crossover_one_point<G: Clone>(
+    parent1: &[G],
+    parent2: &[G],
+    rng: &mut StdRng,
+) -> (Vec<G>, Vec<G>) {
+    assert_eq!(parent1.len(), parent2.len(), "parents must have equal length");
+    assert!(!parent1.is_empty(), "parents must be non-empty");
+    if parent1.len() == 1 {
+        return (parent1.to_vec(), parent2.to_vec());
+    }
+    let point = rng.random_range(1..parent1.len());
+    let mut child1 = Vec::with_capacity(parent1.len());
+    let mut child2 = Vec::with_capacity(parent1.len());
+    child1.extend_from_slice(&parent1[..point]);
+    child1.extend_from_slice(&parent2[point..]);
+    child2.extend_from_slice(&parent2[..point]);
+    child2.extend_from_slice(&parent1[point..]);
+    (child1, child2)
+}
+
+/// Uniform crossover: each position is swapped between the parents with
+/// probability 1/2. The paper notes this preserves instruction order less
+/// well than one-point and converges slower for power/dI/dt searches.
+///
+/// # Panics
+///
+/// Panics if the parents have different lengths.
+pub fn crossover_uniform<G: Clone>(
+    parent1: &[G],
+    parent2: &[G],
+    rng: &mut StdRng,
+) -> (Vec<G>, Vec<G>) {
+    assert_eq!(parent1.len(), parent2.len(), "parents must have equal length");
+    let mut child1 = Vec::with_capacity(parent1.len());
+    let mut child2 = Vec::with_capacity(parent1.len());
+    for (a, b) in parent1.iter().zip(parent2) {
+        if rng.random_bool(0.5) {
+            child1.push(b.clone());
+            child2.push(a.clone());
+        } else {
+            child1.push(a.clone());
+            child2.push(b.clone());
+        }
+    }
+    (child1, child2)
+}
+
+/// Per-gene mutation (paper Figure 3, step 3): each gene is independently
+/// mutated with probability `rate` by calling `mutate_gene`.
+///
+/// Returns how many genes were mutated.
+pub fn mutate<G>(
+    genes: &mut [G],
+    rate: f64,
+    rng: &mut StdRng,
+    mut mutate_gene: impl FnMut(&mut G, &mut StdRng),
+) -> usize {
+    let mut count = 0;
+    for gene in genes.iter_mut() {
+        if rng.random_bool(rate) {
+            mutate_gene(gene, rng);
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn population(fitnesses: &[f64]) -> Vec<Evaluated<u8>> {
+        fitnesses
+            .iter()
+            .enumerate()
+            .map(|(i, &fitness)| Evaluated {
+                id: i as u64,
+                parents: (None, None),
+                genes: vec![i as u8],
+                fitness,
+                measurements: vec![],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tournament_of_population_size_finds_max_often() {
+        let pop = population(&[0.0, 9.0, 3.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        // A big tournament almost surely includes the best individual.
+        let mut hits = 0;
+        for _ in 0..100 {
+            if tournament_select(&pop, 32, &mut rng) == 1 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 95, "expected near-always max, got {hits}");
+    }
+
+    #[test]
+    fn tournament_of_one_is_uniform() {
+        let pop = population(&[0.0, 9.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let picks: Vec<usize> = (0..200).map(|_| tournament_select(&pop, 1, &mut rng)).collect();
+        assert!(picks.contains(&0), "size-1 tournaments ignore fitness");
+        assert!(picks.contains(&1));
+    }
+
+    #[test]
+    fn one_point_swaps_tails() {
+        let p1 = [1u8, 1, 1, 1];
+        let p2 = [2u8, 2, 2, 2];
+        let mut rng = StdRng::seed_from_u64(3);
+        let (c1, c2) = crossover_one_point(&p1, &p2, &mut rng);
+        // Each child starts with its own parent's genes and switches once.
+        assert_eq!(c1[0], 1);
+        assert_eq!(c2[0], 2);
+        assert_eq!(*c1.last().unwrap(), 2);
+        assert_eq!(*c2.last().unwrap(), 1);
+        let switches =
+            |c: &[u8]| c.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(switches(&c1), 1);
+        assert_eq!(switches(&c2), 1);
+    }
+
+    #[test]
+    fn crossover_conserves_genes() {
+        let p1: Vec<u32> = (0..20).collect();
+        let p2: Vec<u32> = (100..120).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        for uniform in [false, true] {
+            let (c1, c2) = if uniform {
+                crossover_uniform(&p1, &p2, &mut rng)
+            } else {
+                crossover_one_point(&p1, &p2, &mut rng)
+            };
+            // Position-wise, each slot holds one parent's gene and the other
+            // child holds the complementary gene.
+            for i in 0..p1.len() {
+                let pair = (c1[i], c2[i]);
+                assert!(pair == (p1[i], p2[i]) || pair == (p2[i], p1[i]), "slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_one_parents_pass_through() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (c1, c2) = crossover_one_point(&[7u8], &[9u8], &mut rng);
+        assert_eq!((c1, c2), (vec![7], vec![9]));
+    }
+
+    #[test]
+    fn mutation_rate_zero_and_one() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut genes = vec![0u8; 100];
+        let mutated = mutate(&mut genes, 0.0, &mut rng, |g, _| *g = 1);
+        assert_eq!(mutated, 0);
+        assert!(genes.iter().all(|&g| g == 0));
+        let mutated = mutate(&mut genes, 1.0, &mut rng, |g, _| *g = 1);
+        assert_eq!(mutated, 100);
+        assert!(genes.iter().all(|&g| g == 1));
+    }
+
+    #[test]
+    fn mutation_rate_two_percent_touches_about_one_in_fifty() {
+        // The paper's rationale: 2% at loop length 50 ≈ one instruction.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut total = 0;
+        for _ in 0..1000 {
+            let mut genes = vec![0u8; 50];
+            total += mutate(&mut genes, 0.02, &mut rng, |g, _| *g = 1);
+        }
+        let mean = total as f64 / 1000.0;
+        assert!((0.8..1.2).contains(&mean), "mean mutations {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_parents_panic() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = crossover_one_point(&[1u8], &[1u8, 2], &mut rng);
+    }
+}

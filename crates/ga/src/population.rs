@@ -1,0 +1,143 @@
+//! Evaluated individuals and populations.
+
+use crate::engine::Candidate;
+
+/// An individual that has been measured and assigned a fitness value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluated<G> {
+    /// Unique id across the whole run.
+    pub id: u64,
+    /// Parent ids (`None` for seeded or elite-copied individuals' missing
+    /// parents).
+    pub parents: (Option<u64>, Option<u64>),
+    /// The gene sequence.
+    pub genes: Vec<G>,
+    /// Fitness value assigned by the fitness function.
+    pub fitness: f64,
+    /// Raw measurement values, in measurement order. By convention the
+    /// first is the headline metric (the paper's file-naming convention
+    /// puts it first).
+    pub measurements: Vec<f64>,
+}
+
+/// One full generation of evaluated individuals.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Population<G> {
+    /// Generation number (0 for the seed population).
+    pub generation: u32,
+    /// The evaluated individuals.
+    pub individuals: Vec<Evaluated<G>>,
+}
+
+impl<G> Population<G> {
+    /// Evaluates a batch of candidates with a synchronous closure returning
+    /// `(fitness, measurements)`.
+    ///
+    /// This is the single-threaded convenience path; the framework crate
+    /// evaluates candidates in parallel and assembles the population
+    /// manually.
+    pub fn evaluate<F>(generation: u32, candidates: Vec<Candidate<G>>, mut f: F) -> Population<G>
+    where
+        F: FnMut(&[G]) -> (f64, Vec<f64>),
+    {
+        let individuals = candidates
+            .into_iter()
+            .map(|candidate| {
+                let (fitness, measurements) = f(&candidate.genes);
+                Evaluated {
+                    id: candidate.id,
+                    parents: candidate.parents,
+                    genes: candidate.genes,
+                    fitness,
+                    measurements,
+                }
+            })
+            .collect();
+        Population { generation, individuals }
+    }
+
+    /// The fittest individual, if the population is non-empty.
+    ///
+    /// Ties are broken toward the earlier individual, making runs
+    /// deterministic.
+    pub fn best(&self) -> Option<&Evaluated<G>> {
+        self.individuals
+            .iter()
+            .reduce(|best, x| if x.fitness > best.fitness { x } else { best })
+    }
+
+    /// Mean fitness across the population (0 when empty).
+    pub fn mean_fitness(&self) -> f64 {
+        if self.individuals.is_empty() {
+            return 0.0;
+        }
+        self.individuals.iter().map(|i| i.fitness).sum::<f64>() / self.individuals.len() as f64
+    }
+
+    /// Number of individuals.
+    pub fn len(&self) -> usize {
+        self.individuals.len()
+    }
+
+    /// Whether the population holds no individuals.
+    pub fn is_empty(&self) -> bool {
+        self.individuals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop(fitnesses: &[f64]) -> Population<u8> {
+        Population {
+            generation: 1,
+            individuals: fitnesses
+                .iter()
+                .enumerate()
+                .map(|(i, &fitness)| Evaluated {
+                    id: i as u64,
+                    parents: (None, None),
+                    genes: vec![i as u8],
+                    fitness,
+                    measurements: vec![fitness],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn best_and_mean() {
+        let population = pop(&[1.0, 5.0, 3.0]);
+        assert_eq!(population.best().unwrap().id, 1);
+        assert!((population.mean_fitness() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_tie_breaks_to_first() {
+        let population = pop(&[4.0, 4.0]);
+        assert_eq!(population.best().unwrap().id, 0);
+    }
+
+    #[test]
+    fn empty_population() {
+        let population: Population<u8> = Population::default();
+        assert!(population.best().is_none());
+        assert_eq!(population.mean_fitness(), 0.0);
+        assert!(population.is_empty());
+    }
+
+    #[test]
+    fn evaluate_maps_candidates() {
+        let candidates = vec![
+            Candidate { id: 7, parents: (Some(1), Some(2)), genes: vec![3u8, 4] },
+        ];
+        let population = Population::evaluate(2, candidates, |genes| {
+            (genes.iter().map(|&g| g as f64).sum(), vec![1.0, 2.0])
+        });
+        assert_eq!(population.generation, 2);
+        assert_eq!(population.individuals[0].fitness, 7.0);
+        assert_eq!(population.individuals[0].measurements, vec![1.0, 2.0]);
+        assert_eq!(population.individuals[0].parents, (Some(1), Some(2)));
+    }
+}

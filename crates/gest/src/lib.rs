@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+
+//! GeST — automatic CPU stress-test generation by genetic-algorithm
+//! search.
+//!
+//! A Rust reproduction of *GeST: An Automatic Framework For Generating CPU
+//! Stress-Tests* (Hadjilambrou, Das, Whatmough, Bull, Sazeides — ISPASS
+//! 2019), complete with the simulated CPU substrate (pipeline timing,
+//! activity-based power, RC thermal, RLC power-delivery network) that
+//! stands in for the paper's lab hardware.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`isa`] — the synthetic ARM-flavoured instruction set, the
+//!   instruction/operand definition schema (paper Figure 4), templates
+//!   with `#loop_code` markers, and the assembler;
+//! * [`ga`] — the genetic-algorithm engine (paper §III.A, Table I);
+//! * [`sim`] — the simulated machines: Cortex-A15/A7, X-Gene2, and an
+//!   Athlon-class desktop with oscilloscope-grade PDN modelling;
+//! * [`core`] — the framework proper: configuration, measurements,
+//!   fitness functions, the run driver, outputs and statistics;
+//! * [`workloads`] — the baseline benchmark proxies the paper compares
+//!   against;
+//! * [`xml`] — the minimal XML parser behind the configuration files.
+//!
+//! # Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), gest::core::GestError> {
+//! use gest::core::{GestConfig, GestRun};
+//!
+//! let config = GestConfig::builder("cortex-a15")
+//!     .measurement("power")
+//!     .population_size(8)
+//!     .individual_size(12)
+//!     .generations(3)
+//!     .seed(1)
+//!     .build()?;
+//! let summary = GestRun::new(config)?.run()?;
+//! println!("best power: {:.3} W", summary.best.fitness);
+//! println!("{}", summary.best_program);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use gest_core as core;
+pub use gest_ga as ga;
+pub use gest_isa as isa;
+pub use gest_sim as sim;
+pub use gest_workloads as workloads;
+pub use gest_xml as xml;
+
+/// Convenience prelude bringing the most-used types into scope.
+pub mod prelude {
+    pub use gest_core::{
+        fitness_by_name, measurement_by_name, DefaultFitness, Fitness, FitnessContext,
+        GestConfig, GestError, GestRun, Measurement, RunSummary, TempSimplicityFitness,
+    };
+    pub use gest_ga::{CrossoverOp, GaConfig, History, Population, SelectionOp};
+    pub use gest_isa::{
+        asm, Gene, InstrClass, Instruction, InstructionPool, Opcode, Program, Template,
+    };
+    pub use gest_sim::{
+        characterize_vmin, MachineConfig, RunConfig, RunResult, Simulator, VminConfig,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let machine = MachineConfig::cortex_a15();
+        assert_eq!(machine.width, 3);
+        let config = GaConfig::default();
+        assert_eq!(config.population_size, 50);
+    }
+}

@@ -1,0 +1,485 @@
+//! A line assembler and program-text parser.
+//!
+//! Parses the canonical syntax printed by [`Instruction`]'s `Display`
+//! implementation, so assembly text round-trips losslessly:
+//!
+//! ```text
+//! ADD x1, x2, x3        ; comment
+//! LDR x1, [x10, #8]
+//! VFMLA v0, v1, v2
+//! CBNZ x4, #2
+//! MOVI x0, #0xAAAAAAAAAAAAAAAA
+//! ```
+//!
+//! `;`, `#` at start of line, and `//` comments are supported, matching the
+//! flavours found in the paper's template sources.
+
+use crate::instruction::{Instruction, Operand};
+use crate::opcode::{Opcode, OperandSlot};
+use crate::IsaError;
+
+/// Parses one line of assembly.
+///
+/// Returns `Ok(None)` for blank lines and comment-only lines.
+///
+/// # Errors
+///
+/// Returns [`IsaError::UnknownMnemonic`] or [`IsaError::Syntax`] for
+/// unparseable lines and [`IsaError::BadOperands`] when operands do not
+/// match the opcode signature.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gest_isa::IsaError> {
+/// let instr = gest_isa::asm::parse_line("FMLA v0, v1, v2")?.expect("instruction");
+/// assert_eq!(instr.opcode().mnemonic(), "FMLA");
+/// assert!(gest_isa::asm::parse_line("; just a comment")?.is_none());
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_line(line: &str) -> Result<Option<Instruction>, IsaError> {
+    parse_line_numbered(line, 1)
+}
+
+/// Like [`parse_line`] but reports `line_no` in errors.
+pub fn parse_line_numbered(line: &str, line_no: u32) -> Result<Option<Instruction>, IsaError> {
+    let code = strip_comment(line).trim();
+    if code.is_empty() {
+        return Ok(None);
+    }
+    let (mnemonic, rest) = match code.find(|c: char| c.is_ascii_whitespace()) {
+        Some(ws) => (&code[..ws], code[ws..].trim()),
+        None => (code, ""),
+    };
+    let opcode = Opcode::from_mnemonic(mnemonic)
+        .ok_or_else(|| IsaError::UnknownMnemonic(mnemonic.to_owned()))?;
+    let tokens = split_operands(rest, line_no)?;
+    let slots = opcode.slots();
+    if tokens.len() != slots.len() {
+        return Err(IsaError::Syntax {
+            line: line_no,
+            message: format!(
+                "{} expects {} operands, found {}",
+                opcode,
+                slots.len(),
+                tokens.len()
+            ),
+        });
+    }
+    let mut operands = Vec::with_capacity(tokens.len());
+    for (token, &slot) in tokens.iter().zip(slots) {
+        operands.push(parse_operand(token, slot, line_no)?);
+    }
+    Instruction::new(opcode, operands).map(Some)
+}
+
+/// Parses a block of assembly text into instructions, one per line.
+///
+/// # Errors
+///
+/// Propagates the first per-line error, with 1-based line numbers.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gest_isa::IsaError> {
+/// let body = gest_isa::asm::parse_block("ADD x0, x0, x1\nNOP\n; done")?;
+/// assert_eq!(body.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_block(source: &str) -> Result<Vec<Instruction>, IsaError> {
+    let mut out = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        if let Some(instr) = parse_line_numbered(line, (i + 1) as u32)? {
+            out.push(instr);
+        }
+    }
+    Ok(out)
+}
+
+/// Like [`parse_block`] but with *label* support: a line of the form
+/// `name:` defines a label, and branch instructions may name a label in
+/// place of a numeric offset (`CBNZ x1, skip_target`). Labels resolve to
+/// forward skip distances, matching the ISA's forward-branch semantics —
+/// the loop's own back-edge lives in the template, exactly as in the
+/// paper's generated sources.
+///
+/// # Errors
+///
+/// In addition to [`parse_block`]'s errors:
+/// * [`IsaError::Syntax`] for undefined labels, labels at or before the
+///   branch (backward/zero-distance branches), duplicate labels, or label
+///   distances beyond 255 instructions.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gest_isa::IsaError> {
+/// let block = gest_isa::asm::parse_labeled_block(
+///     "CBZ x1, done\nADD x2, x3, x4\nMUL x5, x6, x7\ndone:\nNOP",
+/// )?;
+/// assert_eq!(block[0].branch_target(), Some(2), "skips ADD and MUL");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_labeled_block(source: &str) -> Result<Vec<Instruction>, IsaError> {
+    // Pass 1: instruction positions and label definitions.
+    let mut labels: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    let mut instruction_lines: Vec<(u32, String)> = Vec::new();
+    for (i, raw_line) in source.lines().enumerate() {
+        let line_no = (i + 1) as u32;
+        let code = strip_comment(raw_line).trim();
+        if code.is_empty() {
+            continue;
+        }
+        if let Some(name) = code.strip_suffix(':') {
+            let name = name.trim();
+            if name.is_empty() || !is_label_name(name) {
+                return Err(IsaError::Syntax {
+                    line: line_no,
+                    message: format!("invalid label name {name:?}"),
+                });
+            }
+            if labels.insert(name, instruction_lines.len()).is_some() {
+                return Err(IsaError::Syntax {
+                    line: line_no,
+                    message: format!("duplicate label {name:?}"),
+                });
+            }
+            continue;
+        }
+        instruction_lines.push((line_no, code.to_owned()));
+    }
+    // Pass 2: parse, substituting label operands on branches.
+    let mut out = Vec::with_capacity(instruction_lines.len());
+    for (index, (line_no, code)) in instruction_lines.iter().enumerate() {
+        let resolved = resolve_branch_label(code, index, &labels, *line_no)?;
+        if let Some(instr) = parse_line_numbered(&resolved, *line_no)? {
+            out.push(instr);
+        }
+    }
+    Ok(out)
+}
+
+fn is_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Replaces a trailing label operand on a branch line with its numeric
+/// skip distance.
+fn resolve_branch_label(
+    code: &str,
+    index: usize,
+    labels: &std::collections::HashMap<&str, usize>,
+    line_no: u32,
+) -> Result<String, IsaError> {
+    let mnemonic = code.split_whitespace().next().unwrap_or("");
+    let is_branch = Opcode::from_mnemonic(mnemonic).is_some_and(Opcode::is_branch);
+    if !is_branch {
+        return Ok(code.to_owned());
+    }
+    let body = code[mnemonic.len()..].trim();
+    if body.is_empty() {
+        return Ok(code.to_owned());
+    }
+    let token = body.rsplit(',').next().expect("rsplit yields at least one piece").trim();
+    if token.starts_with('#') || !is_label_name(token) {
+        return Ok(code.to_owned()); // numeric form, parse as-is
+    }
+    let Some(&position) = labels.get(token) else {
+        return Err(IsaError::Syntax {
+            line: line_no,
+            message: format!("undefined label {token:?}"),
+        });
+    };
+    if position <= index {
+        return Err(IsaError::Syntax {
+            line: line_no,
+            message: format!(
+                "label {token:?} is not strictly forward of the branch (loop back-edges belong in the template)"
+            ),
+        });
+    }
+    let skip = position - index - 1;
+    if skip == 0 {
+        return Err(IsaError::Syntax {
+            line: line_no,
+            message: format!("label {token:?} is the next instruction; a branch would be a no-op"),
+        });
+    }
+    if skip > u8::MAX as usize {
+        return Err(IsaError::Syntax {
+            line: line_no,
+            message: format!("label {token:?} is {skip} instructions away (max 255)"),
+        });
+    }
+    let prefix = &code[..code.len() - token.len()];
+    Ok(format!("{prefix}#{skip}"))
+}
+
+/// Formats a block of instructions as assembly text, one per line.
+///
+/// The output parses back with [`parse_block`].
+pub fn format_block(instructions: &[Instruction]) -> String {
+    let mut out = String::new();
+    for instr in instructions {
+        out.push_str(&instr.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `;` and `//` start comments anywhere; `#` only at line start (it is
+    // the immediate sigil elsewhere).
+    let mut end = line.len();
+    if let Some(i) = line.find(';') {
+        end = end.min(i);
+    }
+    if let Some(i) = line.find("//") {
+        end = end.min(i);
+    }
+    let trimmed = line.trim_start();
+    if trimmed.starts_with('#') && !trimmed.starts_with("#0x") {
+        return "";
+    }
+    &line[..end]
+}
+
+/// Splits an operand list on commas, keeping `[...]` groups intact and then
+/// flattening the bracketed address into its component operands.
+fn split_operands(rest: &str, line_no: u32) -> Result<Vec<String>, IsaError> {
+    let mut tokens = Vec::new();
+    let mut depth = 0u32;
+    let mut current = String::new();
+    for c in rest.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+            }
+            ']' => {
+                depth = depth.checked_sub(1).ok_or_else(|| IsaError::Syntax {
+                    line: line_no,
+                    message: "unbalanced ']'".into(),
+                })?;
+            }
+            ',' if depth == 0 => {
+                push_token(&mut tokens, &mut current);
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    if depth != 0 {
+        return Err(IsaError::Syntax { line: line_no, message: "unbalanced '['".into() });
+    }
+    push_token(&mut tokens, &mut current);
+    // Flatten bracketed memory operands: "[x10" came through as part of a
+    // token like "[x10, #8]"? No — brackets suppress the comma split, so a
+    // token can be "[x10, #8]". Split those now.
+    let mut flat = Vec::new();
+    for token in tokens {
+        if let Some(inner) = token.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+            for part in inner.split(',') {
+                let part = part.trim();
+                if !part.is_empty() {
+                    flat.push(part.to_owned());
+                }
+            }
+        } else {
+            flat.push(token);
+        }
+    }
+    Ok(flat)
+}
+
+fn push_token(tokens: &mut Vec<String>, current: &mut String) {
+    let token = current.trim().to_owned();
+    if !token.is_empty() {
+        tokens.push(token);
+    }
+    current.clear();
+}
+
+fn parse_operand(token: &str, slot: OperandSlot, line_no: u32) -> Result<Operand, IsaError> {
+    let syntax = |message: String| IsaError::Syntax { line: line_no, message };
+    match slot {
+        OperandSlot::IntDst | OperandSlot::IntSrc => token
+            .parse()
+            .map(Operand::Reg)
+            .map_err(|_| syntax(format!("expected integer register, found {token:?}"))),
+        OperandSlot::VecDst | OperandSlot::VecSrc => token
+            .parse()
+            .map(Operand::VReg)
+            .map_err(|_| syntax(format!("expected vector register, found {token:?}"))),
+        OperandSlot::Imm => {
+            parse_imm(token).map(Operand::Imm).ok_or_else(|| {
+                syntax(format!("expected immediate like #8 or #0xAA, found {token:?}"))
+            })
+        }
+        OperandSlot::BranchTarget => {
+            let value = parse_imm(token)
+                .ok_or_else(|| syntax(format!("expected branch offset, found {token:?}")))?;
+            u8::try_from(value)
+                .ok()
+                .filter(|v| *v >= 1)
+                .map(Operand::Target)
+                .ok_or_else(|| syntax(format!("branch offset must be 1..=255, found {value}")))
+        }
+    }
+}
+
+fn parse_imm(token: &str) -> Option<i64> {
+    let body = token.strip_prefix('#').unwrap_or(token);
+    let (negative, digits) = match body.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, body),
+    };
+    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()? as i64
+    } else {
+        // Parse through u64 so full-width bit patterns (e.g. #18446744...)
+        // are accepted, then reinterpret.
+        digits.parse::<u64>().ok()? as i64
+    };
+    Some(if negative { value.wrapping_neg() } else { value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Opcode;
+
+    #[test]
+    fn blank_and_comment_lines() {
+        assert_eq!(parse_line("").unwrap(), None);
+        assert_eq!(parse_line("   ").unwrap(), None);
+        assert_eq!(parse_line("; comment").unwrap(), None);
+        assert_eq!(parse_line("// comment").unwrap(), None);
+        assert_eq!(parse_line("# comment").unwrap(), None);
+    }
+
+    #[test]
+    fn trailing_comments_stripped() {
+        let instr = parse_line("NOP ; pad").unwrap().unwrap();
+        assert_eq!(instr.opcode(), Opcode::Nop);
+        let instr = parse_line("ADD x0, x1, x2 // sum").unwrap().unwrap();
+        assert_eq!(instr.opcode(), Opcode::Add);
+    }
+
+    #[test]
+    fn memory_bracket_syntax() {
+        let instr = parse_line("LDR x1, [x10, #8]").unwrap().unwrap();
+        assert_eq!(instr.to_string(), "LDR x1, [x10, #8]");
+        let instr = parse_line("STP x1, x2, [x10, #16]").unwrap().unwrap();
+        assert_eq!(instr.to_string(), "STP x1, x2, [x10, #16]");
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let instr = parse_line("ADDI x0, x1, #-4").unwrap().unwrap();
+        assert_eq!(instr.to_string(), "ADDI x0, x1, #-4");
+        let instr = parse_line("MOVI x0, #0xAAAAAAAAAAAAAAAA").unwrap().unwrap();
+        assert_eq!(instr.to_string(), "MOVI x0, #0xAAAAAAAAAAAAAAAA");
+    }
+
+    #[test]
+    fn case_insensitive_mnemonics() {
+        let instr = parse_line("add x0, x1, x2").unwrap().unwrap();
+        assert_eq!(instr.opcode(), Opcode::Add);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_block("NOP\nADD x0, x1\nNOP").unwrap_err();
+        assert!(matches!(err, IsaError::Syntax { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_mnemonic() {
+        let err = parse_line("FROB x0").unwrap_err();
+        assert!(matches!(err, IsaError::UnknownMnemonic(ref m) if m == "FROB"));
+    }
+
+    #[test]
+    fn wrong_register_class_rejected() {
+        assert!(parse_line("ADD v0, x1, x2").is_err());
+        assert!(parse_line("FADD x0, v1, v2").is_err());
+    }
+
+    #[test]
+    fn branch_offset_bounds() {
+        assert!(parse_line("B #0").is_err());
+        assert!(parse_line("B #256").is_err());
+        assert!(parse_line("B #1").unwrap().is_some());
+        assert!(parse_line("B #255").unwrap().is_some());
+    }
+
+    #[test]
+    fn unbalanced_brackets_rejected() {
+        assert!(parse_line("LDR x1, [x10, #8").is_err());
+        assert!(parse_line("LDR x1, x10, #8]").is_err());
+    }
+
+    #[test]
+    fn labeled_block_resolves_forward_branches() {
+        let block = parse_labeled_block(
+            "start_is_not_special:\nCBNZ x1, skip2\nADD x0, x1, x2\nMUL x3, x4, x5\nskip2:\nB end\nSUB x6, x7, x0\nEOR x1, x2, x3\nend:\nNOP",
+        )
+        .unwrap();
+        assert_eq!(block[0].branch_target(), Some(2), "CBNZ skips ADD+MUL");
+        assert_eq!(block[3].branch_target(), Some(2), "B skips SUB+EOR");
+        assert_eq!(block.len(), 7, "labels are not instructions");
+    }
+
+    #[test]
+    fn labeled_block_numeric_targets_still_work() {
+        let block = parse_labeled_block("B #2\nNOP\nNOP\nNOP").unwrap();
+        assert_eq!(block[0].branch_target(), Some(2));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let err = parse_labeled_block("B nowhere\nNOP").unwrap_err();
+        assert!(matches!(err, IsaError::Syntax { ref message, .. } if message.contains("undefined")));
+    }
+
+    #[test]
+    fn backward_label_rejected() {
+        let err = parse_labeled_block("top:\nNOP\nB top").unwrap_err();
+        assert!(
+            matches!(err, IsaError::Syntax { ref message, .. } if message.contains("forward")),
+            "backward branches belong in the template back-edge"
+        );
+    }
+
+    #[test]
+    fn duplicate_and_invalid_labels_rejected() {
+        assert!(parse_labeled_block("a:\na:\nNOP").is_err());
+        assert!(parse_labeled_block("1bad:\nNOP").is_err());
+    }
+
+    #[test]
+    fn label_to_next_instruction_rejected() {
+        let err = parse_labeled_block("B next\nnext:\nNOP").unwrap_err();
+        assert!(matches!(err, IsaError::Syntax { ref message, .. } if message.contains("no-op")));
+    }
+
+    #[test]
+    fn non_branch_lines_unaffected_by_labels() {
+        let block = parse_labeled_block("done:\nADD x1, x2, x3").unwrap();
+        assert_eq!(block.len(), 1);
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let source = "ADD x0, x1, x2\nLDR x3, [x10, #8]\nVFMLA v0, v1, v2\nCBNZ x4, #2\nNOP\n";
+        let block = parse_block(source).unwrap();
+        assert_eq!(format_block(&block), source);
+    }
+}

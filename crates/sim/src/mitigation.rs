@@ -1,0 +1,255 @@
+//! Adaptive-clocking voltage-noise mitigation.
+//!
+//! The paper's introduction lists "testing the efficacy of
+//! energy-efficiency techniques such as voltage-noise mitigation
+//! mechanisms" as a primary use of stress tests, citing the adaptive
+//! clocking of AMD's 28 nm x86-64 parts (its reference [13]): when the die
+//! voltage sags, the clock is stretched so the logic still meets timing at
+//! the lower voltage, converting potential corruption into a small
+//! throughput loss.
+//!
+//! This module models that mechanism on top of the PDN: the per-cycle
+//! energy waveform of a run is replayed through the RLC network, and
+//! whenever the die voltage is below the stretch threshold the next
+//! cycle's energy is issued over several stretched clock periods (less
+//! current per period, more wall-clock time). The interesting question —
+//! which the dI/dt virus answers far better than a power virus — is how
+//! often the mechanism fires and how much performance it costs.
+
+use crate::machine::MachineConfig;
+use crate::pdn::{Pdn, VoltageStats};
+use crate::power::EnergyModel;
+use crate::result::{RunConfig, SimError};
+use crate::simulator::Simulator;
+use gest_isa::Program;
+
+/// Adaptive-clock parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveClockConfig {
+    /// Die voltage below which the clock is stretched (V). Set between
+    /// `v_crit` and nominal; the gap to `v_crit` is the mechanism's
+    /// reaction margin.
+    pub threshold_v: f64,
+    /// How many base clock periods one stretched cycle occupies (>= 2).
+    pub stretch: u8,
+}
+
+impl AdaptiveClockConfig {
+    /// A default policy for a machine: trigger halfway between `v_crit`
+    /// and nominal, stretching 2×.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has no PDN model.
+    pub fn for_machine(machine: &MachineConfig) -> AdaptiveClockConfig {
+        let pdn = machine.pdn.expect("adaptive clocking needs a PDN model");
+        AdaptiveClockConfig { threshold_v: (pdn.vdd + pdn.v_crit) / 2.0, stretch: 2 }
+    }
+}
+
+/// Outcome of a mitigation study on one program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MitigationResult {
+    /// Voltage statistics without mitigation.
+    pub unmitigated: VoltageStats,
+    /// Voltage statistics with adaptive clocking active.
+    pub mitigated: VoltageStats,
+    /// Cycles whose die voltage violated `v_crit` without mitigation.
+    pub violations_unmitigated: u64,
+    /// Remaining violations with mitigation (0 for an effective policy).
+    pub violations_mitigated: u64,
+    /// How many cycles were stretched.
+    pub stretched_cycles: u64,
+    /// Wall-clock slowdown factor caused by stretching (>= 1).
+    pub slowdown: f64,
+}
+
+/// Replays `program`'s current waveform through the PDN with and without
+/// adaptive clocking and reports the mechanism's efficacy.
+///
+/// # Errors
+///
+/// * [`SimError::NoPdn`] when the machine has no PDN model,
+/// * simulator errors from the underlying traced run.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gest_sim::SimError> {
+/// use gest_isa::{asm, Template};
+/// use gest_sim::{simulate_adaptive_clock, AdaptiveClockConfig, MachineConfig, RunConfig};
+///
+/// let machine = MachineConfig::athlon_x4();
+/// let body = asm::parse_block("VFMLA v8, v0, v1\nSDIV x1, x1, x2").unwrap();
+/// let program = Template::default_stress().materialize("demo", body);
+/// let result = simulate_adaptive_clock(
+///     &machine,
+///     &program,
+///     &RunConfig::quick(),
+///     &AdaptiveClockConfig::for_machine(&machine),
+/// )?;
+/// assert!(result.slowdown >= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_adaptive_clock(
+    machine: &MachineConfig,
+    program: &Program,
+    run_config: &RunConfig,
+    config: &AdaptiveClockConfig,
+) -> Result<MitigationResult, SimError> {
+    let Some(pdn_config) = machine.pdn else {
+        return Err(SimError::NoPdn { machine: machine.name.clone() });
+    };
+    let (_, traces) = Simulator::new(machine.clone()).run_traced(program, run_config)?;
+    let energy_model = EnergyModel::new(machine);
+    let dt = 1.0 / machine.clock_hz;
+    let idle_current = machine.energy.static_w / pdn_config.vdd;
+
+    // Pass 1: unmitigated.
+    let mut pdn = Pdn::new(pdn_config, idle_current, dt);
+    let mut violations_unmitigated = 0u64;
+    for &p_w in &traces.power_w {
+        let current = p_w as f64 / pdn_config.vdd;
+        let v = pdn.step(current);
+        if v < pdn_config.v_crit {
+            violations_unmitigated += 1;
+        }
+    }
+    let unmitigated = pdn.stats();
+
+    // Pass 2: adaptive clocking. When the die voltage is below the
+    // threshold, the next cycle's switching energy is spread over
+    // `stretch` base periods.
+    let mut pdn = Pdn::new(pdn_config, idle_current, dt);
+    let mut violations_mitigated = 0u64;
+    let mut stretched_cycles = 0u64;
+    let mut emitted_periods = 0u64;
+    let static_current = energy_model.cycle_power_w(energy_model.static_pj_per_cycle())
+        / pdn_config.vdd;
+    for &p_w in &traces.power_w {
+        let current = p_w as f64 / pdn_config.vdd;
+        if pdn.v_die() < config.threshold_v {
+            stretched_cycles += 1;
+            // Dynamic current is spread across the stretched periods;
+            // static draw continues at its normal level throughout.
+            let dynamic = (current - static_current).max(0.0);
+            let spread = static_current + dynamic / config.stretch as f64;
+            for _ in 0..config.stretch {
+                let v = pdn.step(spread);
+                if v < pdn_config.v_crit {
+                    violations_mitigated += 1;
+                }
+                emitted_periods += 1;
+            }
+        } else {
+            let v = pdn.step(current);
+            if v < pdn_config.v_crit {
+                violations_mitigated += 1;
+            }
+            emitted_periods += 1;
+        }
+    }
+    let mitigated = pdn.stats();
+    let slowdown = if traces.power_w.is_empty() {
+        1.0
+    } else {
+        emitted_periods as f64 / traces.power_w.len() as f64
+    };
+
+    Ok(MitigationResult {
+        unmitigated,
+        mitigated,
+        violations_unmitigated,
+        violations_mitigated,
+        stretched_cycles,
+        slowdown,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gest_isa::{asm, Template};
+
+    fn run_with(body: &str, vdd_scale: f64, config: Option<AdaptiveClockConfig>) -> MitigationResult {
+        let mut machine = MachineConfig::athlon_x4();
+        if let Some(pdn) = machine.pdn.as_mut() {
+            pdn.vdd *= vdd_scale;
+        }
+        let program = Template::default_stress().materialize("m", asm::parse_block(body).unwrap());
+        let config = config.unwrap_or_else(|| AdaptiveClockConfig::for_machine(&machine));
+        simulate_adaptive_clock(&machine, &program, &RunConfig::quick(), &config).unwrap()
+    }
+
+    fn run(body: &str, vdd_scale: f64) -> MitigationResult {
+        run_with(body, vdd_scale, None)
+    }
+
+    const NOISY: &str = "VFMLA v8, v0, v1\nVFMLA v9, v2, v3\nVFMLA v10, v4, v5\nVFMUL v11, v6, v7\nSDIV x1, x1, x2\nSDIV x1, x1, x3";
+
+    #[test]
+    fn mitigation_reduces_droop_and_violations() {
+        // Run at a supply where the DC level is safe but the transient
+        // droops violate — the regime adaptive clocking exists for. The
+        // trigger threshold sits just above v_crit so only the dips
+        // stretch (a threshold above the DC level would stretch
+        // permanently, which is a frequency cut, not adaptive clocking).
+        let result = run_with(
+            NOISY,
+            0.87,
+            Some(AdaptiveClockConfig { threshold_v: 1.19, stretch: 4 }),
+        );
+        assert!(
+            result.violations_unmitigated > 0,
+            "test premise: the noisy loop must violate at reduced vdd"
+        );
+        assert!(
+            result.violations_mitigated < result.violations_unmitigated,
+            "{} -> {}",
+            result.violations_unmitigated,
+            result.violations_mitigated
+        );
+        assert!(result.mitigated.min_v > result.unmitigated.min_v, "droop must shrink");
+        assert!(result.stretched_cycles > 0);
+        assert!(result.slowdown > 1.0);
+    }
+
+    #[test]
+    fn quiet_workload_never_stretches() {
+        let result = run("ADD x1, x2, x3\nADD x4, x5, x6", 1.0);
+        assert_eq!(result.stretched_cycles, 0);
+        assert!((result.slowdown - 1.0).abs() < 1e-12);
+        assert_eq!(result.violations_unmitigated, 0);
+    }
+
+    #[test]
+    fn noisy_workload_costs_more_slowdown_than_steady() {
+        let noisy = run(NOISY, 0.95);
+        let steady = run(
+            "VFMLA v8, v0, v1\nVFMLA v9, v2, v3\nVFMLA v10, v4, v5\nVFMLA v11, v6, v7",
+            0.95,
+        );
+        assert!(
+            noisy.slowdown >= steady.slowdown,
+            "the dI/dt-style loop should trigger the mechanism more: {} vs {}",
+            noisy.slowdown,
+            steady.slowdown
+        );
+    }
+
+    #[test]
+    fn machine_without_pdn_errors() {
+        let machine = MachineConfig::cortex_a15();
+        let program = Template::default_stress()
+            .materialize("m", asm::parse_block("NOP").unwrap());
+        let err = simulate_adaptive_clock(
+            &machine,
+            &program,
+            &RunConfig::quick(),
+            &AdaptiveClockConfig { threshold_v: 1.0, stretch: 2 },
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::NoPdn { machine: "cortex-a15".into() });
+    }
+}

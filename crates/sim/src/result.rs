@@ -1,0 +1,201 @@
+//! Run configuration, results, and errors.
+
+use crate::cache::CacheStats;
+use crate::pdn::VoltageStats;
+use gest_isa::ExecError;
+use std::error::Error;
+use std::fmt;
+
+/// Parameters of one simulated measurement run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Stop after this many loop-body iterations (whichever of the limits
+    /// hits first).
+    pub max_iterations: u64,
+    /// Stop once the pipeline clock passes this many cycles.
+    pub max_cycles: u64,
+    /// How long the workload is "held" for the thermal sensor reading, in
+    /// seconds. The power trace of a few thousand cycles is far shorter
+    /// than thermal time constants, so — like the paper's measurement
+    /// scripts, which run each binary for a few seconds — the measured
+    /// average power is applied to the RC model for this duration.
+    pub thermal_hold_s: f64,
+    /// Window (cycles) for the smoothed peak-power statistic.
+    pub peak_window: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_iterations: 400,
+            max_cycles: 20_000,
+            thermal_hold_s: 30.0,
+            peak_window: 8,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A faster configuration for GA inner loops (fewer iterations).
+    pub fn quick() -> RunConfig {
+        RunConfig { max_iterations: 120, max_cycles: 6_000, ..RunConfig::default() }
+    }
+}
+
+/// Everything a simulated run measures. This is the substrate equivalent of
+/// the paper's measurement instruments: energy probe (power), i2c sensor
+/// (temperature), perf (IPC), oscilloscope (voltage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Program name.
+    pub name: String,
+    /// Elapsed clock cycles.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Retired instructions per cycle.
+    pub ipc: f64,
+    /// Total energy in joules (dynamic + static).
+    pub energy_j: f64,
+    /// Average per-core power in watts.
+    pub avg_power_w: f64,
+    /// Whole-chip power: `cores × avg_power_w + uncore_w` (the paper runs
+    /// one virus instance per core; the viruses share nothing and scale
+    /// linearly).
+    pub chip_power_w: f64,
+    /// Peak power in watts (smoothed over [`RunConfig::peak_window`]).
+    pub peak_power_w: f64,
+    /// Junction temperature (°C) after the thermal hold.
+    pub temperature_c: f64,
+    /// Steady-state temperature (°C) implied by the average power.
+    pub steady_temp_c: f64,
+    /// L1 data-cache statistics.
+    pub l1: CacheStats,
+    /// Branch-predictor accuracy over the run.
+    pub branch_accuracy: f64,
+    /// Die-voltage statistics when the machine models a PDN.
+    pub voltage: Option<VoltageStats>,
+    /// Dynamic instruction counts by class, in
+    /// [`gest_isa::InstrClass::ALL`] order.
+    pub class_counts: [u64; 6],
+}
+
+impl RunResult {
+    /// Peak-to-peak voltage noise, if the machine models a PDN — the
+    /// dI/dt fitness metric.
+    pub fn voltage_peak_to_peak(&self) -> Option<f64> {
+        self.voltage.map(|v| v.peak_to_peak())
+    }
+}
+
+impl fmt::Display for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} IPC, {:.3} W avg, {:.3} W peak, {:.1} °C",
+            self.name, self.ipc, self.avg_power_w, self.peak_power_w, self.temperature_c
+        )?;
+        if let Some(v) = self.voltage {
+            write!(f, ", {:.1} mV p2p", v.peak_to_peak() * 1e3)?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors from running a program on the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The program's loop body is empty: nothing to measure.
+    EmptyProgram,
+    /// Functional execution failed.
+    Exec(ExecError),
+    /// The program's scratch-memory expectations exceed the machine's
+    /// buffer (must be a power of two within L1).
+    BadMemSize {
+        /// Configured buffer size.
+        bytes: usize,
+    },
+    /// The requested analysis needs a PDN model but the machine has none
+    /// (no voltage sense points, like the paper's Versatile Express
+    /// boards).
+    NoPdn {
+        /// Name of the machine lacking the PDN.
+        machine: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyProgram => write!(f, "program has an empty loop body"),
+            SimError::Exec(e) => write!(f, "execution failed: {e}"),
+            SimError::BadMemSize { bytes } => {
+                write!(f, "machine scratch-memory size {bytes} is invalid")
+            }
+            SimError::NoPdn { machine } => {
+                write!(f, "machine {machine:?} has no PDN model (no voltage sense points)")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> Self {
+        SimError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = RunConfig::default();
+        assert!(config.max_iterations > 0);
+        assert!(config.max_cycles > 1000);
+        assert!(config.peak_window >= 1);
+        let quick = RunConfig::quick();
+        assert!(quick.max_cycles < config.max_cycles);
+    }
+
+    #[test]
+    fn display_includes_voltage_when_present() {
+        let result = RunResult {
+            name: "x".into(),
+            cycles: 100,
+            instructions: 200,
+            ipc: 2.0,
+            energy_j: 1e-6,
+            avg_power_w: 1.0,
+            chip_power_w: 4.0,
+            peak_power_w: 2.0,
+            temperature_c: 50.0,
+            steady_temp_c: 51.0,
+            l1: CacheStats::default(),
+            branch_accuracy: 1.0,
+            voltage: Some(VoltageStats { nominal_v: 1.4, min_v: 1.3, max_v: 1.45 }),
+            class_counts: [0; 6],
+        };
+        let text = result.to_string();
+        assert!(text.contains("mV p2p"), "{text}");
+        assert!((result.voltage_peak_to_peak().unwrap() - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sim_error_display_and_source() {
+        let err = SimError::from(ExecError::BranchOutOfRange { skip: 2, remaining: 1 });
+        assert!(err.to_string().contains("execution failed"));
+        assert!(err.source().is_some());
+        assert!(SimError::EmptyProgram.source().is_none());
+    }
+}

@@ -1,0 +1,429 @@
+//! The top-level simulator: functional execution + timing + power +
+//! thermal + PDN, producing a [`RunResult`].
+
+use crate::cache::DataCache;
+use crate::machine::MachineConfig;
+use crate::pdn::Pdn;
+use crate::pipeline::{BranchResolution, Decoded, Pipeline};
+use crate::power::EnergyModel;
+use crate::predictor::BranchPredictor;
+use crate::result::{RunConfig, RunResult, SimError};
+use crate::thermal::ThermalModel;
+use gest_isa::{ArchState, Flow, InstrClass, Program};
+
+/// Per-cycle waveforms captured by [`Simulator::run_traced`] — the
+/// substrate's oscilloscope/data-logger output.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Traces {
+    /// Instantaneous power per cycle (watts), including static power.
+    pub power_w: Vec<f32>,
+    /// Die voltage per cycle (volts); empty when the machine has no PDN.
+    pub voltage_v: Vec<f32>,
+}
+
+/// Runs programs on a machine model and measures them.
+///
+/// One simulator per machine; `run` is stateless between calls (fresh
+/// architectural state, caches, and predictor each run), so a single
+/// instance can measure a whole GA population sequentially — or clone the
+/// simulator per thread for parallel evaluation.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    machine: MachineConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given machine.
+    pub fn new(machine: MachineConfig) -> Simulator {
+        Simulator { machine }
+    }
+
+    /// The machine being simulated.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Executes `program` under `config` and returns the measurements.
+    ///
+    /// The loop body runs repeatedly (the paper's viruses are infinite
+    /// loops; the measurement scripts run them "for a few seconds") until
+    /// an iteration or cycle budget is reached.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptyProgram`] when the body has no instructions,
+    /// * [`SimError::Exec`] if functional execution fails.
+    pub fn run(&self, program: &Program, config: &RunConfig) -> Result<RunResult, SimError> {
+        self.run_inner(program, config, false).map(|(result, _)| result)
+    }
+
+    /// Like [`run`](Simulator::run), additionally capturing the per-cycle
+    /// power and die-voltage waveforms (what the paper reads off the
+    /// oscilloscope).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Simulator::run).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), gest_sim::SimError> {
+    /// use gest_isa::{asm, Program};
+    /// use gest_sim::{MachineConfig, RunConfig, Simulator};
+    /// let body = asm::parse_block("FMUL v0, v1, v2").map_err(|_| gest_sim::SimError::EmptyProgram)?;
+    /// let simulator = Simulator::new(MachineConfig::athlon_x4());
+    /// let (result, traces) = simulator
+    ///     .run_traced(&Program::from_body("t", body), &RunConfig::quick())?;
+    /// assert_eq!(traces.power_w.len(), result.cycles as usize);
+    /// assert_eq!(traces.voltage_v.len(), result.cycles as usize);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn run_traced(
+        &self,
+        program: &Program,
+        config: &RunConfig,
+    ) -> Result<(RunResult, Traces), SimError> {
+        self.run_inner(program, config, true)
+            .map(|(result, traces)| (result, traces.expect("traces requested")))
+    }
+
+    fn run_inner(
+        &self,
+        program: &Program,
+        config: &RunConfig,
+        want_traces: bool,
+    ) -> Result<(RunResult, Option<Traces>), SimError> {
+        if program.body.is_empty() {
+            return Err(SimError::EmptyProgram);
+        }
+        if !self.machine.mem_bytes.is_power_of_two() || self.machine.mem_bytes < 64 {
+            return Err(SimError::BadMemSize { bytes: self.machine.mem_bytes });
+        }
+
+        let mut state = ArchState::new(self.machine.mem_bytes);
+        program.apply_init(&mut state)?;
+
+        let mut pipeline = Pipeline::new(&self.machine);
+        let mut cache = DataCache::new(self.machine.l1d);
+        let mut predictor = BranchPredictor::new(program.body.len());
+        let energy_model = EnergyModel::new(&self.machine);
+
+        // Pre-decode the static body once.
+        let decoded: Vec<Decoded> =
+            program.body.iter().map(|i| Pipeline::decode(&self.machine, i)).collect();
+        let classes: Vec<InstrClass> =
+            program.body.iter().map(|i| i.opcode().class()).collect();
+
+        // Per-cycle dynamic energy, indexed by issue cycle.
+        let mut cycle_energy_pj: Vec<f64> = Vec::with_capacity(config.max_cycles as usize / 2);
+        let mut class_counts = [0u64; 6];
+        let mut retired = 0u64;
+
+        let mut iterations = 0u64;
+        'outer: while iterations < config.max_iterations {
+            iterations += 1;
+            let mut pc = 0usize;
+            while pc < program.body.len() {
+                let instr = &program.body[pc];
+                let effect = instr.execute(&mut state)?;
+
+                // Branch prediction.
+                let branch = if decoded[pc].is_branch {
+                    let predicted = predictor.predict(pc);
+                    let correct = predictor.update(pc, effect.branch_taken);
+                    debug_assert_eq!(correct, predicted == effect.branch_taken);
+                    Some(BranchResolution { taken: effect.branch_taken, correct })
+                } else {
+                    None
+                };
+
+                // Cache.
+                let mut extra_latency = 0u8;
+                let mut missed = false;
+                if let Some(access) = effect.mem {
+                    if !cache.access(access.addr) {
+                        extra_latency = self.machine.miss_penalty;
+                        missed = true;
+                    }
+                }
+
+                let issued = pipeline.issue(&decoded[pc], extra_latency, branch);
+
+                // Energy attribution at the issue cycle.
+                let latency = decoded[pc].latency + extra_latency;
+                let energy =
+                    energy_model.instruction_pj(classes[pc], &effect, latency, missed);
+                let slot = issued.issue_cycle as usize;
+                if slot >= cycle_energy_pj.len() {
+                    cycle_energy_pj.resize(slot + 1, 0.0);
+                }
+                cycle_energy_pj[slot] += energy;
+
+                let class_index = InstrClass::ALL
+                    .iter()
+                    .position(|c| *c == classes[pc])
+                    .expect("class in ALL");
+                class_counts[class_index] += 1;
+                retired += 1;
+
+                // Control flow within the body; skips past the end simply
+                // finish the iteration.
+                pc += 1;
+                if let Flow::Skip(n) = effect.flow {
+                    pc += n as usize;
+                }
+
+                if pipeline.elapsed_cycles() >= config.max_cycles {
+                    break 'outer;
+                }
+            }
+        }
+
+        let cycles = pipeline.elapsed_cycles().max(1);
+        cycle_energy_pj.resize(cycles as usize, 0.0);
+
+        // Add static energy to every cycle and integrate.
+        let static_pj = energy_model.static_pj_per_cycle();
+        let mut total_pj = 0.0;
+        for slot in cycle_energy_pj.iter_mut() {
+            *slot += static_pj;
+            total_pj += *slot;
+        }
+        let avg_power_w = energy_model.cycle_power_w(total_pj / cycles as f64);
+        let chip_power_w = self.machine.cores as f64 * avg_power_w + self.machine.uncore_w;
+
+        // Smoothed peak power.
+        let window = config.peak_window.max(1).min(cycle_energy_pj.len());
+        let mut window_sum: f64 = cycle_energy_pj[..window].iter().sum();
+        let mut peak_sum = window_sum;
+        for i in window..cycle_energy_pj.len() {
+            window_sum += cycle_energy_pj[i] - cycle_energy_pj[i - window];
+            peak_sum = peak_sum.max(window_sum);
+        }
+        let peak_power_w = energy_model.cycle_power_w(peak_sum / window as f64);
+
+        // Thermal: hold the measured whole-chip power on the RC model (the
+        // paper's temperature experiments run a virus instance on every
+        // core and read the chip sensor).
+        let mut thermal = ThermalModel::new(self.machine.thermal);
+        thermal.hold(chip_power_w, config.thermal_hold_s);
+        let temperature_c = thermal.temperature_c();
+        let steady_temp_c = self.machine.thermal.steady_state_c(chip_power_w);
+
+        // PDN: drive the RLC network with the per-cycle current waveform.
+        let mut voltage_trace = Vec::new();
+        let voltage = self.machine.pdn.map(|pdn_config| {
+            let dt = 1.0 / self.machine.clock_hz;
+            let idle_current = self.machine.energy.static_w / pdn_config.vdd;
+            let mut pdn = Pdn::new(pdn_config, idle_current, dt);
+            if want_traces {
+                voltage_trace.reserve(cycle_energy_pj.len());
+            }
+            for &pj in &cycle_energy_pj {
+                let current = energy_model.cycle_current_a(pj, pdn_config.vdd);
+                let v = pdn.step(current);
+                if want_traces {
+                    voltage_trace.push(v as f32);
+                }
+            }
+            pdn.stats()
+        });
+
+        let traces = want_traces.then(|| Traces {
+            power_w: cycle_energy_pj
+                .iter()
+                .map(|&pj| energy_model.cycle_power_w(pj) as f32)
+                .collect(),
+            voltage_v: voltage_trace,
+        });
+
+        Ok((RunResult {
+            name: program.name.clone(),
+            cycles,
+            instructions: retired,
+            ipc: retired as f64 / cycles as f64,
+            energy_j: total_pj * 1e-12,
+            avg_power_w,
+            chip_power_w,
+            peak_power_w,
+            temperature_c,
+            steady_temp_c,
+            l1: cache.stats(),
+            branch_accuracy: predictor.accuracy(),
+            voltage,
+            class_counts,
+        }, traces))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gest_isa::{asm, Program, Template};
+
+    fn run_on(machine: MachineConfig, body: &str) -> RunResult {
+        let template = Template::default_stress();
+        let program = template.materialize("test", asm::parse_block(body).unwrap());
+        Simulator::new(machine).run(&program, &RunConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn empty_body_is_error() {
+        let simulator = Simulator::new(MachineConfig::cortex_a15());
+        let program = Program::from_body("empty", vec![]);
+        assert_eq!(
+            simulator.run(&program, &RunConfig::default()).unwrap_err(),
+            SimError::EmptyProgram
+        );
+    }
+
+    #[test]
+    fn independent_stream_reaches_high_ipc() {
+        let result = run_on(
+            MachineConfig::cortex_a15(),
+            "ADD x1, x2, x3\nFMUL v1, v2, v3\nADD x4, x5, x6\nFMUL v4, v5, v6\nLDR x7, [x10, #0]\nADD x8, x2, x5",
+        );
+        assert!(result.ipc > 2.0, "3-wide OoO core should sustain > 2 IPC, got {}", result.ipc);
+    }
+
+    #[test]
+    fn dependent_chain_has_low_ipc() {
+        let result = run_on(MachineConfig::cortex_a15(), "MUL x1, x1, x2\nMUL x1, x1, x3");
+        assert!(result.ipc < 0.5, "serial multiply chain, got {}", result.ipc);
+    }
+
+    #[test]
+    fn fp_heavy_draws_more_power_than_int_on_a15() {
+        let fp = run_on(
+            MachineConfig::cortex_a15(),
+            "VFMUL v0, v1, v2\nVFMLA v3, v4, v5\nVFMUL v6, v7, v1\nVFMLA v2, v5, v7",
+        );
+        let int = run_on(
+            MachineConfig::cortex_a15(),
+            "ADD x1, x2, x3\nSUB x4, x5, x6\nEOR x7, x2, x5\nORR x8, x3, x6",
+        );
+        assert!(
+            fp.avg_power_w > 1.3 * int.avg_power_w,
+            "fp {} vs int {}",
+            fp.avg_power_w,
+            int.avg_power_w
+        );
+    }
+
+    #[test]
+    fn stress_loops_hit_in_l1() {
+        let result = run_on(
+            MachineConfig::cortex_a15(),
+            "LDR x1, [x10, #0]\nLDR x2, [x10, #64]\nSTR x3, [x10, #128]\nADDI x10, x10, #8",
+        );
+        assert!(result.l1.hit_rate() > 0.95, "hit rate {}", result.l1.hit_rate());
+    }
+
+    #[test]
+    fn loop_branches_become_predictable() {
+        let result = run_on(
+            MachineConfig::cortex_a7(),
+            "ADD x1, x2, x3\nCBNZ x0, #1\nADD x4, x5, x6\nB #1\nADD x7, x2, x5",
+        );
+        assert!(result.branch_accuracy > 0.9, "accuracy {}", result.branch_accuracy);
+    }
+
+    #[test]
+    fn temperature_tracks_power() {
+        let machine = MachineConfig::xgene2();
+        let hot = run_on(machine.clone(), "VFMLA v0, v1, v2\nVFMLA v3, v4, v5\nLDR x1, [x10, #0]\nVFMUL v6, v7, v1");
+        let cold = run_on(machine, "NOP\nNOP\nNOP\nNOP");
+        assert!(hot.temperature_c > cold.temperature_c);
+        let ambient = MachineConfig::xgene2().thermal.ambient_c;
+        assert!(hot.steady_temp_c > ambient);
+    }
+
+    #[test]
+    fn voltage_stats_only_with_pdn() {
+        let with = run_on(MachineConfig::athlon_x4(), "FMUL v0, v1, v2\nADD x1, x2, x3");
+        assert!(with.voltage.is_some());
+        let without = run_on(MachineConfig::cortex_a15(), "FMUL v0, v1, v2");
+        assert!(without.voltage.is_none());
+    }
+
+    #[test]
+    fn phased_loop_causes_more_noise_than_flat() {
+        let machine = MachineConfig::athlon_x4();
+        // Resonant-ish phasing: a burst of expensive FP followed by a long
+        // serial dependency stall approximates a square-wave current.
+        let phased = run_on(
+            machine.clone(),
+            "VFMLA v0, v1, v2\nVFMLA v3, v4, v5\nVFMLA v6, v7, v1\nVFMUL v2, v4, v7\nSDIV x1, x1, x2\nSDIV x1, x1, x3",
+        );
+        let flat = run_on(
+            machine,
+            "VFMLA v0, v1, v2\nVFMLA v3, v4, v5\nVFMLA v6, v7, v1\nVFMUL v2, v4, v7\nVFMLA v0, v5, v3\nVFMUL v1, v6, v2",
+        );
+        let phased_noise = phased.voltage_peak_to_peak().unwrap();
+        let flat_noise = flat.voltage_peak_to_peak().unwrap();
+        assert!(
+            phased_noise > flat_noise,
+            "phased {phased_noise} should out-ring flat {flat_noise}"
+        );
+    }
+
+    #[test]
+    fn class_counts_track_dynamic_mix() {
+        let result = run_on(MachineConfig::cortex_a15(), "ADD x1, x2, x3\nFMUL v0, v1, v2");
+        // Equal static counts → equal dynamic counts.
+        assert_eq!(result.class_counts[0], result.class_counts[2]);
+        assert!(result.class_counts[0] > 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_on(MachineConfig::cortex_a15(), "FMLA v0, v1, v2\nLDR x1, [x10, #8]");
+        let b = run_on(MachineConfig::cortex_a15(), "FMLA v0, v1, v2\nLDR x1, [x10, #8]");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let template = Template::default_stress();
+        let program = template.materialize(
+            "t",
+            asm::parse_block("VFMLA v8, v0, v1\nSDIV x1, x1, x2").unwrap(),
+        );
+        let simulator = Simulator::new(MachineConfig::athlon_x4());
+        let config = RunConfig::quick();
+        let plain = simulator.run(&program, &config).unwrap();
+        let (traced, traces) = simulator.run_traced(&program, &config).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the measurement");
+        assert_eq!(traces.power_w.len(), plain.cycles as usize);
+        assert_eq!(traces.voltage_v.len(), plain.cycles as usize);
+        // The waveforms must be consistent with the summary statistics.
+        let mean_power: f64 =
+            traces.power_w.iter().map(|&p| p as f64).sum::<f64>() / traces.power_w.len() as f64;
+        assert!((mean_power - plain.avg_power_w).abs() < 0.01 * plain.avg_power_w);
+        let min_v = traces.voltage_v.iter().copied().fold(f32::INFINITY, f32::min);
+        let stats = plain.voltage.unwrap();
+        // Trace min can be lower than stats min (stats skip PDN warm-up).
+        assert!(min_v as f64 <= stats.min_v + 1e-6);
+    }
+
+    #[test]
+    fn traces_without_pdn_have_no_voltage() {
+        let program = Template::default_stress()
+            .materialize("t", asm::parse_block("ADD x1, x2, x3").unwrap());
+        let simulator = Simulator::new(MachineConfig::cortex_a15());
+        let (_, traces) = simulator.run_traced(&program, &RunConfig::quick()).unwrap();
+        assert!(traces.voltage_v.is_empty());
+        assert!(!traces.power_w.is_empty());
+    }
+
+    #[test]
+    fn branch_skip_shortens_iterations() {
+        // B #2 skips both following ADDs: their class counts must be zero.
+        let result = run_on(MachineConfig::cortex_a15(), "B #2\nADD x1, x2, x3\nADD x4, x5, x6");
+        assert_eq!(result.class_counts[0], 0, "skipped instructions never execute");
+        assert!(result.class_counts[4] > 0);
+    }
+
+}

@@ -1,0 +1,155 @@
+//! Lumped-RC thermal model.
+//!
+//! One thermal node (junction) with resistance `r_th` to ambient and
+//! capacitance `c_th`:
+//!
+//! ```text
+//! c_th · dT/dt = P − (T − T_ambient) / r_th
+//! ```
+//!
+//! Steady state is `T_ambient + P · r_th`; the transient approaches it with
+//! time constant `τ = r_th · c_th`. The X-Gene2 temperature experiments
+//! (paper Figure 7, Table IV) read the sensor after holding the workload
+//! for several τ, so the measurement crate integrates the power trace over
+//! a configurable hold time.
+
+use crate::machine::ThermalConfig;
+
+/// Integrates junction temperature over time.
+///
+/// # Examples
+///
+/// ```
+/// use gest_sim::{MachineConfig, ThermalModel};
+/// let config = MachineConfig::xgene2().thermal;
+/// let mut model = ThermalModel::new(config);
+/// // Hold 20 W for many time constants: converges to ambient + P·R.
+/// model.hold(20.0, 10.0 * config.r_th * config.c_th);
+/// assert!((model.temperature_c() - config.steady_state_c(20.0)).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    config: ThermalConfig,
+    temperature_c: f64,
+}
+
+impl ThermalConfig {
+    /// Steady-state junction temperature under constant power `p_w`.
+    pub fn steady_state_c(&self, p_w: f64) -> f64 {
+        self.ambient_c + p_w * self.r_th
+    }
+
+    /// Thermal time constant in seconds.
+    pub fn tau_s(&self) -> f64 {
+        self.r_th * self.c_th
+    }
+}
+
+impl ThermalModel {
+    /// Creates a model at ambient temperature.
+    pub fn new(config: ThermalConfig) -> ThermalModel {
+        ThermalModel { config, temperature_c: config.ambient_c }
+    }
+
+    /// Current junction temperature (°C).
+    pub fn temperature_c(&self) -> f64 {
+        self.temperature_c
+    }
+
+    /// Advances the model by `dt_s` seconds under power `p_w`.
+    ///
+    /// Uses the exact exponential solution for a constant-power step, so
+    /// arbitrarily large `dt_s` is stable.
+    pub fn step(&mut self, p_w: f64, dt_s: f64) {
+        let target = self.config.steady_state_c(p_w);
+        let alpha = (-dt_s / self.config.tau_s()).exp();
+        self.temperature_c = target + (self.temperature_c - target) * alpha;
+    }
+
+    /// Holds constant power for `duration_s`, stepping in τ/10 increments
+    /// (the exact solution makes the step size irrelevant; the loop keeps
+    /// the interface uniform with trace-driven stepping).
+    pub fn hold(&mut self, p_w: f64, duration_s: f64) {
+        let dt = self.config.tau_s() / 10.0;
+        let mut remaining = duration_s;
+        while remaining > 0.0 {
+            let step = dt.min(remaining);
+            self.step(p_w, step);
+            remaining -= step;
+        }
+    }
+
+    /// Resets to ambient.
+    pub fn reset(&mut self) {
+        self.temperature_c = self.config.ambient_c;
+    }
+
+    /// The model parameters.
+    pub fn config(&self) -> ThermalConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ThermalConfig {
+        ThermalConfig { r_th: 2.0, c_th: 0.5, ambient_c: 25.0, tjmax_c: 100.0 }
+    }
+
+    #[test]
+    fn idle_stays_at_ambient() {
+        let mut model = ThermalModel::new(config());
+        model.hold(0.0, 100.0);
+        assert!((model.temperature_c() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_is_ambient_plus_pr() {
+        let mut model = ThermalModel::new(config());
+        model.hold(10.0, 100.0);
+        assert!((model.temperature_c() - 45.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_tau_reaches_63_percent() {
+        let mut model = ThermalModel::new(config());
+        model.step(10.0, config().tau_s());
+        let progress = (model.temperature_c() - 25.0) / 20.0;
+        assert!((progress - 0.632).abs() < 0.01, "progress {progress}");
+    }
+
+    #[test]
+    fn monotone_approach_and_cooling() {
+        let mut model = ThermalModel::new(config());
+        let mut last = model.temperature_c();
+        for _ in 0..20 {
+            model.step(10.0, 0.05);
+            assert!(model.temperature_c() >= last);
+            last = model.temperature_c();
+        }
+        for _ in 0..20 {
+            model.step(0.0, 0.05);
+            assert!(model.temperature_c() <= last);
+            last = model.temperature_c();
+        }
+    }
+
+    #[test]
+    fn higher_power_means_higher_temperature() {
+        let mut low = ThermalModel::new(config());
+        let mut high = ThermalModel::new(config());
+        low.hold(5.0, 10.0);
+        high.hold(15.0, 10.0);
+        assert!(high.temperature_c() > low.temperature_c());
+    }
+
+    #[test]
+    fn reset_returns_to_ambient() {
+        let mut model = ThermalModel::new(config());
+        model.hold(10.0, 10.0);
+        model.reset();
+        assert_eq!(model.temperature_c(), 25.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! V_MIN characterization (paper §VI, Figure 9).
+//!
+//! The paper's protocol: run the workload repeatedly, lowering the
+//! operating voltage in 12.5 mV steps at fixed frequency; the lowest
+//! voltage at which it still executes correctly is its V_MIN. A workload
+//! whose droops are deeper fails earlier (at a *higher* supply), so the
+//! dI/dt virus — deepest droops — has the highest V_MIN and is the best
+//! stability test.
+//!
+//! In the simulated substrate a "timing error" occurs when the die voltage
+//! ever falls below the machine's `v_crit` at nominal frequency. The sweep
+//! re-runs the PDN at each candidate supply voltage.
+
+use crate::machine::MachineConfig;
+use crate::result::{RunConfig, SimError};
+use crate::simulator::Simulator;
+use gest_isa::Program;
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VminConfig {
+    /// Voltage step between runs (V). The paper uses 12.5 mV.
+    pub step_v: f64,
+    /// Lowest supply voltage to try before giving up (V).
+    pub floor_v: f64,
+}
+
+impl Default for VminConfig {
+    fn default() -> Self {
+        VminConfig { step_v: 0.0125, floor_v: 0.6 }
+    }
+}
+
+/// Outcome of a V_MIN characterization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VminResult {
+    /// Lowest passing supply voltage (V).
+    pub vmin_v: f64,
+    /// The worst droop below nominal observed at the nominal run (V).
+    pub max_droop_v: f64,
+    /// Number of runs performed during the sweep.
+    pub runs: u32,
+}
+
+/// Characterizes the V_MIN of `program` on `machine`.
+///
+/// # Errors
+///
+/// * [`SimError::BadMemSize`] / [`SimError::EmptyProgram`] / exec errors
+///   propagated from the underlying runs,
+/// * [`SimError::NoPdn`] when the machine has no PDN model (no voltage
+///   sense points to measure — mirrors the paper, where V_MIN is only
+///   characterized on the board with sense points).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gest_sim::SimError> {
+/// use gest_isa::{asm, Template};
+/// use gest_sim::{characterize_vmin, MachineConfig, RunConfig, VminConfig};
+///
+/// let machine = MachineConfig::athlon_x4();
+/// let body = asm::parse_block("FMUL v0, v1, v2\nADD x1, x2, x3").unwrap();
+/// let program = Template::default_stress().materialize("demo", body);
+/// let result = characterize_vmin(&machine, &program, &RunConfig::quick(), &VminConfig::default())?;
+/// assert!(result.vmin_v < machine.pdn.unwrap().vdd);
+/// # Ok(())
+/// # }
+/// ```
+pub fn characterize_vmin(
+    machine: &MachineConfig,
+    program: &Program,
+    run_config: &RunConfig,
+    config: &VminConfig,
+) -> Result<VminResult, SimError> {
+    let Some(base_pdn) = machine.pdn else {
+        return Err(SimError::NoPdn { machine: machine.name.clone() });
+    };
+    let mut runs = 0u32;
+    let mut max_droop_v = 0.0f64;
+    let mut vmin = base_pdn.vdd;
+    let mut vdd = base_pdn.vdd;
+    let mut passed_any = false;
+    while vdd >= config.floor_v {
+        let mut candidate = machine.clone();
+        let pdn = candidate.pdn.as_mut().expect("checked above");
+        pdn.vdd = vdd;
+        let result = Simulator::new(candidate).run(program, run_config)?;
+        runs += 1;
+        let stats = result.voltage.expect("machine has a PDN");
+        if runs == 1 {
+            max_droop_v = stats.max_droop();
+        }
+        if stats.min_v >= base_pdn.v_crit {
+            vmin = vdd;
+            passed_any = true;
+        } else {
+            // First failure ends the sweep (matches the paper's protocol:
+            // keep lowering until the workload stops executing correctly).
+            break;
+        }
+        vdd -= config.step_v;
+    }
+    if !passed_any {
+        // Even nominal failed: report nominal as V_MIN (the workload is
+        // unstable at stock settings — what overclockers discover).
+        vmin = base_pdn.vdd;
+    }
+    Ok(VminResult { vmin_v: vmin, max_droop_v, runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gest_isa::{asm, Template};
+
+    fn program(body: &str) -> Program {
+        Template::default_stress().materialize("p", asm::parse_block(body).unwrap())
+    }
+
+    fn vmin_of(body: &str) -> VminResult {
+        characterize_vmin(
+            &MachineConfig::athlon_x4(),
+            &program(body),
+            &RunConfig::quick(),
+            &VminConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn noisier_workloads_have_higher_vmin() {
+        // A phased burst/stall loop rings the PDN; a flat FP loop does not.
+        let noisy = vmin_of(
+            "VFMLA v0, v1, v2\nVFMLA v3, v4, v5\nVFMLA v6, v7, v1\nVFMUL v2, v4, v7\nSDIV x1, x1, x2\nSDIV x1, x1, x3",
+        );
+        let flat = vmin_of("ADD x1, x2, x3\nADD x4, x5, x6");
+        assert!(
+            noisy.vmin_v >= flat.vmin_v,
+            "noisy {} should fail earlier than flat {}",
+            noisy.vmin_v,
+            flat.vmin_v
+        );
+    }
+
+    #[test]
+    fn vmin_is_on_the_step_grid() {
+        let result = vmin_of("FMUL v0, v1, v2\nADD x1, x2, x3");
+        let machine = MachineConfig::athlon_x4();
+        let steps = (machine.pdn.unwrap().vdd - result.vmin_v) / 0.0125;
+        assert!((steps - steps.round()).abs() < 1e-9, "vmin {} not on grid", result.vmin_v);
+    }
+
+    #[test]
+    fn sweep_counts_runs() {
+        let result = vmin_of("NOP\nNOP");
+        assert!(result.runs >= 2, "at least nominal plus one lowered step");
+    }
+
+    #[test]
+    fn machine_without_pdn_errors() {
+        let err = characterize_vmin(
+            &MachineConfig::cortex_a15(),
+            &program("NOP"),
+            &RunConfig::quick(),
+            &VminConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::NoPdn { machine: "cortex-a15".into() });
+    }
+
+    #[test]
+    fn droop_recorded_from_nominal_run() {
+        let result = vmin_of("VFMLA v0, v1, v2\nSDIV x1, x1, x2");
+        assert!(result.max_droop_v > 0.0);
+    }
+}

@@ -1,0 +1,595 @@
+#![warn(missing_docs)]
+
+//! Baseline workloads for the GeST experiments.
+//!
+//! The paper compares its GA-generated viruses against conventional
+//! benchmarks and hand-written stress tests: coremark/fdct/imdct on the
+//! bare-metal ARM boards (Figures 5–6), Parsec and NAS programs on the
+//! X-Gene2 server (Figure 7), and Prime95 / AMD's stability test on the
+//! Athlon desktop (Figures 8–9). None of those are runnable on the
+//! simulated substrate, so this crate provides *kernel proxies*: small
+//! loops in the synthetic ISA that occupy the same qualitative niche —
+//! the same dominant instruction mix, memory behaviour, and phase
+//! structure as the original's hot loop.
+//!
+//! Every proxy is an honest workload for the simulator: it executes real
+//! (synthetic-ISA) instructions through the same pipeline/power/PDN models
+//! the viruses do.
+//!
+//! # Examples
+//!
+//! ```
+//! let workloads = gest_workloads::suite(gest_workloads::Suite::Parsec);
+//! assert!(workloads.iter().any(|w| w.name == "bodytrack"));
+//! ```
+
+use gest_isa::{asm, Instruction, MemInit, Program};
+
+/// Which comparison group a workload belongs to (maps to the paper's
+/// figures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Bare-metal workloads used on Cortex-A15/A7 (Figures 5–6).
+    BareMetal,
+    /// Hand-written stress tests (the `A15manual_stress_test` /
+    /// `A7manual_stress_test` bars).
+    ManualStress,
+    /// Parsec proxies used on X-Gene2 (Figure 7).
+    Parsec,
+    /// NAS proxies used on X-Gene2 (Figure 7).
+    Nas,
+    /// Desktop workloads and stability tests used on the Athlon
+    /// (Figures 8–9).
+    Desktop,
+}
+
+/// A named baseline workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Short name, as it appears on the paper's figure axes.
+    pub name: &'static str,
+    /// What the proxy models and why it is shaped the way it is.
+    pub description: &'static str,
+    /// The comparison group.
+    pub suite: Suite,
+    /// The runnable program.
+    pub program: Program,
+}
+
+fn parse(body: &str) -> Vec<Instruction> {
+    asm::parse_block(body).expect("workload bodies are compile-time constants")
+}
+
+/// Initialization shared by the benchmark proxies: realistic mixed-entropy
+/// register values (not the virus checkerboards) and a zero base register.
+fn bench_init() -> Vec<Instruction> {
+    parse(
+        "MOVI x0, #0x0123456789ABCDEF\n\
+         MOVI x1, #0xFEDCBA9876543210\n\
+         MOVI x2, #0x00FF00FF00FF00FF\n\
+         MOVI x3, #7\n\
+         MOVI x4, #13\n\
+         MOVI x5, #0x1000\n\
+         MOVI x6, #3\n\
+         MOVI x7, #1\n\
+         MOVI x10, #0\n\
+         VMOVI v0, #0x3FF8000000000000, #0x3FE8000000000000\n\
+         VMOVI v1, #0x3FF4000000000000, #0x3FF2000000000000\n\
+         VMOVI v2, #0xBFF0000000000000, #0x3FD0000000000000\n\
+         VMOVI v3, #0x3FF6000000000000, #0xBFE4000000000000\n\
+         VMOVI v4, #0x3FF1000000000000, #0x3FF3000000000000\n\
+         VMOVI v5, #0x3FE0000000000000, #0x3FF5000000000000\n\
+         VMOVI v6, #0x3FF0100000000000, #0x3FEFC00000000000\n\
+         VMOVI v7, #0xBFF0080000000000, #0x3FF0040000000000",
+    )
+}
+
+fn program(name: &'static str, body: &str) -> Program {
+    Program {
+        name: name.into(),
+        init: bench_init(),
+        body: parse(body),
+        mem_init: MemInit::Fill(0x5A),
+    }
+}
+
+/// CoreMark proxy: the paper's normalization baseline on the ARM boards.
+///
+/// CoreMark's hot loops are linked-list traversal, matrix-multiply-lite and
+/// a state machine: short-latency integer ops, frequent loads, data-
+/// dependent branches, one multiply.
+pub fn coremark() -> Workload {
+    Workload {
+        name: "coremark",
+        description: "integer list/matrix/state-machine mix, the paper's normalization baseline",
+        suite: Suite::BareMetal,
+        program: program(
+            "coremark",
+            "LDR x8, [x10, #0]\n\
+             ADD x9, x8, x3\n\
+             AND x11, x9, x2\n\
+             CBNZ x11, #1\n\
+             ADDI x4, x4, #1\n\
+             MUL x12, x9, x6\n\
+             LSR x13, x12, #3\n\
+             STR x13, [x10, #8]\n\
+             ADDI x10, x10, #16\n\
+             SUB x14, x13, x7\n\
+             EOR x15, x14, x8\n\
+             CBNZ x15, #1\n\
+             SUBI x5, x5, #1",
+        ),
+    }
+}
+
+/// Forward DCT proxy (`fdct`): 1-D 8-point DCT butterfly — FP multiply/add
+/// on register data with strided loads/stores.
+pub fn fdct() -> Workload {
+    Workload {
+        name: "fdct",
+        description: "8-point DCT butterflies: scalar FP mul/add with strided memory",
+        suite: Suite::BareMetal,
+        program: program(
+            "fdct",
+            "VLDR v8, [x10, #0]\n\
+             FADD v9, v8, v0\n\
+             FSUB v10, v8, v0\n\
+             FMUL v11, v9, v1\n\
+             FMUL v12, v10, v2\n\
+             FADD v13, v11, v12\n\
+             FMUL v14, v13, v3\n\
+             VSTR v14, [x10, #16]\n\
+             ADDI x10, x10, #32\n\
+             FSUB v15, v11, v12",
+        ),
+    }
+}
+
+/// Inverse MDCT proxy (`imdct`): audio-codec synthesis windowing — FP
+/// multiply-accumulate with sequential memory.
+pub fn imdct() -> Workload {
+    Workload {
+        name: "imdct",
+        description: "IMDCT windowing: FP multiply-accumulate with sequential memory",
+        suite: Suite::BareMetal,
+        program: program(
+            "imdct",
+            "VLDR v8, [x10, #0]\n\
+             VLDR v9, [x10, #16]\n\
+             FMLA v10, v8, v1\n\
+             FMLA v11, v9, v2\n\
+             FADD v12, v10, v11\n\
+             VSTR v12, [x10, #32]\n\
+             ADDI x10, x10, #16\n\
+             FMUL v13, v12, v3",
+        ),
+    }
+}
+
+/// The hand-written Cortex-A15 stress test: what an engineer writes by
+/// hand — saturate both NEON pipes with independent FMLAs and keep the
+/// load port busy. (The GA virus must beat this, paper Figure 5.)
+pub fn a15_manual_stress() -> Workload {
+    Workload {
+        name: "A15manual_stress_test",
+        description: "hand-written NEON-saturating loop with load-port pressure",
+        suite: Suite::ManualStress,
+        program: program(
+            "A15manual_stress_test",
+            "VFMLA v8, v0, v1\n\
+             VFMLA v9, v2, v3\n\
+             VLDR v10, [x10, #0]\n\
+             VFMLA v11, v4, v5\n\
+             VFMLA v12, v6, v7\n\
+             VLDR v13, [x10, #64]\n\
+             VFMUL v14, v0, v2\n\
+             VFMUL v15, v1, v3\n\
+             ADDI x10, x10, #16",
+        ),
+    }
+}
+
+/// The hand-written Cortex-A7 stress test: dual-issue friendly mix of NEON
+/// and integer with memory.
+pub fn a7_manual_stress() -> Workload {
+    Workload {
+        name: "A7manual_stress_test",
+        description: "hand-written dual-issue NEON+integer loop",
+        suite: Suite::ManualStress,
+        program: program(
+            "A7manual_stress_test",
+            "VFMLA v8, v0, v1\n\
+             ADD x8, x1, x2\n\
+             VFMUL v9, v2, v3\n\
+             EOR x9, x0, x1\n\
+             VLDR v10, [x10, #0]\n\
+             ADD x11, x8, x9\n\
+             VFMLA v11, v4, v5\n\
+             ADDI x10, x10, #16",
+        ),
+    }
+}
+
+/// Parsec `bodytrack` proxy: particle-filter likelihood evaluation — FP
+/// with branches and moderate memory (the paper's Figure 7 normalization
+/// baseline).
+pub fn bodytrack() -> Workload {
+    Workload {
+        name: "bodytrack",
+        description: "particle-filter likelihood: FP with data-dependent branches",
+        suite: Suite::Parsec,
+        program: program(
+            "bodytrack",
+            "VLDR v8, [x10, #0]\n\
+             FSUB v9, v8, v0\n\
+             FMUL v10, v9, v9\n\
+             FADD v11, v11, v10\n\
+             LDR x8, [x10, #32]\n\
+             AND x9, x8, x2\n\
+             CBNZ x9, #2\n\
+             FMUL v12, v11, v1\n\
+             ADDI x4, x4, #1\n\
+             ADDI x10, x10, #8\n\
+             SUB x11, x8, x3",
+        ),
+    }
+}
+
+/// Parsec `swaptions` proxy: Monte-Carlo HJM pricing — heavy FP including
+/// divides and square roots.
+pub fn swaptions() -> Workload {
+    Workload {
+        name: "swaptions",
+        description: "Monte-Carlo pricing: FP chains with divide and sqrt",
+        suite: Suite::Parsec,
+        program: program(
+            "swaptions",
+            "FMUL v8, v0, v1\n\
+             FADD v9, v8, v2\n\
+             FDIV v10, v9, v3\n\
+             FSQRT v11, v10\n\
+             FMLA v12, v11, v4\n\
+             FMUL v13, v12, v5\n\
+             FADD v14, v13, v6",
+        ),
+    }
+}
+
+/// Parsec `fluidanimate` proxy: SPH fluid kernel — FP with heavy
+/// neighbour-list memory traffic.
+pub fn fluidanimate() -> Workload {
+    Workload {
+        name: "fluidanimate",
+        description: "SPH kernel: FP interleaved with neighbour-list loads/stores",
+        suite: Suite::Parsec,
+        program: program(
+            "fluidanimate",
+            "VLDR v8, [x10, #0]\n\
+             VLDR v9, [x10, #16]\n\
+             FSUB v10, v8, v9\n\
+             FMUL v11, v10, v10\n\
+             FMLA v12, v11, v0\n\
+             VSTR v12, [x10, #32]\n\
+             LDR x8, [x10, #64]\n\
+             ADDI x10, x10, #16\n\
+             FADD v13, v12, v1",
+        ),
+    }
+}
+
+/// Parsec `streamcluster` proxy: k-median distance computation —
+/// memory-dominated FMLA reduction.
+pub fn streamcluster() -> Workload {
+    Workload {
+        name: "streamcluster",
+        description: "distance reductions: load-dominated FP accumulation",
+        suite: Suite::Parsec,
+        program: program(
+            "streamcluster",
+            "VLDR v8, [x10, #0]\n\
+             VLDR v9, [x10, #16]\n\
+             FSUB v10, v8, v9\n\
+             FMLA v11, v10, v10\n\
+             LDP x8, x9, [x10, #32]\n\
+             ADD x11, x8, x9\n\
+             ADDI x10, x10, #16",
+        ),
+    }
+}
+
+/// NAS `EP` proxy (embarrassingly parallel): pure FP random-number and
+/// transform arithmetic, almost no memory.
+pub fn nas_ep() -> Workload {
+    Workload {
+        name: "nas_ep",
+        description: "EP: register-resident FP arithmetic, minimal memory",
+        suite: Suite::Nas,
+        program: program(
+            "nas_ep",
+            "FMUL v8, v0, v1\n\
+             FADD v9, v8, v2\n\
+             FMUL v10, v9, v3\n\
+             FSUB v11, v10, v4\n\
+             FMLA v12, v11, v5\n\
+             FMUL v13, v12, v6\n\
+             FADD v14, v13, v7\n\
+             FMUL v15, v14, v0",
+        ),
+    }
+}
+
+/// NAS `CG` proxy (conjugate gradient): sparse matrix-vector product —
+/// indirection loads feeding FMLAs.
+pub fn nas_cg() -> Workload {
+    Workload {
+        name: "nas_cg",
+        description: "CG: sparse matvec, gather loads feeding FP accumulation",
+        suite: Suite::Nas,
+        program: program(
+            "nas_cg",
+            "LDR x8, [x10, #0]\n\
+             LDR x9, [x10, #24]\n\
+             VLDR v8, [x10, #32]\n\
+             FMLA v9, v8, v0\n\
+             ADD x11, x8, x9\n\
+             LDR x12, [x10, #48]\n\
+             FMLA v10, v8, v1\n\
+             ADDI x10, x10, #8",
+        ),
+    }
+}
+
+/// NAS `FT` proxy (3-D FFT): butterfly arithmetic with paired
+/// loads/stores.
+pub fn nas_ft() -> Workload {
+    Workload {
+        name: "nas_ft",
+        description: "FT: FFT butterflies with paired memory traffic",
+        suite: Suite::Nas,
+        program: program(
+            "nas_ft",
+            "VLDR v8, [x10, #0]\n\
+             VLDR v9, [x10, #16]\n\
+             FMUL v10, v8, v0\n\
+             FMLA v10, v9, v1\n\
+             FMUL v11, v9, v0\n\
+             FSUB v12, v8, v11\n\
+             VSTR v10, [x10, #32]\n\
+             VSTR v12, [x10, #48]\n\
+             ADDI x10, x10, #32",
+        ),
+    }
+}
+
+/// NAS `MG` proxy (multigrid): 3-D stencil — loads, FP adds, stores.
+pub fn nas_mg() -> Workload {
+    Workload {
+        name: "nas_mg",
+        description: "MG: stencil sweeps, add-dominated FP with streaming memory",
+        suite: Suite::Nas,
+        program: program(
+            "nas_mg",
+            "VLDR v8, [x10, #0]\n\
+             VLDR v9, [x10, #16]\n\
+             VLDR v10, [x10, #32]\n\
+             FADD v11, v8, v9\n\
+             FADD v12, v11, v10\n\
+             FMUL v13, v12, v0\n\
+             VSTR v13, [x10, #64]\n\
+             ADDI x10, x10, #16",
+        ),
+    }
+}
+
+/// Prime95 proxy: the FFT-multiply torture test — saturated, *steady* FP
+/// with streaming memory. Very high sustained power, but flat current:
+/// high IR drop, little dI/dt (the paper's key Figure 8/9 contrast).
+pub fn prime95() -> Workload {
+    Workload {
+        name: "prime95",
+        description: "FFT-multiply torture loop: maximal steady FP, flat current draw",
+        suite: Suite::Desktop,
+        program: program(
+            "prime95",
+            "VFMLA v8, v0, v1\n\
+             VFMLA v9, v2, v3\n\
+             VFMUL v10, v4, v5\n\
+             VFMLA v11, v6, v7\n\
+             VLDR v12, [x10, #0]\n\
+             VFMUL v13, v0, v3\n\
+             VFMLA v14, v1, v2\n\
+             VSTR v13, [x10, #16]\n\
+             VFMUL v15, v4, v7\n\
+             ADDI x10, x10, #16",
+        ),
+    }
+}
+
+/// AMD system-stability-test proxy: steady mixed integer + FP load, the
+/// vendor's recommended stability check.
+pub fn amd_stability() -> Workload {
+    Workload {
+        name: "AMD_stability_test",
+        description: "vendor stability test: steady mixed int/FP/memory load",
+        suite: Suite::Desktop,
+        program: program(
+            "AMD_stability_test",
+            "VFMLA v8, v0, v1\n\
+             ADD x8, x1, x2\n\
+             MUL x9, x3, x4\n\
+             VFMUL v9, v2, v3\n\
+             LDR x11, [x10, #0]\n\
+             EOR x12, x8, x9\n\
+             FMLA v10, v4, v5\n\
+             STR x12, [x10, #8]\n\
+             ADDI x10, x10, #16",
+        ),
+    }
+}
+
+/// Linpack proxy: blocked DGEMM inner loop — high-ILP FMLA with paired
+/// loads.
+pub fn linpack() -> Workload {
+    Workload {
+        name: "linpack",
+        description: "DGEMM inner loop: independent FMLA streams with paired loads",
+        suite: Suite::Desktop,
+        program: program(
+            "linpack",
+            "VLDR v8, [x10, #0]\n\
+             VFMLA v9, v8, v0\n\
+             VFMLA v10, v8, v1\n\
+             VFMLA v11, v8, v2\n\
+             VFMLA v12, v8, v3\n\
+             ADDI x10, x10, #16",
+        ),
+    }
+}
+
+/// Idle proxy: a NOP loop (the near-zero-activity floor).
+pub fn idle() -> Workload {
+    Workload {
+        name: "idle",
+        description: "NOP loop: activity floor",
+        suite: Suite::Desktop,
+        program: program("idle", "NOP\nNOP\nNOP\nNOP\nNOP\nNOP\nNOP\nNOP"),
+    }
+}
+
+/// All workloads.
+pub fn all() -> Vec<Workload> {
+    vec![
+        coremark(),
+        fdct(),
+        imdct(),
+        a15_manual_stress(),
+        a7_manual_stress(),
+        bodytrack(),
+        swaptions(),
+        fluidanimate(),
+        streamcluster(),
+        nas_ep(),
+        nas_cg(),
+        nas_ft(),
+        nas_mg(),
+        prime95(),
+        amd_stability(),
+        linpack(),
+        idle(),
+    ]
+}
+
+/// The workloads of one suite.
+pub fn suite(which: Suite) -> Vec<Workload> {
+    all().into_iter().filter(|w| w.suite == which).collect()
+}
+
+/// Looks up a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gest_sim::{MachineConfig, RunConfig, Simulator};
+
+    #[test]
+    fn names_are_unique_and_programs_nonempty() {
+        let workloads = all();
+        let mut names: Vec<_> = workloads.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), workloads.len());
+        for w in &workloads {
+            assert!(!w.program.body.is_empty(), "{} has an empty body", w.name);
+            assert!(!w.program.init.is_empty(), "{} has no init", w.name);
+        }
+    }
+
+    #[test]
+    fn every_workload_runs_on_every_machine() {
+        let config = RunConfig { max_iterations: 20, max_cycles: 1500, ..RunConfig::default() };
+        for machine in MachineConfig::all_presets() {
+            let simulator = Simulator::new(machine.clone());
+            for w in all() {
+                let result = simulator.run(&w.program, &config).unwrap_or_else(|e| {
+                    panic!("{} failed on {}: {e}", w.name, machine.name)
+                });
+                assert!(result.ipc > 0.0, "{} on {}", w.name, machine.name);
+            }
+        }
+    }
+
+    #[test]
+    fn suites_are_populated() {
+        for which in [
+            Suite::BareMetal,
+            Suite::ManualStress,
+            Suite::Parsec,
+            Suite::Nas,
+            Suite::Desktop,
+        ] {
+            assert!(!suite(which).is_empty(), "{which:?} is empty");
+        }
+        assert_eq!(suite(Suite::Parsec).len(), 4);
+        assert_eq!(suite(Suite::Nas).len(), 4);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for w in all() {
+            assert_eq!(by_name(w.name).unwrap().name, w.name);
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn idle_is_the_power_floor() {
+        let simulator = Simulator::new(MachineConfig::athlon_x4());
+        let config = RunConfig::quick();
+        let idle_power = simulator.run(&idle().program, &config).unwrap().avg_power_w;
+        for w in suite(Suite::Desktop) {
+            if w.name == "idle" {
+                continue;
+            }
+            let power = simulator.run(&w.program, &config).unwrap().avg_power_w;
+            assert!(power > idle_power, "{} should beat idle", w.name);
+        }
+    }
+
+    #[test]
+    fn prime95_out_powers_coremark_on_athlon() {
+        // The stability tests are chosen *because* they draw the most
+        // power among conventional workloads.
+        let simulator = Simulator::new(MachineConfig::athlon_x4());
+        let config = RunConfig::quick();
+        let prime = simulator.run(&prime95().program, &config).unwrap().avg_power_w;
+        let core = simulator.run(&coremark().program, &config).unwrap().avg_power_w;
+        assert!(prime > core, "prime95 {prime} vs coremark {core}");
+    }
+
+    #[test]
+    fn manual_stress_beats_benchmarks_on_its_target() {
+        let simulator = Simulator::new(MachineConfig::cortex_a15());
+        let config = RunConfig::quick();
+        let manual =
+            simulator.run(&a15_manual_stress().program, &config).unwrap().avg_power_w;
+        for name in ["coremark", "fdct", "imdct"] {
+            let power = simulator
+                .run(&by_name(name).unwrap().program, &config)
+                .unwrap()
+                .avg_power_w;
+            assert!(manual > power, "manual {manual} vs {name} {power}");
+        }
+    }
+
+    #[test]
+    fn swaptions_has_low_ipc_due_to_divides() {
+        let simulator = Simulator::new(MachineConfig::xgene2());
+        let config = RunConfig::quick();
+        let swap = simulator.run(&swaptions().program, &config).unwrap().ipc;
+        let ep = simulator.run(&nas_ep().program, &config).unwrap().ipc;
+        assert!(swap < ep, "divide-bound {swap} vs streaming {ep}");
+    }
+}

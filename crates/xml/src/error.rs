@@ -1,0 +1,140 @@
+//! Error and source-position types for the XML parser.
+
+use std::error::Error;
+use std::fmt;
+
+/// A position within the XML input, for error reporting.
+///
+/// Lines and columns are 1-based; `offset` is the 0-based byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in bytes) within the line.
+    pub column: u32,
+    /// 0-based byte offset from the start of the input.
+    pub offset: usize,
+}
+
+impl Position {
+    /// The position of the first byte of the input.
+    pub const START: Position = Position { line: 1, column: 1, offset: 0 };
+}
+
+impl Default for Position {
+    fn default() -> Self {
+        Position::START
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// Errors produced while parsing XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// The input ended in the middle of a construct.
+    UnexpectedEof {
+        /// What the parser was in the middle of reading.
+        expected: &'static str,
+        /// Where the input ended.
+        position: Position,
+    },
+    /// A syntactically malformed construct.
+    Malformed {
+        /// Description of what was malformed.
+        message: String,
+        /// Where the problem was detected.
+        position: Position,
+    },
+    /// A closing tag did not match the open element.
+    MismatchedTag {
+        /// Name of the element that was open.
+        expected: String,
+        /// Name found in the closing tag.
+        found: String,
+        /// Where the closing tag was found.
+        position: Position,
+    },
+    /// An entity reference that is not predefined or numeric.
+    UnknownEntity {
+        /// The entity name (without `&` and `;`).
+        name: String,
+        /// Where the reference appeared.
+        position: Position,
+    },
+    /// The document contained no root element.
+    NoRootElement,
+    /// Content appeared after the close of the root element.
+    TrailingContent {
+        /// Where the trailing content begins.
+        position: Position,
+    },
+    /// An attribute appeared twice on the same element.
+    DuplicateAttribute {
+        /// The repeated attribute name.
+        name: String,
+        /// Where the duplicate appeared.
+        position: Position,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { expected, position } => {
+                write!(f, "unexpected end of input while reading {expected} at {position}")
+            }
+            XmlError::Malformed { message, position } => {
+                write!(f, "malformed xml: {message} at {position}")
+            }
+            XmlError::MismatchedTag { expected, found, position } => write!(
+                f,
+                "mismatched closing tag: expected </{expected}>, found </{found}> at {position}"
+            ),
+            XmlError::UnknownEntity { name, position } => {
+                write!(f, "unknown entity reference &{name}; at {position}")
+            }
+            XmlError::NoRootElement => write!(f, "document has no root element"),
+            XmlError::TrailingContent { position } => {
+                write!(f, "content after root element at {position}")
+            }
+            XmlError::DuplicateAttribute { name, position } => {
+                write!(f, "duplicate attribute {name:?} at {position}")
+            }
+        }
+    }
+}
+
+impl Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_position() {
+        let err = XmlError::Malformed {
+            message: "bare ampersand".into(),
+            position: Position { line: 3, column: 7, offset: 42 },
+        };
+        let text = err.to_string();
+        assert!(text.contains("line 3"));
+        assert!(text.contains("column 7"));
+    }
+
+    #[test]
+    fn position_orders_by_fields() {
+        let a = Position { line: 1, column: 9, offset: 8 };
+        let b = Position { line: 2, column: 1, offset: 10 };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn start_position_is_default() {
+        assert_eq!(Position::default(), Position::START);
+    }
+}

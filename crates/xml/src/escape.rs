@@ -1,0 +1,204 @@
+//! Entity escaping and unescaping.
+
+use crate::{Position, XmlError};
+use std::borrow::Cow;
+
+/// Replaces the five predefined entities and numeric character references
+/// in `input` with the characters they denote.
+///
+/// Returns a borrowed string when no references are present.
+///
+/// # Errors
+///
+/// Returns [`XmlError::UnknownEntity`] for an unrecognized named entity and
+/// [`XmlError::Malformed`] for an unterminated or invalid reference. The
+/// positions in these errors are relative to `input` offset by `base`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gest_xml::XmlError> {
+/// let text = gest_xml::unescape("a &lt; b &#38; c", gest_xml::Position::START)?;
+/// assert_eq!(text, "a < b & c");
+/// # Ok(())
+/// # }
+/// ```
+pub fn unescape(input: &str, base: Position) -> Result<Cow<'_, str>, XmlError> {
+    if !input.contains('&') {
+        return Ok(Cow::Borrowed(input));
+    }
+    let mut out = String::with_capacity(input.len());
+    let mut rest = input;
+    let mut consumed = 0usize;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';').ok_or_else(|| XmlError::Malformed {
+            message: "unterminated entity reference".into(),
+            position: advance(base, &input[..consumed + amp]),
+        })?;
+        let name = &after[..semi];
+        let position = advance(base, &input[..consumed + amp]);
+        let ch = resolve_entity(name, position)?;
+        out.push_str(&ch);
+        let step = amp + 1 + semi + 1;
+        consumed += step;
+        rest = &rest[step..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+fn resolve_entity(name: &str, position: Position) -> Result<String, XmlError> {
+    match name {
+        "lt" => Ok("<".into()),
+        "gt" => Ok(">".into()),
+        "amp" => Ok("&".into()),
+        "apos" => Ok("'".into()),
+        "quot" => Ok("\"".into()),
+        _ => {
+            if let Some(num) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                let code = u32::from_str_radix(num, 16).map_err(|_| XmlError::Malformed {
+                    message: format!("invalid hex character reference &#x{num};"),
+                    position,
+                })?;
+                char_for(code, position)
+            } else if let Some(num) = name.strip_prefix('#') {
+                let code = num.parse::<u32>().map_err(|_| XmlError::Malformed {
+                    message: format!("invalid character reference &#{num};"),
+                    position,
+                })?;
+                char_for(code, position)
+            } else {
+                Err(XmlError::UnknownEntity { name: name.to_owned(), position })
+            }
+        }
+    }
+}
+
+fn char_for(code: u32, position: Position) -> Result<String, XmlError> {
+    char::from_u32(code)
+        .map(|c| c.to_string())
+        .ok_or_else(|| XmlError::Malformed {
+            message: format!("character reference out of range: {code}"),
+            position,
+        })
+}
+
+/// Advances `base` over the text `passed`, tracking line breaks.
+fn advance(base: Position, passed: &str) -> Position {
+    let mut pos = base;
+    for b in passed.bytes() {
+        pos.offset += 1;
+        if b == b'\n' {
+            pos.line += 1;
+            pos.column = 1;
+        } else {
+            pos.column += 1;
+        }
+    }
+    pos
+}
+
+/// Escapes text content so it can be embedded between tags.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(gest_xml::escape_text("a < b & c"), "a &lt; b &amp; c");
+/// ```
+pub fn escape_text(input: &str) -> Cow<'_, str> {
+    escape_with(input, false)
+}
+
+/// Escapes an attribute value for inclusion in double quotes.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(gest_xml::escape_attr("say \"hi\""), "say &quot;hi&quot;");
+/// ```
+pub fn escape_attr(input: &str) -> Cow<'_, str> {
+    escape_with(input, true)
+}
+
+fn escape_with(input: &str, attr: bool) -> Cow<'_, str> {
+    let needs = input
+        .bytes()
+        .any(|b| b == b'<' || b == b'>' || b == b'&' || (attr && (b == b'"' || b == b'\'')));
+    if !needs {
+        return Cow::Borrowed(input);
+    }
+    let mut out = String::with_capacity(input.len() + 8);
+    for c in input.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\'' if attr => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unescape_passthrough_borrows() {
+        let out = unescape("plain text", Position::START).unwrap();
+        assert!(matches!(out, Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescape_all_predefined() {
+        let out = unescape("&lt;&gt;&amp;&apos;&quot;", Position::START).unwrap();
+        assert_eq!(out, "<>&'\"");
+    }
+
+    #[test]
+    fn unescape_numeric_decimal_and_hex() {
+        assert_eq!(unescape("&#65;&#x42;", Position::START).unwrap(), "AB");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entity() {
+        let err = unescape("&bogus;", Position::START).unwrap_err();
+        assert!(matches!(err, XmlError::UnknownEntity { ref name, .. } if name == "bogus"));
+    }
+
+    #[test]
+    fn unescape_rejects_unterminated() {
+        let err = unescape("a &lt b", Position::START).unwrap_err();
+        assert!(matches!(err, XmlError::Malformed { .. }));
+    }
+
+    #[test]
+    fn unescape_rejects_out_of_range_reference() {
+        let err = unescape("&#x110000;", Position::START).unwrap_err();
+        assert!(matches!(err, XmlError::Malformed { .. }));
+    }
+
+    #[test]
+    fn unescape_error_position_tracks_lines() {
+        let err = unescape("ok\nok &nope; x", Position::START).unwrap_err();
+        match err {
+            XmlError::UnknownEntity { position, .. } => {
+                assert_eq!(position.line, 2);
+                assert_eq!(position.column, 4);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let original = "x < 3 && y > \"4'\"";
+        let escaped = escape_attr(original);
+        let back = unescape(&escaped, Position::START).unwrap();
+        assert_eq!(back, original);
+    }
+}

@@ -1,0 +1,542 @@
+//! Pull-based XML event reader.
+
+use crate::escape::unescape;
+use crate::{Position, XmlError};
+
+/// A single parse event produced by [`Reader::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The XML declaration (`<?xml ...?>`) or any processing instruction.
+    ProcessingInstruction {
+        /// The PI target (e.g. `xml`).
+        target: String,
+        /// The raw content after the target, trimmed.
+        content: String,
+    },
+    /// An opening tag, `<name attr="value">`.
+    StartElement {
+        /// Element name, including any namespace prefix verbatim.
+        name: String,
+        /// Attributes in document order, entity references resolved.
+        attributes: Vec<(String, String)>,
+        /// Whether the tag was self-closing (`<name/>`); when `true`, the
+        /// matching [`Event::EndElement`] is synthesized immediately after.
+        self_closing: bool,
+    },
+    /// A closing tag, `</name>` (also synthesized for self-closing tags).
+    EndElement {
+        /// Element name.
+        name: String,
+    },
+    /// Character data between tags, entity references resolved.
+    ///
+    /// Whitespace-only runs between elements are reported too; callers that
+    /// do not care should skip empty-after-trim text.
+    Text(String),
+    /// A CDATA section's raw content.
+    CData(String),
+    /// A comment's content (without the `<!--`/`-->` markers).
+    Comment(String),
+    /// End of input. Returned exactly once; further calls keep returning it.
+    Eof,
+}
+
+/// A streaming XML pull parser.
+///
+/// Produces a well-formedness-checked event stream: tags must nest
+/// properly and exactly one root element is allowed.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gest_xml::XmlError> {
+/// use gest_xml::{Event, Reader};
+/// let mut reader = Reader::new("<a><b/></a>");
+/// let mut names = Vec::new();
+/// loop {
+///     match reader.next_event()? {
+///         Event::StartElement { name, .. } => names.push(name),
+///         Event::Eof => break,
+///         _ => {}
+///     }
+/// }
+/// assert_eq!(names, ["a", "b"]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    input: &'a str,
+    pos: Position,
+    /// Stack of currently open element names.
+    open: Vec<String>,
+    /// Pending synthesized end tag for a self-closing element.
+    pending_end: Option<String>,
+    /// Whether the root element has been closed.
+    root_closed: bool,
+    /// Whether any root element has been seen at all.
+    seen_root: bool,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over the given input.
+    pub fn new(input: &'a str) -> Self {
+        Reader {
+            input,
+            pos: Position::START,
+            open: Vec::new(),
+            pending_end: None,
+            root_closed: false,
+            seen_root: false,
+        }
+    }
+
+    /// The current position of the reader within the input.
+    pub fn position(&self) -> Position {
+        self.pos
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos.offset..]
+    }
+
+    fn bump(&mut self, len: usize) {
+        let taken = &self.input[self.pos.offset..self.pos.offset + len];
+        for b in taken.bytes() {
+            self.pos.offset += 1;
+            if b == b'\n' {
+                self.pos.line += 1;
+                self.pos.column = 1;
+            } else {
+                self.pos.column += 1;
+            }
+        }
+    }
+
+    fn eof_err(&self, expected: &'static str) -> XmlError {
+        XmlError::UnexpectedEof { expected, position: self.pos }
+    }
+
+    fn malformed(&self, message: impl Into<String>) -> XmlError {
+        XmlError::Malformed { message: message.into(), position: self.pos }
+    }
+
+    /// Returns the next event from the stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`XmlError`] on malformed input; the reader should not be used
+    /// further after an error.
+    pub fn next_event(&mut self) -> Result<Event, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            self.close_element(&name)?;
+            return Ok(Event::EndElement { name });
+        }
+        if self.rest().is_empty() {
+            if let Some(open) = self.open.last() {
+                return Err(XmlError::UnexpectedEof {
+                    expected: "closing tag",
+                    position: self.pos,
+                })
+                .map_err(|e| match e {
+                    XmlError::UnexpectedEof { position, .. } => XmlError::MismatchedTag {
+                        expected: open.clone(),
+                        found: String::from("<eof>"),
+                        position,
+                    },
+                    other => other,
+                });
+            }
+            return Ok(Event::Eof);
+        }
+        let rest = self.rest();
+        if let Some(stripped) = rest.strip_prefix("<?") {
+            return self.read_pi(stripped);
+        }
+        if rest.starts_with("<!--") {
+            return self.read_comment();
+        }
+        if rest.starts_with("<![CDATA[") {
+            return self.read_cdata();
+        }
+        if rest.starts_with("<!") {
+            // DOCTYPE and friends: skip to the matching '>'.
+            return self.read_doctype();
+        }
+        if rest.starts_with("</") {
+            return self.read_end_tag();
+        }
+        if rest.starts_with('<') {
+            return self.read_start_tag();
+        }
+        self.read_text()
+    }
+
+    fn read_text(&mut self) -> Result<Event, XmlError> {
+        let rest = self.rest();
+        let end = rest.find('<').unwrap_or(rest.len());
+        let raw = &rest[..end];
+        let start_pos = self.pos;
+        self.bump(end);
+        if self.open.is_empty() && !raw.trim().is_empty() {
+            if self.root_closed {
+                return Err(XmlError::TrailingContent { position: start_pos });
+            }
+            return Err(XmlError::Malformed {
+                message: "text outside root element".into(),
+                position: start_pos,
+            });
+        }
+        let text = unescape(raw, start_pos)?.into_owned();
+        Ok(Event::Text(text))
+    }
+
+    fn read_pi(&mut self, after: &str) -> Result<Event, XmlError> {
+        let close = after.find("?>").ok_or_else(|| self.eof_err("processing instruction"))?;
+        let body = &after[..close];
+        let (target, content) = match body.find(|c: char| c.is_ascii_whitespace()) {
+            Some(ws) => (&body[..ws], body[ws..].trim()),
+            None => (body, ""),
+        };
+        if target.is_empty() {
+            return Err(self.malformed("processing instruction with empty target"));
+        }
+        let event = Event::ProcessingInstruction {
+            target: target.to_owned(),
+            content: content.to_owned(),
+        };
+        self.bump(2 + close + 2);
+        Ok(event)
+    }
+
+    fn read_comment(&mut self) -> Result<Event, XmlError> {
+        let after = &self.rest()[4..];
+        let close = after.find("-->").ok_or_else(|| self.eof_err("comment"))?;
+        let content = after[..close].to_owned();
+        self.bump(4 + close + 3);
+        Ok(Event::Comment(content))
+    }
+
+    fn read_cdata(&mut self) -> Result<Event, XmlError> {
+        let after = &self.rest()["<![CDATA[".len()..];
+        let close = after.find("]]>").ok_or_else(|| self.eof_err("CDATA section"))?;
+        let content = after[..close].to_owned();
+        self.bump("<![CDATA[".len() + close + 3);
+        if self.open.is_empty() {
+            return Err(self.malformed("CDATA outside root element"));
+        }
+        Ok(Event::CData(content))
+    }
+
+    fn read_doctype(&mut self) -> Result<Event, XmlError> {
+        // Skip `<!...>` allowing one level of bracket nesting for DOCTYPE
+        // internal subsets.
+        let rest = self.rest();
+        let mut depth = 0usize;
+        for (i, b) in rest.bytes().enumerate() {
+            match b {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => {
+                    self.bump(i + 1);
+                    // A declaration is not interesting to callers; recurse for
+                    // the next real event.
+                    return self.next_event();
+                }
+                _ => {}
+            }
+        }
+        Err(self.eof_err("declaration"))
+    }
+
+    fn read_end_tag(&mut self) -> Result<Event, XmlError> {
+        let rest = self.rest();
+        let close = rest.find('>').ok_or_else(|| self.eof_err("closing tag"))?;
+        let name = rest[2..close].trim();
+        if name.is_empty() || !is_name(name) {
+            return Err(self.malformed(format!("invalid closing tag name {name:?}")));
+        }
+        let name = name.to_owned();
+        self.bump(close + 1);
+        self.close_element(&name)?;
+        Ok(Event::EndElement { name })
+    }
+
+    fn close_element(&mut self, name: &str) -> Result<(), XmlError> {
+        match self.open.pop() {
+            Some(open) if open == name => {
+                if self.open.is_empty() {
+                    self.root_closed = true;
+                }
+                Ok(())
+            }
+            Some(open) => Err(XmlError::MismatchedTag {
+                expected: open,
+                found: name.to_owned(),
+                position: self.pos,
+            }),
+            None => Err(XmlError::Malformed {
+                message: format!("closing tag </{name}> with no open element"),
+                position: self.pos,
+            }),
+        }
+    }
+
+    fn read_start_tag(&mut self) -> Result<Event, XmlError> {
+        if self.root_closed {
+            return Err(XmlError::TrailingContent { position: self.pos });
+        }
+        let tag_pos = self.pos;
+        self.bump(1); // consume '<'
+        let name = self.read_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            let rest = self.rest();
+            if rest.starts_with("/>") {
+                self.bump(2);
+                self.register_open(&name, tag_pos)?;
+                self.pending_end = Some(name.clone());
+                return Ok(Event::StartElement { name, attributes, self_closing: true });
+            }
+            if rest.starts_with('>') {
+                self.bump(1);
+                self.register_open(&name, tag_pos)?;
+                return Ok(Event::StartElement { name, attributes, self_closing: false });
+            }
+            if rest.is_empty() {
+                return Err(self.eof_err("start tag"));
+            }
+            let attr_pos = self.pos;
+            let attr_name = self.read_name()?;
+            self.skip_ws();
+            if !self.rest().starts_with('=') {
+                return Err(self.malformed(format!("attribute {attr_name:?} missing '='")));
+            }
+            self.bump(1);
+            self.skip_ws();
+            let value = self.read_attr_value()?;
+            if attributes.iter().any(|(n, _)| *n == attr_name) {
+                return Err(XmlError::DuplicateAttribute { name: attr_name, position: attr_pos });
+            }
+            attributes.push((attr_name, value));
+        }
+    }
+
+    fn register_open(&mut self, name: &str, pos: Position) -> Result<(), XmlError> {
+        if self.open.is_empty() {
+            if self.seen_root {
+                return Err(XmlError::TrailingContent { position: pos });
+            }
+            self.seen_root = true;
+        }
+        self.open.push(name.to_owned());
+        Ok(())
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let rest = self.rest();
+        let len = rest
+            .char_indices()
+            .take_while(|(i, c)| if *i == 0 { is_name_start(*c) } else { is_name_char(*c) })
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        if len == 0 {
+            return Err(self.malformed("expected a name"));
+        }
+        let name = rest[..len].to_owned();
+        self.bump(len);
+        Ok(name)
+    }
+
+    fn read_attr_value(&mut self) -> Result<String, XmlError> {
+        let rest = self.rest();
+        let quote = match rest.as_bytes().first() {
+            Some(b'"') => '"',
+            Some(b'\'') => '\'',
+            _ => return Err(self.malformed("attribute value must be quoted")),
+        };
+        let inner = &rest[1..];
+        let close = inner.find(quote).ok_or_else(|| self.eof_err("attribute value"))?;
+        let raw = &inner[..close];
+        let value_pos = self.pos;
+        self.bump(1 + close + 1);
+        Ok(unescape(raw, value_pos)?.into_owned())
+    }
+
+    fn skip_ws(&mut self) {
+        let rest = self.rest();
+        let len = rest.len() - rest.trim_start().len();
+        if len > 0 {
+            self.bump(len);
+        }
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+fn is_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if is_name_start(c) => chars.all(is_name_char),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(input: &str) -> Result<Vec<Event>, XmlError> {
+        let mut reader = Reader::new(input);
+        let mut events = Vec::new();
+        loop {
+            let event = reader.next_event()?;
+            let done = event == Event::Eof;
+            events.push(event);
+            if done {
+                break;
+            }
+        }
+        Ok(events)
+    }
+
+    #[test]
+    fn self_closing_synthesizes_end() {
+        let events = collect("<a/>").unwrap();
+        assert_eq!(
+            events,
+            vec![
+                Event::StartElement {
+                    name: "a".into(),
+                    attributes: vec![],
+                    self_closing: true
+                },
+                Event::EndElement { name: "a".into() },
+                Event::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_both_quote_styles() {
+        let events = collect(r#"<a x="1" y='two words'/>"#).unwrap();
+        match &events[0] {
+            Event::StartElement { attributes, .. } => {
+                assert_eq!(
+                    attributes,
+                    &[("x".into(), "1".into()), ("y".into(), "two words".into())]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_entities_resolved() {
+        let events = collect(r#"<a v="&lt;&amp;&gt;"/>"#).unwrap();
+        match &events[0] {
+            Event::StartElement { attributes, .. } => assert_eq!(attributes[0].1, "<&>"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = collect("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err, XmlError::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unclosed_root_rejected() {
+        let err = collect("<a><b></b>").unwrap_err();
+        assert!(matches!(err, XmlError::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn stray_close_rejected() {
+        let err = collect("</a>").unwrap_err();
+        assert!(matches!(err, XmlError::Malformed { .. }));
+    }
+
+    #[test]
+    fn two_roots_rejected() {
+        let err = collect("<a/><b/>").unwrap_err();
+        assert!(matches!(err, XmlError::TrailingContent { .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = collect(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err, XmlError::DuplicateAttribute { ref name, .. } if name == "x"));
+    }
+
+    #[test]
+    fn xml_declaration_is_a_pi() {
+        let events = collect("<?xml version=\"1.0\"?><a/>").unwrap();
+        assert!(matches!(
+            &events[0],
+            Event::ProcessingInstruction { target, .. } if target == "xml"
+        ));
+    }
+
+    #[test]
+    fn comments_and_cdata() {
+        let events = collect("<a><!-- note --><![CDATA[1 < 2]]></a>").unwrap();
+        assert!(events.contains(&Event::Comment(" note ".into())));
+        assert!(events.contains(&Event::CData("1 < 2".into())));
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let events = collect("<!DOCTYPE config [<!ELEMENT a ANY>]><a/>").unwrap();
+        assert!(matches!(events[0], Event::StartElement { .. }));
+    }
+
+    #[test]
+    fn text_entities_resolved() {
+        let events = collect("<a>1 &lt; 2</a>").unwrap();
+        assert!(events.contains(&Event::Text("1 < 2".into())));
+    }
+
+    #[test]
+    fn position_reporting_advances_lines() {
+        let mut reader = Reader::new("<a>\n</a>");
+        reader.next_event().unwrap();
+        reader.next_event().unwrap();
+        reader.next_event().unwrap();
+        assert!(reader.position().line >= 2);
+    }
+
+    #[test]
+    fn depth_tracks_nesting() {
+        let mut reader = Reader::new("<a><b></b></a>");
+        assert_eq!(reader.depth(), 0);
+        reader.next_event().unwrap();
+        assert_eq!(reader.depth(), 1);
+        reader.next_event().unwrap();
+        assert_eq!(reader.depth(), 2);
+    }
+
+    #[test]
+    fn whitespace_text_between_elements_reported() {
+        let events = collect("<a>  <b/>  </a>").unwrap();
+        let texts: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, Event::Text(_)))
+            .collect();
+        assert_eq!(texts.len(), 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Serialization of [`Element`] trees back to XML text.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::tree::{Element, Node};
+
+/// Serializes elements to a string with optional pretty-printing.
+///
+/// # Examples
+///
+/// ```
+/// use gest_xml::{Element, Writer};
+/// let mut el = Element::new("operand");
+/// el.set_attr("id", "mem_result");
+/// let mut writer = Writer::pretty();
+/// writer.write_element(&el);
+/// assert_eq!(writer.as_str(), "<operand id=\"mem_result\"/>\n");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Writer {
+    out: String,
+    pretty: bool,
+    depth: usize,
+}
+
+impl Writer {
+    /// Creates a compact writer (no added whitespace).
+    pub fn new() -> Writer {
+        Writer { out: String::new(), pretty: false, depth: 0 }
+    }
+
+    /// Creates a pretty-printing writer (two-space indent, one element per
+    /// line).
+    pub fn pretty() -> Writer {
+        Writer { out: String::new(), pretty: true, depth: 0 }
+    }
+
+    /// The text produced so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Consumes the writer, returning the produced text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    /// Writes the standard XML declaration.
+    pub fn write_declaration(&mut self) -> &mut Writer {
+        self.out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if self.pretty {
+            self.out.push('\n');
+        }
+        self
+    }
+
+    fn indent(&mut self) {
+        if self.pretty {
+            for _ in 0..self.depth {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn newline(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+        }
+    }
+
+    /// Serializes `element` (and its subtree) to the output.
+    pub fn write_element(&mut self, element: &Element) -> &mut Writer {
+        self.indent();
+        self.out.push('<');
+        self.out.push_str(element.name());
+        for (name, value) in element.attributes() {
+            self.out.push(' ');
+            self.out.push_str(name);
+            self.out.push_str("=\"");
+            self.out.push_str(&escape_attr(value));
+            self.out.push('"');
+        }
+        if element.nodes().is_empty() {
+            self.out.push_str("/>");
+            self.newline();
+            return self;
+        }
+        self.out.push('>');
+        let only_text = element
+            .nodes()
+            .iter()
+            .all(|n| matches!(n, Node::Text(_)));
+        if !only_text {
+            self.newline();
+        }
+        self.depth += 1;
+        for node in element.nodes() {
+            match node {
+                Node::Element(child) => {
+                    self.write_element(child);
+                }
+                Node::Text(text) => {
+                    if !only_text {
+                        self.indent();
+                    }
+                    self.out.push_str(&escape_text(text));
+                    if !only_text {
+                        self.newline();
+                    }
+                }
+                Node::Comment(text) => {
+                    self.indent();
+                    self.out.push_str("<!--");
+                    self.out.push_str(text);
+                    self.out.push_str("-->");
+                    self.newline();
+                }
+            }
+        }
+        self.depth -= 1;
+        if !only_text {
+            self.indent();
+        }
+        self.out.push_str("</");
+        self.out.push_str(element.name());
+        self.out.push('>');
+        self.newline();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Document;
+
+    #[test]
+    fn compact_output_reparses() {
+        let mut root = Element::new("cfg");
+        let mut child = Element::new("item");
+        child.set_attr("v", "a < b");
+        child.push_text_node("body & soul");
+        root.push_child(child);
+        let mut writer = Writer::new();
+        writer.write_element(&root);
+        let doc = Document::parse(writer.as_str()).unwrap();
+        assert_eq!(doc.root().child("item").unwrap().text(), "body & soul");
+        assert_eq!(doc.root().child("item").unwrap().attr("v"), Some("a < b"));
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let mut root = Element::new("a");
+        root.push_child(Element::new("b"));
+        let mut writer = Writer::pretty();
+        writer.write_element(&root);
+        assert_eq!(writer.as_str(), "<a>\n  <b/>\n</a>\n");
+    }
+
+    #[test]
+    fn declaration_prepends() {
+        let mut writer = Writer::new();
+        writer.write_declaration().write_element(&Element::new("a"));
+        assert!(writer.as_str().starts_with("<?xml"));
+        Document::parse(writer.as_str()).unwrap();
+    }
+
+    #[test]
+    fn text_only_element_stays_inline() {
+        let mut el = Element::new("name");
+        el.push_text_node("ADD");
+        let mut writer = Writer::pretty();
+        writer.write_element(&el);
+        assert_eq!(writer.as_str(), "<name>ADD</name>\n");
+    }
+}

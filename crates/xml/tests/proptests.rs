@@ -1,0 +1,83 @@
+//! Property-based tests for the XML parser: arbitrary element trees must
+//! survive a serialize → parse round-trip, and escaping must be lossless.
+
+use gest_xml::{escape_attr, escape_text, unescape, Document, Element, Position, Writer};
+use proptest::prelude::*;
+
+/// Strategy for XML names (restricted to a safe alphabet).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,12}"
+}
+
+/// Strategy for attribute values / text content including tricky characters.
+fn value_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,24}").expect("valid regex")
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), prop::collection::vec((name_strategy(), value_strategy()), 0..4))
+        .prop_map(|(name, attrs)| {
+            let mut el = Element::new(name);
+            for (k, v) in attrs {
+                el.set_attr(k, v);
+            }
+            el
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), value_strategy()), 0..3),
+            prop::collection::vec(inner, 0..4),
+            value_strategy(),
+        )
+            .prop_map(|(name, attrs, children, text)| {
+                let mut el = Element::new(name);
+                for (k, v) in attrs {
+                    el.set_attr(k, v);
+                }
+                // Interleave a text node so mixed content is exercised.
+                if !text.is_empty() {
+                    el.push_text_node(text);
+                }
+                for child in children {
+                    el.push_child(child);
+                }
+                el
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn escape_text_roundtrips(s in value_strategy()) {
+        let escaped = escape_text(&s);
+        let back = unescape(&escaped, Position::START).unwrap();
+        prop_assert_eq!(back.as_ref(), s.as_str());
+    }
+
+    #[test]
+    fn escape_attr_roundtrips(s in value_strategy()) {
+        let escaped = escape_attr(&s);
+        let back = unescape(&escaped, Position::START).unwrap();
+        prop_assert_eq!(back.as_ref(), s.as_str());
+    }
+
+    #[test]
+    fn tree_roundtrips_compact(el in element_strategy()) {
+        let mut writer = Writer::new();
+        writer.write_element(&el);
+        let doc = Document::parse(writer.as_str()).unwrap();
+        prop_assert_eq!(doc.root(), &el);
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii(input in "[ -~]{0,64}") {
+        // Any outcome is fine; it just must not panic.
+        let _ = Document::parse(&input);
+    }
+
+    #[test]
+    fn unescape_never_panics(input in "[ -~]{0,64}") {
+        let _ = unescape(&input, Position::START);
+    }
+}

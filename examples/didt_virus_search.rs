@@ -1,0 +1,111 @@
+//! Voltage-noise (dI/dt) virus generation and V_MIN characterization on
+//! the Athlon-class desktop model (paper §VI scenario, Figures 8–9).
+//!
+//! The GA maximizes oscilloscope-style peak-to-peak die voltage; the
+//! resulting virus is then V_MIN-characterized against Prime95-like and
+//! vendor-stability-test proxies by lowering the supply in 12.5 mV steps.
+//!
+//! ```text
+//! cargo run --release -p gest --example didt_virus_search
+//! ```
+
+use gest::core::{GestConfig, GestError, GestRun};
+use gest::ga::GaConfig;
+use gest::sim::{characterize_vmin, MachineConfig, RunConfig, Simulator, VminConfig};
+
+fn main() -> Result<(), GestError> {
+    let machine = MachineConfig::athlon_x4();
+    let pdn = machine.pdn.expect("athlon models a PDN");
+
+    // Paper rule of thumb: loop length = (max IPC / 2) x f_clk / f_res.
+    let loop_len = GaConfig::didt_loop_length(machine.clock_hz, pdn.resonance_hz(), machine.max_ipc());
+    println!(
+        "PDN resonance {:.1} MHz, clock {:.1} GHz -> loop length {loop_len} instructions",
+        pdn.resonance_hz() / 1e6,
+        machine.clock_hz / 1e9
+    );
+
+    let config = GestConfig::builder("athlon-x4")
+        .measurement("voltage_noise")
+        .population_size(30)
+        .individual_size(loop_len)
+        .generations(25)
+        .seed(3)
+        .build()?;
+    let summary = GestRun::new(config)?.run()?;
+    println!("\nGA dI/dt virus: {:.1} mV peak-to-peak", summary.best.fitness * 1e3);
+
+    // Compare voltage noise and V_MIN against the stability-test proxies.
+    let simulator = Simulator::new(machine.clone());
+    let run_config = RunConfig::default();
+    let vmin_config = VminConfig::default();
+    println!("\n{:<24} {:>12} {:>10}", "workload", "noise (mV)", "vmin (V)");
+    for workload in gest::workloads::suite(gest::workloads::Suite::Desktop) {
+        let result = simulator.run(&workload.program, &run_config)?;
+        let noise = result.voltage_peak_to_peak().unwrap_or(0.0);
+        let vmin = characterize_vmin(&machine, &workload.program, &run_config, &vmin_config)?;
+        println!("{:<24} {:>12.1} {:>10.3}", workload.name, noise * 1e3, vmin.vmin_v);
+    }
+    let virus_result = simulator.run(&summary.best_program, &run_config)?;
+    let virus_vmin =
+        characterize_vmin(&machine, &summary.best_program, &run_config, &vmin_config)?;
+    println!(
+        "{:<24} {:>12.1} {:>10.3}",
+        "GA dI/dt virus",
+        virus_result.voltage_peak_to_peak().unwrap_or(0.0) * 1e3,
+        virus_vmin.vmin_v
+    );
+    println!("\n(the dI/dt virus should cause the most noise and the highest V_MIN,");
+    println!(" making it the strictest stability test — paper Figures 8 and 9)");
+
+    // Oscilloscope view: the die-voltage waveform over a few resonance
+    // periods, showing the ringing the GA excites.
+    let (_, traces) = simulator.run_traced(&summary.best_program, &run_config)?;
+    let period_cycles = (machine.clock_hz / pdn.resonance_hz()).round() as usize;
+    // Trigger the scope on the deepest droop, like a real single-shot
+    // capture.
+    let trigger = traces
+        .voltage_v
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(0, |(i, _)| i);
+    let window = 12 * period_cycles;
+    let start = trigger.saturating_sub(window / 2);
+    println!(
+        "\ndie voltage around the deepest droop (cycle {trigger}, {window}-cycle window):"
+    );
+    print_scope(&traces.voltage_v[start..(start + window).min(traces.voltage_v.len())], 72, 14);
+    Ok(())
+}
+
+/// Renders a waveform slice as an ASCII oscilloscope trace.
+#[allow(clippy::needless_range_loop)]
+fn print_scope(tail: &[f32], cols: usize, rows: usize) {
+    if tail.is_empty() {
+        return;
+    }
+    let min = tail.iter().copied().fold(f32::INFINITY, f32::min);
+    let max = tail.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let span = (max - min).max(1e-6);
+    let bucket = (tail.len() as f64 / cols as f64).max(1.0);
+    let mut grid = vec![vec![' '; cols]; rows];
+    for col in 0..cols {
+        let start = (col as f64 * bucket) as usize;
+        let end = (((col + 1) as f64 * bucket) as usize).min(tail.len()).max(start + 1);
+        let slice = &tail[start..end.min(tail.len())];
+        let lo = slice.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = slice.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let row_of = |v: f32| {
+            ((max - v) / span * (rows - 1) as f32).round().clamp(0.0, (rows - 1) as f32) as usize
+        };
+        for row in row_of(hi)..=row_of(lo) {
+            grid[row][col] = '#';
+        }
+    }
+    println!("  {max:.3} V");
+    for row in grid {
+        println!("  |{}|", row.into_iter().collect::<String>());
+    }
+    println!("  {min:.3} V");
+}

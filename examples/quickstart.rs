@@ -1,0 +1,45 @@
+//! Quickstart: evolve a small power virus for the Cortex-A15 model and
+//! compare it against CoreMark.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p gest --example quickstart
+//! ```
+
+use gest::core::{GestConfig, GestError, GestRun};
+use gest::sim::{RunConfig, Simulator};
+
+fn main() -> Result<(), GestError> {
+    // A deliberately small search so the example finishes in seconds; the
+    // bench binaries run the paper-scale searches.
+    let config = GestConfig::builder("cortex-a15")
+        .measurement("power")
+        .population_size(20)
+        .individual_size(20)
+        .generations(12)
+        .seed(2024)
+        .build()?;
+    let summary = GestRun::new(config)?.run()?;
+
+    println!("== convergence (best average power per generation, W) ==");
+    for s in summary.history.summaries() {
+        println!("  generation {:>3}: {:.3} W", s.generation, s.best_fitness);
+    }
+
+    println!("\n== best individual ==");
+    println!("{}", summary.best_program);
+
+    // Compare against the CoreMark proxy on the same machine.
+    let machine = gest::sim::MachineConfig::cortex_a15();
+    let simulator = Simulator::new(machine);
+    let coremark = gest::workloads::coremark();
+    let baseline = simulator.run(&coremark.program, &RunConfig::quick())?;
+    println!(
+        "GA virus: {:.3} W | coremark: {:.3} W | ratio: {:.2}x",
+        summary.best.fitness,
+        baseline.avg_power_w,
+        summary.best.fitness / baseline.avg_power_w
+    );
+    Ok(())
+}

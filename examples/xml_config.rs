@@ -1,0 +1,31 @@
+//! Drive a whole search from an XML main-configuration file, exactly like
+//! the Python GeST (paper §III.B: "GeST ... takes as inputs xml files that
+//! define configuration parameters").
+//!
+//! ```text
+//! cargo run --release -p gest --example xml_config -- [path/to/config.xml]
+//! ```
+//!
+//! Defaults to the shipped `examples/configs/power_a15.xml`.
+
+use gest::core::{GestConfig, GestError, GestRun};
+
+fn main() -> Result<(), GestError> {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "examples/configs/power_a15.xml".into());
+    println!("loading configuration from {path}");
+    let text = std::fs::read_to_string(&path)?;
+    let config = GestConfig::from_xml_str(&text)?;
+    println!(
+        "machine {}, measurement {}, pool of {} instruction definitions ({} total variations)",
+        config.machine.name,
+        config.measurement_name,
+        config.pool.defs().len(),
+        config.pool.total_variations()
+    );
+    let summary = GestRun::new(config)?.run()?;
+    println!("\nbest fitness after {} generations: {:.4}", summary.generations, summary.best.fitness);
+    println!("{}", summary.best_program);
+    Ok(())
+}

@@ -1,0 +1,203 @@
+//! Cross-crate integration tests: XML config → pool → GA → simulator →
+//! outputs, end to end.
+
+use gest::core::{stats, GestConfig, GestRun, OutputWriter, SavedPopulation};
+use gest::prelude::*;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gest_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn xml_driven_search_end_to_end() {
+    let xml = r#"
+        <gest>
+          <target machine="cortex-a7" measurement="power" fitness="default"/>
+          <ga population_size="8" individual_size="10" generations="4" seed="21"/>
+          <run max_iterations="60" max_cycles="3000"/>
+          <instructions>
+            <operand id="r" values="x0 x1 x2 x3" type="register"/>
+            <operand id="v" values="v0 v1 v2 v3" type="register"/>
+            <operand id="acc" values="v8 v9" type="register"/>
+            <instruction name="ADD" num_of_operands="3" operand1="r" operand2="r" operand3="r" type="shortint"/>
+            <instruction name="VFMLA" num_of_operands="3" operand1="acc" operand2="v" operand3="v" type="float"/>
+            <instruction name="VFMUL" num_of_operands="3" operand1="acc" operand2="v" operand3="v" type="float"/>
+          </instructions>
+        </gest>"#;
+    let config = GestConfig::from_xml_str(xml).unwrap();
+    let summary = GestRun::new(config).unwrap().run().unwrap();
+    assert_eq!(summary.generations, 4);
+    assert!(summary.best.fitness > 0.0);
+    // With only FP and ADD available, the virus must be built from them.
+    let breakdown = summary.best_breakdown();
+    assert_eq!(
+        breakdown.iter().sum::<usize>(),
+        10,
+        "all genes accounted for: {breakdown:?}"
+    );
+}
+
+#[test]
+fn full_workflow_with_outputs_seed_and_stats() {
+    let dir = temp_dir("workflow");
+    let config = GestConfig::builder("cortex-a15")
+        .measurement("power")
+        .population_size(8)
+        .individual_size(10)
+        .generations(3)
+        .seed(5)
+        .output_dir(&dir)
+        .build()
+        .unwrap();
+    let summary = GestRun::new(config).unwrap().run().unwrap();
+
+    // Output layout (paper §III.D).
+    assert!(dir.join("config.xml").exists());
+    assert!(dir.join("template.txt").exists());
+    let populations = OutputWriter::population_files(&dir).unwrap();
+    assert_eq!(populations.len(), 3);
+
+    // Individual source files parse back through the assembler (skipping
+    // directives), so saved sources are real programs.
+    let individual_file = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            let name = p.file_name().unwrap().to_str().unwrap();
+            name.ends_with(".txt") && name != "template.txt" && name.contains('_')
+        })
+        .expect("at least one individual file");
+    let source = std::fs::read_to_string(&individual_file).unwrap();
+    let mut in_loop = false;
+    let mut loop_instructions = 0;
+    for line in source.lines() {
+        if line.starts_with(".loop") {
+            in_loop = true;
+            continue;
+        }
+        if in_loop && !line.starts_with('.') && !line.trim().is_empty() && !line.starts_with(';') {
+            assert!(asm::parse_line(line).unwrap().is_some(), "unparseable line {line:?}");
+            loop_instructions += 1;
+        }
+    }
+    assert_eq!(loop_instructions, 10);
+
+    // Stats post-processing matches the run history.
+    let generation_stats = stats::analyze_dir(&dir).unwrap();
+    assert_eq!(generation_stats.len(), 3);
+    let last = generation_stats.last().unwrap();
+    assert!((last.best_fitness - summary.best.fitness).abs() < 1e-12);
+
+    // The saved population can seed a new run and keeps its quality.
+    let loaded = SavedPopulation::load(populations.last().unwrap()).unwrap();
+    assert_eq!(loaded.best().unwrap().fitness, summary.best.fitness);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn measurements_agree_with_direct_simulation() {
+    // A measurement plug-in must report exactly what a direct simulator
+    // run reports.
+    let machine = MachineConfig::xgene2();
+    let run_config = RunConfig::quick();
+    let workload = gest::workloads::bodytrack();
+    let direct = Simulator::new(machine.clone()).run(&workload.program, &run_config).unwrap();
+    let measurement = measurement_by_name("temperature", machine, run_config).unwrap();
+    let values = measurement.measure(&workload.program).unwrap();
+    assert!((values[0] - direct.temperature_c).abs() < 1e-12);
+    assert!((values[1] - direct.avg_power_w).abs() < 1e-12);
+    assert!((values[2] - direct.ipc).abs() < 1e-12);
+}
+
+#[test]
+fn different_measurements_produce_different_viruses() {
+    // An IPC search and a power search on the same machine/seed should
+    // diverge (paper §V: "the highest IPC does not automatically convert
+    // to highest power").
+    let build = |measurement: &str| {
+        GestConfig::builder("xgene2")
+            .measurement(measurement)
+            .population_size(10)
+            .individual_size(12)
+            .generations(6)
+            .seed(77)
+            .build()
+            .unwrap()
+    };
+    let ipc = GestRun::new(build("ipc")).unwrap().run().unwrap();
+    let power = GestRun::new(build("power")).unwrap().run().unwrap();
+    assert_ne!(ipc.best.genes, power.best.genes, "objectives should shape the virus");
+}
+
+#[test]
+fn template_fixed_code_survives_into_programs() {
+    let template = Template::parse(
+        ".mem checkerboard\n.init\nMOVI x10, #0\n.loop\nNOP\n#loop_code\nNOP\n",
+    )
+    .unwrap();
+    let mut config = GestConfig::builder("cortex-a7")
+        .measurement("power")
+        .population_size(4)
+        .individual_size(6)
+        .generations(2)
+        .seed(1)
+        .build()
+        .unwrap();
+    config.template = template;
+    let summary = GestRun::new(config).unwrap().run().unwrap();
+    assert_eq!(summary.best_program.body.len(), 8, "NOP + 6 genes + NOP");
+    assert_eq!(summary.best_program.body[0].opcode(), Opcode::Nop);
+    assert_eq!(summary.best_program.body[7].opcode(), Opcode::Nop);
+}
+
+#[test]
+fn sequence_definitions_stay_atomic_through_the_ga() {
+    // A pool whose only high-power option is a 3-instruction sequence:
+    // every gene expands to 3 instructions, and crossover/mutation never
+    // split the triple (paper §III.B.1: sequences are "atomically included
+    // in the GA optimization search").
+    let xml = r#"
+        <gest>
+          <target machine="cortex-a15" measurement="power" fitness="default"/>
+          <ga population_size="8" individual_size="6" generations="4" seed="13"/>
+          <run max_iterations="40" max_cycles="2500"/>
+          <instructions>
+            <operand id="r" values="x0 x1 x2" type="register"/>
+            <operand id="acc" values="v8 v9" type="register"/>
+            <operand id="v" values="v0 v1 v2" type="register"/>
+            <instruction name="ADD" num_of_operands="3" operand1="r" operand2="r" operand3="r"/>
+            <instruction name="FMA_TRIPLE">
+              <part opcode="VFMLA" num_of_operands="3" operand1="acc" operand2="v" operand3="v"/>
+              <part opcode="VFMUL" num_of_operands="3" operand1="acc" operand2="v" operand3="v"/>
+              <part opcode="VFMLA" num_of_operands="3" operand1="acc" operand2="v" operand3="v"/>
+            </instruction>
+          </instructions>
+        </gest>"#;
+    let config = GestConfig::from_xml_str(xml).unwrap();
+    let pool = std::sync::Arc::clone(&config.pool);
+    let summary = GestRun::new(config).unwrap().run().unwrap();
+    // Every gene is either a lone ADD or the full triple.
+    let triple = pool.def_index("FMA_TRIPLE").unwrap();
+    for gene in &summary.best.genes {
+        if gene.def_index == triple {
+            assert_eq!(gene.len(), 3, "sequence must stay intact");
+            assert_eq!(gene.instrs[0].opcode(), Opcode::Vfmla);
+            assert_eq!(gene.instrs[1].opcode(), Opcode::Vfmul);
+            assert_eq!(gene.instrs[2].opcode(), Opcode::Vfmla);
+        } else {
+            assert_eq!(gene.len(), 1);
+        }
+    }
+    // The body length is genes expanded, not gene count.
+    let expanded: usize = summary.best.genes.iter().map(gest::isa::Gene::len).sum();
+    assert_eq!(summary.best_program.body.len(), expanded);
+    // A power search should favour the FP sequence over lone ADDs.
+    assert!(
+        summary.best.genes.iter().filter(|g| g.def_index == triple).count() >= 3,
+        "power search should pick the FP sequence"
+    );
+}

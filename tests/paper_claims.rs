@@ -1,0 +1,203 @@
+//! Qualitative paper-claim tests: small-budget versions of the headline
+//! results. The bench binaries run the full-scale experiments; these tests
+//! pin the *shape* of each result so regressions in the models or the GA
+//! are caught by `cargo test`.
+
+use gest::core::{GestConfig, GestRun, RunSummary};
+use gest::prelude::*;
+
+fn search(machine: &str, measurement: &str, seed: u64, generations: u32) -> RunSummary {
+    let config = GestConfig::builder(machine)
+        .measurement(measurement)
+        .population_size(20)
+        .individual_size(24)
+        .generations(generations)
+        .seed(seed)
+        .build()
+        .unwrap();
+    GestRun::new(config).unwrap().run().unwrap()
+}
+
+fn measure(machine: MachineConfig, program: &gest::isa::Program) -> RunResult {
+    Simulator::new(machine).run(program, &RunConfig::quick()).unwrap()
+}
+
+/// Paper Figure 5 (shape): the GA power virus out-powers the conventional
+/// bare-metal workloads on the A15 model.
+#[test]
+fn ga_power_virus_beats_benchmarks_on_a15() {
+    let summary = search("cortex-a15", "power", 101, 15);
+    let virus_power = summary.best.fitness;
+    for name in ["coremark", "fdct", "imdct"] {
+        let workload = gest::workloads::by_name(name).unwrap();
+        let baseline = measure(MachineConfig::cortex_a15(), &workload.program);
+        assert!(
+            virus_power > baseline.avg_power_w,
+            "virus {virus_power} W should beat {name} {} W",
+            baseline.avg_power_w
+        );
+    }
+    // And it should at least approach the hand-written stress test with
+    // this small budget (the full-budget bench exceeds it).
+    let manual = measure(
+        MachineConfig::cortex_a15(),
+        &gest::workloads::a15_manual_stress().program,
+    );
+    assert!(
+        virus_power > 0.9 * manual.avg_power_w,
+        "virus {virus_power} W far below manual {} W",
+        manual.avg_power_w
+    );
+}
+
+/// Paper §V (shape): viruses are machine-specific — the A15 virus is not a
+/// good A7 stress test and vice versa (each GA's virus wins on its own
+/// machine).
+#[test]
+fn viruses_are_machine_specific() {
+    let a15_summary = search("cortex-a15", "power", 202, 15);
+    let a7_summary = search("cortex-a7", "power", 203, 15);
+
+    let a15_virus_on_a15 = measure(MachineConfig::cortex_a15(), &a15_summary.best_program);
+    let a7_virus_on_a15 = measure(MachineConfig::cortex_a15(), &a7_summary.best_program);
+    assert!(
+        a15_virus_on_a15.avg_power_w > a7_virus_on_a15.avg_power_w,
+        "A15 virus {} W must beat the A7 virus {} W on the A15",
+        a15_virus_on_a15.avg_power_w,
+        a7_virus_on_a15.avg_power_w
+    );
+
+    let a7_virus_on_a7 = measure(MachineConfig::cortex_a7(), &a7_summary.best_program);
+    let a15_virus_on_a7 = measure(MachineConfig::cortex_a7(), &a15_summary.best_program);
+    assert!(
+        a7_virus_on_a7.avg_power_w > a15_virus_on_a7.avg_power_w,
+        "A7 virus {} W must beat the A15 virus {} W on the A7",
+        a7_virus_on_a7.avg_power_w,
+        a15_virus_on_a7.avg_power_w
+    );
+}
+
+/// Paper Table IV (shape): the IPC virus reaches higher IPC but lower
+/// power/temperature than the power virus on the server model.
+#[test]
+fn ipc_virus_trades_power_for_ipc() {
+    let power_summary = search("xgene2", "temperature", 301, 15);
+    let ipc_summary = search("xgene2", "ipc", 302, 15);
+
+    let machine = MachineConfig::xgene2();
+    let power_virus = measure(machine.clone(), &power_summary.best_program);
+    let ipc_virus = measure(machine, &ipc_summary.best_program);
+
+    // The IPC virus must at least match the power virus's IPC. (On real
+    // silicon the paper reports a 12% IPC advantage; the analytic
+    // scoreboard model reproduces the ordering but compresses the gap, see
+    // EXPERIMENTS.md.)
+    assert!(
+        ipc_virus.ipc > power_virus.ipc - 0.1,
+        "IPC virus {} IPC vs power virus {} IPC",
+        ipc_virus.ipc,
+        power_virus.ipc
+    );
+    // The defining trade-off: the temperature-optimized virus runs hotter
+    // and draws more power than the IPC-optimized one.
+    assert!(
+        power_virus.temperature_c > ipc_virus.temperature_c,
+        "power virus {} C vs IPC virus {} C",
+        power_virus.temperature_c,
+        ipc_virus.temperature_c
+    );
+    assert!(
+        power_virus.avg_power_w > ipc_virus.avg_power_w,
+        "power virus {} W vs IPC virus {} W",
+        power_virus.avg_power_w,
+        ipc_virus.avg_power_w
+    );
+}
+
+/// Paper Figures 8–9 (shape): the dI/dt virus causes more voltage noise
+/// than the high-power stability tests, and consequently has the highest
+/// V_MIN.
+#[test]
+fn didt_virus_out_rings_power_workloads() {
+    let summary = search("athlon-x4", "voltage_noise", 404, 15);
+    let machine = MachineConfig::athlon_x4();
+    let virus = measure(machine.clone(), &summary.best_program);
+    let virus_noise = virus.voltage_peak_to_peak().unwrap();
+
+    for name in ["prime95", "AMD_stability_test", "linpack"] {
+        let workload = gest::workloads::by_name(name).unwrap();
+        let baseline = measure(machine.clone(), &workload.program);
+        let baseline_noise = baseline.voltage_peak_to_peak().unwrap();
+        assert!(
+            virus_noise > baseline_noise,
+            "dI/dt virus {:.1} mV must out-ring {name} {:.1} mV",
+            virus_noise * 1e3,
+            baseline_noise * 1e3
+        );
+    }
+
+    // V_MIN ordering follows the noise ordering.
+    let run_config = RunConfig::quick();
+    let vmin_config = VminConfig::default();
+    let virus_vmin =
+        characterize_vmin(&machine, &summary.best_program, &run_config, &vmin_config)
+            .unwrap()
+            .vmin_v;
+    let prime_vmin = characterize_vmin(
+        &machine,
+        &gest::workloads::prime95().program,
+        &run_config,
+        &vmin_config,
+    )
+    .unwrap()
+    .vmin_v;
+    assert!(
+        virus_vmin >= prime_vmin,
+        "dI/dt virus V_MIN {virus_vmin} should be >= prime95 V_MIN {prime_vmin}"
+    );
+}
+
+/// Paper §V.A (shape): Equation 1 produces a virus with fewer unique
+/// instructions at comparable temperature.
+#[test]
+fn complex_fitness_simplifies_without_cooling() {
+    let plain = search("xgene2", "temperature", 505, 15);
+    let config = GestConfig::builder("xgene2")
+        .measurement("temperature")
+        .fitness("temp_simplicity")
+        .population_size(20)
+        .individual_size(24)
+        .generations(15)
+        .seed(505)
+        .build()
+        .unwrap();
+    let simple = GestRun::new(config).unwrap().run().unwrap();
+
+    assert!(
+        simple.best_unique_defs() < plain.best_unique_defs(),
+        "simplicity term should reduce unique instructions: {} vs {}",
+        simple.best_unique_defs(),
+        plain.best_unique_defs()
+    );
+    // Temperature (measurement 0) stays within a few percent.
+    let plain_temp = plain.best.measurements[0];
+    let simple_temp = simple.best.measurements[0];
+    assert!(
+        simple_temp > 0.9 * plain_temp,
+        "simple virus {simple_temp} C too far below {plain_temp} C"
+    );
+}
+
+/// Paper §IV: GA searches converge — the best fitness improves
+/// significantly over the random seed population.
+#[test]
+fn search_improves_over_random_seed() {
+    let summary = search("cortex-a7", "power", 606, 15);
+    let series = summary.history.best_series();
+    let first = series.first().unwrap();
+    let last = series.last().unwrap();
+    assert!(
+        last > &(first * 1.02),
+        "expected >2% improvement over the seed population: {first} -> {last}"
+    );
+}

@@ -1,0 +1,95 @@
+//! Persistence property tests: populations survive save/load byte-exactly,
+//! and individual source files round-trip through the assembler.
+
+use gest::core::{SavedIndividual, SavedPopulation};
+use gest::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arbitrary_population(seed: u64, individuals: usize, genes: usize) -> SavedPopulation {
+    let pool = gest::core::full_pool();
+    let mut rng = StdRng::seed_from_u64(seed);
+    SavedPopulation {
+        generation: (seed % 1000) as u32,
+        individuals: (0..individuals)
+            .map(|i| SavedIndividual {
+                id: seed.wrapping_mul(31).wrapping_add(i as u64),
+                parents: (
+                    (i % 2 == 0).then_some(i as u64),
+                    (i % 3 == 0).then_some(i as u64 + 1),
+                ),
+                fitness: i as f64 * 0.37 - 1.5,
+                measurements: vec![i as f64, -0.5, 1e9],
+                genes: (0..genes).map(|_| pool.random_gene(&mut rng)).collect(),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn population_codec_round_trips(seed in 0u64..10_000, n in 0usize..12, g in 0usize..40) {
+        let population = arbitrary_population(seed, n, g);
+        let decoded = SavedPopulation::decode(&population.encode()).unwrap();
+        prop_assert_eq!(decoded, population);
+    }
+
+    #[test]
+    fn corrupted_population_never_panics(seed in 0u64..1000, cut in 1usize..64) {
+        let population = arbitrary_population(seed, 3, 8);
+        let mut bytes = population.encode();
+        let len = bytes.len();
+        bytes.truncate(len.saturating_sub(cut));
+        // Any result is fine; it just must not panic.
+        let _ = SavedPopulation::decode(&bytes);
+        // Flip a byte somewhere in the middle too.
+        let mut flipped = population.encode();
+        if !flipped.is_empty() {
+            let index = (seed as usize) % flipped.len();
+            flipped[index] ^= 0xFF;
+            let _ = SavedPopulation::decode(&flipped);
+        }
+    }
+
+    #[test]
+    fn seed_genes_always_rebind_within_pool(seed in 0u64..1000) {
+        let pool = gest::core::full_pool();
+        let population = arbitrary_population(seed, 5, 20);
+        for genes in population.seed_genes(&pool) {
+            for gene in genes {
+                // Re-bound def indexes must be valid and consistent.
+                prop_assert!(gene.def_index < pool.defs().len());
+                prop_assert_eq!(
+                    pool.defs()[gene.def_index].opcode(),
+                    gene.first().opcode()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn program_display_reparses(seed in 0u64..1000, genes in 1usize..30) {
+        let pool = gest::core::full_pool();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampled: Vec<_> = (0..genes).map(|_| pool.random_gene(&mut rng)).collect();
+        let body: Vec<Instruction> = gest::isa::InstructionPool::flatten(&sampled);
+        let program = Template::default_stress().materialize("rt", body.clone());
+        // Re-parse the .loop section of the displayed program.
+        let text = program.to_string();
+        let mut in_loop = false;
+        let mut parsed = Vec::new();
+        for line in text.lines() {
+            if line.starts_with(".loop") {
+                in_loop = true;
+            } else if in_loop && !line.starts_with('.') && !line.starts_with(';') {
+                if let Some(instr) = asm::parse_line(line).unwrap() {
+                    parsed.push(instr);
+                }
+            }
+        }
+        prop_assert_eq!(parsed, body);
+    }
+}
