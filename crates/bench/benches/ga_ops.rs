@@ -44,7 +44,9 @@ fn bench_operators(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(8);
         let mut genes = individuals[0].genes.clone();
         b.iter(|| {
-            mutate(&mut genes, 0.02, &mut rng, |gene, rng| pool.mutate_operand(gene, rng))
+            mutate(&mut genes, 0.02, &mut rng, |gene, rng| {
+                pool.mutate_operand(gene, rng)
+            })
         });
     });
 
@@ -65,7 +67,10 @@ fn bench_generation(c: &mut Criterion) {
                 .seed(11)
                 .build()
                 .expect("static config");
-            GestRun::new(config).expect("static config").run().expect("run succeeds")
+            GestRun::new(config)
+                .expect("static config")
+                .run()
+                .expect("run succeeds")
         });
     });
 }

@@ -43,8 +43,7 @@ fn bench_parsing(c: &mut Criterion) {
     });
     group.finish();
 
-    let template_text =
-        ".mem checkerboard\n.init\nMOVI x10, #0\n.loop\nNOP\n#loop_code\nNOP\n";
+    let template_text = ".mem checkerboard\n.init\nMOVI x10, #0\n.loop\nNOP\n#loop_code\nNOP\n";
     c.bench_function("template_parse_and_materialize", |b| {
         b.iter(|| {
             let template = Template::parse(template_text).expect("static template");

@@ -14,8 +14,8 @@ fn bench_machines(c: &mut Criterion) {
     let pool = gest_core::full_pool();
     let mut rng = StdRng::seed_from_u64(1);
     let genes: Vec<_> = (0..50).map(|_| pool.random_gene(&mut rng)).collect();
-    let program = Template::default_stress()
-        .materialize("bench", gest_isa::InstructionPool::flatten(&genes));
+    let program =
+        Template::default_stress().materialize("bench", gest_isa::InstructionPool::flatten(&genes));
     let run_config = RunConfig::quick();
 
     let mut group = c.benchmark_group("simulator_measure_individual");
@@ -26,9 +26,13 @@ fn bench_machines(c: &mut Criterion) {
             .expect("bench program runs")
             .instructions;
         group.throughput(Throughput::Elements(instructions));
-        group.bench_with_input(BenchmarkId::from_parameter(&machine.name), &simulator, |b, s| {
-            b.iter(|| s.run(&program, &run_config).expect("bench program runs"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&machine.name),
+            &simulator,
+            |b, s| {
+                b.iter(|| s.run(&program, &run_config).expect("bench program runs"));
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,66 @@
+//! Criterion bench: telemetry overhead on the GA search loop.
+//!
+//! The contract is that a disabled [`Telemetry`] handle costs close to
+//! nothing (the hot path is one `Option` check), so instrumenting the
+//! runner must not slow uninstrumented searches. Compare:
+//!
+//! * `search_telemetry_disabled` — the default `Telemetry::disabled()`;
+//! * `search_telemetry_noop_sink` — fully enabled pipeline draining into
+//!   a [`NoopSink`], the upper bound for enabled-but-unobserved cost;
+//! * hot-path microbenches for the disabled span/counter calls.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gest_core::{GestConfig, GestRun};
+use gest_telemetry::{NoopSink, Telemetry};
+use std::sync::Arc;
+
+fn search_config(telemetry: Telemetry) -> GestConfig {
+    let mut config = GestConfig::builder("cortex-a7")
+        .measurement("ipc")
+        .population_size(8)
+        .individual_size(10)
+        .generations(2)
+        .seed(17)
+        .build()
+        .expect("builder config is valid");
+    config.threads = 1;
+    config.telemetry = telemetry;
+    config
+}
+
+fn bench_search_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+
+    group.bench_function("search_telemetry_disabled", |b| {
+        b.iter(|| {
+            let run = GestRun::new(search_config(Telemetry::disabled())).unwrap();
+            black_box(run.run().unwrap().best.fitness)
+        });
+    });
+
+    group.bench_function("search_telemetry_noop_sink", |b| {
+        b.iter(|| {
+            let telemetry = Telemetry::new(Arc::new(NoopSink));
+            let run = GestRun::new(search_config(telemetry)).unwrap();
+            black_box(run.run().unwrap().best.fitness)
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    let disabled = Telemetry::disabled();
+    c.bench_function("disabled_span_open_close", |b| {
+        b.iter(|| {
+            let guard = disabled.span(black_box("eval.candidate"));
+            black_box(guard.id())
+        });
+    });
+    c.bench_function("disabled_counter_add", |b| {
+        b.iter(|| disabled.add_counter(black_box("eval.failures"), black_box(1)));
+    });
+}
+
+criterion_group!(benches, bench_search_overhead, bench_hot_path);
+criterion_main!(benches);

@@ -18,11 +18,23 @@ pub fn table1() -> String {
     let mut out = String::from("Table I — GA parameters (defaults)\n");
     let _ = writeln!(out, "{:<46} Default Values", "Parameter");
     let _ = writeln!(out, "{:<46} {}", "population_size", config.population_size);
-    let _ = writeln!(out, "{:<46} 15-50", "Individual Size (number of loop instructions)");
+    let _ = writeln!(
+        out,
+        "{:<46} 15-50",
+        "Individual Size (number of loop instructions)"
+    );
     let _ = writeln!(out, "{:<46} 0.02 - 0.08 (1/loop length)", "mutation_rate");
     let _ = writeln!(out, "{:<46} {:?}", "crossover_operator", config.crossover);
-    let _ = writeln!(out, "{:<46} {}", "elitism (best promoted to next generation)", config.elitism);
-    let _ = writeln!(out, "{:<46} {:?}", "parent_selection_method", config.selection);
+    let _ = writeln!(
+        out,
+        "{:<46} {}",
+        "elitism (best promoted to next generation)", config.elitism
+    );
+    let _ = writeln!(
+        out,
+        "{:<46} {:?}",
+        "parent_selection_method", config.selection
+    );
     out
 }
 
@@ -93,11 +105,18 @@ pub fn table3() -> Result<String, GestError> {
     let budget = Budget::paper();
     let a15 = evolve("cortex-a15", "power", "default", budget, 15)?;
     let a7 = evolve("cortex-a7", "power", "default", budget, 7)?;
-    let mut out =
-        String::from("Table III — instruction breakdown of the A15/A7 power viruses\n");
+    let mut out = String::from("Table III — instruction breakdown of the A15/A7 power viruses\n");
     let _ = writeln!(out, "{}", breakdown_header(true));
-    let _ = writeln!(out, "{}", breakdown_row("Cortex-A15", a15.best_breakdown(), true));
-    let _ = writeln!(out, "{}", breakdown_row("Cortex-A7", a7.best_breakdown(), true));
+    let _ = writeln!(
+        out,
+        "{}",
+        breakdown_row("Cortex-A15", a15.best_breakdown(), true)
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        breakdown_row("Cortex-A7", a7.best_breakdown(), true)
+    );
     let _ = writeln!(
         out,
         "\n(paper: A15 virus dominated by Float/SIMD+Mem with 1 branch; A7 virus \
@@ -147,7 +166,9 @@ pub fn table4() -> Result<String, GestError> {
     let max_c = power_virus.best.measurements[0];
     let simple_config = gest_core::GestConfig::builder("xgene2")
         .measurement("temperature")
-        .fitness_impl(std::sync::Arc::new(gest_core::TempSimplicityFitness::new(idle_c, max_c)))
+        .fitness_impl(std::sync::Arc::new(gest_core::TempSimplicityFitness::new(
+            idle_c, max_c,
+        )))
         .population_size(budget.population)
         .individual_size(budget.individual)
         .generations(budget.generations)
@@ -157,9 +178,8 @@ pub fn table4() -> Result<String, GestError> {
     let ipc_virus = evolve("xgene2", "ipc", "default", budget, 4)?;
 
     let reference = measure(&machine, &power_virus.best_program)?;
-    let mut out = String::from(
-        "Table IV — power virus, simple power virus and IPC virus comparison\n",
-    );
+    let mut out =
+        String::from("Table IV — power virus, simple power virus and IPC virus comparison\n");
     let _ = writeln!(
         out,
         "{} {:>9} {:>10} {:>10} {:>9}",
@@ -246,18 +266,20 @@ pub fn fig9() -> Result<String, GestError> {
     let virus = didt_virus()?;
     let run_config = compare_run_config();
     let vmin_config = VminConfig::default();
-    let mut out = String::from(
-        "Figure 9 — V_MIN results on the AMD Athlon model (12.5 mV steps)\n",
+    let mut out =
+        String::from("Figure 9 — V_MIN results on the AMD Athlon model (12.5 mV steps)\n");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>14}",
+        "workload", "vmin (V)", "margin (mV)"
     );
-    let _ = writeln!(out, "{:<24} {:>10} {:>14}", "workload", "vmin (V)", "margin (mV)");
     let nominal = machine.pdn.expect("athlon has a PDN").vdd;
     let mut rows: Vec<(String, f64)> = Vec::new();
     for workload in athlon_comparison_set() {
         let vmin = characterize_vmin(&machine, &workload.program, &run_config, &vmin_config)?;
         rows.push((workload.name.to_owned(), vmin.vmin_v));
     }
-    let virus_vmin =
-        characterize_vmin(&machine, &virus.best_program, &run_config, &vmin_config)?;
+    let virus_vmin = characterize_vmin(&machine, &virus.best_program, &run_config, &vmin_config)?;
     rows.push(("GA_dIdt_virus".into(), virus_vmin.vmin_v));
     for (label, vmin) in &rows {
         let _ = writeln!(
@@ -280,13 +302,62 @@ pub fn fig9() -> Result<String, GestError> {
 pub fn table5() -> String {
     let mut out = String::from("Table V — comparison of related work on GA frameworks\n");
     let rows = [
-        ("Framework", "OptimizationType", "Language", "Evaluated-On", "Metrics", "Component"),
-        ("AUDIT", "Instruction-Level", "x86 ISA", "HW/Simulator", "dI/dt", "CPU"),
-        ("MAMPO", "Abstract-Workload", "SPARC ISA", "Simulator", "power", "CPU+DRAM"),
-        ("Joshi et al.", "Abstract-Workload", "Alpha ISA", "Simulator", "power", "CPU"),
-        ("Powermark", "Abstract-Workload", "C", "Real-Hardware", "power", "Full-System"),
-        ("GeST", "Instruction-Level", "ARM,x86", "Real-Hardware", "dI/dt,power", "CPU"),
-        ("gest-rs (this repo)", "Instruction-Level", "synthetic ISA", "Simulated-HW", "dI/dt,power,IPC,temp", "CPU"),
+        (
+            "Framework",
+            "OptimizationType",
+            "Language",
+            "Evaluated-On",
+            "Metrics",
+            "Component",
+        ),
+        (
+            "AUDIT",
+            "Instruction-Level",
+            "x86 ISA",
+            "HW/Simulator",
+            "dI/dt",
+            "CPU",
+        ),
+        (
+            "MAMPO",
+            "Abstract-Workload",
+            "SPARC ISA",
+            "Simulator",
+            "power",
+            "CPU+DRAM",
+        ),
+        (
+            "Joshi et al.",
+            "Abstract-Workload",
+            "Alpha ISA",
+            "Simulator",
+            "power",
+            "CPU",
+        ),
+        (
+            "Powermark",
+            "Abstract-Workload",
+            "C",
+            "Real-Hardware",
+            "power",
+            "Full-System",
+        ),
+        (
+            "GeST",
+            "Instruction-Level",
+            "ARM,x86",
+            "Real-Hardware",
+            "dI/dt,power",
+            "CPU",
+        ),
+        (
+            "gest-rs (this repo)",
+            "Instruction-Level",
+            "synthetic ISA",
+            "Simulated-HW",
+            "dI/dt,power,IPC,temp",
+            "CPU",
+        ),
     ];
     for (a, b, c, d, e, f) in rows {
         let _ = writeln!(out, "{a:<20} {b:<18} {c:<13} {d:<14} {e:<20} {f}");
@@ -298,9 +369,10 @@ pub fn table5() -> String {
 /// within 70–100 generations).
 pub fn convergence() -> Result<String, GestError> {
     let mut out = String::from("Convergence — best fitness per generation\n");
-    for (machine, measurement, seed) in
-        [("cortex-a15", "power", 15u64), ("athlon-x4", "voltage_noise", 8)]
-    {
+    for (machine, measurement, seed) in [
+        ("cortex-a15", "power", 15u64),
+        ("athlon-x4", "voltage_noise", 8),
+    ] {
         let summary = evolve(machine, measurement, "default", Budget::paper(), seed)?;
         let series = summary.history.best_series();
         let _ = writeln!(out, "\n{machine} / {measurement}:");
@@ -311,7 +383,11 @@ pub fn convergence() -> Result<String, GestError> {
         }
         let first = series.first().copied().unwrap_or(0.0);
         let last = series.last().copied().unwrap_or(0.0);
-        let _ = writeln!(out, "  improvement over random seed: {:.1}%", 100.0 * (last / first - 1.0));
+        let _ = writeln!(
+            out,
+            "  improvement over random seed: {:.1}%",
+            100.0 * (last / first - 1.0)
+        );
     }
     Ok(out)
 }
@@ -324,12 +400,18 @@ pub fn ablations() -> Result<String, GestError> {
     // "especially ... for maximum power and maximum dI/dt search" where
     // instruction order matters). Compare on both objectives, averaged
     // over several seeds.
-    let _ = writeln!(out, "\n[1] crossover operator (mean best over seeds 33..36):");
+    let _ = writeln!(
+        out,
+        "\n[1] crossover operator (mean best over seeds 33..36):"
+    );
     for (machine, measurement, unit, scale) in [
         ("cortex-a15", "power", "W", 1.0),
         ("athlon-x4", "voltage_noise", "mV", 1e3),
     ] {
-        for crossover in [gest_ga::CrossoverOp::OnePoint, gest_ga::CrossoverOp::Uniform] {
+        for crossover in [
+            gest_ga::CrossoverOp::OnePoint,
+            gest_ga::CrossoverOp::Uniform,
+        ] {
             let mut total = 0.0;
             let mut total_mid = 0.0;
             let seeds = [33u64, 34, 35, 36];
@@ -344,7 +426,12 @@ pub fn ablations() -> Result<String, GestError> {
                     .build()?;
                 let summary = gest_core::GestRun::new(config)?.run()?;
                 total += summary.best.fitness;
-                total_mid += summary.history.best_series().get(10).copied().unwrap_or(0.0);
+                total_mid += summary
+                    .history
+                    .best_series()
+                    .get(10)
+                    .copied()
+                    .unwrap_or(0.0);
             }
             let n = seeds.len() as f64;
             let _ = writeln!(
@@ -359,7 +446,10 @@ pub fn ablations() -> Result<String, GestError> {
     }
 
     // 2. Mutation-rate sweep around the 1-instruction rule of thumb.
-    let _ = writeln!(out, "\n[2] mutation rate (loop length 30 => rule of thumb ~0.033):");
+    let _ = writeln!(
+        out,
+        "\n[2] mutation rate (loop length 30 => rule of thumb ~0.033):"
+    );
     for rate in [0.0, 0.01, 0.033, 0.10, 0.30] {
         let config = gest_core::GestConfig::builder("cortex-a15")
             .measurement("power")
@@ -385,17 +475,28 @@ pub fn ablations() -> Result<String, GestError> {
             .seed(33)
             .build()?;
         let summary = gest_core::GestRun::new(config)?.run()?;
-        let _ = writeln!(out, "  elitism={elitism:<5} best {:.4} W", summary.best.fitness);
+        let _ = writeln!(
+            out,
+            "  elitism={elitism:<5} best {:.4} W",
+            summary.best.fitness
+        );
     }
 
     // 4. Register initialization: checkerboard vs zero (paper §III.B.2:
     // values matter because of bit switching).
-    let _ = writeln!(out, "\n[4] register/memory init (same A15 virus, measured):");
+    let _ = writeln!(
+        out,
+        "\n[4] register/memory init (same A15 virus, measured):"
+    );
     let summary = evolve(
         "cortex-a15",
         "power",
         "default",
-        Budget { population: 30, individual: 30, generations: 30 },
+        Budget {
+            population: 30,
+            individual: 30,
+            generations: 30,
+        },
         15,
     )?;
     let machine = MachineConfig::cortex_a15();
@@ -404,7 +505,11 @@ pub fn ablations() -> Result<String, GestError> {
     zero_program.init.clear();
     zero_program.mem_init = gest_isa::MemInit::Zero;
     let zeroed = measure(&machine, &zero_program)?;
-    let _ = writeln!(out, "  checkerboard init: {:.4} W", checkerboard.avg_power_w);
+    let _ = writeln!(
+        out,
+        "  checkerboard init: {:.4} W",
+        checkerboard.avg_power_w
+    );
     let _ = writeln!(out, "  all-zero init:     {:.4} W", zeroed.avg_power_w);
     let _ = writeln!(
         out,
@@ -426,7 +531,11 @@ pub fn ablations() -> Result<String, GestError> {
             "athlon-x4",
             "voltage_noise",
             "default",
-            Budget { population: 24, individual: length, generations: 24 },
+            Budget {
+                population: 24,
+                individual: length,
+                generations: 24,
+            },
             8,
         )?;
         let _ = writeln!(
@@ -451,7 +560,11 @@ pub fn multicore() -> Result<String, GestError> {
         "xgene2",
         "power",
         "default",
-        Budget { population: 30, individual: 30, generations: 30 },
+        Budget {
+            population: 30,
+            individual: 30,
+            generations: 30,
+        },
         2,
     )?;
     let virus = summary.best_program;
@@ -549,11 +662,8 @@ pub fn llc_stress() -> Result<String, GestError> {
 pub fn noise() -> Result<String, GestError> {
     use gest_core::{measurement_by_name, GestConfig, NoisyMeasurement};
     let mut out = String::from("Measurement-noise ablation (cortex-a15 power search)\n");
-    let clean_measure = measurement_by_name(
-        "power",
-        MachineConfig::cortex_a15(),
-        compare_run_config(),
-    )?;
+    let clean_measure =
+        measurement_by_name("power", MachineConfig::cortex_a15(), compare_run_config())?;
     for sigma in [0.0, 0.02, 0.10] {
         // Same seeds; only the measurement noise differs. The run uses a
         // noisy instrument, but the resulting best individual is re-scored
@@ -601,7 +711,10 @@ pub fn mitigation() -> Result<String, GestError> {
     let pdn = machine.pdn.as_mut().expect("athlon has a PDN");
     // Undervolted operating point: DC level safe, droops violate.
     pdn.vdd *= 0.87;
-    let clock = AdaptiveClockConfig { threshold_v: 1.19, stretch: 4 };
+    let clock = AdaptiveClockConfig {
+        threshold_v: 1.19,
+        stretch: 4,
+    };
     let run_config = compare_run_config();
 
     let mut out = String::from(

@@ -29,9 +29,17 @@ impl Budget {
         // silently shrink budgets.
         let fast = std::env::var("GEST_FAST").is_ok_and(|v| !v.is_empty() && v != "0");
         if fast {
-            Budget { population: 16, individual: 20, generations: 12 }
+            Budget {
+                population: 16,
+                individual: 20,
+                generations: 12,
+            }
         } else {
-            Budget { population: 50, individual: 50, generations: 80 }
+            Budget {
+                population: 50,
+                individual: 50,
+                generations: 80,
+            }
         }
     }
 
@@ -39,7 +47,10 @@ impl Budget {
     /// the dI/dt experiments where the loop length follows the PDN
     /// resonance rule of thumb.
     pub fn paper_with_individual(individual: usize) -> Budget {
-        Budget { individual, ..Budget::paper() }
+        Budget {
+            individual,
+            ..Budget::paper()
+        }
     }
 }
 
@@ -47,7 +58,11 @@ impl Budget {
 /// workloads (longer than the GA's inner-loop window for tighter
 /// estimates).
 pub fn compare_run_config() -> RunConfig {
-    RunConfig { max_iterations: 600, max_cycles: 30_000, ..RunConfig::default() }
+    RunConfig {
+        max_iterations: 600,
+        max_cycles: 30_000,
+        ..RunConfig::default()
+    }
 }
 
 /// Runs one GA search and returns its summary.
@@ -78,7 +93,10 @@ pub fn evolve(
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn measure(machine: &MachineConfig, program: &gest_isa::Program) -> Result<RunResult, GestError> {
+pub fn measure(
+    machine: &MachineConfig,
+    program: &gest_isa::Program,
+) -> Result<RunResult, GestError> {
     Ok(Simulator::new(machine.clone()).run(program, &compare_run_config())?)
 }
 
@@ -104,7 +122,10 @@ pub fn render_normalized(title: &str, unit: &str, bars: &[Bar], baseline_label: 
         .find(|b| b.label == baseline_label)
         .unwrap_or_else(|| panic!("baseline {baseline_label:?} missing"))
         .value;
-    let max_norm = bars.iter().map(|b| b.value / baseline).fold(0.0f64, f64::max);
+    let max_norm = bars
+        .iter()
+        .map(|b| b.value / baseline)
+        .fold(0.0f64, f64::max);
     let mut out = format!("{title}\n(normalized to {baseline_label}; raw unit: {unit})\n");
     for bar in bars {
         let norm = bar.value / baseline;
@@ -134,7 +155,10 @@ pub fn workload_bars(
         .iter()
         .map(|w| {
             let result = measure(machine, &w.program)?;
-            Ok(Bar { label: w.name.to_owned(), value: metric(&result) })
+            Ok(Bar {
+                label: w.name.to_owned(),
+                value: metric(&result),
+            })
         })
         .collect()
 }
@@ -172,8 +196,14 @@ mod tests {
     #[test]
     fn render_normalized_marks_baseline_as_one() {
         let bars = vec![
-            Bar { label: "coremark".into(), value: 2.0 },
-            Bar { label: "virus".into(), value: 3.0 },
+            Bar {
+                label: "coremark".into(),
+                value: 2.0,
+            },
+            Bar {
+                label: "virus".into(),
+                value: 3.0,
+            },
         ];
         let text = render_normalized("t", "W", &bars, "coremark");
         assert!(text.contains(" 1.000"), "{text}");
@@ -183,7 +213,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "missing")]
     fn missing_baseline_panics() {
-        let bars = vec![Bar { label: "x".into(), value: 1.0 }];
+        let bars = vec![Bar {
+            label: "x".into(),
+            value: 1.0,
+        }];
         let _ = render_normalized("t", "W", &bars, "coremark");
     }
 
@@ -199,7 +232,11 @@ mod tests {
     fn budget_fast_override() {
         // Can't set env safely in parallel tests; just check the default
         // shape.
-        let budget = Budget { population: 50, individual: 50, generations: 80 };
+        let budget = Budget {
+            population: 50,
+            individual: 50,
+            generations: 80,
+        };
         assert!(budget.generations >= 70 || std::env::var_os("GEST_FAST").is_some());
     }
 }

@@ -45,6 +45,10 @@ pub struct GestConfig {
     /// the framework (paper §III.C). `None` resolves `fitness_name` from
     /// the shipped registry.
     pub fitness_override: Option<std::sync::Arc<dyn crate::Fitness>>,
+    /// Observability handle the run reports spans and metrics through.
+    /// Disabled by default (near-zero overhead); telemetry only observes
+    /// the search, so enabling it never changes the evolved result.
+    pub telemetry: gest_telemetry::Telemetry,
 }
 
 impl GestConfig {
@@ -210,6 +214,7 @@ pub struct GestConfigBuilder {
     threads: usize,
     whole_instruction_mutation_prob: f64,
     fitness_override: Option<std::sync::Arc<dyn crate::Fitness>>,
+    telemetry: gest_telemetry::Telemetry,
 }
 
 impl GestConfigBuilder {
@@ -230,7 +235,15 @@ impl GestConfigBuilder {
             threads: 0,
             whole_instruction_mutation_prob: 0.5,
             fitness_override: None,
+            telemetry: gest_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Installs an observability handle; the run reports spans, progress
+    /// points, and metrics through it (see the `gest-telemetry` crate).
+    pub fn telemetry(mut self, telemetry: gest_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Installs a custom fitness implementation (overrides the name-based
@@ -371,8 +384,9 @@ impl GestConfigBuilder {
             self.ga.elitism = parse_attr("elitism", value)?;
         }
         if let Some(value) = ga.attr("tournament_size") {
-            self.ga.selection =
-                SelectionOp::Tournament { size: parse_attr("tournament_size", value)? };
+            self.ga.selection = SelectionOp::Tournament {
+                size: parse_attr("tournament_size", value)?,
+            };
         }
         if let Some(value) = ga.attr("generations") {
             self.generations = parse_attr("generations", value)?;
@@ -426,6 +440,7 @@ impl GestConfigBuilder {
             threads: self.threads,
             whole_instruction_mutation_prob: self.whole_instruction_mutation_prob,
             fitness_override: self.fitness_override,
+            telemetry: self.telemetry,
         })
     }
 }
@@ -454,7 +469,10 @@ mod tests {
 
     #[test]
     fn individual_size_adjusts_mutation_rate() {
-        let config = GestConfig::builder("cortex-a15").individual_size(20).build().unwrap();
+        let config = GestConfig::builder("cortex-a15")
+            .individual_size(20)
+            .build()
+            .unwrap();
         assert!((config.ga.mutation_rate - 0.05).abs() < 1e-12);
     }
 
@@ -494,7 +512,10 @@ MOVI x10, #0
         assert_eq!(config.generations, 50);
         assert_eq!(config.seed, 99);
         assert_eq!(config.run_config.max_iterations, 100);
-        assert_eq!(config.output_dir.as_deref(), Some(std::path::Path::new("results/didt")));
+        assert_eq!(
+            config.output_dir.as_deref(),
+            Some(std::path::Path::new("results/didt"))
+        );
         assert_eq!(config.pool.defs().len(), 1);
         assert_eq!(config.template.init().len(), 1);
     }
@@ -569,6 +590,9 @@ MOVI x10, #0
 
     #[test]
     fn zero_generations_rejected() {
-        assert!(GestConfig::builder("cortex-a15").generations(0).build().is_err());
+        assert!(GestConfig::builder("cortex-a15")
+            .generations(0)
+            .build()
+            .is_err());
     }
 }

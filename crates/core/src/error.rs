@@ -25,6 +25,14 @@ pub enum GestError {
     Codec(CodecError),
     /// Filesystem errors while writing run outputs.
     Io(std::io::Error),
+    /// An evaluation worker failed abnormally (e.g. a custom measurement
+    /// panicked) while measuring a candidate.
+    Measurement {
+        /// Id of the candidate being evaluated when the worker died.
+        candidate: u64,
+        /// The panic payload or failure description.
+        message: String,
+    },
 }
 
 impl fmt::Display for GestError {
@@ -37,6 +45,9 @@ impl fmt::Display for GestError {
             GestError::Sim(e) => write!(f, "simulation error: {e}"),
             GestError::Codec(e) => write!(f, "population codec error: {e}"),
             GestError::Io(e) => write!(f, "io error: {e}"),
+            GestError::Measurement { candidate, message } => {
+                write!(f, "measurement of candidate {candidate} failed: {message}")
+            }
         }
     }
 }
@@ -44,7 +55,7 @@ impl fmt::Display for GestError {
 impl Error for GestError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            GestError::Config(_) => None,
+            GestError::Config(_) | GestError::Measurement { .. } => None,
             GestError::Isa(e) => Some(e),
             GestError::Xml(e) => Some(e),
             GestError::Ga(e) => Some(e),

@@ -126,7 +126,10 @@ pub struct IpcPowerFitness {
 
 impl Default for IpcPowerFitness {
     fn default() -> Self {
-        IpcPowerFitness { penalty_weight: 0.25, penalty_scale: 1.0 }
+        IpcPowerFitness {
+            penalty_weight: 0.25,
+            penalty_scale: 1.0,
+        }
     }
 }
 
@@ -150,11 +153,7 @@ impl Fitness for IpcPowerFitness {
 /// # Errors
 ///
 /// [`GestError::Config`] for unknown names.
-pub fn fitness_by_name(
-    name: &str,
-    idle_c: f64,
-    max_c: f64,
-) -> Result<Arc<dyn Fitness>, GestError> {
+pub fn fitness_by_name(name: &str, idle_c: f64, max_c: f64) -> Result<Arc<dyn Fitness>, GestError> {
     match name {
         "default" => Ok(Arc::new(DefaultFitness)),
         "temp_simplicity" => Ok(Arc::new(TempSimplicityFitness::new(idle_c, max_c))),
@@ -177,7 +176,11 @@ mod tests {
         genes: &'a [Gene],
         measurements: &'a [f64],
     ) -> FitnessContext<'a> {
-        FitnessContext { measurements, genes, pool }
+        FitnessContext {
+            measurements,
+            genes,
+            pool,
+        }
     }
 
     #[test]
@@ -199,7 +202,10 @@ mod tests {
             let measurements = [temp];
             let ctx = context_with(&pool, &genes, &measurements);
             let value = fitness.fitness(&ctx);
-            assert!((0.0..=1.0).contains(&value), "temp {temp} → fitness {value}");
+            assert!(
+                (0.0..=1.0).contains(&value),
+                "temp {temp} → fitness {value}"
+            );
         }
     }
 
@@ -235,7 +241,10 @@ mod tests {
     #[test]
     fn penalty_fitness_trades_off() {
         let pool = full_pool();
-        let fitness = IpcPowerFitness { penalty_weight: 0.5, penalty_scale: 1.0 };
+        let fitness = IpcPowerFitness {
+            penalty_weight: 0.5,
+            penalty_scale: 1.0,
+        };
         let high_primary = fitness.fitness(&context_with(&pool, &[], &[4.0, 2.0]));
         let low_penalty = fitness.fitness(&context_with(&pool, &[], &[3.5, 0.0]));
         assert!((high_primary - 3.0).abs() < 1e-12);
@@ -244,9 +253,14 @@ mod tests {
 
     #[test]
     fn registry_resolves_names() {
-        assert_eq!(fitness_by_name("default", 0.0, 1.0).unwrap().name(), "default");
         assert_eq!(
-            fitness_by_name("temp_simplicity", 30.0, 105.0).unwrap().name(),
+            fitness_by_name("default", 0.0, 1.0).unwrap().name(),
+            "default"
+        );
+        assert_eq!(
+            fitness_by_name("temp_simplicity", 30.0, 105.0)
+                .unwrap()
+                .name(),
             "temp_simplicity"
         );
         assert!(fitness_by_name("bogus", 0.0, 1.0).is_err());

@@ -21,7 +21,10 @@ impl PoolGenetics {
     /// Creates genetics over a pool with the default 50/50
     /// whole-instruction vs operand mutation split.
     pub fn new(pool: Arc<InstructionPool>) -> PoolGenetics {
-        PoolGenetics { pool, whole_instruction_prob: 0.5 }
+        PoolGenetics {
+            pool,
+            whole_instruction_prob: 0.5,
+        }
     }
 
     /// Overrides the whole-instruction mutation probability.
@@ -30,7 +33,10 @@ impl PoolGenetics {
     ///
     /// Panics if `prob` is outside `[0, 1]`.
     pub fn with_whole_instruction_prob(mut self, prob: f64) -> PoolGenetics {
-        assert!((0.0..=1.0).contains(&prob), "probability {prob} outside [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "probability {prob} outside [0,1]"
+        );
         self.whole_instruction_prob = prob;
         self
     }
@@ -75,21 +81,23 @@ mod tests {
 
     #[test]
     fn operand_only_mutation_keeps_opcode() {
-        let genetics =
-            PoolGenetics::new(Arc::new(full_pool())).with_whole_instruction_prob(0.0);
+        let genetics = PoolGenetics::new(Arc::new(full_pool())).with_whole_instruction_prob(0.0);
         let mut rng = StdRng::seed_from_u64(2);
         let mut gene = genetics.random_gene(&mut rng);
         let opcode = gene.first().opcode();
         for _ in 0..50 {
             genetics.mutate_gene(&mut gene, &mut rng);
-            assert_eq!(gene.first().opcode(), opcode, "operand mutation must keep the opcode");
+            assert_eq!(
+                gene.first().opcode(),
+                opcode,
+                "operand mutation must keep the opcode"
+            );
         }
     }
 
     #[test]
     fn whole_mutation_eventually_changes_opcode() {
-        let genetics =
-            PoolGenetics::new(Arc::new(full_pool())).with_whole_instruction_prob(1.0);
+        let genetics = PoolGenetics::new(Arc::new(full_pool())).with_whole_instruction_prob(1.0);
         let mut rng = StdRng::seed_from_u64(3);
         let mut gene = genetics.random_gene(&mut rng);
         let original = gene.first().opcode();
@@ -101,7 +109,10 @@ mod tests {
                 break;
             }
         }
-        assert!(changed, "50 whole-instruction mutations never changed the opcode");
+        assert!(
+            changed,
+            "50 whole-instruction mutations never changed the opcode"
+        );
     }
 
     #[test]

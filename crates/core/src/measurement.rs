@@ -32,6 +32,22 @@ pub trait Measurement: Send + Sync + Debug {
     ///
     /// Propagates simulator failures as [`GestError::Sim`].
     fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError>;
+
+    /// Like [`measure`](Measurement::measure), additionally returning the
+    /// full simulator result when one backs the measurement, so observers
+    /// (the runner's telemetry) can export pipeline/cache/PDN statistics
+    /// without a second run. The default implementation returns no detail,
+    /// keeping custom measurements source-compatible.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`measure`](Measurement::measure).
+    fn measure_detailed(
+        &self,
+        program: &Program,
+    ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
+        Ok((self.measure(program)?, None))
+    }
 }
 
 /// Shared plumbing: a simulator plus run parameters.
@@ -56,7 +72,10 @@ pub struct PowerMeasurement(SimBacked);
 impl PowerMeasurement {
     /// Creates the measurement for a machine.
     pub fn new(machine: MachineConfig, run_config: RunConfig) -> PowerMeasurement {
-        PowerMeasurement(SimBacked { simulator: Simulator::new(machine), run_config })
+        PowerMeasurement(SimBacked {
+            simulator: Simulator::new(machine),
+            run_config,
+        })
     }
 }
 
@@ -70,8 +89,18 @@ impl Measurement for PowerMeasurement {
     }
 
     fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+        Ok(self.measure_detailed(program)?.0)
+    }
+
+    fn measure_detailed(
+        &self,
+        program: &Program,
+    ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
         let result = self.0.run(program)?;
-        Ok(vec![result.avg_power_w, result.peak_power_w, result.ipc])
+        Ok((
+            vec![result.avg_power_w, result.peak_power_w, result.ipc],
+            Some(result),
+        ))
     }
 }
 
@@ -85,7 +114,10 @@ pub struct TemperatureMeasurement(SimBacked);
 impl TemperatureMeasurement {
     /// Creates the measurement for a machine.
     pub fn new(machine: MachineConfig, run_config: RunConfig) -> TemperatureMeasurement {
-        TemperatureMeasurement(SimBacked { simulator: Simulator::new(machine), run_config })
+        TemperatureMeasurement(SimBacked {
+            simulator: Simulator::new(machine),
+            run_config,
+        })
     }
 }
 
@@ -99,8 +131,18 @@ impl Measurement for TemperatureMeasurement {
     }
 
     fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+        Ok(self.measure_detailed(program)?.0)
+    }
+
+    fn measure_detailed(
+        &self,
+        program: &Program,
+    ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
         let result = self.0.run(program)?;
-        Ok(vec![result.temperature_c, result.avg_power_w, result.ipc])
+        Ok((
+            vec![result.temperature_c, result.avg_power_w, result.ipc],
+            Some(result),
+        ))
     }
 }
 
@@ -113,7 +155,10 @@ pub struct IpcMeasurement(SimBacked);
 impl IpcMeasurement {
     /// Creates the measurement for a machine.
     pub fn new(machine: MachineConfig, run_config: RunConfig) -> IpcMeasurement {
-        IpcMeasurement(SimBacked { simulator: Simulator::new(machine), run_config })
+        IpcMeasurement(SimBacked {
+            simulator: Simulator::new(machine),
+            run_config,
+        })
     }
 }
 
@@ -127,8 +172,18 @@ impl Measurement for IpcMeasurement {
     }
 
     fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+        Ok(self.measure_detailed(program)?.0)
+    }
+
+    fn measure_detailed(
+        &self,
+        program: &Program,
+    ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
         let result = self.0.run(program)?;
-        Ok(vec![result.ipc, result.avg_power_w, result.temperature_c])
+        Ok((
+            vec![result.ipc, result.avg_power_w, result.temperature_c],
+            Some(result),
+        ))
     }
 }
 
@@ -172,9 +227,19 @@ impl Measurement for VoltageNoiseMeasurement {
     }
 
     fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+        Ok(self.measure_detailed(program)?.0)
+    }
+
+    fn measure_detailed(
+        &self,
+        program: &Program,
+    ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
         let result = self.0.run(program)?;
         let stats = result.voltage.expect("constructor verified the PDN exists");
-        Ok(vec![stats.peak_to_peak(), stats.max_droop(), result.avg_power_w])
+        Ok((
+            vec![stats.peak_to_peak(), stats.max_droop(), result.avg_power_w],
+            Some(result),
+        ))
     }
 }
 
@@ -192,7 +257,10 @@ pub struct CacheMissMeasurement(SimBacked);
 impl CacheMissMeasurement {
     /// Creates the measurement for a machine.
     pub fn new(machine: MachineConfig, run_config: RunConfig) -> CacheMissMeasurement {
-        CacheMissMeasurement(SimBacked { simulator: Simulator::new(machine), run_config })
+        CacheMissMeasurement(SimBacked {
+            simulator: Simulator::new(machine),
+            run_config,
+        })
     }
 }
 
@@ -206,10 +274,24 @@ impl Measurement for CacheMissMeasurement {
     }
 
     fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+        Ok(self.measure_detailed(program)?.0)
+    }
+
+    fn measure_detailed(
+        &self,
+        program: &Program,
+    ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
         let result = self.0.run(program)?;
         let misses_per_kinstr =
             1000.0 * result.l1.misses as f64 / result.instructions.max(1) as f64;
-        Ok(vec![misses_per_kinstr, 1.0 - result.l1.hit_rate(), result.avg_power_w])
+        Ok((
+            vec![
+                misses_per_kinstr,
+                1.0 - result.l1.hit_rate(),
+                result.avg_power_w,
+            ],
+            Some(result),
+        ))
     }
 }
 
@@ -236,7 +318,11 @@ impl NoisyMeasurement {
     /// Panics if `sigma_rel` is negative.
     pub fn wrap(inner: Arc<dyn Measurement>, sigma_rel: f64, seed: u64) -> NoisyMeasurement {
         assert!(sigma_rel >= 0.0, "noise sigma must be non-negative");
-        NoisyMeasurement { inner, sigma_rel, seed }
+        NoisyMeasurement {
+            inner,
+            sigma_rel,
+            seed,
+        }
     }
 
     fn gaussian(&self, name: &str, index: usize) -> f64 {
@@ -263,11 +349,21 @@ impl Measurement for NoisyMeasurement {
     }
 
     fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
-        let mut values = self.inner.measure(program)?;
+        Ok(self.measure_detailed(program)?.0)
+    }
+
+    /// Forwards to the wrapped measurement, perturbing only the metric
+    /// values — the simulator detail stays exact, mirroring an instrument
+    /// that is noisy while the silicon underneath is not.
+    fn measure_detailed(
+        &self,
+        program: &Program,
+    ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
+        let (mut values, detail) = self.inner.measure_detailed(program)?;
         for (index, value) in values.iter_mut().enumerate() {
             *value *= 1.0 + self.sigma_rel * self.gaussian(&program.name, index);
         }
-        Ok(values)
+        Ok((values, detail))
     }
 }
 
@@ -319,8 +415,10 @@ mod tests {
     use gest_isa::{asm, Template};
 
     fn demo_program() -> Program {
-        Template::default_stress()
-            .materialize("demo", asm::parse_block("FMUL v8, v1, v2\nADD x1, x2, x3").unwrap())
+        Template::default_stress().materialize(
+            "demo",
+            asm::parse_block("FMUL v8, v1, v2\nADD x1, x2, x3").unwrap(),
+        )
     }
 
     #[test]
@@ -337,7 +435,11 @@ mod tests {
         let m = TemperatureMeasurement::new(MachineConfig::xgene2(), RunConfig::quick());
         let values = m.measure(&demo_program()).unwrap();
         let ambient = MachineConfig::xgene2().thermal.ambient_c;
-        assert!(values[0] > ambient, "temperature {} above ambient", values[0]);
+        assert!(
+            values[0] > ambient,
+            "temperature {} above ambient",
+            values[0]
+        );
     }
 
     #[test]
@@ -368,39 +470,85 @@ mod tests {
         machine.mem_bytes = 1 << 20;
         let m = CacheMissMeasurement::new(machine, RunConfig::quick());
         let resident = m.measure(&demo_program()).unwrap();
-        assert!(resident[1] < 0.05, "L1-resident program should hit: {resident:?}");
+        assert!(
+            resident[1] < 0.05,
+            "L1-resident program should hit: {resident:?}"
+        );
         let streaming = Template::default_stress().materialize(
             "stream",
             asm::parse_block("LDR x11, [x10, #0]\nADDI x10, x10, #64").unwrap(),
         );
         let missing = m.measure(&streaming).unwrap();
-        assert!(missing[0] > 100.0, "striding loads should miss: {missing:?}");
+        assert!(
+            missing[0] > 100.0,
+            "striding loads should miss: {missing:?}"
+        );
         assert!(missing[1] > 0.3, "miss rate: {missing:?}");
     }
 
     #[test]
     fn noisy_measurement_perturbs_reproducibly() {
-        let inner: Arc<dyn Measurement> =
-            Arc::new(PowerMeasurement::new(MachineConfig::cortex_a15(), RunConfig::quick()));
+        let inner: Arc<dyn Measurement> = Arc::new(PowerMeasurement::new(
+            MachineConfig::cortex_a15(),
+            RunConfig::quick(),
+        ));
         let clean = inner.measure(&demo_program()).unwrap();
         let noisy = NoisyMeasurement::wrap(Arc::clone(&inner), 0.05, 9);
         let a = noisy.measure(&demo_program()).unwrap();
         let b = noisy.measure(&demo_program()).unwrap();
         assert_eq!(a, b, "noise must be a pure function of the program");
         assert_ne!(a, clean, "5% noise should perturb");
-        assert!((a[0] / clean[0] - 1.0).abs() < 0.3, "noise bounded: {a:?} vs {clean:?}");
+        assert!(
+            (a[0] / clean[0] - 1.0).abs() < 0.3,
+            "noise bounded: {a:?} vs {clean:?}"
+        );
         // Different seeds decorrelate.
-        let other = NoisyMeasurement::wrap(inner, 0.05, 10).measure(&demo_program()).unwrap();
+        let other = NoisyMeasurement::wrap(inner, 0.05, 10)
+            .measure(&demo_program())
+            .unwrap();
         assert_ne!(a, other);
     }
 
     #[test]
     fn noisy_zero_sigma_is_identity() {
-        let inner: Arc<dyn Measurement> =
-            Arc::new(PowerMeasurement::new(MachineConfig::cortex_a15(), RunConfig::quick()));
+        let inner: Arc<dyn Measurement> = Arc::new(PowerMeasurement::new(
+            MachineConfig::cortex_a15(),
+            RunConfig::quick(),
+        ));
         let clean = inner.measure(&demo_program()).unwrap();
-        let wrapped = NoisyMeasurement::wrap(inner, 0.0, 1).measure(&demo_program()).unwrap();
+        let wrapped = NoisyMeasurement::wrap(inner, 0.0, 1)
+            .measure(&demo_program())
+            .unwrap();
         assert_eq!(clean, wrapped);
+    }
+
+    #[test]
+    fn measure_detailed_exposes_simulator_result() {
+        let m = PowerMeasurement::new(MachineConfig::cortex_a15(), RunConfig::quick());
+        let (values, detail) = m.measure_detailed(&demo_program()).unwrap();
+        assert_eq!(values, m.measure(&demo_program()).unwrap());
+        let detail = detail.expect("sim-backed measurement exposes the run result");
+        assert_eq!(detail.avg_power_w, values[0]);
+        assert!(detail.metric_kv().len() >= 13, "full stat export");
+
+        // A custom measurement that only implements `measure` still works,
+        // reporting no detail through the default implementation.
+        #[derive(Debug)]
+        struct Flat;
+        impl Measurement for Flat {
+            fn name(&self) -> &'static str {
+                "flat"
+            }
+            fn metrics(&self) -> &'static [&'static str] {
+                &["one"]
+            }
+            fn measure(&self, _program: &Program) -> Result<Vec<f64>, GestError> {
+                Ok(vec![1.0])
+            }
+        }
+        let (values, detail) = Flat.measure_detailed(&demo_program()).unwrap();
+        assert_eq!(values, vec![1.0]);
+        assert!(detail.is_none());
     }
 
     #[test]
@@ -409,10 +557,18 @@ mod tests {
             let m = measurement_by_name(name, MachineConfig::xgene2(), RunConfig::quick()).unwrap();
             assert_eq!(m.name(), name);
         }
-        let m = measurement_by_name("voltage_noise", MachineConfig::athlon_x4(), RunConfig::quick())
-            .unwrap();
+        let m = measurement_by_name(
+            "voltage_noise",
+            MachineConfig::athlon_x4(),
+            RunConfig::quick(),
+        )
+        .unwrap();
         assert_eq!(m.name(), "voltage_noise");
-        assert!(measurement_by_name("oscilloscope", MachineConfig::athlon_x4(), RunConfig::quick())
-            .is_err());
+        assert!(measurement_by_name(
+            "oscilloscope",
+            MachineConfig::athlon_x4(),
+            RunConfig::quick()
+        )
+        .is_err());
     }
 }

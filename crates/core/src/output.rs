@@ -135,7 +135,10 @@ impl SavedPopulation {
                 genes,
             });
         }
-        Ok(SavedPopulation { generation, individuals })
+        Ok(SavedPopulation {
+            generation,
+            individuals,
+        })
     }
 
     /// Loads a population file from disk.
@@ -160,8 +163,10 @@ impl SavedPopulation {
                     .genes
                     .iter()
                     .filter_map(|gene| {
-                        pool.match_def_seq(&gene.instrs)
-                            .map(|def_index| Gene { def_index, instrs: gene.instrs.clone() })
+                        pool.match_def_seq(&gene.instrs).map(|def_index| Gene {
+                            def_index,
+                            instrs: gene.instrs.clone(),
+                        })
                     })
                     .collect()
             })
@@ -189,12 +194,18 @@ impl OutputWriter {
     /// # Errors
     ///
     /// I/O errors creating the directory or writing files.
-    pub fn new(dir: &Path, config: &GestConfig, template: &Template) -> Result<OutputWriter, GestError> {
+    pub fn new(
+        dir: &Path,
+        config: &GestConfig,
+        template: &Template,
+    ) -> Result<OutputWriter, GestError> {
         fs::create_dir_all(dir)?;
         fs::write(dir.join("config.xml"), config.to_xml().to_string())?;
         let template_program = template.materialize("template", Vec::new());
         fs::write(dir.join("template.txt"), template_program.to_string())?;
-        Ok(OutputWriter { dir: dir.to_owned() })
+        Ok(OutputWriter {
+            dir: dir.to_owned(),
+        })
     }
 
     /// The output directory.
@@ -226,7 +237,11 @@ impl OutputWriter {
             let mut source = program.to_string();
             // Custom per-definition formats, if any, are recorded after the
             // canonical source as a comment block.
-            if individual.genes.iter().any(|g| pool.defs()[g.def_index].format.is_some()) {
+            if individual
+                .genes
+                .iter()
+                .any(|g| pool.defs()[g.def_index].format.is_some())
+            {
                 source.push_str("; custom-format rendering:\n");
                 for gene in &individual.genes {
                     source.push_str("; ");
@@ -238,7 +253,8 @@ impl OutputWriter {
         }
         let saved = SavedPopulation::from_population(population);
         fs::write(
-            self.dir.join(format!("population_{:04}.bin", population.generation)),
+            self.dir
+                .join(format!("population_{:04}.bin", population.generation)),
             saved.encode(),
         )?;
         Ok(())
@@ -287,7 +303,11 @@ mod tests {
             individuals: (0..5)
                 .map(|i| Evaluated {
                     id: 100 + i,
-                    parents: if i == 0 { (None, None) } else { (Some(i), Some(i + 1)) },
+                    parents: if i == 0 {
+                        (None, None)
+                    } else {
+                        (Some(i), Some(i + 1))
+                    },
                     genes: (0..10).map(|_| pool.random_gene(&mut rng)).collect(),
                     fitness: i as f64 * 0.5,
                     measurements: vec![i as f64 * 0.5, 42.0],
@@ -324,7 +344,11 @@ mod tests {
         let seeds = saved.seed_genes(&pool);
         assert_eq!(seeds.len(), 5);
         for (seed, original) in seeds.iter().zip(&population.individuals) {
-            assert_eq!(seed.len(), original.genes.len(), "same pool keeps all genes");
+            assert_eq!(
+                seed.len(),
+                original.genes.len(),
+                "same pool keeps all genes"
+            );
         }
     }
 
@@ -336,7 +360,9 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("gest_out_test_{}", std::process::id()));
         let config = GestConfig::builder("cortex-a15").build().unwrap();
         let writer = OutputWriter::new(&dir, &config, &template).unwrap();
-        writer.save_generation(&population, &pool, &template).unwrap();
+        writer
+            .save_generation(&population, &pool, &template)
+            .unwrap();
 
         assert!(dir.join("config.xml").exists());
         assert!(dir.join("template.txt").exists());

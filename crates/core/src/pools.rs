@@ -35,21 +35,65 @@ fn base_builder() -> PoolBuilder {
         // Single base register, kept pointing at the scratch buffer.
         .operand(OperandDef::new("mem_base", int_regs(10..=10)))
         // The paper's Figure 4 example range: 0..256 stride 8.
-        .operand(OperandDef::new("mem_offset", OperandKind::Imm { min: 0, max: 256, stride: 8 }))
-        .operand(OperandDef::new("shift_amount", OperandKind::Imm { min: 1, max: 31, stride: 1 }))
-        .operand(OperandDef::new("small_imm", OperandKind::Imm { min: 0, max: 64, stride: 1 }))
+        .operand(OperandDef::new(
+            "mem_offset",
+            OperandKind::Imm {
+                min: 0,
+                max: 256,
+                stride: 8,
+            },
+        ))
+        .operand(OperandDef::new(
+            "shift_amount",
+            OperandKind::Imm {
+                min: 1,
+                max: 31,
+                stride: 1,
+            },
+        ))
+        .operand(OperandDef::new(
+            "small_imm",
+            OperandKind::Imm {
+                min: 0,
+                max: 64,
+                stride: 1,
+            },
+        ))
         .operand(OperandDef::new("vec_op", vec_regs(0..=7)))
         .operand(OperandDef::new("vec_acc", vec_regs(8..=15)))
-        .operand(OperandDef::new("skip", OperandKind::BranchOffset { min: 1, max: 3 }))
+        .operand(OperandDef::new(
+            "skip",
+            OperandKind::BranchOffset { min: 1, max: 3 },
+        ))
 }
 
 fn with_int_ops(builder: PoolBuilder) -> PoolBuilder {
     builder
-        .instruction(InstructionDef::new("ADD", Opcode::Add, ["int_op", "int_op", "int_op"]))
-        .instruction(InstructionDef::new("SUB", Opcode::Sub, ["int_op", "int_op", "int_op"]))
-        .instruction(InstructionDef::new("AND", Opcode::And, ["int_op", "int_op", "int_op"]))
-        .instruction(InstructionDef::new("ORR", Opcode::Orr, ["int_op", "int_op", "int_op"]))
-        .instruction(InstructionDef::new("EOR", Opcode::Eor, ["int_op", "int_op", "int_op"]))
+        .instruction(InstructionDef::new(
+            "ADD",
+            Opcode::Add,
+            ["int_op", "int_op", "int_op"],
+        ))
+        .instruction(InstructionDef::new(
+            "SUB",
+            Opcode::Sub,
+            ["int_op", "int_op", "int_op"],
+        ))
+        .instruction(InstructionDef::new(
+            "AND",
+            Opcode::And,
+            ["int_op", "int_op", "int_op"],
+        ))
+        .instruction(InstructionDef::new(
+            "ORR",
+            Opcode::Orr,
+            ["int_op", "int_op", "int_op"],
+        ))
+        .instruction(InstructionDef::new(
+            "EOR",
+            Opcode::Eor,
+            ["int_op", "int_op", "int_op"],
+        ))
         .instruction(InstructionDef::new(
             "ADDI",
             Opcode::Addi,
@@ -69,21 +113,45 @@ fn with_int_ops(builder: PoolBuilder) -> PoolBuilder {
 
 fn with_long_int_ops(builder: PoolBuilder) -> PoolBuilder {
     builder
-        .instruction(InstructionDef::new("MUL", Opcode::Mul, ["int_op", "int_op", "int_op"]))
+        .instruction(InstructionDef::new(
+            "MUL",
+            Opcode::Mul,
+            ["int_op", "int_op", "int_op"],
+        ))
         .instruction(InstructionDef::new(
             "MLA",
             Opcode::Mla,
             ["int_op", "int_op", "int_op", "int_op"],
         ))
-        .instruction(InstructionDef::new("SMULH", Opcode::Smulh, ["int_op", "int_op", "int_op"]))
-        .instruction(InstructionDef::new("SDIV", Opcode::Sdiv, ["int_op", "int_op", "int_op"]))
+        .instruction(InstructionDef::new(
+            "SMULH",
+            Opcode::Smulh,
+            ["int_op", "int_op", "int_op"],
+        ))
+        .instruction(InstructionDef::new(
+            "SDIV",
+            Opcode::Sdiv,
+            ["int_op", "int_op", "int_op"],
+        ))
 }
 
 fn with_fp_ops(builder: PoolBuilder) -> PoolBuilder {
     builder
-        .instruction(InstructionDef::new("FADD", Opcode::Fadd, ["vec_acc", "vec_op", "vec_op"]))
-        .instruction(InstructionDef::new("FMUL", Opcode::Fmul, ["vec_acc", "vec_op", "vec_op"]))
-        .instruction(InstructionDef::new("FMLA", Opcode::Fmla, ["vec_acc", "vec_op", "vec_op"]))
+        .instruction(InstructionDef::new(
+            "FADD",
+            Opcode::Fadd,
+            ["vec_acc", "vec_op", "vec_op"],
+        ))
+        .instruction(InstructionDef::new(
+            "FMUL",
+            Opcode::Fmul,
+            ["vec_acc", "vec_op", "vec_op"],
+        ))
+        .instruction(InstructionDef::new(
+            "FMLA",
+            Opcode::Fmla,
+            ["vec_acc", "vec_op", "vec_op"],
+        ))
         .instruction(InstructionDef::new(
             "VFADD",
             Opcode::Vfadd,
@@ -99,8 +167,16 @@ fn with_fp_ops(builder: PoolBuilder) -> PoolBuilder {
             Opcode::Vfmla,
             ["vec_acc", "vec_op", "vec_op"],
         ))
-        .instruction(InstructionDef::new("VEOR", Opcode::Veor, ["vec_acc", "vec_op", "vec_op"]))
-        .instruction(InstructionDef::new("VMUL", Opcode::Vmul, ["vec_acc", "vec_op", "vec_op"]))
+        .instruction(InstructionDef::new(
+            "VEOR",
+            Opcode::Veor,
+            ["vec_acc", "vec_op", "vec_op"],
+        ))
+        .instruction(InstructionDef::new(
+            "VMUL",
+            Opcode::Vmul,
+            ["vec_acc", "vec_op", "vec_op"],
+        ))
 }
 
 fn with_mem_ops(builder: PoolBuilder) -> PoolBuilder {
@@ -113,7 +189,11 @@ fn with_mem_ops(builder: PoolBuilder) -> PoolBuilder {
             )],
             format: Some("LDR op1,[op2,#op3]".into()),
         })
-        .instruction(InstructionDef::new("STR", Opcode::Str, ["int_op", "mem_base", "mem_offset"]))
+        .instruction(InstructionDef::new(
+            "STR",
+            Opcode::Str,
+            ["int_op", "mem_base", "mem_offset"],
+        ))
         .instruction(InstructionDef::new(
             "LDP",
             Opcode::Ldp,
@@ -135,15 +215,21 @@ fn with_branch_ops(builder: PoolBuilder) -> PoolBuilder {
     builder
         .instruction(InstructionDef::new("B", Opcode::B, ["skip"]))
         .instruction(InstructionDef::new("CBZ", Opcode::Cbz, ["int_op", "skip"]))
-        .instruction(InstructionDef::new("CBNZ", Opcode::Cbnz, ["int_op", "skip"]))
+        .instruction(InstructionDef::new(
+            "CBNZ",
+            Opcode::Cbnz,
+            ["int_op", "skip"],
+        ))
 }
 
 /// The full default pool: every instruction category (power and
 /// temperature searches use this — the GA decides the mix).
 pub fn full_pool() -> InstructionPool {
-    with_branch_ops(with_mem_ops(with_fp_ops(with_long_int_ops(with_int_ops(base_builder())))))
-        .build()
-        .expect("default pool is statically valid")
+    with_branch_ops(with_mem_ops(with_fp_ops(with_long_int_ops(with_int_ops(
+        base_builder(),
+    )))))
+    .build()
+    .expect("default pool is statically valid")
 }
 
 /// Alias of [`full_pool`]: power searches get the whole menu.
@@ -176,12 +262,20 @@ pub fn llc_pool() -> InstructionPool {
         // Strides covering a 256 KiB window at line granularity.
         .operand(OperandDef::new(
             "far_offset",
-            OperandKind::Imm { min: 0, max: 256 * 1024, stride: 64 },
+            OperandKind::Imm {
+                min: 0,
+                max: 256 * 1024,
+                stride: 64,
+            },
         ))
         // Pointer-advance amounts: one line up to 4 KiB.
         .operand(OperandDef::new(
             "advance",
-            OperandKind::Imm { min: 64, max: 4096, stride: 64 },
+            OperandKind::Imm {
+                min: 64,
+                max: 4096,
+                stride: 64,
+            },
         ));
     let builder = with_branch_ops(with_mem_ops(with_fp_ops(with_int_ops(builder))))
         .instruction(InstructionDef::new(
@@ -295,6 +389,10 @@ mod tests {
     #[test]
     fn total_search_space_is_large() {
         let pool = full_pool();
-        assert!(pool.total_variations() > 1000, "{}", pool.total_variations());
+        assert!(
+            pool.total_variations() > 1000,
+            "{}",
+            pool.total_variations()
+        );
     }
 }

@@ -9,9 +9,33 @@ use crate::measurement::{measurement_by_name, Measurement};
 use crate::output::{OutputWriter, SavedPopulation};
 use gest_ga::{Candidate, Evaluated, GaEngine, History, Population};
 use gest_isa::{Gene, Program};
-use parking_lot::Mutex;
+use gest_telemetry::{Buckets, SpanGuard, Telemetry};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Latency buckets for `eval.latency_us`: 100µs up to 100s, one decade
+/// per bucket.
+fn latency_buckets() -> Buckets {
+    Buckets::exponential(100.0, 10.0, 7)
+}
+
+/// Wide-range buckets for `sim.*` value histograms; summary statistics
+/// (min/mean/max) stay exact regardless of bucket resolution.
+fn sim_buckets() -> Buckets {
+    Buckets::exponential(1e-6, 10.0, 16)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "evaluation worker panicked".to_string()
+    }
+}
 
 /// Final outcome of a GeST search.
 #[derive(Debug, Clone)]
@@ -57,6 +81,9 @@ pub struct GestRun {
     current: Option<Population<Gene>>,
     best: Option<Evaluated<Gene>>,
     generation: u32,
+    telemetry: Telemetry,
+    /// Open for the whole search; closed by [`GestRun::finish`].
+    run_span: Option<SpanGuard>,
 }
 
 impl GestRun {
@@ -92,12 +119,13 @@ impl GestRun {
         // Equation-1 parameters: idle temperature = steady state under
         // static power alone; max = TJMAX (overridable via
         // `fitness_override`).
-        let idle_c = config.machine.thermal.steady_state_c(config.machine.energy.static_w);
+        let idle_c = config
+            .machine
+            .thermal
+            .steady_state_c(config.machine.energy.static_w);
         let fitness = match &config.fitness_override {
             Some(custom) => Arc::clone(custom),
-            None => {
-                fitness_by_name(&config.fitness_name, idle_c, config.machine.thermal.tjmax_c)?
-            }
+            None => fitness_by_name(&config.fitness_name, idle_c, config.machine.thermal.tjmax_c)?,
         };
         let genetics = PoolGenetics::new(Arc::clone(&config.pool))
             .with_whole_instruction_prob(config.whole_instruction_mutation_prob);
@@ -106,6 +134,17 @@ impl GestRun {
             Some(dir) => Some(OutputWriter::new(dir, &config, &config.template)?),
             None => None,
         };
+        let telemetry = config.telemetry.clone();
+        let run_span = Some(telemetry.span_with(
+            "run",
+            &[
+                ("machine", config.machine.name.as_str().into()),
+                ("measurement", measurement.name().into()),
+                ("population_size", config.ga.population_size.into()),
+                ("generations", u64::from(config.generations).into()),
+                ("seed", config.seed.into()),
+            ],
+        ));
         Ok(GestRun {
             config,
             engine,
@@ -116,6 +155,8 @@ impl GestRun {
             current: None,
             best: None,
             generation: 0,
+            telemetry,
+            run_span,
         })
     }
 
@@ -142,18 +183,27 @@ impl GestRun {
     ///
     /// Measurement/simulation errors; I/O errors when saving.
     pub fn step(&mut self) -> Result<&Population<Gene>, GestError> {
-        let candidates = match &self.current {
-            None => match &self.config.seed_population {
-                Some(path) => {
-                    let saved = SavedPopulation::load(path)?;
-                    let seeds = saved.seed_genes(&self.config.pool);
-                    self.engine.seed_from(seeds)
-                }
-                None => self.engine.seed(),
-            },
-            Some(population) => self.engine.next_generation(population),
+        let run_id = self.run_span.as_ref().and_then(SpanGuard::id);
+        let generation_span = self.telemetry.span_under(
+            run_id,
+            "generation",
+            &[("generation", u64::from(self.generation).into())],
+        );
+        let candidates = {
+            let _breed_span = self.telemetry.span("breed");
+            match &self.current {
+                None => match &self.config.seed_population {
+                    Some(path) => {
+                        let saved = SavedPopulation::load(path)?;
+                        let seeds = saved.seed_genes(&self.config.pool);
+                        self.engine.seed_from(seeds)
+                    }
+                    None => self.engine.seed(),
+                },
+                Some(population) => self.engine.next_generation(population),
+            }
         };
-        let population = self.evaluate(self.generation, candidates)?;
+        let population = self.evaluate(self.generation, candidates, generation_span.id())?;
         self.history.record(&population);
         if let Some(best) = population.best() {
             let replace = self.best.as_ref().is_none_or(|b| best.fitness > b.fitness);
@@ -161,11 +211,32 @@ impl GestRun {
                 self.best = Some(best.clone());
             }
         }
+        if self.telemetry.is_enabled() {
+            if let Some(best) = population.best() {
+                self.telemetry.point(
+                    "generation",
+                    &[
+                        ("generation", u64::from(self.generation).into()),
+                        ("best_fitness", best.fitness.into()),
+                        ("mean_fitness", population.mean_fitness().into()),
+                        (
+                            "best_ever",
+                            self.best
+                                .as_ref()
+                                .map_or(best.fitness, |b| b.fitness)
+                                .into(),
+                        ),
+                    ],
+                );
+            }
+        }
         if let Some(writer) = &self.writer {
+            let _save_span = self.telemetry.span("save");
             writer.save_generation(&population, &self.config.pool, &self.config.template)?;
         }
         self.generation += 1;
         self.current = Some(population);
+        drop(generation_span);
         Ok(self.current.as_ref().expect("just assigned"))
     }
 
@@ -178,6 +249,7 @@ impl GestRun {
         for _ in 0..self.config.generations {
             self.step()?;
         }
+        self.finish();
         let best = self.best.expect("at least one generation ran");
         let best_program = {
             let body = gest_isa::InstructionPool::flatten(&best.genes);
@@ -192,21 +264,70 @@ impl GestRun {
         })
     }
 
+    /// Closes the run-level span, flushes GA operator counters and
+    /// run-level gauges, and finishes the telemetry pipeline (drains
+    /// aggregated metrics to the sink). Idempotent; [`GestRun::run`] calls
+    /// it automatically, manual [`GestRun::step`] drivers should call it
+    /// once the search is over.
+    pub fn finish(&mut self) {
+        let Some(run_span) = self.run_span.take() else {
+            return;
+        };
+        if self.telemetry.is_enabled() {
+            let counts = self.engine.op_counts();
+            self.telemetry
+                .add_counter("ga.selections", counts.selections);
+            self.telemetry
+                .add_counter("ga.crossovers", counts.crossovers);
+            self.telemetry
+                .add_counter("ga.mutated_genes", counts.mutated_genes);
+            self.telemetry
+                .add_counter("ga.elite_copies", counts.elite_copies);
+            self.telemetry
+                .add_counter("ga.random_genes", counts.random_genes);
+            self.telemetry
+                .set_gauge("run.generations", f64::from(self.generation));
+            if let Some(best) = &self.best {
+                self.telemetry.set_gauge("run.best_fitness", best.fitness);
+            }
+        }
+        drop(run_span);
+        self.telemetry.finish();
+    }
+
     /// Evaluates candidates in parallel across the configured number of
     /// threads (the substrate analogue of the paper's per-individual
     /// measure step, which dominates runtime: "5 seconds per measurement …
     /// the runtime is approximately 7 hours").
+    ///
+    /// Candidates are pulled from a shared atomic cursor (work-stealing),
+    /// but results land in per-candidate slots, so the population order —
+    /// and therefore the search — is independent of thread scheduling.
     fn evaluate(
         &self,
         generation: u32,
         candidates: Vec<Candidate<Gene>>,
+        parent_span: Option<u64>,
     ) -> Result<Population<Gene>, GestError> {
         let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.config.threads
         }
         .min(candidates.len().max(1));
+
+        let eval_span = self.telemetry.span_under(
+            parent_span,
+            "evaluate",
+            &[
+                ("generation", u64::from(generation).into()),
+                ("candidates", candidates.len().into()),
+                ("threads", threads.into()),
+            ],
+        );
+        let eval_id = eval_span.id();
 
         type Slot = Mutex<Option<Result<Evaluated<Gene>, GestError>>>;
         let results: Vec<Slot> = candidates.iter().map(|_| Mutex::new(None)).collect();
@@ -215,26 +336,83 @@ impl GestRun {
         let results_ref = &results;
         let next_ref = &next;
 
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(move |_| loop {
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                scope.spawn(move || loop {
                     let index = next_ref.fetch_add(1, Ordering::Relaxed);
-                    let Some(candidate) = candidates_ref.get(index) else { break };
-                    let outcome = self.evaluate_one(generation, candidate);
-                    *results_ref[index].lock() = Some(outcome);
+                    let Some(candidate) = candidates_ref.get(index) else {
+                        break;
+                    };
+                    let outcome = self.evaluate_candidate(generation, candidate, worker, eval_id);
+                    *results_ref[index]
+                        .lock()
+                        .expect("result slot is not poisoned") = Some(outcome);
                 });
             }
-        })
-        .expect("evaluation workers do not panic");
+        });
 
+        drop(eval_span);
         let mut individuals = Vec::with_capacity(candidates.len());
         for slot in results {
-            match slot.into_inner().expect("every candidate was evaluated") {
+            match slot
+                .into_inner()
+                .expect("result slot is not poisoned")
+                .expect("every candidate was evaluated")
+            {
                 Ok(evaluated) => individuals.push(evaluated),
                 Err(e) => return Err(e),
             }
         }
-        Ok(Population { generation, individuals })
+        Ok(Population {
+            generation,
+            individuals,
+        })
+    }
+
+    /// One worker-side evaluation: opens the per-candidate span (parented
+    /// to the surrounding `evaluate` span, since the thread-local stack
+    /// cannot see across threads), converts worker panics into
+    /// [`GestError::Measurement`] so one bad measurement plug-in fails the
+    /// run cleanly instead of aborting the process, and records latency
+    /// and per-worker utilization metrics.
+    fn evaluate_candidate(
+        &self,
+        generation: u32,
+        candidate: &Candidate<Gene>,
+        worker: usize,
+        parent_span: Option<u64>,
+    ) -> Result<Evaluated<Gene>, GestError> {
+        let span = self.telemetry.span_under(
+            parent_span,
+            "eval.candidate",
+            &[
+                ("candidate", candidate.id.into()),
+                ("generation", u64::from(generation).into()),
+                ("worker", worker.into()),
+            ],
+        );
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.evaluate_one(generation, candidate)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(GestError::Measurement {
+                candidate: candidate.id,
+                message: panic_message(payload),
+            })
+        });
+        if self.telemetry.is_enabled() {
+            let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+            self.telemetry
+                .record("eval.latency_us", &latency_buckets(), elapsed_us);
+            self.telemetry
+                .add_counter(&format!("eval.worker.{worker}.candidates"), 1);
+            if outcome.is_err() {
+                self.telemetry.add_counter("eval.failures", 1);
+            }
+        }
+        drop(span);
+        outcome
     }
 
     fn evaluate_one(
@@ -243,7 +421,16 @@ impl GestRun {
         candidate: &Candidate<Gene>,
     ) -> Result<Evaluated<Gene>, GestError> {
         let program = self.materialize(&format!("{generation}_{}", candidate.id), &candidate.genes);
-        let measurements = self.measurement.measure(&program)?;
+        let (measurements, detail) = self.measurement.measure_detailed(&program)?;
+        if self.telemetry.is_enabled() {
+            if let Some(result) = &detail {
+                let buckets = sim_buckets();
+                for (key, value) in result.metric_kv() {
+                    self.telemetry
+                        .record(&format!("sim.{key}"), &buckets, value);
+                }
+            }
+        }
         let fitness = self.fitness.fitness(&FitnessContext {
             measurements: &measurements,
             genes: &candidate.genes,
@@ -277,7 +464,10 @@ mod tests {
 
     #[test]
     fn run_improves_or_holds_power_fitness() {
-        let summary = GestRun::new(tiny_config("cortex-a15", "power")).unwrap().run().unwrap();
+        let summary = GestRun::new(tiny_config("cortex-a15", "power"))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(summary.generations, 3);
         let series = summary.history.best_series();
         assert_eq!(series.len(), 3);
@@ -292,8 +482,14 @@ mod tests {
 
     #[test]
     fn runs_are_reproducible() {
-        let a = GestRun::new(tiny_config("cortex-a7", "power")).unwrap().run().unwrap();
-        let b = GestRun::new(tiny_config("cortex-a7", "power")).unwrap().run().unwrap();
+        let a = GestRun::new(tiny_config("cortex-a7", "power"))
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = GestRun::new(tiny_config("cortex-a7", "power"))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(a.best.genes, b.best.genes);
         assert_eq!(a.best.fitness, b.best.fitness);
     }
@@ -311,8 +507,10 @@ mod tests {
 
     #[test]
     fn voltage_noise_run_on_athlon() {
-        let summary =
-            GestRun::new(tiny_config("athlon-x4", "voltage_noise")).unwrap().run().unwrap();
+        let summary = GestRun::new(tiny_config("athlon-x4", "voltage_noise"))
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(summary.best.fitness > 0.0, "p2p noise should be positive");
         assert_eq!(summary.metric_names[0], "peak_to_peak_v");
     }
@@ -327,6 +525,146 @@ mod tests {
         run.step().unwrap();
         assert_eq!(run.population().unwrap().generation, 1);
         assert_eq!(run.history().summaries().len(), 2);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_measurement_error() {
+        use crate::measurement::Measurement;
+
+        /// Panics on one specific candidate, like a measurement plug-in
+        /// with a latent bug.
+        #[derive(Debug)]
+        struct Panicky;
+        impl Measurement for Panicky {
+            fn name(&self) -> &'static str {
+                "panicky"
+            }
+            fn metrics(&self) -> &'static [&'static str] {
+                &["value"]
+            }
+            fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+                assert!(program.name != "0_2", "instrument exploded");
+                Ok(vec![1.0])
+            }
+        }
+
+        let config = tiny_config("cortex-a15", "power");
+        let err = GestRun::with_measurement(config, Arc::new(Panicky))
+            .unwrap()
+            .run()
+            .unwrap_err();
+        match err {
+            GestError::Measurement { candidate, message } => {
+                assert_eq!(candidate, 2);
+                assert!(message.contains("instrument exploded"), "{message}");
+            }
+            other => panic!("expected a measurement error, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn traced_run_emits_spans_metrics_and_stays_deterministic() {
+        use gest_telemetry::{Event, MemorySink};
+
+        let sink = Arc::new(MemorySink::default());
+        let mut config = tiny_config("cortex-a7", "power");
+        config.telemetry = Telemetry::new(sink.clone());
+        let traced = GestRun::new(config).unwrap().run().unwrap();
+
+        // Telemetry observes the search without perturbing it.
+        let plain = GestRun::new(tiny_config("cortex-a7", "power"))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(traced.best.genes, plain.best.genes);
+        assert_eq!(traced.best.fitness, plain.best.fitness);
+
+        let events = sink.events();
+        let span_starts = |name: &str| {
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::SpanStart { name: n, .. } if n == name))
+                .count()
+        };
+        assert_eq!(span_starts("run"), 1);
+        assert_eq!(span_starts("generation"), 3);
+        assert_eq!(span_starts("breed"), 3);
+        assert_eq!(span_starts("evaluate"), 3);
+        assert_eq!(
+            span_starts("eval.candidate"),
+            18,
+            "6 candidates x 3 generations"
+        );
+        let span_ends = events
+            .iter()
+            .filter(|e| matches!(e, Event::SpanEnd { .. }))
+            .count();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, Event::SpanStart { .. }))
+            .count();
+        assert_eq!(span_ends, starts, "every span closes");
+
+        let points = events
+            .iter()
+            .filter(|e| matches!(e, Event::Point { name, .. } if name == "generation"))
+            .count();
+        assert_eq!(points, 3);
+
+        let counter = |wanted: &str| {
+            events.iter().find_map(|e| match e {
+                Event::Counter { name, value } if name == wanted => Some(*value),
+                _ => None,
+            })
+        };
+        assert_eq!(
+            counter("ga.random_genes"),
+            Some(6 * 8),
+            "seeding draws fresh genes"
+        );
+        assert!(counter("ga.selections").unwrap() > 0);
+        assert!(counter("ga.crossovers").unwrap() > 0);
+        assert!(
+            counter("ga.elite_copies").unwrap() >= 2,
+            "two bred generations"
+        );
+        let worker_total: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter { name, value }
+                    if name.starts_with("eval.worker.") && name.ends_with(".candidates") =>
+                {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(
+            worker_total, 18,
+            "thread-utilization counters cover every candidate"
+        );
+
+        let histogram = |wanted: &str| {
+            events.iter().find_map(|e| match e {
+                Event::Histogram { name, snapshot } if name == wanted => Some(snapshot.clone()),
+                _ => None,
+            })
+        };
+        assert_eq!(histogram("eval.latency_us").unwrap().count, 18);
+        assert_eq!(
+            histogram("sim.ipc").unwrap().count,
+            18,
+            "simulator stats become metrics"
+        );
+
+        let gauge = |wanted: &str| {
+            events.iter().find_map(|e| match e {
+                Event::Gauge { name, value } if name == wanted => Some(*value),
+                _ => None,
+            })
+        };
+        assert_eq!(gauge("run.generations"), Some(3.0));
+        assert_eq!(gauge("run.best_fitness"), Some(traced.best.fitness));
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub fn analyze_populations(populations: &[SavedPopulation]) -> Vec<GenerationSta
         .iter()
         .filter_map(|population| {
             let best = population.best()?;
-            let mean = population.individuals.iter().map(|i| i.fitness).sum::<f64>()
+            let mean = population
+                .individuals
+                .iter()
+                .map(|i| i.fitness)
+                .sum::<f64>()
                 / population.individuals.len() as f64;
             Some(GenerationStats {
                 generation: population.generation,
@@ -81,7 +85,9 @@ pub fn render_report(stats: &[GenerationStats]) -> String {
         "best",
         "mean",
         "unique",
-        InstrClass::ALL.map(|c| format!("{:>10}", c.label())).join(" ")
+        InstrClass::ALL
+            .map(|c| format!("{:>10}", c.label()))
+            .join(" ")
     );
     for s in stats {
         let _ = write!(
@@ -119,7 +125,9 @@ mod tests {
                     parents: (None, None),
                     fitness,
                     measurements: vec![fitness, 1.0],
-                    genes: (0..6).map(|_| pool.random_gene(&mut rng)).collect::<Vec<Gene>>(),
+                    genes: (0..6)
+                        .map(|_| pool.random_gene(&mut rng))
+                        .collect::<Vec<Gene>>(),
                 })
                 .collect(),
         }
@@ -138,7 +146,10 @@ mod tests {
 
     #[test]
     fn empty_populations_are_skipped() {
-        let empty = SavedPopulation { generation: 5, individuals: vec![] };
+        let empty = SavedPopulation {
+            generation: 5,
+            individuals: vec![],
+        };
         assert!(analyze_populations(&[empty]).is_empty());
     }
 

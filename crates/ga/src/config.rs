@@ -192,16 +192,31 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_fields() {
-        let mut config = GaConfig { population_size: 1, ..GaConfig::default() };
-        assert!(matches!(config.validate(), Err(GaConfigError::PopulationTooSmall(1))));
+        let mut config = GaConfig {
+            population_size: 1,
+            ..GaConfig::default()
+        };
+        assert!(matches!(
+            config.validate(),
+            Err(GaConfigError::PopulationTooSmall(1))
+        ));
         config.population_size = 10;
         config.individual_size = 0;
-        assert!(matches!(config.validate(), Err(GaConfigError::EmptyIndividual)));
+        assert!(matches!(
+            config.validate(),
+            Err(GaConfigError::EmptyIndividual)
+        ));
         config.individual_size = 10;
         config.mutation_rate = 1.5;
-        assert!(matches!(config.validate(), Err(GaConfigError::BadMutationRate(_))));
+        assert!(matches!(
+            config.validate(),
+            Err(GaConfigError::BadMutationRate(_))
+        ));
         config.mutation_rate = 0.1;
         config.selection = SelectionOp::Tournament { size: 0 };
-        assert!(matches!(config.validate(), Err(GaConfigError::EmptyTournament)));
+        assert!(matches!(
+            config.validate(),
+            Err(GaConfigError::EmptyTournament)
+        ));
     }
 }

@@ -35,6 +35,24 @@ pub struct Candidate<G> {
     pub genes: Vec<G>,
 }
 
+/// Cumulative genetic-operator application counts since engine creation —
+/// the GA's observability surface. The engine stays tracing-free; callers
+/// (e.g. `gest-core`'s runner) read these and export them as telemetry
+/// counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Tournament selections performed.
+    pub selections: u64,
+    /// Crossover operations (each produces two children).
+    pub crossovers: u64,
+    /// Genes changed by mutation.
+    pub mutated_genes: u64,
+    /// Elite individuals copied through unchanged.
+    pub elite_copies: u64,
+    /// Genes drawn fresh (seeding, padding).
+    pub random_genes: u64,
+}
+
 /// Coordinates the GA: owns the RNG, id allocation, and configuration.
 ///
 /// See the crate-level example for a full loop.
@@ -44,6 +62,7 @@ pub struct GaEngine<X: Genetics> {
     genetics: X,
     rng: StdRng,
     next_id: u64,
+    counts: OpCounts,
 }
 
 impl<X: Genetics> GaEngine<X> {
@@ -55,12 +74,23 @@ impl<X: Genetics> GaEngine<X> {
     /// first to handle errors gracefully.
     pub fn new(config: GaConfig, genetics: X, seed: u64) -> GaEngine<X> {
         config.validate().expect("invalid GA configuration");
-        GaEngine { config, genetics, rng: StdRng::seed_from_u64(seed), next_id: 0 }
+        GaEngine {
+            config,
+            genetics,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            counts: OpCounts::default(),
+        }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &GaConfig {
         &self.config
+    }
+
+    /// Cumulative operator counts since the engine was created.
+    pub fn op_counts(&self) -> OpCounts {
+        self.counts
     }
 
     /// Access to the domain plug-in.
@@ -74,14 +104,23 @@ impl<X: Genetics> GaEngine<X> {
         id
     }
 
+    fn fresh_gene(&mut self) -> X::Gene {
+        self.counts.random_genes += 1;
+        self.genetics.random_gene(&mut self.rng)
+    }
+
     /// Creates the random seed population (paper Figure 2, first step).
     pub fn seed(&mut self) -> Vec<Candidate<X::Gene>> {
         (0..self.config.population_size)
             .map(|_| {
                 let genes = (0..self.config.individual_size)
-                    .map(|_| self.genetics.random_gene(&mut self.rng))
+                    .map(|_| self.fresh_gene())
                     .collect();
-                Candidate { id: self.allocate_id(), parents: (None, None), genes }
+                Candidate {
+                    id: self.allocate_id(),
+                    parents: (None, None),
+                    genes,
+                }
             })
             .collect()
     }
@@ -98,17 +137,26 @@ impl<X: Genetics> GaEngine<X> {
             .map(|mut genes| {
                 genes.truncate(self.config.individual_size);
                 while genes.len() < self.config.individual_size {
-                    genes.push(self.genetics.random_gene(&mut self.rng));
+                    let gene = self.fresh_gene();
+                    genes.push(gene);
                 }
-                Candidate { id: self.allocate_id(), parents: (None, None), genes }
+                Candidate {
+                    id: self.allocate_id(),
+                    parents: (None, None),
+                    genes,
+                }
             })
             .collect();
         // Top up or trim to the configured population size.
         while candidates.len() < self.config.population_size {
             let genes = (0..self.config.individual_size)
-                .map(|_| self.genetics.random_gene(&mut self.rng))
+                .map(|_| self.fresh_gene())
                 .collect();
-            candidates.push(Candidate { id: self.allocate_id(), parents: (None, None), genes });
+            candidates.push(Candidate {
+                id: self.allocate_id(),
+                parents: (None, None),
+                genes,
+            });
         }
         candidates.truncate(self.config.population_size);
         candidates
@@ -122,14 +170,15 @@ impl<X: Genetics> GaEngine<X> {
     /// # Panics
     ///
     /// Panics if `population` is empty.
-    pub fn next_generation(
-        &mut self,
-        population: &Population<X::Gene>,
-    ) -> Vec<Candidate<X::Gene>> {
-        assert!(!population.is_empty(), "cannot breed from an empty population");
+    pub fn next_generation(&mut self, population: &Population<X::Gene>) -> Vec<Candidate<X::Gene>> {
+        assert!(
+            !population.is_empty(),
+            "cannot breed from an empty population"
+        );
         let mut next = Vec::with_capacity(self.config.population_size);
         if self.config.elitism {
             let best = population.best().expect("non-empty population");
+            self.counts.elite_copies += 1;
             next.push(Candidate {
                 id: self.allocate_id(),
                 parents: (Some(best.id), None),
@@ -140,6 +189,7 @@ impl<X: Genetics> GaEngine<X> {
             let SelectionOp::Tournament { size } = self.config.selection;
             let p1 = tournament_select(&population.individuals, size, &mut self.rng);
             let p2 = tournament_select(&population.individuals, size, &mut self.rng);
+            self.counts.selections += 2;
             let parent1 = &population.individuals[p1];
             let parent2 = &population.individuals[p2];
             let (mut genes1, mut genes2) = match self.config.crossover {
@@ -150,17 +200,32 @@ impl<X: Genetics> GaEngine<X> {
                     crossover_uniform(&parent1.genes, &parent2.genes, &mut self.rng)
                 }
             };
-            mutate(&mut genes1, self.config.mutation_rate, &mut self.rng, |g, rng| {
-                self.genetics.mutate_gene(g, rng)
-            });
-            mutate(&mut genes2, self.config.mutation_rate, &mut self.rng, |g, rng| {
-                self.genetics.mutate_gene(g, rng)
-            });
+            self.counts.crossovers += 1;
+            let mutated = mutate(
+                &mut genes1,
+                self.config.mutation_rate,
+                &mut self.rng,
+                |g, rng| self.genetics.mutate_gene(g, rng),
+            ) + mutate(
+                &mut genes2,
+                self.config.mutation_rate,
+                &mut self.rng,
+                |g, rng| self.genetics.mutate_gene(g, rng),
+            );
+            self.counts.mutated_genes += mutated as u64;
             let parents = (Some(parent1.id), Some(parent2.id));
-            next.push(Candidate { id: self.next_id, parents, genes: genes1 });
+            next.push(Candidate {
+                id: self.next_id,
+                parents,
+                genes: genes1,
+            });
             self.next_id += 1;
             if next.len() < self.config.population_size {
-                next.push(Candidate { id: self.next_id, parents, genes: genes2 });
+                next.push(Candidate {
+                    id: self.next_id,
+                    parents,
+                    genes: genes2,
+                });
                 self.next_id += 1;
             }
         }
@@ -191,7 +256,11 @@ mod tests {
     }
 
     fn small_config() -> GaConfig {
-        GaConfig { population_size: 20, individual_size: 10, ..GaConfig::default() }
+        GaConfig {
+            population_size: 20,
+            individual_size: 10,
+            ..GaConfig::default()
+        }
     }
 
     #[test]
@@ -235,7 +304,10 @@ mod tests {
             "GA failed to improve: {initial} -> {final_best}"
         );
         // Optimum is 255 * 10; forty generations should get close.
-        assert!(final_best > 0.85 * 2550.0, "final fitness too low: {final_best}");
+        assert!(
+            final_best > 0.85 * 2550.0,
+            "final fitness too low: {final_best}"
+        );
     }
 
     #[test]
@@ -254,7 +326,11 @@ mod tests {
 
     #[test]
     fn without_elitism_best_can_regress() {
-        let config = GaConfig { elitism: false, mutation_rate: 0.5, ..small_config() };
+        let config = GaConfig {
+            elitism: false,
+            mutation_rate: 0.5,
+            ..small_config()
+        };
         let mut engine = GaEngine::new(config, Bytes, 11);
         let mut population = Population::evaluate(0, engine.seed(), sum_fitness);
         let mut regressed = false;
@@ -268,7 +344,10 @@ mod tests {
             }
             prev = best;
         }
-        assert!(regressed, "high mutation without elitism should regress at least once");
+        assert!(
+            regressed,
+            "high mutation without elitism should regress at least once"
+        );
     }
 
     #[test]
@@ -299,9 +378,31 @@ mod tests {
     }
 
     #[test]
+    fn op_counts_track_operator_applications() {
+        let mut engine = GaEngine::new(small_config(), Bytes, 19);
+        assert_eq!(engine.op_counts(), OpCounts::default());
+        let population = Population::evaluate(0, engine.seed(), sum_fitness);
+        assert_eq!(
+            engine.op_counts().random_genes,
+            20 * 10,
+            "seed draws every gene"
+        );
+        engine.next_generation(&population);
+        let counts = engine.op_counts();
+        // 19 bred children (one elite) from ceil(19/2) = 10 crossovers.
+        assert_eq!(counts.elite_copies, 1);
+        assert_eq!(counts.crossovers, 10);
+        assert_eq!(counts.selections, 20, "two tournaments per crossover");
+        assert!(counts.mutated_genes > 0, "default rate mutates some genes");
+    }
+
+    #[test]
     #[should_panic(expected = "invalid GA configuration")]
     fn invalid_config_panics() {
-        let config = GaConfig { population_size: 0, ..GaConfig::default() };
+        let config = GaConfig {
+            population_size: 0,
+            ..GaConfig::default()
+        };
         let _ = GaEngine::new(config, Bytes, 0);
     }
 }

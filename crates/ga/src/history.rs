@@ -69,9 +69,13 @@ impl History {
 
     /// The summary of the generation with the highest best-fitness.
     pub fn best_ever(&self) -> Option<&GenerationSummary> {
-        self.summaries
-            .iter()
-            .reduce(|best, s| if s.best_fitness > best.best_fitness { s } else { best })
+        self.summaries.iter().reduce(|best, s| {
+            if s.best_fitness > best.best_fitness {
+                s
+            } else {
+                best
+            }
+        })
     }
 
     /// Whether the best fitness has failed to improve by more than
@@ -132,7 +136,10 @@ mod tests {
             history.record(&pop(generation, fitness));
         }
         assert!(history.plateaued(3, 1e-9));
-        assert!(!history.plateaued(4, 1e-9), "window reaching the 1.0->2.0 jump");
+        assert!(
+            !history.plateaued(4, 1e-9),
+            "window reaching the 1.0->2.0 jump"
+        );
     }
 
     #[test]

@@ -14,12 +14,11 @@ use rand::Rng;
 /// # Panics
 ///
 /// Panics if the population is empty or `size` is zero.
-pub fn tournament_select<G>(
-    population: &[Evaluated<G>],
-    size: usize,
-    rng: &mut StdRng,
-) -> usize {
-    assert!(!population.is_empty(), "tournament over an empty population");
+pub fn tournament_select<G>(population: &[Evaluated<G>], size: usize, rng: &mut StdRng) -> usize {
+    assert!(
+        !population.is_empty(),
+        "tournament over an empty population"
+    );
     assert!(size > 0, "tournament size must be positive");
     let mut best = rng.random_range(0..population.len());
     for _ in 1..size {
@@ -46,7 +45,11 @@ pub fn crossover_one_point<G: Clone>(
     parent2: &[G],
     rng: &mut StdRng,
 ) -> (Vec<G>, Vec<G>) {
-    assert_eq!(parent1.len(), parent2.len(), "parents must have equal length");
+    assert_eq!(
+        parent1.len(),
+        parent2.len(),
+        "parents must have equal length"
+    );
     assert!(!parent1.is_empty(), "parents must be non-empty");
     if parent1.len() == 1 {
         return (parent1.to_vec(), parent2.to_vec());
@@ -73,7 +76,11 @@ pub fn crossover_uniform<G: Clone>(
     parent2: &[G],
     rng: &mut StdRng,
 ) -> (Vec<G>, Vec<G>) {
-    assert_eq!(parent1.len(), parent2.len(), "parents must have equal length");
+    assert_eq!(
+        parent1.len(),
+        parent2.len(),
+        "parents must have equal length"
+    );
     let mut child1 = Vec::with_capacity(parent1.len());
     let mut child2 = Vec::with_capacity(parent1.len());
     for (a, b) in parent1.iter().zip(parent2) {
@@ -145,7 +152,9 @@ mod tests {
     fn tournament_of_one_is_uniform() {
         let pop = population(&[0.0, 9.0]);
         let mut rng = StdRng::seed_from_u64(2);
-        let picks: Vec<usize> = (0..200).map(|_| tournament_select(&pop, 1, &mut rng)).collect();
+        let picks: Vec<usize> = (0..200)
+            .map(|_| tournament_select(&pop, 1, &mut rng))
+            .collect();
         assert!(picks.contains(&0), "size-1 tournaments ignore fitness");
         assert!(picks.contains(&1));
     }
@@ -161,8 +170,7 @@ mod tests {
         assert_eq!(c2[0], 2);
         assert_eq!(*c1.last().unwrap(), 2);
         assert_eq!(*c2.last().unwrap(), 1);
-        let switches =
-            |c: &[u8]| c.windows(2).filter(|w| w[0] != w[1]).count();
+        let switches = |c: &[u8]| c.windows(2).filter(|w| w[0] != w[1]).count();
         assert_eq!(switches(&c1), 1);
         assert_eq!(switches(&c2), 1);
     }

@@ -53,7 +53,10 @@ impl<G> Population<G> {
                 }
             })
             .collect();
-        Population { generation, individuals }
+        Population {
+            generation,
+            individuals,
+        }
     }
 
     /// The fittest individual, if the population is non-empty.
@@ -129,9 +132,11 @@ mod tests {
 
     #[test]
     fn evaluate_maps_candidates() {
-        let candidates = vec![
-            Candidate { id: 7, parents: (Some(1), Some(2)), genes: vec![3u8, 4] },
-        ];
+        let candidates = vec![Candidate {
+            id: 7,
+            parents: (Some(1), Some(2)),
+            genes: vec![3u8, 4],
+        }];
         let population = Population::evaluate(2, candidates, |genes| {
             (genes.iter().map(|&g| g as f64).sum(), vec![1.0, 2.0])
         });

@@ -3,7 +3,10 @@
 //! is driven.
 //!
 //! ```text
-//! gest run <config.xml>            run a GA search from a main configuration
+//! gest run <config.xml> [--trace[=PATH]] [--progress]
+//!                                  run a GA search from a main configuration
+//! gest report <run_trace.jsonl>    summarize a trace: phases, slow candidates,
+//!                                  operator mix, convergence vs wall-clock
 //! gest stats <output_dir>          per-generation report from saved populations
 //! gest show <population.bin> [n]   print individuals from a population file
 //! gest machines                    list the machine presets
@@ -13,15 +16,23 @@
 use gest::core::{stats, GestConfig, GestError, GestRun, SavedPopulation};
 use gest::isa::InstrClass;
 use gest::sim::{MachineConfig, RunConfig, Simulator};
-use std::path::Path;
+use gest::telemetry::json::Value;
+use gest::telemetry::{ConsoleSink, Event, JsonlSink, MultiSink, Sink, Telemetry};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("run") => cmd_run(args.get(1).map(String::as_str)),
+        Some("run") => cmd_run(&args[1..]),
+        Some("report") => cmd_report(args.get(1).map(String::as_str)),
         Some("stats") => cmd_stats(args.get(1).map(String::as_str)),
-        Some("show") => cmd_show(args.get(1).map(String::as_str), args.get(2).map(String::as_str)),
+        Some("show") => cmd_show(
+            args.get(1).map(String::as_str),
+            args.get(2).map(String::as_str),
+        ),
         Some("machines") => cmd_machines(),
         Some("workloads") => cmd_workloads(args.get(1).map(String::as_str)),
         Some("help") | None => {
@@ -47,7 +58,10 @@ fn print_usage() {
     eprintln!(
         "gest — GA-driven CPU stress-test generation\n\n\
          usage:\n  \
-         gest run <config.xml>            run a GA search from a main configuration\n  \
+         gest run <config.xml> [flags]    run a GA search from a main configuration\n    \
+         --trace[=PATH]                 write run_trace.jsonl (default: output dir)\n    \
+         --progress                     live per-generation progress on stderr\n  \
+         gest report <run_trace.jsonl>    summarize a trace written by run --trace\n  \
          gest stats <output_dir>          per-generation report from saved populations\n  \
          gest show <population.bin> [n]   print the n fittest individuals (default 1)\n  \
          gest machines                    list the machine presets\n  \
@@ -59,10 +73,59 @@ fn required<'a>(arg: Option<&'a str>, what: &str) -> Result<&'a str, GestError> 
     arg.ok_or_else(|| GestError::Config(format!("missing argument: {what}")))
 }
 
-fn cmd_run(path: Option<&str>) -> Result<(), GestError> {
-    let path = required(path, "path to config.xml")?;
+fn cmd_run(args: &[String]) -> Result<(), GestError> {
+    let mut config_path = None;
+    let mut trace: Option<Option<String>> = None;
+    let mut progress = false;
+    for arg in args {
+        if arg == "--progress" {
+            progress = true;
+        } else if arg == "--trace" {
+            trace = Some(None);
+        } else if let Some(path) = arg.strip_prefix("--trace=") {
+            trace = Some(Some(path.to_string()));
+        } else if arg.starts_with("--") {
+            return Err(GestError::Config(format!("unknown flag {arg:?}")));
+        } else if config_path.is_none() {
+            config_path = Some(arg.as_str());
+        } else {
+            return Err(GestError::Config(format!("unexpected argument {arg:?}")));
+        }
+    }
+    let path = required(config_path, "path to config.xml")?;
     let text = std::fs::read_to_string(path)?;
-    let config = GestConfig::from_xml_str(&text)?;
+    let mut config = GestConfig::from_xml_str(&text)?;
+
+    let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+    let mut trace_path = None;
+    if let Some(requested) = trace {
+        let path = match requested {
+            Some(explicit) => PathBuf::from(explicit),
+            None => config.output_dir.as_ref().map_or_else(
+                || PathBuf::from("run_trace.jsonl"),
+                |d| d.join("run_trace.jsonl"),
+            ),
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        sinks.push(Arc::new(JsonlSink::create(&path)?));
+        trace_path = Some(path);
+    }
+    if progress {
+        sinks.push(Arc::new(ConsoleSink));
+    }
+    if !sinks.is_empty() {
+        let sink = if sinks.len() == 1 {
+            sinks.remove(0)
+        } else {
+            Arc::new(MultiSink::new(sinks)) as Arc<dyn Sink>
+        };
+        config.telemetry = Telemetry::new(sink);
+    }
+
     let generations = config.generations;
     eprintln!(
         "machine {}, measurement {}, population {}, loop {}, {} generations",
@@ -84,14 +147,232 @@ fn cmd_run(path: Option<&str>) -> Result<(), GestError> {
             population.mean_fitness()
         );
     }
+    run.finish();
     let history = run.history();
     if let Some(best_ever) = history.best_ever() {
-        println!("best fitness: {:.5} (generation {})", best_ever.best_fitness, best_ever.generation);
+        println!(
+            "best fitness: {:.5} (generation {})",
+            best_ever.best_fitness, best_ever.generation
+        );
     }
     if let Some(dir) = output_dir {
         println!("outputs written to {}", dir.display());
     } else {
         println!("(no <output dir=...> configured; outputs were not saved)");
+    }
+    if let Some(path) = trace_path {
+        println!(
+            "trace written to {} (inspect with `gest report`)",
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+/// Reads every parseable event from a `run_trace.jsonl` file, skipping
+/// lines written by unknown schema versions.
+fn load_trace(path: &str) -> Result<Vec<Event>, GestError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut events = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(value) = Value::parse(line) else {
+            continue;
+        };
+        if let Some(event) = Event::from_json(&value) {
+            events.push(event);
+        }
+    }
+    Ok(events)
+}
+
+fn cmd_report(path: Option<&str>) -> Result<(), GestError> {
+    let path = required(path, "path to run_trace.jsonl")?;
+    let events = load_trace(path)?;
+    if events.is_empty() {
+        return Err(GestError::Config(format!(
+            "no telemetry events found in {path:?}"
+        )));
+    }
+
+    // --- Time per phase: aggregate closed spans by name. ---
+    struct Phase {
+        count: u64,
+        total_us: u64,
+        max_us: u64,
+    }
+    let mut phases: BTreeMap<&str, Phase> = BTreeMap::new();
+    let mut wall_us = 0;
+    for event in &events {
+        if let Event::SpanEnd {
+            name, dur_us, t_us, ..
+        } = event
+        {
+            let phase = phases.entry(name).or_insert(Phase {
+                count: 0,
+                total_us: 0,
+                max_us: 0,
+            });
+            phase.count += 1;
+            phase.total_us += dur_us;
+            phase.max_us = phase.max_us.max(*dur_us);
+            wall_us = wall_us.max(*t_us);
+        }
+    }
+    let wall_s = wall_us as f64 / 1e6;
+    println!("trace: {path}");
+    println!("wall clock: {wall_s:.3} s\n");
+    println!("time per phase");
+    println!(
+        "  {:<16} {:>7} {:>12} {:>12} {:>12} {:>7}",
+        "span", "count", "total(ms)", "mean(ms)", "max(ms)", "%wall"
+    );
+    for (name, phase) in &phases {
+        let total_ms = phase.total_us as f64 / 1e3;
+        println!(
+            "  {:<16} {:>7} {:>12.2} {:>12.3} {:>12.3} {:>6.1}%",
+            name,
+            phase.count,
+            total_ms,
+            total_ms / phase.count as f64,
+            phase.max_us as f64 / 1e3,
+            if wall_us > 0 {
+                100.0 * phase.total_us as f64 / wall_us as f64
+            } else {
+                0.0
+            },
+        );
+    }
+
+    // --- Slowest candidates: join eval.candidate starts (fields) with
+    // their ends (durations) by span id. ---
+    let mut starts: BTreeMap<u64, String> = BTreeMap::new();
+    let mut slowest: Vec<(u64, String)> = Vec::new();
+    for event in &events {
+        match event {
+            Event::SpanStart {
+                id, name, fields, ..
+            } if name == "eval.candidate" => {
+                let field = |wanted: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == wanted)
+                        .map_or_else(|| "?".to_string(), |(_, v)| v.to_string())
+                };
+                starts.insert(
+                    *id,
+                    format!(
+                        "candidate {} (generation {}, worker {})",
+                        field("candidate"),
+                        field("generation"),
+                        field("worker")
+                    ),
+                );
+            }
+            Event::SpanEnd {
+                id, name, dur_us, ..
+            } if name == "eval.candidate" => {
+                if let Some(label) = starts.remove(id) {
+                    slowest.push((*dur_us, label));
+                }
+            }
+            _ => {}
+        }
+    }
+    if !slowest.is_empty() {
+        slowest.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+        println!("\nslowest candidate evaluations");
+        for (dur_us, label) in slowest.iter().take(5) {
+            println!("  {:>10.3} ms  {label}", *dur_us as f64 / 1e3);
+        }
+    }
+
+    // --- GA operator mix and other counters. ---
+    let counters: Vec<(&str, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Counter { name, value } => Some((name.as_str(), *value)),
+            _ => None,
+        })
+        .collect();
+    let ga: Vec<_> = counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("ga."))
+        .collect();
+    if !ga.is_empty() {
+        println!("\noperator mix");
+        for (name, value) in ga {
+            println!("  {:<24} {value:>10}", name.trim_start_matches("ga."));
+        }
+    }
+    let workers: Vec<_> = counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("eval.worker."))
+        .collect();
+    if !workers.is_empty() {
+        println!("\nthread utilization (candidates per worker)");
+        for (name, value) in workers {
+            println!("  {name:<24} {value:>10}");
+        }
+    }
+
+    // --- Convergence vs wall clock, from generation points. ---
+    let mut printed_header = false;
+    for event in &events {
+        if let Event::Point {
+            name, t_us, fields, ..
+        } = event
+        {
+            if name != "generation" {
+                continue;
+            }
+            if !printed_header {
+                println!("\nconvergence vs wall clock");
+                println!(
+                    "  {:>9} {:>11} {:>13} {:>13}",
+                    "t(s)", "generation", "best", "mean"
+                );
+                printed_header = true;
+            }
+            let field = |wanted: &str| {
+                fields
+                    .iter()
+                    .find(|(k, _)| k == wanted)
+                    .map_or_else(|| "?".to_string(), |(_, v)| v.to_string())
+            };
+            println!(
+                "  {:>9.3} {:>11} {:>13} {:>13}",
+                *t_us as f64 / 1e6,
+                field("generation"),
+                field("best_fitness"),
+                field("mean_fitness"),
+            );
+        }
+    }
+
+    // --- Histogram summaries (eval latency, simulator stats). ---
+    let mut printed_header = false;
+    for event in &events {
+        if let Event::Histogram { name, snapshot } = event {
+            if !printed_header {
+                println!("\ndistributions");
+                println!(
+                    "  {:<24} {:>7} {:>13} {:>13} {:>13}",
+                    "metric", "n", "mean", "min", "max"
+                );
+                printed_header = true;
+            }
+            println!(
+                "  {:<24} {:>7} {:>13.4} {:>13.4} {:>13.4}",
+                name,
+                snapshot.count,
+                snapshot.mean(),
+                snapshot.min,
+                snapshot.max
+            );
+        }
     }
     Ok(())
 }
@@ -110,12 +391,17 @@ fn cmd_stats(dir: Option<&str>) -> Result<(), GestError> {
 fn cmd_show(path: Option<&str>, count: Option<&str>) -> Result<(), GestError> {
     let path = required(path, "population file")?;
     let count: usize = count.map_or(Ok(1), |c| {
-        c.parse().map_err(|_| GestError::Config(format!("bad count {c:?}")))
+        c.parse()
+            .map_err(|_| GestError::Config(format!("bad count {c:?}")))
     })?;
     let population = SavedPopulation::load(Path::new(path))?;
     let mut individuals: Vec<_> = population.individuals.iter().collect();
     individuals.sort_by(|a, b| b.fitness.total_cmp(&a.fitness));
-    println!("generation {}, {} individuals", population.generation, individuals.len());
+    println!(
+        "generation {}, {} individuals",
+        population.generation,
+        individuals.len()
+    );
     for individual in individuals.into_iter().take(count) {
         println!(
             "\n; individual {} — fitness {:.5}, measurements {:?}, parents {:?}",

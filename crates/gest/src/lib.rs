@@ -21,6 +21,8 @@
 //!   fitness functions, the run driver, outputs and statistics;
 //! * [`workloads`] — the baseline benchmark proxies the paper compares
 //!   against;
+//! * [`telemetry`] — spans, metrics, and `run_trace.jsonl` artifacts for
+//!   observing the search (disabled by default, near-zero cost when off);
 //! * [`xml`] — the minimal XML parser behind the configuration files.
 //!
 //! # Quick start
@@ -47,14 +49,15 @@ pub use gest_core as core;
 pub use gest_ga as ga;
 pub use gest_isa as isa;
 pub use gest_sim as sim;
+pub use gest_telemetry as telemetry;
 pub use gest_workloads as workloads;
 pub use gest_xml as xml;
 
 /// Convenience prelude bringing the most-used types into scope.
 pub mod prelude {
     pub use gest_core::{
-        fitness_by_name, measurement_by_name, DefaultFitness, Fitness, FitnessContext,
-        GestConfig, GestError, GestRun, Measurement, RunSummary, TempSimplicityFitness,
+        fitness_by_name, measurement_by_name, DefaultFitness, Fitness, FitnessContext, GestConfig,
+        GestError, GestRun, Measurement, RunSummary, TempSimplicityFitness,
     };
     pub use gest_ga::{CrossoverOp, GaConfig, History, Population, SelectionOp};
     pub use gest_isa::{
@@ -63,6 +66,7 @@ pub mod prelude {
     pub use gest_sim::{
         characterize_vmin, MachineConfig, RunConfig, RunResult, Simulator, VminConfig,
     };
+    pub use gest_telemetry::{ConsoleSink, JsonlSink, MemorySink, Telemetry};
 }
 
 #[cfg(test)]

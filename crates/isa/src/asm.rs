@@ -186,7 +186,11 @@ fn resolve_branch_label(
     if body.is_empty() {
         return Ok(code.to_owned());
     }
-    let token = body.rsplit(',').next().expect("rsplit yields at least one piece").trim();
+    let token = body
+        .rsplit(',')
+        .next()
+        .expect("rsplit yields at least one piece")
+        .trim();
     if token.starts_with('#') || !is_label_name(token) {
         return Ok(code.to_owned()); // numeric form, parse as-is
     }
@@ -276,7 +280,10 @@ fn split_operands(rest: &str, line_no: u32) -> Result<Vec<String>, IsaError> {
         current.push(c);
     }
     if depth != 0 {
-        return Err(IsaError::Syntax { line: line_no, message: "unbalanced '['".into() });
+        return Err(IsaError::Syntax {
+            line: line_no,
+            message: "unbalanced '['".into(),
+        });
     }
     push_token(&mut tokens, &mut current);
     // Flatten bracketed memory operands: "[x10" came through as part of a
@@ -307,7 +314,10 @@ fn push_token(tokens: &mut Vec<String>, current: &mut String) {
 }
 
 fn parse_operand(token: &str, slot: OperandSlot, line_no: u32) -> Result<Operand, IsaError> {
-    let syntax = |message: String| IsaError::Syntax { line: line_no, message };
+    let syntax = |message: String| IsaError::Syntax {
+        line: line_no,
+        message,
+    };
     match slot {
         OperandSlot::IntDst | OperandSlot::IntSrc => token
             .parse()
@@ -317,11 +327,11 @@ fn parse_operand(token: &str, slot: OperandSlot, line_no: u32) -> Result<Operand
             .parse()
             .map(Operand::VReg)
             .map_err(|_| syntax(format!("expected vector register, found {token:?}"))),
-        OperandSlot::Imm => {
-            parse_imm(token).map(Operand::Imm).ok_or_else(|| {
-                syntax(format!("expected immediate like #8 or #0xAA, found {token:?}"))
-            })
-        }
+        OperandSlot::Imm => parse_imm(token).map(Operand::Imm).ok_or_else(|| {
+            syntax(format!(
+                "expected immediate like #8 or #0xAA, found {token:?}"
+            ))
+        }),
         OperandSlot::BranchTarget => {
             let value = parse_imm(token)
                 .ok_or_else(|| syntax(format!("expected branch offset, found {token:?}")))?;
@@ -340,14 +350,21 @@ fn parse_imm(token: &str) -> Option<i64> {
         Some(rest) => (true, rest),
         None => (false, body),
     };
-    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+    let value = if let Some(hex) = digits
+        .strip_prefix("0x")
+        .or_else(|| digits.strip_prefix("0X"))
+    {
         u64::from_str_radix(hex, 16).ok()? as i64
     } else {
         // Parse through u64 so full-width bit patterns (e.g. #18446744...)
         // are accepted, then reinterpret.
         digits.parse::<u64>().ok()? as i64
     };
-    Some(if negative { value.wrapping_neg() } else { value })
+    Some(if negative {
+        value.wrapping_neg()
+    } else {
+        value
+    })
 }
 
 #[cfg(test)]
@@ -446,7 +463,9 @@ mod tests {
     #[test]
     fn undefined_label_rejected() {
         let err = parse_labeled_block("B nowhere\nNOP").unwrap_err();
-        assert!(matches!(err, IsaError::Syntax { ref message, .. } if message.contains("undefined")));
+        assert!(
+            matches!(err, IsaError::Syntax { ref message, .. } if message.contains("undefined"))
+        );
     }
 
     #[test]

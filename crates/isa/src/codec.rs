@@ -206,17 +206,23 @@ impl<'a> Decoder<'a> {
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2, "u16")?.try_into().expect("2 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4, "u32")?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8, "u64")?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads an `f64` from its bit pattern.
@@ -232,20 +238,29 @@ impl<'a> Decoder<'a> {
             // The 10th byte (shift 63) may only contribute one bit; higher
             // bits would silently wrap.
             if shift == 63 && byte & 0x7E != 0 {
-                return Err(CodecError::BadTag { decoding: "varint", tag: byte as u16 });
+                return Err(CodecError::BadTag {
+                    decoding: "varint",
+                    tag: byte as u16,
+                });
             }
             value |= ((byte & 0x7F) as u64) << shift;
             if byte & 0x80 == 0 {
                 return Ok(value);
             }
         }
-        Err(CodecError::BadTag { decoding: "varint", tag: 0x80 })
+        Err(CodecError::BadTag {
+            decoding: "varint",
+            tag: 0x80,
+        })
     }
 
     fn len_prefix(&mut self, what: &'static str) -> Result<usize, CodecError> {
         let len = self.varint()?;
         if len > MAX_LEN {
-            return Err(CodecError::LengthOverflow { length: len, limit: MAX_LEN });
+            return Err(CodecError::LengthOverflow {
+                length: len,
+                limit: MAX_LEN,
+            });
         }
         if len as usize > self.remaining() {
             return Err(CodecError::UnexpectedEnd { decoding: what });
@@ -267,10 +282,12 @@ impl<'a> Decoder<'a> {
     /// Reads an instruction.
     pub fn instruction(&mut self) -> Result<Instruction, CodecError> {
         let opcode_index = self.u16()?;
-        let opcode = *Opcode::ALL.get(opcode_index as usize).ok_or(CodecError::BadTag {
-            decoding: "opcode",
-            tag: opcode_index,
-        })?;
+        let opcode = *Opcode::ALL
+            .get(opcode_index as usize)
+            .ok_or(CodecError::BadTag {
+                decoding: "opcode",
+                tag: opcode_index,
+            })?;
         let mut operands = Vec::with_capacity(opcode.slots().len());
         for _ in opcode.slots() {
             let tag = self.u8()?;
@@ -280,7 +297,10 @@ impl<'a> Decoder<'a> {
                 2 => Operand::Imm(self.u64()? as i64),
                 3 => Operand::Target(self.u8()?),
                 other => {
-                    return Err(CodecError::BadTag { decoding: "operand", tag: other as u16 })
+                    return Err(CodecError::BadTag {
+                        decoding: "operand",
+                        tag: other as u16,
+                    })
                 }
             };
             operands.push(operand);
@@ -292,7 +312,10 @@ impl<'a> Decoder<'a> {
     pub fn instructions(&mut self) -> Result<Vec<Instruction>, CodecError> {
         let len = self.varint()?;
         if len > MAX_LEN {
-            return Err(CodecError::LengthOverflow { length: len, limit: MAX_LEN });
+            return Err(CodecError::LengthOverflow {
+                length: len,
+                limit: MAX_LEN,
+            });
         }
         let mut out = Vec::with_capacity(len as usize);
         for _ in 0..len {
@@ -309,12 +332,20 @@ impl<'a> Decoder<'a> {
             1 => MemInit::Fill(self.u8()?),
             2 => MemInit::Checkerboard,
             other => {
-                return Err(CodecError::BadTag { decoding: "mem_init", tag: other as u16 })
+                return Err(CodecError::BadTag {
+                    decoding: "mem_init",
+                    tag: other as u16,
+                })
             }
         };
         let init = self.instructions()?;
         let body = self.instructions()?;
-        Ok(Program { name, init, body, mem_init })
+        Ok(Program {
+            name,
+            init,
+            body,
+            mem_init,
+        })
     }
 }
 
@@ -326,7 +357,14 @@ mod tests {
     #[test]
     fn primitive_round_trip() {
         let mut enc = Encoder::new();
-        enc.u8(7).u16(300).u32(70_000).u64(1 << 50).f64(3.5).varint(0).varint(127).varint(u64::MAX);
+        enc.u8(7)
+            .u16(300)
+            .u32(70_000)
+            .u64(1 << 50)
+            .f64(3.5)
+            .varint(0)
+            .varint(127)
+            .varint(u64::MAX);
         let bytes = enc.into_bytes();
         let mut dec = Decoder::new(&bytes);
         assert_eq!(dec.u8().unwrap(), 7);
@@ -364,7 +402,10 @@ mod tests {
         bytes.push(0x7F);
         assert!(matches!(
             Decoder::new(&bytes).varint(),
-            Err(CodecError::BadTag { decoding: "varint", .. })
+            Err(CodecError::BadTag {
+                decoding: "varint",
+                ..
+            })
         ));
         // u64::MAX itself still decodes.
         let mut enc = Encoder::new();
@@ -378,7 +419,10 @@ mod tests {
         enc.varint(MAX_LEN + 1);
         let bytes = enc.into_bytes();
         let mut dec = Decoder::new(&bytes);
-        assert!(matches!(dec.bytes(), Err(CodecError::LengthOverflow { .. })));
+        assert!(matches!(
+            dec.bytes(),
+            Err(CodecError::LengthOverflow { .. })
+        ));
     }
 
     #[test]
@@ -424,7 +468,10 @@ mod tests {
         let bytes = enc.into_bytes();
         assert!(matches!(
             Decoder::new(&bytes).instruction(),
-            Err(CodecError::BadTag { decoding: "opcode", .. })
+            Err(CodecError::BadTag {
+                decoding: "opcode",
+                ..
+            })
         ));
     }
 
@@ -436,7 +483,10 @@ mod tests {
         let bytes = enc.into_bytes();
         assert!(matches!(
             Decoder::new(&bytes).instruction(),
-            Err(CodecError::BadTag { decoding: "operand", .. })
+            Err(CodecError::BadTag {
+                decoding: "operand",
+                ..
+            })
         ));
     }
 

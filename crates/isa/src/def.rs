@@ -98,9 +98,7 @@ impl OperandKind {
             (OperandKind::Imm { min, max, stride }, Operand::Imm(value)) => {
                 value >= *min && value <= *max && (value - min) % stride == 0
             }
-            (OperandKind::BranchOffset { min, max }, Operand::Target(t)) => {
-                t >= *min && t <= *max
-            }
+            (OperandKind::BranchOffset { min, max }, Operand::Target(t)) => t >= *min && t <= *max,
             _ => false,
         }
     }
@@ -131,7 +129,10 @@ pub struct OperandDef {
 impl OperandDef {
     /// Creates an operand definition.
     pub fn new(id: impl Into<String>, kind: OperandKind) -> OperandDef {
-        OperandDef { id: id.into(), kind }
+        OperandDef {
+            id: id.into(),
+            kind,
+        }
     }
 }
 
@@ -151,7 +152,10 @@ impl InstructionPart {
         opcode: Opcode,
         operand_ids: impl IntoIterator<Item = impl Into<String>>,
     ) -> InstructionPart {
-        InstructionPart { opcode, operand_ids: operand_ids.into_iter().map(Into::into).collect() }
+        InstructionPart {
+            opcode,
+            operand_ids: operand_ids.into_iter().map(Into::into).collect(),
+        }
     }
 }
 
@@ -194,7 +198,11 @@ impl InstructionDef {
         name: impl Into<String>,
         parts: impl IntoIterator<Item = InstructionPart>,
     ) -> InstructionDef {
-        InstructionDef { name: name.into(), parts: parts.into_iter().collect(), format: None }
+        InstructionDef {
+            name: name.into(),
+            parts: parts.into_iter().collect(),
+            format: None,
+        }
     }
 
     /// The first part's opcode — the definition's "headline" opcode, used
@@ -340,15 +348,21 @@ impl PoolBuilder {
             }
         }
         if self.instructions.is_empty() {
-            return Err(IsaError::EmptyDefinition { id: "<instruction pool>".into() });
+            return Err(IsaError::EmptyDefinition {
+                id: "<instruction pool>".into(),
+            });
         }
         let mut seen = std::collections::HashSet::new();
         for def in &self.instructions {
             if !seen.insert(def.name.clone()) {
-                return Err(IsaError::DuplicateDefinition { id: def.name.clone() });
+                return Err(IsaError::DuplicateDefinition {
+                    id: def.name.clone(),
+                });
             }
             if def.parts.is_empty() {
-                return Err(IsaError::EmptyDefinition { id: def.name.clone() });
+                return Err(IsaError::EmptyDefinition {
+                    id: def.name.clone(),
+                });
             }
             for part in &def.parts {
                 let slots = part.opcode.slots();
@@ -364,11 +378,10 @@ impl PoolBuilder {
                     });
                 }
                 for (id, &slot) in part.operand_ids.iter().zip(slots) {
-                    let operand =
-                        operands.get(id).ok_or_else(|| IsaError::UndefinedOperand {
-                            instruction: def.name.clone(),
-                            operand: id.clone(),
-                        })?;
+                    let operand = operands.get(id).ok_or_else(|| IsaError::UndefinedOperand {
+                        instruction: def.name.clone(),
+                        operand: id.clone(),
+                    })?;
                     if !operand.kind.compatible(slot) {
                         return Err(IsaError::IncompatibleOperand {
                             instruction: def.name.clone(),
@@ -379,7 +392,10 @@ impl PoolBuilder {
                 }
             }
         }
-        Ok(InstructionPool { operands, defs: self.instructions })
+        Ok(InstructionPool {
+            operands,
+            defs: self.instructions,
+        })
     }
 }
 
@@ -558,7 +574,10 @@ impl InstructionPool {
 
     /// Flattens genes into the loop-body instruction list.
     pub fn flatten(genes: &[Gene]) -> Vec<Instruction> {
-        genes.iter().flat_map(|g| g.instrs.iter().cloned()).collect()
+        genes
+            .iter()
+            .flat_map(|g| g.instrs.iter().cloned())
+            .collect()
     }
 }
 
@@ -576,14 +595,21 @@ mod tests {
         // The exact example from paper Figure 4: 3 result registers × 1 base
         // register × 33 immediates = 99 variations.
         PoolBuilder::new()
-            .operand(OperandDef::new("mem_result", OperandKind::IntReg(regs(&[2, 3, 4]))))
+            .operand(OperandDef::new(
+                "mem_result",
+                OperandKind::IntReg(regs(&[2, 3, 4])),
+            ))
             .operand(OperandDef::new(
                 "mem_address_register",
                 OperandKind::IntReg(regs(&[10])),
             ))
             .operand(OperandDef::new(
                 "immediate_value",
-                OperandKind::Imm { min: 0, max: 256, stride: 8 },
+                OperandKind::Imm {
+                    min: 0,
+                    max: 256,
+                    stride: 8,
+                },
             ))
             .instruction(InstructionDef {
                 name: "LDR".into(),
@@ -601,7 +627,14 @@ mod tests {
         PoolBuilder::new()
             .operand(OperandDef::new("r", OperandKind::IntReg(regs(&[0, 1, 2]))))
             .operand(OperandDef::new("base", OperandKind::IntReg(regs(&[10]))))
-            .operand(OperandDef::new("off", OperandKind::Imm { min: 0, max: 64, stride: 8 }))
+            .operand(OperandDef::new(
+                "off",
+                OperandKind::Imm {
+                    min: 0,
+                    max: 64,
+                    stride: 8,
+                },
+            ))
             .instruction(InstructionDef::new("ADD", Opcode::Add, ["r", "r", "r"]))
             .instruction(InstructionDef::sequence(
                 "LOAD_USE",
@@ -660,8 +693,19 @@ mod tests {
     #[test]
     fn incompatible_operand_rejected() {
         let err = PoolBuilder::new()
-            .operand(OperandDef::new("imm", OperandKind::Imm { min: 0, max: 8, stride: 1 }))
-            .instruction(InstructionDef::new("ADD", Opcode::Add, ["imm", "imm", "imm"]))
+            .operand(OperandDef::new(
+                "imm",
+                OperandKind::Imm {
+                    min: 0,
+                    max: 8,
+                    stride: 1,
+                },
+            ))
+            .instruction(InstructionDef::new(
+                "ADD",
+                Opcode::Add,
+                ["imm", "imm", "imm"],
+            ))
             .build()
             .unwrap_err();
         assert!(matches!(err, IsaError::IncompatibleOperand { .. }));
@@ -708,7 +752,10 @@ mod tests {
     #[test]
     fn zero_branch_offset_rejected() {
         let err = PoolBuilder::new()
-            .operand(OperandDef::new("t", OperandKind::BranchOffset { min: 0, max: 3 }))
+            .operand(OperandDef::new(
+                "t",
+                OperandKind::BranchOffset { min: 0, max: 3 },
+            ))
             .instruction(InstructionDef::new("B", Opcode::B, ["t"]))
             .build()
             .unwrap_err();
@@ -730,7 +777,10 @@ mod tests {
     fn breakdown_and_unique_counts() {
         let pool = PoolBuilder::new()
             .operand(OperandDef::new("r", OperandKind::IntReg(regs(&[0, 1]))))
-            .operand(OperandDef::new("v", OperandKind::VecReg(vec![VReg::new(0).unwrap()])))
+            .operand(OperandDef::new(
+                "v",
+                OperandKind::VecReg(vec![VReg::new(0).unwrap()]),
+            ))
             .instruction(InstructionDef::new("ADD", Opcode::Add, ["r", "r", "r"]))
             .instruction(InstructionDef::new("FMUL", Opcode::Fmul, ["v", "v", "v"]))
             .build()
@@ -749,7 +799,11 @@ mod tests {
 
     #[test]
     fn imm_cardinality_truncates_to_max() {
-        let kind = OperandKind::Imm { min: 0, max: 10, stride: 4 };
+        let kind = OperandKind::Imm {
+            min: 0,
+            max: 10,
+            stride: 4,
+        };
         // 0, 4, 8 — 10 is not reachable.
         assert_eq!(kind.cardinality(), 3);
         assert!(kind.contains(Operand::Imm(8)));
@@ -796,8 +850,15 @@ mod tests {
                 .zip(&mutated.instrs)
                 .filter(|(a, b)| a != b)
                 .count();
-            assert!(differing <= 1, "one operand mutation may change at most one part");
-            assert_eq!(pool.match_def_seq(&mutated.instrs), Some(seq), "stays in set");
+            assert!(
+                differing <= 1,
+                "one operand mutation may change at most one part"
+            );
+            assert_eq!(
+                pool.match_def_seq(&mutated.instrs),
+                Some(seq),
+                "stays in set"
+            );
         }
     }
 

@@ -12,7 +12,9 @@
 //! </instructions>
 //! ```
 
-use crate::def::{InstructionDef, InstructionPart, InstructionPool, OperandDef, OperandKind, PoolBuilder};
+use crate::def::{
+    InstructionDef, InstructionPart, InstructionPool, OperandDef, OperandKind, PoolBuilder,
+};
 use crate::opcode::Opcode;
 use crate::reg::{Reg, VReg};
 use crate::IsaError;
@@ -56,7 +58,10 @@ pub fn pool_from_xml(element: &Element) -> Result<InstructionPool, IsaError> {
 
 fn required<'a>(element: &'a Element, attr: &str) -> Result<&'a str, IsaError> {
     element.attr(attr).ok_or_else(|| {
-        IsaError::Config(format!("<{}> element missing {attr:?} attribute", element.name()))
+        IsaError::Config(format!(
+            "<{}> element missing {attr:?} attribute",
+            element.name()
+        ))
     })
 }
 
@@ -72,9 +77,8 @@ fn parse_operand(element: &Element) -> Result<OperandDef, IsaError> {
             min: parse_int(element, "min")?,
             max: parse_int(element, "max")?,
             stride: element.attr("stride").map_or(Ok(1), |s| {
-                s.parse().map_err(|_| {
-                    IsaError::Config(format!("operand {id:?}: bad stride {s:?}"))
-                })
+                s.parse()
+                    .map_err(|_| IsaError::Config(format!("operand {id:?}: bad stride {s:?}")))
             })?,
         },
         "branch" => OperandKind::BranchOffset {
@@ -98,12 +102,16 @@ fn parse_register_list(id: &str, values: &str) -> Result<OperandKind, IsaError> 
     if names[0].starts_with('v') {
         let regs: Result<Vec<VReg>, _> = names.iter().map(|n| n.parse()).collect();
         Ok(OperandKind::VecReg(regs.map_err(|_| {
-            IsaError::Config(format!("operand {id:?}: bad vector register list {values:?}"))
+            IsaError::Config(format!(
+                "operand {id:?}: bad vector register list {values:?}"
+            ))
         })?))
     } else {
         let regs: Result<Vec<Reg>, _> = names.iter().map(|n| n.parse()).collect();
         Ok(OperandKind::IntReg(regs.map_err(|_| {
-            IsaError::Config(format!("operand {id:?}: bad integer register list {values:?}"))
+            IsaError::Config(format!(
+                "operand {id:?}: bad integer register list {values:?}"
+            ))
         })?))
     }
 }
@@ -131,13 +139,20 @@ fn parse_instruction(element: &Element) -> Result<InstructionDef, IsaError> {
             .map(|part| parse_part(part, None))
             .collect::<Result<_, _>>()?
     };
-    Ok(InstructionDef { name, parts, format: element.attr("format").map(str::to_owned) })
+    Ok(InstructionDef {
+        name,
+        parts,
+        format: element.attr("format").map(str::to_owned),
+    })
 }
 
 /// Parses the opcode/operand attributes shared by flat `<instruction>`
 /// elements and `<part>` children. `default_mnemonic` supplies the
 /// definition name as the opcode fallback for the flat form.
-fn parse_part(element: &Element, default_mnemonic: Option<&str>) -> Result<InstructionPart, IsaError> {
+fn parse_part(
+    element: &Element,
+    default_mnemonic: Option<&str>,
+) -> Result<InstructionPart, IsaError> {
     let mnemonic = match (element.attr("opcode"), default_mnemonic) {
         (Some(op), _) => op,
         // The mnemonic defaults to the definition name, so variants like
@@ -152,7 +167,10 @@ fn parse_part(element: &Element, default_mnemonic: Option<&str>) -> Result<Instr
     for i in 1..=count {
         operand_ids.push(required(element, &format!("operand{i}"))?.to_owned());
     }
-    Ok(InstructionPart { opcode, operand_ids })
+    Ok(InstructionPart {
+        opcode,
+        operand_ids,
+    })
 }
 
 /// Serializes a pool back to the paper's XML schema, for record-keeping in
@@ -167,14 +185,20 @@ pub fn pool_to_xml(pool: &InstructionPool) -> Element {
                 el.set_attr("type", "register");
                 el.set_attr(
                     "values",
-                    regs.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(" "),
+                    regs.iter()
+                        .map(|r| r.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" "),
                 );
             }
             OperandKind::VecReg(regs) => {
                 el.set_attr("type", "register");
                 el.set_attr(
                     "values",
-                    regs.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(" "),
+                    regs.iter()
+                        .map(|r| r.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" "),
                 );
             }
             OperandKind::Imm { min, max, stride } => {
@@ -242,10 +266,7 @@ mod tests {
         let pool = pool_from_xml(doc.root()).unwrap();
         assert_eq!(pool.defs().len(), 1);
         assert_eq!(pool.variations(0), 99, "paper: 99 possible LDR forms");
-        assert_eq!(
-            pool.defs()[0].format.as_deref(),
-            Some("LDR op1,[op2,#op3]")
-        );
+        assert_eq!(pool.defs()[0].format.as_deref(), Some("LDR op1,[op2,#op3]"));
     }
 
     #[test]
@@ -294,7 +315,10 @@ mod tests {
     #[test]
     fn missing_attributes_are_config_errors() {
         let doc = Document::parse(r#"<i><operand id="r" type="register"/></i>"#).unwrap();
-        assert!(matches!(pool_from_xml(doc.root()), Err(IsaError::Config(_))));
+        assert!(matches!(
+            pool_from_xml(doc.root()),
+            Err(IsaError::Config(_))
+        ));
 
         let doc = Document::parse(
             r#"<i>
@@ -303,14 +327,19 @@ mod tests {
                </i>"#,
         )
         .unwrap();
-        assert!(matches!(pool_from_xml(doc.root()), Err(IsaError::Config(_))));
+        assert!(matches!(
+            pool_from_xml(doc.root()),
+            Err(IsaError::Config(_))
+        ));
     }
 
     #[test]
     fn unknown_operand_type_rejected() {
-        let doc =
-            Document::parse(r#"<i><operand id="r" type="label" values="a"/></i>"#).unwrap();
-        assert!(matches!(pool_from_xml(doc.root()), Err(IsaError::Config(_))));
+        let doc = Document::parse(r#"<i><operand id="r" type="label" values="a"/></i>"#).unwrap();
+        assert!(matches!(
+            pool_from_xml(doc.root()),
+            Err(IsaError::Config(_))
+        ));
     }
 
     #[test]
@@ -349,7 +378,10 @@ mod tests {
                </i>"#,
         )
         .unwrap();
-        assert!(matches!(pool_from_xml(doc.root()), Err(IsaError::Config(_))));
+        assert!(matches!(
+            pool_from_xml(doc.root()),
+            Err(IsaError::Config(_))
+        ));
     }
 
     #[test]

@@ -117,7 +117,10 @@ impl fmt::Display for ExecError {
                 write!(f, "malformed instruction for opcode {opcode}")
             }
             ExecError::BranchOutOfRange { skip, remaining } => {
-                write!(f, "branch skip {skip} exceeds remaining block length {remaining}")
+                write!(
+                    f,
+                    "branch skip {skip} exceeds remaining block length {remaining}"
+                )
             }
         }
     }
@@ -196,7 +199,10 @@ mod tests {
 
     #[test]
     fn exec_error_messages() {
-        let err = ExecError::BranchOutOfRange { skip: 9, remaining: 3 };
+        let err = ExecError::BranchOutOfRange {
+            skip: 9,
+            remaining: 3,
+        };
         assert!(err.to_string().contains('9'));
     }
 

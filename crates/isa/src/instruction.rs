@@ -109,7 +109,10 @@ impl Instruction {
 
     /// Shorthand for a `NOP`.
     pub fn nop() -> Instruction {
-        Instruction { opcode: Opcode::Nop, operands: Vec::new() }
+        Instruction {
+            opcode: Opcode::Nop,
+            operands: Vec::new(),
+        }
     }
 
     /// The instruction's opcode.
@@ -129,10 +132,14 @@ impl Instruction {
     /// Returns [`IsaError::BadOperands`] if `index` is out of range or the
     /// new operand does not fit the slot.
     pub fn set_operand(&mut self, index: usize, operand: Operand) -> Result<(), IsaError> {
-        let slot = *self.opcode.slots().get(index).ok_or_else(|| IsaError::BadOperands {
-            opcode: self.opcode,
-            message: format!("operand index {index} out of range"),
-        })?;
+        let slot = *self
+            .opcode
+            .slots()
+            .get(index)
+            .ok_or_else(|| IsaError::BadOperands {
+                opcode: self.opcode,
+                message: format!("operand index {index} out of range"),
+            })?;
         if !operand.fits(slot) {
             return Err(IsaError::BadOperands {
                 opcode: self.opcode,
@@ -154,12 +161,14 @@ impl Instruction {
     }
 
     fn slot_regs(&self, wanted: OperandSlot) -> impl Iterator<Item = Reg> + '_ {
-        self.opcode.slots().iter().zip(&self.operands).filter_map(move |(&slot, &op)| {
-            match (slot == wanted, op) {
+        self.opcode
+            .slots()
+            .iter()
+            .zip(&self.operands)
+            .filter_map(move |(&slot, &op)| match (slot == wanted, op) {
                 (true, Operand::Reg(r)) => Some(r),
                 _ => None,
-            }
-        })
+            })
     }
 
     /// Vector registers written by this instruction.
@@ -173,12 +182,14 @@ impl Instruction {
     }
 
     fn slot_vregs(&self, wanted: OperandSlot) -> impl Iterator<Item = VReg> + '_ {
-        self.opcode.slots().iter().zip(&self.operands).filter_map(move |(&slot, &op)| {
-            match (slot == wanted, op) {
+        self.opcode
+            .slots()
+            .iter()
+            .zip(&self.operands)
+            .filter_map(move |(&slot, &op)| match (slot == wanted, op) {
                 (true, Operand::VReg(v)) => Some(v),
                 _ => None,
-            }
-        })
+            })
     }
 
     /// The branch distance for branch instructions, if any.
@@ -226,7 +237,11 @@ impl fmt::Display for Instruction {
         match self.opcode {
             // Memory instructions use bracketed address syntax.
             Opcode::Ldr | Opcode::Str | Opcode::Vldr | Opcode::Vstr => {
-                write!(f, " {}, [{}, {}]", self.operands[0], self.operands[1], self.operands[2])
+                write!(
+                    f,
+                    " {}, [{}, {}]",
+                    self.operands[0], self.operands[1], self.operands[2]
+                )
             }
             Opcode::Ldp | Opcode::Stp => write!(
                 f,
@@ -275,18 +290,14 @@ mod tests {
     fn display_mem_syntax() {
         let ldr = Instruction::new(Opcode::Ldr, vec![reg(1), reg(10), Operand::Imm(8)]).unwrap();
         assert_eq!(ldr.to_string(), "LDR x1, [x10, #8]");
-        let stp = Instruction::new(
-            Opcode::Stp,
-            vec![reg(1), reg(2), reg(10), Operand::Imm(16)],
-        )
-        .unwrap();
+        let stp =
+            Instruction::new(Opcode::Stp, vec![reg(1), reg(2), reg(10), Operand::Imm(16)]).unwrap();
         assert_eq!(stp.to_string(), "STP x1, x2, [x10, #16]");
     }
 
     #[test]
     fn display_branch_syntax() {
-        let cbnz =
-            Instruction::new(Opcode::Cbnz, vec![reg(4), Operand::Target(2)]).unwrap();
+        let cbnz = Instruction::new(Opcode::Cbnz, vec![reg(4), Operand::Target(2)]).unwrap();
         assert_eq!(cbnz.to_string(), "CBNZ x4, #2");
     }
 
@@ -305,11 +316,8 @@ mod tests {
         let mla = Instruction::new(Opcode::Mla, vec![reg(1), reg(2), reg(3), reg(4)]).unwrap();
         assert_eq!(mla.int_dsts().count(), 1);
         assert_eq!(mla.int_srcs().count(), 3);
-        let ldp = Instruction::new(
-            Opcode::Ldp,
-            vec![reg(1), reg(2), reg(10), Operand::Imm(0)],
-        )
-        .unwrap();
+        let ldp =
+            Instruction::new(Opcode::Ldp, vec![reg(1), reg(2), reg(10), Operand::Imm(0)]).unwrap();
         assert_eq!(ldp.int_dsts().count(), 2);
         assert_eq!(ldp.int_srcs().count(), 1);
     }

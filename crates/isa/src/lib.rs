@@ -47,7 +47,9 @@ mod reg;
 mod semantics;
 mod template;
 
-pub use def::{Gene, InstructionDef, InstructionPart, InstructionPool, OperandDef, OperandKind, PoolBuilder};
+pub use def::{
+    Gene, InstructionDef, InstructionPart, InstructionPool, OperandDef, OperandKind, PoolBuilder,
+};
 pub use def_xml::{pool_from_xml, pool_to_xml};
 pub use error::{CodecError, ExecError, IsaError};
 pub use instruction::{Instruction, Operand};

@@ -236,7 +236,10 @@ mod tests {
     fn mnemonic_round_trip() {
         for &op in Opcode::ALL {
             assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
-            assert_eq!(Opcode::from_mnemonic(&op.mnemonic().to_lowercase()), Some(op));
+            assert_eq!(
+                Opcode::from_mnemonic(&op.mnemonic().to_lowercase()),
+                Some(op)
+            );
         }
     }
 

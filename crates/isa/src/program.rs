@@ -49,7 +49,12 @@ pub struct Program {
 impl Program {
     /// Creates a program with empty init and the given body.
     pub fn from_body(name: impl Into<String>, body: Vec<Instruction>) -> Program {
-        Program { name: name.into(), init: Vec::new(), body, mem_init: MemInit::Zero }
+        Program {
+            name: name.into(),
+            init: Vec::new(),
+            body,
+            mem_init: MemInit::Zero,
+        }
     }
 
     /// Applies memory initialization and executes the init block against

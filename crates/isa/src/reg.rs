@@ -34,7 +34,10 @@ impl Reg {
         if index < NUM_INT_REGS {
             Ok(Reg(index))
         } else {
-            Err(IsaError::InvalidRegister { index, limit: NUM_INT_REGS })
+            Err(IsaError::InvalidRegister {
+                index,
+                limit: NUM_INT_REGS,
+            })
         }
     }
 
@@ -60,7 +63,10 @@ impl FromStr for Reg {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         parse_reg(s, 'x').map(Reg::new).unwrap_or_else(|| {
-            Err(IsaError::Syntax { line: 1, message: format!("invalid integer register {s:?}") })
+            Err(IsaError::Syntax {
+                line: 1,
+                message: format!("invalid integer register {s:?}"),
+            })
         })
     }
 }
@@ -92,7 +98,10 @@ impl VReg {
         if index < NUM_VEC_REGS {
             Ok(VReg(index))
         } else {
-            Err(IsaError::InvalidRegister { index, limit: NUM_VEC_REGS })
+            Err(IsaError::InvalidRegister {
+                index,
+                limit: NUM_VEC_REGS,
+            })
         }
     }
 
@@ -118,7 +127,10 @@ impl FromStr for VReg {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         parse_reg(s, 'v').map(VReg::new).unwrap_or_else(|| {
-            Err(IsaError::Syntax { line: 1, message: format!("invalid vector register {s:?}") })
+            Err(IsaError::Syntax {
+                line: 1,
+                message: format!("invalid vector register {s:?}"),
+            })
         })
     }
 }

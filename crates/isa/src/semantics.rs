@@ -173,28 +173,36 @@ impl<'a> Ops<'a> {
     fn reg(&self, i: usize) -> Result<Reg, ExecError> {
         match self.instr.operands().get(i) {
             Some(Operand::Reg(r)) => Ok(*r),
-            _ => Err(ExecError::MalformedInstruction { opcode: self.instr.opcode() }),
+            _ => Err(ExecError::MalformedInstruction {
+                opcode: self.instr.opcode(),
+            }),
         }
     }
 
     fn vreg(&self, i: usize) -> Result<VReg, ExecError> {
         match self.instr.operands().get(i) {
             Some(Operand::VReg(v)) => Ok(*v),
-            _ => Err(ExecError::MalformedInstruction { opcode: self.instr.opcode() }),
+            _ => Err(ExecError::MalformedInstruction {
+                opcode: self.instr.opcode(),
+            }),
         }
     }
 
     fn imm(&self, i: usize) -> Result<i64, ExecError> {
         match self.instr.operands().get(i) {
             Some(Operand::Imm(v)) => Ok(*v),
-            _ => Err(ExecError::MalformedInstruction { opcode: self.instr.opcode() }),
+            _ => Err(ExecError::MalformedInstruction {
+                opcode: self.instr.opcode(),
+            }),
         }
     }
 
     fn target(&self, i: usize) -> Result<u8, ExecError> {
         match self.instr.operands().get(i) {
             Some(Operand::Target(t)) => Ok(*t),
-            _ => Err(ExecError::MalformedInstruction { opcode: self.instr.opcode() }),
+            _ => Err(ExecError::MalformedInstruction {
+                opcode: self.instr.opcode(),
+            }),
         }
     }
 }
@@ -230,8 +238,8 @@ impl Instruction {
 
         // Integer three-operand helper: dst = f(a, b).
         let int3 = |state: &mut ArchState,
-                        effect: &mut Effect,
-                        f: fn(u64, u64) -> u64|
+                    effect: &mut Effect,
+                    f: fn(u64, u64) -> u64|
          -> Result<(), ExecError> {
             let dst = ops.reg(0)?;
             let a = state.reg(ops.reg(1)?);
@@ -245,8 +253,8 @@ impl Instruction {
 
         // Integer reg+imm helper: dst = f(a, imm).
         let int_imm = |state: &mut ArchState,
-                           effect: &mut Effect,
-                           f: fn(u64, i64) -> u64|
+                       effect: &mut Effect,
+                       f: fn(u64, i64) -> u64|
          -> Result<(), ExecError> {
             let dst = ops.reg(0)?;
             let a = state.reg(ops.reg(1)?);
@@ -260,8 +268,8 @@ impl Instruction {
 
         // Scalar FP helper on lane 0: dst = f(a, b) with lane 1 preserved.
         let fp2 = |state: &mut ArchState,
-                       effect: &mut Effect,
-                       f: fn(f64, f64) -> f64|
+                   effect: &mut Effect,
+                   f: fn(f64, f64) -> f64|
          -> Result<(), ExecError> {
             let dst = ops.vreg(0)?;
             let a = state.vreg(ops.vreg(1)?);
@@ -277,8 +285,8 @@ impl Instruction {
 
         // SIMD lane-wise integer helper.
         let simd3 = |state: &mut ArchState,
-                         effect: &mut Effect,
-                         f: fn(u64, u64) -> u64|
+                     effect: &mut Effect,
+                     f: fn(u64, u64) -> u64|
          -> Result<(), ExecError> {
             let dst = ops.vreg(0)?;
             let a = state.vreg(ops.vreg(1)?);
@@ -294,8 +302,8 @@ impl Instruction {
 
         // SIMD lane-wise FP helper.
         let simd_fp = |state: &mut ArchState,
-                           effect: &mut Effect,
-                           f: fn(f64, f64) -> f64|
+                       effect: &mut Effect,
+                       f: fn(f64, f64) -> f64|
          -> Result<(), ExecError> {
             let dst = ops.vreg(0)?;
             let a = state.vreg(ops.vreg(1)?);
@@ -322,9 +330,9 @@ impl Instruction {
             Opcode::Subi => int_imm(state, &mut effect, |a, i| a.wrapping_sub(i as u64))?,
             Opcode::Lsl => int_imm(state, &mut effect, |a, i| a << (i as u32 & 63))?,
             Opcode::Lsr => int_imm(state, &mut effect, |a, i| a >> (i as u32 & 63))?,
-            Opcode::Asr => {
-                int_imm(state, &mut effect, |a, i| ((a as i64) >> (i as u32 & 63)) as u64)?
-            }
+            Opcode::Asr => int_imm(state, &mut effect, |a, i| {
+                ((a as i64) >> (i as u32 & 63)) as u64
+            })?,
             Opcode::Mov => {
                 let dst = ops.reg(0)?;
                 let a = state.reg(ops.reg(1)?);
@@ -446,7 +454,11 @@ impl Instruction {
                 let value = state.load(addr, 8);
                 effect.src_bits = base.count_ones();
                 effect.dest_toggles = hamming(state.reg(dst), value);
-                effect.mem = Some(MemAccess { addr, width: 8, is_store: false });
+                effect.mem = Some(MemAccess {
+                    addr,
+                    width: 8,
+                    is_store: false,
+                });
                 state.set_reg(dst, value);
             }
             Opcode::Str => {
@@ -455,7 +467,11 @@ impl Instruction {
                 let addr = state.mem_addr(base, ops.imm(2)?, 8);
                 effect.src_bits = value.count_ones() + base.count_ones();
                 effect.dest_toggles = state.store(addr, 8, value);
-                effect.mem = Some(MemAccess { addr, width: 8, is_store: true });
+                effect.mem = Some(MemAccess {
+                    addr,
+                    width: 8,
+                    is_store: true,
+                });
             }
             Opcode::Ldp => {
                 let dst1 = ops.reg(0)?;
@@ -465,9 +481,12 @@ impl Instruction {
                 let v1 = state.load(addr, 8);
                 let v2 = state.load(addr + 8, 8);
                 effect.src_bits = base.count_ones();
-                effect.dest_toggles =
-                    hamming(state.reg(dst1), v1) + hamming(state.reg(dst2), v2);
-                effect.mem = Some(MemAccess { addr, width: 16, is_store: false });
+                effect.dest_toggles = hamming(state.reg(dst1), v1) + hamming(state.reg(dst2), v2);
+                effect.mem = Some(MemAccess {
+                    addr,
+                    width: 16,
+                    is_store: false,
+                });
                 state.set_reg(dst1, v1);
                 state.set_reg(dst2, v2);
             }
@@ -478,7 +497,11 @@ impl Instruction {
                 let addr = state.mem_addr(base, ops.imm(3)?, 16);
                 effect.src_bits = v1.count_ones() + v2.count_ones() + base.count_ones();
                 effect.dest_toggles = state.store(addr, 8, v1) + state.store(addr + 8, 8, v2);
-                effect.mem = Some(MemAccess { addr, width: 16, is_store: true });
+                effect.mem = Some(MemAccess {
+                    addr,
+                    width: 16,
+                    is_store: true,
+                });
             }
             Opcode::Vldr => {
                 let dst = ops.vreg(0)?;
@@ -488,18 +511,25 @@ impl Instruction {
                 let old = state.vreg(dst);
                 effect.src_bits = base.count_ones();
                 effect.dest_toggles = hamming(old[0], new[0]) + hamming(old[1], new[1]);
-                effect.mem = Some(MemAccess { addr, width: 16, is_store: false });
+                effect.mem = Some(MemAccess {
+                    addr,
+                    width: 16,
+                    is_store: false,
+                });
                 state.set_vreg(dst, new);
             }
             Opcode::Vstr => {
                 let value = state.vreg(ops.vreg(0)?);
                 let base = state.reg(ops.reg(1)?);
                 let addr = state.mem_addr(base, ops.imm(2)?, 16);
-                effect.src_bits =
-                    value[0].count_ones() + value[1].count_ones() + base.count_ones();
+                effect.src_bits = value[0].count_ones() + value[1].count_ones() + base.count_ones();
                 effect.dest_toggles =
                     state.store(addr, 8, value[0]) + state.store(addr + 8, 8, value[1]);
-                effect.mem = Some(MemAccess { addr, width: 16, is_store: true });
+                effect.mem = Some(MemAccess {
+                    addr,
+                    width: 16,
+                    is_store: true,
+                });
             }
             Opcode::B => {
                 effect.flow = Flow::Skip(ops.target(0)?);
@@ -548,7 +578,11 @@ mod tests {
     use crate::asm;
 
     fn run(state: &mut ArchState, line: &str) -> Effect {
-        asm::parse_line(line).unwrap().unwrap().execute(state).unwrap()
+        asm::parse_line(line)
+            .unwrap()
+            .unwrap()
+            .execute(state)
+            .unwrap()
     }
 
     fn x(i: u8) -> Reg {
@@ -682,7 +716,14 @@ mod tests {
         s.set_reg(x(1), 0xDEAD_BEEF_CAFE_F00D);
         s.set_reg(x(10), 64);
         let eff = run(&mut s, "STR x1, [x10, #8]");
-        assert_eq!(eff.mem, Some(MemAccess { addr: 72, width: 8, is_store: true }));
+        assert_eq!(
+            eff.mem,
+            Some(MemAccess {
+                addr: 72,
+                width: 8,
+                is_store: true
+            })
+        );
         run(&mut s, "LDR x2, [x10, #8]");
         assert_eq!(s.reg(x(2)), 0xDEAD_BEEF_CAFE_F00D);
     }

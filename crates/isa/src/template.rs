@@ -146,7 +146,12 @@ impl Template {
                 "template .loop section has no {LOOP_CODE_MARKER} marker"
             )));
         }
-        Ok(Template { mem_init, init, pre, post })
+        Ok(Template {
+            mem_init,
+            init,
+            pre,
+            post,
+        })
     }
 
     /// The default stress template used throughout the reproduction:
@@ -159,7 +164,11 @@ impl Template {
         // x10 is the conventional memory base register in the shipped
         // configurations; keep it zero so address = offset (wrapped).
         for i in 0..8u8 {
-            let pattern = if i % 2 == 0 { CHECKERBOARD } else { !CHECKERBOARD };
+            let pattern = if i % 2 == 0 {
+                CHECKERBOARD
+            } else {
+                !CHECKERBOARD
+            };
             init.push(
                 Instruction::new(
                     Opcode::Movi,
@@ -174,7 +183,10 @@ impl Template {
         init.push(
             Instruction::new(
                 Opcode::Movi,
-                vec![Operand::Reg(Reg::new(10).expect("index < 16")), Operand::Imm(0)],
+                vec![
+                    Operand::Reg(Reg::new(10).expect("index < 16")),
+                    Operand::Imm(0),
+                ],
             )
             .expect("MOVI signature"),
         );
@@ -196,7 +208,12 @@ impl Template {
                 .expect("VMOVI signature"),
             );
         }
-        Template { mem_init: MemInit::Checkerboard, init, pre: Vec::new(), post: Vec::new() }
+        Template {
+            mem_init: MemInit::Checkerboard,
+            init,
+            pre: Vec::new(),
+            post: Vec::new(),
+        }
     }
 
     /// Substitutes `body` for the `#loop_code` marker and produces a
@@ -282,7 +299,10 @@ fn parse_mem_directive(arg: Option<&str>, line_no: u32) -> Result<MemInit, IsaEr
             "line {line_no}: .mem requires an argument (zero, checkerboard, or fill 0xNN)"
         ))),
         Some(other) => {
-            if let Some(hex) = other.strip_prefix("0x").or_else(|| other.strip_prefix("0X")) {
+            if let Some(hex) = other
+                .strip_prefix("0x")
+                .or_else(|| other.strip_prefix("0X"))
+            {
                 u8::from_str_radix(hex, 16).map(MemInit::Fill).map_err(|_| {
                     IsaError::Config(format!("line {line_no}: bad fill byte {other:?}"))
                 })

@@ -9,8 +9,13 @@ use proptest::prelude::*;
 /// Strategy producing an arbitrary *valid* instruction: pick an opcode, then
 /// fill each slot with a random in-range operand.
 fn instruction_strategy() -> impl Strategy<Value = Instruction> {
-    (0..Opcode::ALL.len(), any::<[u8; 8]>(), any::<i64>(), 1u8..=16).prop_map(
-        |(op_index, reg_seeds, imm, target)| {
+    (
+        0..Opcode::ALL.len(),
+        any::<[u8; 8]>(),
+        any::<i64>(),
+        1u8..=16,
+    )
+        .prop_map(|(op_index, reg_seeds, imm, target)| {
             let opcode = Opcode::ALL[op_index];
             let operands: Vec<Operand> = opcode
                 .slots()
@@ -28,8 +33,7 @@ fn instruction_strategy() -> impl Strategy<Value = Instruction> {
                 })
                 .collect();
             Instruction::new(opcode, operands).expect("slots match by construction")
-        },
-    )
+        })
 }
 
 proptest! {

@@ -72,8 +72,14 @@ impl DataCache {
     /// Panics if the geometry is not power-of-two sized or implies zero
     /// sets.
     pub fn new(config: CacheConfig) -> DataCache {
-        assert!(config.size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(config.ways >= 1, "need at least one way");
         let sets = config.sets();
         assert!(sets >= 1, "geometry implies zero sets");
@@ -134,7 +140,11 @@ mod tests {
 
     fn small() -> DataCache {
         // 4 sets × 2 ways × 64 B = 512 B.
-        DataCache::new(CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2 })
+        DataCache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -194,6 +204,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
-        let _ = DataCache::new(CacheConfig { size_bytes: 1000, line_bytes: 64, ways: 2 });
+        let _ = DataCache::new(CacheConfig {
+            size_bytes: 1000,
+            line_bytes: 64,
+            ways: 2,
+        });
     }
 }

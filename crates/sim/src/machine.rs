@@ -28,8 +28,14 @@ pub enum FuClass {
 
 impl FuClass {
     /// All functional-unit classes.
-    pub const ALL: [FuClass; 6] =
-        [FuClass::Alu, FuClass::Mul, FuClass::Div, FuClass::Fp, FuClass::Mem, FuClass::Branch];
+    pub const ALL: [FuClass; 6] = [
+        FuClass::Alu,
+        FuClass::Mul,
+        FuClass::Div,
+        FuClass::Fp,
+        FuClass::Mem,
+        FuClass::Branch,
+    ];
 
     /// Which FU executes the given opcode.
     pub fn for_opcode(opcode: Opcode) -> FuClass {
@@ -66,7 +72,11 @@ pub struct FuConfig {
 
 impl FuConfig {
     const fn new(count: u8, latency: u8, interval: u8) -> FuConfig {
-        FuConfig { count, latency, interval }
+        FuConfig {
+            count,
+            latency,
+            interval,
+        }
     }
 }
 
@@ -196,7 +206,10 @@ pub struct MachineConfig {
 impl MachineConfig {
     /// Timing for the FU class.
     pub fn fu(&self, class: FuClass) -> FuConfig {
-        let index = FuClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        let index = FuClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("class in ALL");
         self.fus[index]
     }
 
@@ -213,7 +226,10 @@ impl MachineConfig {
 
     /// Base dynamic energy of an instruction class in picojoules.
     pub fn base_energy_pj(&self, class: InstrClass) -> f64 {
-        let index = InstrClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        let index = InstrClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("class in ALL");
         self.energy.base_pj[index]
     }
 
@@ -232,16 +248,20 @@ impl MachineConfig {
             out_of_order: true,
             window: 40,
             fus: [
-                FuConfig::new(2, 1, 1),  // Alu
-                FuConfig::new(1, 4, 1),  // Mul
+                FuConfig::new(2, 1, 1),   // Alu
+                FuConfig::new(1, 4, 1),   // Mul
                 FuConfig::new(1, 12, 12), // Div (unpipelined)
-                FuConfig::new(2, 4, 1),  // Fp: two 128-bit NEON pipes
-                FuConfig::new(1, 3, 1),  // Mem
-                FuConfig::new(1, 1, 1),  // Branch
+                FuConfig::new(2, 4, 1),   // Fp: two 128-bit NEON pipes
+                FuConfig::new(1, 3, 1),   // Mem
+                FuConfig::new(1, 1, 1),   // Branch
             ],
             mispredict_penalty: 15,
             taken_penalty: 0,
-            l1d: CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 2 },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 2,
+            },
             miss_penalty: 20,
             energy: EnergyConfig {
                 //         ShortInt LongInt F/SIMD  Mem  Branch Nop
@@ -253,7 +273,12 @@ impl MachineConfig {
                 l1_miss_pj: 400.0,
                 static_w: 0.25,
             },
-            thermal: ThermalConfig { r_th: 8.0, c_th: 0.05, ambient_c: 28.0, tjmax_c: 110.0 },
+            thermal: ThermalConfig {
+                r_th: 8.0,
+                c_th: 0.05,
+                ambient_c: 28.0,
+                tjmax_c: 110.0,
+            },
             pdn: None,
             mem_bytes: 16 * 1024,
             cores: 2,
@@ -275,16 +300,20 @@ impl MachineConfig {
             out_of_order: false,
             window: 8,
             fus: [
-                FuConfig::new(2, 1, 1), // Alu
-                FuConfig::new(1, 3, 1), // Mul
+                FuConfig::new(2, 1, 1),   // Alu
+                FuConfig::new(1, 3, 1),   // Mul
                 FuConfig::new(1, 10, 10), // Div
-                FuConfig::new(1, 4, 2), // Fp: one half-throughput NEON pipe
-                FuConfig::new(1, 2, 1), // Mem
-                FuConfig::new(1, 1, 1), // Branch (can pair with any slot)
+                FuConfig::new(1, 4, 2),   // Fp: one half-throughput NEON pipe
+                FuConfig::new(1, 2, 1),   // Mem
+                FuConfig::new(1, 1, 1),   // Branch (can pair with any slot)
             ],
             mispredict_penalty: 8,
             taken_penalty: 0,
-            l1d: CacheConfig { size_bytes: 16 * 1024, line_bytes: 64, ways: 4 },
+            l1d: CacheConfig {
+                size_bytes: 16 * 1024,
+                line_bytes: 64,
+                ways: 4,
+            },
             miss_penalty: 25,
             energy: EnergyConfig {
                 //        ShortInt LongInt F/SIMD  Mem  Branch Nop
@@ -296,7 +325,12 @@ impl MachineConfig {
                 l1_miss_pj: 150.0,
                 static_w: 0.06,
             },
-            thermal: ThermalConfig { r_th: 12.0, c_th: 0.03, ambient_c: 28.0, tjmax_c: 110.0 },
+            thermal: ThermalConfig {
+                r_th: 12.0,
+                c_th: 0.03,
+                ambient_c: 28.0,
+                tjmax_c: 110.0,
+            },
             pdn: None,
             mem_bytes: 8 * 1024,
             cores: 3,
@@ -315,16 +349,20 @@ impl MachineConfig {
             out_of_order: true,
             window: 64,
             fus: [
-                FuConfig::new(3, 1, 1),  // Alu
-                FuConfig::new(1, 5, 1),  // Mul
+                FuConfig::new(3, 1, 1),   // Alu
+                FuConfig::new(1, 5, 1),   // Mul
                 FuConfig::new(1, 16, 16), // Div
-                FuConfig::new(2, 5, 1),  // Fp
-                FuConfig::new(2, 3, 1),  // Mem: two ports
-                FuConfig::new(1, 1, 1),  // Branch
+                FuConfig::new(2, 5, 1),   // Fp
+                FuConfig::new(2, 3, 1),   // Mem: two ports
+                FuConfig::new(1, 1, 1),   // Branch
             ],
             mispredict_penalty: 14,
             taken_penalty: 0,
-            l1d: CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
             miss_penalty: 30,
             energy: EnergyConfig {
                 //        ShortInt LongInt F/SIMD  Mem   Branch Nop
@@ -336,7 +374,12 @@ impl MachineConfig {
                 l1_miss_pj: 800.0,
                 static_w: 1.5,
             },
-            thermal: ThermalConfig { r_th: 1.2, c_th: 0.8, ambient_c: 30.0, tjmax_c: 105.0 },
+            thermal: ThermalConfig {
+                r_th: 1.2,
+                c_th: 0.8,
+                ambient_c: 30.0,
+                tjmax_c: 105.0,
+            },
             pdn: None,
             mem_bytes: 16 * 1024,
             cores: 8,
@@ -359,16 +402,20 @@ impl MachineConfig {
             out_of_order: true,
             window: 72,
             fus: [
-                FuConfig::new(3, 1, 1),  // Alu
-                FuConfig::new(1, 3, 1),  // Mul
+                FuConfig::new(3, 1, 1),   // Alu
+                FuConfig::new(1, 3, 1),   // Mul
                 FuConfig::new(1, 14, 14), // Div
-                FuConfig::new(2, 4, 1),  // Fp
-                FuConfig::new(2, 3, 1),  // Mem
-                FuConfig::new(1, 1, 1),  // Branch
+                FuConfig::new(2, 4, 1),   // Fp
+                FuConfig::new(2, 3, 1),   // Mem
+                FuConfig::new(1, 1, 1),   // Branch
             ],
             mispredict_penalty: 12,
             taken_penalty: 0,
-            l1d: CacheConfig { size_bytes: 64 * 1024, line_bytes: 64, ways: 2 },
+            l1d: CacheConfig {
+                size_bytes: 64 * 1024,
+                line_bytes: 64,
+                ways: 2,
+            },
             miss_penalty: 25,
             energy: EnergyConfig {
                 //        ShortInt LongInt F/SIMD  Mem   Branch Nop
@@ -380,7 +427,12 @@ impl MachineConfig {
                 l1_miss_pj: 900.0,
                 static_w: 4.0,
             },
-            thermal: ThermalConfig { r_th: 0.6, c_th: 1.5, ambient_c: 30.0, tjmax_c: 95.0 },
+            thermal: ThermalConfig {
+                r_th: 0.6,
+                c_th: 1.5,
+                ambient_c: 30.0,
+                tjmax_c: 95.0,
+            },
             pdn: Some(PdnConfig {
                 vdd: 1.40,
                 resistance: 4.0e-3,
@@ -451,13 +503,15 @@ mod tests {
         let a15 = MachineConfig::cortex_a15();
         let a7 = MachineConfig::cortex_a7();
         assert!(
-            a15.base_energy_pj(InstrClass::FloatSimd) > 3.0 * a7.base_energy_pj(InstrClass::FloatSimd)
+            a15.base_energy_pj(InstrClass::FloatSimd)
+                > 3.0 * a7.base_energy_pj(InstrClass::FloatSimd)
         );
         // On the A7 a branch costs *more* than a short int op (fetch-engine
         // dominated little core); on the A15 FP dwarfs branches.
         assert!(a7.base_energy_pj(InstrClass::Branch) > a7.base_energy_pj(InstrClass::ShortInt));
         assert!(
-            a15.base_energy_pj(InstrClass::FloatSimd) > 5.0 * a15.base_energy_pj(InstrClass::Branch)
+            a15.base_energy_pj(InstrClass::FloatSimd)
+                > 5.0 * a15.base_energy_pj(InstrClass::Branch)
         );
     }
 

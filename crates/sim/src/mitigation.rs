@@ -43,7 +43,10 @@ impl AdaptiveClockConfig {
     /// Panics if the machine has no PDN model.
     pub fn for_machine(machine: &MachineConfig) -> AdaptiveClockConfig {
         let pdn = machine.pdn.expect("adaptive clocking needs a PDN model");
-        AdaptiveClockConfig { threshold_v: (pdn.vdd + pdn.v_crit) / 2.0, stretch: 2 }
+        AdaptiveClockConfig {
+            threshold_v: (pdn.vdd + pdn.v_crit) / 2.0,
+            stretch: 2,
+        }
     }
 }
 
@@ -99,7 +102,9 @@ pub fn simulate_adaptive_clock(
     config: &AdaptiveClockConfig,
 ) -> Result<MitigationResult, SimError> {
     let Some(pdn_config) = machine.pdn else {
-        return Err(SimError::NoPdn { machine: machine.name.clone() });
+        return Err(SimError::NoPdn {
+            machine: machine.name.clone(),
+        });
     };
     let (_, traces) = Simulator::new(machine.clone()).run_traced(program, run_config)?;
     let energy_model = EnergyModel::new(machine);
@@ -125,8 +130,8 @@ pub fn simulate_adaptive_clock(
     let mut violations_mitigated = 0u64;
     let mut stretched_cycles = 0u64;
     let mut emitted_periods = 0u64;
-    let static_current = energy_model.cycle_power_w(energy_model.static_pj_per_cycle())
-        / pdn_config.vdd;
+    let static_current =
+        energy_model.cycle_power_w(energy_model.static_pj_per_cycle()) / pdn_config.vdd;
     for &p_w in &traces.power_w {
         let current = p_w as f64 / pdn_config.vdd;
         if pdn.v_die() < config.threshold_v {
@@ -172,7 +177,11 @@ mod tests {
     use super::*;
     use gest_isa::{asm, Template};
 
-    fn run_with(body: &str, vdd_scale: f64, config: Option<AdaptiveClockConfig>) -> MitigationResult {
+    fn run_with(
+        body: &str,
+        vdd_scale: f64,
+        config: Option<AdaptiveClockConfig>,
+    ) -> MitigationResult {
         let mut machine = MachineConfig::athlon_x4();
         if let Some(pdn) = machine.pdn.as_mut() {
             pdn.vdd *= vdd_scale;
@@ -198,7 +207,10 @@ mod tests {
         let result = run_with(
             NOISY,
             0.87,
-            Some(AdaptiveClockConfig { threshold_v: 1.19, stretch: 4 }),
+            Some(AdaptiveClockConfig {
+                threshold_v: 1.19,
+                stretch: 4,
+            }),
         );
         assert!(
             result.violations_unmitigated > 0,
@@ -210,7 +222,10 @@ mod tests {
             result.violations_unmitigated,
             result.violations_mitigated
         );
-        assert!(result.mitigated.min_v > result.unmitigated.min_v, "droop must shrink");
+        assert!(
+            result.mitigated.min_v > result.unmitigated.min_v,
+            "droop must shrink"
+        );
         assert!(result.stretched_cycles > 0);
         assert!(result.slowdown > 1.0);
     }
@@ -241,15 +256,22 @@ mod tests {
     #[test]
     fn machine_without_pdn_errors() {
         let machine = MachineConfig::cortex_a15();
-        let program = Template::default_stress()
-            .materialize("m", asm::parse_block("NOP").unwrap());
+        let program = Template::default_stress().materialize("m", asm::parse_block("NOP").unwrap());
         let err = simulate_adaptive_clock(
             &machine,
             &program,
             &RunConfig::quick(),
-            &AdaptiveClockConfig { threshold_v: 1.0, stretch: 2 },
+            &AdaptiveClockConfig {
+                threshold_v: 1.0,
+                stretch: 2,
+            },
         )
         .unwrap_err();
-        assert_eq!(err, SimError::NoPdn { machine: "cortex-a15".into() });
+        assert_eq!(
+            err,
+            SimError::NoPdn {
+                machine: "cortex-a15".into()
+            }
+        );
     }
 }

@@ -62,7 +62,11 @@ impl UncoreConfig {
     /// DRAM.
     pub fn server() -> UncoreConfig {
         UncoreConfig {
-            l2: CacheConfig { size_bytes: 1024 * 1024, line_bytes: 64, ways: 16 },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                line_bytes: 64,
+                ways: 16,
+            },
             l2_latency: 20,
             bus_interval: 4,
             dram_latency: 120,
@@ -133,7 +137,12 @@ impl MultiCoreSimulator {
     /// (viruses: L1-resident, no sharing traffic).
     pub fn new(machine: MachineConfig, uncore: UncoreConfig) -> MultiCoreSimulator {
         let buffer_bytes = machine.mem_bytes;
-        MultiCoreSimulator { machine, uncore, sharing: MemSharing::Private, buffer_bytes }
+        MultiCoreSimulator {
+            machine,
+            uncore,
+            sharing: MemSharing::Private,
+            buffer_bytes,
+        }
     }
 
     /// Overrides the per-core buffer size (power of two), e.g. 256 KiB to
@@ -143,7 +152,10 @@ impl MultiCoreSimulator {
     ///
     /// Panics if `bytes` is not a power of two or is smaller than 64.
     pub fn with_buffer_bytes(mut self, bytes: usize) -> MultiCoreSimulator {
-        assert!(bytes.is_power_of_two() && bytes >= 64, "bad buffer size {bytes}");
+        assert!(
+            bytes.is_power_of_two() && bytes >= 64,
+            "bad buffer size {bytes}"
+        );
         self.buffer_bytes = bytes;
         self
     }
@@ -172,10 +184,12 @@ impl MultiCoreSimulator {
         }
         let cores = cores.max(1);
         let energy_model = EnergyModel::new(&self.machine);
-        let decoded: Vec<Decoded> =
-            program.body.iter().map(|i| Pipeline::decode(&self.machine, i)).collect();
-        let classes: Vec<InstrClass> =
-            program.body.iter().map(|i| i.opcode().class()).collect();
+        let decoded: Vec<Decoded> = program
+            .body
+            .iter()
+            .map(|i| Pipeline::decode(&self.machine, i))
+            .collect();
+        let classes: Vec<InstrClass> = program.body.iter().map(|i| i.opcode().class()).collect();
 
         let mut core_states: Vec<Core> = (0..cores)
             .map(|_| {
@@ -208,7 +222,10 @@ impl MultiCoreSimulator {
                     let effect = instr.execute(&mut core.state)?;
                     let branch = if decoded[pc].is_branch {
                         let correct = core.predictor.update(pc, effect.branch_taken);
-                        Some(BranchResolution { taken: effect.branch_taken, correct })
+                        Some(BranchResolution {
+                            taken: effect.branch_taken,
+                            correct,
+                        })
                     } else {
                         None
                     };
@@ -238,8 +255,7 @@ impl MultiCoreSimulator {
                                 }
                             };
                             traffic_pj += self.uncore.noc_hop_pj + self.uncore.l2_access_pj;
-                            let mut latency =
-                                self.uncore.l2_latency as u64 + queue_delay as u64;
+                            let mut latency = self.uncore.l2_latency as u64 + queue_delay as u64;
                             if !l2.access(l2_addr) {
                                 latency += self.uncore.dram_latency as u64;
                                 traffic_pj += self.uncore.dram_access_pj;
@@ -267,8 +283,7 @@ impl MultiCoreSimulator {
             .iter()
             .map(|core| {
                 let cycles = core.pipeline.elapsed_cycles().max(1);
-                let static_pj =
-                    energy_model.static_pj_per_cycle() * cycles as f64;
+                let static_pj = energy_model.static_pj_per_cycle() * cycles as f64;
                 let avg_power_w =
                     energy_model.cycle_power_w((core.energy_pj + static_pj) / cycles as f64);
                 CoreResult {
@@ -354,7 +369,10 @@ mod tests {
         );
         // Only cold-start L1 misses reach the L2.
         let l2_total = result.l2.hits + result.l2.misses;
-        assert!(l2_total < 64, "virus must stay L1-resident, saw {l2_total} L2 accesses");
+        assert!(
+            l2_total < 64,
+            "virus must stay L1-resident, saw {l2_total} L2 accesses"
+        );
         // Only the cold-start misses generate traffic; a streaming run
         // (below) generates an order of magnitude more.
         assert!(result.uncore_traffic_w < 0.5, "{}", result.uncore_traffic_w);
@@ -369,7 +387,10 @@ mod tests {
             "8 streaming cores must contend: {}",
             result.scaling_efficiency
         );
-        assert!(result.uncore_traffic_w > 0.5, "NoC/L2/DRAM power should be significant");
+        assert!(
+            result.uncore_traffic_w > 0.5,
+            "NoC/L2/DRAM power should be significant"
+        );
     }
 
     #[test]
@@ -409,8 +430,9 @@ mod tests {
 
     #[test]
     fn empty_program_rejected() {
-        let err =
-            simulator().run_replicated(&Program::from_body("e", vec![]), 2, 10).unwrap_err();
+        let err = simulator()
+            .run_replicated(&Program::from_body("e", vec![]), 2, 10)
+            .unwrap_err();
         assert_eq!(err, SimError::EmptyProgram);
     }
 

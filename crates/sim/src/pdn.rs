@@ -128,9 +128,17 @@ impl Pdn {
     /// voltage.
     pub fn stats(&self) -> VoltageStats {
         if self.min_v > self.max_v {
-            VoltageStats { nominal_v: self.config.vdd, min_v: self.v_die, max_v: self.v_die }
+            VoltageStats {
+                nominal_v: self.config.vdd,
+                min_v: self.v_die,
+                max_v: self.v_die,
+            }
         } else {
-            VoltageStats { nominal_v: self.config.vdd, min_v: self.min_v, max_v: self.max_v }
+            VoltageStats {
+                nominal_v: self.config.vdd,
+                min_v: self.min_v,
+                max_v: self.max_v,
+            }
         }
     }
 
@@ -159,7 +167,11 @@ mod tests {
             pdn.step(10.0);
         }
         let expected = config.vdd - 10.0 * config.resistance;
-        assert!((pdn.v_die() - expected).abs() < 1e-6, "{} vs {expected}", pdn.v_die());
+        assert!(
+            (pdn.v_die() - expected).abs() < 1e-6,
+            "{} vs {expected}",
+            pdn.v_die()
+        );
     }
 
     #[test]
@@ -176,7 +188,10 @@ mod tests {
 
     #[test]
     fn resonant_excitation_beats_dc_and_off_resonance() {
-        let (machine, config) = (MachineConfig::athlon_x4(), MachineConfig::athlon_x4().pdn.unwrap());
+        let (machine, config) = (
+            MachineConfig::athlon_x4(),
+            MachineConfig::athlon_x4().pdn.unwrap(),
+        );
         let dt = 1.0 / machine.clock_hz;
         let period_cycles = (machine.clock_hz / config.resonance_hz()).round() as usize;
 
@@ -185,7 +200,11 @@ mod tests {
             for cycle in 0..50_000 {
                 // Square wave between 5 A and 35 A (same average as DC 20 A).
                 let phase = if period == 0 { 0 } else { cycle % period };
-                let current = if period == 0 || phase < period / 2 { 35.0 } else { 5.0 };
+                let current = if period == 0 || phase < period / 2 {
+                    35.0
+                } else {
+                    5.0
+                };
                 pdn.step(current);
             }
             pdn.stats().peak_to_peak()
@@ -200,7 +219,10 @@ mod tests {
         };
         let resonant = swing_for(period_cycles);
         let off_resonance = swing_for(period_cycles * 6);
-        assert!(resonant > 5.0 * dc.max(1e-6), "resonant {resonant} vs dc {dc}");
+        assert!(
+            resonant > 5.0 * dc.max(1e-6),
+            "resonant {resonant} vs dc {dc}"
+        );
         assert!(
             resonant > 1.5 * off_resonance,
             "resonant {resonant} vs off-resonance {off_resonance}"
@@ -231,7 +253,11 @@ mod tests {
 
     #[test]
     fn droop_and_p2p_accessors() {
-        let stats = VoltageStats { nominal_v: 1.4, min_v: 1.3, max_v: 1.45 };
+        let stats = VoltageStats {
+            nominal_v: 1.4,
+            min_v: 1.3,
+            max_v: 1.45,
+        };
         assert!((stats.peak_to_peak() - 0.15).abs() < 1e-12);
         assert!((stats.max_droop() - 0.1).abs() < 1e-12);
     }

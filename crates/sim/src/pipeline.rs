@@ -81,7 +81,10 @@ struct SlotTracker {
 
 impl SlotTracker {
     fn new() -> SlotTracker {
-        SlotTracker { base: 0, slots: std::collections::VecDeque::new() }
+        SlotTracker {
+            base: 0,
+            slots: std::collections::VecDeque::new(),
+        }
     }
 
     fn used(&self, cycle: u64) -> u8 {
@@ -223,7 +226,10 @@ impl Pipeline {
     }
 
     fn fu_index(fu: FuClass) -> usize {
-        FuClass::ALL.iter().position(|c| *c == fu).expect("class in ALL")
+        FuClass::ALL
+            .iter()
+            .position(|c| *c == fu)
+            .expect("class in ALL")
     }
 
     /// Schedules the next dynamic instruction. `extra_latency` adds cache
@@ -317,7 +323,8 @@ impl Pipeline {
         self.last_issue = self.last_issue.max(cycle);
         self.issued_count += 1;
         self.max_complete = self.max_complete.max(complete);
-        self.issue_slots.prune(self.fetch_cycle.saturating_sub(4 * self.window as u64));
+        self.issue_slots
+            .prune(self.fetch_cycle.saturating_sub(4 * self.window as u64));
 
         // -- branch redirect ----------------------------------------------
         if d.is_branch {
@@ -338,7 +345,10 @@ impl Pipeline {
             }
         }
 
-        Issued { issue_cycle: cycle, complete_cycle: complete }
+        Issued {
+            issue_cycle: cycle,
+            complete_cycle: complete,
+        }
     }
 
     /// Cycles elapsed so far (latest completion time).
@@ -391,7 +401,10 @@ mod tests {
         let mut prev_complete = 0;
         for _ in 0..20 {
             let issued = pipeline.issue(&dependent, 0, None);
-            assert!(issued.issue_cycle >= prev_complete, "must wait for own result");
+            assert!(
+                issued.issue_cycle >= prev_complete,
+                "must wait for own result"
+            );
             prev_complete = issued.complete_cycle;
         }
         // Latency-1 chain: ~1 instruction per cycle.
@@ -462,7 +475,14 @@ mod tests {
         let mut pipeline = Pipeline::new(&machine);
         let branch = decode(&machine, "CBNZ x1, #2");
         let add = decode(&machine, "ADD x2, x3, x4");
-        let b = pipeline.issue(&branch, 0, Some(BranchResolution { taken: true, correct: false }));
+        let b = pipeline.issue(
+            &branch,
+            0,
+            Some(BranchResolution {
+                taken: true,
+                correct: false,
+            }),
+        );
         let after = pipeline.issue(&add, 0, None);
         assert!(
             after.issue_cycle >= b.complete_cycle + machine.mispredict_penalty as u64,
@@ -476,9 +496,19 @@ mod tests {
         let mut pipeline = Pipeline::new(&machine);
         let branch = decode(&machine, "CBNZ x1, #2");
         let add = decode(&machine, "ADD x2, x3, x4");
-        pipeline.issue(&branch, 0, Some(BranchResolution { taken: true, correct: true }));
+        pipeline.issue(
+            &branch,
+            0,
+            Some(BranchResolution {
+                taken: true,
+                correct: true,
+            }),
+        );
         let after = pipeline.issue(&add, 0, None);
-        assert!(after.issue_cycle <= 2, "no redirect bubble expected, got {after:?}");
+        assert!(
+            after.issue_cycle <= 2,
+            "no redirect bubble expected, got {after:?}"
+        );
     }
 
     #[test]
@@ -500,7 +530,11 @@ mod tests {
         // The ROB models retirement order: total elapsed cycles must be at
         // least bounded below by the serial divide chain draining through
         // the window.
-        assert!(pipeline.elapsed_cycles() >= 24, "{}", pipeline.elapsed_cycles());
+        assert!(
+            pipeline.elapsed_cycles() >= 24,
+            "{}",
+            pipeline.elapsed_cycles()
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct EnergyModel {
 impl EnergyModel {
     /// Builds the model from a machine configuration.
     pub fn new(machine: &MachineConfig) -> EnergyModel {
-        EnergyModel { config: machine.energy, period_s: 1.0 / machine.clock_hz }
+        EnergyModel {
+            config: machine.energy,
+            period_s: 1.0 / machine.clock_hz,
+        }
     }
 
     /// Dynamic energy (picojoules) of one executed instruction.
@@ -56,7 +59,10 @@ impl EnergyModel {
         latency: u8,
         l1_miss: bool,
     ) -> f64 {
-        let index = InstrClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        let index = InstrClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("class in ALL");
         let mut energy = self.config.base_pj[index];
         energy += self.config.toggle_pj * effect.dest_toggles as f64;
         energy += self.config.srcbit_pj * effect.src_bits as f64;
@@ -115,7 +121,11 @@ mod tests {
     fn memory_access_and_miss_cost_extra() {
         let model = model();
         let effect = Effect {
-            mem: Some(MemAccess { addr: 0, width: 8, is_store: false }),
+            mem: Some(MemAccess {
+                addr: 0,
+                width: 8,
+                is_store: false,
+            }),
             ..Effect::default()
         };
         let hit = model.instruction_pj(InstrClass::Mem, &effect, 3, false);

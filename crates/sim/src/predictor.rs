@@ -30,7 +30,11 @@ impl BranchPredictor {
     /// Creates a predictor with one counter per branch site, initialized
     /// weakly not-taken.
     pub fn new(sites: usize) -> BranchPredictor {
-        BranchPredictor { counters: vec![1; sites.max(1)], hits: 0, misses: 0 }
+        BranchPredictor {
+            counters: vec![1; sites.max(1)],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn slot(&self, site: usize) -> usize {
@@ -100,7 +104,11 @@ mod tests {
             predictor.update(1, taken);
             taken = !taken;
         }
-        assert!(predictor.accuracy() < 0.75, "accuracy {}", predictor.accuracy());
+        assert!(
+            predictor.accuracy() < 0.75,
+            "accuracy {}",
+            predictor.accuracy()
+        );
     }
 
     #[test]

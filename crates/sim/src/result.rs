@@ -38,7 +38,11 @@ impl Default for RunConfig {
 impl RunConfig {
     /// A faster configuration for GA inner loops (fewer iterations).
     pub fn quick() -> RunConfig {
-        RunConfig { max_iterations: 120, max_cycles: 6_000, ..RunConfig::default() }
+        RunConfig {
+            max_iterations: 120,
+            max_cycles: 6_000,
+            ..RunConfig::default()
+        }
     }
 }
 
@@ -85,6 +89,35 @@ impl RunResult {
     /// dI/dt fitness metric.
     pub fn voltage_peak_to_peak(&self) -> Option<f64> {
         self.voltage.map(|v| v.peak_to_peak())
+    }
+
+    /// Every scalar in the result as stable `(name, value)` pairs — the
+    /// export surface for metric sinks. The simulator stays telemetry-free;
+    /// observers turn these into whatever metric shape they need.
+    ///
+    /// PDN entries (`voltage_*`) appear only when the machine models one.
+    pub fn metric_kv(&self) -> Vec<(&'static str, f64)> {
+        let mut kv = vec![
+            ("cycles", self.cycles as f64),
+            ("instructions", self.instructions as f64),
+            ("ipc", self.ipc),
+            ("energy_j", self.energy_j),
+            ("avg_power_w", self.avg_power_w),
+            ("chip_power_w", self.chip_power_w),
+            ("peak_power_w", self.peak_power_w),
+            ("temperature_c", self.temperature_c),
+            ("steady_temp_c", self.steady_temp_c),
+            ("l1_hits", self.l1.hits as f64),
+            ("l1_misses", self.l1.misses as f64),
+            ("l1_hit_rate", self.l1.hit_rate()),
+            ("branch_accuracy", self.branch_accuracy),
+        ];
+        if let Some(voltage) = self.voltage {
+            kv.push(("voltage_p2p_v", voltage.peak_to_peak()));
+            kv.push(("voltage_droop_v", voltage.max_droop()));
+            kv.push(("voltage_min_v", voltage.min_v));
+        }
+        kv
     }
 }
 
@@ -133,7 +166,10 @@ impl fmt::Display for SimError {
                 write!(f, "machine scratch-memory size {bytes} is invalid")
             }
             SimError::NoPdn { machine } => {
-                write!(f, "machine {machine:?} has no PDN model (no voltage sense points)")
+                write!(
+                    f,
+                    "machine {machine:?} has no PDN model (no voltage sense points)"
+                )
             }
         }
     }
@@ -183,17 +219,37 @@ mod tests {
             steady_temp_c: 51.0,
             l1: CacheStats::default(),
             branch_accuracy: 1.0,
-            voltage: Some(VoltageStats { nominal_v: 1.4, min_v: 1.3, max_v: 1.45 }),
+            voltage: Some(VoltageStats {
+                nominal_v: 1.4,
+                min_v: 1.3,
+                max_v: 1.45,
+            }),
             class_counts: [0; 6],
         };
         let text = result.to_string();
         assert!(text.contains("mV p2p"), "{text}");
         assert!((result.voltage_peak_to_peak().unwrap() - 0.15).abs() < 1e-9);
+
+        let kv = result.metric_kv();
+        let lookup = |name: &str| kv.iter().find(|(k, _)| *k == name).map(|(_, v)| *v);
+        assert_eq!(lookup("ipc"), Some(2.0));
+        assert_eq!(lookup("cycles"), Some(100.0));
+        assert!((lookup("voltage_p2p_v").unwrap() - 0.15).abs() < 1e-9);
+
+        let mut no_pdn = result.clone();
+        no_pdn.voltage = None;
+        assert!(no_pdn
+            .metric_kv()
+            .iter()
+            .all(|(k, _)| !k.starts_with("voltage_")));
     }
 
     #[test]
     fn sim_error_display_and_source() {
-        let err = SimError::from(ExecError::BranchOutOfRange { skip: 2, remaining: 1 });
+        let err = SimError::from(ExecError::BranchOutOfRange {
+            skip: 2,
+            remaining: 1,
+        });
         assert!(err.to_string().contains("execution failed"));
         assert!(err.source().is_some());
         assert!(SimError::EmptyProgram.source().is_none());

@@ -54,7 +54,8 @@ impl Simulator {
     /// * [`SimError::EmptyProgram`] when the body has no instructions,
     /// * [`SimError::Exec`] if functional execution fails.
     pub fn run(&self, program: &Program, config: &RunConfig) -> Result<RunResult, SimError> {
-        self.run_inner(program, config, false).map(|(result, _)| result)
+        self.run_inner(program, config, false)
+            .map(|(result, _)| result)
     }
 
     /// Like [`run`](Simulator::run), additionally capturing the per-cycle
@@ -99,7 +100,9 @@ impl Simulator {
             return Err(SimError::EmptyProgram);
         }
         if !self.machine.mem_bytes.is_power_of_two() || self.machine.mem_bytes < 64 {
-            return Err(SimError::BadMemSize { bytes: self.machine.mem_bytes });
+            return Err(SimError::BadMemSize {
+                bytes: self.machine.mem_bytes,
+            });
         }
 
         let mut state = ArchState::new(self.machine.mem_bytes);
@@ -111,10 +114,12 @@ impl Simulator {
         let energy_model = EnergyModel::new(&self.machine);
 
         // Pre-decode the static body once.
-        let decoded: Vec<Decoded> =
-            program.body.iter().map(|i| Pipeline::decode(&self.machine, i)).collect();
-        let classes: Vec<InstrClass> =
-            program.body.iter().map(|i| i.opcode().class()).collect();
+        let decoded: Vec<Decoded> = program
+            .body
+            .iter()
+            .map(|i| Pipeline::decode(&self.machine, i))
+            .collect();
+        let classes: Vec<InstrClass> = program.body.iter().map(|i| i.opcode().class()).collect();
 
         // Per-cycle dynamic energy, indexed by issue cycle.
         let mut cycle_energy_pj: Vec<f64> = Vec::with_capacity(config.max_cycles as usize / 2);
@@ -134,7 +139,10 @@ impl Simulator {
                     let predicted = predictor.predict(pc);
                     let correct = predictor.update(pc, effect.branch_taken);
                     debug_assert_eq!(correct, predicted == effect.branch_taken);
-                    Some(BranchResolution { taken: effect.branch_taken, correct })
+                    Some(BranchResolution {
+                        taken: effect.branch_taken,
+                        correct,
+                    })
                 } else {
                     None
                 };
@@ -153,8 +161,7 @@ impl Simulator {
 
                 // Energy attribution at the issue cycle.
                 let latency = decoded[pc].latency + extra_latency;
-                let energy =
-                    energy_model.instruction_pj(classes[pc], &effect, latency, missed);
+                let energy = energy_model.instruction_pj(classes[pc], &effect, latency, missed);
                 let slot = issued.issue_cycle as usize;
                 if slot >= cycle_energy_pj.len() {
                     cycle_energy_pj.resize(slot + 1, 0.0);
@@ -239,22 +246,25 @@ impl Simulator {
             voltage_v: voltage_trace,
         });
 
-        Ok((RunResult {
-            name: program.name.clone(),
-            cycles,
-            instructions: retired,
-            ipc: retired as f64 / cycles as f64,
-            energy_j: total_pj * 1e-12,
-            avg_power_w,
-            chip_power_w,
-            peak_power_w,
-            temperature_c,
-            steady_temp_c,
-            l1: cache.stats(),
-            branch_accuracy: predictor.accuracy(),
-            voltage,
-            class_counts,
-        }, traces))
+        Ok((
+            RunResult {
+                name: program.name.clone(),
+                cycles,
+                instructions: retired,
+                ipc: retired as f64 / cycles as f64,
+                energy_j: total_pj * 1e-12,
+                avg_power_w,
+                chip_power_w,
+                peak_power_w,
+                temperature_c,
+                steady_temp_c,
+                l1: cache.stats(),
+                branch_accuracy: predictor.accuracy(),
+                voltage,
+                class_counts,
+            },
+            traces,
+        ))
     }
 }
 
@@ -266,7 +276,9 @@ mod tests {
     fn run_on(machine: MachineConfig, body: &str) -> RunResult {
         let template = Template::default_stress();
         let program = template.materialize("test", asm::parse_block(body).unwrap());
-        Simulator::new(machine).run(&program, &RunConfig::default()).unwrap()
+        Simulator::new(machine)
+            .run(&program, &RunConfig::default())
+            .unwrap()
     }
 
     #[test]
@@ -285,13 +297,24 @@ mod tests {
             MachineConfig::cortex_a15(),
             "ADD x1, x2, x3\nFMUL v1, v2, v3\nADD x4, x5, x6\nFMUL v4, v5, v6\nLDR x7, [x10, #0]\nADD x8, x2, x5",
         );
-        assert!(result.ipc > 2.0, "3-wide OoO core should sustain > 2 IPC, got {}", result.ipc);
+        assert!(
+            result.ipc > 2.0,
+            "3-wide OoO core should sustain > 2 IPC, got {}",
+            result.ipc
+        );
     }
 
     #[test]
     fn dependent_chain_has_low_ipc() {
-        let result = run_on(MachineConfig::cortex_a15(), "MUL x1, x1, x2\nMUL x1, x1, x3");
-        assert!(result.ipc < 0.5, "serial multiply chain, got {}", result.ipc);
+        let result = run_on(
+            MachineConfig::cortex_a15(),
+            "MUL x1, x1, x2\nMUL x1, x1, x3",
+        );
+        assert!(
+            result.ipc < 0.5,
+            "serial multiply chain, got {}",
+            result.ipc
+        );
     }
 
     #[test]
@@ -318,7 +341,11 @@ mod tests {
             MachineConfig::cortex_a15(),
             "LDR x1, [x10, #0]\nLDR x2, [x10, #64]\nSTR x3, [x10, #128]\nADDI x10, x10, #8",
         );
-        assert!(result.l1.hit_rate() > 0.95, "hit rate {}", result.l1.hit_rate());
+        assert!(
+            result.l1.hit_rate() > 0.95,
+            "hit rate {}",
+            result.l1.hit_rate()
+        );
     }
 
     #[test]
@@ -327,13 +354,20 @@ mod tests {
             MachineConfig::cortex_a7(),
             "ADD x1, x2, x3\nCBNZ x0, #1\nADD x4, x5, x6\nB #1\nADD x7, x2, x5",
         );
-        assert!(result.branch_accuracy > 0.9, "accuracy {}", result.branch_accuracy);
+        assert!(
+            result.branch_accuracy > 0.9,
+            "accuracy {}",
+            result.branch_accuracy
+        );
     }
 
     #[test]
     fn temperature_tracks_power() {
         let machine = MachineConfig::xgene2();
-        let hot = run_on(machine.clone(), "VFMLA v0, v1, v2\nVFMLA v3, v4, v5\nLDR x1, [x10, #0]\nVFMUL v6, v7, v1");
+        let hot = run_on(
+            machine.clone(),
+            "VFMLA v0, v1, v2\nVFMLA v3, v4, v5\nLDR x1, [x10, #0]\nVFMUL v6, v7, v1",
+        );
         let cold = run_on(machine, "NOP\nNOP\nNOP\nNOP");
         assert!(hot.temperature_c > cold.temperature_c);
         let ambient = MachineConfig::xgene2().thermal.ambient_c;
@@ -342,7 +376,10 @@ mod tests {
 
     #[test]
     fn voltage_stats_only_with_pdn() {
-        let with = run_on(MachineConfig::athlon_x4(), "FMUL v0, v1, v2\nADD x1, x2, x3");
+        let with = run_on(
+            MachineConfig::athlon_x4(),
+            "FMUL v0, v1, v2\nADD x1, x2, x3",
+        );
         assert!(with.voltage.is_some());
         let without = run_on(MachineConfig::cortex_a15(), "FMUL v0, v1, v2");
         assert!(without.voltage.is_none());
@@ -371,7 +408,10 @@ mod tests {
 
     #[test]
     fn class_counts_track_dynamic_mix() {
-        let result = run_on(MachineConfig::cortex_a15(), "ADD x1, x2, x3\nFMUL v0, v1, v2");
+        let result = run_on(
+            MachineConfig::cortex_a15(),
+            "ADD x1, x2, x3\nFMUL v0, v1, v2",
+        );
         // Equal static counts → equal dynamic counts.
         assert_eq!(result.class_counts[0], result.class_counts[2]);
         assert!(result.class_counts[0] > 0);
@@ -379,8 +419,14 @@ mod tests {
 
     #[test]
     fn deterministic_runs() {
-        let a = run_on(MachineConfig::cortex_a15(), "FMLA v0, v1, v2\nLDR x1, [x10, #8]");
-        let b = run_on(MachineConfig::cortex_a15(), "FMLA v0, v1, v2\nLDR x1, [x10, #8]");
+        let a = run_on(
+            MachineConfig::cortex_a15(),
+            "FMLA v0, v1, v2\nLDR x1, [x10, #8]",
+        );
+        let b = run_on(
+            MachineConfig::cortex_a15(),
+            "FMLA v0, v1, v2\nLDR x1, [x10, #8]",
+        );
         assert_eq!(a, b);
     }
 
@@ -402,7 +448,11 @@ mod tests {
         let mean_power: f64 =
             traces.power_w.iter().map(|&p| p as f64).sum::<f64>() / traces.power_w.len() as f64;
         assert!((mean_power - plain.avg_power_w).abs() < 0.01 * plain.avg_power_w);
-        let min_v = traces.voltage_v.iter().copied().fold(f32::INFINITY, f32::min);
+        let min_v = traces
+            .voltage_v
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min);
         let stats = plain.voltage.unwrap();
         // Trace min can be lower than stats min (stats skip PDN warm-up).
         assert!(min_v as f64 <= stats.min_v + 1e-6);
@@ -421,9 +471,14 @@ mod tests {
     #[test]
     fn branch_skip_shortens_iterations() {
         // B #2 skips both following ADDs: their class counts must be zero.
-        let result = run_on(MachineConfig::cortex_a15(), "B #2\nADD x1, x2, x3\nADD x4, x5, x6");
-        assert_eq!(result.class_counts[0], 0, "skipped instructions never execute");
+        let result = run_on(
+            MachineConfig::cortex_a15(),
+            "B #2\nADD x1, x2, x3\nADD x4, x5, x6",
+        );
+        assert_eq!(
+            result.class_counts[0], 0,
+            "skipped instructions never execute"
+        );
         assert!(result.class_counts[4] > 0);
     }
-
 }

@@ -48,7 +48,10 @@ impl ThermalConfig {
 impl ThermalModel {
     /// Creates a model at ambient temperature.
     pub fn new(config: ThermalConfig) -> ThermalModel {
-        ThermalModel { config, temperature_c: config.ambient_c }
+        ThermalModel {
+            config,
+            temperature_c: config.ambient_c,
+        }
     }
 
     /// Current junction temperature (°C).
@@ -95,7 +98,12 @@ mod tests {
     use super::*;
 
     fn config() -> ThermalConfig {
-        ThermalConfig { r_th: 2.0, c_th: 0.5, ambient_c: 25.0, tjmax_c: 100.0 }
+        ThermalConfig {
+            r_th: 2.0,
+            c_th: 0.5,
+            ambient_c: 25.0,
+            tjmax_c: 100.0,
+        }
     }
 
     #[test]

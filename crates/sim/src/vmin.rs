@@ -27,7 +27,10 @@ pub struct VminConfig {
 
 impl Default for VminConfig {
     fn default() -> Self {
-        VminConfig { step_v: 0.0125, floor_v: 0.6 }
+        VminConfig {
+            step_v: 0.0125,
+            floor_v: 0.6,
+        }
     }
 }
 
@@ -74,7 +77,9 @@ pub fn characterize_vmin(
     config: &VminConfig,
 ) -> Result<VminResult, SimError> {
     let Some(base_pdn) = machine.pdn else {
-        return Err(SimError::NoPdn { machine: machine.name.clone() });
+        return Err(SimError::NoPdn {
+            machine: machine.name.clone(),
+        });
     };
     let mut runs = 0u32;
     let mut max_droop_v = 0.0f64;
@@ -106,7 +111,11 @@ pub fn characterize_vmin(
         // unstable at stock settings — what overclockers discover).
         vmin = base_pdn.vdd;
     }
-    Ok(VminResult { vmin_v: vmin, max_droop_v, runs })
+    Ok(VminResult {
+        vmin_v: vmin,
+        max_droop_v,
+        runs,
+    })
 }
 
 #[cfg(test)]
@@ -148,7 +157,11 @@ mod tests {
         let result = vmin_of("FMUL v0, v1, v2\nADD x1, x2, x3");
         let machine = MachineConfig::athlon_x4();
         let steps = (machine.pdn.unwrap().vdd - result.vmin_v) / 0.0125;
-        assert!((steps - steps.round()).abs() < 1e-9, "vmin {} not on grid", result.vmin_v);
+        assert!(
+            (steps - steps.round()).abs() < 1e-9,
+            "vmin {} not on grid",
+            result.vmin_v
+        );
     }
 
     #[test]
@@ -166,7 +179,12 @@ mod tests {
             &VminConfig::default(),
         )
         .unwrap_err();
-        assert_eq!(err, SimError::NoPdn { machine: "cortex-a15".into() });
+        assert_eq!(
+            err,
+            SimError::NoPdn {
+                machine: "cortex-a15".into()
+            }
+        );
     }
 
     #[test]

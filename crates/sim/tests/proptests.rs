@@ -32,7 +32,14 @@ fn run(machine: MachineConfig, lines: &[String]) -> gest_sim::RunResult {
     let body = asm::parse_block(&lines.join("\n")).unwrap();
     let program: Program = Template::default_stress().materialize("prop", body);
     Simulator::new(machine)
-        .run(&program, &RunConfig { max_iterations: 40, max_cycles: 3000, ..RunConfig::default() })
+        .run(
+            &program,
+            &RunConfig {
+                max_iterations: 40,
+                max_cycles: 3000,
+                ..RunConfig::default()
+            },
+        )
         .unwrap()
 }
 

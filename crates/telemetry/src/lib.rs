@@ -1,0 +1,766 @@
+//! `gest-telemetry`: spans, metrics, and run-trace artifacts for the
+//! GeST search loop.
+//!
+//! The crate is dependency-free and built around one cheap handle,
+//! [`Telemetry`]. A disabled handle (the default) is a `None` — every
+//! call is a branch on an `Option` and nothing else, so instrumented
+//! code pays near-zero cost when observability is off. An enabled handle
+//! streams [`Event`]s to a pluggable [`Sink`] (console progress, an
+//! in-memory buffer for tests, or a JSONL file producing the
+//! `run_trace.jsonl` artifact that `gest report` summarizes) and
+//! aggregates [`metrics`] (counters, gauges, fixed-bucket histograms)
+//! that are flushed as events when the run [finishes](Telemetry::finish).
+//!
+//! Spans nest per thread: each thread keeps a stack of open span ids and
+//! new spans parent onto the innermost open one. Work handed to other
+//! threads can parent explicitly via [`Telemetry::span_under`].
+//!
+//! Telemetry only observes the search — nothing read from it feeds back
+//! into the GA — so enabling a trace never changes the evolved result.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+
+pub use metrics::{Buckets, HistogramSnapshot, MetricsRegistry};
+pub use sink::{ConsoleSink, JsonlSink, MemorySink, MultiSink, NoopSink, Sink};
+
+use json::Value;
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A field attached to a span or point event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (ids, counts).
+    U64(u64),
+    /// A float (fitness, watts).
+    F64(f64),
+    /// A label.
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.4}"),
+            FieldValue::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+macro_rules! impl_field_from {
+    ($($t:ty => $variant:ident as $conv:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(value: $t) -> FieldValue {
+                FieldValue::$variant(value as $conv)
+            }
+        }
+    )*};
+}
+
+impl_field_from!(u64 => U64 as u64, u32 => U64 as u64, usize => U64 as u64,
+                 f64 => F64 as f64, f32 => F64 as f64);
+
+impl From<&str> for FieldValue {
+    fn from(value: &str) -> FieldValue {
+        FieldValue::Str(value.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(value: String) -> FieldValue {
+        FieldValue::Str(value)
+    }
+}
+
+/// Everything a sink can receive.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A span opened.
+    SpanStart {
+        /// Unique id within the run.
+        id: u64,
+        /// Enclosing span, if any.
+        parent: Option<u64>,
+        /// Span name (e.g. `generation`, `eval.candidate`).
+        name: String,
+        /// Sequential id of the emitting thread.
+        thread: u32,
+        /// Microseconds since the telemetry handle was created.
+        t_us: u64,
+        /// Attached fields.
+        fields: Vec<(String, FieldValue)>,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Id from the matching [`Event::SpanStart`].
+        id: u64,
+        /// Span name, repeated for line-at-a-time consumers.
+        name: String,
+        /// Sequential id of the emitting thread.
+        thread: u32,
+        /// Microseconds since the telemetry handle was created.
+        t_us: u64,
+        /// Span duration in microseconds.
+        dur_us: u64,
+    },
+    /// An instantaneous annotated event.
+    Point {
+        /// Event name.
+        name: String,
+        /// Sequential id of the emitting thread.
+        thread: u32,
+        /// Microseconds since the telemetry handle was created.
+        t_us: u64,
+        /// Attached fields.
+        fields: Vec<(String, FieldValue)>,
+    },
+    /// Final value of a counter (flushed at run end).
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Final count.
+        value: u64,
+    },
+    /// Final value of a gauge (flushed at run end).
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Final value.
+        value: f64,
+    },
+    /// Final state of a histogram (flushed at run end).
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Aggregated buckets and summary statistics.
+        snapshot: HistogramSnapshot,
+    },
+}
+
+fn fields_to_json(fields: &[(String, FieldValue)]) -> Value {
+    Value::Obj(
+        fields
+            .iter()
+            .map(|(key, value)| {
+                let json = match value {
+                    FieldValue::U64(v) => Value::Num(*v as f64),
+                    FieldValue::F64(v) => Value::Num(*v),
+                    FieldValue::Str(v) => Value::Str(v.clone()),
+                };
+                (key.clone(), json)
+            })
+            .collect(),
+    )
+}
+
+fn fields_from_json(value: &Value) -> Vec<(String, FieldValue)> {
+    match value {
+        Value::Obj(entries) => entries
+            .iter()
+            .filter_map(|(key, v)| {
+                let field = match v {
+                    Value::Str(s) => FieldValue::Str(s.clone()),
+                    Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 9.0e15 => {
+                        FieldValue::U64(*n as u64)
+                    }
+                    Value::Num(n) => FieldValue::F64(*n),
+                    _ => return None,
+                };
+                Some((key.clone(), field))
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+impl Event {
+    /// The JSONL representation written to `run_trace.jsonl`.
+    pub fn to_json(&self) -> Value {
+        let num = |n: u64| Value::Num(n as f64);
+        match self {
+            Event::SpanStart {
+                id,
+                parent,
+                name,
+                thread,
+                t_us,
+                fields,
+            } => Value::Obj(vec![
+                ("type".into(), Value::Str("span_start".into())),
+                ("id".into(), num(*id)),
+                ("parent".into(), parent.map_or(Value::Null, num)),
+                ("name".into(), Value::Str(name.clone())),
+                ("thread".into(), num(u64::from(*thread))),
+                ("t_us".into(), num(*t_us)),
+                ("fields".into(), fields_to_json(fields)),
+            ]),
+            Event::SpanEnd {
+                id,
+                name,
+                thread,
+                t_us,
+                dur_us,
+            } => Value::Obj(vec![
+                ("type".into(), Value::Str("span_end".into())),
+                ("id".into(), num(*id)),
+                ("name".into(), Value::Str(name.clone())),
+                ("thread".into(), num(u64::from(*thread))),
+                ("t_us".into(), num(*t_us)),
+                ("dur_us".into(), num(*dur_us)),
+            ]),
+            Event::Point {
+                name,
+                thread,
+                t_us,
+                fields,
+            } => Value::Obj(vec![
+                ("type".into(), Value::Str("point".into())),
+                ("name".into(), Value::Str(name.clone())),
+                ("thread".into(), num(u64::from(*thread))),
+                ("t_us".into(), num(*t_us)),
+                ("fields".into(), fields_to_json(fields)),
+            ]),
+            Event::Counter { name, value } => Value::Obj(vec![
+                ("type".into(), Value::Str("counter".into())),
+                ("name".into(), Value::Str(name.clone())),
+                ("value".into(), num(*value)),
+            ]),
+            Event::Gauge { name, value } => Value::Obj(vec![
+                ("type".into(), Value::Str("gauge".into())),
+                ("name".into(), Value::Str(name.clone())),
+                ("value".into(), Value::Num(*value)),
+            ]),
+            Event::Histogram { name, snapshot } => Value::Obj(vec![
+                ("type".into(), Value::Str("histogram".into())),
+                ("name".into(), Value::Str(name.clone())),
+                ("count".into(), num(snapshot.count)),
+                ("sum".into(), Value::Num(snapshot.sum)),
+                ("min".into(), Value::Num(snapshot.min)),
+                ("max".into(), Value::Num(snapshot.max)),
+                (
+                    "buckets".into(),
+                    Value::Arr(
+                        snapshot
+                            .bounds
+                            .iter()
+                            .zip(&snapshot.counts)
+                            .map(|(bound, count)| Value::Arr(vec![Value::Num(*bound), num(*count)]))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "overflow".into(),
+                    num(snapshot.counts.last().copied().unwrap_or(0)),
+                ),
+            ]),
+        }
+    }
+
+    /// Parses one `run_trace.jsonl` line back into an event.
+    ///
+    /// Returns `None` for unknown or structurally invalid records, so
+    /// readers can skip lines written by future schema versions.
+    pub fn from_json(value: &Value) -> Option<Event> {
+        let name = value.get("name")?.as_str()?.to_string();
+        match value.get("type")?.as_str()? {
+            "span_start" => Some(Event::SpanStart {
+                id: value.get("id")?.as_u64()?,
+                parent: value.get("parent").and_then(Value::as_u64),
+                name,
+                thread: value.get("thread")?.as_u64()? as u32,
+                t_us: value.get("t_us")?.as_u64()?,
+                fields: value
+                    .get("fields")
+                    .map(fields_from_json)
+                    .unwrap_or_default(),
+            }),
+            "span_end" => Some(Event::SpanEnd {
+                id: value.get("id")?.as_u64()?,
+                name,
+                thread: value.get("thread")?.as_u64()? as u32,
+                t_us: value.get("t_us")?.as_u64()?,
+                dur_us: value.get("dur_us")?.as_u64()?,
+            }),
+            "point" => Some(Event::Point {
+                name,
+                thread: value.get("thread")?.as_u64()? as u32,
+                t_us: value.get("t_us")?.as_u64()?,
+                fields: value
+                    .get("fields")
+                    .map(fields_from_json)
+                    .unwrap_or_default(),
+            }),
+            "counter" => Some(Event::Counter {
+                name,
+                value: value.get("value")?.as_u64()?,
+            }),
+            "gauge" => Some(Event::Gauge {
+                name,
+                value: value.get("value")?.as_f64()?,
+            }),
+            "histogram" => {
+                let pairs = value.get("buckets")?.as_arr()?;
+                let mut bounds = Vec::with_capacity(pairs.len());
+                let mut counts = Vec::with_capacity(pairs.len() + 1);
+                for pair in pairs {
+                    let pair = pair.as_arr()?;
+                    bounds.push(pair.first()?.as_f64()?);
+                    counts.push(pair.get(1)?.as_u64()?);
+                }
+                counts.push(value.get("overflow")?.as_u64()?);
+                Some(Event::Histogram {
+                    name,
+                    snapshot: HistogramSnapshot {
+                        bounds,
+                        counts,
+                        count: value.get("count")?.as_u64()?,
+                        sum: value.get("sum")?.as_f64()?,
+                        min: value
+                            .get("min")
+                            .and_then(Value::as_f64)
+                            .unwrap_or(f64::INFINITY),
+                        max: value
+                            .get("max")
+                            .and_then(Value::as_f64)
+                            .unwrap_or(f64::NEG_INFINITY),
+                    },
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+struct Inner {
+    start: Instant,
+    sink: Arc<dyn Sink>,
+    metrics: MetricsRegistry,
+    next_span: AtomicU64,
+    finished: AtomicBool,
+}
+
+/// Sequential thread ids, assigned on a thread's first telemetry event.
+/// Process-global so ids stay stable across telemetry handles.
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static THREAD_ID: std::cell::Cell<Option<u32>> = const { std::cell::Cell::new(None) };
+    /// Stack of open span ids on this thread (innermost last).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn current_thread_id() -> u32 {
+    THREAD_ID.with(|cell| match cell.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            cell.set(Some(id));
+            id
+        }
+    })
+}
+
+/// The instrumentation handle threaded through the search loop.
+///
+/// Cheap to clone (an `Option<Arc>`); the [default](Telemetry::default)
+/// handle is disabled and makes every operation a near-free no-op.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The disabled handle: every operation is a no-op.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle streaming events into `sink`.
+    pub fn new(sink: Arc<dyn Sink>) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                start: Instant::now(),
+                sink,
+                metrics: MetricsRegistry::default(),
+                next_span: AtomicU64::new(1),
+                finished: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn elapsed_us(inner: &Inner) -> u64 {
+        inner.start.elapsed().as_micros() as u64
+    }
+
+    /// Opens a span parented onto this thread's innermost open span.
+    /// The span closes when the guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_impl(name, &[], None)
+    }
+
+    /// Like [`Telemetry::span`], with fields attached to the start event.
+    pub fn span_with(&self, name: &str, fields: &[(&str, FieldValue)]) -> SpanGuard {
+        self.span_impl(name, fields, None)
+    }
+
+    /// Opens a span with an explicit parent — for work handed to another
+    /// thread, where the thread-local nesting stack cannot see the
+    /// logical parent (e.g. per-candidate evaluation under a generation
+    /// span).
+    pub fn span_under(
+        &self,
+        parent: Option<u64>,
+        name: &str,
+        fields: &[(&str, FieldValue)],
+    ) -> SpanGuard {
+        self.span_impl(name, fields, parent)
+    }
+
+    fn span_impl(
+        &self,
+        name: &str,
+        fields: &[(&str, FieldValue)],
+        explicit_parent: Option<u64>,
+    ) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard {
+                telemetry: Telemetry::disabled(),
+                id: 0,
+                start: None,
+            };
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent =
+            explicit_parent.or_else(|| SPAN_STACK.with(|stack| stack.borrow().last().copied()));
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(id));
+        let start = Instant::now();
+        inner.sink.event(&Event::SpanStart {
+            id,
+            parent,
+            name: name.to_string(),
+            thread: current_thread_id(),
+            t_us: Telemetry::elapsed_us(inner),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+        SpanGuard {
+            telemetry: Telemetry {
+                inner: Some(Arc::clone(inner)),
+            },
+            id,
+            start: Some((name.to_string(), start)),
+        }
+    }
+
+    /// Emits an instantaneous annotated event.
+    pub fn point(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        if let Some(inner) = &self.inner {
+            inner.sink.event(&Event::Point {
+                name: name.to_string(),
+                thread: current_thread_id(),
+                t_us: Telemetry::elapsed_us(inner),
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.add_counter(name, delta);
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.set_gauge(name, value);
+        }
+    }
+
+    /// Records a value into a fixed-bucket histogram (created with
+    /// `buckets` on first use).
+    pub fn record(&self, name: &str, buckets: &Buckets, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.record(name, buckets, value);
+        }
+    }
+
+    /// Current value of a counter (`0` when disabled or never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.metrics.counter(name))
+    }
+
+    /// Snapshot of a histogram, if recorded.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.metrics.histogram(name))
+    }
+
+    /// Finishes the run: flushes every aggregated metric to the sink as
+    /// [`Event::Counter`]/[`Event::Gauge`]/[`Event::Histogram`] records
+    /// and flushes the sink. Idempotent — only the first call flushes.
+    pub fn finish(&self) {
+        let Some(inner) = &self.inner else { return };
+        if inner.finished.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for event in inner.metrics.drain_events() {
+            inner.sink.event(&event);
+        }
+        inner.sink.flush();
+    }
+}
+
+/// RAII guard for an open span; emits [`Event::SpanEnd`] on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    telemetry: Telemetry,
+    id: u64,
+    /// `(name, start)` when enabled; `None` for the inert guard.
+    start: Option<(String, Instant)>,
+}
+
+impl SpanGuard {
+    /// The span id, for parenting cross-thread children via
+    /// [`Telemetry::span_under`]. `None` when telemetry is disabled.
+    pub fn id(&self) -> Option<u64> {
+        self.start.as_ref().map(|_| self.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((name, start)) = self.start.take() else {
+            return;
+        };
+        let Some(inner) = &self.telemetry.inner else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards normally drop innermost-first; tolerate out-of-order
+            // drops (a guard moved across threads) by scanning.
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        inner.sink.event(&Event::SpanEnd {
+            id: self.id,
+            name,
+            thread: current_thread_id(),
+            t_us: Telemetry::elapsed_us(inner),
+            dur_us: start.elapsed().as_micros() as u64,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memory_telemetry() -> (Telemetry, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::default());
+        (Telemetry::new(Arc::clone(&sink) as Arc<dyn Sink>), sink)
+    }
+
+    #[test]
+    fn spans_nest_and_parent_on_one_thread() {
+        let (telemetry, sink) = memory_telemetry();
+        let outer = telemetry.span("outer");
+        let outer_id = outer.id().unwrap();
+        {
+            let inner = telemetry.span_with("inner", &[("k", 7u64.into())]);
+            assert_ne!(inner.id().unwrap(), outer_id);
+        }
+        drop(outer);
+        let events = sink.events();
+        assert_eq!(events.len(), 4);
+        match &events[0] {
+            Event::SpanStart { name, parent, .. } => {
+                assert_eq!(name, "outer");
+                assert_eq!(*parent, None);
+            }
+            other => panic!("expected outer start, got {other:?}"),
+        }
+        match &events[1] {
+            Event::SpanStart {
+                name,
+                parent,
+                fields,
+                ..
+            } => {
+                assert_eq!(name, "inner");
+                assert_eq!(*parent, Some(outer_id), "inner parents onto outer");
+                assert_eq!(fields[0], ("k".to_string(), FieldValue::U64(7)));
+            }
+            other => panic!("expected inner start, got {other:?}"),
+        }
+        match (&events[2], &events[3]) {
+            (Event::SpanEnd { name: first, .. }, Event::SpanEnd { name: second, .. }) => {
+                assert_eq!((first.as_str(), second.as_str()), ("inner", "outer"));
+            }
+            other => panic!("expected two span ends, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_under_overrides_thread_parent() {
+        let (telemetry, sink) = memory_telemetry();
+        let root = telemetry.span("root");
+        let root_id = root.id();
+        let handle = {
+            let telemetry = telemetry.clone();
+            std::thread::spawn(move || {
+                // A fresh thread has no open spans; the explicit parent
+                // still lands in the trace.
+                drop(telemetry.span_under(root_id, "worker", &[]));
+            })
+        };
+        handle.join().unwrap();
+        drop(root);
+        let worker_start = sink
+            .events()
+            .into_iter()
+            .find_map(|e| match e {
+                Event::SpanStart {
+                    name,
+                    parent,
+                    thread,
+                    ..
+                } if name == "worker" => Some((parent, thread)),
+                _ => None,
+            })
+            .expect("worker span recorded");
+        assert_eq!(worker_start.0, root_id);
+    }
+
+    #[test]
+    fn metrics_flush_once_on_finish() {
+        let (telemetry, sink) = memory_telemetry();
+        telemetry.add_counter("ops", 3);
+        telemetry.set_gauge("level", 2.5);
+        telemetry.record("lat", &Buckets::linear(1.0, 1.0, 2), 1.5);
+        assert_eq!(telemetry.counter_value("ops"), 3);
+        assert!(sink.events().is_empty(), "metrics aggregate, not stream");
+        telemetry.finish();
+        telemetry.finish();
+        let events = sink.events();
+        assert_eq!(events.len(), 3, "second finish is a no-op");
+        assert!(matches!(&events[0], Event::Counter { name, value: 3 } if name == "ops"));
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let telemetry = Telemetry::disabled();
+        assert!(!telemetry.is_enabled());
+        let span = telemetry.span("anything");
+        assert_eq!(span.id(), None);
+        telemetry.point("p", &[("x", 1u64.into())]);
+        telemetry.add_counter("c", 1);
+        assert_eq!(telemetry.counter_value("c"), 0);
+        telemetry.finish();
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let samples = vec![
+            Event::SpanStart {
+                id: 5,
+                parent: Some(2),
+                name: "eval.candidate".into(),
+                thread: 1,
+                t_us: 120,
+                fields: vec![
+                    ("candidate".into(), FieldValue::U64(17)),
+                    ("fitness".into(), FieldValue::F64(-1.5)),
+                    ("label".into(), FieldValue::Str("a b".into())),
+                ],
+            },
+            Event::SpanEnd {
+                id: 5,
+                name: "eval.candidate".into(),
+                thread: 1,
+                t_us: 320,
+                dur_us: 200,
+            },
+            Event::Point {
+                name: "generation".into(),
+                thread: 0,
+                t_us: 400,
+                fields: vec![],
+            },
+            Event::Counter {
+                name: "ga.mutations".into(),
+                value: 12,
+            },
+            Event::Gauge {
+                name: "best".into(),
+                value: 3.25,
+            },
+        ];
+        for event in samples {
+            let mut line = String::new();
+            event.to_json().write(&mut line);
+            let parsed = Event::from_json(&Value::parse(&line).unwrap()).unwrap();
+            let mut reline = String::new();
+            parsed.to_json().write(&mut reline);
+            assert_eq!(line, reline, "stable round-trip for {event:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_snapshot_round_trips_through_json() {
+        let registry = MetricsRegistry::default();
+        let buckets = Buckets::exponential(10.0, 10.0, 3);
+        for v in [5.0, 50.0, 5000.0] {
+            registry.record("lat", &buckets, v);
+        }
+        let event = Event::Histogram {
+            name: "lat".into(),
+            snapshot: registry.histogram("lat").unwrap(),
+        };
+        let mut line = String::new();
+        event.to_json().write(&mut line);
+        let parsed = Event::from_json(&Value::parse(&line).unwrap()).unwrap();
+        match parsed {
+            Event::Histogram { snapshot, .. } => {
+                assert_eq!(snapshot.bounds, vec![10.0, 100.0, 1000.0]);
+                assert_eq!(snapshot.counts, vec![1, 1, 0, 1]);
+                assert_eq!(snapshot.count, 3);
+                assert_eq!(snapshot.min, 5.0);
+                assert_eq!(snapshot.max, 5000.0);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

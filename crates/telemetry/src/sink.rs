@@ -1,0 +1,154 @@
+//! Pluggable event sinks: no-op, console progress, in-memory (tests),
+//! and a JSONL file writer producing `run_trace.jsonl`.
+
+use crate::Event;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Receives every telemetry event.
+///
+/// Sinks are shared across evaluation worker threads, so implementations
+/// must be internally synchronized.
+pub trait Sink: Send + Sync {
+    /// Handles one event.
+    fn event(&self, event: &Event);
+
+    /// Flushes buffered output; called once when a run finishes.
+    fn flush(&self) {}
+}
+
+/// Discards everything. Used as the backing sink when callers want an
+/// enabled pipeline with no output (e.g. overhead benches).
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn event(&self, _event: &Event) {}
+}
+
+/// Prints human-readable progress lines to stderr — one line per
+/// [`Event::Point`], plus final metric summaries.
+#[derive(Debug, Default)]
+pub struct ConsoleSink;
+
+impl Sink for ConsoleSink {
+    fn event(&self, event: &Event) {
+        match event {
+            Event::Point {
+                name, t_us, fields, ..
+            } => {
+                let mut line = format!("[{:>9.3}s] {name}", *t_us as f64 / 1e6);
+                for (key, value) in fields {
+                    line.push_str(&format!(" {key}={value}"));
+                }
+                eprintln!("{line}");
+            }
+            Event::Counter { name, value } => eprintln!("[   metric] {name} = {value}"),
+            Event::Gauge { name, value } => eprintln!("[   metric] {name} = {value}"),
+            Event::Histogram { name, snapshot } => eprintln!(
+                "[   metric] {name}: n={} mean={:.1} min={:.1} max={:.1}",
+                snapshot.count,
+                snapshot.mean(),
+                snapshot.min,
+                snapshot.max
+            ),
+            Event::SpanStart { .. } | Event::SpanEnd { .. } => {}
+        }
+    }
+}
+
+/// Buffers events in memory; the assertion surface for tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// A copy of every event received so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink lock").clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn event(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink lock")
+            .push(event.clone());
+    }
+}
+
+/// Writes one JSON object per line — the `run_trace.jsonl` artifact that
+/// `gest report` consumes.
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the file.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(JsonlSink {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Where the trace is being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn event(&self, event: &Event) {
+        let mut line = String::new();
+        event.to_json().write(&mut line);
+        line.push('\n');
+        let mut writer = self.writer.lock().expect("jsonl sink lock");
+        // Trace output is best-effort; a full disk should not kill the
+        // search that is being observed.
+        let _ = writer.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink lock").flush();
+    }
+}
+
+/// Fans one event stream out to several sinks (e.g. console progress and
+/// a JSONL trace at the same time).
+pub struct MultiSink {
+    sinks: Vec<std::sync::Arc<dyn Sink>>,
+}
+
+impl MultiSink {
+    /// Combines `sinks` into one.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Sink>>) -> MultiSink {
+        MultiSink { sinks }
+    }
+}
+
+impl Sink for MultiSink {
+    fn event(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.event(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}

@@ -509,13 +509,17 @@ mod tests {
 
     #[test]
     fn every_workload_runs_on_every_machine() {
-        let config = RunConfig { max_iterations: 20, max_cycles: 1500, ..RunConfig::default() };
+        let config = RunConfig {
+            max_iterations: 20,
+            max_cycles: 1500,
+            ..RunConfig::default()
+        };
         for machine in MachineConfig::all_presets() {
             let simulator = Simulator::new(machine.clone());
             for w in all() {
-                let result = simulator.run(&w.program, &config).unwrap_or_else(|e| {
-                    panic!("{} failed on {}: {e}", w.name, machine.name)
-                });
+                let result = simulator
+                    .run(&w.program, &config)
+                    .unwrap_or_else(|e| panic!("{} failed on {}: {e}", w.name, machine.name));
                 assert!(result.ipc > 0.0, "{} on {}", w.name, machine.name);
             }
         }
@@ -564,8 +568,14 @@ mod tests {
         // power among conventional workloads.
         let simulator = Simulator::new(MachineConfig::athlon_x4());
         let config = RunConfig::quick();
-        let prime = simulator.run(&prime95().program, &config).unwrap().avg_power_w;
-        let core = simulator.run(&coremark().program, &config).unwrap().avg_power_w;
+        let prime = simulator
+            .run(&prime95().program, &config)
+            .unwrap()
+            .avg_power_w;
+        let core = simulator
+            .run(&coremark().program, &config)
+            .unwrap()
+            .avg_power_w;
         assert!(prime > core, "prime95 {prime} vs coremark {core}");
     }
 
@@ -573,8 +583,10 @@ mod tests {
     fn manual_stress_beats_benchmarks_on_its_target() {
         let simulator = Simulator::new(MachineConfig::cortex_a15());
         let config = RunConfig::quick();
-        let manual =
-            simulator.run(&a15_manual_stress().program, &config).unwrap().avg_power_w;
+        let manual = simulator
+            .run(&a15_manual_stress().program, &config)
+            .unwrap()
+            .avg_power_w;
         for name in ["coremark", "fdct", "imdct"] {
             let power = simulator
                 .run(&by_name(name).unwrap().program, &config)

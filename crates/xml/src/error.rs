@@ -18,7 +18,11 @@ pub struct Position {
 
 impl Position {
     /// The position of the first byte of the input.
-    pub const START: Position = Position { line: 1, column: 1, offset: 0 };
+    pub const START: Position = Position {
+        line: 1,
+        column: 1,
+        offset: 0,
+    };
 }
 
 impl Default for Position {
@@ -86,12 +90,19 @@ impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             XmlError::UnexpectedEof { expected, position } => {
-                write!(f, "unexpected end of input while reading {expected} at {position}")
+                write!(
+                    f,
+                    "unexpected end of input while reading {expected} at {position}"
+                )
             }
             XmlError::Malformed { message, position } => {
                 write!(f, "malformed xml: {message} at {position}")
             }
-            XmlError::MismatchedTag { expected, found, position } => write!(
+            XmlError::MismatchedTag {
+                expected,
+                found,
+                position,
+            } => write!(
                 f,
                 "mismatched closing tag: expected </{expected}>, found </{found}> at {position}"
             ),
@@ -119,7 +130,11 @@ mod tests {
     fn display_contains_position() {
         let err = XmlError::Malformed {
             message: "bare ampersand".into(),
-            position: Position { line: 3, column: 7, offset: 42 },
+            position: Position {
+                line: 3,
+                column: 7,
+                offset: 42,
+            },
         };
         let text = err.to_string();
         assert!(text.contains("line 3"));
@@ -128,8 +143,16 @@ mod tests {
 
     #[test]
     fn position_orders_by_fields() {
-        let a = Position { line: 1, column: 9, offset: 8 };
-        let b = Position { line: 2, column: 1, offset: 10 };
+        let a = Position {
+            line: 1,
+            column: 9,
+            offset: 8,
+        };
+        let b = Position {
+            line: 2,
+            column: 1,
+            offset: 10,
+        };
         assert!(a < b);
     }
 

@@ -70,7 +70,10 @@ fn resolve_entity(name: &str, position: Position) -> Result<String, XmlError> {
                 })?;
                 char_for(code, position)
             } else {
-                Err(XmlError::UnknownEntity { name: name.to_owned(), position })
+                Err(XmlError::UnknownEntity {
+                    name: name.to_owned(),
+                    position,
+                })
             }
         }
     }

@@ -119,11 +119,17 @@ impl<'a> Reader<'a> {
     }
 
     fn eof_err(&self, expected: &'static str) -> XmlError {
-        XmlError::UnexpectedEof { expected, position: self.pos }
+        XmlError::UnexpectedEof {
+            expected,
+            position: self.pos,
+        }
     }
 
     fn malformed(&self, message: impl Into<String>) -> XmlError {
-        XmlError::Malformed { message: message.into(), position: self.pos }
+        XmlError::Malformed {
+            message: message.into(),
+            position: self.pos,
+        }
     }
 
     /// Returns the next event from the stream.
@@ -185,7 +191,9 @@ impl<'a> Reader<'a> {
         self.bump(end);
         if self.open.is_empty() && !raw.trim().is_empty() {
             if self.root_closed {
-                return Err(XmlError::TrailingContent { position: start_pos });
+                return Err(XmlError::TrailingContent {
+                    position: start_pos,
+                });
             }
             return Err(XmlError::Malformed {
                 message: "text outside root element".into(),
@@ -197,7 +205,9 @@ impl<'a> Reader<'a> {
     }
 
     fn read_pi(&mut self, after: &str) -> Result<Event, XmlError> {
-        let close = after.find("?>").ok_or_else(|| self.eof_err("processing instruction"))?;
+        let close = after
+            .find("?>")
+            .ok_or_else(|| self.eof_err("processing instruction"))?;
         let body = &after[..close];
         let (target, content) = match body.find(|c: char| c.is_ascii_whitespace()) {
             Some(ws) => (&body[..ws], body[ws..].trim()),
@@ -224,7 +234,9 @@ impl<'a> Reader<'a> {
 
     fn read_cdata(&mut self) -> Result<Event, XmlError> {
         let after = &self.rest()["<![CDATA[".len()..];
-        let close = after.find("]]>").ok_or_else(|| self.eof_err("CDATA section"))?;
+        let close = after
+            .find("]]>")
+            .ok_or_else(|| self.eof_err("CDATA section"))?;
         let content = after[..close].to_owned();
         self.bump("<![CDATA[".len() + close + 3);
         if self.open.is_empty() {
@@ -302,12 +314,20 @@ impl<'a> Reader<'a> {
                 self.bump(2);
                 self.register_open(&name, tag_pos)?;
                 self.pending_end = Some(name.clone());
-                return Ok(Event::StartElement { name, attributes, self_closing: true });
+                return Ok(Event::StartElement {
+                    name,
+                    attributes,
+                    self_closing: true,
+                });
             }
             if rest.starts_with('>') {
                 self.bump(1);
                 self.register_open(&name, tag_pos)?;
-                return Ok(Event::StartElement { name, attributes, self_closing: false });
+                return Ok(Event::StartElement {
+                    name,
+                    attributes,
+                    self_closing: false,
+                });
             }
             if rest.is_empty() {
                 return Err(self.eof_err("start tag"));
@@ -322,7 +342,10 @@ impl<'a> Reader<'a> {
             self.skip_ws();
             let value = self.read_attr_value()?;
             if attributes.iter().any(|(n, _)| *n == attr_name) {
-                return Err(XmlError::DuplicateAttribute { name: attr_name, position: attr_pos });
+                return Err(XmlError::DuplicateAttribute {
+                    name: attr_name,
+                    position: attr_pos,
+                });
             }
             attributes.push((attr_name, value));
         }
@@ -343,7 +366,13 @@ impl<'a> Reader<'a> {
         let rest = self.rest();
         let len = rest
             .char_indices()
-            .take_while(|(i, c)| if *i == 0 { is_name_start(*c) } else { is_name_char(*c) })
+            .take_while(|(i, c)| {
+                if *i == 0 {
+                    is_name_start(*c)
+                } else {
+                    is_name_char(*c)
+                }
+            })
             .map(|(i, c)| i + c.len_utf8())
             .last()
             .unwrap_or(0);
@@ -363,7 +392,9 @@ impl<'a> Reader<'a> {
             _ => return Err(self.malformed("attribute value must be quoted")),
         };
         let inner = &rest[1..];
-        let close = inner.find(quote).ok_or_else(|| self.eof_err("attribute value"))?;
+        let close = inner
+            .find(quote)
+            .ok_or_else(|| self.eof_err("attribute value"))?;
         let raw = &inner[..close];
         let value_pos = self.pos;
         self.bump(1 + close + 1);

@@ -32,9 +32,12 @@ impl Document {
         let mut reader = Reader::new(input);
         loop {
             match reader.next_event()? {
-                Event::StartElement { name, attributes, self_closing } => {
-                    let root =
-                        Element::finish_parse(&mut reader, name, attributes, self_closing)?;
+                Event::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
+                    let root = Element::finish_parse(&mut reader, name, attributes, self_closing)?;
                     // Drain the remainder so trailing-content errors surface.
                     loop {
                         match reader.next_event()? {
@@ -114,7 +117,11 @@ impl Element {
     /// assert_eq!(el.name(), "operand");
     /// ```
     pub fn new(name: impl Into<String>) -> Element {
-        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     fn finish_parse(
@@ -123,7 +130,11 @@ impl Element {
         attributes: Vec<(String, String)>,
         self_closing: bool,
     ) -> Result<Element, XmlError> {
-        let mut element = Element { name, attributes, children: Vec::new() };
+        let mut element = Element {
+            name,
+            attributes,
+            children: Vec::new(),
+        };
         if self_closing {
             // Consume the synthesized end event.
             match reader.next_event()? {
@@ -138,7 +149,11 @@ impl Element {
         }
         loop {
             match reader.next_event()? {
-                Event::StartElement { name, attributes, self_closing } => {
+                Event::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
                     let child = Element::finish_parse(reader, name, attributes, self_closing)?;
                     element.children.push(Node::Element(child));
                 }
@@ -282,7 +297,10 @@ mod tests {
 
     #[test]
     fn missing_root_is_error() {
-        assert_eq!(Document::parse("  <!-- just a comment -->").unwrap_err(), XmlError::NoRootElement);
+        assert_eq!(
+            Document::parse("  <!-- just a comment -->").unwrap_err(),
+            XmlError::NoRootElement
+        );
     }
 
     #[test]

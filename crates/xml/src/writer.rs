@@ -25,13 +25,21 @@ pub struct Writer {
 impl Writer {
     /// Creates a compact writer (no added whitespace).
     pub fn new() -> Writer {
-        Writer { out: String::new(), pretty: false, depth: 0 }
+        Writer {
+            out: String::new(),
+            pretty: false,
+            depth: 0,
+        }
     }
 
     /// Creates a pretty-printing writer (two-space indent, one element per
     /// line).
     pub fn pretty() -> Writer {
-        Writer { out: String::new(), pretty: true, depth: 0 }
+        Writer {
+            out: String::new(),
+            pretty: true,
+            depth: 0,
+        }
     }
 
     /// The text produced so far.
@@ -46,7 +54,8 @@ impl Writer {
 
     /// Writes the standard XML declaration.
     pub fn write_declaration(&mut self) -> &mut Writer {
-        self.out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        self.out
+            .push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
         if self.pretty {
             self.out.push('\n');
         }
@@ -85,10 +94,7 @@ impl Writer {
             return self;
         }
         self.out.push('>');
-        let only_text = element
-            .nodes()
-            .iter()
-            .all(|n| matches!(n, Node::Text(_)));
+        let only_text = element.nodes().iter().all(|n| matches!(n, Node::Text(_)));
         if !only_text {
             self.newline();
         }

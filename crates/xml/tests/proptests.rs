@@ -15,7 +15,10 @@ fn value_strategy() -> impl Strategy<Value = String> {
 }
 
 fn element_strategy() -> impl Strategy<Value = Element> {
-    let leaf = (name_strategy(), prop::collection::vec((name_strategy(), value_strategy()), 0..4))
+    let leaf = (
+        name_strategy(),
+        prop::collection::vec((name_strategy(), value_strategy()), 0..4),
+    )
         .prop_map(|(name, attrs)| {
             let mut el = Element::new(name);
             for (k, v) in attrs {

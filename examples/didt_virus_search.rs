@@ -18,7 +18,8 @@ fn main() -> Result<(), GestError> {
     let pdn = machine.pdn.expect("athlon models a PDN");
 
     // Paper rule of thumb: loop length = (max IPC / 2) x f_clk / f_res.
-    let loop_len = GaConfig::didt_loop_length(machine.clock_hz, pdn.resonance_hz(), machine.max_ipc());
+    let loop_len =
+        GaConfig::didt_loop_length(machine.clock_hz, pdn.resonance_hz(), machine.max_ipc());
     println!(
         "PDN resonance {:.1} MHz, clock {:.1} GHz -> loop length {loop_len} instructions",
         pdn.resonance_hz() / 1e6,
@@ -33,22 +34,32 @@ fn main() -> Result<(), GestError> {
         .seed(3)
         .build()?;
     let summary = GestRun::new(config)?.run()?;
-    println!("\nGA dI/dt virus: {:.1} mV peak-to-peak", summary.best.fitness * 1e3);
+    println!(
+        "\nGA dI/dt virus: {:.1} mV peak-to-peak",
+        summary.best.fitness * 1e3
+    );
 
     // Compare voltage noise and V_MIN against the stability-test proxies.
     let simulator = Simulator::new(machine.clone());
     let run_config = RunConfig::default();
     let vmin_config = VminConfig::default();
-    println!("\n{:<24} {:>12} {:>10}", "workload", "noise (mV)", "vmin (V)");
+    println!(
+        "\n{:<24} {:>12} {:>10}",
+        "workload", "noise (mV)", "vmin (V)"
+    );
     for workload in gest::workloads::suite(gest::workloads::Suite::Desktop) {
         let result = simulator.run(&workload.program, &run_config)?;
         let noise = result.voltage_peak_to_peak().unwrap_or(0.0);
         let vmin = characterize_vmin(&machine, &workload.program, &run_config, &vmin_config)?;
-        println!("{:<24} {:>12.1} {:>10.3}", workload.name, noise * 1e3, vmin.vmin_v);
+        println!(
+            "{:<24} {:>12.1} {:>10.3}",
+            workload.name,
+            noise * 1e3,
+            vmin.vmin_v
+        );
     }
     let virus_result = simulator.run(&summary.best_program, &run_config)?;
-    let virus_vmin =
-        characterize_vmin(&machine, &summary.best_program, &run_config, &vmin_config)?;
+    let virus_vmin = characterize_vmin(&machine, &summary.best_program, &run_config, &vmin_config)?;
     println!(
         "{:<24} {:>12.1} {:>10.3}",
         "GA dI/dt virus",
@@ -72,10 +83,12 @@ fn main() -> Result<(), GestError> {
         .map_or(0, |(i, _)| i);
     let window = 12 * period_cycles;
     let start = trigger.saturating_sub(window / 2);
-    println!(
-        "\ndie voltage around the deepest droop (cycle {trigger}, {window}-cycle window):"
+    println!("\ndie voltage around the deepest droop (cycle {trigger}, {window}-cycle window):");
+    print_scope(
+        &traces.voltage_v[start..(start + window).min(traces.voltage_v.len())],
+        72,
+        14,
     );
-    print_scope(&traces.voltage_v[start..(start + window).min(traces.voltage_v.len())], 72, 14);
     Ok(())
 }
 
@@ -92,12 +105,16 @@ fn print_scope(tail: &[f32], cols: usize, rows: usize) {
     let mut grid = vec![vec![' '; cols]; rows];
     for col in 0..cols {
         let start = (col as f64 * bucket) as usize;
-        let end = (((col + 1) as f64 * bucket) as usize).min(tail.len()).max(start + 1);
+        let end = (((col + 1) as f64 * bucket) as usize)
+            .min(tail.len())
+            .max(start + 1);
         let slice = &tail[start..end.min(tail.len())];
         let lo = slice.iter().copied().fold(f32::INFINITY, f32::min);
         let hi = slice.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let row_of = |v: f32| {
-            ((max - v) / span * (rows - 1) as f32).round().clamp(0.0, (rows - 1) as f32) as usize
+            ((max - v) / span * (rows - 1) as f32)
+                .round()
+                .clamp(0.0, (rows - 1) as f32) as usize
         };
         for row in row_of(hi)..=row_of(lo) {
             grid[row][col] = '#';

@@ -34,7 +34,10 @@ fn main() -> Result<(), GestError> {
         .build()?;
     let summary = GestRun::new(config)?.run()?;
 
-    println!("\nbest individual: {:.3} W average power", summary.best.fitness);
+    println!(
+        "\nbest individual: {:.3} W average power",
+        summary.best.fitness
+    );
     let breakdown = summary.best_breakdown();
     println!("instruction breakdown (paper Table III format):");
     for (class, count) in InstrClass::ALL.iter().zip(breakdown) {

@@ -25,7 +25,10 @@ fn main() -> Result<(), GestError> {
         config.pool.total_variations()
     );
     let summary = GestRun::new(config)?.run()?;
-    println!("\nbest fitness after {} generations: {:.4}", summary.generations, summary.best.fitness);
+    println!(
+        "\nbest fitness after {} generations: {:.4}",
+        summary.generations, summary.best.fitness
+    );
     println!("{}", summary.best_program);
     Ok(())
 }

@@ -25,8 +25,7 @@ fn evolved_virus_scales_like_the_paper_says() {
     // interference" (paper §IV) — for an actually-evolved virus, not a
     // hand-picked loop.
     let virus = evolved_virus();
-    let simulator =
-        MultiCoreSimulator::new(MachineConfig::xgene2(), UncoreConfig::server());
+    let simulator = MultiCoreSimulator::new(MachineConfig::xgene2(), UncoreConfig::server());
     let result = simulator.run_replicated(&virus, 8, 500).unwrap();
     assert!(
         result.scaling_efficiency > 0.9,
@@ -36,7 +35,10 @@ fn evolved_virus_scales_like_the_paper_says() {
     // All cores behave identically (same program, private state).
     let first_ipc = result.per_core[0].ipc;
     for core in &result.per_core {
-        assert!((core.ipc - first_ipc).abs() < 0.15 * first_ipc, "homogeneous cores");
+        assert!(
+            (core.ipc - first_ipc).abs() < 0.15 * first_ipc,
+            "homogeneous cores"
+        );
         assert!(core.l1.hit_rate() > 0.95, "virus stays L1-resident");
     }
 }
@@ -82,5 +84,8 @@ fn bigger_shared_buffers_increase_uncore_traffic() {
         );
         last_traffic = result.uncore_traffic_w;
     }
-    assert!(last_traffic > 0.1, "1 MiB working set must spill: {last_traffic} W");
+    assert!(
+        last_traffic > 0.1,
+        "1 MiB working set must spill: {last_traffic} W"
+    );
 }

@@ -1,0 +1,249 @@
+//! Offline drop-in replacement for the subset of the `criterion` API this
+//! workspace's benches use: [`Criterion::bench_function`], benchmark
+//! groups with throughput annotations, [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing is a simple calibrated loop over `std::time::Instant` — no
+//! statistical analysis, plots, or saved baselines. Each benchmark prints
+//! one line with the mean time per iteration (and derived throughput when
+//! one was set). That is enough for the relative comparisons the bench
+//! suite makes; the registry is unreachable from this container, so the
+//! real crate cannot be used.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id distinguished from its siblings only by a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+/// Target wall-clock time spent measuring each benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Times `routine`, first calibrating an iteration count that fills
+    /// the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: grow the batch until it takes ~10ms.
+        let mut batch = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || batch >= 1 << 30 {
+                break elapsed.as_secs_f64() / batch as f64;
+            }
+            batch = batch.saturating_mul(4);
+        };
+        let total = (MEASURE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64;
+        let iterations = total.clamp(1, 1 << 32);
+        let start = Instant::now();
+        for _ in 0..iterations {
+            hint::black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_secs_f64() * 1e9 / iterations as f64;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| {
+        let per_second = |count: u64| count as f64 / (mean_ns / 1e9);
+        match t {
+            Throughput::Elements(n) => format!("  ({:.3e} elem/s)", per_second(n)),
+            Throughput::Bytes(n) => {
+                format!("  ({:.1} MiB/s)", per_second(n) / (1024.0 * 1024.0))
+            }
+        }
+    });
+    println!(
+        "{name:<48} {:>12}/iter{}",
+        format_ns(mean_ns),
+        rate.unwrap_or_default()
+    );
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { mean_ns: 0.0 };
+        f(&mut bencher);
+        report(name, bencher.mean_ns, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and an optional
+/// throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { mean_ns: 0.0 };
+        f(&mut bencher);
+        report(
+            &format!("{}/{id}", self.name),
+            bencher.mean_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs a named benchmark receiving a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { mean_ns: 0.0 };
+        f(&mut bencher, input);
+        report(
+            &format!("{}/{id}", self.name),
+            bencher.mean_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one name for [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_a_routine() {
+        let mut criterion = Criterion::default();
+        let mut ran = false;
+        criterion.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_supports_throughput_and_inputs() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

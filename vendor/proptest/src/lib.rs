@@ -1,0 +1,123 @@
+//! Offline drop-in replacement for the subset of the `proptest` API this
+//! workspace's property tests use: the [`proptest!`] macro, the
+//! [`Strategy`] trait with `prop_map`/`prop_recursive`, `any::<T>()`,
+//! range and tuple strategies, `prop::collection::vec`,
+//! `prop::sample::select`, regex-literal string strategies, and the
+//! `prop_assert*` macros.
+//!
+//! Each test body runs for [`ProptestConfig::cases`] deterministic random
+//! cases. There is no shrinking: a failing case panics with the regular
+//! assertion message. That trades debuggability for zero dependencies —
+//! the registry is unreachable from this container, so the real crate
+//! cannot be used.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod string;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Strategy};
+
+/// Runtime configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    pub use crate::ProptestConfig as Config;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Derives a deterministic per-test RNG from the test's name so every
+    /// test explores a distinct but reproducible stream.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut seed = 0xC0FF_EE00_D15E_A5E5u64;
+        for byte in test_name.bytes() {
+            seed = seed
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(u64::from(byte));
+        }
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+/// The strategy namespace mirrored from `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Sampling strategies.
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// The conventional glob-import module.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Strategy};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random strategy draws.
+///
+/// An optional `#![proptest_config(expr)]` header overrides the default
+/// [`ProptestConfig`].
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $pat = $crate::Strategy::new_value(&($strat), &mut rng);)*
+                $body
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,359 @@
+//! Value-generation strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating random values of an associated type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a strategy for the
+    /// previous depth level and returns the strategy one level deeper;
+    /// generation draws from a uniformly random depth in `0..=depth`.
+    ///
+    /// The `_desired_size` and `_expected_branch_size` tuning knobs of the
+    /// real proptest API are accepted and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+    {
+        let mut levels = vec![self.boxed()];
+        for _ in 0..depth {
+            let previous = levels.last().expect("at least the leaf level").clone();
+            levels.push(recurse(previous).boxed());
+        }
+        BoxedStrategy(Rc::new(move |rng: &mut StdRng| {
+            let level = rng.random_range(0..levels.len());
+            levels[level].new_value(rng)
+        }))
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut StdRng| self.new_value(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Types with a canonical "arbitrary value" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_random {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_random!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut StdRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($($name:ident),*) => {
+        impl<$($name: Arbitrary),*> Arbitrary for ($($name,)*) {
+            fn arbitrary(rng: &mut StdRng) -> ($($name,)*) {
+                ($($name::arbitrary(rng),)*)
+            }
+        }
+    };
+}
+
+impl_arbitrary_tuple!(A, B);
+impl_arbitrary_tuple!(A, B, C);
+impl_arbitrary_tuple!(A, B, C, D);
+impl_arbitrary_tuple!(A, B, C, D, E);
+impl_arbitrary_tuple!(A, B, C, D, E, F);
+
+/// Strategy over any [`Arbitrary`] type.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut StdRng) -> f64 {
+        // A half-open draw is fine for property tests: the missing top
+        // endpoint has measure zero.
+        let (start, end) = (*self.start(), *self.end());
+        if start == end {
+            return start;
+        }
+        rng.random_range(start..end)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident : $index:tt),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$index.new_value(rng),)*)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A: 0);
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// String literals act as regex-subset strategies (`"[a-z]{0,12}"`).
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        crate::string::string_regex(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+            .new_value(rng)
+    }
+}
+
+/// Sizes accepted by [`vec`]: an exact length or a length range.
+pub trait SizeRange {
+    /// Draws a concrete length.
+    fn pick(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.random_range(self.clone())
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.random_range(self.clone())
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, L> {
+    element: S,
+    length: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let length = self.length.pick(rng);
+        (0..length).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy for vectors whose elements come from `element` and whose
+/// length is drawn from `length`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, length: L) -> VecStrategy<S, L> {
+    VecStrategy { element, length }
+}
+
+/// See [`select`].
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        self.options[rng.random_range(0..self.options.len())].clone()
+    }
+}
+
+/// Strategy picking uniformly from a fixed set of options.
+///
+/// # Panics
+///
+/// Generation panics if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_length_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let strat = vec(any::<u8>(), 3..7);
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+        let exact = vec(any::<u8>(), 5usize);
+        assert_eq!(exact.new_value(&mut rng).len(), 5);
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strat = (0usize..10, 10usize..20).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            let sum = strat.new_value(&mut rng);
+            assert!((10..29).contains(&sum));
+        }
+    }
+
+    #[test]
+    fn select_only_yields_options() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strat = select(vec!["a", "b", "c"]);
+        for _ in 0..50 {
+            assert!(["a", "b", "c"].contains(&strat.new_value(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            // The payload exists to exercise map-into-variant; depth()
+            // never reads it.
+            #[allow(dead_code)]
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(tree: &Tree) -> usize {
+            match tree {
+                Tree::Leaf(_) => 0,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| vec(inner, 0..4).prop_map(Tree::Node));
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&strat.new_value(&mut rng)));
+        }
+        assert!(
+            max_depth >= 2,
+            "recursion should sometimes nest, got {max_depth}"
+        );
+        assert!(max_depth <= 3 + 1, "depth bounded");
+    }
+}

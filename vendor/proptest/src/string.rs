@@ -1,0 +1,243 @@
+//! Regex-literal string strategies.
+//!
+//! Supports the subset of regex syntax the workspace's tests use: literal
+//! characters, character classes with ranges (`[a-zA-Z0-9_.-]`, `[ -~]`),
+//! `.` (any printable ASCII), and the quantifiers `{m}`, `{m,n}`, `?`,
+//! `*`, `+` (the unbounded ones capped at 8 repetitions).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+/// A parse error for an unsupported or malformed pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported regex pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The characters this atom can produce.
+    alphabet: Vec<char>,
+    /// Repetition bounds (inclusive).
+    min: usize,
+    max: usize,
+}
+
+/// A compiled string strategy; see [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = rng.random_range(atom.min..=atom.max);
+            for _ in 0..count {
+                out.push(atom.alphabet[rng.random_range(0..atom.alphabet.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Compiles `pattern` into a strategy producing matching strings.
+///
+/// # Errors
+///
+/// [`Error`] when the pattern uses syntax outside the supported subset.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern)?;
+                i = next;
+                set
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            '\\' => {
+                let escaped = *chars
+                    .get(i + 1)
+                    .ok_or_else(|| Error(format!("{pattern:?}: trailing backslash")))?;
+                i += 2;
+                escape_set(escaped)?
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                return Err(Error(format!("{pattern:?}: {:?} not supported", chars[i])))
+            }
+            literal => {
+                i += 1;
+                vec![literal]
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i, pattern)?;
+        i = next;
+        atoms.push(Atom { alphabet, min, max });
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+fn escape_set(escaped: char) -> Result<Vec<char>, Error> {
+    Ok(match escaped {
+        'd' => ('0'..='9').collect(),
+        'w' => ('a'..='z')
+            .chain('A'..='Z')
+            .chain('0'..='9')
+            .chain(['_'])
+            .collect(),
+        's' => vec![' ', '\t', '\n'],
+        other => vec![other],
+    })
+}
+
+/// Parses a `[...]` class body starting just past the `[`; returns the
+/// character set and the index just past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> Result<(Vec<char>, usize), Error> {
+    if chars.get(i) == Some(&'^') {
+        return Err(Error(format!("{pattern:?}: negated classes not supported")));
+    }
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            *chars
+                .get(i)
+                .ok_or_else(|| Error(format!("{pattern:?}: trailing backslash in class")))?
+        } else {
+            chars[i]
+        };
+        // A `-` between two characters forms a range; first or last it is
+        // a literal.
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+            let end = chars[i + 2];
+            if end < c {
+                return Err(Error(format!("{pattern:?}: inverted range {c}-{end}")));
+            }
+            set.extend(c..=end);
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    if i >= chars.len() {
+        return Err(Error(format!("{pattern:?}: unterminated class")));
+    }
+    if set.is_empty() {
+        return Err(Error(format!("{pattern:?}: empty class")));
+    }
+    Ok((set, i + 1))
+}
+
+/// Parses an optional quantifier at `i`; returns `(min, max, next_index)`.
+fn parse_quantifier(
+    chars: &[char],
+    i: usize,
+    pattern: &str,
+) -> Result<(usize, usize, usize), Error> {
+    /// Repetition cap for `*` and `+`.
+    const UNBOUNDED_CAP: usize = 8;
+    match chars.get(i) {
+        Some('?') => Ok((0, 1, i + 1)),
+        Some('*') => Ok((0, UNBOUNDED_CAP, i + 1)),
+        Some('+') => Ok((1, UNBOUNDED_CAP, i + 1)),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or_else(|| Error(format!("{pattern:?}: unterminated quantifier")))?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| Error(format!("{pattern:?}: bad quantifier {body:?}")))
+            };
+            let (min, max) = match body.split_once(',') {
+                Some((low, high)) => (parse(low)?, parse(high)?),
+                None => {
+                    let n = parse(&body)?;
+                    (n, n)
+                }
+            };
+            if max < min {
+                return Err(Error(format!("{pattern:?}: quantifier max < min")));
+            }
+            Ok((min, max, close + 1))
+        }
+        _ => Ok((1, 1, i)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let strat = string_regex(pattern).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        (0..n).map(|_| strat.new_value(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        for s in gen_many("[a-zA-Z_][a-zA-Z0-9_.-]{0,12}", 300) {
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{s:?}");
+            for c in cs {
+                assert!(
+                    c.is_ascii_alphanumeric() || "_.-".contains(c),
+                    "{c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let lengths: Vec<usize> = gen_many("[ -~]{0,24}", 300)
+            .iter()
+            .map(String::len)
+            .collect();
+        assert!(lengths.iter().all(|&l| l <= 24));
+        assert!(lengths.contains(&0), "empty strings reachable");
+        assert!(lengths.iter().any(|&l| l > 16), "long strings reachable");
+    }
+
+    #[test]
+    fn exact_and_unbounded_quantifiers() {
+        assert!(gen_many("a{3}", 10).iter().all(|s| s == "aaa"));
+        assert!(gen_many("[01]+", 50)
+            .iter()
+            .all(|s| { !s.is_empty() && s.chars().all(|c| c == '0' || c == '1') }));
+        assert!(gen_many("x?", 50).iter().all(|s| s.is_empty() || s == "x"));
+    }
+
+    #[test]
+    fn unsupported_syntax_is_an_error() {
+        assert!(string_regex("(ab)+").is_err());
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("[abc").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+    }
+}
