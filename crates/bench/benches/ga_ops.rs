@@ -67,7 +67,9 @@ fn bench_generation(c: &mut Criterion) {
                 .seed(11)
                 .build()
                 .expect("static config");
-            GestRun::new(config)
+            GestRun::builder()
+                .config(config)
+                .build()
                 .expect("static config")
                 .run()
                 .expect("run succeeds")

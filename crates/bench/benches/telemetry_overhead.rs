@@ -33,7 +33,10 @@ fn bench_search_overhead(c: &mut Criterion) {
 
     group.bench_function("search_telemetry_disabled", |b| {
         b.iter(|| {
-            let run = GestRun::new(search_config(Telemetry::disabled())).unwrap();
+            let run = GestRun::builder()
+                .config(search_config(Telemetry::disabled()))
+                .build()
+                .unwrap();
             black_box(run.run().unwrap().best.fitness)
         });
     });
@@ -41,7 +44,10 @@ fn bench_search_overhead(c: &mut Criterion) {
     group.bench_function("search_telemetry_noop_sink", |b| {
         b.iter(|| {
             let telemetry = Telemetry::new(Arc::new(NoopSink));
-            let run = GestRun::new(search_config(telemetry)).unwrap();
+            let run = GestRun::builder()
+                .config(search_config(telemetry))
+                .build()
+                .unwrap();
             black_box(run.run().unwrap().best.fitness)
         });
     });

@@ -174,7 +174,10 @@ pub fn table4() -> Result<String, GestError> {
         .generations(budget.generations)
         .seed(2)
         .build()?;
-    let simple_virus = gest_core::GestRun::new(simple_config)?.run()?;
+    let simple_virus = gest_core::GestRun::builder()
+        .config(simple_config)
+        .build()?
+        .run()?;
     let ipc_virus = evolve("xgene2", "ipc", "default", budget, 4)?;
 
     let reference = measure(&machine, &power_virus.best_program)?;
@@ -424,7 +427,10 @@ pub fn ablations() -> Result<String, GestError> {
                     .crossover(crossover)
                     .seed(seed)
                     .build()?;
-                let summary = gest_core::GestRun::new(config)?.run()?;
+                let summary = gest_core::GestRun::builder()
+                    .config(config)
+                    .build()?
+                    .run()?;
                 total += summary.best.fitness;
                 total_mid += summary
                     .history
@@ -459,7 +465,10 @@ pub fn ablations() -> Result<String, GestError> {
             .generations(30)
             .seed(33)
             .build()?;
-        let summary = gest_core::GestRun::new(config)?.run()?;
+        let summary = gest_core::GestRun::builder()
+            .config(config)
+            .build()?
+            .run()?;
         let _ = writeln!(out, "  rate {rate:<5} best {:.4} W", summary.best.fitness);
     }
 
@@ -474,7 +483,10 @@ pub fn ablations() -> Result<String, GestError> {
             .generations(30)
             .seed(33)
             .build()?;
-        let summary = gest_core::GestRun::new(config)?.run()?;
+        let summary = gest_core::GestRun::builder()
+            .config(config)
+            .build()?
+            .run()?;
         let _ = writeln!(
             out,
             "  elitism={elitism:<5} best {:.4} W",
@@ -624,7 +636,10 @@ pub fn llc_stress() -> Result<String, GestError> {
         .generations(budget.generations.min(40))
         .seed(12)
         .build()?;
-    let summary = gest_core::GestRun::new(config)?.run()?;
+    let summary = gest_core::GestRun::builder()
+        .config(config)
+        .build()?
+        .run()?;
 
     let mut out = String::from("LLC/DRAM stress search (cache-miss maximization)\n");
     let _ = writeln!(
@@ -660,10 +675,11 @@ pub fn llc_stress() -> Result<String, GestError> {
 /// preferred because "less measurement variability ... helps the GA
 /// optimization to converge faster").
 pub fn noise() -> Result<String, GestError> {
-    use gest_core::{measurement_by_name, GestConfig, NoisyMeasurement};
+    use gest_core::{GestConfig, NoisyMeasurement, Registry};
     let mut out = String::from("Measurement-noise ablation (cortex-a15 power search)\n");
+    let registry = Registry::default();
     let clean_measure =
-        measurement_by_name("power", MachineConfig::cortex_a15(), compare_run_config())?;
+        registry.build_measurement("power", MachineConfig::cortex_a15(), compare_run_config())?;
     for sigma in [0.0, 0.02, 0.10] {
         // Same seeds; only the measurement noise differs. The run uses a
         // noisy instrument, but the resulting best individual is re-scored
@@ -676,7 +692,7 @@ pub fn noise() -> Result<String, GestError> {
             .seed(44)
             .build()?;
         let noisy = NoisyMeasurement::wrap(
-            measurement_by_name("power", MachineConfig::cortex_a15(), config.run_config)?,
+            registry.build_measurement("power", MachineConfig::cortex_a15(), config.run_config)?,
             sigma,
             44,
         );
@@ -764,7 +780,11 @@ fn run_with_measurement(
     config: gest_core::GestConfig,
     measurement: std::sync::Arc<dyn gest_core::Measurement>,
 ) -> Result<gest_core::RunSummary, GestError> {
-    gest_core::GestRun::with_measurement(config, measurement)?.run()
+    gest_core::GestRun::builder()
+        .config(config)
+        .measurement(measurement)
+        .build()?
+        .run()
 }
 
 /// Uniform `Result`-returning wrappers so every experiment binary has the

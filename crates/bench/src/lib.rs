@@ -85,7 +85,7 @@ pub fn evolve(
         .generations(budget.generations)
         .seed(seed)
         .build()?;
-    GestRun::new(config)?.run()
+    GestRun::builder().config(config).build()?.run()
 }
 
 /// Measures a program on a machine with the comparison window.

@@ -1,6 +1,7 @@
 //! The main configuration (the paper's main XML configuration file).
 
 use crate::error::GestError;
+use crate::fault::FaultPolicy;
 use crate::pools::full_pool;
 use gest_ga::{CrossoverOp, GaConfig, SelectionOp};
 use gest_isa::{pool_from_xml, pool_to_xml, InstructionPool, Template};
@@ -37,6 +38,14 @@ pub struct GestConfig {
     pub seed_population: Option<PathBuf>,
     /// Worker threads for individual evaluation (0 = all available).
     pub threads: usize,
+    /// Write a crash-recovery checkpoint manifest every N generations
+    /// (requires `output_dir`; `None` disables checkpointing). The last
+    /// generation is always checkpointed when enabled, so a completed run
+    /// can be extended by raising `generations` and resuming.
+    pub checkpoint_every: Option<u32>,
+    /// How measurement failures of individual candidates are handled
+    /// (retries, deadline, quarantine) — see [`FaultPolicy`].
+    pub fault_policy: FaultPolicy,
     /// Probability a mutation replaces the whole instruction (vs one
     /// operand).
     pub whole_instruction_mutation_prob: f64,
@@ -115,6 +124,23 @@ impl GestConfig {
             if let Some(value) = run.attr("thermal_hold_s") {
                 builder.run_config.thermal_hold_s = parse_attr("thermal_hold_s", value)?;
             }
+            if let Some(value) = run.attr("checkpoint_every") {
+                builder.checkpoint_every = Some(parse_attr("checkpoint_every", value)?);
+            }
+        }
+        if let Some(fault) = root.child("fault") {
+            if let Some(value) = fault.attr("max_retries") {
+                builder.fault_policy.max_retries = parse_attr("max_retries", value)?;
+            }
+            if let Some(value) = fault.attr("backoff_ms") {
+                builder.fault_policy.backoff_base_ms = parse_attr("backoff_ms", value)?;
+            }
+            if let Some(value) = fault.attr("deadline_ms") {
+                builder.fault_policy.deadline_ms = Some(parse_attr("deadline_ms", value)?);
+            }
+            if let Some(value) = fault.attr("quarantine") {
+                builder.fault_policy.quarantine = parse_attr("quarantine", value)?;
+            }
         }
         if let Some(output) = root.child("output") {
             if let Some(dir) = output.attr("dir") {
@@ -168,7 +194,19 @@ impl GestConfig {
         let mut run = Element::new("run");
         run.set_attr("max_iterations", self.run_config.max_iterations.to_string());
         run.set_attr("max_cycles", self.run_config.max_cycles.to_string());
+        if let Some(every) = self.checkpoint_every {
+            run.set_attr("checkpoint_every", every.to_string());
+        }
         root.push_child(run);
+
+        let mut fault = Element::new("fault");
+        fault.set_attr("max_retries", self.fault_policy.max_retries.to_string());
+        fault.set_attr("backoff_ms", self.fault_policy.backoff_base_ms.to_string());
+        if let Some(deadline) = self.fault_policy.deadline_ms {
+            fault.set_attr("deadline_ms", deadline.to_string());
+        }
+        fault.set_attr("quarantine", self.fault_policy.quarantine.to_string());
+        root.push_child(fault);
 
         if let Some(dir) = &self.output_dir {
             let mut output = Element::new("output");
@@ -212,6 +250,8 @@ pub struct GestConfigBuilder {
     output_dir: Option<PathBuf>,
     seed_population: Option<PathBuf>,
     threads: usize,
+    checkpoint_every: Option<u32>,
+    fault_policy: FaultPolicy,
     whole_instruction_mutation_prob: f64,
     fitness_override: Option<std::sync::Arc<dyn crate::Fitness>>,
     telemetry: gest_telemetry::Telemetry,
@@ -233,6 +273,8 @@ impl GestConfigBuilder {
             output_dir: None,
             seed_population: None,
             threads: 0,
+            checkpoint_every: None,
+            fault_policy: FaultPolicy::default(),
             whole_instruction_mutation_prob: 0.5,
             fitness_override: None,
             telemetry: gest_telemetry::Telemetry::disabled(),
@@ -352,6 +394,19 @@ impl GestConfigBuilder {
         self
     }
 
+    /// Writes a crash-recovery checkpoint manifest every `every`
+    /// generations (requires an output directory to take effect).
+    pub fn checkpoint_every(mut self, every: u32) -> Self {
+        self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Sets the measurement fault-handling policy.
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
     /// Sets the whole-instruction vs operand mutation split.
     pub fn whole_instruction_mutation_prob(mut self, prob: f64) -> Self {
         self.whole_instruction_mutation_prob = prob;
@@ -420,6 +475,11 @@ impl GestConfigBuilder {
         if self.generations == 0 {
             return Err(GestError::Config("generations must be at least 1".into()));
         }
+        if self.checkpoint_every == Some(0) {
+            return Err(GestError::Config(
+                "checkpoint_every must be at least 1 (omit it to disable checkpointing)".into(),
+            ));
+        }
         if !(0.0..=1.0).contains(&self.whole_instruction_mutation_prob) {
             return Err(GestError::Config(
                 "whole_instruction_mutation_prob outside [0, 1]".into(),
@@ -438,6 +498,8 @@ impl GestConfigBuilder {
             output_dir: self.output_dir,
             seed_population: self.seed_population,
             threads: self.threads,
+            checkpoint_every: self.checkpoint_every,
+            fault_policy: self.fault_policy,
             whole_instruction_mutation_prob: self.whole_instruction_mutation_prob,
             fitness_override: self.fitness_override,
             telemetry: self.telemetry,
@@ -586,6 +648,43 @@ MOVI x10, #0
         let reparsed = GestConfig::from_xml_str(&config.to_xml().to_string()).unwrap();
         assert_eq!(reparsed.output_dir, config.output_dir);
         assert_eq!(reparsed.seed_population, config.seed_population);
+    }
+
+    #[test]
+    fn checkpoint_and_fault_policy_round_trip_through_xml() {
+        let config = GestConfig::builder("cortex-a15")
+            .checkpoint_every(5)
+            .fault_policy(FaultPolicy {
+                max_retries: 3,
+                backoff_base_ms: 25,
+                deadline_ms: Some(4000),
+                quarantine: false,
+            })
+            .build()
+            .unwrap();
+        let reparsed = GestConfig::from_xml_str(&config.to_xml().to_string()).unwrap();
+        assert_eq!(reparsed.checkpoint_every, Some(5));
+        assert_eq!(reparsed.fault_policy, config.fault_policy);
+
+        // Configs that never mention the new elements get the defaults.
+        let plain = GestConfig::from_xml_str(
+            r#"<gest><target machine="cortex-a7" measurement="power"/></gest>"#,
+        )
+        .unwrap();
+        assert_eq!(plain.checkpoint_every, None);
+        assert_eq!(plain.fault_policy, FaultPolicy::default());
+    }
+
+    #[test]
+    fn zero_checkpoint_interval_rejected() {
+        let err = GestConfig::from_xml_str(
+            r#"<gest>
+                 <target machine="cortex-a7"/>
+                 <run checkpoint_every="0"/>
+               </gest>"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("checkpoint_every"), "{err}");
     }
 
     #[test]

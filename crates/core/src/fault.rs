@@ -1,0 +1,135 @@
+//! The measurement fault model: what happens when evaluating one
+//! candidate fails.
+//!
+//! The paper's measurement step is the fragile part of a real deployment —
+//! an ssh hop to the target, an external instrument, a multi-hour
+//! campaign. A single flaky reading at generation 190/200 must not kill
+//! the whole search. [`FaultPolicy`] bounds how hard the runner tries
+//! (retries with deterministic backoff, an optional per-candidate
+//! deadline) and what it does when a candidate keeps failing: quarantine
+//! it (assign the worst possible fitness and move on) or fail the run.
+
+use std::time::Duration;
+
+/// Fitness assigned to quarantined candidates. `-inf` guarantees they are
+/// never selected as the generation's best and lose every tournament
+/// against a successfully measured individual, while keeping selection
+/// fully deterministic.
+pub const QUARANTINE_FITNESS: f64 = f64::NEG_INFINITY;
+
+/// How the runner responds to measurement failures (errors, panics, or
+/// deadline overruns) for a single candidate.
+///
+/// All knobs are deterministic: retry counts and backoff delays depend
+/// only on the attempt number, never on wall-clock or randomness, so a
+/// resumed run replays failure handling identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Extra attempts after the first failed one (0 = single attempt).
+    pub max_retries: u32,
+    /// Base delay before retry `n` — the runner sleeps
+    /// `backoff_base_ms << (n - 1)` milliseconds (deterministic
+    /// exponential backoff, capped at [`FaultPolicy::MAX_BACKOFF_MS`]).
+    pub backoff_base_ms: u64,
+    /// Soft per-candidate deadline: an attempt whose wall-clock exceeds
+    /// this budget counts as failed even if it returned a value. The
+    /// measurement is not preempted (the substrate has no way to kill an
+    /// in-flight simulator step), so this bounds *accepted* latency, not
+    /// worst-case latency.
+    pub deadline_ms: Option<u64>,
+    /// When a candidate exhausts its retries: `true` quarantines it
+    /// (fitness [`QUARANTINE_FITNESS`], `NaN` measurements, the generation
+    /// continues), `false` fails the run with
+    /// [`crate::GestError::Measurement`].
+    pub quarantine: bool,
+}
+
+impl FaultPolicy {
+    /// Upper bound on a single backoff sleep, whatever the attempt count.
+    pub const MAX_BACKOFF_MS: u64 = 10_000;
+
+    /// The pre-fault-layer behavior: one attempt, first failure kills the
+    /// run. Useful in tests that assert on the error itself.
+    pub fn fail_fast() -> FaultPolicy {
+        FaultPolicy {
+            max_retries: 0,
+            backoff_base_ms: 0,
+            deadline_ms: None,
+            quarantine: false,
+        }
+    }
+
+    /// The delay before retry attempt `attempt` (1-based). Returns zero
+    /// when backoff is disabled.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if self.backoff_base_ms == 0 || attempt == 0 {
+            return Duration::ZERO;
+        }
+        let shift = (attempt - 1).min(20);
+        let ms = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << shift)
+            .min(Self::MAX_BACKOFF_MS);
+        Duration::from_millis(ms)
+    }
+
+    /// Whether an attempt that took `elapsed_ms` blew the deadline.
+    pub fn deadline_exceeded(&self, elapsed_ms: u128) -> bool {
+        self.deadline_ms
+            .is_some_and(|budget| elapsed_ms > u128::from(budget))
+    }
+}
+
+impl Default for FaultPolicy {
+    /// One retry, no backoff delay, no deadline, quarantine on — a crash
+    /// in one measurement degrades that candidate instead of the run.
+    fn default() -> FaultPolicy {
+        FaultPolicy {
+            max_retries: 1,
+            backoff_base_ms: 0,
+            deadline_ms: None,
+            quarantine: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let policy = FaultPolicy {
+            backoff_base_ms: 100,
+            ..FaultPolicy::default()
+        };
+        assert_eq!(policy.backoff(1), Duration::from_millis(100));
+        assert_eq!(policy.backoff(2), Duration::from_millis(200));
+        assert_eq!(policy.backoff(3), Duration::from_millis(400));
+        assert_eq!(
+            policy.backoff(40),
+            Duration::from_millis(FaultPolicy::MAX_BACKOFF_MS),
+            "large attempt counts saturate instead of overflowing"
+        );
+        let no_backoff = FaultPolicy::default();
+        assert_eq!(no_backoff.backoff(5), Duration::ZERO);
+    }
+
+    #[test]
+    fn deadline_checks() {
+        let policy = FaultPolicy {
+            deadline_ms: Some(50),
+            ..FaultPolicy::default()
+        };
+        assert!(!policy.deadline_exceeded(50));
+        assert!(policy.deadline_exceeded(51));
+        assert!(!FaultPolicy::default().deadline_exceeded(u128::MAX));
+    }
+
+    #[test]
+    fn fail_fast_matches_legacy_behavior() {
+        let policy = FaultPolicy::fail_fast();
+        assert_eq!(policy.max_retries, 0);
+        assert!(!policy.quarantine);
+    }
+}

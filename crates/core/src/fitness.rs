@@ -153,15 +153,12 @@ impl Fitness for IpcPowerFitness {
 /// # Errors
 ///
 /// [`GestError::Config`] for unknown names.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Registry::default().build_fitness(name, FitnessParams { idle_c, max_c })"
+)]
 pub fn fitness_by_name(name: &str, idle_c: f64, max_c: f64) -> Result<Arc<dyn Fitness>, GestError> {
-    match name {
-        "default" => Ok(Arc::new(DefaultFitness)),
-        "temp_simplicity" => Ok(Arc::new(TempSimplicityFitness::new(idle_c, max_c))),
-        "primary_minus_secondary" => Ok(Arc::new(IpcPowerFitness::default())),
-        other => Err(GestError::Config(format!(
-            "unknown fitness {other:?} (expected default, temp_simplicity, or primary_minus_secondary)"
-        ))),
-    }
+    crate::Registry::default().build_fitness(name, crate::FitnessParams { idle_c, max_c })
 }
 
 #[cfg(test)]
@@ -252,6 +249,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // deliberately exercises the legacy shim
     fn registry_resolves_names() {
         assert_eq!(
             fitness_by_name("default", 0.0, 1.0).unwrap().name(),

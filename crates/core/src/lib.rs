@@ -39,33 +39,47 @@
 //!     .generations(3)
 //!     .seed(42)
 //!     .build()?;
-//! let summary = GestRun::new(config)?.run()?;
+//! let summary = GestRun::builder().config(config).build()?.run()?;
 //! assert!(summary.best.fitness > 0.0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Long searches survive crashes: run with
+//! [`GestConfigBuilder::checkpoint_every`] set and an output directory,
+//! then [`GestRun::resume`] the directory after an interruption — the
+//! resumed search continues bit-identically (see [`checkpoint`]).
 
+pub mod checkpoint;
 mod config;
 mod error;
+mod fault;
 mod fitness;
 mod genetics;
 mod measurement;
 mod output;
 mod pools;
+mod registry;
 mod runner;
 pub mod stats;
 
+pub use checkpoint::{config_fingerprint, Checkpoint, CHECKPOINT_FILE, CHECKPOINT_VERSION};
 pub use config::{GestConfig, GestConfigBuilder};
 pub use error::GestError;
+pub use fault::{FaultPolicy, QUARANTINE_FITNESS};
+#[allow(deprecated)]
+pub use fitness::fitness_by_name;
 pub use fitness::{
-    fitness_by_name, DefaultFitness, Fitness, FitnessContext, IpcPowerFitness,
-    TempSimplicityFitness,
+    DefaultFitness, Fitness, FitnessContext, IpcPowerFitness, TempSimplicityFitness,
 };
 pub use genetics::PoolGenetics;
+#[allow(deprecated)]
+pub use measurement::measurement_by_name;
 pub use measurement::{
-    measurement_by_name, CacheMissMeasurement, IpcMeasurement, Measurement, NoisyMeasurement,
-    PowerMeasurement, TemperatureMeasurement, VoltageNoiseMeasurement,
+    CacheMissMeasurement, IpcMeasurement, Measurement, NoisyMeasurement, PowerMeasurement,
+    TemperatureMeasurement, VoltageNoiseMeasurement,
 };
 pub use output::{OutputWriter, SavedIndividual, SavedPopulation};
 pub use pools::{didt_pool, full_pool, ipc_pool, llc_pool, power_pool};
-pub use runner::{GestRun, RunSummary};
+pub use registry::{FitnessParams, Registry};
+pub use runner::{GestRun, GestRunBuilder, RunSummary};

@@ -381,6 +381,7 @@ impl Measurement for NoisyMeasurement {
 /// # Examples
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// # fn main() -> Result<(), gest_core::GestError> {
 /// use gest_sim::{MachineConfig, RunConfig};
 /// let m = gest_core::measurement_by_name(
@@ -392,21 +393,16 @@ impl Measurement for NoisyMeasurement {
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use Registry::default().build_measurement(name, machine, run_config)"
+)]
 pub fn measurement_by_name(
     name: &str,
     machine: MachineConfig,
     run_config: RunConfig,
 ) -> Result<Arc<dyn Measurement>, GestError> {
-    match name {
-        "power" => Ok(Arc::new(PowerMeasurement::new(machine, run_config))),
-        "temperature" => Ok(Arc::new(TemperatureMeasurement::new(machine, run_config))),
-        "ipc" => Ok(Arc::new(IpcMeasurement::new(machine, run_config))),
-        "voltage_noise" => Ok(Arc::new(VoltageNoiseMeasurement::new(machine, run_config)?)),
-        "cache_miss" => Ok(Arc::new(CacheMissMeasurement::new(machine, run_config))),
-        other => Err(GestError::Config(format!(
-            "unknown measurement {other:?} (expected power, temperature, ipc, voltage_noise, or cache_miss)"
-        ))),
-    }
+    crate::Registry::default().build_measurement(name, machine, run_config)
 }
 
 #[cfg(test)]
@@ -552,6 +548,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // deliberately exercises the legacy shim
     fn registry_resolves_all_names() {
         for name in ["power", "temperature", "ipc", "cache_miss"] {
             let m = measurement_by_name(name, MachineConfig::xgene2(), RunConfig::quick()).unwrap();

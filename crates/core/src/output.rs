@@ -14,7 +14,7 @@
 
 use crate::config::GestConfig;
 use crate::error::GestError;
-use gest_ga::Population;
+use gest_ga::{Evaluated, Population};
 use gest_isa::codec::{Decoder, Encoder};
 use gest_isa::{CodecError, Gene, InstructionPool, Template};
 use std::fs;
@@ -47,6 +47,71 @@ pub struct SavedPopulation {
     pub individuals: Vec<SavedIndividual>,
 }
 
+impl SavedIndividual {
+    /// Serializes one individual (shared by population files and
+    /// checkpoint manifests).
+    pub(crate) fn encode_into(&self, enc: &mut Encoder) {
+        enc.u64(self.id);
+        enc.u64(self.parents.0.map_or(u64::MAX, |p| p));
+        enc.u64(self.parents.1.map_or(u64::MAX, |p| p));
+        enc.f64(self.fitness);
+        enc.varint(self.measurements.len() as u64);
+        for &m in &self.measurements {
+            enc.f64(m);
+        }
+        enc.varint(self.genes.len() as u64);
+        for gene in &self.genes {
+            enc.varint(gene.def_index as u64);
+            enc.instructions(&gene.instrs);
+        }
+    }
+
+    /// Deserializes one individual.
+    pub(crate) fn decode_from(dec: &mut Decoder<'_>) -> Result<SavedIndividual, CodecError> {
+        let id = dec.u64()?;
+        let parent0 = dec.u64()?;
+        let parent1 = dec.u64()?;
+        let fitness = dec.f64()?;
+        let n_measurements = dec.varint()?;
+        let mut measurements = Vec::with_capacity(n_measurements.min(1 << 10) as usize);
+        for _ in 0..n_measurements {
+            measurements.push(dec.f64()?);
+        }
+        let n_genes = dec.varint()?;
+        let mut genes = Vec::with_capacity(n_genes.min(1 << 12) as usize);
+        for _ in 0..n_genes {
+            let def_index = dec.varint()? as usize;
+            let instrs = dec.instructions()?;
+            if instrs.is_empty() {
+                return Err(CodecError::Invalid("gene with no instructions".into()));
+            }
+            genes.push(Gene { def_index, instrs });
+        }
+        Ok(SavedIndividual {
+            id,
+            parents: (
+                (parent0 != u64::MAX).then_some(parent0),
+                (parent1 != u64::MAX).then_some(parent1),
+            ),
+            fitness,
+            measurements,
+            genes,
+        })
+    }
+
+    /// Converts back to an evaluated individual (the inverse of the
+    /// conversion in [`SavedPopulation::from_population`]).
+    pub fn to_evaluated(&self) -> Evaluated<Gene> {
+        Evaluated {
+            id: self.id,
+            parents: self.parents,
+            genes: self.genes.clone(),
+            fitness: self.fitness,
+            measurements: self.measurements.clone(),
+        }
+    }
+}
+
 impl SavedPopulation {
     /// Converts an evaluated population for saving.
     pub fn from_population(population: &Population<Gene>) -> SavedPopulation {
@@ -73,19 +138,7 @@ impl SavedPopulation {
         enc.u32(self.generation);
         enc.varint(self.individuals.len() as u64);
         for individual in &self.individuals {
-            enc.u64(individual.id);
-            enc.u64(individual.parents.0.map_or(u64::MAX, |p| p));
-            enc.u64(individual.parents.1.map_or(u64::MAX, |p| p));
-            enc.f64(individual.fitness);
-            enc.varint(individual.measurements.len() as u64);
-            for &m in &individual.measurements {
-                enc.f64(m);
-            }
-            enc.varint(individual.genes.len() as u64);
-            for gene in &individual.genes {
-                enc.varint(gene.def_index as u64);
-                enc.instructions(&gene.instrs);
-            }
+            individual.encode_into(&mut enc);
         }
         enc.into_bytes()
     }
@@ -105,40 +158,28 @@ impl SavedPopulation {
         let count = dec.varint()?;
         let mut individuals = Vec::with_capacity(count.min(1 << 16) as usize);
         for _ in 0..count {
-            let id = dec.u64()?;
-            let parent0 = dec.u64()?;
-            let parent1 = dec.u64()?;
-            let fitness = dec.f64()?;
-            let n_measurements = dec.varint()?;
-            let mut measurements = Vec::with_capacity(n_measurements.min(1 << 10) as usize);
-            for _ in 0..n_measurements {
-                measurements.push(dec.f64()?);
-            }
-            let n_genes = dec.varint()?;
-            let mut genes = Vec::with_capacity(n_genes.min(1 << 12) as usize);
-            for _ in 0..n_genes {
-                let def_index = dec.varint()? as usize;
-                let instrs = dec.instructions()?;
-                if instrs.is_empty() {
-                    return Err(CodecError::Invalid("gene with no instructions".into()));
-                }
-                genes.push(Gene { def_index, instrs });
-            }
-            individuals.push(SavedIndividual {
-                id,
-                parents: (
-                    (parent0 != u64::MAX).then_some(parent0),
-                    (parent1 != u64::MAX).then_some(parent1),
-                ),
-                fitness,
-                measurements,
-                genes,
-            });
+            individuals.push(SavedIndividual::decode_from(&mut dec)?);
         }
         Ok(SavedPopulation {
             generation,
             individuals,
         })
+    }
+
+    /// Converts back into a live evaluated population, exactly as it was
+    /// when saved — the restore path of checkpoint/resume. Unlike
+    /// [`SavedPopulation::seed_genes`] this performs no pool re-binding:
+    /// resuming is only valid against the identical configuration, which
+    /// [`crate::Checkpoint`] verifies by fingerprint.
+    pub fn to_population(&self) -> Population<Gene> {
+        Population {
+            generation: self.generation,
+            individuals: self
+                .individuals
+                .iter()
+                .map(SavedIndividual::to_evaluated)
+                .collect(),
+        }
     }
 
     /// Loads a population file from disk.
@@ -181,6 +222,20 @@ impl SavedPopulation {
     }
 }
 
+/// Writes `bytes` to `path` atomically: the content lands in a `.tmp`
+/// sibling first and is renamed into place, so a crash mid-write leaves
+/// either the old file or the new one, never a truncated hybrid. The
+/// durable artifacts of a run (population files, checkpoint manifests) all
+/// go through this.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{ext}.tmp"),
+        None => "tmp".to_string(),
+    });
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
 /// Writes run outputs to a directory.
 #[derive(Debug)]
 pub struct OutputWriter {
@@ -203,6 +258,26 @@ impl OutputWriter {
         fs::write(dir.join("config.xml"), config.to_xml().to_string())?;
         let template_program = template.materialize("template", Vec::new());
         fs::write(dir.join("template.txt"), template_program.to_string())?;
+        Ok(OutputWriter {
+            dir: dir.to_owned(),
+        })
+    }
+
+    /// Reopens an existing output directory without rewriting the
+    /// record-keeping files — the resume path, where `config.xml` and
+    /// `template.txt` are the previous run's record and must stay
+    /// byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`GestError::Io`] when the directory does not exist.
+    pub fn reopen(dir: &Path) -> Result<OutputWriter, GestError> {
+        if !dir.is_dir() {
+            return Err(GestError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("output directory {} does not exist", dir.display()),
+            )));
+        }
         Ok(OutputWriter {
             dir: dir.to_owned(),
         })
@@ -252,10 +327,11 @@ impl OutputWriter {
             fs::write(self.dir.join(name), source)?;
         }
         let saved = SavedPopulation::from_population(population);
-        fs::write(
-            self.dir
+        atomic_write(
+            &self
+                .dir
                 .join(format!("population_{:04}.bin", population.generation)),
-            saved.encode(),
+            &saved.encode(),
         )?;
         Ok(())
     }

@@ -1,16 +1,20 @@
 //! The run driver: coordinates the GA engine, measurement, fitness, and
 //! outputs across generations (the paper's Figure 2 loop).
 
+use crate::checkpoint::{config_fingerprint, Checkpoint};
 use crate::config::GestConfig;
 use crate::error::GestError;
-use crate::fitness::{fitness_by_name, Fitness, FitnessContext};
+use crate::fault::QUARANTINE_FITNESS;
+use crate::fitness::{Fitness, FitnessContext};
 use crate::genetics::PoolGenetics;
-use crate::measurement::{measurement_by_name, Measurement};
-use crate::output::{OutputWriter, SavedPopulation};
+use crate::measurement::Measurement;
+use crate::output::{OutputWriter, SavedIndividual, SavedPopulation};
+use crate::registry::{FitnessParams, Registry};
 use gest_ga::{Candidate, Evaluated, GaEngine, History, Population};
 use gest_isa::{Gene, Program};
 use gest_telemetry::{Buckets, SpanGuard, Telemetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -68,11 +72,17 @@ impl RunSummary {
 
 /// A configured GeST search.
 ///
-/// Use [`GestRun::run`] for the whole search, or [`GestRun::step`] to
-/// drive it generation by generation (e.g. for live plotting).
+/// Built by [`GestRun::builder`] (or restored from a crashed run's output
+/// directory by [`GestRun::resume`]). Use [`GestRun::run`] for the whole
+/// search, or [`GestRun::step`] to drive it generation by generation
+/// (e.g. for live plotting).
 #[derive(Debug)]
 pub struct GestRun {
     config: GestConfig,
+    /// FNV-1a of the run's canonical `config.xml` rendering, stamped into
+    /// every checkpoint manifest so resume can refuse mismatched
+    /// configurations.
+    config_fingerprint: u64,
     engine: GaEngine<PoolGenetics>,
     measurement: Arc<dyn Measurement>,
     fitness: Arc<dyn Fitness>,
@@ -86,7 +96,203 @@ pub struct GestRun {
     run_span: Option<SpanGuard>,
 }
 
+/// Builder for [`GestRun`] — the typed replacement for the old
+/// `GestRun::new` / `GestRun::with_measurement` pair.
+///
+/// Exactly one of [`config`](GestRunBuilder::config) or
+/// [`resume_from`](GestRunBuilder::resume_from) is required; everything
+/// else is optional.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gest_core::GestError> {
+/// use gest_core::{GestConfig, GestRun};
+///
+/// let config = GestConfig::builder("cortex-a15")
+///     .population_size(6)
+///     .individual_size(8)
+///     .generations(2)
+///     .build()?;
+/// let summary = GestRun::builder().config(config).build()?.run()?;
+/// assert!(summary.best.fitness > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct GestRunBuilder {
+    config: Option<GestConfig>,
+    resume_dir: Option<PathBuf>,
+    measurement: Option<Arc<dyn Measurement>>,
+    registry: Option<Registry>,
+    telemetry: Option<Telemetry>,
+}
+
+impl GestRunBuilder {
+    /// Supplies the run configuration (for a fresh search).
+    pub fn config(mut self, config: GestConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Restores a checkpointed run from its output directory instead of
+    /// starting fresh: the configuration is read back from the
+    /// directory's `config.xml`, the search state from its checkpoint
+    /// manifest and last population file.
+    pub fn resume_from(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.resume_dir = Some(dir.into());
+        self
+    }
+
+    /// Uses an explicit measurement instance instead of resolving
+    /// `config.measurement_name` through the registry — the programmatic
+    /// equivalent of dropping a custom measurement class next to the
+    /// framework (paper §III.C), e.g. a [`crate::NoisyMeasurement`]
+    /// wrapper.
+    pub fn measurement(mut self, measurement: Arc<dyn Measurement>) -> Self {
+        self.measurement = Some(measurement);
+        self
+    }
+
+    /// Resolves plug-in names through a custom [`Registry`] instead of
+    /// the shipped default — the way to make user-defined measurements
+    /// and fitness functions addressable from configuration files.
+    pub fn registry(mut self, registry: Registry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Overrides the configuration's telemetry handle (convenient when
+    /// the configuration came from XML, which cannot carry one).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Builds the run: resolves plug-ins, prepares the GA engine, opens
+    /// the output directory, and — when resuming — restores engine,
+    /// history, best individual, and current population from the
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`GestError::Config`] when neither (or both) of `config` and
+    /// `resume_from` were given, for unknown plug-in names, or when a
+    /// checkpoint's fingerprint does not match the directory's
+    /// `config.xml`; I/O and codec errors reading checkpoint state.
+    pub fn build(self) -> Result<GestRun, GestError> {
+        let registry = self.registry.unwrap_or_default();
+        match (self.config, self.resume_dir) {
+            (Some(_), Some(_)) => Err(GestError::Config(
+                "GestRun::builder(): config(..) and resume_from(..) are mutually exclusive".into(),
+            )),
+            (None, None) => Err(GestError::Config(
+                "GestRun::builder(): either config(..) or resume_from(..) is required".into(),
+            )),
+            (Some(mut config), None) => {
+                if let Some(telemetry) = self.telemetry {
+                    config.telemetry = telemetry;
+                }
+                let fingerprint = config_fingerprint(&config.to_xml().to_string());
+                let measurement = match self.measurement {
+                    Some(measurement) => measurement,
+                    None => registry.build_measurement(
+                        &config.measurement_name,
+                        config.machine.clone(),
+                        config.run_config,
+                    )?,
+                };
+                GestRun::assemble(config, fingerprint, measurement, &registry, None)
+            }
+            (None, Some(dir)) => {
+                // Checkpoint first: its absence has the most actionable
+                // error message ("was checkpointing enabled?").
+                let checkpoint = Checkpoint::load(&dir)?;
+                let raw = std::fs::read_to_string(dir.join("config.xml"))?;
+                let mut config = GestConfig::from_xml_str(&raw)?;
+                if let Some(telemetry) = self.telemetry {
+                    config.telemetry = telemetry;
+                }
+                let fingerprint = config_fingerprint(&raw);
+                if checkpoint.config_fingerprint != fingerprint {
+                    return Err(GestError::Config(format!(
+                        "checkpoint in {} was written under a different configuration \
+                         (fingerprint {:016x}, config.xml hashes to {:016x}); \
+                         refusing to resume into a diverged search",
+                        dir.display(),
+                        checkpoint.config_fingerprint,
+                        fingerprint
+                    )));
+                }
+                if checkpoint.generation == 0 {
+                    return Err(GestError::Config(
+                        "checkpoint precedes the first completed generation".into(),
+                    ));
+                }
+                let population_file =
+                    dir.join(format!("population_{:04}.bin", checkpoint.generation - 1));
+                let population = SavedPopulation::load(&population_file)?.to_population();
+                if population.generation != checkpoint.generation - 1 {
+                    return Err(GestError::Config(format!(
+                        "population file {} holds generation {} but the checkpoint \
+                         expects generation {}",
+                        population_file.display(),
+                        population.generation,
+                        checkpoint.generation - 1
+                    )));
+                }
+                let measurement = match self.measurement {
+                    Some(measurement) => measurement,
+                    None => registry.build_measurement(
+                        &config.measurement_name,
+                        config.machine.clone(),
+                        config.run_config,
+                    )?,
+                };
+                GestRun::assemble(
+                    config,
+                    fingerprint,
+                    measurement,
+                    &registry,
+                    Some(ResumeState {
+                        dir,
+                        checkpoint,
+                        population,
+                    }),
+                )
+            }
+        }
+    }
+}
+
+/// State carried from a checkpoint into [`GestRun::assemble`].
+struct ResumeState {
+    dir: PathBuf,
+    checkpoint: Checkpoint,
+    population: Population<Gene>,
+}
+
 impl GestRun {
+    /// Starts building a run. See [`GestRunBuilder`].
+    pub fn builder() -> GestRunBuilder {
+        GestRunBuilder::default()
+    }
+
+    /// Restores a checkpointed run from its output directory with the
+    /// default registry — shorthand for
+    /// `GestRun::builder().resume_from(dir).build()`.
+    ///
+    /// The restored run continues bit-identically to one that was never
+    /// interrupted: the GA RNG stream, id allocation, history, and best
+    /// individual all pick up exactly where the checkpoint left them.
+    ///
+    /// # Errors
+    ///
+    /// See [`GestRunBuilder::build`].
+    pub fn resume(dir: impl Into<PathBuf>) -> Result<GestRun, GestError> {
+        GestRun::builder().resume_from(dir).build()
+    }
+
     /// Builds the run: resolves the measurement and fitness plug-ins by
     /// name, prepares the GA engine, and opens the output directory when
     /// configured.
@@ -95,26 +301,37 @@ impl GestRun {
     ///
     /// Configuration errors for unknown plug-in names; I/O errors opening
     /// the output directory.
+    #[deprecated(since = "0.2.0", note = "use GestRun::builder().config(..).build()")]
     pub fn new(config: GestConfig) -> Result<GestRun, GestError> {
-        let measurement = measurement_by_name(
-            &config.measurement_name,
-            config.machine.clone(),
-            config.run_config,
-        )?;
-        GestRun::with_measurement(config, measurement)
+        GestRun::builder().config(config).build()
     }
 
-    /// Like [`GestRun::new`] but with an explicit measurement instance —
-    /// the programmatic equivalent of dropping a custom measurement class
-    /// next to the framework (paper §III.C), e.g. a
-    /// [`crate::NoisyMeasurement`] wrapper.
+    /// Like `GestRun::new` but with an explicit measurement instance.
     ///
     /// # Errors
     ///
-    /// Same as [`GestRun::new`].
+    /// Same as `GestRun::new`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use GestRun::builder().config(..).measurement(..).build()"
+    )]
     pub fn with_measurement(
         config: GestConfig,
         measurement: Arc<dyn Measurement>,
+    ) -> Result<GestRun, GestError> {
+        GestRun::builder()
+            .config(config)
+            .measurement(measurement)
+            .build()
+    }
+
+    /// The shared tail of fresh construction and resume.
+    fn assemble(
+        config: GestConfig,
+        fingerprint: u64,
+        measurement: Arc<dyn Measurement>,
+        registry: &Registry,
+        resume: Option<ResumeState>,
     ) -> Result<GestRun, GestError> {
         // Equation-1 parameters: idle temperature = steady state under
         // static power alone; max = TJMAX (overridable via
@@ -125,16 +342,26 @@ impl GestRun {
             .steady_state_c(config.machine.energy.static_w);
         let fitness = match &config.fitness_override {
             Some(custom) => Arc::clone(custom),
-            None => fitness_by_name(&config.fitness_name, idle_c, config.machine.thermal.tjmax_c)?,
+            None => registry.build_fitness(
+                &config.fitness_name,
+                FitnessParams {
+                    idle_c,
+                    max_c: config.machine.thermal.tjmax_c,
+                },
+            )?,
         };
         let genetics = PoolGenetics::new(Arc::clone(&config.pool))
             .with_whole_instruction_prob(config.whole_instruction_mutation_prob);
-        let engine = GaEngine::new(config.ga, genetics, config.seed);
-        let writer = match &config.output_dir {
-            Some(dir) => Some(OutputWriter::new(dir, &config, &config.template)?),
-            None => None,
+        let mut engine = GaEngine::new(config.ga, genetics, config.seed);
+        let writer = match &resume {
+            Some(state) => Some(OutputWriter::reopen(&state.dir)?),
+            None => match &config.output_dir {
+                Some(dir) => Some(OutputWriter::new(dir, &config, &config.template)?),
+                None => None,
+            },
         };
         let telemetry = config.telemetry.clone();
+        let resumed_from = resume.as_ref().map(|state| state.checkpoint.generation);
         let run_span = Some(telemetry.span_with(
             "run",
             &[
@@ -143,18 +370,40 @@ impl GestRun {
                 ("population_size", config.ga.population_size.into()),
                 ("generations", u64::from(config.generations).into()),
                 ("seed", config.seed.into()),
+                ("resumed_from", u64::from(resumed_from.unwrap_or(0)).into()),
             ],
         ));
+        let (history, current, best, generation) = match resume {
+            None => (History::new(), None, None, 0),
+            Some(state) => {
+                engine.restore_state(state.checkpoint.engine);
+                telemetry.point(
+                    "resume",
+                    &[
+                        ("generation", u64::from(state.checkpoint.generation).into()),
+                        ("history", state.checkpoint.history.len().into()),
+                    ],
+                );
+                telemetry.add_counter("checkpoint.resumes", 1);
+                (
+                    History::from_summaries(state.checkpoint.history),
+                    Some(state.population),
+                    state.checkpoint.best.map(|b| b.to_evaluated()),
+                    state.checkpoint.generation,
+                )
+            }
+        };
         Ok(GestRun {
             config,
+            config_fingerprint: fingerprint,
             engine,
             measurement,
             fitness,
-            history: History::new(),
+            history,
             writer,
-            current: None,
-            best: None,
-            generation: 0,
+            current,
+            best,
+            generation,
             telemetry,
             run_span,
         })
@@ -168,6 +417,26 @@ impl GestRun {
     /// The most recently evaluated population.
     pub fn population(&self) -> Option<&Population<Gene>> {
         self.current.as_ref()
+    }
+
+    /// Generations completed so far (equals the next generation index).
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// The best individual seen so far, if any generation completed.
+    pub fn best(&self) -> Option<&Evaluated<Gene>> {
+        self.best.as_ref()
+    }
+
+    /// Total generations this run is configured for.
+    pub fn target_generations(&self) -> u32 {
+        self.config.generations
+    }
+
+    /// Whether all configured generations have completed.
+    pub fn is_complete(&self) -> bool {
+        self.generation >= self.config.generations
     }
 
     /// Materializes an individual's genes into a runnable program.
@@ -236,17 +505,70 @@ impl GestRun {
         }
         self.generation += 1;
         self.current = Some(population);
+        if self.writer.is_some() {
+            if let Some(every) = self.config.checkpoint_every {
+                if self.generation.is_multiple_of(every)
+                    || self.generation == self.config.generations
+                {
+                    self.checkpoint_now()?;
+                }
+            }
+        }
         drop(generation_span);
         Ok(self.current.as_ref().expect("just assigned"))
     }
 
-    /// Runs all configured generations and summarizes.
+    /// Writes a checkpoint manifest for the current state into the run's
+    /// output directory (atomically: tmp + rename). [`GestRun::step`]
+    /// calls this every `checkpoint_every` generations and after the
+    /// final one; manual step-drivers may also call it at any generation
+    /// boundary.
+    ///
+    /// The matching population file is written by `step` *before* the
+    /// manifest, so a crash between the two leaves the older manifest in
+    /// charge and resume deterministically re-runs (and overwrites) the
+    /// generations after it.
+    ///
+    /// # Errors
+    ///
+    /// [`GestError::Config`] when the run has no output directory; I/O
+    /// errors writing the manifest.
+    pub fn checkpoint_now(&self) -> Result<(), GestError> {
+        let Some(writer) = &self.writer else {
+            return Err(GestError::Config(
+                "checkpointing requires an output directory (set output_dir)".into(),
+            ));
+        };
+        let _span = self.telemetry.span_with(
+            "checkpoint",
+            &[("generation", u64::from(self.generation).into())],
+        );
+        let checkpoint = Checkpoint {
+            config_fingerprint: self.config_fingerprint,
+            generation: self.generation,
+            engine: self.engine.export_state(),
+            history: self.history.summaries().to_vec(),
+            best: self.best.as_ref().map(|best| SavedIndividual {
+                id: best.id,
+                parents: best.parents,
+                fitness: best.fitness,
+                measurements: best.measurements.clone(),
+                genes: best.genes.clone(),
+            }),
+        };
+        checkpoint.save(writer.dir())?;
+        self.telemetry.add_counter("checkpoint.writes", 1);
+        Ok(())
+    }
+
+    /// Runs the remaining generations (all of them on a fresh run, the
+    /// tail on a resumed one) and summarizes.
     ///
     /// # Errors
     ///
     /// Propagates the first error from any generation.
     pub fn run(mut self) -> Result<RunSummary, GestError> {
-        for _ in 0..self.config.generations {
+        while self.generation < self.config.generations {
             self.step()?;
         }
         self.finish();
@@ -373,8 +695,10 @@ impl GestRun {
     /// to the surrounding `evaluate` span, since the thread-local stack
     /// cannot see across threads), converts worker panics into
     /// [`GestError::Measurement`] so one bad measurement plug-in fails the
-    /// run cleanly instead of aborting the process, and records latency
-    /// and per-worker utilization metrics.
+    /// run cleanly instead of aborting the process, applies the
+    /// configured [`crate::FaultPolicy`] (deadline, bounded retries with
+    /// deterministic backoff, quarantine), and records latency and
+    /// per-worker utilization metrics.
     fn evaluate_candidate(
         &self,
         generation: u32,
@@ -391,16 +715,66 @@ impl GestRun {
                 ("worker", worker.into()),
             ],
         );
+        let policy = self.config.fault_policy;
         let started = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            self.evaluate_one(generation, candidate)
-        }))
-        .unwrap_or_else(|payload| {
-            Err(GestError::Measurement {
-                candidate: candidate.id,
-                message: panic_message(payload),
-            })
-        });
+        let mut attempt: u32 = 0;
+        let outcome = loop {
+            attempt += 1;
+            let attempt_started = Instant::now();
+            let mut result = catch_unwind(AssertUnwindSafe(|| {
+                self.evaluate_one(generation, candidate)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(GestError::Measurement {
+                    candidate: candidate.id,
+                    message: panic_message(payload),
+                })
+            });
+            // Soft deadline: an over-budget value is treated as a failure
+            // (the substrate cannot preempt an in-flight measurement).
+            if result.is_ok() {
+                let elapsed_ms = attempt_started.elapsed().as_millis();
+                if policy.deadline_exceeded(elapsed_ms) {
+                    result = Err(GestError::Measurement {
+                        candidate: candidate.id,
+                        message: format!(
+                            "measurement took {elapsed_ms}ms, past the {}ms deadline",
+                            policy.deadline_ms.unwrap_or(0)
+                        ),
+                    });
+                }
+            }
+            match result {
+                Ok(evaluated) => break Ok(evaluated),
+                Err(error) => {
+                    if attempt <= policy.max_retries {
+                        self.telemetry.add_counter("eval.retries", 1);
+                        std::thread::sleep(policy.backoff(attempt));
+                        continue;
+                    }
+                    if policy.quarantine {
+                        self.telemetry.add_counter("eval.quarantined", 1);
+                        self.telemetry.point(
+                            "quarantine",
+                            &[
+                                ("candidate", candidate.id.into()),
+                                ("generation", u64::from(generation).into()),
+                                ("attempts", u64::from(attempt).into()),
+                                ("error", error.to_string().into()),
+                            ],
+                        );
+                        break Ok(Evaluated {
+                            id: candidate.id,
+                            parents: candidate.parents,
+                            genes: candidate.genes.clone(),
+                            fitness: QUARANTINE_FITNESS,
+                            measurements: vec![f64::NAN; self.measurement.metrics().len()],
+                        });
+                    }
+                    break Err(error);
+                }
+            }
+        };
         if self.telemetry.is_enabled() {
             let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
             self.telemetry
@@ -462,12 +836,13 @@ mod tests {
             .unwrap()
     }
 
+    fn build_run(config: GestConfig) -> GestRun {
+        GestRun::builder().config(config).build().unwrap()
+    }
+
     #[test]
     fn run_improves_or_holds_power_fitness() {
-        let summary = GestRun::new(tiny_config("cortex-a15", "power"))
-            .unwrap()
-            .run()
-            .unwrap();
+        let summary = build_run(tiny_config("cortex-a15", "power")).run().unwrap();
         assert_eq!(summary.generations, 3);
         let series = summary.history.best_series();
         assert_eq!(series.len(), 3);
@@ -482,14 +857,8 @@ mod tests {
 
     #[test]
     fn runs_are_reproducible() {
-        let a = GestRun::new(tiny_config("cortex-a7", "power"))
-            .unwrap()
-            .run()
-            .unwrap();
-        let b = GestRun::new(tiny_config("cortex-a7", "power"))
-            .unwrap()
-            .run()
-            .unwrap();
+        let a = build_run(tiny_config("cortex-a7", "power")).run().unwrap();
+        let b = build_run(tiny_config("cortex-a7", "power")).run().unwrap();
         assert_eq!(a.best.genes, b.best.genes);
         assert_eq!(a.best.fitness, b.best.fitness);
     }
@@ -500,15 +869,14 @@ mod tests {
         parallel_cfg.threads = 4;
         let mut serial_cfg = tiny_config("cortex-a7", "ipc");
         serial_cfg.threads = 1;
-        let a = GestRun::new(parallel_cfg).unwrap().run().unwrap();
-        let b = GestRun::new(serial_cfg).unwrap().run().unwrap();
+        let a = build_run(parallel_cfg).run().unwrap();
+        let b = build_run(serial_cfg).run().unwrap();
         assert_eq!(a.best.genes, b.best.genes);
     }
 
     #[test]
     fn voltage_noise_run_on_athlon() {
-        let summary = GestRun::new(tiny_config("athlon-x4", "voltage_noise"))
-            .unwrap()
+        let summary = build_run(tiny_config("athlon-x4", "voltage_noise"))
             .run()
             .unwrap();
         assert!(summary.best.fitness > 0.0, "p2p noise should be positive");
@@ -517,39 +885,107 @@ mod tests {
 
     #[test]
     fn step_api_exposes_populations() {
-        let mut run = GestRun::new(tiny_config("cortex-a15", "power")).unwrap();
+        let mut run = build_run(tiny_config("cortex-a15", "power"));
         assert!(run.population().is_none());
+        assert_eq!(run.generation(), 0);
+        assert!(!run.is_complete());
         let population = run.step().unwrap();
         assert_eq!(population.generation, 0);
         assert_eq!(population.len(), 6);
         run.step().unwrap();
         assert_eq!(run.population().unwrap().generation, 1);
         assert_eq!(run.history().summaries().len(), 2);
+        assert_eq!(run.generation(), 2);
+        assert_eq!(run.target_generations(), 3);
+        assert!(run.best().is_some());
     }
 
     #[test]
-    fn worker_panic_surfaces_as_measurement_error() {
-        use crate::measurement::Measurement;
+    fn builder_rejects_ambiguous_and_empty_inputs() {
+        let err = GestRun::builder().build().unwrap_err();
+        assert!(err.to_string().contains("required"), "{err}");
+        let err = GestRun::builder()
+            .config(tiny_config("cortex-a7", "power"))
+            .resume_from("/nonexistent")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+    }
 
-        /// Panics on one specific candidate, like a measurement plug-in
-        /// with a latent bug.
-        #[derive(Debug)]
-        struct Panicky;
-        impl Measurement for Panicky {
-            fn name(&self) -> &'static str {
-                "panicky"
-            }
-            fn metrics(&self) -> &'static [&'static str] {
-                &["value"]
-            }
-            fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
-                assert!(program.name != "0_2", "instrument exploded");
-                Ok(vec![1.0])
-            }
+    #[test]
+    fn builder_registry_and_telemetry_hooks_are_used() {
+        use crate::measurement::PowerMeasurement;
+        use gest_telemetry::{Event, MemorySink};
+
+        // A registry where "power" is rerouted: proof the builder asks the
+        // registry, not the legacy hard-coded match.
+        let registry = Registry::empty().measurement("power", |machine, run| {
+            Ok(Arc::new(PowerMeasurement::new(machine, run)))
+        });
+        let err = GestRun::builder()
+            .config(tiny_config("cortex-a7", "power"))
+            .registry(registry.clone())
+            .build()
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("unknown fitness"),
+            "empty fitness table must be consulted: {err}"
+        );
+
+        let sink = Arc::new(MemorySink::default());
+        let summary = GestRun::builder()
+            .config(tiny_config("cortex-a7", "power"))
+            .registry(Registry::default())
+            .telemetry(Telemetry::new(sink.clone()))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(summary.best.fitness > 0.0);
+        assert!(
+            sink.events()
+                .iter()
+                .any(|e| matches!(e, Event::SpanStart { name, .. } if name == "run")),
+            "builder-supplied telemetry overrides the config's disabled handle"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let summary = GestRun::new(tiny_config("cortex-a7", "power"))
+            .unwrap()
+            .run()
+            .unwrap();
+        let via_builder = build_run(tiny_config("cortex-a7", "power")).run().unwrap();
+        assert_eq!(summary.best.genes, via_builder.best.genes);
+    }
+
+    /// Panics on one specific candidate, like a measurement plug-in with a
+    /// latent bug.
+    #[derive(Debug)]
+    struct Panicky;
+    impl crate::measurement::Measurement for Panicky {
+        fn name(&self) -> &'static str {
+            "panicky"
         }
+        fn metrics(&self) -> &'static [&'static str] {
+            &["value"]
+        }
+        fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+            assert!(program.name != "0_2", "instrument exploded");
+            Ok(vec![1.0])
+        }
+    }
 
-        let config = tiny_config("cortex-a15", "power");
-        let err = GestRun::with_measurement(config, Arc::new(Panicky))
+    #[test]
+    fn worker_panic_surfaces_as_measurement_error_under_fail_fast() {
+        let mut config = tiny_config("cortex-a15", "power");
+        config.fault_policy = crate::FaultPolicy::fail_fast();
+        let err = GestRun::builder()
+            .config(config)
+            .measurement(Arc::new(Panicky))
+            .build()
             .unwrap()
             .run()
             .unwrap_err();
@@ -563,19 +999,100 @@ mod tests {
     }
 
     #[test]
+    fn default_policy_quarantines_the_crashing_candidate() {
+        use gest_telemetry::{Event, MemorySink};
+
+        let sink = Arc::new(MemorySink::default());
+        let mut config = tiny_config("cortex-a15", "power");
+        config.telemetry = Telemetry::new(sink.clone());
+        let summary = GestRun::builder()
+            .config(config)
+            .measurement(Arc::new(Panicky))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        // The run completes; the poisoned candidate never wins.
+        assert_eq!(summary.generations, 3);
+        assert!(summary.best.fitness.is_finite());
+        assert_ne!(summary.best.id, 2);
+
+        let counter = |wanted: &str| {
+            sink.events().iter().find_map(|e| match e {
+                Event::Counter { name, value } if name == wanted => Some(*value),
+                _ => None,
+            })
+        };
+        assert_eq!(
+            counter("eval.retries"),
+            Some(1),
+            "default policy retries once before quarantining"
+        );
+        assert_eq!(counter("eval.quarantined"), Some(1));
+        assert_eq!(
+            counter("eval.failures"),
+            None,
+            "a quarantined candidate is not a run failure"
+        );
+    }
+
+    #[test]
+    fn deadline_overruns_quarantine_with_a_clear_message() {
+        use std::time::Duration;
+
+        /// Sleeps past the configured deadline for one candidate.
+        #[derive(Debug)]
+        struct Slow;
+        impl crate::measurement::Measurement for Slow {
+            fn name(&self) -> &'static str {
+                "slow"
+            }
+            fn metrics(&self) -> &'static [&'static str] {
+                &["value"]
+            }
+            fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+                if program.name == "0_1" {
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                Ok(vec![1.0])
+            }
+        }
+
+        let mut config = tiny_config("cortex-a7", "power");
+        config.threads = 1;
+        config.fault_policy = crate::FaultPolicy {
+            max_retries: 0,
+            backoff_base_ms: 0,
+            deadline_ms: Some(5),
+            quarantine: false,
+        };
+        let err = GestRun::builder()
+            .config(config)
+            .measurement(Arc::new(Slow))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap_err();
+        match err {
+            GestError::Measurement { candidate, message } => {
+                assert_eq!(candidate, 1);
+                assert!(message.contains("deadline"), "{message}");
+            }
+            other => panic!("expected a deadline error, got: {other}"),
+        }
+    }
+
+    #[test]
     fn traced_run_emits_spans_metrics_and_stays_deterministic() {
         use gest_telemetry::{Event, MemorySink};
 
         let sink = Arc::new(MemorySink::default());
         let mut config = tiny_config("cortex-a7", "power");
         config.telemetry = Telemetry::new(sink.clone());
-        let traced = GestRun::new(config).unwrap().run().unwrap();
+        let traced = build_run(config).run().unwrap();
 
         // Telemetry observes the search without perturbing it.
-        let plain = GestRun::new(tiny_config("cortex-a7", "power"))
-            .unwrap()
-            .run()
-            .unwrap();
+        let plain = build_run(tiny_config("cortex-a7", "power")).run().unwrap();
         assert_eq!(traced.best.genes, plain.best.genes);
         assert_eq!(traced.best.fitness, plain.best.fitness);
 
@@ -673,7 +1190,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let mut config = tiny_config("cortex-a15", "power");
         config.output_dir = Some(dir.clone());
-        let summary = GestRun::new(config).unwrap().run().unwrap();
+        let summary = build_run(config).run().unwrap();
         let files = OutputWriter::population_files(&dir).unwrap();
         assert_eq!(files.len(), 3, "one population file per generation");
 
@@ -681,7 +1198,7 @@ mod tests {
         // must already contain the old best fitness (elite genes carried).
         let mut seeded_cfg = tiny_config("cortex-a15", "power");
         seeded_cfg.seed_population = Some(files.last().unwrap().clone());
-        let mut seeded = GestRun::new(seeded_cfg).unwrap();
+        let mut seeded = build_run(seeded_cfg);
         let first = seeded.step().unwrap();
         assert!(
             first.best().unwrap().fitness >= summary.best.fitness * 0.99,

@@ -48,6 +48,12 @@ impl History {
         History::default()
     }
 
+    /// Rebuilds a history from previously recorded summaries (e.g. a
+    /// checkpoint manifest), in the order given.
+    pub fn from_summaries(summaries: Vec<GenerationSummary>) -> History {
+        History { summaries }
+    }
+
     /// Records an evaluated population.
     ///
     /// Populations with no individuals are ignored.

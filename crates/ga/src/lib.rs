@@ -55,7 +55,7 @@ mod ops;
 mod population;
 
 pub use config::{CrossoverOp, GaConfig, GaConfigError, SelectionOp};
-pub use engine::{Candidate, GaEngine, Genetics, OpCounts};
+pub use engine::{Candidate, EngineState, GaEngine, Genetics, OpCounts};
 pub use history::{GenerationSummary, History};
 pub use ops::{crossover_one_point, crossover_uniform, mutate, tournament_select};
 pub use population::{Evaluated, Population};

@@ -3,8 +3,10 @@
 //! is driven.
 //!
 //! ```text
-//! gest run <config.xml> [--trace[=PATH]] [--progress]
+//! gest run <config.xml> [--trace[=PATH]] [--progress] [--checkpoint-every=N]
 //!                                  run a GA search from a main configuration
+//! gest resume <output_dir> [--trace[=PATH]] [--progress]
+//!                                  continue a checkpointed run after a crash
 //! gest report <run_trace.jsonl>    summarize a trace: phases, slow candidates,
 //!                                  operator mix, convergence vs wall-clock
 //! gest stats <output_dir>          per-generation report from saved populations
@@ -27,6 +29,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
         Some("report") => cmd_report(args.get(1).map(String::as_str)),
         Some("stats") => cmd_stats(args.get(1).map(String::as_str)),
         Some("show") => cmd_show(
@@ -60,6 +63,10 @@ fn print_usage() {
          usage:\n  \
          gest run <config.xml> [flags]    run a GA search from a main configuration\n    \
          --trace[=PATH]                 write run_trace.jsonl (default: output dir)\n    \
+         --progress                     live per-generation progress on stderr\n    \
+         --checkpoint-every=N           write a resumable checkpoint every N generations\n  \
+         gest resume <output_dir> [flags] continue a checkpointed run after a crash\n    \
+         --trace[=PATH]                 append to run_trace.jsonl (default: output dir)\n    \
          --progress                     live per-generation progress on stderr\n  \
          gest report <run_trace.jsonl>    summarize a trace written by run --trace\n  \
          gest stats <output_dir>          per-generation report from saved populations\n  \
@@ -73,35 +80,63 @@ fn required<'a>(arg: Option<&'a str>, what: &str) -> Result<&'a str, GestError> 
     arg.ok_or_else(|| GestError::Config(format!("missing argument: {what}")))
 }
 
-fn cmd_run(args: &[String]) -> Result<(), GestError> {
-    let mut config_path = None;
-    let mut trace: Option<Option<String>> = None;
-    let mut progress = false;
+/// Flags shared by `gest run` and `gest resume`.
+#[derive(Default)]
+struct SearchFlags {
+    positional: Option<String>,
+    trace: Option<Option<String>>,
+    progress: bool,
+    checkpoint_every: Option<u32>,
+}
+
+fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchFlags, GestError> {
+    let mut flags = SearchFlags::default();
     for arg in args {
         if arg == "--progress" {
-            progress = true;
+            flags.progress = true;
         } else if arg == "--trace" {
-            trace = Some(None);
+            flags.trace = Some(None);
         } else if let Some(path) = arg.strip_prefix("--trace=") {
-            trace = Some(Some(path.to_string()));
+            flags.trace = Some(Some(path.to_string()));
+        } else if let Some(n) = arg.strip_prefix("--checkpoint-every=") {
+            if !allow_checkpoint {
+                return Err(GestError::Config(format!(
+                    "{arg:?} only applies to `gest run` (resume keeps the original interval)"
+                )));
+            }
+            let every: u32 = n.parse().map_err(|_| {
+                GestError::Config(format!("bad checkpoint interval {n:?} (want a number ≥ 1)"))
+            })?;
+            if every == 0 {
+                return Err(GestError::Config(
+                    "checkpoint interval must be at least 1".into(),
+                ));
+            }
+            flags.checkpoint_every = Some(every);
         } else if arg.starts_with("--") {
             return Err(GestError::Config(format!("unknown flag {arg:?}")));
-        } else if config_path.is_none() {
-            config_path = Some(arg.as_str());
+        } else if flags.positional.is_none() {
+            flags.positional = Some(arg.clone());
         } else {
             return Err(GestError::Config(format!("unexpected argument {arg:?}")));
         }
     }
-    let path = required(config_path, "path to config.xml")?;
-    let text = std::fs::read_to_string(path)?;
-    let mut config = GestConfig::from_xml_str(&text)?;
+    Ok(flags)
+}
 
+/// Builds the telemetry sink stack for a search command. `append` keeps an
+/// existing trace (resume); otherwise the trace file is truncated.
+fn build_telemetry(
+    flags: &SearchFlags,
+    default_trace_dir: Option<&Path>,
+    append: bool,
+) -> Result<(Option<Telemetry>, Option<PathBuf>), GestError> {
     let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
     let mut trace_path = None;
-    if let Some(requested) = trace {
+    if let Some(requested) = &flags.trace {
         let path = match requested {
             Some(explicit) => PathBuf::from(explicit),
-            None => config.output_dir.as_ref().map_or_else(
+            None => default_trace_dir.map_or_else(
                 || PathBuf::from("run_trace.jsonl"),
                 |d| d.join("run_trace.jsonl"),
             ),
@@ -111,33 +146,34 @@ fn cmd_run(args: &[String]) -> Result<(), GestError> {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        sinks.push(Arc::new(JsonlSink::create(&path)?));
+        let sink = if append {
+            JsonlSink::append(&path)?
+        } else {
+            JsonlSink::create(&path)?
+        };
+        sinks.push(Arc::new(sink));
         trace_path = Some(path);
     }
-    if progress {
+    if flags.progress {
         sinks.push(Arc::new(ConsoleSink));
     }
-    if !sinks.is_empty() {
+    let telemetry = if sinks.is_empty() {
+        None
+    } else {
         let sink = if sinks.len() == 1 {
             sinks.remove(0)
         } else {
             Arc::new(MultiSink::new(sinks)) as Arc<dyn Sink>
         };
-        config.telemetry = Telemetry::new(sink);
-    }
+        Some(Telemetry::new(sink))
+    };
+    Ok((telemetry, trace_path))
+}
 
-    let generations = config.generations;
-    eprintln!(
-        "machine {}, measurement {}, population {}, loop {}, {} generations",
-        config.machine.name,
-        config.measurement_name,
-        config.ga.population_size,
-        config.ga.individual_size,
-        generations
-    );
-    let output_dir = config.output_dir.clone();
-    let mut run = GestRun::new(config)?;
-    for _ in 0..generations {
+/// Drives a search to completion with per-generation progress lines, then
+/// finishes telemetry and prints the best result.
+fn drive(mut run: GestRun) -> Result<(), GestError> {
+    while !run.is_complete() {
         let population = run.step()?;
         let best = population.best().expect("non-empty population");
         eprintln!(
@@ -148,13 +184,16 @@ fn cmd_run(args: &[String]) -> Result<(), GestError> {
         );
     }
     run.finish();
-    let history = run.history();
-    if let Some(best_ever) = history.best_ever() {
+    if let Some(best_ever) = run.history().best_ever() {
         println!(
             "best fitness: {:.5} (generation {})",
             best_ever.best_fitness, best_ever.generation
         );
     }
+    Ok(())
+}
+
+fn print_artifact_locations(output_dir: Option<&Path>, trace_path: Option<&Path>) {
     if let Some(dir) = output_dir {
         println!("outputs written to {}", dir.display());
     } else {
@@ -166,31 +205,105 @@ fn cmd_run(args: &[String]) -> Result<(), GestError> {
             path.display()
         );
     }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), GestError> {
+    let flags = parse_search_flags(args, true)?;
+    let path = required(flags.positional.as_deref(), "path to config.xml")?;
+    let text = std::fs::read_to_string(path)?;
+    let mut config = GestConfig::from_xml_str(&text)?;
+    if let Some(every) = flags.checkpoint_every {
+        if config.output_dir.is_none() {
+            return Err(GestError::Config(
+                "--checkpoint-every needs an <output dir=...> in the configuration \
+                 (the checkpoint lives next to the population files)"
+                    .into(),
+            ));
+        }
+        config.checkpoint_every = Some(every);
+    }
+    let (telemetry, trace_path) = build_telemetry(&flags, config.output_dir.as_deref(), false)?;
+    if let Some(telemetry) = telemetry {
+        config.telemetry = telemetry;
+    }
+
+    eprintln!(
+        "machine {}, measurement {}, population {}, loop {}, {} generations{}",
+        config.machine.name,
+        config.measurement_name,
+        config.ga.population_size,
+        config.ga.individual_size,
+        config.generations,
+        config.checkpoint_every.map_or_else(String::new, |every| {
+            format!(", checkpoint every {every}")
+        }),
+    );
+    let output_dir = config.output_dir.clone();
+    drive(GestRun::builder().config(config).build()?)?;
+    print_artifact_locations(output_dir.as_deref(), trace_path.as_deref());
     Ok(())
 }
 
-/// Reads every parseable event from a `run_trace.jsonl` file, skipping
-/// lines written by unknown schema versions.
-fn load_trace(path: &str) -> Result<Vec<Event>, GestError> {
+fn cmd_resume(args: &[String]) -> Result<(), GestError> {
+    let flags = parse_search_flags(args, false)?;
+    let dir = PathBuf::from(required(
+        flags.positional.as_deref(),
+        "output directory of the interrupted run",
+    )?);
+    let (telemetry, trace_path) = build_telemetry(&flags, Some(&dir), true)?;
+    let mut builder = GestRun::builder().resume_from(&dir);
+    if let Some(telemetry) = telemetry {
+        builder = builder.telemetry(telemetry);
+    }
+    let run = builder.build()?;
+    eprintln!(
+        "resuming {} at generation {}/{}",
+        dir.display(),
+        run.generation(),
+        run.target_generations()
+    );
+    if run.is_complete() {
+        eprintln!("nothing to do: all generations already completed");
+    }
+    drive(run)?;
+    print_artifact_locations(Some(&dir), trace_path.as_deref());
+    Ok(())
+}
+
+/// Reads every parseable event from a `run_trace.jsonl` file. Returns the
+/// events plus the number of skipped lines (unparseable JSON — e.g. a line
+/// torn by a crash — or events from unknown schema versions).
+fn load_trace(path: &str) -> Result<(Vec<Event>, usize), GestError> {
     let text = std::fs::read_to_string(path)?;
     let mut events = Vec::new();
+    let mut skipped = 0;
     for line in text.lines() {
         if line.trim().is_empty() {
             continue;
         }
         let Ok(value) = Value::parse(line) else {
+            skipped += 1;
             continue;
         };
         if let Some(event) = Event::from_json(&value) {
             events.push(event);
+        } else {
+            skipped += 1;
         }
     }
-    Ok(events)
+    Ok((events, skipped))
 }
 
 fn cmd_report(path: Option<&str>) -> Result<(), GestError> {
     let path = required(path, "path to run_trace.jsonl")?;
-    let events = load_trace(path)?;
+    let (events, skipped) = load_trace(path)?;
+    if skipped > 0 {
+        eprintln!(
+            "warning: skipped {skipped} unparseable line{} in {path:?} \
+             (a crashed run can truncate its final line); reporting on what parsed",
+            if skipped == 1 { "" } else { "s" }
+        );
+    }
     if events.is_empty() {
         return Err(GestError::Config(format!(
             "no telemetry events found in {path:?}"

@@ -38,12 +38,17 @@
 //!     .generations(3)
 //!     .seed(1)
 //!     .build()?;
-//! let summary = GestRun::new(config)?.run()?;
+//! let summary = GestRun::builder().config(config).build()?.run()?;
 //! println!("best power: {:.3} W", summary.best.fitness);
 //! println!("{}", summary.best_program);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Long searches can checkpoint and survive crashes: configure
+//! `checkpoint_every` (or pass `--checkpoint-every=N` to `gest run`) and
+//! restore with [`core::GestRun::resume`] or `gest resume <dir>` — the
+//! resumed search continues bit-identically to an uninterrupted one.
 
 pub use gest_core as core;
 pub use gest_ga as ga;
@@ -55,9 +60,12 @@ pub use gest_xml as xml;
 
 /// Convenience prelude bringing the most-used types into scope.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use gest_core::{fitness_by_name, measurement_by_name};
     pub use gest_core::{
-        fitness_by_name, measurement_by_name, DefaultFitness, Fitness, FitnessContext, GestConfig,
-        GestError, GestRun, Measurement, RunSummary, TempSimplicityFitness,
+        Checkpoint, DefaultFitness, FaultPolicy, Fitness, FitnessContext, FitnessParams,
+        GestConfig, GestError, GestRun, GestRunBuilder, Measurement, Registry, RunSummary,
+        TempSimplicityFitness,
     };
     pub use gest_ga::{CrossoverOp, GaConfig, History, Population, SelectionOp};
     pub use gest_isa::{

@@ -104,6 +104,32 @@ impl JsonlSink {
         })
     }
 
+    /// Opens the trace file at `path` for appending — the resume-friendly
+    /// variant of [`JsonlSink::create`]. If the file exists and its last
+    /// line was cut short by a crash, a guard newline is written first so
+    /// the next event starts on a fresh line (readers then see exactly one
+    /// unparseable line instead of two spliced ones).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening the file.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<JsonlSink> {
+        let path = path.as_ref().to_path_buf();
+        let needs_guard_newline = match std::fs::read(&path) {
+            Ok(bytes) => !bytes.is_empty() && bytes.last() != Some(&b'\n'),
+            Err(_) => false,
+        };
+        let file = File::options().create(true).append(true).open(&path)?;
+        let mut writer = BufWriter::new(file);
+        if needs_guard_newline {
+            writer.write_all(b"\n")?;
+        }
+        Ok(JsonlSink {
+            path,
+            writer: Mutex::new(writer),
+        })
+    }
+
     /// Where the trace is being written.
     pub fn path(&self) -> &Path {
         &self.path
@@ -150,5 +176,52 @@ impl Sink for MultiSink {
         for sink in &self.sinks {
             sink.flush();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(name: &str) -> Event {
+        Event::Point {
+            name: name.to_string(),
+            thread: 0,
+            t_us: 1,
+            fields: vec![],
+        }
+    }
+
+    #[test]
+    fn append_continues_and_repairs_truncated_traces() {
+        let path =
+            std::env::temp_dir().join(format!("gest_jsonl_append_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // Appending to a missing file behaves like create.
+        {
+            let sink = JsonlSink::append(&path).unwrap();
+            sink.event(&point("first"));
+            sink.flush();
+        }
+        // Simulate a crash mid-line: chop the trailing newline and part of
+        // the JSON object.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        {
+            let sink = JsonlSink::append(&path).unwrap();
+            sink.event(&point("second"));
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines.len(),
+            2,
+            "guard newline isolates the torn line: {text:?}"
+        );
+        assert!(lines[0].contains("first") && !lines[0].ends_with('}'));
+        assert!(lines[1].contains("second") && lines[1].ends_with('}'));
+        std::fs::remove_file(&path).unwrap();
     }
 }

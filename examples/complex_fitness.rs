@@ -17,7 +17,7 @@ fn search(fitness: &str, seed: u64) -> Result<RunSummary, GestError> {
         .generations(18)
         .seed(seed)
         .build()?;
-    GestRun::new(config)?.run()
+    GestRun::builder().config(config).build()?.run()
 }
 
 fn main() -> Result<(), GestError> {

@@ -33,7 +33,7 @@ fn main() -> Result<(), GestError> {
         .generations(25)
         .seed(3)
         .build()?;
-    let summary = GestRun::new(config)?.run()?;
+    let summary = GestRun::builder().config(config).build()?.run()?;
     println!(
         "\nGA dI/dt virus: {:.1} mV peak-to-peak",
         summary.best.fitness * 1e3

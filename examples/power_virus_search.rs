@@ -32,7 +32,7 @@ fn main() -> Result<(), GestError> {
         .seed(7)
         .output_dir(&out_dir)
         .build()?;
-    let summary = GestRun::new(config)?.run()?;
+    let summary = GestRun::builder().config(config).build()?.run()?;
 
     println!(
         "\nbest individual: {:.3} W average power",

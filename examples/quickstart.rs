@@ -20,7 +20,7 @@ fn main() -> Result<(), GestError> {
         .generations(12)
         .seed(2024)
         .build()?;
-    let summary = GestRun::new(config)?.run()?;
+    let summary = GestRun::builder().config(config).build()?.run()?;
 
     println!("== convergence (best average power per generation, W) ==");
     for s in summary.history.summaries() {

@@ -24,7 +24,7 @@ fn main() -> Result<(), GestError> {
         config.pool.defs().len(),
         config.pool.total_variations()
     );
-    let summary = GestRun::new(config)?.run()?;
+    let summary = GestRun::builder().config(config).build()?.run()?;
     println!(
         "\nbest fitness after {} generations: {:.4}",
         summary.generations, summary.best.fitness

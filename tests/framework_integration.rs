@@ -27,7 +27,12 @@ fn xml_driven_search_end_to_end() {
           </instructions>
         </gest>"#;
     let config = GestConfig::from_xml_str(xml).unwrap();
-    let summary = GestRun::new(config).unwrap().run().unwrap();
+    let summary = GestRun::builder()
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(summary.generations, 4);
     assert!(summary.best.fitness > 0.0);
     // With only FP and ADD available, the virus must be built from them.
@@ -51,7 +56,12 @@ fn full_workflow_with_outputs_seed_and_stats() {
         .output_dir(&dir)
         .build()
         .unwrap();
-    let summary = GestRun::new(config).unwrap().run().unwrap();
+    let summary = GestRun::builder()
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
 
     // Output layout (paper §III.D).
     assert!(dir.join("config.xml").exists());
@@ -111,7 +121,9 @@ fn measurements_agree_with_direct_simulation() {
     let direct = Simulator::new(machine.clone())
         .run(&workload.program, &run_config)
         .unwrap();
-    let measurement = measurement_by_name("temperature", machine, run_config).unwrap();
+    let measurement = Registry::default()
+        .build_measurement("temperature", machine, run_config)
+        .unwrap();
     let values = measurement.measure(&workload.program).unwrap();
     assert!((values[0] - direct.temperature_c).abs() < 1e-12);
     assert!((values[1] - direct.avg_power_w).abs() < 1e-12);
@@ -133,8 +145,18 @@ fn different_measurements_produce_different_viruses() {
             .build()
             .unwrap()
     };
-    let ipc = GestRun::new(build("ipc")).unwrap().run().unwrap();
-    let power = GestRun::new(build("power")).unwrap().run().unwrap();
+    let ipc = GestRun::builder()
+        .config(build("ipc"))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let power = GestRun::builder()
+        .config(build("power"))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert_ne!(
         ipc.best.genes, power.best.genes,
         "objectives should shape the virus"
@@ -155,7 +177,12 @@ fn template_fixed_code_survives_into_programs() {
         .build()
         .unwrap();
     config.template = template;
-    let summary = GestRun::new(config).unwrap().run().unwrap();
+    let summary = GestRun::builder()
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(summary.best_program.body.len(), 8, "NOP + 6 genes + NOP");
     assert_eq!(summary.best_program.body[0].opcode(), Opcode::Nop);
     assert_eq!(summary.best_program.body[7].opcode(), Opcode::Nop);
@@ -186,7 +213,12 @@ fn sequence_definitions_stay_atomic_through_the_ga() {
         </gest>"#;
     let config = GestConfig::from_xml_str(xml).unwrap();
     let pool = std::sync::Arc::clone(&config.pool);
-    let summary = GestRun::new(config).unwrap().run().unwrap();
+    let summary = GestRun::builder()
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     // Every gene is either a lone ADD or the full triple.
     let triple = pool.def_index("FMA_TRIPLE").unwrap();
     for gene in &summary.best.genes {

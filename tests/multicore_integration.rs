@@ -15,7 +15,13 @@ fn evolved_virus() -> gest::isa::Program {
         .seed(99)
         .build()
         .unwrap();
-    GestRun::new(config).unwrap().run().unwrap().best_program
+    GestRun::builder()
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+        .best_program
 }
 
 #[test]

@@ -15,7 +15,12 @@ fn search(machine: &str, measurement: &str, seed: u64, generations: u32) -> RunS
         .seed(seed)
         .build()
         .unwrap();
-    GestRun::new(config).unwrap().run().unwrap()
+    GestRun::builder()
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
 }
 
 fn measure(machine: MachineConfig, program: &gest::isa::Program) -> RunResult {
@@ -172,7 +177,12 @@ fn complex_fitness_simplifies_without_cooling() {
         .seed(42)
         .build()
         .unwrap();
-    let simple = GestRun::new(config).unwrap().run().unwrap();
+    let simple = GestRun::builder()
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
 
     assert!(
         simple.best_unique_defs() < plain.best_unique_defs(),

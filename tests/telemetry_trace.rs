@@ -25,7 +25,12 @@ fn traced_run_writes_parseable_jsonl_matching_summary() {
         .build()
         .unwrap();
     config.telemetry = Telemetry::new(Arc::new(JsonlSink::create(&trace_path).unwrap()));
-    let summary = GestRun::new(config).unwrap().run().unwrap();
+    let summary = GestRun::builder()
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(summary.generations, generations);
 
     // Every line must parse as JSON and decode as a known event.
