@@ -58,7 +58,22 @@ pub struct GestConfig {
     /// Disabled by default (near-zero overhead); telemetry only observes
     /// the search, so enabling it never changes the evolved result.
     pub telemetry: gest_telemetry::Telemetry,
+    /// Content-addressed evaluation caching: identical candidates (same
+    /// genes, same run configuration) reuse earlier measurements instead
+    /// of re-simulating. Only content-pure measurements are cached, so
+    /// caching never changes the evolved result. Not serialized to XML —
+    /// like `threads`, it is an execution detail, not part of the search's
+    /// identity, and must not perturb checkpoint fingerprints.
+    pub eval_cache: bool,
+    /// Memory cap of the evaluation cache, in bytes (approximate; counts
+    /// entry payloads and bookkeeping). Least-recently-used entries are
+    /// evicted past the cap.
+    pub eval_cache_bytes: usize,
 }
+
+/// Default evaluation-cache memory cap: 64 MiB holds hundreds of
+/// thousands of cached measurements — far more than a typical search.
+pub(crate) const DEFAULT_EVAL_CACHE_BYTES: usize = 64 << 20;
 
 impl GestConfig {
     /// Starts a builder targeting a preset machine by name
@@ -255,6 +270,8 @@ pub struct GestConfigBuilder {
     whole_instruction_mutation_prob: f64,
     fitness_override: Option<std::sync::Arc<dyn crate::Fitness>>,
     telemetry: gest_telemetry::Telemetry,
+    eval_cache: bool,
+    eval_cache_bytes: usize,
 }
 
 impl GestConfigBuilder {
@@ -278,7 +295,22 @@ impl GestConfigBuilder {
             whole_instruction_mutation_prob: 0.5,
             fitness_override: None,
             telemetry: gest_telemetry::Telemetry::disabled(),
+            eval_cache: true,
+            eval_cache_bytes: DEFAULT_EVAL_CACHE_BYTES,
         }
+    }
+
+    /// Enables or disables the content-addressed evaluation cache
+    /// (enabled by default).
+    pub fn eval_cache(mut self, on: bool) -> Self {
+        self.eval_cache = on;
+        self
+    }
+
+    /// Sets the evaluation cache's approximate memory cap in bytes.
+    pub fn eval_cache_bytes(mut self, bytes: usize) -> Self {
+        self.eval_cache_bytes = bytes;
+        self
     }
 
     /// Installs an observability handle; the run reports spans, progress
@@ -503,6 +535,8 @@ impl GestConfigBuilder {
             whole_instruction_mutation_prob: self.whole_instruction_mutation_prob,
             fitness_override: self.fitness_override,
             telemetry: self.telemetry,
+            eval_cache: self.eval_cache,
+            eval_cache_bytes: self.eval_cache_bytes,
         })
     }
 }

@@ -1,0 +1,534 @@
+//! Content-addressed evaluation cache.
+//!
+//! GA populations are full of repeated programs: elites survive
+//! generations unchanged, crossover recombines identical gene runs, and a
+//! converged search measures near-duplicates constantly. Since the shipped
+//! measurements are pure functions of program content (see
+//! [`crate::Measurement::content_pure`]), re-simulating an
+//! already-measured program is pure waste. This cache keys results by
+//! `(configuration fingerprint, canonical gene hash)` and hands back the
+//! exact measurement vector — bit-identical to a fresh simulation — on a
+//! hit.
+//!
+//! Determinism: a hit returns the same bits a miss would recompute, so
+//! cache size, eviction order, and thread scheduling can never change the
+//! evolved result — they only change how much work is saved.
+//!
+//! The cache persists across crash/resume as an `evalcache.bin` sidecar
+//! written alongside the checkpoint manifest (same atomic tmp+rename
+//! discipline). The sidecar is an optimization, not state: a missing,
+//! stale, or corrupt sidecar simply starts the cache cold.
+
+use crate::error::GestError;
+use crate::output::atomic_write;
+use gest_isa::codec::{Decoder, Encoder};
+use gest_isa::Gene;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Magic bytes identifying an evaluation-cache sidecar.
+const MAGIC: &[u8; 8] = b"GESTEVC1";
+
+/// Current sidecar format version.
+const VERSION: u32 = 1;
+
+/// File name of the sidecar inside a run's output directory.
+pub const EVAL_CACHE_FILE: &str = "evalcache.bin";
+
+/// Canonical content hash of an individual's genes: 128-bit FNV-1a over
+/// the same codec encoding population files use, so two individuals hash
+/// equal exactly when they would be saved byte-identically.
+pub fn genes_hash(genes: &[Gene]) -> u128 {
+    let mut enc = Encoder::new();
+    enc.varint(genes.len() as u64);
+    for gene in genes {
+        enc.varint(gene.def_index as u64);
+        enc.instructions(&gene.instrs);
+    }
+    gest_ga::canonical_hash_bytes(&enc.into_bytes())
+}
+
+/// Cache key: which search configuration measured which program content.
+///
+/// The configuration fingerprint (see [`crate::config_fingerprint`])
+/// covers the machine model, run budgets, measurement name, template, and
+/// instruction pool — everything that could change a measurement besides
+/// the genes themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EvalKey {
+    /// FNV-1a 64 of the run's canonical `config.xml` rendering.
+    pub config_fp: u64,
+    /// Canonical gene-content hash ([`genes_hash`]).
+    pub genes_hash: u128,
+}
+
+/// A cached evaluation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedEval {
+    /// The measurement vector, in metric order.
+    pub measurements: Vec<f64>,
+    /// The simulator's full stat export (`RunResult::metric_kv`) when the
+    /// measurement provided detail; replayed into telemetry histograms on
+    /// a hit so observability is independent of hit rate. Dropped by the
+    /// on-disk sidecar (restored entries report `None`).
+    pub detail_kv: Option<Vec<(&'static str, f64)>>,
+}
+
+impl CachedEval {
+    /// Approximate heap footprint, for the memory cap.
+    fn payload_bytes(&self) -> usize {
+        self.measurements.len() * 8
+            + self
+                .detail_kv
+                .as_ref()
+                .map_or(0, |kv| kv.len() * (8 + std::mem::size_of::<&str>()))
+    }
+}
+
+/// Point-in-time counters of an [`EvalCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalCacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries stored (including overwrites of identical keys).
+    pub inserts: u64,
+    /// Entries evicted by the memory cap.
+    pub evictions: u64,
+    /// Approximate bytes currently held.
+    pub bytes: usize,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+impl EvalCacheStats {
+    /// Hit rate in `[0, 1]`; 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Fixed per-entry bookkeeping charged against the cap on top of the
+/// payload (key, slab node, map slot).
+const ENTRY_OVERHEAD: usize = 96;
+
+const NIL: usize = usize::MAX;
+
+/// One slab cell of the intrusive LRU list.
+#[derive(Debug)]
+struct Node {
+    key: EvalKey,
+    value: CachedEval,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// Map + slab-backed doubly-linked LRU list.
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<EvalKey, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    /// Most recently used, or `NIL` when empty.
+    head: usize,
+    /// Least recently used, or `NIL` when empty.
+    tail: usize,
+    bytes: usize,
+}
+
+impl Inner {
+    fn new() -> Inner {
+        Inner {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+        }
+    }
+
+    fn unlink(&mut self, index: usize) {
+        let (prev, next) = (self.nodes[index].prev, self.nodes[index].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, index: usize) {
+        self.nodes[index].prev = NIL;
+        self.nodes[index].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = index;
+        }
+        self.head = index;
+        if self.tail == NIL {
+            self.tail = index;
+        }
+    }
+
+    fn touch(&mut self, index: usize) {
+        if self.head != index {
+            self.unlink(index);
+            self.push_front(index);
+        }
+    }
+}
+
+/// Thread-safe, LRU-bounded, content-addressed result cache.
+///
+/// # Examples
+///
+/// ```
+/// use gest_core::{CachedEval, EvalCache, EvalKey};
+/// let cache = EvalCache::new(1 << 20, 7);
+/// let key = EvalKey { config_fp: 7, genes_hash: 42 };
+/// assert!(cache.get(&key).is_none());
+/// cache.insert(
+///     key,
+///     CachedEval { measurements: vec![1.5, 2.5], detail_kv: None },
+/// );
+/// assert_eq!(cache.get(&key).unwrap().measurements, vec![1.5, 2.5]);
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct EvalCache {
+    inner: Mutex<Inner>,
+    max_bytes: usize,
+    config_fp: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl EvalCache {
+    /// Creates an empty cache capped at roughly `max_bytes` of payload,
+    /// bound to one configuration fingerprint (used when persisting).
+    pub fn new(max_bytes: usize, config_fp: u64) -> EvalCache {
+        EvalCache {
+            inner: Mutex::new(Inner::new()),
+            max_bytes,
+            config_fp,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration fingerprint this cache is bound to. Results are
+    /// only valid for runs whose configuration hashes to the same value.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fp
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&self, key: &EvalKey) -> Option<CachedEval> {
+        let mut inner = self.inner.lock().expect("eval cache lock");
+        match inner.map.get(key).copied() {
+            Some(index) => {
+                inner.touch(index);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(inner.nodes[index].value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a result, evicting least-recently-used entries past the
+    /// memory cap. Re-inserting an existing key replaces its value (the
+    /// values are identical in practice — measurements are content-pure).
+    pub fn insert(&self, key: EvalKey, value: CachedEval) {
+        let bytes = value.payload_bytes() + ENTRY_OVERHEAD;
+        let mut inner = self.inner.lock().expect("eval cache lock");
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if let Some(index) = inner.map.get(&key).copied() {
+            inner.bytes = inner.bytes - inner.nodes[index].bytes + bytes;
+            inner.nodes[index].value = value;
+            inner.nodes[index].bytes = bytes;
+            inner.touch(index);
+        } else {
+            let index = match inner.free.pop() {
+                Some(index) => {
+                    inner.nodes[index] = Node {
+                        key,
+                        value,
+                        bytes,
+                        prev: NIL,
+                        next: NIL,
+                    };
+                    index
+                }
+                None => {
+                    inner.nodes.push(Node {
+                        key,
+                        value,
+                        bytes,
+                        prev: NIL,
+                        next: NIL,
+                    });
+                    inner.nodes.len() - 1
+                }
+            };
+            inner.push_front(index);
+            inner.map.insert(key, index);
+            inner.bytes += bytes;
+        }
+        while inner.bytes > self.max_bytes && inner.map.len() > 1 {
+            let victim = inner.tail;
+            inner.unlink(victim);
+            let victim_key = inner.nodes[victim].key;
+            inner.map.remove(&victim_key);
+            inner.bytes -= inner.nodes[victim].bytes;
+            inner.nodes[victim].value = CachedEval {
+                measurements: Vec::new(),
+                detail_kv: None,
+            };
+            inner.free.push(victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> EvalCacheStats {
+        let inner = self.inner.lock().expect("eval cache lock");
+        EvalCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes: inner.bytes,
+            entries: inner.map.len(),
+        }
+    }
+
+    /// Serializes the entries (least recent first, so loading restores
+    /// recency order). Detail key/value exports are dropped: they hold
+    /// `&'static str` keys that cannot be restored from disk, and only
+    /// telemetry consumes them.
+    pub fn encode(&self) -> Vec<u8> {
+        let inner = self.inner.lock().expect("eval cache lock");
+        let mut enc = Encoder::new();
+        enc.bytes(MAGIC);
+        enc.u32(VERSION);
+        enc.u64(self.config_fp);
+        enc.varint(inner.map.len() as u64);
+        let mut index = inner.tail;
+        while index != NIL {
+            let node = &inner.nodes[index];
+            enc.u64((node.key.genes_hash >> 64) as u64);
+            enc.u64(node.key.genes_hash as u64);
+            enc.varint(node.value.measurements.len() as u64);
+            for &m in &node.value.measurements {
+                enc.f64(m);
+            }
+            index = node.prev;
+        }
+        enc.into_bytes()
+    }
+
+    /// Writes the sidecar atomically into `dir` as [`EVAL_CACHE_FILE`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn save(&self, dir: &Path) -> Result<(), GestError> {
+        atomic_write(&dir.join(EVAL_CACHE_FILE), &self.encode())?;
+        Ok(())
+    }
+
+    /// Loads a sidecar from `dir` into a fresh cache. Missing, corrupt,
+    /// truncated, or fingerprint-mismatched sidecars yield an empty cache
+    /// — the sidecar is an optimization, never required state.
+    pub fn load(dir: &Path, config_fp: u64, max_bytes: usize) -> EvalCache {
+        let cache = EvalCache::new(max_bytes, config_fp);
+        let Ok(bytes) = std::fs::read(dir.join(EVAL_CACHE_FILE)) else {
+            return cache;
+        };
+        let mut dec = Decoder::new(&bytes);
+        let ok = (|| -> Result<(), gest_isa::CodecError> {
+            if dec.bytes()? != MAGIC || dec.u32()? != VERSION || dec.u64()? != config_fp {
+                return Err(gest_isa::CodecError::Invalid("stale sidecar".into()));
+            }
+            let count = dec.varint()?;
+            for _ in 0..count {
+                let hi = dec.u64()?;
+                let lo = dec.u64()?;
+                let n = dec.varint()?;
+                let mut measurements = Vec::with_capacity(n.min(1 << 10) as usize);
+                for _ in 0..n {
+                    measurements.push(dec.f64()?);
+                }
+                cache.insert(
+                    EvalKey {
+                        config_fp,
+                        genes_hash: (u128::from(hi) << 64) | u128::from(lo),
+                    },
+                    CachedEval {
+                        measurements,
+                        detail_kv: None,
+                    },
+                );
+            }
+            Ok(())
+        })();
+        if ok.is_err() {
+            return EvalCache::new(max_bytes, config_fp);
+        }
+        // Loading went through insert: reset the counters it inflated.
+        cache.inserts.store(0, Ordering::Relaxed);
+        cache.misses.store(0, Ordering::Relaxed);
+        cache.hits.store(0, Ordering::Relaxed);
+        cache.evictions.store(0, Ordering::Relaxed);
+        cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(h: u128) -> EvalKey {
+        EvalKey {
+            config_fp: 99,
+            genes_hash: h,
+        }
+    }
+
+    fn value(seed: f64) -> CachedEval {
+        CachedEval {
+            measurements: vec![seed, seed * 2.0, seed * 3.0],
+            detail_kv: Some(vec![("ipc", seed)]),
+        }
+    }
+
+    #[test]
+    fn hit_returns_exact_bits() {
+        let cache = EvalCache::new(1 << 20, 99);
+        let v = CachedEval {
+            measurements: vec![0.1 + 0.2, f64::MIN_POSITIVE, -0.0],
+            detail_kv: None,
+        };
+        cache.insert(key(1), v.clone());
+        let out = cache.get(&key(1)).unwrap();
+        assert_eq!(
+            out.measurements
+                .iter()
+                .map(|m| m.to_bits())
+                .collect::<Vec<_>>(),
+            v.measurements
+                .iter()
+                .map(|m| m.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn lru_evicts_oldest_under_pressure() {
+        // Three entries of 144 bytes each; cap at two of them.
+        let cache = EvalCache::new(300, 99);
+        cache.insert(key(1), value(1.0));
+        cache.insert(key(2), value(2.0));
+        let _ = cache.get(&key(1)); // refresh 1; 2 becomes LRU
+        cache.insert(key(3), value(3.0));
+        assert!(cache.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= 300);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_growth() {
+        let cache = EvalCache::new(1 << 20, 99);
+        cache.insert(key(5), value(1.0));
+        let before = cache.stats().bytes;
+        cache.insert(key(5), value(2.0));
+        assert_eq!(cache.stats().bytes, before);
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.get(&key(5)).unwrap().measurements[0], 2.0);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let cache = EvalCache::new(1 << 20, 99);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), value(1.0));
+        assert!(cache.get(&key(1)).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(EvalCacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn sidecar_round_trips_and_rejects_mismatches() {
+        let dir = std::env::temp_dir().join(format!("gest_evc_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let cache = EvalCache::new(1 << 20, 99);
+        cache.insert(key(1), value(1.0));
+        cache.insert(key(2), value(2.0));
+        cache.save(&dir).unwrap();
+
+        let restored = EvalCache::load(&dir, 99, 1 << 20);
+        let out = restored.get(&key(2)).unwrap();
+        assert_eq!(out.measurements, value(2.0).measurements);
+        assert!(out.detail_kv.is_none(), "detail is not persisted");
+        assert_eq!(restored.stats().entries, 2);
+        assert_eq!(restored.stats().inserts, 0, "loading is not inserting");
+
+        // Another fingerprint ignores the sidecar.
+        assert_eq!(EvalCache::load(&dir, 100, 1 << 20).stats().entries, 0);
+        // Corruption degrades to an empty cache, never an error.
+        std::fs::write(dir.join(EVAL_CACHE_FILE), b"garbage").unwrap();
+        assert_eq!(EvalCache::load(&dir, 99, 1 << 20).stats().entries, 0);
+        // Missing file likewise.
+        std::fs::remove_file(dir.join(EVAL_CACHE_FILE)).unwrap();
+        assert_eq!(EvalCache::load(&dir, 99, 1 << 20).stats().entries, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn genes_hash_is_content_addressed() {
+        let genes_a = vec![gest_isa::Gene {
+            def_index: 0,
+            instrs: gest_isa::asm::parse_block("ADD x1, x2, x3").unwrap(),
+        }];
+        let genes_b = vec![gest_isa::Gene {
+            def_index: 0,
+            instrs: gest_isa::asm::parse_block("ADD x1, x2, x4").unwrap(),
+        }];
+        assert_eq!(genes_hash(&genes_a), genes_hash(&genes_a.clone()));
+        assert_ne!(genes_hash(&genes_a), genes_hash(&genes_b));
+        let different_def = vec![gest_isa::Gene {
+            def_index: 1,
+            ..genes_a[0].clone()
+        }];
+        assert_ne!(genes_hash(&genes_a), genes_hash(&different_def));
+    }
+}

@@ -53,6 +53,7 @@
 pub mod checkpoint;
 mod config;
 mod error;
+mod evalcache;
 mod fault;
 mod fitness;
 mod genetics;
@@ -66,6 +67,7 @@ pub mod stats;
 pub use checkpoint::{config_fingerprint, Checkpoint, CHECKPOINT_FILE, CHECKPOINT_VERSION};
 pub use config::{GestConfig, GestConfigBuilder};
 pub use error::GestError;
+pub use evalcache::{genes_hash, CachedEval, EvalCache, EvalCacheStats, EvalKey, EVAL_CACHE_FILE};
 pub use fault::{FaultPolicy, QUARANTINE_FITNESS};
 #[allow(deprecated)]
 pub use fitness::fitness_by_name;
@@ -76,8 +78,8 @@ pub use genetics::PoolGenetics;
 #[allow(deprecated)]
 pub use measurement::measurement_by_name;
 pub use measurement::{
-    CacheMissMeasurement, IpcMeasurement, Measurement, NoisyMeasurement, PowerMeasurement,
-    TemperatureMeasurement, VoltageNoiseMeasurement,
+    sim_fast_path_stats, CacheMissMeasurement, IpcMeasurement, Measurement, NoisyMeasurement,
+    PowerMeasurement, SimFastPathStats, TemperatureMeasurement, VoltageNoiseMeasurement,
 };
 pub use output::{OutputWriter, SavedIndividual, SavedPopulation};
 pub use pools::{didt_pool, full_pool, ipc_pool, llc_pool, power_pool};

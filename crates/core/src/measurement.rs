@@ -12,6 +12,7 @@ use crate::error::GestError;
 use gest_isa::Program;
 use gest_sim::{MachineConfig, RunConfig, RunResult, Simulator};
 use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A measurement procedure: run a program, return metric values.
@@ -48,6 +49,16 @@ pub trait Measurement: Send + Sync + Debug {
     ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
         Ok((self.measure(program)?, None))
     }
+
+    /// Whether the measured values are a pure function of the program's
+    /// *content* (its instructions and template), independent of the
+    /// program name, wall-clock time, or any other ambient state. Only
+    /// content-pure measurements are eligible for the runner's evaluation
+    /// cache; the conservative default keeps custom measurements uncached
+    /// until they opt in.
+    fn content_pure(&self) -> bool {
+        false
+    }
 }
 
 /// Shared plumbing: a simulator plus run parameters.
@@ -57,9 +68,64 @@ struct SimBacked {
     run_config: RunConfig,
 }
 
+thread_local! {
+    /// One reusable simulator scratch per evaluation thread: decode
+    /// buffers, the per-cycle energy waveform, and steady-state detector
+    /// storage survive across the many programs a GA worker measures.
+    static SIM_SCRATCH: std::cell::RefCell<gest_sim::SimScratch> =
+        std::cell::RefCell::new(gest_sim::SimScratch::new());
+}
+
+// Process-wide fast-path counters, drained from the thread-local scratch
+// after every run (the scratch dies with its worker thread, so per-thread
+// counters alone cannot be read after an evaluation pool winds down).
+static SIM_RUNS: AtomicU64 = AtomicU64::new(0);
+static SIM_STEADY_HITS: AtomicU64 = AtomicU64::new(0);
+static SIM_EXTRAPOLATED_ITERATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide counters of the simulator's steady-state fast path across
+/// every sim-backed measurement in this process (see
+/// [`gest_sim::SimScratch`]). Monotonic; sample before and after a run and
+/// difference to scope them, as `gest bench` does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimFastPathStats {
+    /// Simulator runs performed.
+    pub runs: u64,
+    /// Runs in which the steady-state detector fired.
+    pub steady_hits: u64,
+    /// Loop iterations synthesized analytically instead of executed.
+    pub extrapolated_iterations: u64,
+}
+
+/// Samples the process-wide [`SimFastPathStats`].
+pub fn sim_fast_path_stats() -> SimFastPathStats {
+    SimFastPathStats {
+        runs: SIM_RUNS.load(Ordering::Relaxed),
+        steady_hits: SIM_STEADY_HITS.load(Ordering::Relaxed),
+        extrapolated_iterations: SIM_EXTRAPOLATED_ITERATIONS.load(Ordering::Relaxed),
+    }
+}
+
 impl SimBacked {
     fn run(&self, program: &Program) -> Result<RunResult, GestError> {
-        Ok(self.simulator.run(program, &self.run_config)?)
+        SIM_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let before = (
+                scratch.runs,
+                scratch.steady_hits,
+                scratch.extrapolated_iterations,
+            );
+            let result =
+                self.simulator
+                    .run_with_scratch(program, &self.run_config, &mut scratch)?;
+            SIM_RUNS.fetch_add(scratch.runs - before.0, Ordering::Relaxed);
+            SIM_STEADY_HITS.fetch_add(scratch.steady_hits - before.1, Ordering::Relaxed);
+            SIM_EXTRAPOLATED_ITERATIONS.fetch_add(
+                scratch.extrapolated_iterations - before.2,
+                Ordering::Relaxed,
+            );
+            Ok(result)
+        })
     }
 }
 
@@ -82,6 +148,10 @@ impl PowerMeasurement {
 impl Measurement for PowerMeasurement {
     fn name(&self) -> &'static str {
         "power"
+    }
+
+    fn content_pure(&self) -> bool {
+        true
     }
 
     fn metrics(&self) -> &'static [&'static str] {
@@ -126,6 +196,10 @@ impl Measurement for TemperatureMeasurement {
         "temperature"
     }
 
+    fn content_pure(&self) -> bool {
+        true
+    }
+
     fn metrics(&self) -> &'static [&'static str] {
         &["temperature_c", "avg_power_w", "ipc"]
     }
@@ -165,6 +239,10 @@ impl IpcMeasurement {
 impl Measurement for IpcMeasurement {
     fn name(&self) -> &'static str {
         "ipc"
+    }
+
+    fn content_pure(&self) -> bool {
+        true
     }
 
     fn metrics(&self) -> &'static [&'static str] {
@@ -222,6 +300,10 @@ impl Measurement for VoltageNoiseMeasurement {
         "voltage_noise"
     }
 
+    fn content_pure(&self) -> bool {
+        true
+    }
+
     fn metrics(&self) -> &'static [&'static str] {
         &["peak_to_peak_v", "max_droop_v", "avg_power_w"]
     }
@@ -267,6 +349,10 @@ impl CacheMissMeasurement {
 impl Measurement for CacheMissMeasurement {
     fn name(&self) -> &'static str {
         "cache_miss"
+    }
+
+    fn content_pure(&self) -> bool {
+        true
     }
 
     fn metrics(&self) -> &'static [&'static str] {

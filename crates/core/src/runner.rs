@@ -4,6 +4,7 @@
 use crate::checkpoint::{config_fingerprint, Checkpoint};
 use crate::config::GestConfig;
 use crate::error::GestError;
+use crate::evalcache::{genes_hash, CachedEval, EvalCache, EvalCacheStats, EvalKey};
 use crate::fault::QUARANTINE_FITNESS;
 use crate::fitness::{Fitness, FitnessContext};
 use crate::genetics::PoolGenetics;
@@ -16,7 +17,7 @@ use gest_telemetry::{Buckets, SpanGuard, Telemetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Latency buckets for `eval.latency_us`: 100µs up to 100s, one decade
@@ -94,6 +95,9 @@ pub struct GestRun {
     telemetry: Telemetry,
     /// Open for the whole search; closed by [`GestRun::finish`].
     run_span: Option<SpanGuard>,
+    /// Content-addressed result cache; `None` when disabled by
+    /// configuration or when the measurement is not content-pure.
+    eval_cache: Option<Arc<EvalCache>>,
 }
 
 /// Builder for [`GestRun`] — the typed replacement for the old
@@ -126,6 +130,8 @@ pub struct GestRunBuilder {
     measurement: Option<Arc<dyn Measurement>>,
     registry: Option<Registry>,
     telemetry: Option<Telemetry>,
+    eval_cache: Option<bool>,
+    eval_cache_handle: Option<Arc<EvalCache>>,
 }
 
 impl GestRunBuilder {
@@ -169,6 +175,29 @@ impl GestRunBuilder {
         self
     }
 
+    /// Forces the evaluation cache on or off, overriding
+    /// [`GestConfig::eval_cache`] — needed for resumed runs, whose
+    /// configuration is read back from `config.xml` (which does not carry
+    /// execution details), and for the CLI's `--no-eval-cache` flag.
+    pub fn eval_cache(mut self, on: bool) -> Self {
+        self.eval_cache = Some(on);
+        self
+    }
+
+    /// Shares a pre-built evaluation cache with this run instead of
+    /// starting cold — the way to amortize evaluation work across several
+    /// runs of the same configuration (repeated continuation segments,
+    /// re-running a converged search, `gest bench`). The handle is used
+    /// only when its configuration fingerprint matches this run's and the
+    /// cache is otherwise enabled; a mismatched or superfluous handle is
+    /// ignored and the run starts cold as usual. Content-addressing makes
+    /// the sharing safe: a hit is bit-identical to a fresh evaluation by
+    /// construction.
+    pub fn eval_cache_handle(mut self, cache: Arc<EvalCache>) -> Self {
+        self.eval_cache_handle = Some(cache);
+        self
+    }
+
     /// Builds the run: resolves plug-ins, prepares the GA engine, opens
     /// the output directory, and — when resuming — restores engine,
     /// history, best individual, and current population from the
@@ -193,6 +222,9 @@ impl GestRunBuilder {
                 if let Some(telemetry) = self.telemetry {
                     config.telemetry = telemetry;
                 }
+                if let Some(on) = self.eval_cache {
+                    config.eval_cache = on;
+                }
                 let fingerprint = config_fingerprint(&config.to_xml().to_string());
                 let measurement = match self.measurement {
                     Some(measurement) => measurement,
@@ -202,7 +234,14 @@ impl GestRunBuilder {
                         config.run_config,
                     )?,
                 };
-                GestRun::assemble(config, fingerprint, measurement, &registry, None)
+                GestRun::assemble(
+                    config,
+                    fingerprint,
+                    measurement,
+                    &registry,
+                    None,
+                    self.eval_cache_handle,
+                )
             }
             (None, Some(dir)) => {
                 // Checkpoint first: its absence has the most actionable
@@ -212,6 +251,9 @@ impl GestRunBuilder {
                 let mut config = GestConfig::from_xml_str(&raw)?;
                 if let Some(telemetry) = self.telemetry {
                     config.telemetry = telemetry;
+                }
+                if let Some(on) = self.eval_cache {
+                    config.eval_cache = on;
                 }
                 let fingerprint = config_fingerprint(&raw);
                 if checkpoint.config_fingerprint != fingerprint {
@@ -259,6 +301,7 @@ impl GestRunBuilder {
                         checkpoint,
                         population,
                     }),
+                    self.eval_cache_handle,
                 )
             }
         }
@@ -332,6 +375,7 @@ impl GestRun {
         measurement: Arc<dyn Measurement>,
         registry: &Registry,
         resume: Option<ResumeState>,
+        shared_cache: Option<Arc<EvalCache>>,
     ) -> Result<GestRun, GestError> {
         // Equation-1 parameters: idle temperature = steady state under
         // static power alone; max = TJMAX (overridable via
@@ -373,6 +417,25 @@ impl GestRun {
                 ("resumed_from", u64::from(resumed_from.unwrap_or(0)).into()),
             ],
         ));
+        // Cache only content-pure measurements: their results depend
+        // solely on program content, so a hit is bit-identical to a fresh
+        // run. A caller-shared handle with a matching fingerprint is used
+        // as-is (already warm); otherwise, on resume the sidecar written
+        // by the last checkpoint warms the cache back up (best-effort — a
+        // missing or stale sidecar just starts cold).
+        let eval_cache = if config.eval_cache && measurement.content_pure() {
+            Some(match shared_cache {
+                Some(cache) if cache.config_fingerprint() == fingerprint => cache,
+                _ => Arc::new(match &resume {
+                    Some(state) => {
+                        EvalCache::load(&state.dir, fingerprint, config.eval_cache_bytes)
+                    }
+                    None => EvalCache::new(config.eval_cache_bytes, fingerprint),
+                }),
+            })
+        } else {
+            None
+        };
         let (history, current, best, generation) = match resume {
             None => (History::new(), None, None, 0),
             Some(state) => {
@@ -406,7 +469,15 @@ impl GestRun {
             generation,
             telemetry,
             run_span,
+            eval_cache,
         })
+    }
+
+    /// Point-in-time counters of the evaluation cache, or `None` when the
+    /// cache is disabled (configuration, `--no-eval-cache`, or a
+    /// measurement that is not content-pure).
+    pub fn eval_cache_stats(&self) -> Option<EvalCacheStats> {
+        self.eval_cache.as_ref().map(|cache| cache.stats())
     }
 
     /// The convergence history so far.
@@ -557,6 +628,9 @@ impl GestRun {
             }),
         };
         checkpoint.save(writer.dir())?;
+        if let Some(cache) = &self.eval_cache {
+            cache.save(writer.dir())?;
+        }
         self.telemetry.add_counter("checkpoint.writes", 1);
         Ok(())
     }
@@ -612,6 +686,18 @@ impl GestRun {
             if let Some(best) = &self.best {
                 self.telemetry.set_gauge("run.best_fitness", best.fitness);
             }
+            if let Some(stats) = self.eval_cache_stats() {
+                self.telemetry.add_counter("evalcache.hits", stats.hits);
+                self.telemetry.add_counter("evalcache.misses", stats.misses);
+                self.telemetry
+                    .add_counter("evalcache.inserts", stats.inserts);
+                self.telemetry
+                    .add_counter("evalcache.evictions", stats.evictions);
+                self.telemetry
+                    .set_gauge("evalcache.bytes", stats.bytes as f64);
+                self.telemetry
+                    .set_gauge("evalcache.entries", stats.entries as f64);
+            }
         }
         drop(run_span);
         self.telemetry.finish();
@@ -651,8 +737,11 @@ impl GestRun {
         );
         let eval_id = eval_span.id();
 
-        type Slot = Mutex<Option<Result<Evaluated<Gene>, GestError>>>;
-        let results: Vec<Slot> = candidates.iter().map(|_| Mutex::new(None)).collect();
+        // Write-once result slots: each index is claimed by exactly one
+        // worker through the cursor, so OnceLock needs no locking on the
+        // hot path.
+        type Slot = OnceLock<Result<Evaluated<Gene>, GestError>>;
+        let results: Vec<Slot> = candidates.iter().map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         let candidates_ref = &candidates;
         let results_ref = &results;
@@ -666,9 +755,9 @@ impl GestRun {
                         break;
                     };
                     let outcome = self.evaluate_candidate(generation, candidate, worker, eval_id);
-                    *results_ref[index]
-                        .lock()
-                        .expect("result slot is not poisoned") = Some(outcome);
+                    if results_ref[index].set(outcome).is_err() {
+                        unreachable!("the cursor hands each slot to exactly one worker");
+                    }
                 });
             }
         });
@@ -676,11 +765,7 @@ impl GestRun {
         drop(eval_span);
         let mut individuals = Vec::with_capacity(candidates.len());
         for slot in results {
-            match slot
-                .into_inner()
-                .expect("result slot is not poisoned")
-                .expect("every candidate was evaluated")
-            {
+            match slot.into_inner().expect("every candidate was evaluated") {
                 Ok(evaluated) => individuals.push(evaluated),
                 Err(e) => return Err(e),
             }
@@ -794,6 +879,40 @@ impl GestRun {
         generation: u32,
         candidate: &Candidate<Gene>,
     ) -> Result<Evaluated<Gene>, GestError> {
+        // Content-addressed fast path: keyed by what the candidate *is*
+        // (canonical gene bytes), not which generation/id it carries, so
+        // elites and re-bred duplicates skip simulation entirely. Fitness
+        // is always recomputed — it can depend on gene structure and the
+        // pool, which the key does not cover.
+        let key = self.eval_cache.as_ref().map(|_| EvalKey {
+            config_fp: self.config_fingerprint,
+            genes_hash: genes_hash(&candidate.genes),
+        });
+        if let (Some(cache), Some(key)) = (&self.eval_cache, &key) {
+            if let Some(cached) = cache.get(key) {
+                if self.telemetry.is_enabled() {
+                    if let Some(kv) = &cached.detail_kv {
+                        let buckets = sim_buckets();
+                        for &(stat, value) in kv {
+                            self.telemetry
+                                .record(&format!("sim.{stat}"), &buckets, value);
+                        }
+                    }
+                }
+                let fitness = self.fitness.fitness(&FitnessContext {
+                    measurements: &cached.measurements,
+                    genes: &candidate.genes,
+                    pool: &self.config.pool,
+                });
+                return Ok(Evaluated {
+                    id: candidate.id,
+                    parents: candidate.parents,
+                    genes: candidate.genes.clone(),
+                    fitness,
+                    measurements: cached.measurements,
+                });
+            }
+        }
         let program = self.materialize(&format!("{generation}_{}", candidate.id), &candidate.genes);
         let (measurements, detail) = self.measurement.measure_detailed(&program)?;
         if self.telemetry.is_enabled() {
@@ -804,6 +923,15 @@ impl GestRun {
                         .record(&format!("sim.{key}"), &buckets, value);
                 }
             }
+        }
+        if let (Some(cache), Some(key)) = (&self.eval_cache, key) {
+            cache.insert(
+                key,
+                CachedEval {
+                    measurements: measurements.clone(),
+                    detail_kv: detail.as_ref().map(|result| result.metric_kv()),
+                },
+            );
         }
         let fitness = self.fitness.fitness(&FitnessContext {
             measurements: &measurements,
@@ -1182,6 +1310,95 @@ mod tests {
         };
         assert_eq!(gauge("run.generations"), Some(3.0));
         assert_eq!(gauge("run.best_fitness"), Some(traced.best.fitness));
+    }
+
+    #[test]
+    fn eval_cache_hits_on_elites_without_changing_the_search() {
+        // Cache on (the default): elites re-enter later generations with
+        // identical genes and must be served from the cache.
+        let mut run = build_run(tiny_config("cortex-a15", "power"));
+        while !run.is_complete() {
+            run.step().unwrap();
+        }
+        let stats = run.eval_cache_stats().expect("cache is on by default");
+        assert!(stats.hits >= 2, "elite re-evaluations must hit: {stats:?}");
+        assert_eq!(stats.hits + stats.misses, 18, "6 candidates x 3 gens");
+        assert_eq!(stats.inserts, stats.misses);
+        assert!(stats.entries > 0 && stats.bytes > 0);
+        run.finish();
+
+        // The search result is bit-identical with the cache off.
+        let on = build_run(tiny_config("cortex-a15", "power")).run().unwrap();
+        let off = GestRun::builder()
+            .config(tiny_config("cortex-a15", "power"))
+            .eval_cache(false)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(on.best.genes, off.best.genes);
+        assert_eq!(on.best.fitness.to_bits(), off.best.fitness.to_bits());
+        assert_eq!(
+            on.best
+                .measurements
+                .iter()
+                .map(|m| m.to_bits())
+                .collect::<Vec<_>>(),
+            off.best
+                .measurements
+                .iter()
+                .map(|m| m.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn eval_cache_disabled_for_impure_measurements_and_by_flag() {
+        let run = GestRun::builder()
+            .config(tiny_config("cortex-a7", "power"))
+            .eval_cache(false)
+            .build()
+            .unwrap();
+        assert!(run.eval_cache_stats().is_none(), "--no-eval-cache");
+
+        // A custom measurement without content_pure() stays uncached even
+        // though caching is on: its results may depend on program naming.
+        let run = GestRun::builder()
+            .config(tiny_config("cortex-a7", "power"))
+            .measurement(Arc::new(Panicky))
+            .build()
+            .unwrap();
+        assert!(run.eval_cache_stats().is_none(), "impure measurement");
+    }
+
+    #[test]
+    fn eval_cache_counters_flow_into_telemetry() {
+        use gest_telemetry::{Event, MemorySink};
+
+        let sink = Arc::new(MemorySink::default());
+        let mut config = tiny_config("cortex-a7", "power");
+        config.telemetry = Telemetry::new(sink.clone());
+        build_run(config).run().unwrap();
+        let events = sink.events();
+        let counter = |wanted: &str| {
+            events.iter().find_map(|e| match e {
+                Event::Counter { name, value } if name == wanted => Some(*value),
+                _ => None,
+            })
+        };
+        let hits = counter("evalcache.hits").unwrap();
+        let misses = counter("evalcache.misses").unwrap();
+        assert!(hits >= 2, "elite re-evaluations hit");
+        assert_eq!(hits + misses, 18);
+        assert_eq!(counter("evalcache.inserts"), Some(misses));
+        let gauge = |wanted: &str| {
+            events.iter().find_map(|e| match e {
+                Event::Gauge { name, value } if name == wanted => Some(*value),
+                _ => None,
+            })
+        };
+        assert!(gauge("evalcache.entries").unwrap() > 0.0);
+        assert!(gauge("evalcache.bytes").unwrap() > 0.0);
     }
 
     #[test]

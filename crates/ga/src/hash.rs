@@ -1,0 +1,120 @@
+//! Content hashing for evaluation caching.
+//!
+//! The search loop evaluates many syntactically identical individuals —
+//! elites survive unchanged, crossover recombines the same genes, and
+//! converged populations are full of near-duplicates. A stable
+//! content hash over an individual's canonical gene encoding lets the
+//! runner key a result cache by *what* a candidate is rather than *which*
+//! candidate it is.
+//!
+//! FNV-1a is used because it is trivially portable, allocation-free, and
+//! byte-order independent; the 128-bit variant makes accidental collisions
+//! across a whole search run (at most millions of distinct programs)
+//! vanishingly unlikely.
+
+/// Incremental 128-bit FNV-1a hasher.
+///
+/// # Examples
+///
+/// ```
+/// use gest_ga::Fnv128;
+/// let mut h = Fnv128::new();
+/// h.write(b"abc");
+/// let once = h.finish();
+/// let mut again = Fnv128::new();
+/// again.write(b"ab");
+/// again.write(b"c");
+/// assert_eq!(once, again.finish());
+/// assert_ne!(once, Fnv128::new().finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+/// FNV-1a 128-bit offset basis.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+impl Fnv128 {
+    /// Creates a hasher at the offset basis.
+    pub fn new() -> Fnv128 {
+        Fnv128 {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= byte as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Fnv128 {
+        Fnv128::new()
+    }
+}
+
+/// Hashes a canonical byte encoding in one call.
+///
+/// # Examples
+///
+/// ```
+/// let a = gest_ga::canonical_hash_bytes(b"FMUL v0, v1, v2");
+/// let b = gest_ga::canonical_hash_bytes(b"FMUL v0, v1, v3");
+/// assert_ne!(a, b);
+/// ```
+pub fn canonical_hash_bytes(bytes: &[u8]) -> u128 {
+    let mut hasher = Fnv128::new();
+    hasher.write(bytes);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_offset_basis() {
+        assert_eq!(canonical_hash_bytes(b""), FNV128_OFFSET);
+    }
+
+    #[test]
+    fn known_vector_a() {
+        // FNV-1a 128 of "a": (offset ^ 'a') * prime.
+        let expected = (FNV128_OFFSET ^ b'a' as u128).wrapping_mul(FNV128_PRIME);
+        assert_eq!(canonical_hash_bytes(b"a"), expected);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(canonical_hash_bytes(b"ab"), canonical_hash_bytes(b"ba"));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Fnv128::new();
+        for chunk in [b"ge".as_slice(), b"st".as_slice()] {
+            h.write(chunk);
+        }
+        assert_eq!(h.finish(), canonical_hash_bytes(b"gest"));
+    }
+
+    #[test]
+    fn boundary_shifts_change_the_hash() {
+        // Concatenation ambiguity must come from the caller's framing,
+        // not the hasher: identical concatenated bytes hash identically.
+        assert_eq!(canonical_hash_bytes(b"xy"), canonical_hash_bytes(b"xy"),);
+        assert_ne!(canonical_hash_bytes(b"x"), canonical_hash_bytes(b"xy"));
+    }
+}

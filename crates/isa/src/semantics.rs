@@ -71,11 +71,47 @@ impl Default for Effect {
 /// viruses in the paper (which keep extremely high L1 hit rates), addresses
 /// are wrapped into the buffer with a power-of-two mask, so any generated
 /// base/offset combination is a safe, in-bounds access.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ArchState {
     xregs: [u64; NUM_INT_REGS as usize],
     vregs: [[u64; 2]; NUM_VEC_REGS as usize],
     mem: Vec<u8>,
+    /// Incremental content hash of `mem` (see [`ArchState::mem_hash`]):
+    /// the XOR over all bytes of `mem_byte_mix(addr, mem[addr])`, kept
+    /// current by [`store`](Self::store) so observers can compare memory
+    /// images in O(1) instead of O(len). `Cell`: recomputed lazily after
+    /// bulk writes that bypass `store`.
+    mem_hash: std::cell::Cell<u64>,
+    /// Set by bulk-write paths ([`fill_mem`](Self::fill_mem),
+    /// [`mem_mut`](Self::mem_mut)); forces a rescan on the next
+    /// [`mem_hash`](Self::mem_hash) call.
+    mem_hash_dirty: std::cell::Cell<bool>,
+}
+
+impl PartialEq for ArchState {
+    fn eq(&self, other: &ArchState) -> bool {
+        self.xregs == other.xregs && self.vregs == other.vregs && self.mem == other.mem
+    }
+}
+
+impl Eq for ArchState {}
+
+/// SplitMix64 finalizer: a fast, well-mixed 64-bit permutation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Zobrist-style per-byte memory mix. Zero bytes map to zero so a zeroed
+/// buffer hashes to zero without scanning it.
+fn mem_byte_mix(addr: usize, byte: u8) -> u64 {
+    if byte == 0 {
+        0
+    } else {
+        splitmix64(((addr as u64) << 8) | u64::from(byte))
+    }
 }
 
 impl ArchState {
@@ -94,6 +130,9 @@ impl ArchState {
             xregs: [0; NUM_INT_REGS as usize],
             vregs: [[0; 2]; NUM_VEC_REGS as usize],
             mem: vec![0; mem_size],
+            // zero bytes contribute 0 to the mix, so a fresh buffer is clean
+            mem_hash: std::cell::Cell::new(0),
+            mem_hash_dirty: std::cell::Cell::new(false),
         }
     }
 
@@ -125,6 +164,7 @@ impl ArchState {
     /// Fills the memory buffer with a repeating byte pattern.
     pub fn fill_mem(&mut self, byte: u8) {
         self.mem.fill(byte);
+        self.mem_hash_dirty.set(true);
     }
 
     /// Direct read access to the memory buffer (e.g. for workload setup).
@@ -132,9 +172,42 @@ impl ArchState {
         &self.mem
     }
 
+    /// All integer registers in index order.
+    pub fn xregs(&self) -> &[u64] {
+        &self.xregs
+    }
+
+    /// All vector registers in index order, as 64-bit lane pairs.
+    pub fn vregs(&self) -> &[[u64; 2]] {
+        &self.vregs
+    }
+
     /// Direct mutable access to the memory buffer.
     pub fn mem_mut(&mut self) -> &mut [u8] {
+        self.mem_hash_dirty.set(true);
         &mut self.mem
+    }
+
+    /// A 64-bit content hash of the memory buffer, equal for equal images.
+    ///
+    /// Maintained incrementally by [`store`](Self::store) — one XOR pair per
+    /// changed byte — so during simulation this is O(1) per call rather than
+    /// O(len). Bulk writes through [`fill_mem`](Self::fill_mem) or
+    /// [`mem_mut`](Self::mem_mut) mark the hash stale and the next call
+    /// rescans the buffer once.
+    ///
+    /// Two different images collide with probability ~2⁻⁶⁴; callers that
+    /// need certainty must compare [`mem`](Self::mem) directly.
+    pub fn mem_hash(&self) -> u64 {
+        if self.mem_hash_dirty.get() {
+            let mut h = 0u64;
+            for (addr, &byte) in self.mem.iter().enumerate() {
+                h ^= mem_byte_mix(addr, byte);
+            }
+            self.mem_hash.set(h);
+            self.mem_hash_dirty.set(false);
+        }
+        self.mem_hash.get()
     }
 
     fn mem_addr(&self, base: u64, offset: i64, width: usize) -> usize {
@@ -152,10 +225,18 @@ impl ArchState {
 
     fn store(&mut self, addr: usize, width: usize, value: u64) -> u32 {
         let mut toggles = 0u32;
+        let mut hash_delta = 0u64;
         for i in 0..width.min(8) {
             let new = (value >> (8 * i)) as u8;
-            toggles += (self.mem[addr + i] ^ new).count_ones();
-            self.mem[addr + i] = new;
+            let old = self.mem[addr + i];
+            toggles += (old ^ new).count_ones();
+            if old != new {
+                hash_delta ^= mem_byte_mix(addr + i, old) ^ mem_byte_mix(addr + i, new);
+                self.mem[addr + i] = new;
+            }
+        }
+        if hash_delta != 0 {
+            self.mem_hash.set(self.mem_hash.get() ^ hash_delta);
         }
         toggles
     }
@@ -799,6 +880,44 @@ mod tests {
         assert_eq!(eff.dest_toggles, 64);
         let eff = run(&mut s, "STR x1, [x10, #0]");
         assert_eq!(eff.dest_toggles, 0);
+    }
+
+    #[test]
+    fn mem_hash_tracks_stores_incrementally() {
+        let rescan = |s: &ArchState| {
+            let mut h = 0u64;
+            for (addr, &byte) in s.mem().iter().enumerate() {
+                h ^= mem_byte_mix(addr, byte);
+            }
+            h
+        };
+
+        let mut s = ArchState::new(256);
+        assert_eq!(s.mem_hash(), 0, "zeroed memory hashes to zero");
+
+        s.set_reg(x(1), CHECKERBOARD);
+        s.set_reg(x(10), 8);
+        run(&mut s, "STR x1, [x10, #0]");
+        run(&mut s, "VSTR v0, [x10, #32]");
+        s.set_reg(x(1), 7);
+        run(&mut s, "STR x1, [x10, #120]");
+        assert_eq!(s.mem_hash(), rescan(&s), "incremental hash matches rescan");
+
+        // Overwriting with the same value keeps the hash unchanged.
+        let before = s.mem_hash();
+        run(&mut s, "STR x1, [x10, #120]");
+        assert_eq!(s.mem_hash(), before);
+
+        // Bulk writes invalidate and the next call rescans.
+        s.fill_mem(0xAA);
+        assert_eq!(s.mem_hash(), rescan(&s));
+        s.mem_mut()[3] = 0x55;
+        assert_eq!(s.mem_hash(), rescan(&s));
+
+        // Equal images hash equal regardless of write history.
+        let mut t = ArchState::new(256);
+        t.mem_mut().copy_from_slice(s.mem());
+        assert_eq!(t.mem_hash(), s.mem_hash());
     }
 
     #[test]

@@ -124,6 +124,27 @@ impl DataCache {
         self.stats
     }
 
+    /// Writes a replacement-order signature of the contents into `out`
+    /// (reused): per way its tag and its LRU rank within its set, ranked
+    /// by `(tick, way index)`. Ranks are all the replacement policy ever
+    /// consumes — a hit moves the touched way to the globally newest tick
+    /// (top rank), and the victim is always the first rank-0 way — so
+    /// equal signatures guarantee identical future hit/evict behavior
+    /// regardless of absolute tick values. Statistics are excluded.
+    pub(crate) fn lru_signature(&self, out: &mut Vec<(u64, u8)>) {
+        out.clear();
+        for set in &self.sets {
+            for (i, &(tag, tick)) in set.iter().enumerate() {
+                let rank = set
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, &(_, t))| (t, j) < (tick, i))
+                    .count() as u8;
+                out.push((tag, rank));
+            }
+        }
+    }
+
     /// Clears contents and statistics.
     pub fn reset(&mut self) {
         for set in &mut self.sets {

@@ -117,6 +117,23 @@ impl SlotTracker {
     }
 }
 
+/// Scheduler state normalized to a reference cycle, produced by
+/// [`Pipeline::capture_steady`]. Equal snapshots (captured at different
+/// absolute times) guarantee identical future scheduling up to a time
+/// shift — the pipeline half of the simulator's steady-state detector.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct PipelineSnapshot {
+    fu_free: [Vec<u64>; 6],
+    int_ready: [u64; 16],
+    vec_ready: [u64; 16],
+    issue_slots: Vec<u8>,
+    fetched_this_cycle: u8,
+    in_flight: Vec<u64>,
+    last_retire: u64,
+    last_issue: u64,
+    max_complete: i64,
+}
+
 /// The scoreboard.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
@@ -351,9 +368,70 @@ impl Pipeline {
         }
     }
 
+    /// How many instructions the current fetch cycle has already accepted —
+    /// a cheap shift-invariant fetch-phase signature for the steady-state
+    /// detector's arming fingerprint.
+    pub(crate) fn fetch_phase(&self) -> u64 {
+        u64::from(self.fetched_this_cycle)
+    }
+
     /// Cycles elapsed so far (latest completion time).
     pub fn elapsed_cycles(&self) -> u64 {
         self.max_complete
+    }
+
+    /// The current fetch cycle — the reference point the simulator's
+    /// steady-state detector normalizes iteration-relative times against.
+    pub(crate) fn fetch_cycle(&self) -> u64 {
+        self.fetch_cycle
+    }
+
+    /// Captures the scheduler state normalized to the current fetch cycle
+    /// into `out` (buffers are reused). Two captures compare equal exactly
+    /// when the pipeline will schedule any identical future instruction
+    /// stream identically, shifted by the difference of their reference
+    /// cycles.
+    ///
+    /// Normalization is sound because every stored time is consumed only
+    /// through `max(·, x)` or `· > x` / `· <= x` comparisons against
+    /// values `x >= fetch_cycle`, so times at or before the reference are
+    /// interchangeable with the reference itself (clamped to 0 here).
+    /// `max_complete` is kept as an exact signed offset — it can trail the
+    /// fetch cycle after a mispredict redirect. `issued_count` is
+    /// statistics-only and deliberately excluded.
+    pub(crate) fn capture_steady(&self, out: &mut PipelineSnapshot) {
+        let reference = self.fetch_cycle;
+        let clamp = |v: u64| v.saturating_sub(reference);
+        for (dst, src) in out.fu_free.iter_mut().zip(&self.fu_free) {
+            dst.clear();
+            dst.extend(src.iter().map(|&v| clamp(v)));
+        }
+        for (dst, &src) in out.int_ready.iter_mut().zip(&self.int_ready) {
+            *dst = clamp(src);
+        }
+        for (dst, &src) in out.vec_ready.iter_mut().zip(&self.vec_ready) {
+            *dst = clamp(src);
+        }
+        out.in_flight.clear();
+        out.in_flight
+            .extend(self.in_flight.iter().map(|&v| clamp(v)));
+        out.last_retire = clamp(self.last_retire);
+        out.last_issue = clamp(self.last_issue);
+        out.max_complete = self.max_complete as i64 - reference as i64;
+        out.fetched_this_cycle = self.fetched_this_cycle;
+        // Issue-slot usage from the reference cycle on; cycles before the
+        // reference are never probed again (every probe cycle is at least
+        // the instruction's fetch cycle, which is at least the reference).
+        out.issue_slots.clear();
+        let end = self.issue_slots.base + self.issue_slots.slots.len() as u64;
+        let mut cycle = reference;
+        while cycle < end {
+            out.issue_slots.push(self.issue_slots.used(cycle));
+            cycle += 1;
+        }
+        while out.issue_slots.last() == Some(&0) {
+            out.issue_slots.pop();
+        }
     }
 
     /// Instructions issued so far.

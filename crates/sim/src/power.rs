@@ -63,7 +63,25 @@ impl EnergyModel {
             .iter()
             .position(|c| *c == class)
             .expect("class in ALL");
-        let mut energy = self.config.base_pj[index];
+        self.instruction_pj_indexed(index, effect, latency, l1_miss)
+    }
+
+    /// Like [`instruction_pj`](EnergyModel::instruction_pj) with the class
+    /// pre-resolved to its index in [`InstrClass::ALL`]. The simulator
+    /// resolves indices once per static instruction instead of linearly
+    /// scanning per retired instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_index` is out of range.
+    pub fn instruction_pj_indexed(
+        &self,
+        class_index: usize,
+        effect: &Effect,
+        latency: u8,
+        l1_miss: bool,
+    ) -> f64 {
+        let mut energy = self.config.base_pj[class_index];
         energy += self.config.toggle_pj * effect.dest_toggles as f64;
         energy += self.config.srcbit_pj * effect.src_bits as f64;
         energy += self.config.occupancy_pj * latency as f64;

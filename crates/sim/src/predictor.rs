@@ -75,9 +75,19 @@ impl BranchPredictor {
         }
     }
 
+    /// Number of correct predictions so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
     /// Number of mispredictions so far.
     pub fn mispredicts(&self) -> u64 {
         self.misses
+    }
+
+    /// The raw 2-bit counter table (for steady-state snapshots).
+    pub(crate) fn counters(&self) -> &[u8] {
+        &self.counters
     }
 }
 

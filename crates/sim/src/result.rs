@@ -22,6 +22,12 @@ pub struct RunConfig {
     pub thermal_hold_s: f64,
     /// Window (cycles) for the smoothed peak-power statistic.
     pub peak_window: usize,
+    /// Detect steady-state loop iterations and synthesize the remainder
+    /// analytically instead of re-executing them. The fast path is
+    /// bit-identical to full simulation (asserted by the sim property
+    /// tests); disable it only to measure its speedup or to debug the
+    /// detector itself.
+    pub steady_detect: bool,
 }
 
 impl Default for RunConfig {
@@ -31,6 +37,7 @@ impl Default for RunConfig {
             max_cycles: 20_000,
             thermal_hold_s: 30.0,
             peak_window: 8,
+            steady_detect: true,
         }
     }
 }

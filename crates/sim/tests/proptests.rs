@@ -70,6 +70,40 @@ proptest! {
     }
 
     #[test]
+    fn steady_fast_path_is_bit_identical_on_every_machine(lines in body_strategy()) {
+        // The steady-state extrapolation must be invisible: whether or not
+        // the detector fires, RunResult *and* the per-cycle Traces must be
+        // bit-for-bit what full simulation produces, on all four machines.
+        for machine in [
+            MachineConfig::cortex_a15(),
+            MachineConfig::cortex_a7(),
+            MachineConfig::xgene2(),
+            MachineConfig::athlon_x4(),
+        ] {
+            let body = asm::parse_block(&lines.join("\n")).unwrap();
+            let program: Program = Template::default_stress().materialize("prop", body);
+            let config = |steady| RunConfig {
+                max_iterations: 40,
+                max_cycles: 3000,
+                steady_detect: steady,
+                ..RunConfig::default()
+            };
+            let simulator = Simulator::new(machine);
+            let (fast, fast_traces) = simulator.run_traced(&program, &config(true)).unwrap();
+            let (full, full_traces) = simulator.run_traced(&program, &config(false)).unwrap();
+            prop_assert_eq!(&fast, &full);
+            prop_assert_eq!(
+                fast_traces.power_w.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+                full_traces.power_w.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                fast_traces.voltage_v.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                full_traces.voltage_v.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
     fn determinism(lines in body_strategy()) {
         let a = run(MachineConfig::athlon_x4(), &lines);
         let b = run(MachineConfig::athlon_x4(), &lines);

@@ -8,7 +8,7 @@
 
 use gest::core::{
     Checkpoint, FaultPolicy, GestConfig, GestError, GestRun, Measurement, OutputWriter,
-    PowerMeasurement, CHECKPOINT_FILE,
+    PowerMeasurement, CHECKPOINT_FILE, EVAL_CACHE_FILE,
 };
 use gest::isa::Program;
 use gest::sim::MachineConfig;
@@ -109,6 +109,91 @@ fn resume_continues_bit_identically_to_an_uninterrupted_run() {
 
     std::fs::remove_dir_all(&dir_killed).unwrap();
     std::fs::remove_dir_all(&dir_full).unwrap();
+}
+
+#[test]
+fn eval_cache_keeps_artifacts_byte_identical_at_1_and_4_threads() {
+    for threads in [1usize, 4] {
+        let dir_cached = temp_dir(&format!("evc_on_{threads}"));
+        let dir_plain = temp_dir(&format!("evc_off_{threads}"));
+        let config_for = |dir: &Path| {
+            GestConfig::builder("cortex-a15")
+                .measurement("power")
+                .population_size(8)
+                .individual_size(10)
+                .generations(6)
+                .seed(4242)
+                .threads(threads)
+                .output_dir(dir)
+                .checkpoint_every(3)
+                .build()
+                .unwrap()
+        };
+
+        let mut cached = GestRun::builder()
+            .config(config_for(&dir_cached))
+            .build()
+            .unwrap();
+        while !cached.is_complete() {
+            cached.step().unwrap();
+        }
+        let stats = cached.eval_cache_stats().expect("cache is on by default");
+        assert!(stats.hits > 0, "elite copies must be served from the cache");
+        cached.finish();
+
+        GestRun::builder()
+            .config(config_for(&dir_plain))
+            .eval_cache(false)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+
+        let cached_files = OutputWriter::population_files(&dir_cached).unwrap();
+        let plain_files = OutputWriter::population_files(&dir_plain).unwrap();
+        assert_eq!(cached_files.len(), 6);
+        assert_eq!(plain_files.len(), 6);
+        for (a, b) in cached_files.iter().zip(&plain_files) {
+            assert_eq!(
+                std::fs::read(a).unwrap(),
+                std::fs::read(b).unwrap(),
+                "{} (cache on, {threads} threads) differs from {} (cache off)",
+                a.display(),
+                b.display()
+            );
+        }
+        std::fs::remove_dir_all(&dir_cached).unwrap();
+        std::fs::remove_dir_all(&dir_plain).unwrap();
+    }
+}
+
+#[test]
+fn resume_restores_the_persisted_eval_cache() {
+    let dir = temp_dir("warmcache");
+    {
+        let mut run = GestRun::builder()
+            .config(checkpointed_config(&dir, 3))
+            .build()
+            .unwrap();
+        for _ in 0..3 {
+            run.step().unwrap();
+        }
+    }
+    assert!(
+        dir.join(EVAL_CACHE_FILE).exists(),
+        "checkpointing persists the evaluation-cache sidecar"
+    );
+    let mut resumed = GestRun::builder().resume_from(&dir).build().unwrap();
+    while !resumed.is_complete() {
+        resumed.step().unwrap();
+    }
+    let stats = resumed.eval_cache_stats().expect("cache is on by default");
+    assert!(
+        stats.hits > 0,
+        "the checkpointed elite must be re-served from the restored cache"
+    );
+    resumed.finish();
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// Delegates to the real power measurement until `panic_from` generations
