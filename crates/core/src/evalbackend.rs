@@ -1,0 +1,201 @@
+//! Pluggable evaluation backends: *where* a candidate's measurement runs.
+//!
+//! The paper scales GeST by measuring individuals in parallel across
+//! identical boards (§III.C). [`crate::GestRun`] keeps everything that
+//! must be deterministic — cache lookups, fitness, the fault policy,
+//! result ordering — on the coordinator side and delegates only the raw
+//! measurement of one candidate to an [`EvalBackend`]:
+//!
+//! * [`LocalBackend`] measures in-process on a thread pool (the default,
+//!   extracted from the runner's original `std::thread::scope` fan-out);
+//! * `gest-dist`'s `Coordinator` ships candidates to remote workers over
+//!   TCP and implements the same trait.
+//!
+//! Because a backend only turns genes into a measurement vector — a pure
+//! function for content-pure measurements — swapping backends can never
+//! change the evolved result, only the wall-clock it takes.
+
+use crate::error::GestError;
+use crate::measurement::Measurement;
+use gest_isa::{Gene, Template};
+use gest_sim::RunResult;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// One candidate measurement to be performed by a backend.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalRequest<'a> {
+    /// Generation index (used for program naming only).
+    pub generation: u32,
+    /// The candidate's id within the run.
+    pub candidate_id: u64,
+    /// The candidate's genes; the program content being measured.
+    pub genes: &'a [Gene],
+}
+
+impl EvalRequest<'_> {
+    /// The canonical program name (`{generation}_{id}`), matching the
+    /// per-individual source files the framework writes.
+    pub fn program_name(&self) -> String {
+        format!("{}_{}", self.generation, self.candidate_id)
+    }
+}
+
+/// Where candidate measurements execute.
+///
+/// Implementations decide the substrate (local threads, remote workers)
+/// and their internal dispatch; the runner owns everything above the raw
+/// measurement: caching, in-flight dedup, fitness, retry/quarantine, and
+/// deterministic result ordering.
+pub trait EvalBackend: Send + Sync + std::fmt::Debug {
+    /// Short backend name for telemetry and diagnostics.
+    fn name(&self) -> &str;
+
+    /// Number of concurrent measurement slots to drive for `pending`
+    /// outstanding candidates (local: threads; remote: workers). The
+    /// runner spawns one driver thread per slot.
+    fn slots(&self, pending: usize) -> usize;
+
+    /// Measures one candidate, returning the measurement vector and —
+    /// when the backend has it locally — the simulator's full result for
+    /// telemetry detail. Must be callable concurrently from all slots.
+    ///
+    /// # Errors
+    ///
+    /// Measurement or transport failures; the runner's
+    /// [`crate::FaultPolicy`] decides whether to retry or quarantine.
+    fn measure(
+        &self,
+        slot: usize,
+        request: &EvalRequest<'_>,
+    ) -> Result<(Vec<f64>, Option<RunResult>), GestError>;
+}
+
+/// Renders a panic payload into a human-readable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "evaluation worker panicked".to_string()
+    }
+}
+
+/// Runs a measurement closure with panic containment: a panicking
+/// measurement plug-in becomes a [`GestError::Measurement`] carrying the
+/// panic payload instead of aborting the process.
+///
+/// This is the single home of the panic-to-error plumbing — the runner
+/// wraps every backend call in it, and `gest-dist` workers wrap their
+/// local measurements in it, so neither side re-implements it.
+///
+/// # Errors
+///
+/// The closure's own error, or a [`GestError::Measurement`] when it
+/// panicked.
+pub fn catch_measure<T>(
+    candidate: u64,
+    f: impl FnOnce() -> Result<T, GestError>,
+) -> Result<T, GestError> {
+    catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        Err(GestError::Measurement {
+            candidate,
+            message: panic_message(payload),
+        })
+    })
+}
+
+/// The in-process backend: materializes each candidate against the run's
+/// template and measures it on the calling slot thread. This is the
+/// original `GestRun` thread-pool evaluation, extracted behind
+/// [`EvalBackend`].
+#[derive(Debug)]
+pub struct LocalBackend {
+    measurement: Arc<dyn Measurement>,
+    template: Template,
+    threads: usize,
+}
+
+impl LocalBackend {
+    /// Creates a backend over `measurement`; `threads == 0` means one
+    /// slot per available CPU.
+    pub fn new(measurement: Arc<dyn Measurement>, template: Template, threads: usize) -> Self {
+        LocalBackend {
+            measurement,
+            template,
+            threads,
+        }
+    }
+}
+
+impl EvalBackend for LocalBackend {
+    fn name(&self) -> &str {
+        "local"
+    }
+
+    fn slots(&self, pending: usize) -> usize {
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        threads.min(pending.max(1))
+    }
+
+    fn measure(
+        &self,
+        _slot: usize,
+        request: &EvalRequest<'_>,
+    ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
+        let body = gest_isa::InstructionPool::flatten(request.genes);
+        let program = self.template.materialize(request.program_name(), body);
+        self.measurement.measure_detailed(&program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catch_measure_converts_panics() {
+        let ok: Result<u32, GestError> = catch_measure(7, || Ok(42));
+        assert_eq!(ok.unwrap(), 42);
+
+        let err = catch_measure::<u32>(7, || panic!("probe fell off")).unwrap_err();
+        match err {
+            GestError::Measurement { candidate, message } => {
+                assert_eq!(candidate, 7);
+                assert!(message.contains("probe fell off"), "{message}");
+            }
+            other => panic!("expected measurement error, got {other}"),
+        }
+
+        let err = catch_measure::<u32>(3, || {
+            std::panic::panic_any(1234_u64);
+        })
+        .unwrap_err();
+        match err {
+            GestError::Measurement { message, .. } => {
+                assert!(message.contains("panicked"), "{message}");
+            }
+            other => panic!("expected measurement error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn local_backend_slots_respect_pending_work() {
+        let config = crate::GestConfig::builder("cortex-a7").build().unwrap();
+        let measurement = crate::Registry::default()
+            .build_measurement("power", config.machine.clone(), config.run_config)
+            .unwrap();
+        let backend = LocalBackend::new(measurement, config.template.clone(), 4);
+        assert_eq!(backend.slots(100), 4);
+        assert_eq!(backend.slots(2), 2);
+        assert_eq!(backend.slots(0), 1, "at least one slot");
+        assert_eq!(backend.name(), "local");
+    }
+}

@@ -513,6 +513,62 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// Hammers a cache from 8 threads: each thread inserts its own key
+    /// range once and performs two lookups per key (its own plus a
+    /// neighbour's). Returns (total inserts, total lookups).
+    fn hammer(cache: &EvalCache) -> (u64, u64) {
+        const THREADS: u64 = 8;
+        const KEYS_PER_THREAD: u64 = 400;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..KEYS_PER_THREAD {
+                        let own = key(u128::from(t * KEYS_PER_THREAD + i));
+                        cache.insert(own, value(i as f64));
+                        let _ = cache.get(&own);
+                        let neighbour = key(u128::from(((t + 1) % THREADS) * KEYS_PER_THREAD + i));
+                        let _ = cache.get(&neighbour);
+                    }
+                });
+            }
+        });
+        (THREADS * KEYS_PER_THREAD, 2 * THREADS * KEYS_PER_THREAD)
+    }
+
+    #[test]
+    fn counters_stay_consistent_under_parallel_hammering() {
+        // Roomy cache: nothing is ever evicted, so occupancy must equal
+        // the number of distinct keys and every lookup must be accounted.
+        let cache = EvalCache::new(64 << 20, 99);
+        let (inserts, lookups) = hammer(&cache);
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, inserts);
+        assert_eq!(stats.hits + stats.misses, lookups, "no lookup lost");
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.entries as u64, inserts, "distinct keys all held");
+        assert!(stats.hits >= inserts, "own-key lookups cannot miss");
+    }
+
+    #[test]
+    fn eviction_counters_stay_consistent_under_parallel_hammering() {
+        // Tiny cap: eviction churns constantly while 8 threads race.
+        // Every key is inserted exactly once, so whatever was not evicted
+        // must still be resident — and the byte cap must hold.
+        let cache = EvalCache::new(2_000, 99);
+        let (inserts, lookups) = hammer(&cache);
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, inserts);
+        assert_eq!(stats.hits + stats.misses, lookups, "no lookup lost");
+        assert_eq!(
+            stats.entries as u64 + stats.evictions,
+            inserts,
+            "every insert is either resident or counted as evicted"
+        );
+        assert!(stats.evictions > 0, "the cap must have triggered");
+        assert!(stats.bytes <= 2_000, "cap respected: {stats:?}");
+    }
+
     #[test]
     fn genes_hash_is_content_addressed() {
         let genes_a = vec![gest_isa::Gene {

@@ -53,6 +53,7 @@
 pub mod checkpoint;
 mod config;
 mod error;
+mod evalbackend;
 mod evalcache;
 mod fault;
 mod fitness;
@@ -67,6 +68,7 @@ pub mod stats;
 pub use checkpoint::{config_fingerprint, Checkpoint, CHECKPOINT_FILE, CHECKPOINT_VERSION};
 pub use config::{GestConfig, GestConfigBuilder};
 pub use error::GestError;
+pub use evalbackend::{catch_measure, EvalBackend, EvalRequest, LocalBackend};
 pub use evalcache::{genes_hash, CachedEval, EvalCache, EvalCacheStats, EvalKey, EVAL_CACHE_FILE};
 pub use fault::{FaultPolicy, QUARANTINE_FITNESS};
 #[allow(deprecated)]

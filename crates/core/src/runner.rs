@@ -4,6 +4,7 @@
 use crate::checkpoint::{config_fingerprint, Checkpoint};
 use crate::config::GestConfig;
 use crate::error::GestError;
+use crate::evalbackend::{catch_measure, EvalBackend, EvalRequest, LocalBackend};
 use crate::evalcache::{genes_hash, CachedEval, EvalCache, EvalCacheStats, EvalKey};
 use crate::fault::QUARANTINE_FITNESS;
 use crate::fitness::{Fitness, FitnessContext};
@@ -14,7 +15,7 @@ use crate::registry::{FitnessParams, Registry};
 use gest_ga::{Candidate, Evaluated, GaEngine, History, Population};
 use gest_isa::{Gene, Program};
 use gest_telemetry::{Buckets, SpanGuard, Telemetry};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -32,15 +33,9 @@ fn sim_buckets() -> Buckets {
     Buckets::exponential(1e-6, 10.0, 16)
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(text) = payload.downcast_ref::<&str>() {
-        (*text).to_string()
-    } else if let Some(text) = payload.downcast_ref::<String>() {
-        text.clone()
-    } else {
-        "evaluation worker panicked".to_string()
-    }
-}
+/// Write-once result slot: each candidate index is claimed by exactly one
+/// evaluation slot through the dispatch cursor.
+type EvalSlot = OnceLock<Result<Evaluated<Gene>, GestError>>;
 
 /// Final outcome of a GeST search.
 #[derive(Debug, Clone)]
@@ -98,6 +93,9 @@ pub struct GestRun {
     /// Content-addressed result cache; `None` when disabled by
     /// configuration or when the measurement is not content-pure.
     eval_cache: Option<Arc<EvalCache>>,
+    /// Where raw candidate measurements execute (local threads by
+    /// default; `gest-dist` plugs remote workers in here).
+    backend: Arc<dyn EvalBackend>,
 }
 
 /// Builder for [`GestRun`] — the typed replacement for the old
@@ -132,6 +130,7 @@ pub struct GestRunBuilder {
     telemetry: Option<Telemetry>,
     eval_cache: Option<bool>,
     eval_cache_handle: Option<Arc<EvalCache>>,
+    eval_backend: Option<Arc<dyn EvalBackend>>,
 }
 
 impl GestRunBuilder {
@@ -198,6 +197,18 @@ impl GestRunBuilder {
         self
     }
 
+    /// Installs a custom [`EvalBackend`] deciding *where* candidate
+    /// measurements execute (e.g. `gest-dist`'s TCP `Coordinator`).
+    /// Defaults to [`LocalBackend`] over the configured thread count.
+    ///
+    /// Everything determinism-relevant — cache lookups, fitness, fault
+    /// policy, result ordering — stays in the runner, so a backend swap
+    /// cannot change the evolved result.
+    pub fn eval_backend(mut self, backend: Arc<dyn EvalBackend>) -> Self {
+        self.eval_backend = Some(backend);
+        self
+    }
+
     /// Builds the run: resolves plug-ins, prepares the GA engine, opens
     /// the output directory, and — when resuming — restores engine,
     /// history, best individual, and current population from the
@@ -241,6 +252,7 @@ impl GestRunBuilder {
                     &registry,
                     None,
                     self.eval_cache_handle,
+                    self.eval_backend,
                 )
             }
             (None, Some(dir)) => {
@@ -302,6 +314,7 @@ impl GestRunBuilder {
                         population,
                     }),
                     self.eval_cache_handle,
+                    self.eval_backend,
                 )
             }
         }
@@ -376,6 +389,7 @@ impl GestRun {
         registry: &Registry,
         resume: Option<ResumeState>,
         shared_cache: Option<Arc<EvalCache>>,
+        backend: Option<Arc<dyn EvalBackend>>,
     ) -> Result<GestRun, GestError> {
         // Equation-1 parameters: idle temperature = steady state under
         // static power alone; max = TJMAX (overridable via
@@ -436,6 +450,13 @@ impl GestRun {
         } else {
             None
         };
+        let backend = backend.unwrap_or_else(|| {
+            Arc::new(LocalBackend::new(
+                Arc::clone(&measurement),
+                config.template.clone(),
+                config.threads,
+            ))
+        });
         let (history, current, best, generation) = match resume {
             None => (History::new(), None, None, 0),
             Some(state) => {
@@ -470,6 +491,7 @@ impl GestRun {
             telemetry,
             run_span,
             eval_cache,
+            backend,
         })
     }
 
@@ -703,64 +725,48 @@ impl GestRun {
         self.telemetry.finish();
     }
 
-    /// Evaluates candidates in parallel across the configured number of
-    /// threads (the substrate analogue of the paper's per-individual
-    /// measure step, which dominates runtime: "5 seconds per measurement …
-    /// the runtime is approximately 7 hours").
+    /// Evaluates candidates in parallel across the backend's slots (the
+    /// substrate analogue of the paper's per-individual measure step,
+    /// which dominates runtime: "5 seconds per measurement … the runtime
+    /// is approximately 7 hours").
     ///
     /// Candidates are pulled from a shared atomic cursor (work-stealing),
     /// but results land in per-candidate slots, so the population order —
-    /// and therefore the search — is independent of thread scheduling.
+    /// and therefore the search — is independent of slot scheduling.
+    ///
+    /// When the evaluation cache is on, same-generation duplicates are
+    /// deduplicated in flight: only the first candidate of each distinct
+    /// gene content is dispatched in the first wave; its duplicates run
+    /// in a second wave, after the leader's result has reached the cache,
+    /// and are served from it. Results are bit-identical either way
+    /// (content-purity), so dedup only saves work, never changes it.
     fn evaluate(
         &self,
         generation: u32,
         candidates: Vec<Candidate<Gene>>,
         parent_span: Option<u64>,
     ) -> Result<Population<Gene>, GestError> {
-        let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.config.threads
-        }
-        .min(candidates.len().max(1));
-
+        let (leaders, followers) = self.split_duplicates(&candidates);
         let eval_span = self.telemetry.span_under(
             parent_span,
             "evaluate",
             &[
                 ("generation", u64::from(generation).into()),
                 ("candidates", candidates.len().into()),
-                ("threads", threads.into()),
+                ("threads", self.backend.slots(candidates.len()).into()),
+                ("backend", self.backend.name().into()),
+                ("deduped", followers.len().into()),
             ],
         );
         let eval_id = eval_span.id();
 
-        // Write-once result slots: each index is claimed by exactly one
-        // worker through the cursor, so OnceLock needs no locking on the
-        // hot path.
-        type Slot = OnceLock<Result<Evaluated<Gene>, GestError>>;
-        let results: Vec<Slot> = candidates.iter().map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        let candidates_ref = &candidates;
-        let results_ref = &results;
-        let next_ref = &next;
-
-        std::thread::scope(|scope| {
-            for worker in 0..threads {
-                scope.spawn(move || loop {
-                    let index = next_ref.fetch_add(1, Ordering::Relaxed);
-                    let Some(candidate) = candidates_ref.get(index) else {
-                        break;
-                    };
-                    let outcome = self.evaluate_candidate(generation, candidate, worker, eval_id);
-                    if results_ref[index].set(outcome).is_err() {
-                        unreachable!("the cursor hands each slot to exactly one worker");
-                    }
-                });
-            }
-        });
+        let results: Vec<EvalSlot> = candidates.iter().map(|_| OnceLock::new()).collect();
+        self.evaluate_wave(generation, &candidates, &leaders, &results, eval_id);
+        if !followers.is_empty() {
+            self.telemetry
+                .add_counter("eval.dedup_deferred", followers.len() as u64);
+            self.evaluate_wave(generation, &candidates, &followers, &results, eval_id);
+        }
 
         drop(eval_span);
         let mut individuals = Vec::with_capacity(candidates.len());
@@ -776,14 +782,69 @@ impl GestRun {
         })
     }
 
-    /// One worker-side evaluation: opens the per-candidate span (parented
+    /// Splits candidate indices into dedup leaders (first occurrence of
+    /// each gene content) and followers (in-generation duplicates, served
+    /// from the cache after their leader's wave). Without a cache there
+    /// is nothing to serve followers from, so everything leads.
+    fn split_duplicates(&self, candidates: &[Candidate<Gene>]) -> (Vec<usize>, Vec<usize>) {
+        if self.eval_cache.is_none() {
+            return ((0..candidates.len()).collect(), Vec::new());
+        }
+        let mut seen = HashSet::with_capacity(candidates.len());
+        let mut leaders = Vec::with_capacity(candidates.len());
+        let mut followers = Vec::new();
+        for (index, candidate) in candidates.iter().enumerate() {
+            if seen.insert(genes_hash(&candidate.genes)) {
+                leaders.push(index);
+            } else {
+                followers.push(index);
+            }
+        }
+        (leaders, followers)
+    }
+
+    /// Fans one wave of candidate positions out across the backend's
+    /// slots: a shared cursor steals work, write-once slots keep result
+    /// order deterministic.
+    fn evaluate_wave(
+        &self,
+        generation: u32,
+        candidates: &[Candidate<Gene>],
+        positions: &[usize],
+        results: &[EvalSlot],
+        eval_id: Option<u64>,
+    ) {
+        if positions.is_empty() {
+            return;
+        }
+        let slots = self.backend.slots(positions.len()).max(1);
+        let next = AtomicUsize::new(0);
+        let next_ref = &next;
+        std::thread::scope(|scope| {
+            for slot in 0..slots {
+                scope.spawn(move || loop {
+                    let cursor = next_ref.fetch_add(1, Ordering::Relaxed);
+                    let Some(&index) = positions.get(cursor) else {
+                        break;
+                    };
+                    let outcome =
+                        self.evaluate_candidate(generation, &candidates[index], slot, eval_id);
+                    if results[index].set(outcome).is_err() {
+                        unreachable!("the cursor hands each slot to exactly one worker");
+                    }
+                });
+            }
+        });
+    }
+
+    /// One slot-side evaluation: opens the per-candidate span (parented
     /// to the surrounding `evaluate` span, since the thread-local stack
     /// cannot see across threads), converts worker panics into
-    /// [`GestError::Measurement`] so one bad measurement plug-in fails the
-    /// run cleanly instead of aborting the process, applies the
-    /// configured [`crate::FaultPolicy`] (deadline, bounded retries with
-    /// deterministic backoff, quarantine), and records latency and
-    /// per-worker utilization metrics.
+    /// [`GestError::Measurement`] (via [`catch_measure`]) so one bad
+    /// measurement plug-in fails the run cleanly instead of aborting the
+    /// process, applies the configured [`crate::FaultPolicy`] (deadline,
+    /// bounded retries with deterministic backoff, quarantine), and
+    /// records latency and per-worker utilization metrics.
     fn evaluate_candidate(
         &self,
         generation: u32,
@@ -806,14 +867,8 @@ impl GestRun {
         let outcome = loop {
             attempt += 1;
             let attempt_started = Instant::now();
-            let mut result = catch_unwind(AssertUnwindSafe(|| {
-                self.evaluate_one(generation, candidate)
-            }))
-            .unwrap_or_else(|payload| {
-                Err(GestError::Measurement {
-                    candidate: candidate.id,
-                    message: panic_message(payload),
-                })
+            let mut result = catch_measure(candidate.id, || {
+                self.evaluate_one(generation, candidate, worker)
             });
             // Soft deadline: an over-budget value is treated as a failure
             // (the substrate cannot preempt an in-flight measurement).
@@ -878,6 +933,7 @@ impl GestRun {
         &self,
         generation: u32,
         candidate: &Candidate<Gene>,
+        slot: usize,
     ) -> Result<Evaluated<Gene>, GestError> {
         // Content-addressed fast path: keyed by what the candidate *is*
         // (canonical gene bytes), not which generation/id it carries, so
@@ -913,8 +969,14 @@ impl GestRun {
                 });
             }
         }
-        let program = self.materialize(&format!("{generation}_{}", candidate.id), &candidate.genes);
-        let (measurements, detail) = self.measurement.measure_detailed(&program)?;
+        let (measurements, detail) = self.backend.measure(
+            slot,
+            &EvalRequest {
+                generation,
+                candidate_id: candidate.id,
+                genes: &candidate.genes,
+            },
+        )?;
         if self.telemetry.is_enabled() {
             if let Some(result) = &detail {
                 let buckets = sim_buckets();
@@ -1349,6 +1411,57 @@ mod tests {
                 .iter()
                 .map(|m| m.to_bits())
                 .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn in_flight_dedup_defers_duplicates_to_the_cache() {
+        let gene = |source: &str| gest_isa::Gene {
+            def_index: 0,
+            instrs: gest_isa::asm::parse_block(source).unwrap(),
+        };
+        let candidate = |id: u64, genes: Vec<gest_isa::Gene>| Candidate {
+            id,
+            parents: (None, None),
+            genes,
+        };
+        // Candidates 2 and 3 duplicate the gene content of 0 and 1.
+        let candidates = vec![
+            candidate(0, vec![gene("ADD x1, x2, x3")]),
+            candidate(1, vec![gene("ADD x1, x2, x4")]),
+            candidate(2, vec![gene("ADD x1, x2, x3")]),
+            candidate(3, vec![gene("ADD x1, x2, x4")]),
+        ];
+
+        let run = build_run(tiny_config("cortex-a7", "power"));
+        let (leaders, followers) = run.split_duplicates(&candidates);
+        assert_eq!(leaders, vec![0, 1]);
+        assert_eq!(followers, vec![2, 3]);
+
+        let population = run.evaluate(0, candidates.clone(), None).unwrap();
+        let stats = run.eval_cache_stats().unwrap();
+        assert_eq!(stats.misses, 2, "one simulation per distinct content");
+        assert_eq!(stats.hits, 2, "followers are served from the cache");
+        assert_eq!(
+            population.individuals[0].measurements[0].to_bits(),
+            population.individuals[2].measurements[0].to_bits(),
+            "dedup hands duplicates bit-identical measurements"
+        );
+
+        // With the cache off there is nothing to defer to: all lead.
+        let uncached = GestRun::builder()
+            .config(tiny_config("cortex-a7", "power"))
+            .eval_cache(false)
+            .build()
+            .unwrap();
+        let (leaders, followers) = uncached.split_duplicates(&candidates);
+        assert_eq!(leaders.len(), 4);
+        assert!(followers.is_empty());
+        let plain = uncached.evaluate(0, candidates, None).unwrap();
+        assert_eq!(
+            plain.individuals[2].measurements[0].to_bits(),
+            population.individuals[2].measurements[0].to_bits(),
+            "dedup never changes results"
         );
     }
 

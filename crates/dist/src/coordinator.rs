@@ -1,0 +1,438 @@
+//! The coordinator side: an [`EvalBackend`] that ships candidates to
+//! remote workers.
+//!
+//! The coordinator owns only *where* a measurement runs; everything
+//! determinism-relevant — cache lookups, fitness, retry budgets, result
+//! ordering — stays in `GestRun`. Dispatch is work-stealing: the runner
+//! drives one thread per [`Coordinator::slots`] slot, and each
+//! `measure` call checks a connection out of a shared pool, so a slow
+//! worker naturally takes fewer candidates while a fast one drains the
+//! queue.
+//!
+//! Failure handling is two-layered. Transport failures (connection
+//! reset, heartbeat silence past the timeout) mark the worker broken and
+//! retry the candidate on another worker *without* consuming the
+//! runner's [`gest_core::FaultPolicy`] budget — a dead board says
+//! nothing about the candidate. Only when no worker can be reached does
+//! `measure` fail, handing the candidate to the fault policy's
+//! backoff/retry (a reconnection window) and eventually quarantine.
+//! Worker-side *measurement* errors, by contrast, are deterministic
+//! properties of the candidate and are returned immediately without
+//! retrying elsewhere.
+
+use crate::proto::{read_frame, write_frame, DistError, Frame, PROTOCOL_VERSION};
+use gest_core::{config_fingerprint, EvalBackend, EvalRequest, GestError};
+use gest_sim::RunResult;
+use gest_telemetry::Telemetry;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Tunables for a [`Coordinator`].
+#[derive(Debug, Clone)]
+pub struct CoordinatorOptions {
+    /// How long a worker may stay silent (no result, no heartbeat)
+    /// before it is declared hung. Workers heartbeat every 500 ms, so
+    /// the default 5 s tolerates ~10 missed beats.
+    pub heartbeat_timeout: Duration,
+    /// TCP connect timeout per worker.
+    pub connect_timeout: Duration,
+}
+
+impl Default for CoordinatorOptions {
+    fn default() -> CoordinatorOptions {
+        CoordinatorOptions {
+            heartbeat_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One live worker connection.
+#[derive(Debug)]
+struct Conn {
+    /// Index into `Coordinator::addrs` (stable worker identity for
+    /// telemetry and reconnection).
+    index: usize,
+    stream: TcpStream,
+}
+
+#[derive(Debug)]
+struct PoolState {
+    idle: Vec<Conn>,
+    /// Worker indices currently disconnected, awaiting reconnection.
+    broken: Vec<usize>,
+    /// Number of workers not in `broken` (idle or checked out).
+    live: usize,
+}
+
+/// A TCP fan-out [`EvalBackend`] over a fixed set of workers.
+#[derive(Debug)]
+pub struct Coordinator {
+    addrs: Vec<String>,
+    /// The exact `config.xml` rendering sent to every worker.
+    xml: String,
+    /// `config_fingerprint(xml)`; every worker must ack with this value.
+    fingerprint: u64,
+    options: CoordinatorOptions,
+    pool: Mutex<PoolState>,
+    available: Condvar,
+    telemetry: Telemetry,
+    /// Requests currently inside `measure`, for the queue-depth gauge.
+    outstanding: AtomicUsize,
+}
+
+impl Coordinator {
+    /// Connects and handshakes every worker in `addrs` up front; a
+    /// worker that cannot be reached or does not agree on the protocol
+    /// version and configuration fingerprint fails construction — a
+    /// misconfigured fleet should fail loudly before the search starts,
+    /// not quarantine candidates at generation 40.
+    ///
+    /// # Errors
+    ///
+    /// [`GestError::Config`] naming the offending worker on connect,
+    /// handshake, version, or fingerprint failures.
+    pub fn connect(
+        addrs: &[String],
+        config_xml: String,
+        telemetry: Telemetry,
+        options: CoordinatorOptions,
+    ) -> Result<Coordinator, GestError> {
+        if addrs.is_empty() {
+            return Err(GestError::Config(
+                "dist: --workers requires at least one address".into(),
+            ));
+        }
+        let fingerprint = config_fingerprint(&config_xml);
+        let coordinator = Coordinator {
+            addrs: addrs.to_vec(),
+            xml: config_xml,
+            fingerprint,
+            options,
+            pool: Mutex::new(PoolState {
+                idle: Vec::new(),
+                broken: Vec::new(),
+                live: 0,
+            }),
+            available: Condvar::new(),
+            telemetry,
+            outstanding: AtomicUsize::new(0),
+        };
+        for (index, addr) in addrs.iter().enumerate() {
+            let conn = coordinator
+                .dial(index)
+                .map_err(|e| GestError::Config(format!("dist: worker {addr}: {e}")))?;
+            let mut pool = coordinator.pool.lock().unwrap();
+            pool.idle.push(conn);
+            pool.live += 1;
+        }
+        Ok(coordinator)
+    }
+
+    /// Connects and handshakes one worker.
+    fn dial(&self, index: usize) -> Result<Conn, DistError> {
+        let addr = &self.addrs[index];
+        let resolved = std::net::ToSocketAddrs::to_socket_addrs(addr.as_str())
+            .map_err(DistError::Io)?
+            .next()
+            .ok_or_else(|| DistError::Protocol(format!("{addr} resolves to no address")))?;
+        let mut stream = TcpStream::connect_timeout(&resolved, self.options.connect_timeout)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(self.options.heartbeat_timeout))?;
+
+        write_frame(&mut stream, &Frame::hello())?;
+        match read_frame(&mut stream)? {
+            Frame::Hello { version } if version == PROTOCOL_VERSION => {}
+            Frame::Hello { version } => {
+                return Err(DistError::Protocol(format!(
+                    "protocol version mismatch: worker {version}, coordinator {PROTOCOL_VERSION}"
+                )))
+            }
+            Frame::Error { message } => return Err(DistError::Protocol(message)),
+            other => {
+                return Err(DistError::Protocol(format!(
+                    "expected Hello, got {other:?}"
+                )))
+            }
+        }
+        write_frame(
+            &mut stream,
+            &Frame::Config {
+                xml: self.xml.clone(),
+            },
+        )?;
+        match read_frame(&mut stream)? {
+            Frame::ConfigAck { fingerprint, host } => {
+                if fingerprint != self.fingerprint {
+                    return Err(DistError::Protocol(format!(
+                        "config fingerprint mismatch: worker re-rendered \
+                         {fingerprint:016x}, coordinator sent {:016x} — \
+                         coordinator and worker builds disagree on the \
+                         configuration schema",
+                        self.fingerprint
+                    )));
+                }
+                self.telemetry.point(
+                    "dist.worker.connected",
+                    &[
+                        ("worker", (index as u64).into()),
+                        ("addr", self.addrs[index].as_str().into()),
+                        ("host", host.as_str().into()),
+                    ],
+                );
+                Ok(Conn { index, stream })
+            }
+            Frame::Error { message } => Err(DistError::Protocol(message)),
+            other => Err(DistError::Protocol(format!(
+                "expected ConfigAck, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Checks a connection out of the pool, reconnecting broken workers
+    /// opportunistically while waiting.
+    ///
+    /// Fails only when every worker is broken and none could be
+    /// reconnected on this attempt — the caller turns that into a
+    /// measurement error for the runner's fault policy, whose backoff
+    /// becomes the reconnection window.
+    fn checkout(&self, candidate: u64) -> Result<Conn, GestError> {
+        let mut pool = self.pool.lock().unwrap();
+        loop {
+            if let Some(conn) = pool.idle.pop() {
+                return Ok(conn);
+            }
+            if !pool.broken.is_empty() {
+                // Try to resurrect one broken worker per wait iteration;
+                // dial without holding the lock (it can block for the
+                // connect timeout).
+                let index = pool.broken.remove(0);
+                drop(pool);
+                match self.dial(index) {
+                    Ok(conn) => {
+                        self.telemetry.add_counter("dist.reconnects", 1);
+                        pool = self.pool.lock().unwrap();
+                        pool.live += 1;
+                        return Ok(conn);
+                    }
+                    Err(_) => {
+                        pool = self.pool.lock().unwrap();
+                        pool.broken.push(index);
+                    }
+                }
+            }
+            if pool.live == 0 && pool.broken.len() == self.addrs.len() {
+                // All workers down and this attempt reconnected none:
+                // report up. The fault policy's retry/backoff will call
+                // measure (and thus reconnection) again.
+                return Err(GestError::Measurement {
+                    candidate,
+                    message: format!("dist: all {} workers unavailable", self.addrs.len()),
+                });
+            }
+            let (next, _timeout) = self
+                .available
+                .wait_timeout(pool, Duration::from_millis(100))
+                .unwrap();
+            pool = next;
+        }
+    }
+
+    /// Returns a healthy connection to the pool.
+    fn checkin(&self, conn: Conn) {
+        let mut pool = self.pool.lock().unwrap();
+        pool.idle.push(conn);
+        drop(pool);
+        self.available.notify_one();
+    }
+
+    /// Marks a worker's connection broken and schedules reconnection.
+    fn discard(&self, conn: Conn) {
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        let mut pool = self.pool.lock().unwrap();
+        pool.live -= 1;
+        pool.broken.push(conn.index);
+        drop(pool);
+        self.available.notify_all();
+    }
+
+    /// Sends one request and waits for its result, treating heartbeat
+    /// frames as liveness and the socket read timeout as a hang.
+    fn exchange(
+        &self,
+        conn: &mut Conn,
+        request: &EvalRequest<'_>,
+    ) -> Result<Result<Vec<f64>, String>, DistError> {
+        write_frame(
+            &mut conn.stream,
+            &Frame::EvalRequest {
+                generation: request.generation,
+                candidate: request.candidate_id,
+                genes: request.genes.to_vec(),
+            },
+        )?;
+        loop {
+            // Each received frame (heartbeats included) restarts the
+            // read timeout, so only true silence trips it.
+            match read_frame(&mut conn.stream)? {
+                Frame::Heartbeat => continue,
+                Frame::EvalResult { candidate, outcome } => {
+                    if candidate != request.candidate_id {
+                        return Err(DistError::Protocol(format!(
+                            "result for candidate {candidate}, expected {}",
+                            request.candidate_id
+                        )));
+                    }
+                    return Ok(outcome);
+                }
+                Frame::Error { message } => return Err(DistError::Protocol(message)),
+                other => {
+                    return Err(DistError::Protocol(format!(
+                        "unexpected frame awaiting result: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Number of workers configured (live or currently broken).
+    pub fn worker_count(&self) -> usize {
+        self.addrs.len()
+    }
+}
+
+impl EvalBackend for Coordinator {
+    fn name(&self) -> &str {
+        "dist"
+    }
+
+    fn slots(&self, pending: usize) -> usize {
+        self.addrs.len().min(pending.max(1))
+    }
+
+    fn measure(
+        &self,
+        _slot: usize,
+        request: &EvalRequest<'_>,
+    ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
+        let depth = self.outstanding.fetch_add(1, Ordering::SeqCst) + 1;
+        self.telemetry.set_gauge("dist.queue_depth", depth as f64);
+        let result = self.measure_inner(request);
+        let depth = self.outstanding.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.telemetry.set_gauge("dist.queue_depth", depth as f64);
+        result
+    }
+}
+
+impl Coordinator {
+    fn measure_inner(
+        &self,
+        request: &EvalRequest<'_>,
+    ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
+        loop {
+            let mut conn = self.checkout(request.candidate_id)?;
+            let span = self.telemetry.span_with(
+                "dist.request",
+                &[
+                    ("candidate", request.candidate_id.into()),
+                    ("generation", u64::from(request.generation).into()),
+                    ("worker", (conn.index as u64).into()),
+                ],
+            );
+            self.telemetry.add_counter("dist.dispatches", 1);
+            match self.exchange(&mut conn, request) {
+                Ok(outcome) => {
+                    drop(span);
+                    self.telemetry
+                        .add_counter(&format!("dist.worker.{}.requests", conn.index), 1);
+                    self.checkin(conn);
+                    return match outcome {
+                        Ok(measurements) => Ok((measurements, None)),
+                        // A worker-side measurement failure is a property
+                        // of the candidate, not the worker: surface it
+                        // without retrying elsewhere.
+                        Err(message) => Err(GestError::Measurement {
+                            candidate: request.candidate_id,
+                            message,
+                        }),
+                    };
+                }
+                Err(e) => {
+                    // Transport trouble (crash, hang, protocol break):
+                    // the candidate is innocent. Retry on another worker
+                    // without consuming fault-policy budget.
+                    drop(span);
+                    let kind = if e.is_timeout() { "hang" } else { "transport" };
+                    self.telemetry.point(
+                        "dist.worker.lost",
+                        &[
+                            ("worker", (conn.index as u64).into()),
+                            ("kind", kind.into()),
+                            ("error", e.to_string().as_str().into()),
+                        ],
+                    );
+                    self.telemetry.add_counter("dist.retries", 1);
+                    self.discard(conn);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        let mut pool = self.pool.lock().unwrap();
+        for conn in pool.idle.iter_mut() {
+            let _ = write_frame(&mut conn.stream, &Frame::Shutdown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_sane() {
+        let options = CoordinatorOptions::default();
+        assert!(options.heartbeat_timeout >= Duration::from_secs(1));
+        assert!(options.connect_timeout >= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn connect_requires_addresses() {
+        let err = Coordinator::connect(
+            &[],
+            "<gest/>".into(),
+            Telemetry::disabled(),
+            CoordinatorOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GestError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn connect_fails_fast_on_unreachable_worker() {
+        // Bind-then-drop yields a port with nothing listening.
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().port()
+        };
+        let err = Coordinator::connect(
+            &[format!("127.0.0.1:{port}")],
+            "<gest/>".into(),
+            Telemetry::disabled(),
+            CoordinatorOptions {
+                connect_timeout: Duration::from_millis(500),
+                ..CoordinatorOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, GestError::Config(ref m) if m.contains(&format!("127.0.0.1:{port}"))),
+            "{err}"
+        );
+    }
+}

@@ -1,0 +1,462 @@
+//! The `GESTDST1` wire protocol: length-prefixed binary frames.
+//!
+//! Every frame on the wire is `[u32 LE payload length][payload]`, where
+//! the payload starts with a one-byte frame kind followed by
+//! kind-specific fields in [`gest_isa::codec`] encoding. Genes travel in
+//! their canonical codec form — the same bytes [`gest_core::genes_hash`]
+//! hashes — so a worker's cache key for a candidate is derived from
+//! exactly the content the coordinator addressed it by.
+//!
+//! A session is: `Hello` exchange (magic + protocol version, catching
+//! version skew before anything else is parsed), `Config` →
+//! [`Frame::ConfigAck`] (the worker re-renders the parsed configuration
+//! and fingerprints the re-render, catching schema skew that survives a
+//! byte-equal protocol version), then any number of `EvalRequest` →
+//! `EvalResult` pairs interleaved with worker→coordinator `Heartbeat`
+//! frames, ended by `Shutdown` or connection close.
+
+use gest_isa::codec::{Decoder, Encoder};
+use gest_isa::{CodecError, Gene};
+use std::io::{self, Read, Write};
+
+/// Protocol magic carried in the `Hello` frame.
+pub const MAGIC: &[u8; 8] = b"GESTDST1";
+
+/// Protocol version; bump on any wire-format change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload, guarding against garbage lengths from
+/// a confused peer (a population's genes are a few KiB; configs < 1 MiB).
+pub const MAX_FRAME: u32 = 8 << 20;
+
+/// A transport or protocol failure.
+#[derive(Debug)]
+pub enum DistError {
+    /// Socket-level failure (includes read timeouts).
+    Io(io::Error),
+    /// The peer spoke, but not this protocol (bad magic, unknown frame
+    /// kind, malformed payload, version or fingerprint mismatch).
+    Protocol(String),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "dist i/o: {e}"),
+            DistError::Protocol(message) => write!(f, "dist protocol: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Io(e) => Some(e),
+            DistError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DistError {
+    fn from(e: io::Error) -> DistError {
+        DistError::Io(e)
+    }
+}
+
+impl From<CodecError> for DistError {
+    fn from(e: CodecError) -> DistError {
+        DistError::Protocol(format!("malformed frame: {e}"))
+    }
+}
+
+impl From<DistError> for gest_core::GestError {
+    fn from(e: DistError) -> gest_core::GestError {
+        match e {
+            DistError::Io(e) => gest_core::GestError::Io(e),
+            DistError::Protocol(message) => gest_core::GestError::Config(message),
+        }
+    }
+}
+
+impl DistError {
+    /// Whether this is a clean end-of-stream (peer closed between
+    /// frames), as opposed to a mid-frame truncation or protocol error.
+    pub fn is_clean_eof(&self) -> bool {
+        matches!(self, DistError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof)
+    }
+
+    /// Whether this is a socket read timeout (peer still connected but
+    /// silent past the deadline).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            DistError::Io(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Session opener, sent by both sides; carries [`MAGIC`] and
+    /// [`PROTOCOL_VERSION`] so incompatible peers fail before any other
+    /// payload is interpreted.
+    Hello {
+        /// The sender's protocol version.
+        version: u32,
+    },
+    /// Coordinator → worker: the run's canonical `config.xml` rendering.
+    Config {
+        /// Exact XML string; the worker parses and re-renders it.
+        xml: String,
+    },
+    /// Worker → coordinator: configuration accepted.
+    ConfigAck {
+        /// `config_fingerprint` of the worker's *re-rendering* of the
+        /// parsed configuration. Equal to the coordinator's fingerprint
+        /// only when both sides agree on the full schema.
+        fingerprint: u64,
+        /// The worker's host name, for telemetry.
+        host: String,
+    },
+    /// Coordinator → worker: measure one candidate.
+    EvalRequest {
+        /// Generation index (program naming only; not part of content).
+        generation: u32,
+        /// Candidate id within the run.
+        candidate: u64,
+        /// The candidate's genes, canonically encoded.
+        genes: Vec<Gene>,
+    },
+    /// Worker → coordinator: the measurement outcome for one candidate.
+    EvalResult {
+        /// Candidate id echoed from the request.
+        candidate: u64,
+        /// The measurement vector, or the failure message (measurement
+        /// errors and contained panics both arrive here).
+        outcome: Result<Vec<f64>, String>,
+    },
+    /// Worker → coordinator liveness signal while a measurement runs.
+    Heartbeat,
+    /// Coordinator → worker: end the session cleanly.
+    Shutdown,
+    /// Either side: fatal session error with a human-readable reason.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_CONFIG: u8 = 2;
+const KIND_CONFIG_ACK: u8 = 3;
+const KIND_EVAL_REQUEST: u8 = 4;
+const KIND_EVAL_RESULT: u8 = 5;
+const KIND_HEARTBEAT: u8 = 6;
+const KIND_SHUTDOWN: u8 = 7;
+const KIND_ERROR: u8 = 8;
+
+impl Frame {
+    /// A `Hello` frame for this build's protocol version.
+    pub fn hello() -> Frame {
+        Frame::Hello {
+            version: PROTOCOL_VERSION,
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            Frame::Hello { version } => {
+                enc.u8(KIND_HELLO).bytes(MAGIC).u32(*version);
+            }
+            Frame::Config { xml } => {
+                enc.u8(KIND_CONFIG).str(xml);
+            }
+            Frame::ConfigAck { fingerprint, host } => {
+                enc.u8(KIND_CONFIG_ACK).u64(*fingerprint).str(host);
+            }
+            Frame::EvalRequest {
+                generation,
+                candidate,
+                genes,
+            } => {
+                enc.u8(KIND_EVAL_REQUEST).u32(*generation).u64(*candidate);
+                encode_genes(&mut enc, genes);
+            }
+            Frame::EvalResult { candidate, outcome } => {
+                enc.u8(KIND_EVAL_RESULT).u64(*candidate);
+                match outcome {
+                    Ok(measurements) => {
+                        enc.u8(0).varint(measurements.len() as u64);
+                        for m in measurements {
+                            enc.f64(*m);
+                        }
+                    }
+                    Err(message) => {
+                        enc.u8(1).str(message);
+                    }
+                }
+            }
+            Frame::Heartbeat => {
+                enc.u8(KIND_HEARTBEAT);
+            }
+            Frame::Shutdown => {
+                enc.u8(KIND_SHUTDOWN);
+            }
+            Frame::Error { message } => {
+                enc.u8(KIND_ERROR).str(message);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Result<Frame, DistError> {
+        let mut dec = Decoder::new(payload);
+        let frame = match dec.u8()? {
+            KIND_HELLO => {
+                let magic = dec.bytes()?;
+                if magic != MAGIC.as_slice() {
+                    return Err(DistError::Protocol(format!(
+                        "bad magic {magic:?}: peer is not a GeST dist endpoint"
+                    )));
+                }
+                Frame::Hello {
+                    version: dec.u32()?,
+                }
+            }
+            KIND_CONFIG => Frame::Config {
+                xml: dec.str()?.to_string(),
+            },
+            KIND_CONFIG_ACK => Frame::ConfigAck {
+                fingerprint: dec.u64()?,
+                host: dec.str()?.to_string(),
+            },
+            KIND_EVAL_REQUEST => {
+                let generation = dec.u32()?;
+                let candidate = dec.u64()?;
+                let genes = decode_genes(&mut dec)?;
+                Frame::EvalRequest {
+                    generation,
+                    candidate,
+                    genes,
+                }
+            }
+            KIND_EVAL_RESULT => {
+                let candidate = dec.u64()?;
+                let outcome = match dec.u8()? {
+                    0 => {
+                        let count = dec.varint()? as usize;
+                        let mut measurements = Vec::with_capacity(count.min(1 << 16));
+                        for _ in 0..count {
+                            measurements.push(dec.f64()?);
+                        }
+                        Ok(measurements)
+                    }
+                    1 => Err(dec.str()?.to_string()),
+                    tag => {
+                        return Err(DistError::Protocol(format!(
+                            "unknown eval-result tag {tag}"
+                        )))
+                    }
+                };
+                Frame::EvalResult { candidate, outcome }
+            }
+            KIND_HEARTBEAT => Frame::Heartbeat,
+            KIND_SHUTDOWN => Frame::Shutdown,
+            KIND_ERROR => Frame::Error {
+                message: dec.str()?.to_string(),
+            },
+            kind => return Err(DistError::Protocol(format!("unknown frame kind {kind}"))),
+        };
+        if !dec.is_finished() {
+            return Err(DistError::Protocol(format!(
+                "{} trailing bytes after frame",
+                dec.remaining()
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+/// Encodes genes exactly as [`gest_core::genes_hash`] does: varint count,
+/// then per gene a varint `def_index` followed by its instruction block.
+fn encode_genes(enc: &mut Encoder, genes: &[Gene]) {
+    enc.varint(genes.len() as u64);
+    for gene in genes {
+        enc.varint(gene.def_index as u64);
+        enc.instructions(&gene.instrs);
+    }
+}
+
+fn decode_genes(dec: &mut Decoder<'_>) -> Result<Vec<Gene>, DistError> {
+    let count = dec.varint()? as usize;
+    let mut genes = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let def_index = dec.varint()? as usize;
+        let instrs = dec.instructions()?;
+        genes.push(Gene { def_index, instrs });
+    }
+    Ok(genes)
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+///
+/// # Errors
+///
+/// Socket write failures.
+pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> Result<(), DistError> {
+    let payload = frame.encode();
+    debug_assert!(payload.len() as u32 <= MAX_FRAME);
+    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+    writer.write_all(&payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one frame.
+///
+/// # Errors
+///
+/// Socket read failures (including timeouts; see
+/// [`DistError::is_timeout`]), oversized lengths, and malformed payloads.
+pub fn read_frame(reader: &mut impl Read) -> Result<Frame, DistError> {
+    let mut header = [0u8; 4];
+    reader.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header);
+    if len == 0 || len > MAX_FRAME {
+        return Err(DistError::Protocol(format!(
+            "frame length {len} outside 1..={MAX_FRAME}"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Frame::decode(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(frame: Frame) -> Frame {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let decoded = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(decoded, frame);
+        decoded
+    }
+
+    #[test]
+    fn all_frame_kinds_roundtrip() {
+        roundtrip(Frame::hello());
+        roundtrip(Frame::Config {
+            xml: "<gest machine=\"cortex-a7\"/>".into(),
+        });
+        roundtrip(Frame::ConfigAck {
+            fingerprint: 0xdead_beef_cafe_f00d,
+            host: "board-03".into(),
+        });
+        let genes = vec![
+            Gene {
+                def_index: 2,
+                instrs: gest_isa::asm::parse_block("ADD x1, x2, x3").unwrap(),
+            },
+            Gene {
+                def_index: 0,
+                instrs: gest_isa::asm::parse_block("MUL x4, x5, x6").unwrap(),
+            },
+        ];
+        roundtrip(Frame::EvalRequest {
+            generation: 7,
+            candidate: 123,
+            genes,
+        });
+        roundtrip(Frame::EvalResult {
+            candidate: 123,
+            outcome: Ok(vec![1.5, -2.25, 0.0]),
+        });
+        roundtrip(Frame::EvalResult {
+            candidate: 9,
+            outcome: Err("probe fell off".into()),
+        });
+        roundtrip(Frame::Heartbeat);
+        roundtrip(Frame::Shutdown);
+        roundtrip(Frame::Error {
+            message: "fingerprint mismatch".into(),
+        });
+    }
+
+    #[test]
+    fn eval_request_genes_encode_canonically() {
+        // The wire bytes for genes must be the exact bytes genes_hash
+        // hashes, so worker-side cache keys match content addressing.
+        let genes = vec![Gene {
+            def_index: 5,
+            instrs: gest_isa::asm::parse_block("ADD x1, x2, x3").unwrap(),
+        }];
+        let mut enc = Encoder::new();
+        encode_genes(&mut enc, &genes);
+        let wire = enc.into_bytes();
+
+        let mut reference = Encoder::new();
+        reference.varint(genes.len() as u64);
+        for gene in &genes {
+            reference.varint(gene.def_index as u64);
+            reference.instructions(&gene.instrs);
+        }
+        assert_eq!(wire, reference.into_bytes());
+
+        let mut dec = Decoder::new(&wire);
+        assert_eq!(decode_genes(&mut dec).unwrap(), genes);
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_rejected() {
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let err = read_frame(&mut Cursor::new(&oversized)).unwrap_err();
+        assert!(matches!(err, DistError::Protocol(_)), "{err}");
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::hello()).unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, DistError::Io(_)), "{err}");
+
+        let empty: &[u8] = &[];
+        let err = read_frame(&mut Cursor::new(empty)).unwrap_err();
+        assert!(err.is_clean_eof(), "{err}");
+    }
+
+    #[test]
+    fn hello_rejects_wrong_magic() {
+        let mut enc = Encoder::new();
+        enc.u8(1).bytes(b"NOTGESTD").u32(PROTOCOL_VERSION);
+        let payload = enc.into_bytes();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(
+            matches!(err, DistError::Protocol(ref m) if m.contains("magic")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut enc = Encoder::new();
+        enc.u8(6).u8(0xff);
+        let payload = enc.into_bytes();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(
+            matches!(err, DistError::Protocol(ref m) if m.contains("trailing")),
+            "{err}"
+        );
+    }
+}

@@ -7,6 +7,10 @@
 //!          [--no-eval-cache]        run a GA search from a main configuration
 //! gest resume <output_dir> [--trace[=PATH]] [--progress] [--no-eval-cache]
 //!                                  continue a checkpointed run after a crash
+//! gest worker --listen=ADDR [--once]
+//!                                  serve measurements to a remote `gest run`;
+//!                                  `run`/`resume` take --workers=ADDR,ADDR
+//!                                  to evaluate on such workers
 //! gest report <run_trace.jsonl>    summarize a trace: phases, slow candidates,
 //!                                  operator mix, cache, convergence vs wall-clock
 //! gest bench [flags]               time candidate evaluation with and without
@@ -18,6 +22,7 @@
 //! ```
 
 use gest::core::{stats, GestConfig, GestError, GestRun, SavedPopulation};
+use gest::dist::{hostname, Coordinator, CoordinatorOptions, Worker};
 use gest::isa::InstrClass;
 use gest::sim::{MachineConfig, RunConfig, Simulator};
 use gest::telemetry::json::Value;
@@ -39,6 +44,7 @@ fn main() -> ExitCode {
             args.get(2).map(String::as_str),
         ),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
         Some("machines") => cmd_machines(),
         Some("workloads") => cmd_workloads(args.get(1).map(String::as_str)),
         Some("help") | None => {
@@ -68,11 +74,15 @@ fn print_usage() {
          --trace[=PATH]                 write run_trace.jsonl (default: output dir)\n    \
          --progress                     live per-generation progress on stderr\n    \
          --checkpoint-every=N           write a resumable checkpoint every N generations\n    \
-         --no-eval-cache                disable the content-addressed result cache\n  \
+         --no-eval-cache                disable the content-addressed result cache\n    \
+         --workers=ADDR,ADDR            evaluate on remote `gest worker` processes\n  \
          gest resume <output_dir> [flags] continue a checkpointed run after a crash\n    \
          --trace[=PATH]                 append to run_trace.jsonl (default: output dir)\n    \
          --progress                     live per-generation progress on stderr\n    \
-         --no-eval-cache                disable the content-addressed result cache\n  \
+         --no-eval-cache                disable the content-addressed result cache\n    \
+         --workers=ADDR,ADDR            evaluate on remote `gest worker` processes\n  \
+         gest worker --listen=ADDR        serve measurements to a remote `gest run`\n    \
+         --once                         exit after serving one coordinator session\n  \
          gest report <run_trace.jsonl>    summarize a trace written by run --trace\n  \
          gest bench [flags]               compare fast-path vs baseline evaluation speed\n    \
          --rounds=N --population=N --generations=N --machine=NAME\n    \
@@ -98,6 +108,7 @@ struct SearchFlags {
     progress: bool,
     checkpoint_every: Option<u32>,
     no_eval_cache: bool,
+    workers: Vec<String>,
 }
 
 fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchFlags, GestError> {
@@ -111,6 +122,18 @@ fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchF
             flags.trace = Some(None);
         } else if let Some(path) = arg.strip_prefix("--trace=") {
             flags.trace = Some(Some(path.to_string()));
+        } else if let Some(list) = arg.strip_prefix("--workers=") {
+            flags.workers = list
+                .split(',')
+                .map(str::trim)
+                .filter(|addr| !addr.is_empty())
+                .map(str::to_string)
+                .collect();
+            if flags.workers.is_empty() {
+                return Err(GestError::Config(
+                    "--workers needs at least one host:port address".into(),
+                ));
+            }
         } else if let Some(n) = arg.strip_prefix("--checkpoint-every=") {
             if !allow_checkpoint {
                 return Err(GestError::Config(format!(
@@ -220,6 +243,57 @@ fn print_artifact_locations(output_dir: Option<&Path>, trace_path: Option<&Path>
     }
 }
 
+/// Connects a distributed-evaluation coordinator when `--workers` was
+/// given; `None` keeps the default local thread-pool backend.
+fn connect_workers(
+    workers: &[String],
+    config_xml: String,
+    telemetry: Telemetry,
+) -> Result<Option<Arc<Coordinator>>, GestError> {
+    if workers.is_empty() {
+        return Ok(None);
+    }
+    let coordinator = Coordinator::connect(
+        workers,
+        config_xml,
+        telemetry,
+        CoordinatorOptions::default(),
+    )?;
+    eprintln!(
+        "distributed evaluation over {} worker{}: {}",
+        workers.len(),
+        if workers.len() == 1 { "" } else { "s" },
+        workers.join(", ")
+    );
+    Ok(Some(Arc::new(coordinator)))
+}
+
+fn cmd_worker(args: &[String]) -> Result<(), GestError> {
+    let mut listen: Option<String> = None;
+    let mut once = false;
+    for arg in args {
+        if let Some(addr) = arg.strip_prefix("--listen=") {
+            listen = Some(addr.to_string());
+        } else if arg == "--once" {
+            once = true;
+        } else {
+            return Err(GestError::Config(format!("unknown worker flag {arg:?}")));
+        }
+    }
+    let listen = required(listen.as_deref(), "--listen=HOST:PORT")?;
+    let mut worker = Worker::bind(listen)
+        .map_err(|e| GestError::Config(format!("worker: cannot listen on {listen}: {e}")))?;
+    if once {
+        worker = worker.once();
+    }
+    eprintln!(
+        "gest worker on {} ({}): waiting for a coordinator",
+        worker.local_addr(),
+        hostname()
+    );
+    worker.run().map_err(GestError::from)
+}
+
 fn cmd_run(args: &[String]) -> Result<(), GestError> {
     let flags = parse_search_flags(args, true)?;
     let path = required(flags.positional.as_deref(), "path to config.xml")?;
@@ -252,7 +326,15 @@ fn cmd_run(args: &[String]) -> Result<(), GestError> {
         }),
     );
     let output_dir = config.output_dir.clone();
+    let backend = connect_workers(
+        &flags.workers,
+        config.to_xml().to_string(),
+        config.telemetry.clone(),
+    )?;
     let mut builder = GestRun::builder().config(config);
+    if let Some(backend) = backend {
+        builder = builder.eval_backend(backend);
+    }
     if flags.no_eval_cache {
         builder = builder.eval_cache(false);
     }
@@ -268,9 +350,24 @@ fn cmd_resume(args: &[String]) -> Result<(), GestError> {
         "output directory of the interrupted run",
     )?);
     let (telemetry, trace_path) = build_telemetry(&flags, Some(&dir), true)?;
+    // The coordinator must fingerprint the exact bytes the resume path
+    // fingerprints: the directory's config.xml as-is.
+    let backend = if flags.workers.is_empty() {
+        None
+    } else {
+        let raw = std::fs::read_to_string(dir.join("config.xml"))?;
+        connect_workers(
+            &flags.workers,
+            raw,
+            telemetry.clone().unwrap_or_else(Telemetry::disabled),
+        )?
+    };
     let mut builder = GestRun::builder().resume_from(&dir);
     if let Some(telemetry) = telemetry {
         builder = builder.telemetry(telemetry);
+    }
+    if let Some(backend) = backend {
+        builder = builder.eval_backend(backend);
     }
     if flags.no_eval_cache {
         builder = builder.eval_cache(false);
@@ -781,8 +878,13 @@ fn cmd_bench(args: &[String]) -> Result<(), GestError> {
     };
     let extrapolated = steady_after.extrapolated_iterations - steady_before.extrapolated_iterations;
 
+    // The machine name, host, and evaluation parallelism make trajectory
+    // entries comparable across PRs and machines: a speedup means little
+    // without knowing how many eval threads produced it.
+    let eval_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"machine\": \"{}\",\n  \"measurement\": \"power\",\n  \
+        "{{\n  \"machine\": \"{}\",\n  \"host\": \"{}\",\n  \"eval_threads\": {},\n  \
+         \"measurement\": \"power\",\n  \
          \"population\": {},\n  \"individual_size\": {},\n  \"generations\": {},\n  \
          \"setup_generations\": {},\n  \
          \"rounds\": {},\n  \"candidates\": {},\n  \"fast\": {{\n    \
@@ -793,6 +895,8 @@ fn cmd_bench(args: &[String]) -> Result<(), GestError> {
          \"baseline\": {{\n    \"seconds\": {:.6},\n    \"candidates_per_sec\": {:.2}\n  }},\n  \
          \"speedup\": {:.2},\n  \"identical_results\": {}\n}}\n",
         flags.machine,
+        hostname(),
+        eval_threads,
         flags.population,
         flags.individual,
         flags.generations,

@@ -23,6 +23,9 @@
 //!   against;
 //! * [`telemetry`] — spans, metrics, and `run_trace.jsonl` artifacts for
 //!   observing the search (disabled by default, near-zero cost when off);
+//! * [`dist`] — coordinator/worker distributed evaluation over TCP
+//!   (`gest worker` + `gest run --workers`), reproducing the paper's
+//!   parallel measurement across identical boards (§III.C);
 //! * [`xml`] — the minimal XML parser behind the configuration files.
 //!
 //! # Quick start
@@ -51,6 +54,7 @@
 //! resumed search continues bit-identically to an uninterrupted one.
 
 pub use gest_core as core;
+pub use gest_dist as dist;
 pub use gest_ga as ga;
 pub use gest_isa as isa;
 pub use gest_sim as sim;

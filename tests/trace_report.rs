@@ -1,0 +1,98 @@
+//! Torn-line recovery for `run_trace.jsonl`: when a crash cuts the final
+//! line short, [`JsonlSink::append`] must write a guard newline so the
+//! next event starts fresh — readers then see exactly one unparseable
+//! line — and `gest report` must count exactly that one warning.
+
+use gest::telemetry::json::Value;
+use gest::telemetry::{Event, JsonlSink, Telemetry};
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+
+fn temp_trace(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gest_trace_torn_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("run_trace.jsonl")
+}
+
+/// Emits a few real events through a telemetry pipeline into `sink`.
+fn emit_events(sink: Arc<JsonlSink>, candidates: u64) {
+    let telemetry = Telemetry::new(sink);
+    for candidate in 0..candidates {
+        let span = telemetry.span_with("evaluate", &[("candidate", candidate.into())]);
+        telemetry.add_counter("eval.done", 1);
+        drop(span);
+    }
+    telemetry.finish();
+}
+
+/// Cuts the file's final line short, as a crash mid-write would.
+fn tear_final_line(path: &std::path::Path) {
+    let bytes = std::fs::read(path).unwrap();
+    assert!(bytes.ends_with(b"\n"), "precondition: intact trace");
+    // Drop the trailing newline and the last 10 bytes of the final line
+    // (every JSONL event line is far longer than that).
+    std::fs::write(path, &bytes[..bytes.len() - 11]).unwrap();
+    let torn = std::fs::read(path).unwrap();
+    assert!(!torn.ends_with(b"\n"), "final line must now be torn");
+}
+
+#[test]
+fn append_after_torn_final_line_yields_parseable_jsonl() {
+    let path = temp_trace("parse");
+    emit_events(Arc::new(JsonlSink::create(&path).unwrap()), 4);
+    tear_final_line(&path);
+
+    // Resume-style append: the guard newline must isolate the torn line.
+    emit_events(Arc::new(JsonlSink::append(&path).unwrap()), 3);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut parseable = 0;
+    let mut torn = 0;
+    for line in text.lines() {
+        match Value::parse(line).ok().and_then(|v| Event::from_json(&v)) {
+            Some(_) => parseable += 1,
+            None => torn += 1,
+        }
+    }
+    assert_eq!(torn, 1, "exactly the torn line is lost:\n{text}");
+    assert!(
+        parseable >= 6,
+        "events before the tear and every appended event must parse ({parseable} parsed)"
+    );
+
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn report_counts_exactly_one_warning_for_a_torn_line() {
+    let path = temp_trace("report");
+    emit_events(Arc::new(JsonlSink::create(&path).unwrap()), 4);
+    tear_final_line(&path);
+    emit_events(Arc::new(JsonlSink::append(&path).unwrap()), 3);
+
+    let output = Command::new(env!("CARGO_BIN_EXE_gest"))
+        .arg("report")
+        .arg(&path)
+        .output()
+        .expect("run gest report");
+    assert!(
+        output.status.success(),
+        "report failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let warnings: Vec<&str> = stderr
+        .lines()
+        .filter(|line| line.starts_with("warning:"))
+        .collect();
+    assert_eq!(warnings.len(), 1, "stderr:\n{stderr}");
+    assert!(
+        warnings[0].contains("skipped 1 unparseable line"),
+        "warning must count exactly the one torn line: {}",
+        warnings[0]
+    );
+
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
