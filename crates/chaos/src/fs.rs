@@ -1,0 +1,164 @@
+//! [`ChaosFs`]: fault injection on the persistence write path.
+//!
+//! Implements `gest_core::WriteFs`, so `GestRun` checkpoints and
+//! eval-cache sidecars route through it. Each persistence fault is a
+//! one-shot latch armed from the [`FaultPlan`]:
+//!
+//! * [`FaultKind::TornCheckpointWrite`] — the *first* checkpoint
+//!   manifest write persists only half its bytes yet reports success
+//!   (a power cut after a non-atomic write); a later periodic save
+//!   overwrites the wreckage, and `Checkpoint::load`'s length checks
+//!   would reject it on resume;
+//! * [`FaultKind::DiskFullOnSave`] — the next manifest write fails with
+//!   ENOSPC, exercising the runner's retry-once-then-propagate path;
+//! * [`FaultKind::CorruptCacheRecord`] — the next sidecar write flips
+//!   one bit, breaking the final record's CRC; the v2 sidecar loader
+//!   drops exactly that record and keeps the rest.
+
+use crate::plan::{FaultKind, FaultPlan};
+use gest_core::{RealFs, WriteFs, CHECKPOINT_FILE, EVAL_CACHE_FILE};
+use gest_telemetry::Telemetry;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A `WriteFs` decorator over [`RealFs`] that tears, rejects, or
+/// corrupts artifact writes according to the plan.
+#[derive(Debug)]
+pub struct ChaosFs {
+    inner: RealFs,
+    telemetry: Telemetry,
+    torn_checkpoint: AtomicBool,
+    disk_full: AtomicBool,
+    corrupt_cache: AtomicBool,
+}
+
+impl ChaosFs {
+    /// Arms the persistence-layer faults present in `plan`.
+    pub fn new(plan: &FaultPlan, telemetry: Telemetry) -> ChaosFs {
+        let armed = |kind| plan.faults().contains(&kind);
+        ChaosFs {
+            inner: RealFs,
+            telemetry,
+            torn_checkpoint: AtomicBool::new(armed(FaultKind::TornCheckpointWrite)),
+            disk_full: AtomicBool::new(armed(FaultKind::DiskFullOnSave)),
+            corrupt_cache: AtomicBool::new(armed(FaultKind::CorruptCacheRecord)),
+        }
+    }
+
+    /// Persistence faults still armed.
+    pub fn remaining(&self) -> usize {
+        [&self.torn_checkpoint, &self.disk_full, &self.corrupt_cache]
+            .iter()
+            .filter(|latch| latch.load(Ordering::SeqCst))
+            .count()
+    }
+
+    fn fire(&self, kind: FaultKind, path: &Path) {
+        self.telemetry.add_counter(&kind.counter(), 1);
+        self.telemetry.point(
+            "chaos.inject",
+            &[
+                ("kind", kind.name().into()),
+                ("path", path.display().to_string().as_str().into()),
+            ],
+        );
+    }
+}
+
+impl WriteFs for ChaosFs {
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name == CHECKPOINT_FILE {
+            if self.torn_checkpoint.swap(false, Ordering::SeqCst) {
+                self.fire(FaultKind::TornCheckpointWrite, path);
+                return self.inner.write_atomic(path, &bytes[..bytes.len() / 2]);
+            }
+            if self.disk_full.swap(false, Ordering::SeqCst) {
+                self.fire(FaultKind::DiskFullOnSave, path);
+                return Err(std::io::Error::other("chaos: injected disk-full (ENOSPC)"));
+            }
+        }
+        if name == EVAL_CACHE_FILE && self.corrupt_cache.swap(false, Ordering::SeqCst) {
+            self.fire(FaultKind::CorruptCacheRecord, path);
+            let mut damaged = bytes.to_vec();
+            if let Some(last) = damaged.last_mut() {
+                *last ^= 0x40;
+            }
+            return self.inner.write_atomic(path, &damaged);
+        }
+        self.inner.write_atomic(path, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gest_chaosfs_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn each_persistence_fault_fires_exactly_once() {
+        let dir = temp_dir("latch");
+        // A full-size plan arms all three persistence faults.
+        let plan = FaultPlan::generate(0, FaultKind::ALL.len());
+        let fs = ChaosFs::new(&plan, Telemetry::disabled());
+        assert_eq!(fs.remaining(), 3);
+
+        let manifest = dir.join(CHECKPOINT_FILE);
+        let payload = vec![0xAB; 64];
+
+        // First manifest write: torn — succeeds but persists half.
+        fs.write_atomic(&manifest, &payload).unwrap();
+        assert_eq!(std::fs::read(&manifest).unwrap().len(), 32);
+
+        // Second: ENOSPC, nothing overwritten.
+        let err = fs.write_atomic(&manifest, &payload).unwrap_err();
+        assert!(err.to_string().contains("disk-full"), "{err}");
+        assert_eq!(std::fs::read(&manifest).unwrap().len(), 32);
+
+        // Third and later: clean.
+        fs.write_atomic(&manifest, &payload).unwrap();
+        assert_eq!(std::fs::read(&manifest).unwrap(), payload);
+
+        // First sidecar write: one flipped bit, same length.
+        let sidecar = dir.join(EVAL_CACHE_FILE);
+        fs.write_atomic(&sidecar, &payload).unwrap();
+        let written = std::fs::read(&sidecar).unwrap();
+        assert_eq!(written.len(), payload.len());
+        let flipped: usize = written
+            .iter()
+            .zip(&payload)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit flipped");
+
+        // Later sidecar writes: clean.
+        fs.write_atomic(&sidecar, &payload).unwrap();
+        assert_eq!(std::fs::read(&sidecar).unwrap(), payload);
+
+        assert_eq!(fs.remaining(), 0);
+        // Unrelated artifacts are never touched.
+        let other = dir.join("population_0001.bin");
+        fs.write_atomic(&other, &payload).unwrap();
+        assert_eq!(std::fs::read(&other).unwrap(), payload);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_plan_without_fs_faults_arms_nothing() {
+        // Single-fault plans: scan seeds until the one scheduled fault
+        // is not a persistence fault.
+        let plan = (0..64)
+            .map(|seed| FaultPlan::generate(seed, 1))
+            .find(|plan| !matches!(plan.faults()[0].layer(), crate::plan::FaultLayer::Fs))
+            .unwrap();
+        let fs = ChaosFs::new(&plan, Telemetry::disabled());
+        assert_eq!(fs.remaining(), 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Fault taxonomy and the seeded plan that schedules it.
+//!
+//! A [`FaultPlan`] is a deterministic sequence of [`FaultKind`]s drawn
+//! from a xoshiro256\*\* stream: the same `(seed, count)` always yields
+//! the same plan, so a failing chaos run is reproducible from its seed.
+//! The plan is split by injection layer — evaluation backend, dist
+//! transport, persistence — and each layer's shim consumes its own
+//! sub-schedule.
+
+use crate::rng::Xoshiro256;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Every fault the chaos layer knows how to inject, spanning the three
+/// seams (evaluation backend, dist transport, write path) plus the one
+/// harness-level fault (killing worker processes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The measurement panics mid-flight (contained by
+    /// `gest_core::catch_measure`).
+    MeasurePanic,
+    /// The measurement hangs well past the configured watchdog.
+    MeasureHang,
+    /// The backend returns a NaN measurement vector; the runner must
+    /// reject it before it can poison fitness or the eval cache.
+    NonFiniteMeasurement,
+    /// A received dist frame vanishes (surfaces as a read timeout).
+    DropFrame,
+    /// A received dist frame's kind byte is overwritten, forcing the
+    /// protocol-error path.
+    GarbleFrame,
+    /// A received dist frame is cut in half mid-payload.
+    TruncateFrame,
+    /// Frame delivery stalls briefly, simulating a congested or
+    /// GC-paused worker that is slow but not dead.
+    DelayHeartbeat,
+    /// A worker process dies abruptly (executed by the soak harness,
+    /// which kills the whole in-process fleet: total fleet loss).
+    KillWorker,
+    /// A checkpoint manifest write tears: half the bytes land on disk
+    /// and the writer is told it succeeded — what a power cut after a
+    /// non-atomic write leaves behind.
+    TornCheckpointWrite,
+    /// A checkpoint manifest write fails with ENOSPC.
+    DiskFullOnSave,
+    /// An eval-cache sidecar write flips a bit, corrupting the final
+    /// record's CRC.
+    CorruptCacheRecord,
+}
+
+/// The seam a [`FaultKind`] is injected through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultLayer {
+    /// Injected by [`crate::ChaosBackend`] around `measure` calls.
+    Backend,
+    /// Injected by [`crate::ChaosTransport`] under the dist frame
+    /// reader.
+    Transport,
+    /// Injected by [`crate::ChaosFs`] on atomic artifact writes.
+    Fs,
+    /// Executed by the soak harness itself (process-level).
+    Harness,
+}
+
+impl FaultKind {
+    /// Every fault kind, in declaration order.
+    pub const ALL: [FaultKind; 11] = [
+        FaultKind::MeasurePanic,
+        FaultKind::MeasureHang,
+        FaultKind::NonFiniteMeasurement,
+        FaultKind::DropFrame,
+        FaultKind::GarbleFrame,
+        FaultKind::TruncateFrame,
+        FaultKind::DelayHeartbeat,
+        FaultKind::KillWorker,
+        FaultKind::TornCheckpointWrite,
+        FaultKind::DiskFullOnSave,
+        FaultKind::CorruptCacheRecord,
+    ];
+
+    /// Stable snake_case name, used in telemetry counters and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::MeasurePanic => "measure_panic",
+            FaultKind::MeasureHang => "measure_hang",
+            FaultKind::NonFiniteMeasurement => "non_finite_measurement",
+            FaultKind::DropFrame => "drop_frame",
+            FaultKind::GarbleFrame => "garble_frame",
+            FaultKind::TruncateFrame => "truncate_frame",
+            FaultKind::DelayHeartbeat => "delay_heartbeat",
+            FaultKind::KillWorker => "worker_kill",
+            FaultKind::TornCheckpointWrite => "torn_checkpoint_write",
+            FaultKind::DiskFullOnSave => "disk_full_on_save",
+            FaultKind::CorruptCacheRecord => "corrupt_cache_record",
+        }
+    }
+
+    /// The telemetry counter incremented every time this fault fires.
+    pub fn counter(self) -> String {
+        format!("chaos.fault.{}", self.name())
+    }
+
+    /// Which shim injects this fault.
+    pub fn layer(self) -> FaultLayer {
+        match self {
+            FaultKind::MeasurePanic | FaultKind::MeasureHang | FaultKind::NonFiniteMeasurement => {
+                FaultLayer::Backend
+            }
+            FaultKind::DropFrame
+            | FaultKind::GarbleFrame
+            | FaultKind::TruncateFrame
+            | FaultKind::DelayHeartbeat => FaultLayer::Transport,
+            FaultKind::TornCheckpointWrite
+            | FaultKind::DiskFullOnSave
+            | FaultKind::CorruptCacheRecord => FaultLayer::Fs,
+            FaultKind::KillWorker => FaultLayer::Harness,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A deterministic fault schedule: a pure function of `(seed, count)`.
+///
+/// The first `min(count, 11)` entries are a seeded shuffle of *all*
+/// fault kinds, so any plan with `count >= 11` is guaranteed to exercise
+/// the full taxonomy; entries beyond that are drawn uniformly. This
+/// breadth-first shape is what lets the soak assert "at least N distinct
+/// fault kinds fired" without retry loops.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// Generates the plan for `seed` with `count` scheduled faults.
+    pub fn generate(seed: u64, count: usize) -> FaultPlan {
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut shuffled = FaultKind::ALL.to_vec();
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            shuffled.swap(i, j);
+        }
+        let mut faults = Vec::with_capacity(count);
+        for slot in 0..count {
+            match shuffled.get(slot) {
+                Some(&kind) => faults.push(kind),
+                None => {
+                    let pick = rng.below(FaultKind::ALL.len() as u64) as usize;
+                    faults.push(FaultKind::ALL[pick]);
+                }
+            }
+        }
+        FaultPlan { seed, faults }
+    }
+
+    /// The seed this plan was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The full schedule, in firing order within each layer.
+    pub fn faults(&self) -> &[FaultKind] {
+        &self.faults
+    }
+
+    /// The sub-schedule for one injection layer, in plan order.
+    pub fn for_layer(&self, layer: FaultLayer) -> VecDeque<FaultKind> {
+        self.faults
+            .iter()
+            .copied()
+            .filter(|kind| kind.layer() == layer)
+            .collect()
+    }
+
+    /// Whether the harness should kill the worker fleet mid-run.
+    pub fn kills_workers(&self) -> bool {
+        self.faults.contains(&FaultKind::KillWorker)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed {:#x}: ", self.seed)?;
+        for (i, kind) in self.faults.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(kind.name())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn plans_are_deterministic_in_the_seed() {
+        let a = FaultPlan::generate(99, 20);
+        let b = FaultPlan::generate(99, 20);
+        assert_eq!(a.faults(), b.faults());
+        assert_ne!(
+            FaultPlan::generate(100, 20).faults(),
+            a.faults(),
+            "different seeds should give different schedules"
+        );
+    }
+
+    #[test]
+    fn a_full_size_plan_covers_every_kind() {
+        for seed in 0..32 {
+            let plan = FaultPlan::generate(seed, FaultKind::ALL.len());
+            let distinct: HashSet<FaultKind> = plan.faults().iter().copied().collect();
+            assert_eq!(distinct.len(), FaultKind::ALL.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn layers_partition_the_schedule() {
+        let plan = FaultPlan::generate(7, 25);
+        let split: usize = [
+            FaultLayer::Backend,
+            FaultLayer::Transport,
+            FaultLayer::Fs,
+            FaultLayer::Harness,
+        ]
+        .into_iter()
+        .map(|layer| plan.for_layer(layer).len())
+        .sum();
+        assert_eq!(split, plan.faults().len());
+    }
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let names: HashSet<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), FaultKind::ALL.len());
+        assert_eq!(FaultKind::KillWorker.counter(), "chaos.fault.worker_kill");
+    }
+}

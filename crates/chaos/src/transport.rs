@@ -1,0 +1,135 @@
+//! [`ChaosTransport`]: fault injection under the dist frame reader.
+//!
+//! Installed via `CoordinatorOptions::chaos`, the coordinator routes
+//! every received payload (post-handshake) through [`TransportChaos`]
+//! before decoding — so injected garbling, truncation, drops, and
+//! delays exercise the *real* protocol-error and worker-loss paths: the
+//! connection is discarded, the candidate retried on another worker,
+//! and no fault-policy budget is consumed.
+
+use crate::plan::{FaultKind, FaultLayer, FaultPlan};
+use gest_dist::{DistError, TransportChaos};
+use gest_telemetry::Telemetry;
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// A [`TransportChaos`] hook that fires the transport sub-schedule of a
+/// [`FaultPlan`], one fault per received frame until the queue drains.
+#[derive(Debug)]
+pub struct ChaosTransport {
+    telemetry: Telemetry,
+    queue: Mutex<VecDeque<FaultKind>>,
+    delay_ms: u64,
+}
+
+impl ChaosTransport {
+    /// Schedules the transport-layer faults of `plan`.
+    pub fn new(plan: &FaultPlan, telemetry: Telemetry) -> ChaosTransport {
+        ChaosTransport {
+            telemetry,
+            queue: Mutex::new(plan.for_layer(FaultLayer::Transport)),
+            delay_ms: 300,
+        }
+    }
+
+    /// Sets how long an injected delivery stall sleeps; keep it well
+    /// under the coordinator's heartbeat timeout so the stall is "slow",
+    /// not "dead".
+    pub fn delay_ms(mut self, ms: u64) -> ChaosTransport {
+        self.delay_ms = ms;
+        self
+    }
+
+    /// Transport faults not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+impl TransportChaos for ChaosTransport {
+    fn on_receive(&self, payload: &mut Vec<u8>) -> Option<DistError> {
+        let kind = self
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()?;
+        self.telemetry.add_counter(&kind.counter(), 1);
+        match kind {
+            FaultKind::DropFrame => Some(DistError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "chaos: injected frame drop",
+            ))),
+            FaultKind::GarbleFrame => {
+                // Overwrite the kind byte with a value no frame uses:
+                // the decoder must reject it outright. Garbling payload
+                // *bodies* instead could decode into a plausible-but-
+                // wrong EvalResult, which no transport layer can catch —
+                // that class is covered by the protocol fuzz tests.
+                if let Some(first) = payload.first_mut() {
+                    *first = 0xFF;
+                }
+                None
+            }
+            FaultKind::TruncateFrame => {
+                let keep = payload.len() / 2;
+                payload.truncate(keep);
+                None
+            }
+            FaultKind::DelayHeartbeat => {
+                std::thread::sleep(Duration::from_millis(self.delay_ms));
+                None
+            }
+            other => unreachable!("{other} is not a transport-layer fault"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gest_dist::Frame;
+
+    #[test]
+    fn transport_faults_break_decoding_without_breaking_the_process() {
+        let plan = FaultPlan::generate(3, FaultKind::ALL.len());
+        let expected: Vec<FaultKind> = plan
+            .for_layer(FaultLayer::Transport)
+            .iter()
+            .copied()
+            .collect();
+        assert_eq!(expected.len(), 4, "four transport kinds exist");
+        let chaos = ChaosTransport::new(&plan, Telemetry::disabled()).delay_ms(1);
+
+        for kind in expected {
+            let mut payload = Frame::Heartbeat.encode();
+            let verdict = chaos.on_receive(&mut payload);
+            match kind {
+                FaultKind::DropFrame => {
+                    assert!(matches!(verdict, Some(DistError::Io(_))));
+                }
+                FaultKind::GarbleFrame | FaultKind::TruncateFrame => {
+                    assert!(verdict.is_none());
+                    assert!(
+                        Frame::decode(&payload).is_err(),
+                        "{kind}: damaged frame must not decode"
+                    );
+                }
+                FaultKind::DelayHeartbeat => {
+                    assert!(verdict.is_none());
+                    assert!(Frame::decode(&payload).is_ok(), "a delay is not damage");
+                }
+                other => unreachable!("{other}"),
+            }
+        }
+        assert_eq!(chaos.remaining(), 0);
+
+        // Queue drained: frames now pass through untouched.
+        let mut payload = Frame::Heartbeat.encode();
+        assert!(chaos.on_receive(&mut payload).is_none());
+        assert_eq!(Frame::decode(&payload).unwrap(), Frame::Heartbeat);
+    }
+}

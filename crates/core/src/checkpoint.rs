@@ -37,7 +37,7 @@
 //! generations after it.
 
 use crate::error::GestError;
-use crate::output::{atomic_write, SavedIndividual};
+use crate::output::{atomic_write, SavedIndividual, WriteFs};
 use gest_ga::{EngineState, GenerationSummary, OpCounts};
 use gest_isa::codec::{Decoder, Encoder};
 use gest_isa::CodecError;
@@ -193,6 +193,18 @@ impl Checkpoint {
     /// I/O errors.
     pub fn save(&self, dir: &Path) -> Result<(), GestError> {
         atomic_write(&dir.join(CHECKPOINT_FILE), &self.encode())?;
+        Ok(())
+    }
+
+    /// Like [`Checkpoint::save`], but through an explicit [`WriteFs`] —
+    /// the seam fault-injection harnesses use to simulate disk-full and
+    /// torn writes against the real persistence logic.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the [`WriteFs`].
+    pub fn save_via(&self, dir: &Path, fs: &dyn WriteFs) -> Result<(), GestError> {
+        fs.write_atomic(&dir.join(CHECKPOINT_FILE), &self.encode())?;
         Ok(())
     }
 

@@ -153,6 +153,9 @@ impl GestConfig {
             if let Some(value) = fault.attr("deadline_ms") {
                 builder.fault_policy.deadline_ms = Some(parse_attr("deadline_ms", value)?);
             }
+            if let Some(value) = fault.attr("watchdog_ms") {
+                builder.fault_policy.watchdog_ms = Some(parse_attr("watchdog_ms", value)?);
+            }
             if let Some(value) = fault.attr("quarantine") {
                 builder.fault_policy.quarantine = parse_attr("quarantine", value)?;
             }
@@ -219,6 +222,9 @@ impl GestConfig {
         fault.set_attr("backoff_ms", self.fault_policy.backoff_base_ms.to_string());
         if let Some(deadline) = self.fault_policy.deadline_ms {
             fault.set_attr("deadline_ms", deadline.to_string());
+        }
+        if let Some(watchdog) = self.fault_policy.watchdog_ms {
+            fault.set_attr("watchdog_ms", watchdog.to_string());
         }
         fault.set_attr("quarantine", self.fault_policy.quarantine.to_string());
         root.push_child(fault);
@@ -692,6 +698,7 @@ MOVI x10, #0
                 max_retries: 3,
                 backoff_base_ms: 25,
                 deadline_ms: Some(4000),
+                watchdog_ms: Some(9000),
                 quarantine: false,
             })
             .build()

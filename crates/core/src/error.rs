@@ -25,6 +25,11 @@ pub enum GestError {
     Codec(CodecError),
     /// Filesystem errors while writing run outputs.
     Io(std::io::Error),
+    /// An evaluation backend is unusable as a whole — e.g. a distributed
+    /// coordinator was given an empty worker list, or every worker is
+    /// down and no local fallback is configured. Distinct from
+    /// [`GestError::Measurement`], which concerns a single candidate.
+    Backend(String),
     /// An evaluation worker failed abnormally (e.g. a custom measurement
     /// panicked) while measuring a candidate.
     Measurement {
@@ -45,6 +50,7 @@ impl fmt::Display for GestError {
             GestError::Sim(e) => write!(f, "simulation error: {e}"),
             GestError::Codec(e) => write!(f, "population codec error: {e}"),
             GestError::Io(e) => write!(f, "io error: {e}"),
+            GestError::Backend(msg) => write!(f, "evaluation backend error: {msg}"),
             GestError::Measurement { candidate, message } => {
                 write!(f, "measurement of candidate {candidate} failed: {message}")
             }
@@ -55,7 +61,7 @@ impl fmt::Display for GestError {
 impl Error for GestError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            GestError::Config(_) | GestError::Measurement { .. } => None,
+            GestError::Config(_) | GestError::Backend(_) | GestError::Measurement { .. } => None,
             GestError::Isa(e) => Some(e),
             GestError::Xml(e) => Some(e),
             GestError::Ga(e) => Some(e),

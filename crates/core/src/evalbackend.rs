@@ -20,7 +20,8 @@ use crate::measurement::Measurement;
 use gest_isa::{Gene, Template};
 use gest_sim::RunResult;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// One candidate measurement to be performed by a backend.
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +107,55 @@ pub fn catch_measure<T>(
     })
 }
 
+/// Runs one backend measurement on a sacrificial thread with a hard
+/// wall-clock bound. If the measurement does not finish within
+/// `watchdog_ms`, the attempt is abandoned — the stuck thread is left to
+/// finish (or leak) in the background and the caller gets a
+/// [`GestError::Measurement`] immediately, so a wedged measurement
+/// plug-in cannot stall its evaluation slot forever. This is the local
+/// analogue of `gest-dist`'s heartbeat timeout; the runner uses it
+/// whenever [`crate::FaultPolicy::watchdog_ms`] is set.
+///
+/// # Errors
+///
+/// The measurement's own error, a [`GestError::Measurement`] carrying a
+/// panic payload, or a [`GestError::Measurement`] when the watchdog
+/// fires.
+pub fn watchdog_measure(
+    backend: &Arc<dyn EvalBackend>,
+    slot: usize,
+    request: &EvalRequest<'_>,
+    watchdog_ms: u64,
+) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
+    let (tx, rx) = mpsc::channel();
+    let backend = Arc::clone(backend);
+    let genes: Vec<Gene> = request.genes.to_vec();
+    let generation = request.generation;
+    let candidate_id = request.candidate_id;
+    std::thread::Builder::new()
+        .name(format!("gest-watchdog-{candidate_id}"))
+        .spawn(move || {
+            let request = EvalRequest {
+                generation,
+                candidate_id,
+                genes: &genes,
+            };
+            let result = catch_measure(candidate_id, || backend.measure(slot, &request));
+            let _ = tx.send(result);
+        })
+        .map_err(GestError::Io)?;
+    match rx.recv_timeout(Duration::from_millis(watchdog_ms)) {
+        Ok(result) => result,
+        Err(_) => Err(GestError::Measurement {
+            candidate: candidate_id,
+            message: format!(
+                "measurement still running after the {watchdog_ms}ms watchdog; \
+                 attempt abandoned"
+            ),
+        }),
+    }
+}
+
 /// The in-process backend: materializes each candidate against the run's
 /// template and measures it on the calling slot thread. This is the
 /// original `GestRun` thread-pool evaluation, extracted behind
@@ -181,6 +231,54 @@ mod tests {
         match err {
             GestError::Measurement { message, .. } => {
                 assert!(message.contains("panicked"), "{message}");
+            }
+            other => panic!("expected measurement error, got {other}"),
+        }
+    }
+
+    #[derive(Debug)]
+    struct SleepyBackend {
+        sleep_ms: u64,
+    }
+
+    impl EvalBackend for SleepyBackend {
+        fn name(&self) -> &str {
+            "sleepy"
+        }
+
+        fn slots(&self, _pending: usize) -> usize {
+            1
+        }
+
+        fn measure(
+            &self,
+            _slot: usize,
+            request: &EvalRequest<'_>,
+        ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
+            std::thread::sleep(Duration::from_millis(self.sleep_ms));
+            Ok((vec![request.candidate_id as f64], None))
+        }
+    }
+
+    #[test]
+    fn watchdog_passes_fast_measurements_and_abandons_hangs() {
+        let request = EvalRequest {
+            generation: 1,
+            candidate_id: 9,
+            genes: &[],
+        };
+
+        let fast: Arc<dyn EvalBackend> = Arc::new(SleepyBackend { sleep_ms: 0 });
+        let (values, detail) = watchdog_measure(&fast, 0, &request, 5_000).unwrap();
+        assert_eq!(values, vec![9.0]);
+        assert!(detail.is_none());
+
+        let slow: Arc<dyn EvalBackend> = Arc::new(SleepyBackend { sleep_ms: 3_000 });
+        let err = watchdog_measure(&slow, 0, &request, 50).unwrap_err();
+        match err {
+            GestError::Measurement { candidate, message } => {
+                assert_eq!(candidate, 9);
+                assert!(message.contains("watchdog"), "{message}");
             }
             other => panic!("expected measurement error, got {other}"),
         }

@@ -17,22 +17,43 @@
 //! The cache persists across crash/resume as an `evalcache.bin` sidecar
 //! written alongside the checkpoint manifest (same atomic tmp+rename
 //! discipline). The sidecar is an optimization, not state: a missing,
-//! stale, or corrupt sidecar simply starts the cache cold.
+//! stale, or corrupt sidecar simply starts the cache cold. Since format
+//! version 2 every record carries a CRC-32 of its own bytes, so a
+//! bit-flipped sidecar (cosmic ray, torn storage) drops only the corrupt
+//! records on load — the healthy remainder still warms the cache.
 
 use crate::error::GestError;
-use crate::output::atomic_write;
+use crate::output::{atomic_write, WriteFs};
 use gest_isa::codec::{Decoder, Encoder};
 use gest_isa::Gene;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Magic bytes identifying an evaluation-cache sidecar.
 const MAGIC: &[u8; 8] = b"GESTEVC1";
 
-/// Current sidecar format version.
-const VERSION: u32 = 1;
+/// Current sidecar format version. Version 2 added the per-record CRC-32
+/// (version-1 sidecars are treated as stale and start the cache cold —
+/// safe, because the sidecar is an optimization, never state).
+const VERSION: u32 = 2;
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the per-record checksum
+/// guarding sidecar records against silent corruption. Bitwise and
+/// dependency-free; sidecar records are tens of bytes, so no table is
+/// warranted.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// File name of the sidecar inside a run's output directory.
 pub const EVAL_CACHE_FILE: &str = "evalcache.bin";
@@ -98,6 +119,10 @@ pub struct EvalCacheStats {
     pub inserts: u64,
     /// Entries evicted by the memory cap.
     pub evictions: u64,
+    /// Sidecar records dropped on load because their CRC did not match
+    /// (bit rot, torn storage). Zero except right after a resume from a
+    /// damaged sidecar.
+    pub corrupt_dropped: u64,
     /// Approximate bytes currently held.
     pub bytes: usize,
     /// Entries currently held.
@@ -217,6 +242,7 @@ pub struct EvalCache {
     misses: AtomicU64,
     inserts: AtomicU64,
     evictions: AtomicU64,
+    corrupt_dropped: AtomicU64,
 }
 
 impl EvalCache {
@@ -231,7 +257,18 @@ impl EvalCache {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            corrupt_dropped: AtomicU64::new(0),
         }
+    }
+
+    /// Locks the LRU state, recovering from poison: a panic in one cache
+    /// user (e.g. a panicking measurement plug-in unwinding through a
+    /// worker thread) must not take the cache — and with it every other
+    /// evaluation — down. The cached data is an optimization, so
+    /// best-effort recovery is always safe: the worst case is a stale or
+    /// missing entry, which behaves like a miss.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The configuration fingerprint this cache is bound to. Results are
@@ -242,7 +279,7 @@ impl EvalCache {
 
     /// Looks up a key, refreshing its recency on a hit.
     pub fn get(&self, key: &EvalKey) -> Option<CachedEval> {
-        let mut inner = self.inner.lock().expect("eval cache lock");
+        let mut inner = self.lock();
         match inner.map.get(key).copied() {
             Some(index) => {
                 inner.touch(index);
@@ -261,7 +298,7 @@ impl EvalCache {
     /// values are identical in practice — measurements are content-pure).
     pub fn insert(&self, key: EvalKey, value: CachedEval) {
         let bytes = value.payload_bytes() + ENTRY_OVERHEAD;
-        let mut inner = self.inner.lock().expect("eval cache lock");
+        let mut inner = self.lock();
         self.inserts.fetch_add(1, Ordering::Relaxed);
         if let Some(index) = inner.map.get(&key).copied() {
             inner.bytes = inner.bytes - inner.nodes[index].bytes + bytes;
@@ -312,23 +349,26 @@ impl EvalCache {
 
     /// Current counters and occupancy.
     pub fn stats(&self) -> EvalCacheStats {
-        let inner = self.inner.lock().expect("eval cache lock");
+        let inner = self.lock();
         EvalCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt_dropped: self.corrupt_dropped.load(Ordering::Relaxed),
             bytes: inner.bytes,
             entries: inner.map.len(),
         }
     }
 
     /// Serializes the entries (least recent first, so loading restores
-    /// recency order). Detail key/value exports are dropped: they hold
-    /// `&'static str` keys that cannot be restored from disk, and only
-    /// telemetry consumes them.
+    /// recency order). Each record is length-prefixed and carries a
+    /// CRC-32 of its bytes, so load can drop individually corrupted
+    /// records instead of discarding the whole sidecar. Detail key/value
+    /// exports are dropped: they hold `&'static str` keys that cannot be
+    /// restored from disk, and only telemetry consumes them.
     pub fn encode(&self) -> Vec<u8> {
-        let inner = self.inner.lock().expect("eval cache lock");
+        let inner = self.lock();
         let mut enc = Encoder::new();
         enc.bytes(MAGIC);
         enc.u32(VERSION);
@@ -337,12 +377,16 @@ impl EvalCache {
         let mut index = inner.tail;
         while index != NIL {
             let node = &inner.nodes[index];
-            enc.u64((node.key.genes_hash >> 64) as u64);
-            enc.u64(node.key.genes_hash as u64);
-            enc.varint(node.value.measurements.len() as u64);
+            let mut record = Encoder::new();
+            record.u64((node.key.genes_hash >> 64) as u64);
+            record.u64(node.key.genes_hash as u64);
+            record.varint(node.value.measurements.len() as u64);
             for &m in &node.value.measurements {
-                enc.f64(m);
+                record.f64(m);
             }
+            let record = record.into_bytes();
+            enc.bytes(&record);
+            enc.u32(crc32(&record));
             index = node.prev;
         }
         enc.into_bytes()
@@ -358,49 +402,97 @@ impl EvalCache {
         Ok(())
     }
 
-    /// Loads a sidecar from `dir` into a fresh cache. Missing, corrupt,
-    /// truncated, or fingerprint-mismatched sidecars yield an empty cache
-    /// — the sidecar is an optimization, never required state.
+    /// Like [`EvalCache::save`], but through an explicit [`WriteFs`] —
+    /// the seam fault-injection harnesses use to simulate disk-full and
+    /// corrupted sidecar writes against the real persistence logic.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the [`WriteFs`].
+    pub fn save_via(&self, dir: &Path, fs: &dyn WriteFs) -> Result<(), GestError> {
+        fs.write_atomic(&dir.join(EVAL_CACHE_FILE), &self.encode())?;
+        Ok(())
+    }
+
+    /// Loads a sidecar from `dir` into a fresh cache. Missing, stale, or
+    /// fingerprint-mismatched sidecars yield an empty cache — the sidecar
+    /// is an optimization, never required state. Records whose CRC does
+    /// not match (bit rot, torn storage) are dropped individually with a
+    /// single warning; the healthy remainder still loads (counted in
+    /// [`EvalCacheStats::corrupt_dropped`]). Structural damage past the
+    /// last decodable record keeps whatever loaded before it.
     pub fn load(dir: &Path, config_fp: u64, max_bytes: usize) -> EvalCache {
         let cache = EvalCache::new(max_bytes, config_fp);
         let Ok(bytes) = std::fs::read(dir.join(EVAL_CACHE_FILE)) else {
             return cache;
         };
         let mut dec = Decoder::new(&bytes);
-        let ok = (|| -> Result<(), gest_isa::CodecError> {
-            if dec.bytes()? != MAGIC || dec.u32()? != VERSION || dec.u64()? != config_fp {
-                return Err(gest_isa::CodecError::Invalid("stale sidecar".into()));
-            }
-            let count = dec.varint()?;
-            for _ in 0..count {
-                let hi = dec.u64()?;
-                let lo = dec.u64()?;
-                let n = dec.varint()?;
-                let mut measurements = Vec::with_capacity(n.min(1 << 10) as usize);
-                for _ in 0..n {
-                    measurements.push(dec.f64()?);
-                }
-                cache.insert(
-                    EvalKey {
-                        config_fp,
-                        genes_hash: (u128::from(hi) << 64) | u128::from(lo),
-                    },
-                    CachedEval {
-                        measurements,
-                        detail_kv: None,
-                    },
-                );
-            }
-            Ok(())
+        let header_ok = (|| -> Result<bool, gest_isa::CodecError> {
+            Ok(dec.bytes()? == MAGIC && dec.u32()? == VERSION && dec.u64()? == config_fp)
         })();
-        if ok.is_err() {
-            return EvalCache::new(max_bytes, config_fp);
+        if !header_ok.unwrap_or(false) {
+            return cache;
+        }
+        let Ok(count) = dec.varint() else {
+            return cache;
+        };
+        let mut dropped: u64 = 0;
+        for _ in 0..count {
+            // A failure here is structural (a corrupted length prefix
+            // desynchronized the stream): stop, keeping earlier records.
+            let Ok((record, stored_crc)) = (|| -> Result<(&[u8], u32), gest_isa::CodecError> {
+                Ok((dec.bytes()?, dec.u32()?))
+            })() else {
+                dropped += 1;
+                break;
+            };
+            if crc32(record) != stored_crc {
+                dropped += 1;
+                continue;
+            }
+            let Ok((genes_hash, measurements)) =
+                (|| -> Result<(u128, Vec<f64>), gest_isa::CodecError> {
+                    let mut rec = Decoder::new(record);
+                    let hi = rec.u64()?;
+                    let lo = rec.u64()?;
+                    let n = rec.varint()?;
+                    let mut measurements = Vec::with_capacity(n.min(1 << 10) as usize);
+                    for _ in 0..n {
+                        measurements.push(rec.f64()?);
+                    }
+                    Ok(((u128::from(hi) << 64) | u128::from(lo), measurements))
+                })()
+            else {
+                // CRC matched but the record does not decode: a schema
+                // bug rather than bit rot; drop just this record.
+                dropped += 1;
+                continue;
+            };
+            cache.insert(
+                EvalKey {
+                    config_fp,
+                    genes_hash,
+                },
+                CachedEval {
+                    measurements,
+                    detail_kv: None,
+                },
+            );
+        }
+        if dropped > 0 {
+            eprintln!(
+                "warning: eval-cache sidecar in {} had {dropped} corrupt record{} \
+                 (dropped; the healthy remainder still warms the cache)",
+                dir.display(),
+                if dropped == 1 { "" } else { "s" }
+            );
         }
         // Loading went through insert: reset the counters it inflated.
         cache.inserts.store(0, Ordering::Relaxed);
         cache.misses.store(0, Ordering::Relaxed);
         cache.hits.store(0, Ordering::Relaxed);
         cache.evictions.store(0, Ordering::Relaxed);
+        cache.corrupt_dropped.store(dropped, Ordering::Relaxed);
         cache
     }
 }
@@ -510,6 +602,59 @@ mod tests {
         // Missing file likewise.
         std::fs::remove_file(dir.join(EVAL_CACHE_FILE)).unwrap();
         assert_eq!(EvalCache::load(&dir, 99, 1 << 20).stats().entries, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_sidecar_drops_only_corrupt_records() {
+        let dir = std::env::temp_dir().join(format!("gest_evc_crc_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let cache = EvalCache::new(1 << 20, 99);
+        cache.insert(key(1), value(1.0));
+        cache.insert(key(2), value(2.0));
+        cache.insert(key(3), value(3.0));
+        cache.save(&dir).unwrap();
+
+        // Flip one bit in the final record (its trailing CRC byte): only
+        // that record may be lost.
+        let mut bytes = std::fs::read(dir.join(EVAL_CACHE_FILE)).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(dir.join(EVAL_CACHE_FILE), &bytes).unwrap();
+
+        let restored = EvalCache::load(&dir, 99, 1 << 20);
+        let stats = restored.stats();
+        assert_eq!(stats.entries, 2, "healthy records still load");
+        assert_eq!(stats.corrupt_dropped, 1);
+        // Records are saved least-recent first, so the damaged final
+        // record is the most recently used key.
+        assert!(restored.get(&key(1)).is_some());
+        assert!(restored.get(&key(2)).is_some());
+        assert!(restored.get(&key(3)).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_sidecar_keeps_records_before_the_tear() {
+        let dir = std::env::temp_dir().join(format!("gest_evc_trunc_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let cache = EvalCache::new(1 << 20, 99);
+        cache.insert(key(1), value(1.0));
+        cache.insert(key(2), value(2.0));
+        cache.insert(key(3), value(3.0));
+        cache.save(&dir).unwrap();
+
+        let bytes = std::fs::read(dir.join(EVAL_CACHE_FILE)).unwrap();
+        std::fs::write(dir.join(EVAL_CACHE_FILE), &bytes[..bytes.len() - 6]).unwrap();
+
+        let restored = EvalCache::load(&dir, 99, 1 << 20);
+        let stats = restored.stats();
+        assert_eq!(stats.entries, 2, "records before the tear survive");
+        assert!(stats.corrupt_dropped >= 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

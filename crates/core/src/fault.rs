@@ -37,6 +37,14 @@ pub struct FaultPolicy {
     /// in-flight simulator step), so this bounds *accepted* latency, not
     /// worst-case latency.
     pub deadline_ms: Option<u64>,
+    /// Hard per-attempt watchdog: the measurement runs on a sacrificial
+    /// thread and an attempt still running after this budget is abandoned
+    /// (it becomes a measurement failure immediately, while the stuck
+    /// thread is left to finish or leak in the background). This is the
+    /// local-evaluation analogue of the distributed heartbeat timeout —
+    /// without it a wedged measurement plug-in stalls its evaluation slot
+    /// forever. `None` (the default) runs attempts inline with no bound.
+    pub watchdog_ms: Option<u64>,
     /// When a candidate exhausts its retries: `true` quarantines it
     /// (fitness [`QUARANTINE_FITNESS`], `NaN` measurements, the generation
     /// continues), `false` fails the run with
@@ -55,6 +63,7 @@ impl FaultPolicy {
             max_retries: 0,
             backoff_base_ms: 0,
             deadline_ms: None,
+            watchdog_ms: None,
             quarantine: false,
         }
     }
@@ -88,6 +97,7 @@ impl Default for FaultPolicy {
             max_retries: 1,
             backoff_base_ms: 0,
             deadline_ms: None,
+            watchdog_ms: None,
             quarantine: true,
         }
     }

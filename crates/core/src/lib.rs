@@ -68,7 +68,7 @@ pub mod stats;
 pub use checkpoint::{config_fingerprint, Checkpoint, CHECKPOINT_FILE, CHECKPOINT_VERSION};
 pub use config::{GestConfig, GestConfigBuilder};
 pub use error::GestError;
-pub use evalbackend::{catch_measure, EvalBackend, EvalRequest, LocalBackend};
+pub use evalbackend::{catch_measure, watchdog_measure, EvalBackend, EvalRequest, LocalBackend};
 pub use evalcache::{genes_hash, CachedEval, EvalCache, EvalCacheStats, EvalKey, EVAL_CACHE_FILE};
 pub use fault::{FaultPolicy, QUARANTINE_FITNESS};
 #[allow(deprecated)]
@@ -83,7 +83,7 @@ pub use measurement::{
     sim_fast_path_stats, CacheMissMeasurement, IpcMeasurement, Measurement, NoisyMeasurement,
     PowerMeasurement, SimFastPathStats, TemperatureMeasurement, VoltageNoiseMeasurement,
 };
-pub use output::{OutputWriter, SavedIndividual, SavedPopulation};
+pub use output::{OutputWriter, RealFs, SavedIndividual, SavedPopulation, WriteFs};
 pub use pools::{didt_pool, full_pool, ipc_pool, llc_pool, power_pool};
 pub use registry::{FitnessParams, Registry};
 pub use runner::{GestRun, GestRunBuilder, RunSummary};

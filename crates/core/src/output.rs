@@ -222,6 +222,33 @@ impl SavedPopulation {
     }
 }
 
+/// The write seam used by checkpoint manifests and eval-cache sidecars.
+///
+/// Production code uses [`RealFs`] (atomic tmp + rename); fault-injection
+/// harnesses (`gest-chaos`) substitute a shim that simulates disk-full
+/// errors, torn writes, and silent corruption without touching the real
+/// persistence code paths.
+pub trait WriteFs: Send + Sync + std::fmt::Debug {
+    /// Writes `bytes` to `path` with whole-file atomicity (a reader never
+    /// observes a half-written file under the final name).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying filesystem.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()>;
+}
+
+/// The production [`WriteFs`]: delegates to the crate's atomic
+/// tmp + rename write.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl WriteFs for RealFs {
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        atomic_write(path, bytes)
+    }
+}
+
 /// Writes `bytes` to `path` atomically: the content lands in a `.tmp`
 /// sibling first and is renamed into place, so a crash mid-write leaves
 /// either the old file or the new one, never a truncated hybrid. The

@@ -4,13 +4,13 @@
 use crate::checkpoint::{config_fingerprint, Checkpoint};
 use crate::config::GestConfig;
 use crate::error::GestError;
-use crate::evalbackend::{catch_measure, EvalBackend, EvalRequest, LocalBackend};
+use crate::evalbackend::{catch_measure, watchdog_measure, EvalBackend, EvalRequest, LocalBackend};
 use crate::evalcache::{genes_hash, CachedEval, EvalCache, EvalCacheStats, EvalKey};
 use crate::fault::QUARANTINE_FITNESS;
 use crate::fitness::{Fitness, FitnessContext};
 use crate::genetics::PoolGenetics;
 use crate::measurement::Measurement;
-use crate::output::{OutputWriter, SavedIndividual, SavedPopulation};
+use crate::output::{OutputWriter, RealFs, SavedIndividual, SavedPopulation, WriteFs};
 use crate::registry::{FitnessParams, Registry};
 use gest_ga::{Candidate, Evaluated, GaEngine, History, Population};
 use gest_isa::{Gene, Program};
@@ -96,6 +96,9 @@ pub struct GestRun {
     /// Where raw candidate measurements execute (local threads by
     /// default; `gest-dist` plugs remote workers in here).
     backend: Arc<dyn EvalBackend>,
+    /// How persistence writes reach disk ([`RealFs`] by default;
+    /// fault-injection harnesses substitute a failing shim here).
+    write_fs: Arc<dyn WriteFs>,
 }
 
 /// Builder for [`GestRun`] — the typed replacement for the old
@@ -131,6 +134,7 @@ pub struct GestRunBuilder {
     eval_cache: Option<bool>,
     eval_cache_handle: Option<Arc<EvalCache>>,
     eval_backend: Option<Arc<dyn EvalBackend>>,
+    write_fs: Option<Arc<dyn WriteFs>>,
 }
 
 impl GestRunBuilder {
@@ -209,6 +213,16 @@ impl GestRunBuilder {
         self
     }
 
+    /// Routes persistence writes (checkpoint manifests, eval-cache
+    /// sidecars) through a custom [`WriteFs`] instead of the real
+    /// filesystem. Defaults to [`RealFs`]; fault-injection harnesses use
+    /// this seam to simulate disk-full and torn writes against the real
+    /// persistence logic.
+    pub fn write_fs(mut self, fs: Arc<dyn WriteFs>) -> Self {
+        self.write_fs = Some(fs);
+        self
+    }
+
     /// Builds the run: resolves plug-ins, prepares the GA engine, opens
     /// the output directory, and — when resuming — restores engine,
     /// history, best individual, and current population from the
@@ -253,6 +267,7 @@ impl GestRunBuilder {
                     None,
                     self.eval_cache_handle,
                     self.eval_backend,
+                    self.write_fs,
                 )
             }
             (None, Some(dir)) => {
@@ -315,6 +330,7 @@ impl GestRunBuilder {
                     }),
                     self.eval_cache_handle,
                     self.eval_backend,
+                    self.write_fs,
                 )
             }
         }
@@ -382,6 +398,7 @@ impl GestRun {
     }
 
     /// The shared tail of fresh construction and resume.
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         config: GestConfig,
         fingerprint: u64,
@@ -390,6 +407,7 @@ impl GestRun {
         resume: Option<ResumeState>,
         shared_cache: Option<Arc<EvalCache>>,
         backend: Option<Arc<dyn EvalBackend>>,
+        write_fs: Option<Arc<dyn WriteFs>>,
     ) -> Result<GestRun, GestError> {
         // Equation-1 parameters: idle temperature = steady state under
         // static power alone; max = TJMAX (overridable via
@@ -492,6 +510,7 @@ impl GestRun {
             run_span,
             eval_cache,
             backend,
+            write_fs: write_fs.unwrap_or_else(|| Arc::new(RealFs)),
         })
     }
 
@@ -649,9 +668,30 @@ impl GestRun {
                 genes: best.genes.clone(),
             }),
         };
-        checkpoint.save(writer.dir())?;
+        // The manifest is the recovery anchor: retry a failed write once
+        // (transient disk-full or EINTR), then propagate — a run that
+        // cannot checkpoint anymore must fail loudly, not silently lose
+        // its resume point.
+        if let Err(first) = checkpoint.save_via(writer.dir(), &*self.write_fs) {
+            self.telemetry.add_counter("checkpoint.write_failures", 1);
+            eprintln!(
+                "gest: checkpoint write failed ({first}); retrying once at \
+                 generation {}",
+                self.generation
+            );
+            checkpoint.save_via(writer.dir(), &*self.write_fs)?;
+        }
+        // The sidecar is an optimization, not run state: losing it costs
+        // re-evaluation on resume, never correctness, so a failed write
+        // only warns.
         if let Some(cache) = &self.eval_cache {
-            cache.save(writer.dir())?;
+            if let Err(error) = cache.save_via(writer.dir(), &*self.write_fs) {
+                self.telemetry.add_counter("evalcache.write_failures", 1);
+                eprintln!(
+                    "gest: eval-cache sidecar write failed ({error}); \
+                     resume will start with a cold cache"
+                );
+            }
         }
         self.telemetry.add_counter("checkpoint.writes", 1);
         Ok(())
@@ -969,14 +1009,25 @@ impl GestRun {
                 });
             }
         }
-        let (measurements, detail) = self.backend.measure(
-            slot,
-            &EvalRequest {
-                generation,
-                candidate_id: candidate.id,
-                genes: &candidate.genes,
-            },
-        )?;
+        let request = EvalRequest {
+            generation,
+            candidate_id: candidate.id,
+            genes: &candidate.genes,
+        };
+        let (measurements, detail) = match self.config.fault_policy.watchdog_ms {
+            Some(watchdog_ms) => watchdog_measure(&self.backend, slot, &request, watchdog_ms)?,
+            None => self.backend.measure(slot, &request)?,
+        };
+        // Reject NaN/Inf before the result can reach the cache or a
+        // fitness function: non-finite measurements poison comparisons
+        // silently, so they count as a measurement failure (and go
+        // through the same retry/quarantine path as any other).
+        if let Some(bad) = measurements.iter().find(|value| !value.is_finite()) {
+            return Err(GestError::Measurement {
+                candidate: candidate.id,
+                message: format!("backend returned a non-finite measurement ({bad})"),
+            });
+        }
         if self.telemetry.is_enabled() {
             if let Some(result) = &detail {
                 let buckets = sim_buckets();
@@ -1254,6 +1305,7 @@ mod tests {
             max_retries: 0,
             backoff_base_ms: 0,
             deadline_ms: Some(5),
+            watchdog_ms: None,
             quarantine: false,
         };
         let err = GestRun::builder()

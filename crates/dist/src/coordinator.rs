@@ -20,13 +20,15 @@
 //! properties of the candidate and are returned immediately without
 //! retrying elsewhere.
 
-use crate::proto::{read_frame, write_frame, DistError, Frame, PROTOCOL_VERSION};
+use crate::proto::{
+    read_frame, read_payload, write_frame, DistError, Frame, TransportChaos, PROTOCOL_VERSION,
+};
 use gest_core::{config_fingerprint, EvalBackend, EvalRequest, GestError};
 use gest_sim::RunResult;
 use gest_telemetry::Telemetry;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// Tunables for a [`Coordinator`].
@@ -38,6 +40,16 @@ pub struct CoordinatorOptions {
     pub heartbeat_timeout: Duration,
     /// TCP connect timeout per worker.
     pub connect_timeout: Duration,
+    /// Fault-injection hook applied to every received payload after the
+    /// handshake (see [`TransportChaos`]). `None` in production.
+    pub chaos: Option<Arc<dyn TransportChaos>>,
+    /// Graceful degradation threshold: after this many *consecutive*
+    /// all-workers-unavailable checkout failures, the coordinator
+    /// permanently degrades to the fallback backend installed via
+    /// [`Coordinator::set_fallback`] (if any) instead of failing the
+    /// candidate. `None` (the default) never degrades — total fleet loss
+    /// surfaces to the runner's fault policy as before.
+    pub local_fallback_after: Option<u32>,
 }
 
 impl Default for CoordinatorOptions {
@@ -45,6 +57,8 @@ impl Default for CoordinatorOptions {
         CoordinatorOptions {
             heartbeat_timeout: Duration::from_secs(5),
             connect_timeout: Duration::from_secs(5),
+            chaos: None,
+            local_fallback_after: None,
         }
     }
 }
@@ -81,6 +95,16 @@ pub struct Coordinator {
     telemetry: Telemetry,
     /// Requests currently inside `measure`, for the queue-depth gauge.
     outstanding: AtomicUsize,
+    /// The backend measurements degrade to when the whole fleet is lost
+    /// (usually a `LocalBackend`); installed via
+    /// [`Coordinator::set_fallback`].
+    fallback: Mutex<Option<Arc<dyn EvalBackend>>>,
+    /// Latched once the fleet is declared lost; from then on every
+    /// measurement goes to the fallback.
+    degraded: AtomicBool,
+    /// Consecutive all-workers-unavailable checkout failures; reset by
+    /// any successful checkout.
+    fleet_failures: AtomicU32,
 }
 
 impl Coordinator {
@@ -101,8 +125,10 @@ impl Coordinator {
         options: CoordinatorOptions,
     ) -> Result<Coordinator, GestError> {
         if addrs.is_empty() {
-            return Err(GestError::Config(
-                "dist: --workers requires at least one address".into(),
+            return Err(GestError::Backend(
+                "dist: cannot build a coordinator over an empty worker list — \
+                 pass at least one address (e.g. --workers=host:7421)"
+                    .into(),
             ));
         }
         let fingerprint = config_fingerprint(&config_xml);
@@ -119,16 +145,53 @@ impl Coordinator {
             available: Condvar::new(),
             telemetry,
             outstanding: AtomicUsize::new(0),
+            fallback: Mutex::new(None),
+            degraded: AtomicBool::new(false),
+            fleet_failures: AtomicU32::new(0),
         };
         for (index, addr) in addrs.iter().enumerate() {
             let conn = coordinator
                 .dial(index)
                 .map_err(|e| GestError::Config(format!("dist: worker {addr}: {e}")))?;
-            let mut pool = coordinator.pool.lock().unwrap();
+            let mut pool = coordinator.lock_pool();
             pool.idle.push(conn);
             pool.live += 1;
         }
         Ok(coordinator)
+    }
+
+    /// Installs the backend measurements degrade to when the entire
+    /// fleet is lost for [`CoordinatorOptions::local_fallback_after`]
+    /// consecutive checkout attempts. Without a fallback (or with the
+    /// threshold unset) total fleet loss keeps surfacing as a
+    /// measurement error, as before.
+    pub fn set_fallback(&self, backend: Arc<dyn EvalBackend>) {
+        *self.fallback.lock().unwrap_or_else(PoisonError::into_inner) = Some(backend);
+    }
+
+    /// Whether the coordinator has permanently degraded to its fallback
+    /// backend after total fleet loss.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    fn fallback_backend(&self) -> Option<Arc<dyn EvalBackend>> {
+        self.fallback
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Locks the pool, recovering from poison: a dispatch thread that
+    /// panicked while holding the lock must not cascade into every other
+    /// slot. The pool state is self-healing — a connection lost in the
+    /// panic is re-dialed through the `broken` list — so continuing with
+    /// the inner state is always safe.
+    fn lock_pool(&self) -> MutexGuard<'_, PoolState> {
+        self.pool.lock().unwrap_or_else(|poisoned| {
+            self.telemetry.add_counter("dist.lock_poisoned", 1);
+            poisoned.into_inner()
+        })
     }
 
     /// Connects and handshakes one worker.
@@ -199,7 +262,7 @@ impl Coordinator {
     /// measurement error for the runner's fault policy, whose backoff
     /// becomes the reconnection window.
     fn checkout(&self, candidate: u64) -> Result<Conn, GestError> {
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = self.lock_pool();
         loop {
             if let Some(conn) = pool.idle.pop() {
                 return Ok(conn);
@@ -213,12 +276,12 @@ impl Coordinator {
                 match self.dial(index) {
                     Ok(conn) => {
                         self.telemetry.add_counter("dist.reconnects", 1);
-                        pool = self.pool.lock().unwrap();
+                        pool = self.lock_pool();
                         pool.live += 1;
                         return Ok(conn);
                     }
                     Err(_) => {
-                        pool = self.pool.lock().unwrap();
+                        pool = self.lock_pool();
                         pool.broken.push(index);
                     }
                 }
@@ -235,14 +298,17 @@ impl Coordinator {
             let (next, _timeout) = self
                 .available
                 .wait_timeout(pool, Duration::from_millis(100))
-                .unwrap();
+                .unwrap_or_else(|poisoned| {
+                    self.telemetry.add_counter("dist.lock_poisoned", 1);
+                    poisoned.into_inner()
+                });
             pool = next;
         }
     }
 
     /// Returns a healthy connection to the pool.
     fn checkin(&self, conn: Conn) {
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = self.lock_pool();
         pool.idle.push(conn);
         drop(pool);
         self.available.notify_one();
@@ -251,11 +317,26 @@ impl Coordinator {
     /// Marks a worker's connection broken and schedules reconnection.
     fn discard(&self, conn: Conn) {
         let _ = conn.stream.shutdown(std::net::Shutdown::Both);
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = self.lock_pool();
         pool.live -= 1;
         pool.broken.push(conn.index);
         drop(pool);
         self.available.notify_all();
+    }
+
+    /// Reads one frame, routing the raw payload through the configured
+    /// [`TransportChaos`] hook (if any) before decoding — so injected
+    /// garbling and truncation exercise the real protocol error paths.
+    /// The handshake in [`Coordinator::dial`] deliberately bypasses this:
+    /// chaos targets the steady-state request loop, not construction.
+    fn read_frame_chaos(&self, stream: &mut TcpStream) -> Result<Frame, DistError> {
+        let mut payload = read_payload(stream)?;
+        if let Some(chaos) = &self.options.chaos {
+            if let Some(error) = chaos.on_receive(&mut payload) {
+                return Err(error);
+            }
+        }
+        Frame::decode(&payload)
     }
 
     /// Sends one request and waits for its result, treating heartbeat
@@ -276,7 +357,7 @@ impl Coordinator {
         loop {
             // Each received frame (heartbeats included) restarts the
             // read timeout, so only true silence trips it.
-            match read_frame(&mut conn.stream)? {
+            match self.read_frame_chaos(&mut conn.stream)? {
                 Frame::Heartbeat => continue,
                 Frame::EvalResult { candidate, outcome } => {
                     if candidate != request.candidate_id {
@@ -309,17 +390,27 @@ impl EvalBackend for Coordinator {
     }
 
     fn slots(&self, pending: usize) -> usize {
+        if self.degraded.load(Ordering::SeqCst) {
+            if let Some(fallback) = self.fallback_backend() {
+                return fallback.slots(pending);
+            }
+        }
         self.addrs.len().min(pending.max(1))
     }
 
     fn measure(
         &self,
-        _slot: usize,
+        slot: usize,
         request: &EvalRequest<'_>,
     ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
+        if self.degraded.load(Ordering::SeqCst) {
+            if let Some(fallback) = self.fallback_backend() {
+                return fallback.measure(slot, request);
+            }
+        }
         let depth = self.outstanding.fetch_add(1, Ordering::SeqCst) + 1;
         self.telemetry.set_gauge("dist.queue_depth", depth as f64);
-        let result = self.measure_inner(request);
+        let result = self.measure_inner(slot, request);
         let depth = self.outstanding.fetch_sub(1, Ordering::SeqCst) - 1;
         self.telemetry.set_gauge("dist.queue_depth", depth as f64);
         result
@@ -327,12 +418,53 @@ impl EvalBackend for Coordinator {
 }
 
 impl Coordinator {
+    /// Handles one all-workers-unavailable checkout failure: count it,
+    /// and once the consecutive count reaches the configured threshold
+    /// (with a fallback installed) latch the degraded state. Returns the
+    /// fallback to delegate to, or `None` to propagate the error.
+    fn on_fleet_unavailable(&self) -> Option<Arc<dyn EvalBackend>> {
+        let failures = self.fleet_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        let threshold = self.options.local_fallback_after?;
+        if failures < threshold {
+            return None;
+        }
+        let fallback = self.fallback_backend()?;
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            self.telemetry.add_counter("dist.local_fallback", 1);
+            self.telemetry.point(
+                "dist.local_fallback",
+                &[
+                    ("workers", (self.addrs.len() as u64).into()),
+                    ("after_failures", u64::from(failures).into()),
+                    ("fallback", fallback.name().into()),
+                ],
+            );
+            eprintln!(
+                "gest: all {} workers unavailable after {failures} checkout \
+                 attempts; degrading to the {} backend for the rest of the run",
+                self.addrs.len(),
+                fallback.name()
+            );
+        }
+        Some(fallback)
+    }
+
     fn measure_inner(
         &self,
+        slot: usize,
         request: &EvalRequest<'_>,
     ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
         loop {
-            let mut conn = self.checkout(request.candidate_id)?;
+            let mut conn = match self.checkout(request.candidate_id) {
+                Ok(conn) => {
+                    self.fleet_failures.store(0, Ordering::SeqCst);
+                    conn
+                }
+                Err(error) => match self.on_fleet_unavailable() {
+                    Some(fallback) => return fallback.measure(slot, request),
+                    None => return Err(error),
+                },
+            };
             let span = self.telemetry.span_with(
                 "dist.request",
                 &[
@@ -383,7 +515,7 @@ impl Coordinator {
 
 impl Drop for Coordinator {
     fn drop(&mut self) {
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = self.lock_pool();
         for conn in pool.idle.iter_mut() {
             let _ = write_frame(&mut conn.stream, &Frame::Shutdown);
         }
@@ -410,7 +542,10 @@ mod tests {
             CoordinatorOptions::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, GestError::Config(_)), "{err}");
+        assert!(
+            matches!(err, GestError::Backend(ref m) if m.contains("empty worker list")),
+            "{err}"
+        );
     }
 
     #[test]

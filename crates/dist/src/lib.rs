@@ -35,7 +35,7 @@ mod coordinator;
 mod worker;
 
 pub use coordinator::{Coordinator, CoordinatorOptions};
-pub use proto::{DistError, Frame, MAGIC, MAX_FRAME, PROTOCOL_VERSION};
+pub use proto::{DistError, Frame, TransportChaos, MAGIC, MAX_FRAME, PROTOCOL_VERSION};
 pub use worker::{hostname, Worker, WorkerHandle, HEARTBEAT_INTERVAL};
 
 #[cfg(test)]
@@ -154,6 +154,93 @@ mod tests {
         }
         drop(coordinator);
         worker_b.kill();
+    }
+
+    #[test]
+    fn dead_fleet_fails_the_measurement_instead_of_hanging() {
+        let xml = test_config_xml();
+        let worker = Worker::bind("127.0.0.1:0").unwrap().spawn();
+        let coordinator = Coordinator::connect(
+            &[worker.addr().to_string()],
+            xml.clone(),
+            Telemetry::disabled(),
+            CoordinatorOptions {
+                connect_timeout: std::time::Duration::from_millis(300),
+                ..CoordinatorOptions::default()
+            },
+        )
+        .unwrap();
+        worker.kill();
+
+        let genes = some_genes(&xml);
+        let request = EvalRequest {
+            generation: 0,
+            candidate_id: 5,
+            genes: &genes,
+        };
+        // No fallback configured: total fleet loss must surface as a
+        // measurement error (for the runner's fault policy), not a hang
+        // on the pool condvar.
+        let err = coordinator.measure(0, &request).unwrap_err();
+        assert!(
+            matches!(err, gest_core::GestError::Measurement { candidate: 5, ref message }
+                if message.contains("unavailable")),
+            "{err}"
+        );
+        assert!(!coordinator.is_degraded());
+    }
+
+    #[test]
+    fn total_fleet_loss_degrades_to_the_fallback_backend() {
+        let xml = test_config_xml();
+        let worker = Worker::bind("127.0.0.1:0").unwrap().spawn();
+        let coordinator = Coordinator::connect(
+            &[worker.addr().to_string()],
+            xml.clone(),
+            Telemetry::disabled(),
+            CoordinatorOptions {
+                connect_timeout: std::time::Duration::from_millis(300),
+                local_fallback_after: Some(1),
+                ..CoordinatorOptions::default()
+            },
+        )
+        .unwrap();
+
+        let config = GestConfig::from_xml_str(&xml).unwrap();
+        let measurement = gest_core::Registry::default()
+            .build_measurement(
+                &config.measurement_name,
+                config.machine.clone(),
+                config.run_config,
+            )
+            .unwrap();
+        let local = Arc::new(gest_core::LocalBackend::new(
+            Arc::clone(&measurement),
+            config.template.clone(),
+            1,
+        ));
+        coordinator.set_fallback(local.clone());
+
+        let genes = some_genes(&xml);
+        let request = EvalRequest {
+            generation: 0,
+            candidate_id: 7,
+            genes: &genes,
+        };
+        let (remote, _) = coordinator.measure(0, &request).unwrap();
+        assert!(!coordinator.is_degraded(), "fleet is still up");
+
+        worker.kill();
+        let (degraded_values, _) = coordinator.measure(0, &request).unwrap();
+        assert!(coordinator.is_degraded(), "fleet loss latched");
+        assert_eq!(
+            degraded_values, remote,
+            "fallback must be bit-identical to the fleet"
+        );
+        // Once degraded, measure routes straight to the fallback.
+        let (again, _) = coordinator.measure(0, &request).unwrap();
+        assert_eq!(again, remote);
+        assert_eq!(coordinator.slots(100), local.slots(100));
     }
 
     #[test]

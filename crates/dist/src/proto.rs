@@ -165,7 +165,10 @@ impl Frame {
         }
     }
 
-    fn encode(&self) -> Vec<u8> {
+    /// Serializes the frame into its payload bytes (without the length
+    /// prefix). Public so fault-injection harnesses and fuzzers can
+    /// construct wire bytes directly.
+    pub fn encode(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         match self {
             Frame::Hello { version } => {
@@ -212,7 +215,15 @@ impl Frame {
         enc.into_bytes()
     }
 
-    fn decode(payload: &[u8]) -> Result<Frame, DistError> {
+    /// Parses one payload (without the length prefix) into a frame.
+    /// Total: arbitrary bytes must produce [`DistError::Protocol`], never
+    /// a panic or an unbounded allocation (fuzzed by the dist proptests).
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Protocol`] for unknown kinds, malformed fields, bad
+    /// magic, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Frame, DistError> {
         let mut dec = Decoder::new(payload);
         let frame = match dec.u8()? {
             KIND_HELLO => {
@@ -322,6 +333,18 @@ pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> Result<(), DistErr
 /// Socket read failures (including timeouts; see
 /// [`DistError::is_timeout`]), oversized lengths, and malformed payloads.
 pub fn read_frame(reader: &mut impl Read) -> Result<Frame, DistError> {
+    Frame::decode(&read_payload(reader)?)
+}
+
+/// Reads one frame's raw payload bytes (length prefix validated and
+/// stripped) without decoding — the seam a [`TransportChaos`] hook sits
+/// under: the caller can damage the payload before handing it to
+/// [`Frame::decode`], exercising the real protocol error paths.
+///
+/// # Errors
+///
+/// Socket read failures and oversized/zero lengths.
+pub fn read_payload(reader: &mut impl Read) -> Result<Vec<u8>, DistError> {
     let mut header = [0u8; 4];
     reader.read_exact(&mut header)?;
     let len = u32::from_le_bytes(header);
@@ -332,7 +355,21 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Frame, DistError> {
     }
     let mut payload = vec![0u8; len as usize];
     reader.read_exact(&mut payload)?;
-    Frame::decode(&payload)
+    Ok(payload)
+}
+
+/// Fault-injection hook under the coordinator's framed reader.
+///
+/// Called once per received payload, before [`Frame::decode`]. The hook
+/// may mutate the payload in place (garble a kind byte, truncate it), or
+/// return a synthetic [`DistError`] to simulate a dropped frame or read
+/// timeout; returning `None` leaves the payload untouched. Implementations
+/// are expected to be deterministic given their seed — `gest-chaos` drives
+/// this from a seeded schedule.
+pub trait TransportChaos: Send + Sync + std::fmt::Debug {
+    /// Inspect/damage one received payload; `Some(error)` replaces the
+    /// read's outcome with `error`.
+    fn on_receive(&self, payload: &mut Vec<u8>) -> Option<DistError>;
 }
 
 #[cfg(test)]

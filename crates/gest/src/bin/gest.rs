@@ -21,7 +21,8 @@
 //! gest workloads [machine]         measure every baseline workload on a machine
 //! ```
 
-use gest::core::{stats, GestConfig, GestError, GestRun, SavedPopulation};
+use gest::chaos::{run_soak, SoakOptions};
+use gest::core::{stats, GestConfig, GestError, GestRun, LocalBackend, Registry, SavedPopulation};
 use gest::dist::{hostname, Coordinator, CoordinatorOptions, Worker};
 use gest::isa::InstrClass;
 use gest::sim::{MachineConfig, RunConfig, Simulator};
@@ -45,6 +46,7 @@ fn main() -> ExitCode {
         ),
         Some("bench") => cmd_bench(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("machines") => cmd_machines(),
         Some("workloads") => cmd_workloads(args.get(1).map(String::as_str)),
         Some("help") | None => {
@@ -75,14 +77,22 @@ fn print_usage() {
          --progress                     live per-generation progress on stderr\n    \
          --checkpoint-every=N           write a resumable checkpoint every N generations\n    \
          --no-eval-cache                disable the content-addressed result cache\n    \
-         --workers=ADDR,ADDR            evaluate on remote `gest worker` processes\n  \
+         --workers=ADDR,ADDR            evaluate on remote `gest worker` processes\n    \
+         --local-fallback[=N]           degrade to this host after N consecutive\n                                   \
+         total-fleet failures (default 3)\n  \
          gest resume <output_dir> [flags] continue a checkpointed run after a crash\n    \
          --trace[=PATH]                 append to run_trace.jsonl (default: output dir)\n    \
          --progress                     live per-generation progress on stderr\n    \
          --no-eval-cache                disable the content-addressed result cache\n    \
-         --workers=ADDR,ADDR            evaluate on remote `gest worker` processes\n  \
+         --workers=ADDR,ADDR            evaluate on remote `gest worker` processes\n    \
+         --local-fallback[=N]           degrade to this host after N consecutive\n                                   \
+         total-fleet failures (default 3)\n  \
          gest worker --listen=ADDR        serve measurements to a remote `gest run`\n    \
          --once                         exit after serving one coordinator session\n  \
+         gest chaos --seed=S --faults=K   fault-injection soak: a checkpointed,\n                                   \
+         distributed, cached run under K seeded faults\n                                   \
+         must match the fault-free run byte-for-byte\n    \
+         --dir=PATH --workers=N --keep  scratch dir, in-process fleet size, keep artifacts\n  \
          gest report <run_trace.jsonl>    summarize a trace written by run --trace\n  \
          gest bench [flags]               compare fast-path vs baseline evaluation speed\n    \
          --rounds=N --population=N --generations=N --machine=NAME\n    \
@@ -109,6 +119,7 @@ struct SearchFlags {
     checkpoint_every: Option<u32>,
     no_eval_cache: bool,
     workers: Vec<String>,
+    local_fallback_after: Option<u32>,
 }
 
 fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchFlags, GestError> {
@@ -134,6 +145,18 @@ fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchF
                     "--workers needs at least one host:port address".into(),
                 ));
             }
+        } else if arg == "--local-fallback" {
+            flags.local_fallback_after = Some(3);
+        } else if let Some(n) = arg.strip_prefix("--local-fallback=") {
+            let after: u32 = n.parse().map_err(|_| {
+                GestError::Config(format!("bad fallback threshold {n:?} (want a number ≥ 1)"))
+            })?;
+            if after == 0 {
+                return Err(GestError::Config(
+                    "--local-fallback threshold must be at least 1".into(),
+                ));
+            }
+            flags.local_fallback_after = Some(after);
         } else if let Some(n) = arg.strip_prefix("--checkpoint-every=") {
             if !allow_checkpoint {
                 return Err(GestError::Config(format!(
@@ -156,6 +179,11 @@ fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchF
         } else {
             return Err(GestError::Config(format!("unexpected argument {arg:?}")));
         }
+    }
+    if flags.local_fallback_after.is_some() && flags.workers.is_empty() {
+        return Err(GestError::Config(
+            "--local-fallback only applies together with --workers".into(),
+        ));
     }
     Ok(flags)
 }
@@ -244,21 +272,41 @@ fn print_artifact_locations(output_dir: Option<&Path>, trace_path: Option<&Path>
 }
 
 /// Connects a distributed-evaluation coordinator when `--workers` was
-/// given; `None` keeps the default local thread-pool backend.
+/// given; `None` keeps the default local thread-pool backend. With
+/// `--local-fallback`, the coordinator is armed with a [`LocalBackend`]
+/// built from the same configuration, so total fleet loss degrades the
+/// run to this host instead of aborting it.
 fn connect_workers(
     workers: &[String],
     config_xml: String,
     telemetry: Telemetry,
+    local_fallback_after: Option<u32>,
 ) -> Result<Option<Arc<Coordinator>>, GestError> {
     if workers.is_empty() {
         return Ok(None);
     }
-    let coordinator = Coordinator::connect(
-        workers,
-        config_xml,
-        telemetry,
-        CoordinatorOptions::default(),
-    )?;
+    let options = CoordinatorOptions {
+        local_fallback_after,
+        ..CoordinatorOptions::default()
+    };
+    let coordinator = Coordinator::connect(workers, config_xml.clone(), telemetry, options)?;
+    if let Some(after) = local_fallback_after {
+        let config = GestConfig::from_xml_str(&config_xml)?;
+        let measurement = Registry::default().build_measurement(
+            &config.measurement_name,
+            config.machine.clone(),
+            config.run_config,
+        )?;
+        coordinator.set_fallback(Arc::new(LocalBackend::new(
+            measurement,
+            config.template.clone(),
+            config.threads,
+        )));
+        eprintln!(
+            "local fallback armed: after {after} consecutive total-fleet failures, \
+             evaluation degrades to this host"
+        );
+    }
     eprintln!(
         "distributed evaluation over {} worker{}: {}",
         workers.len(),
@@ -292,6 +340,63 @@ fn cmd_worker(args: &[String]) -> Result<(), GestError> {
         hostname()
     );
     worker.run().map_err(GestError::from)
+}
+
+/// `gest chaos`: the fault-injection soak. Runs the same small search
+/// twice — once clean, once distributed under a seeded fault plan with
+/// every chaos shim installed (and, when scheduled, the whole in-process
+/// worker fleet killed mid-run) — and fails unless the artifacts match
+/// byte for byte.
+fn cmd_chaos(args: &[String]) -> Result<(), GestError> {
+    let mut seed: u64 = 1;
+    let mut faults: usize = 12;
+    let mut dir: Option<PathBuf> = None;
+    let mut workers: usize = 2;
+    let mut keep = false;
+    for arg in args {
+        if let Some(v) = arg.strip_prefix("--seed=") {
+            seed = v
+                .parse()
+                .map_err(|_| GestError::Config(format!("bad seed {v:?}")))?;
+        } else if let Some(v) = arg.strip_prefix("--faults=") {
+            faults = v
+                .parse()
+                .map_err(|_| GestError::Config(format!("bad fault count {v:?}")))?;
+        } else if let Some(v) = arg.strip_prefix("--dir=") {
+            dir = Some(PathBuf::from(v));
+        } else if let Some(v) = arg.strip_prefix("--workers=") {
+            workers = v
+                .parse()
+                .map_err(|_| GestError::Config(format!("bad worker count {v:?}")))?;
+            if workers == 0 {
+                return Err(GestError::Config(
+                    "chaos needs at least one in-process worker".into(),
+                ));
+            }
+        } else if arg == "--keep" {
+            keep = true;
+        } else {
+            return Err(GestError::Config(format!("unknown chaos flag {arg:?}")));
+        }
+    }
+    let dir = dir
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("gest_chaos_{}", std::process::id())));
+    let mut options = SoakOptions::new(seed, faults, dir);
+    options.workers = workers;
+    options.keep_dir = keep;
+    eprintln!(
+        "chaos soak: seed {seed:#x}, {faults} scheduled faults, {workers} in-process worker{}",
+        if workers == 1 { "" } else { "s" }
+    );
+    let report = run_soak(&options)?;
+    print!("{report}");
+    if !report.byte_identical() {
+        return Err(GestError::Backend(format!(
+            "chaos soak failed: {} artifact(s) diverged from the fault-free run",
+            report.mismatched.len()
+        )));
+    }
+    Ok(())
 }
 
 fn cmd_run(args: &[String]) -> Result<(), GestError> {
@@ -330,6 +435,7 @@ fn cmd_run(args: &[String]) -> Result<(), GestError> {
         &flags.workers,
         config.to_xml().to_string(),
         config.telemetry.clone(),
+        flags.local_fallback_after,
     )?;
     let mut builder = GestRun::builder().config(config);
     if let Some(backend) = backend {
@@ -360,6 +466,7 @@ fn cmd_resume(args: &[String]) -> Result<(), GestError> {
             &flags.workers,
             raw,
             telemetry.clone().unwrap_or_else(Telemetry::disabled),
+            flags.local_fallback_after,
         )?
     };
     let mut builder = GestRun::builder().resume_from(&dir);

@@ -26,6 +26,9 @@
 //! * [`dist`] — coordinator/worker distributed evaluation over TCP
 //!   (`gest worker` + `gest run --workers`), reproducing the paper's
 //!   parallel measurement across identical boards (§III.C);
+//! * [`chaos`] — deterministic fault injection across evaluation,
+//!   distribution, and persistence, plus the `gest chaos` soak that
+//!   proves artifacts stay byte-identical under fire;
 //! * [`xml`] — the minimal XML parser behind the configuration files.
 //!
 //! # Quick start
@@ -53,6 +56,7 @@
 //! restore with [`core::GestRun::resume`] or `gest resume <dir>` — the
 //! resumed search continues bit-identically to an uninterrupted one.
 
+pub use gest_chaos as chaos;
 pub use gest_core as core;
 pub use gest_dist as dist;
 pub use gest_ga as ga;
