@@ -175,21 +175,22 @@ fn artifact_snapshot(dir: &Path) -> Result<BTreeMap<String, Vec<u8>>, GestError>
     Ok(snapshot)
 }
 
-/// Total observed value of one counter: whatever is still live in the
-/// registry plus whatever `Telemetry::finish` already flushed to the
-/// sink as [`Event::Counter`] records (the run's own `finish()` drains
-/// the registry, so reading only `counter_value` after `run()` would
-/// see zeros).
+/// Total observed value of one counter. Counter events in the sink are
+/// cumulative snapshots — checkpoints flush the registry mid-run without
+/// resetting it, and `Telemetry::finish` drains it at the end — so the
+/// *last* flushed record carries the running total, and anything still
+/// live in the registry (a run that never finished) can only be larger.
 fn counter_total(telemetry: &Telemetry, sink: &MemorySink, name: &str) -> u64 {
-    let flushed: u64 = sink
+    let flushed = sink
         .events()
         .iter()
         .filter_map(|event| match event {
             Event::Counter { name: n, value } if n == name => Some(*value),
             _ => None,
         })
-        .sum();
-    flushed + telemetry.counter_value(name)
+        .next_back()
+        .unwrap_or(0);
+    flushed.max(telemetry.counter_value(name))
 }
 
 /// Runs the full soak; see the module docs for the shape.

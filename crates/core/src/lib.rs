@@ -58,6 +58,7 @@ mod evalcache;
 mod fault;
 mod fitness;
 mod genetics;
+pub mod health;
 mod measurement;
 mod output;
 mod pools;

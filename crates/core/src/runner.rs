@@ -9,6 +9,7 @@ use crate::evalcache::{genes_hash, CachedEval, EvalCache, EvalCacheStats, EvalKe
 use crate::fault::QUARANTINE_FITNESS;
 use crate::fitness::{Fitness, FitnessContext};
 use crate::genetics::PoolGenetics;
+use crate::health;
 use crate::measurement::Measurement;
 use crate::output::{OutputWriter, RealFs, SavedIndividual, SavedPopulation, WriteFs};
 use crate::registry::{FitnessParams, Registry};
@@ -441,6 +442,9 @@ impl GestRun {
         let run_span = Some(telemetry.span_with(
             "run",
             &[
+                // Hex config fingerprint doubles as the run id surfaced
+                // by the live /status endpoint.
+                ("config_fp", format!("{fingerprint:016x}").into()),
                 ("machine", config.machine.name.as_str().into()),
                 ("measurement", measurement.name().into()),
                 ("population_size", config.ga.population_size.into()),
@@ -610,6 +614,7 @@ impl GestRun {
                     ],
                 );
             }
+            self.emit_health(&population);
         }
         if let Some(writer) = &self.writer {
             let _save_span = self.telemetry.span("save");
@@ -628,6 +633,66 @@ impl GestRun {
         }
         drop(generation_span);
         Ok(self.current.as_ref().expect("just assigned"))
+    }
+
+    /// Emits the per-generation search-health snapshot (diversity, stall,
+    /// plateau) plus live run/cache gauges, so a mid-run `/metrics` or
+    /// `/status` scrape sees current values instead of only the
+    /// end-of-run drain. Telemetry-only: nothing here is read back by the
+    /// GA, so the evolved result is independent of whether it runs.
+    fn emit_health(&self, population: &Population<Gene>) {
+        let report = health::report(self.generation, population, &self.history);
+        self.telemetry.point(
+            "health",
+            &[
+                ("generation", u64::from(report.generation).into()),
+                ("diversity", report.diversity.into()),
+                (
+                    "stall_generations",
+                    u64::from(report.stall_generations).into(),
+                ),
+                ("plateaued", u64::from(report.plateaued).into()),
+                (
+                    "quarantined",
+                    self.telemetry.counter_value("eval.quarantined").into(),
+                ),
+                (
+                    "eval_retries",
+                    self.telemetry.counter_value("eval.retries").into(),
+                ),
+            ],
+        );
+        self.telemetry
+            .set_gauge("health.diversity", report.diversity);
+        self.telemetry.set_gauge(
+            "health.stall_generations",
+            f64::from(report.stall_generations),
+        );
+        self.telemetry
+            .set_gauge("health.plateaued", f64::from(u8::from(report.plateaued)));
+        self.telemetry
+            .set_gauge("run.generation", f64::from(self.generation));
+        if let Some(best) = population.best() {
+            self.telemetry.set_gauge(
+                "run.best_fitness",
+                self.best.as_ref().map_or(best.fitness, |b| b.fitness),
+            );
+            self.telemetry
+                .set_gauge("run.mean_fitness", population.mean_fitness());
+        }
+        if let Some(stats) = self.eval_cache_stats() {
+            let lookups = stats.hits + stats.misses;
+            let hit_rate = if lookups == 0 {
+                0.0
+            } else {
+                stats.hits as f64 / lookups as f64
+            };
+            self.telemetry.set_gauge("evalcache.hit_rate", hit_rate);
+            self.telemetry
+                .set_gauge("evalcache.bytes", stats.bytes as f64);
+            self.telemetry
+                .set_gauge("evalcache.entries", stats.entries as f64);
+        }
     }
 
     /// Writes a checkpoint manifest for the current state into the run's
@@ -694,6 +759,11 @@ impl GestRun {
             }
         }
         self.telemetry.add_counter("checkpoint.writes", 1);
+        // Snapshot the aggregated metrics into the trace alongside the
+        // checkpoint: a run that crashes later still leaves counter
+        // totals and latency distributions as of its last checkpoint
+        // (readers take the last record per name).
+        self.telemetry.flush_metrics();
         Ok(())
     }
 

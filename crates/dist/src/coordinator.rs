@@ -21,10 +21,12 @@
 //! retrying elsewhere.
 
 use crate::proto::{
-    read_frame, read_payload, write_frame, DistError, Frame, TransportChaos, PROTOCOL_VERSION,
+    read_frame, read_payload, write_frame, DistError, Frame, TransportChaos, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use gest_core::{config_fingerprint, EvalBackend, EvalRequest, GestError};
 use gest_sim::RunResult;
+use gest_telemetry::Buckets;
 use gest_telemetry::Telemetry;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
@@ -70,6 +72,12 @@ struct Conn {
     /// telemetry and reconnection).
     index: usize,
     stream: TcpStream,
+    /// Protocol version negotiated at handshake: min(ours, worker's).
+    /// Decides whether this worker replies with v1 or v2 result frames.
+    version: u32,
+    /// The worker's self-reported host name from `ConfigAck`, for
+    /// fleet-attributed telemetry.
+    host: String,
 }
 
 #[derive(Debug)]
@@ -206,11 +214,20 @@ impl Coordinator {
         stream.set_read_timeout(Some(self.options.heartbeat_timeout))?;
 
         write_frame(&mut stream, &Frame::hello())?;
-        match read_frame(&mut stream)? {
-            Frame::Hello { version } if version == PROTOCOL_VERSION => {}
+        // The worker echoes min(our version, its version); anything in
+        // our supported range is a valid session version, so a v1-only
+        // worker still joins a v2 coordinator's fleet (it just sends v1
+        // result frames without the observability extras).
+        let version = match read_frame(&mut stream)? {
+            Frame::Hello { version }
+                if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+            {
+                version
+            }
             Frame::Hello { version } => {
                 return Err(DistError::Protocol(format!(
-                    "protocol version mismatch: worker {version}, coordinator {PROTOCOL_VERSION}"
+                    "protocol version mismatch: worker negotiated {version}, \
+                     coordinator speaks {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}"
                 )))
             }
             Frame::Error { message } => return Err(DistError::Protocol(message)),
@@ -219,7 +236,7 @@ impl Coordinator {
                     "expected Hello, got {other:?}"
                 )))
             }
-        }
+        };
         write_frame(
             &mut stream,
             &Frame::Config {
@@ -243,9 +260,15 @@ impl Coordinator {
                         ("worker", (index as u64).into()),
                         ("addr", self.addrs[index].as_str().into()),
                         ("host", host.as_str().into()),
+                        ("version", u64::from(version).into()),
                     ],
                 );
-                Ok(Conn { index, stream })
+                Ok(Conn {
+                    index,
+                    stream,
+                    version,
+                    host,
+                })
             }
             Frame::Error { message } => Err(DistError::Protocol(message)),
             other => Err(DistError::Protocol(format!(
@@ -340,12 +363,15 @@ impl Coordinator {
     }
 
     /// Sends one request and waits for its result, treating heartbeat
-    /// frames as liveness and the socket read timeout as a hang.
+    /// frames as liveness and the socket read timeout as a hang. Every
+    /// received frame (heartbeats included) refreshes the worker's
+    /// last-seen gauge, which feeds the status endpoint's heartbeat-age
+    /// column.
     fn exchange(
         &self,
         conn: &mut Conn,
         request: &EvalRequest<'_>,
-    ) -> Result<Result<Vec<f64>, String>, DistError> {
+    ) -> Result<WorkerReply, DistError> {
         write_frame(
             &mut conn.stream,
             &Frame::EvalRequest {
@@ -357,24 +383,59 @@ impl Coordinator {
         loop {
             // Each received frame (heartbeats included) restarts the
             // read timeout, so only true silence trips it.
-            match self.read_frame_chaos(&mut conn.stream)? {
+            let frame = self.read_frame_chaos(&mut conn.stream)?;
+            self.telemetry.set_gauge(
+                &format!("dist.worker.{}.last_seen_us", conn.index),
+                self.telemetry.uptime_us() as f64,
+            );
+            let (candidate, reply) = match frame {
                 Frame::Heartbeat => continue,
-                Frame::EvalResult { candidate, outcome } => {
-                    if candidate != request.candidate_id {
-                        return Err(DistError::Protocol(format!(
-                            "result for candidate {candidate}, expected {}",
-                            request.candidate_id
-                        )));
-                    }
-                    return Ok(outcome);
+                Frame::EvalResult { candidate, outcome } => (
+                    candidate,
+                    WorkerReply {
+                        outcome,
+                        stats: None,
+                    },
+                ),
+                Frame::EvalResultV2 { .. } if conn.version < 2 => {
+                    return Err(DistError::Protocol(format!(
+                        "worker sent a v2 result frame on a v{} session",
+                        conn.version
+                    )))
                 }
+                Frame::EvalResultV2 {
+                    candidate,
+                    outcome,
+                    measure_us,
+                    cache_hit,
+                    cache_hits,
+                    cache_misses,
+                } => (
+                    candidate,
+                    WorkerReply {
+                        outcome,
+                        stats: Some(WorkerStats {
+                            measure_us,
+                            cache_hit,
+                            cache_hits,
+                            cache_misses,
+                        }),
+                    },
+                ),
                 Frame::Error { message } => return Err(DistError::Protocol(message)),
                 other => {
                     return Err(DistError::Protocol(format!(
                         "unexpected frame awaiting result: {other:?}"
                     )))
                 }
+            };
+            if candidate != request.candidate_id {
+                return Err(DistError::Protocol(format!(
+                    "result for candidate {candidate}, expected {}",
+                    request.candidate_id
+                )));
             }
+            return Ok(reply);
         }
     }
 
@@ -382,6 +443,21 @@ impl Coordinator {
     pub fn worker_count(&self) -> usize {
         self.addrs.len()
     }
+}
+
+/// One worker reply: the measurement outcome, plus the observability
+/// extras a v2 session carries (`None` on a v1 session).
+struct WorkerReply {
+    outcome: Result<Vec<f64>, String>,
+    stats: Option<WorkerStats>,
+}
+
+/// Worker-side observability facts from an `EvalResultV2` frame.
+struct WorkerStats {
+    measure_us: u64,
+    cache_hit: bool,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl EvalBackend for Coordinator {
@@ -449,6 +525,37 @@ impl Coordinator {
         Some(fallback)
     }
 
+    /// Folds one v2 reply's observability extras into the merged trace:
+    /// a worker-attributed point (the distributed analogue of the local
+    /// eval span), a fleet-wide measure-time histogram, and per-worker
+    /// cache gauges from the session running totals.
+    fn emit_worker_stats(&self, conn: &Conn, request: &EvalRequest<'_>, stats: &WorkerStats) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.point(
+            "worker.measure",
+            &[
+                ("worker", (conn.index as u64).into()),
+                ("host", conn.host.as_str().into()),
+                ("candidate", request.candidate_id.into()),
+                ("generation", u64::from(request.generation).into()),
+                ("measure_us", stats.measure_us.into()),
+                ("cache_hit", u64::from(stats.cache_hit).into()),
+            ],
+        );
+        // Same bucket layout as the runner's local eval.latency_us, so
+        // the two histograms compare directly in /metrics.
+        let buckets = Buckets::exponential(100.0, 10.0, 7);
+        self.telemetry
+            .record("dist.worker.measure_us", &buckets, stats.measure_us as f64);
+        let prefix = format!("dist.worker.{}", conn.index);
+        self.telemetry
+            .set_gauge(&format!("{prefix}.cache_hits"), stats.cache_hits as f64);
+        self.telemetry
+            .set_gauge(&format!("{prefix}.cache_misses"), stats.cache_misses as f64);
+    }
+
     fn measure_inner(
         &self,
         slot: usize,
@@ -475,12 +582,15 @@ impl Coordinator {
             );
             self.telemetry.add_counter("dist.dispatches", 1);
             match self.exchange(&mut conn, request) {
-                Ok(outcome) => {
+                Ok(reply) => {
                     drop(span);
                     self.telemetry
                         .add_counter(&format!("dist.worker.{}.requests", conn.index), 1);
+                    if let Some(stats) = &reply.stats {
+                        self.emit_worker_stats(&conn, request, stats);
+                    }
                     self.checkin(conn);
-                    return match outcome {
+                    return match reply.outcome {
                         Ok(measurements) => Ok((measurements, None)),
                         // A worker-side measurement failure is a property
                         // of the candidate, not the worker: surface it
@@ -506,6 +616,8 @@ impl Coordinator {
                         ],
                     );
                     self.telemetry.add_counter("dist.retries", 1);
+                    self.telemetry
+                        .add_counter(&format!("dist.worker.{}.retries", conn.index), 1);
                     self.discard(conn);
                 }
             }

@@ -35,7 +35,10 @@ mod coordinator;
 mod worker;
 
 pub use coordinator::{Coordinator, CoordinatorOptions};
-pub use proto::{DistError, Frame, TransportChaos, MAGIC, MAX_FRAME, PROTOCOL_VERSION};
+pub use proto::{
+    negotiate_version, DistError, Frame, TransportChaos, MAGIC, MAX_FRAME, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};
 pub use worker::{hostname, Worker, WorkerHandle, HEARTBEAT_INTERVAL};
 
 #[cfg(test)]
@@ -241,6 +244,116 @@ mod tests {
         let (again, _) = coordinator.measure(0, &request).unwrap();
         assert_eq!(again, remote);
         assert_eq!(coordinator.slots(100), local.slots(100));
+    }
+
+    #[test]
+    fn v2_worker_serves_a_v1_coordinator_with_v1_result_frames() {
+        use proto::{read_frame, write_frame};
+
+        let xml = test_config_xml();
+        let fingerprint = gest_core::config_fingerprint(&xml);
+        let worker = Worker::bind("127.0.0.1:0").unwrap().spawn();
+
+        // Hand-rolled "old coordinator": speaks exactly protocol v1.
+        let mut stream = std::net::TcpStream::connect(worker.addr()).unwrap();
+        write_frame(&mut stream, &Frame::Hello { version: 1 }).unwrap();
+        match read_frame(&mut stream).unwrap() {
+            Frame::Hello { version } => assert_eq!(version, 1, "worker must downgrade to v1"),
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        write_frame(&mut stream, &Frame::Config { xml: xml.clone() }).unwrap();
+        match read_frame(&mut stream).unwrap() {
+            Frame::ConfigAck {
+                fingerprint: acked, ..
+            } => assert_eq!(acked, fingerprint),
+            other => panic!("expected ConfigAck, got {other:?}"),
+        }
+        write_frame(
+            &mut stream,
+            &Frame::EvalRequest {
+                generation: 0,
+                candidate: 42,
+                genes: some_genes(&xml),
+            },
+        )
+        .unwrap();
+        // A v1 session must never see the v2 result kind.
+        loop {
+            match read_frame(&mut stream).unwrap() {
+                Frame::Heartbeat => continue,
+                Frame::EvalResult { candidate, outcome } => {
+                    assert_eq!(candidate, 42);
+                    assert!(outcome.is_ok(), "{outcome:?}");
+                    break;
+                }
+                other => panic!("v1 session got non-v1 result frame: {other:?}"),
+            }
+        }
+        write_frame(&mut stream, &Frame::Shutdown).unwrap();
+        worker.kill();
+    }
+
+    #[test]
+    fn v2_session_reports_worker_stats_to_coordinator_telemetry() {
+        use gest_telemetry::{Event, MemorySink};
+
+        let xml = test_config_xml();
+        let worker = Worker::bind("127.0.0.1:0").unwrap().spawn();
+        let sink = Arc::new(MemorySink::default());
+        let telemetry = Telemetry::new(sink.clone());
+        let coordinator = Coordinator::connect(
+            &[worker.addr().to_string()],
+            xml.clone(),
+            telemetry.clone(),
+            CoordinatorOptions::default(),
+        )
+        .unwrap();
+
+        let genes = some_genes(&xml);
+        let request = EvalRequest {
+            generation: 0,
+            candidate_id: 8,
+            genes: &genes,
+        };
+        coordinator.measure(0, &request).unwrap();
+        // Identical content: the second measurement is a worker cache hit.
+        coordinator.measure(0, &request).unwrap();
+        drop(coordinator);
+        worker.kill();
+
+        let events = sink.events();
+        let measures: Vec<_> = events
+            .iter()
+            .filter_map(|event| match event {
+                Event::Point { name, fields, .. } if name == "worker.measure" => Some(fields),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(measures.len(), 2, "one worker.measure point per result");
+        let hit_of = |fields: &[(String, gest_telemetry::FieldValue)]| {
+            fields.iter().any(|(name, value)| {
+                name == "cache_hit" && matches!(value, gest_telemetry::FieldValue::U64(1))
+            })
+        };
+        assert!(!hit_of(measures[0]), "first measurement is a miss");
+        assert!(
+            hit_of(measures[1]),
+            "second measurement hits the worker cache"
+        );
+        assert!(
+            measures[0].iter().any(|(name, _)| name == "host"),
+            "worker.measure must attribute a host"
+        );
+        assert!(
+            telemetry
+                .gauge_value("dist.worker.0.last_seen_us")
+                .is_some(),
+            "result frames must refresh the last-seen gauge"
+        );
+        assert!(
+            telemetry.gauge_value("dist.worker.0.cache_hits").is_some(),
+            "v2 sessions must publish per-worker cache totals"
+        );
     }
 
     #[test]

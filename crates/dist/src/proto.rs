@@ -14,6 +14,16 @@
 //! byte-equal protocol version), then any number of `EvalRequest` →
 //! `EvalResult` pairs interleaved with worker→coordinator `Heartbeat`
 //! frames, ended by `Shutdown` or connection close.
+//!
+//! Versions are *negotiated*, not matched: each side sends the highest
+//! version it speaks, the worker echoes `min(coordinator, worker)`, and
+//! both sides then speak that session version. Version 2 adds
+//! [`Frame::EvalResultV2`], which carries worker-side measure timing and
+//! local-cache statistics back with each result so the coordinator can
+//! merge one fleet-wide trace; a v1 peer on either end keeps the session
+//! at v1 with the original result frame. The extra v2 fields are
+//! observability-only — the measurement vector is identical either way,
+//! so artifact bytes never depend on the negotiated version.
 
 use gest_isa::codec::{Decoder, Encoder};
 use gest_isa::{CodecError, Gene};
@@ -22,8 +32,18 @@ use std::io::{self, Read, Write};
 /// Protocol magic carried in the `Hello` frame.
 pub const MAGIC: &[u8; 8] = b"GESTDST1";
 
-/// Protocol version; bump on any wire-format change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Highest protocol version this build speaks; bump on any wire-format
+/// change.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest protocol version this build still accepts from a peer.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
+
+/// `min(peer, ours)` when the peer is acceptable: the session version
+/// both sides speak.
+pub fn negotiate_version(peer: u32) -> Option<u32> {
+    (peer >= MIN_PROTOCOL_VERSION).then(|| peer.min(PROTOCOL_VERSION))
+}
 
 /// Upper bound on a frame payload, guarding against garbage lengths from
 /// a confused peer (a population's genes are a few KiB; configs < 1 MiB).
@@ -137,6 +157,25 @@ pub enum Frame {
         /// errors and contained panics both arrive here).
         outcome: Result<Vec<f64>, String>,
     },
+    /// Worker → coordinator (protocol ≥ 2): the measurement outcome plus
+    /// worker-side observability. Carries the same `outcome` a v1
+    /// `EvalResult` would — the extra fields feed the coordinator's
+    /// merged fleet trace and never influence the result itself.
+    EvalResultV2 {
+        /// Candidate id echoed from the request.
+        candidate: u64,
+        /// The measurement vector, or the failure message.
+        outcome: Result<Vec<f64>, String>,
+        /// Wall-clock microseconds the worker spent producing the
+        /// outcome (cache lookup through measurement return).
+        measure_us: u64,
+        /// Whether the outcome came from the worker-local eval cache.
+        cache_hit: bool,
+        /// Worker-local cache hits across this session so far.
+        cache_hits: u64,
+        /// Worker-local cache misses across this session so far.
+        cache_misses: u64,
+    },
     /// Worker → coordinator liveness signal while a measurement runs.
     Heartbeat,
     /// Coordinator → worker: end the session cleanly.
@@ -156,6 +195,7 @@ const KIND_EVAL_RESULT: u8 = 5;
 const KIND_HEARTBEAT: u8 = 6;
 const KIND_SHUTDOWN: u8 = 7;
 const KIND_ERROR: u8 = 8;
+const KIND_EVAL_RESULT_V2: u8 = 9;
 
 impl Frame {
     /// A `Hello` frame for this build's protocol version.
@@ -190,17 +230,22 @@ impl Frame {
             }
             Frame::EvalResult { candidate, outcome } => {
                 enc.u8(KIND_EVAL_RESULT).u64(*candidate);
-                match outcome {
-                    Ok(measurements) => {
-                        enc.u8(0).varint(measurements.len() as u64);
-                        for m in measurements {
-                            enc.f64(*m);
-                        }
-                    }
-                    Err(message) => {
-                        enc.u8(1).str(message);
-                    }
-                }
+                encode_outcome(&mut enc, outcome);
+            }
+            Frame::EvalResultV2 {
+                candidate,
+                outcome,
+                measure_us,
+                cache_hit,
+                cache_hits,
+                cache_misses,
+            } => {
+                enc.u8(KIND_EVAL_RESULT_V2).u64(*candidate);
+                encode_outcome(&mut enc, outcome);
+                enc.u64(*measure_us)
+                    .u8(u8::from(*cache_hit))
+                    .varint(*cache_hits)
+                    .varint(*cache_misses);
             }
             Frame::Heartbeat => {
                 enc.u8(KIND_HEARTBEAT);
@@ -256,23 +301,26 @@ impl Frame {
             }
             KIND_EVAL_RESULT => {
                 let candidate = dec.u64()?;
-                let outcome = match dec.u8()? {
-                    0 => {
-                        let count = dec.varint()? as usize;
-                        let mut measurements = Vec::with_capacity(count.min(1 << 16));
-                        for _ in 0..count {
-                            measurements.push(dec.f64()?);
-                        }
-                        Ok(measurements)
-                    }
-                    1 => Err(dec.str()?.to_string()),
-                    tag => {
-                        return Err(DistError::Protocol(format!(
-                            "unknown eval-result tag {tag}"
-                        )))
-                    }
-                };
+                let outcome = decode_outcome(&mut dec)?;
                 Frame::EvalResult { candidate, outcome }
+            }
+            KIND_EVAL_RESULT_V2 => {
+                let candidate = dec.u64()?;
+                let outcome = decode_outcome(&mut dec)?;
+                let measure_us = dec.u64()?;
+                let cache_hit = match dec.u8()? {
+                    0 => false,
+                    1 => true,
+                    tag => return Err(DistError::Protocol(format!("bad cache-hit flag {tag}"))),
+                };
+                Frame::EvalResultV2 {
+                    candidate,
+                    outcome,
+                    measure_us,
+                    cache_hit,
+                    cache_hits: dec.varint()?,
+                    cache_misses: dec.varint()?,
+                }
             }
             KIND_HEARTBEAT => Frame::Heartbeat,
             KIND_SHUTDOWN => Frame::Shutdown,
@@ -288,6 +336,39 @@ impl Frame {
             )));
         }
         Ok(frame)
+    }
+}
+
+/// Encodes an eval outcome (shared by the v1 and v2 result frames):
+/// tag 0 + measurement vector, or tag 1 + failure message.
+fn encode_outcome(enc: &mut Encoder, outcome: &Result<Vec<f64>, String>) {
+    match outcome {
+        Ok(measurements) => {
+            enc.u8(0).varint(measurements.len() as u64);
+            for m in measurements {
+                enc.f64(*m);
+            }
+        }
+        Err(message) => {
+            enc.u8(1).str(message);
+        }
+    }
+}
+
+fn decode_outcome(dec: &mut Decoder<'_>) -> Result<Result<Vec<f64>, String>, DistError> {
+    match dec.u8()? {
+        0 => {
+            let count = dec.varint()? as usize;
+            let mut measurements = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                measurements.push(dec.f64()?);
+            }
+            Ok(Ok(measurements))
+        }
+        1 => Ok(Err(dec.str()?.to_string())),
+        tag => Err(DistError::Protocol(format!(
+            "unknown eval-result tag {tag}"
+        ))),
     }
 }
 
@@ -418,6 +499,22 @@ mod tests {
             candidate: 9,
             outcome: Err("probe fell off".into()),
         });
+        roundtrip(Frame::EvalResultV2 {
+            candidate: 123,
+            outcome: Ok(vec![1.5, -2.25]),
+            measure_us: 4_200,
+            cache_hit: true,
+            cache_hits: 17,
+            cache_misses: 3,
+        });
+        roundtrip(Frame::EvalResultV2 {
+            candidate: 9,
+            outcome: Err("probe fell off".into()),
+            measure_us: 12,
+            cache_hit: false,
+            cache_hits: 0,
+            cache_misses: 1,
+        });
         roundtrip(Frame::Heartbeat);
         roundtrip(Frame::Shutdown);
         roundtrip(Frame::Error {
@@ -478,6 +575,40 @@ mod tests {
         let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
         assert!(
             matches!(err, DistError::Protocol(ref m) if m.contains("magic")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn version_negotiation_takes_the_minimum() {
+        assert_eq!(negotiate_version(1), Some(1));
+        assert_eq!(negotiate_version(PROTOCOL_VERSION), Some(PROTOCOL_VERSION));
+        // A future peer downgrades to what we speak.
+        assert_eq!(
+            negotiate_version(PROTOCOL_VERSION + 5),
+            Some(PROTOCOL_VERSION)
+        );
+        assert_eq!(negotiate_version(0), None);
+    }
+
+    #[test]
+    fn v2_result_rejects_bad_cache_flag() {
+        let frame = Frame::EvalResultV2 {
+            candidate: 1,
+            outcome: Ok(vec![]),
+            measure_us: 0,
+            cache_hit: false,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        let mut payload = frame.encode();
+        // The cache-hit flag sits right after the 8-byte measure_us;
+        // flip it to something that is neither 0 nor 1.
+        let flag_offset = payload.len() - 3;
+        payload[flag_offset] = 7;
+        let err = Frame::decode(&payload).unwrap_err();
+        assert!(
+            matches!(err, DistError::Protocol(ref m) if m.contains("cache-hit")),
             "{err}"
         );
     }

@@ -12,7 +12,10 @@
 //! Sessions are served one at a time: a worker models one board, and a
 //! board can only measure one coordinator's programs meaningfully.
 
-use crate::proto::{read_frame, write_frame, DistError, Frame, PROTOCOL_VERSION};
+use crate::proto::{
+    negotiate_version, read_frame, write_frame, DistError, Frame, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};
 use gest_core::{
     catch_measure, config_fingerprint, genes_hash, CachedEval, EvalCache, EvalKey, GestConfig,
     Measurement, Registry,
@@ -140,29 +143,40 @@ impl Worker {
         // sends and mid-frame reads retry through the same timeout.
         stream.set_read_timeout(Some(POLL_INTERVAL))?;
 
-        // 1. Version handshake before anything else is interpreted.
-        match self.read_polling(&mut stream)? {
-            Some(Frame::Hello { version }) if version == PROTOCOL_VERSION => {}
-            Some(Frame::Hello { version }) => {
-                let message = format!(
-                    "protocol version mismatch: coordinator {version}, worker {PROTOCOL_VERSION}"
-                );
-                let _ = write_frame(
-                    &mut stream,
-                    &Frame::Error {
-                        message: message.clone(),
-                    },
-                );
-                return Err(DistError::Protocol(message));
-            }
+        // 1. Version handshake before anything else is interpreted. The
+        //    worker echoes the *negotiated* version — min(peer, ours) —
+        //    so a v2 worker still serves a v1 coordinator (and vice
+        //    versa: a newer coordinator downgrades to us).
+        let session_version = match self.read_polling(&mut stream)? {
+            Some(Frame::Hello { version }) => match negotiate_version(version) {
+                Some(negotiated) => negotiated,
+                None => {
+                    let message = format!(
+                        "protocol version mismatch: coordinator {version}, \
+                         worker speaks {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}"
+                    );
+                    let _ = write_frame(
+                        &mut stream,
+                        &Frame::Error {
+                            message: message.clone(),
+                        },
+                    );
+                    return Err(DistError::Protocol(message));
+                }
+            },
             Some(other) => {
                 return Err(DistError::Protocol(format!(
                     "expected Hello, got {other:?}"
                 )))
             }
             None => return Ok(()),
-        }
-        write_frame(&mut stream, &Frame::hello())?;
+        };
+        write_frame(
+            &mut stream,
+            &Frame::Hello {
+                version: session_version,
+            },
+        )?;
 
         // 2. Configuration: parse, re-render, fingerprint the re-render.
         //    A schema mismatch between coordinator and worker builds
@@ -223,7 +237,11 @@ impl Worker {
 
         // 3. Eval loop. While a measurement runs, a sibling thread emits
         //    heartbeats so the coordinator can tell "slow" from "dead".
+        //    Session-local cache totals ride on every v2 result frame so
+        //    the coordinator can attribute cache behaviour per worker.
         let writer = Arc::new(Mutex::new(stream.try_clone()?));
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
         loop {
             let frame = match self.read_polling(&mut stream)? {
                 Some(frame) => frame,
@@ -236,7 +254,7 @@ impl Worker {
                     genes,
                 } => {
                     self.requests.fetch_add(1, Ordering::SeqCst);
-                    let outcome = {
+                    let measured = {
                         let _beat = HeartbeatGuard::start(Arc::clone(&writer));
                         measure_one(
                             &config,
@@ -248,10 +266,30 @@ impl Worker {
                             &genes,
                         )
                     };
-                    write_frame(
-                        &mut *writer.lock().unwrap(),
-                        &Frame::EvalResult { candidate, outcome },
-                    )?;
+                    if measured.cache_hit {
+                        cache_hits += 1;
+                    } else {
+                        cache_misses += 1;
+                    }
+                    // The measurement vector is identical either way: v2
+                    // only adds observability fields, so artifact bytes
+                    // never depend on the negotiated version.
+                    let reply = if session_version >= 2 {
+                        Frame::EvalResultV2 {
+                            candidate,
+                            outcome: measured.outcome,
+                            measure_us: measured.measure_us,
+                            cache_hit: measured.cache_hit,
+                            cache_hits,
+                            cache_misses,
+                        }
+                    } else {
+                        Frame::EvalResult {
+                            candidate,
+                            outcome: measured.outcome,
+                        }
+                    };
+                    write_frame(&mut *writer.lock().unwrap(), &reply)?;
                 }
                 Frame::Heartbeat => {}
                 Frame::Shutdown => return Ok(()),
@@ -377,6 +415,15 @@ impl Drop for HeartbeatGuard {
     }
 }
 
+/// One worker-side measurement plus the observability facts a v2 result
+/// frame carries back to the coordinator.
+struct Measured {
+    outcome: Result<Vec<f64>, String>,
+    /// Wall-clock time spent inside this call, cache lookups included.
+    measure_us: u64,
+    cache_hit: bool,
+}
+
 /// Measures one candidate locally: cache lookup (content-pure
 /// measurements only), materialize, measure with panic containment,
 /// insert. The returned `Err` is the failure *message* — it travels the
@@ -390,14 +437,22 @@ fn measure_one(
     generation: u32,
     candidate: u64,
     genes: &[gest_isa::Gene],
-) -> Result<Vec<f64>, String> {
+) -> Measured {
+    let started = std::time::Instant::now();
+    let elapsed_us = |started: std::time::Instant| {
+        u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    };
     let key = cache.map(|_| EvalKey {
         config_fp: fingerprint,
         genes_hash: genes_hash(genes),
     });
     if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
         if let Some(hit) = cache.get(key) {
-            return Ok(hit.measurements);
+            return Measured {
+                outcome: Ok(hit.measurements),
+                measure_us: elapsed_us(started),
+                cache_hit: true,
+            };
         }
     }
     let body = InstructionPool::flatten(genes);
@@ -405,7 +460,7 @@ fn measure_one(
         .template
         .materialize(format!("{generation}_{candidate}"), body);
     let result = catch_measure(candidate, || measurement.measure_detailed(&program));
-    match result {
+    let outcome = match result {
         Ok((measurements, detail)) => {
             if let (Some(cache), Some(key)) = (cache, key) {
                 cache.insert(
@@ -419,6 +474,11 @@ fn measure_one(
             Ok(measurements)
         }
         Err(e) => Err(e.to_string()),
+    };
+    Measured {
+        outcome,
+        measure_us: elapsed_us(started),
+        cache_hit: false,
     }
 }
 

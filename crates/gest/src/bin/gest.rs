@@ -13,6 +13,8 @@
 //!                                  to evaluate on such workers
 //! gest report <run_trace.jsonl>    summarize a trace: phases, slow candidates,
 //!                                  operator mix, cache, convergence vs wall-clock
+//! gest top <host:port>             live dashboard over a run's --status-addr
+//!                                  endpoint (/status polled every 2 s)
 //! gest bench [flags]               time candidate evaluation with and without
 //!                                  the fast path; writes BENCH_eval.json
 //! gest stats <output_dir>          per-generation report from saved populations
@@ -25,13 +27,17 @@ use gest::chaos::{run_soak, SoakOptions};
 use gest::core::{stats, GestConfig, GestError, GestRun, LocalBackend, Registry, SavedPopulation};
 use gest::dist::{hostname, Coordinator, CoordinatorOptions, Worker};
 use gest::isa::InstrClass;
+use gest::obs::top::{run_top, TopOptions};
+use gest::obs::{ObsSink, StatusServer};
 use gest::sim::{MachineConfig, RunConfig, Simulator};
 use gest::telemetry::json::Value;
 use gest::telemetry::{ConsoleSink, Event, JsonlSink, MultiSink, Sink, Telemetry};
 use std::collections::BTreeMap;
+use std::io::BufRead;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +51,7 @@ fn main() -> ExitCode {
             args.get(2).map(String::as_str),
         ),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("machines") => cmd_machines(),
@@ -79,14 +86,21 @@ fn print_usage() {
          --no-eval-cache                disable the content-addressed result cache\n    \
          --workers=ADDR,ADDR            evaluate on remote `gest worker` processes\n    \
          --local-fallback[=N]           degrade to this host after N consecutive\n                                   \
-         total-fleet failures (default 3)\n  \
+         total-fleet failures (default 3)\n    \
+         --status-addr=HOST:PORT        serve /metrics, /status, /trace over HTTP\n                                   \
+         while the run is live (watch with `gest top`)\n  \
          gest resume <output_dir> [flags] continue a checkpointed run after a crash\n    \
          --trace[=PATH]                 append to run_trace.jsonl (default: output dir)\n    \
          --progress                     live per-generation progress on stderr\n    \
          --no-eval-cache                disable the content-addressed result cache\n    \
          --workers=ADDR,ADDR            evaluate on remote `gest worker` processes\n    \
          --local-fallback[=N]           degrade to this host after N consecutive\n                                   \
-         total-fleet failures (default 3)\n  \
+         total-fleet failures (default 3)\n    \
+         --status-addr=HOST:PORT        serve /metrics, /status, /trace over HTTP\n                                   \
+         while the run is live (watch with `gest top`)\n  \
+         gest top <host:port>             live dashboard over a run's --status-addr\n    \
+         --interval=SECS                refresh period (default 2)\n    \
+         --once                         print one frame and exit\n  \
          gest worker --listen=ADDR        serve measurements to a remote `gest run`\n    \
          --once                         exit after serving one coordinator session\n  \
          gest chaos --seed=S --faults=K   fault-injection soak: a checkpointed,\n                                   \
@@ -120,6 +134,7 @@ struct SearchFlags {
     no_eval_cache: bool,
     workers: Vec<String>,
     local_fallback_after: Option<u32>,
+    status_addr: Option<String>,
 }
 
 fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchFlags, GestError> {
@@ -145,6 +160,13 @@ fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchF
                     "--workers needs at least one host:port address".into(),
                 ));
             }
+        } else if let Some(addr) = arg.strip_prefix("--status-addr=") {
+            if addr.is_empty() {
+                return Err(GestError::Config(
+                    "--status-addr needs a host:port (e.g. --status-addr=127.0.0.1:9090)".into(),
+                ));
+            }
+            flags.status_addr = Some(addr.to_string());
         } else if arg == "--local-fallback" {
             flags.local_fallback_after = Some(3);
         } else if let Some(n) = arg.strip_prefix("--local-fallback=") {
@@ -188,13 +210,25 @@ fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchF
     Ok(flags)
 }
 
+/// Everything `build_telemetry` assembles for a search command.
+#[derive(Default)]
+struct TelemetryStack {
+    telemetry: Option<Telemetry>,
+    trace_path: Option<PathBuf>,
+    /// Present when `--status-addr` was given: the sink the status
+    /// endpoint reads its live state from.
+    obs: Option<Arc<ObsSink>>,
+}
+
 /// Builds the telemetry sink stack for a search command. `append` keeps an
-/// existing trace (resume); otherwise the trace file is truncated.
+/// existing trace (resume); otherwise the trace file is truncated. With
+/// `--status-addr`, an [`ObsSink`] joins the stack so the HTTP endpoint
+/// can serve live state.
 fn build_telemetry(
     flags: &SearchFlags,
     default_trace_dir: Option<&Path>,
     append: bool,
-) -> Result<(Option<Telemetry>, Option<PathBuf>), GestError> {
+) -> Result<TelemetryStack, GestError> {
     let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
     let mut trace_path = None;
     if let Some(requested) = &flags.trace {
@@ -221,6 +255,11 @@ fn build_telemetry(
     if flags.progress {
         sinks.push(Arc::new(ConsoleSink));
     }
+    let obs = flags.status_addr.as_ref().map(|_| {
+        let obs = Arc::new(ObsSink::default());
+        sinks.push(Arc::clone(&obs) as Arc<dyn Sink>);
+        obs
+    });
     let telemetry = if sinks.is_empty() {
         None
     } else {
@@ -231,7 +270,32 @@ fn build_telemetry(
         };
         Some(Telemetry::new(sink))
     };
-    Ok((telemetry, trace_path))
+    Ok(TelemetryStack {
+        telemetry,
+        trace_path,
+        obs,
+    })
+}
+
+/// Starts the `/metrics` + `/status` + `/trace` endpoint when
+/// `--status-addr` was given. The returned guard keeps the server alive
+/// for the duration of the run; dropping it stops the listener.
+fn start_status_server(
+    flags: &SearchFlags,
+    stack: &TelemetryStack,
+    telemetry: &Telemetry,
+) -> Result<Option<StatusServer>, GestError> {
+    let (Some(addr), Some(obs)) = (&flags.status_addr, &stack.obs) else {
+        return Ok(None);
+    };
+    let server = StatusServer::start(addr, telemetry.clone(), Arc::clone(obs))
+        .map_err(|e| GestError::Config(format!("cannot serve --status-addr={addr}: {e}")))?;
+    eprintln!(
+        "status endpoint on http://{}/ (watch with `gest top {}`)",
+        server.addr(),
+        server.addr()
+    );
+    Ok(Some(server))
 }
 
 /// Drives a search to completion with per-generation progress lines, then
@@ -414,10 +478,12 @@ fn cmd_run(args: &[String]) -> Result<(), GestError> {
         }
         config.checkpoint_every = Some(every);
     }
-    let (telemetry, trace_path) = build_telemetry(&flags, config.output_dir.as_deref(), false)?;
-    if let Some(telemetry) = telemetry {
-        config.telemetry = telemetry;
+    let stack = build_telemetry(&flags, config.output_dir.as_deref(), false)?;
+    let trace_path = stack.trace_path.clone();
+    if let Some(telemetry) = &stack.telemetry {
+        config.telemetry = telemetry.clone();
     }
+    let status_server = start_status_server(&flags, &stack, &config.telemetry)?;
 
     eprintln!(
         "machine {}, measurement {}, population {}, loop {}, {} generations{}",
@@ -445,6 +511,7 @@ fn cmd_run(args: &[String]) -> Result<(), GestError> {
         builder = builder.eval_cache(false);
     }
     drive(builder.build()?)?;
+    drop(status_server);
     print_artifact_locations(output_dir.as_deref(), trace_path.as_deref());
     Ok(())
 }
@@ -455,7 +522,14 @@ fn cmd_resume(args: &[String]) -> Result<(), GestError> {
         flags.positional.as_deref(),
         "output directory of the interrupted run",
     )?);
-    let (telemetry, trace_path) = build_telemetry(&flags, Some(&dir), true)?;
+    let stack = build_telemetry(&flags, Some(&dir), true)?;
+    let trace_path = stack.trace_path.clone();
+    let telemetry = stack.telemetry.clone();
+    let status_server = start_status_server(
+        &flags,
+        &stack,
+        telemetry.as_ref().unwrap_or(&Telemetry::disabled()),
+    )?;
     // The coordinator must fingerprint the exact bytes the resume path
     // fingerprints: the directory's config.xml as-is.
     let backend = if flags.workers.is_empty() {
@@ -490,37 +564,186 @@ fn cmd_resume(args: &[String]) -> Result<(), GestError> {
         eprintln!("nothing to do: all generations already completed");
     }
     drive(run)?;
+    drop(status_server);
     print_artifact_locations(Some(&dir), trace_path.as_deref());
     Ok(())
 }
 
-/// Reads every parseable event from a `run_trace.jsonl` file. Returns the
-/// events plus the number of skipped lines (unparseable JSON — e.g. a line
-/// torn by a crash — or events from unknown schema versions).
-fn load_trace(path: &str) -> Result<(Vec<Event>, usize), GestError> {
-    let text = std::fs::read_to_string(path)?;
-    let mut events = Vec::new();
-    let mut skipped = 0;
-    for line in text.lines() {
+/// `gest top`: poll a run's `--status-addr` endpoint and redraw a console
+/// dashboard.
+fn cmd_top(args: &[String]) -> Result<(), GestError> {
+    let mut addr: Option<String> = None;
+    let mut options = TopOptions::default();
+    for arg in args {
+        if let Some(secs) = arg.strip_prefix("--interval=") {
+            let secs: f64 = secs.parse().ok().filter(|s| *s > 0.0).ok_or_else(|| {
+                GestError::Config(format!("bad interval {secs:?} (want seconds > 0)"))
+            })?;
+            options.interval = Duration::from_secs_f64(secs);
+        } else if arg == "--once" {
+            options.iterations = Some(1);
+            options.clear_screen = false;
+        } else if arg.starts_with("--") {
+            return Err(GestError::Config(format!("unknown top flag {arg:?}")));
+        } else if addr.is_none() {
+            addr = Some(arg.clone());
+        } else {
+            return Err(GestError::Config(format!("unexpected argument {arg:?}")));
+        }
+    }
+    let addr = required(addr.as_deref(), "status endpoint address (host:port)")?;
+    let mut stdout = std::io::stdout();
+    run_top(addr, &options, &mut stdout).map_err(GestError::from)
+}
+
+/// Per-span-name aggregate for the report's phase table.
+#[derive(Default)]
+struct Phase {
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+/// Everything `gest report` prints, accumulated by one streaming pass
+/// over the trace. Memory stays proportional to the number of *distinct*
+/// metrics, generations, and open spans — not to the event count — so
+/// arbitrarily long traces report in bounded space. Counters and
+/// histograms take the *last* snapshot seen: checkpoints flush the
+/// metrics registry mid-run, so one trace can carry many snapshots of
+/// the same (monotonic) metric.
+#[derive(Default)]
+struct TraceReport {
+    skipped: usize,
+    events: usize,
+    wall_us: u64,
+    phases: BTreeMap<String, Phase>,
+    /// Open `eval.candidate` spans awaiting their end event.
+    eval_starts: BTreeMap<u64, String>,
+    /// Longest candidate evaluations, pruned to stay bounded.
+    slowest: Vec<(u64, String)>,
+    counters: BTreeMap<String, u64>,
+    generation_rows: Vec<String>,
+    health_rows: Vec<String>,
+    histograms: BTreeMap<String, gest::telemetry::HistogramSnapshot>,
+}
+
+/// How many slowest-candidate rows the report prints.
+const SLOWEST_SHOWN: usize = 5;
+
+impl TraceReport {
+    fn fold(&mut self, event: &Event) {
+        self.events += 1;
+        let field_of = |fields: &[(String, gest::telemetry::FieldValue)], wanted: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == wanted)
+                .map_or_else(|| "?".to_string(), |(_, v)| v.to_string())
+        };
+        match event {
+            Event::SpanStart {
+                id, name, fields, ..
+            } if name == "eval.candidate" => {
+                self.eval_starts.insert(
+                    *id,
+                    format!(
+                        "candidate {} (generation {}, worker {})",
+                        field_of(fields, "candidate"),
+                        field_of(fields, "generation"),
+                        field_of(fields, "worker")
+                    ),
+                );
+            }
+            Event::SpanEnd {
+                id,
+                name,
+                dur_us,
+                t_us,
+                ..
+            } => {
+                let phase = self.phases.entry(name.clone()).or_default();
+                phase.count += 1;
+                phase.total_us += dur_us;
+                phase.max_us = phase.max_us.max(*dur_us);
+                self.wall_us = self.wall_us.max(*t_us);
+                if name == "eval.candidate" {
+                    if let Some(label) = self.eval_starts.remove(id) {
+                        self.slowest.push((*dur_us, label));
+                        if self.slowest.len() > 4 * SLOWEST_SHOWN {
+                            self.slowest.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+                            self.slowest.truncate(SLOWEST_SHOWN);
+                        }
+                    }
+                }
+            }
+            Event::Counter { name, value } => {
+                self.counters.insert(name.clone(), *value);
+            }
+            Event::Histogram { name, snapshot } => {
+                self.histograms.insert(name.clone(), snapshot.clone());
+            }
+            Event::Point {
+                name, t_us, fields, ..
+            } if name == "generation" => {
+                self.generation_rows.push(format!(
+                    "  {:>9.3} {:>11} {:>13} {:>13}",
+                    *t_us as f64 / 1e6,
+                    field_of(fields, "generation"),
+                    field_of(fields, "best_fitness"),
+                    field_of(fields, "mean_fitness"),
+                ));
+            }
+            Event::Point { name, fields, .. } if name == "health" => {
+                self.health_rows.push(format!(
+                    "  {:>11} {:>11} {:>7} {:>10} {:>12} {:>8}",
+                    field_of(fields, "generation"),
+                    field_of(fields, "diversity"),
+                    field_of(fields, "stall_generations"),
+                    if field_of(fields, "plateaued") == "1" {
+                        "yes"
+                    } else {
+                        "no"
+                    },
+                    field_of(fields, "quarantined"),
+                    field_of(fields, "eval_retries"),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Streams a `run_trace.jsonl` file through a [`TraceReport`] line by
+/// line — the file is never loaded into memory whole. Unparseable lines
+/// (e.g. one torn by a crash) and unknown-schema events are counted, not
+/// fatal.
+fn stream_trace(path: &str) -> Result<TraceReport, GestError> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut report = TraceReport::default();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(report);
+        }
         if line.trim().is_empty() {
             continue;
         }
-        let Ok(value) = Value::parse(line) else {
-            skipped += 1;
-            continue;
-        };
-        if let Some(event) = Event::from_json(&value) {
-            events.push(event);
-        } else {
-            skipped += 1;
+        match Value::parse(line.trim())
+            .ok()
+            .as_ref()
+            .and_then(Event::from_json)
+        {
+            Some(event) => report.fold(&event),
+            None => report.skipped += 1,
         }
     }
-    Ok((events, skipped))
 }
 
 fn cmd_report(path: Option<&str>) -> Result<(), GestError> {
     let path = required(path, "path to run_trace.jsonl")?;
-    let (events, skipped) = load_trace(path)?;
+    let mut report = stream_trace(path)?;
+    let skipped = report.skipped;
     if skipped > 0 {
         eprintln!(
             "warning: skipped {skipped} unparseable line{} in {path:?} \
@@ -528,45 +751,22 @@ fn cmd_report(path: Option<&str>) -> Result<(), GestError> {
             if skipped == 1 { "" } else { "s" }
         );
     }
-    if events.is_empty() {
+    if report.events == 0 {
         return Err(GestError::Config(format!(
             "no telemetry events found in {path:?}"
         )));
     }
 
-    // --- Time per phase: aggregate closed spans by name. ---
-    struct Phase {
-        count: u64,
-        total_us: u64,
-        max_us: u64,
-    }
-    let mut phases: BTreeMap<&str, Phase> = BTreeMap::new();
-    let mut wall_us = 0;
-    for event in &events {
-        if let Event::SpanEnd {
-            name, dur_us, t_us, ..
-        } = event
-        {
-            let phase = phases.entry(name).or_insert(Phase {
-                count: 0,
-                total_us: 0,
-                max_us: 0,
-            });
-            phase.count += 1;
-            phase.total_us += dur_us;
-            phase.max_us = phase.max_us.max(*dur_us);
-            wall_us = wall_us.max(*t_us);
-        }
-    }
-    let wall_s = wall_us as f64 / 1e6;
+    // --- Time per phase: closed spans aggregated by name. ---
+    let wall_us = report.wall_us;
     println!("trace: {path}");
-    println!("wall clock: {wall_s:.3} s\n");
+    println!("wall clock: {:.3} s\n", wall_us as f64 / 1e6);
     println!("time per phase");
     println!(
         "  {:<16} {:>7} {:>12} {:>12} {:>12} {:>7}",
         "span", "count", "total(ms)", "mean(ms)", "max(ms)", "%wall"
     );
-    for (name, phase) in &phases {
+    for (name, phase) in &report.phases {
         let total_ms = phase.total_us as f64 / 1e3;
         println!(
             "  {:<16} {:>7} {:>12.2} {:>12.3} {:>12.3} {:>6.1}%",
@@ -583,71 +783,33 @@ fn cmd_report(path: Option<&str>) -> Result<(), GestError> {
         );
     }
 
-    // --- Slowest candidates: join eval.candidate starts (fields) with
-    // their ends (durations) by span id. ---
-    let mut starts: BTreeMap<u64, String> = BTreeMap::new();
-    let mut slowest: Vec<(u64, String)> = Vec::new();
-    for event in &events {
-        match event {
-            Event::SpanStart {
-                id, name, fields, ..
-            } if name == "eval.candidate" => {
-                let field = |wanted: &str| {
-                    fields
-                        .iter()
-                        .find(|(k, _)| k == wanted)
-                        .map_or_else(|| "?".to_string(), |(_, v)| v.to_string())
-                };
-                starts.insert(
-                    *id,
-                    format!(
-                        "candidate {} (generation {}, worker {})",
-                        field("candidate"),
-                        field("generation"),
-                        field("worker")
-                    ),
-                );
-            }
-            Event::SpanEnd {
-                id, name, dur_us, ..
-            } if name == "eval.candidate" => {
-                if let Some(label) = starts.remove(id) {
-                    slowest.push((*dur_us, label));
-                }
-            }
-            _ => {}
-        }
-    }
-    if !slowest.is_empty() {
-        slowest.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+    // --- Slowest candidate evaluations. ---
+    if !report.slowest.is_empty() {
+        report
+            .slowest
+            .sort_by_key(|entry| std::cmp::Reverse(entry.0));
         println!("\nslowest candidate evaluations");
-        for (dur_us, label) in slowest.iter().take(5) {
+        for (dur_us, label) in report.slowest.iter().take(SLOWEST_SHOWN) {
             println!("  {:>10.3} ms  {label}", *dur_us as f64 / 1e3);
         }
     }
 
-    // --- GA operator mix and other counters. ---
-    let counters: Vec<(&str, u64)> = events
-        .iter()
-        .filter_map(|e| match e {
-            Event::Counter { name, value } => Some((name.as_str(), *value)),
-            _ => None,
-        })
-        .collect();
-    let ga: Vec<_> = counters
-        .iter()
-        .filter(|(name, _)| name.starts_with("ga."))
-        .collect();
+    // --- GA operator mix and other counters (latest snapshot each). ---
+    let counters_with_prefix = |prefix: &str| -> Vec<(&String, &u64)> {
+        report
+            .counters
+            .range(prefix.to_string()..)
+            .take_while(|(name, _)| name.starts_with(prefix))
+            .collect()
+    };
+    let ga = counters_with_prefix("ga.");
     if !ga.is_empty() {
         println!("\noperator mix");
         for (name, value) in ga {
             println!("  {:<24} {value:>10}", name.trim_start_matches("ga."));
         }
     }
-    let cache: Vec<_> = counters
-        .iter()
-        .filter(|(name, _)| name.starts_with("evalcache."))
-        .collect();
+    let cache = counters_with_prefix("evalcache.");
     if !cache.is_empty() {
         println!("\nevaluation cache");
         for (name, value) in &cache {
@@ -656,12 +818,7 @@ fn cmd_report(path: Option<&str>) -> Result<(), GestError> {
                 name.trim_start_matches("evalcache.")
             );
         }
-        let find = |wanted: &str| {
-            cache
-                .iter()
-                .find(|(name, _)| *name == wanted)
-                .map(|(_, value)| *value)
-        };
+        let find = |wanted: &str| report.counters.get(wanted).copied();
         if let (Some(hits), Some(misses)) = (find("evalcache.hits"), find("evalcache.misses")) {
             if hits + misses > 0 {
                 println!(
@@ -672,10 +829,7 @@ fn cmd_report(path: Option<&str>) -> Result<(), GestError> {
             }
         }
     }
-    let workers: Vec<_> = counters
-        .iter()
-        .filter(|(name, _)| name.starts_with("eval.worker."))
-        .collect();
+    let workers = counters_with_prefix("eval.worker.");
     if !workers.is_empty() {
         println!("\nthread utilization (candidates per worker)");
         for (name, value) in workers {
@@ -684,57 +838,47 @@ fn cmd_report(path: Option<&str>) -> Result<(), GestError> {
     }
 
     // --- Convergence vs wall clock, from generation points. ---
-    let mut printed_header = false;
-    for event in &events {
-        if let Event::Point {
-            name, t_us, fields, ..
-        } = event
-        {
-            if name != "generation" {
-                continue;
-            }
-            if !printed_header {
-                println!("\nconvergence vs wall clock");
-                println!(
-                    "  {:>9} {:>11} {:>13} {:>13}",
-                    "t(s)", "generation", "best", "mean"
-                );
-                printed_header = true;
-            }
-            let field = |wanted: &str| {
-                fields
-                    .iter()
-                    .find(|(k, _)| k == wanted)
-                    .map_or_else(|| "?".to_string(), |(_, v)| v.to_string())
-            };
-            println!(
-                "  {:>9.3} {:>11} {:>13} {:>13}",
-                *t_us as f64 / 1e6,
-                field("generation"),
-                field("best_fitness"),
-                field("mean_fitness"),
-            );
+    if !report.generation_rows.is_empty() {
+        println!("\nconvergence vs wall clock");
+        println!(
+            "  {:>9} {:>11} {:>13} {:>13}",
+            "t(s)", "generation", "best", "mean"
+        );
+        for row in &report.generation_rows {
+            println!("{row}");
         }
     }
 
-    // --- Histogram summaries (eval latency, simulator stats). ---
-    let mut printed_header = false;
-    for event in &events {
-        if let Event::Histogram { name, snapshot } = event {
-            if !printed_header {
-                println!("\ndistributions");
-                println!(
-                    "  {:<24} {:>7} {:>13} {:>13} {:>13}",
-                    "metric", "n", "mean", "min", "max"
-                );
-                printed_header = true;
-            }
+    // --- Search health, from per-generation health points. ---
+    if !report.health_rows.is_empty() {
+        println!("\nsearch health");
+        println!(
+            "  {:>11} {:>11} {:>7} {:>10} {:>12} {:>8}",
+            "generation", "diversity", "stall", "plateaued", "quarantined", "retries"
+        );
+        for row in &report.health_rows {
+            println!("{row}");
+        }
+    }
+
+    // --- Histogram summaries with interpolated percentiles (eval
+    // latency, simulator stats). ---
+    if !report.histograms.is_empty() {
+        println!("\ndistributions");
+        println!(
+            "  {:<24} {:>7} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "metric", "n", "mean", "min", "p50", "p95", "p99", "max"
+        );
+        for (name, snapshot) in &report.histograms {
             println!(
-                "  {:<24} {:>7} {:>13.4} {:>13.4} {:>13.4}",
+                "  {:<24} {:>7} {:>11.4} {:>11.4} {:>11.4} {:>11.4} {:>11.4} {:>11.4}",
                 name,
                 snapshot.count,
                 snapshot.mean(),
                 snapshot.min,
+                snapshot.quantile(0.50),
+                snapshot.quantile(0.95),
+                snapshot.quantile(0.99),
                 snapshot.max
             );
         }

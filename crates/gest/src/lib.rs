@@ -29,6 +29,10 @@
 //! * [`chaos`] — deterministic fault injection across evaluation,
 //!   distribution, and persistence, plus the `gest chaos` soak that
 //!   proves artifacts stay byte-identical under fire;
+//! * [`obs`] — the live observability plane: an embedded `/metrics` +
+//!   `/status` + `/trace` HTTP endpoint (`gest run --status-addr`) and
+//!   the `gest top` console dashboard, strictly read-only over the
+//!   search;
 //! * [`xml`] — the minimal XML parser behind the configuration files.
 //!
 //! # Quick start
@@ -61,6 +65,7 @@ pub use gest_core as core;
 pub use gest_dist as dist;
 pub use gest_ga as ga;
 pub use gest_isa as isa;
+pub use gest_obs as obs;
 pub use gest_sim as sim;
 pub use gest_telemetry as telemetry;
 pub use gest_workloads as workloads;

@@ -1,0 +1,356 @@
+//! The embedded status endpoint: a deliberately tiny HTTP/1.1 server on
+//! std's `TcpListener`, plus the matching one-shot client used by
+//! `gest top` and the tests.
+//!
+//! Request parsing is hand-rolled in the same spirit as the `GESTDST1`
+//! frame codec: total over arbitrary bytes, bounded (8 KiB of headers),
+//! and malformed input gets a `400` response — never a panic. Only
+//! `GET` is served; every response closes the connection, so there is no
+//! keep-alive state machine to get wrong. One thread accepts, one short-
+//! lived thread serves each connection — scrape traffic is a few
+//! requests per second, not a web workload.
+
+use crate::{prom, ObsSink};
+use gest_telemetry::Telemetry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on a request head (request line + headers). Anything
+/// longer is rejected as malformed — real scrapers send a few hundred
+/// bytes.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Per-connection socket timeout: a stalled or byte-dribbling client
+/// gets cut off instead of pinning a handler thread.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How often the accept loop polls the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// The live status endpoint (`/metrics`, `/status`, `/trace`).
+///
+/// Runs its accept loop on a background thread until dropped (or
+/// [`StatusServer::stop`] is called). Serving is read-only: handlers
+/// snapshot the metrics registry and the [`ObsSink`] state, and never
+/// touch the search.
+pub struct StatusServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for StatusServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatusServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl StatusServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the listener.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        telemetry: Telemetry,
+        obs: Arc<ObsSink>,
+    ) -> io::Result<StatusServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            while !accept_stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let telemetry = telemetry.clone();
+                        let obs = Arc::clone(&obs);
+                        // Detached on purpose: each connection is bounded
+                        // by SOCKET_TIMEOUT, so handlers cannot outlive a
+                        // stop by more than that.
+                        std::thread::spawn(move || serve_connection(stream, &telemetry, &obs));
+                    }
+                    Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+        });
+        Ok(StatusServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it. Called by `Drop`; explicit
+    /// calls are idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// What request parsing decided.
+enum Request {
+    Get(String),
+    /// Syntactically broken input (response: 400).
+    Malformed,
+    /// Valid HTTP but a method we do not serve (response: 405).
+    BadMethod,
+}
+
+/// Reads and parses one request head from the stream. Total: any byte
+/// sequence maps to a `Request`; I/O errors (including timeouts) map to
+/// `None`, which drops the connection without a response.
+fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        // Stop as soon as the head is complete; bodies are ignored (GET).
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return Some(Request::Malformed);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // EOF: parse whatever arrived.
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = (parts.next(), parts.next(), parts.next());
+    let (Some(method), Some(target), Some(version)) = (method, target, version) else {
+        return Some(Request::Malformed);
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") || !target.starts_with('/') {
+        return Some(Request::Malformed);
+    }
+    if method != "GET" {
+        return Some(Request::BadMethod);
+    }
+    // Strip any query string; routes carry no parameters.
+    let path = target.split('?').next().unwrap_or(target);
+    Some(Request::Get(path.to_string()))
+}
+
+fn write_response(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // Best-effort: the scraper may already have hung up.
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn serve_connection(mut stream: TcpStream, telemetry: &Telemetry, obs: &ObsSink) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let Some(request) = read_request(&mut stream) else {
+        return;
+    };
+    match request {
+        Request::Malformed => {
+            write_response(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain",
+                "bad request\n",
+            );
+        }
+        Request::BadMethod => {
+            write_response(
+                &mut stream,
+                "405 Method Not Allowed",
+                "text/plain",
+                "only GET is supported\n",
+            );
+        }
+        Request::Get(path) => match path.as_str() {
+            "/metrics" => {
+                let body = prom::render_metrics(&telemetry.metrics_events(), telemetry.uptime_us());
+                write_response(
+                    &mut stream,
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &body,
+                );
+            }
+            "/status" => {
+                let mut body = String::new();
+                obs.status_json(telemetry).write(&mut body);
+                body.push('\n');
+                write_response(&mut stream, "200 OK", "application/json", &body);
+            }
+            "/trace" => {
+                let mut body = String::new();
+                for event in obs.trace_tail() {
+                    event.to_json().write(&mut body);
+                    body.push('\n');
+                }
+                write_response(&mut stream, "200 OK", "application/x-ndjson", &body);
+            }
+            "/" => write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain",
+                "gest status endpoint: /metrics /status /trace\n",
+            ),
+            _ => write_response(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+        },
+    }
+}
+
+/// One-shot HTTP GET against `addr` (host:port), returning
+/// `(status_code, body)` — the client side of the endpoint, used by
+/// `gest top` and tests. Dependency-free by design.
+///
+/// # Errors
+///
+/// Connection/socket errors, or a response that is not parseable HTTP.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> io::Result<(u16, String)> {
+    let mut resolved = addr.to_socket_addrs()?;
+    let target = resolved.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    })?;
+    let mut stream = TcpStream::connect_timeout(&target, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body separator"))?;
+    let status = head
+        .lines()
+        .next()
+        .and_then(|line| line.split(' ').nth(1))
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gest_telemetry::json::Value;
+    use gest_telemetry::{Buckets, Sink};
+
+    fn test_server() -> (StatusServer, Telemetry, Arc<ObsSink>) {
+        let obs = Arc::new(ObsSink::default());
+        let telemetry = Telemetry::new(Arc::clone(&obs) as Arc<dyn Sink>);
+        telemetry.add_counter("dist.dispatches", 3);
+        telemetry.record(
+            "eval.latency_us",
+            &Buckets::exponential(100.0, 10.0, 3),
+            250.0,
+        );
+        telemetry.point("generation", &[("generation", 0u64.into())]);
+        let server =
+            StatusServer::start("127.0.0.1:0", telemetry.clone(), Arc::clone(&obs)).unwrap();
+        (server, telemetry, obs)
+    }
+
+    #[test]
+    fn serves_metrics_status_and_trace() {
+        let (server, _telemetry, _obs) = test_server();
+        let addr = server.addr().to_string();
+        let timeout = Duration::from_secs(5);
+
+        let (code, body) = http_get(&addr, "/metrics", timeout).unwrap();
+        assert_eq!(code, 200);
+        assert!(body.contains("dist_dispatches 3"));
+        assert!(body.contains("eval_latency_us_p95"));
+
+        let (code, body) = http_get(&addr, "/status", timeout).unwrap();
+        assert_eq!(code, 200);
+        let status = Value::parse(body.trim()).unwrap();
+        assert_eq!(status.get("generation").unwrap().as_u64(), Some(1));
+
+        let (code, body) = http_get(&addr, "/trace", timeout).unwrap();
+        assert_eq!(code, 200);
+        assert!(body.lines().count() >= 1, "trace tail has the point");
+
+        let (code, _) = http_get(&addr, "/nope", timeout).unwrap();
+        assert_eq!(code, 404);
+    }
+
+    #[test]
+    fn malformed_requests_get_400_not_a_panic() {
+        let (server, _telemetry, _obs) = test_server();
+        let addr = server.addr();
+        let timeout = Duration::from_secs(5);
+
+        for garbage in [
+            &b"\x00\x01\x02\x03\r\n\r\n"[..],
+            b"GARBAGE\r\n\r\n",
+            b"GET missing-slash HTTP/1.1\r\n\r\n",
+            b"GET / SMTP/3.0\r\n\r\n",
+            b"GET / HTTP/1.1 extra words\r\n\r\n",
+        ] {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(timeout)).unwrap();
+            stream.write_all(garbage).unwrap();
+            let mut response = String::new();
+            let _ = stream.read_to_string(&mut response);
+            assert!(
+                response.starts_with("HTTP/1.1 400"),
+                "{garbage:?} should get a 400, got {response:?}"
+            );
+        }
+
+        // Non-GET methods are rejected with 405.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(timeout)).unwrap();
+        stream.write_all(b"POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(response.starts_with("HTTP/1.1 405"), "got {response:?}");
+
+        // A connect-then-slam client leaves the server serving.
+        drop(TcpStream::connect(addr).unwrap());
+        let (code, _) = http_get(&addr.to_string(), "/metrics", timeout).unwrap();
+        assert_eq!(code, 200);
+    }
+
+    #[test]
+    fn stop_terminates_the_accept_loop() {
+        let (mut server, _telemetry, _obs) = test_server();
+        let addr = server.addr();
+        server.stop();
+        server.stop(); // idempotent
+                       // The listener is closed: new connections are refused (or reset).
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+    }
+}

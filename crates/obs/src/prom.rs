@@ -1,0 +1,140 @@
+//! Prometheus text exposition (format 0.0.4) of the telemetry metrics
+//! registry.
+//!
+//! Renders the non-draining snapshot from
+//! [`Telemetry::metrics_events`](gest_telemetry::Telemetry::metrics_events):
+//! counters and gauges one sample each, histograms as cumulative
+//! `_bucket{le=...}` series with `_sum`/`_count`, plus `_p50`/`_p95`/
+//! `_p99` gauges interpolated from the bucket snapshot
+//! ([`HistogramSnapshot::quantile`](gest_telemetry::HistogramSnapshot::quantile)).
+
+use gest_telemetry::Event;
+use std::fmt::Write as _;
+
+/// Maps a telemetry metric name onto the Prometheus charset: every
+/// character outside `[a-zA-Z0-9_:]` becomes `_` (so `eval.latency_us`
+/// exports as `eval_latency_us`).
+pub fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Formats a float the way the exposition format expects (`+Inf`/`-Inf`
+/// rather than Rust's `inf`).
+fn fmt_value(value: f64) -> String {
+    if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if value.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Renders a metric-event snapshot as one exposition document.
+/// `uptime_us` is exported as the synthetic `gest_uptime_microseconds`
+/// gauge so scrapers always see at least one sample.
+pub fn render_metrics(events: &[Event], uptime_us: u64) -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE gest_uptime_microseconds gauge\n");
+    let _ = writeln!(out, "gest_uptime_microseconds {uptime_us}");
+    for event in events {
+        match event {
+            Event::Counter { name, value } => {
+                let name = sanitize_name(name);
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {value}");
+            }
+            Event::Gauge { name, value } => {
+                let name = sanitize_name(name);
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", fmt_value(*value));
+            }
+            Event::Histogram { name, snapshot } => {
+                let name = sanitize_name(name);
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (bound, count) in snapshot.bounds.iter().zip(&snapshot.counts) {
+                    cumulative += count;
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                        fmt_value(*bound)
+                    );
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snapshot.count);
+                let _ = writeln!(out, "{name}_sum {}", fmt_value(snapshot.sum));
+                let _ = writeln!(out, "{name}_count {}", snapshot.count);
+                for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                    let _ = writeln!(out, "# TYPE {name}_{label} gauge");
+                    let _ = writeln!(out, "{name}_{label} {}", fmt_value(snapshot.quantile(q)));
+                }
+            }
+            // Spans and points are trace data, not metrics.
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gest_telemetry::{Buckets, MetricsRegistry};
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("eval.latency_us"), "eval_latency_us");
+        assert_eq!(
+            sanitize_name("dist.worker.0.requests"),
+            "dist_worker_0_requests"
+        );
+        assert_eq!(sanitize_name("0weird"), "_0weird");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let registry = MetricsRegistry::default();
+        registry.add_counter("dist.dispatches", 40);
+        registry.set_gauge("run.best_fitness", 1.5);
+        let buckets = Buckets::linear(10.0, 10.0, 2);
+        for v in [5.0, 15.0, 100.0] {
+            registry.record("eval.latency_us", &buckets, v);
+        }
+        let text = render_metrics(&registry.snapshot_events(), 123);
+        assert!(text.contains("gest_uptime_microseconds 123\n"));
+        assert!(text.contains("# TYPE dist_dispatches counter\ndist_dispatches 40\n"));
+        assert!(text.contains("# TYPE run_best_fitness gauge\nrun_best_fitness 1.5\n"));
+        assert!(text.contains("eval_latency_us_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("eval_latency_us_bucket{le=\"20\"} 2\n"));
+        assert!(text.contains("eval_latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("eval_latency_us_sum 120\n"));
+        assert!(text.contains("eval_latency_us_count 3\n"));
+        assert!(text.contains("eval_latency_us_p50 "));
+        assert!(text.contains("eval_latency_us_p99 "));
+
+        // Every non-comment line matches `name{labels}? value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name_part, value_part) = line.rsplit_once(' ').expect("two columns");
+            assert!(!name_part.is_empty());
+            assert!(
+                value_part.parse::<f64>().is_ok() || ["+Inf", "-Inf", "NaN"].contains(&value_part),
+                "unparseable sample value in {line:?}"
+            );
+        }
+    }
+}

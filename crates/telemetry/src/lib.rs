@@ -519,11 +519,52 @@ impl Telemetry {
             .map_or(0, |inner| inner.metrics.counter(name))
     }
 
+    /// Current value of a gauge, if set (`None` when disabled).
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.metrics.gauge(name))
+    }
+
     /// Snapshot of a histogram, if recorded.
     pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
         self.inner
             .as_ref()
             .and_then(|inner| inner.metrics.histogram(name))
+    }
+
+    /// Microseconds since this handle was created (`0` when disabled).
+    /// Live consumers compare event timestamps against this clock (e.g.
+    /// heartbeat age in the `/status` fleet table).
+    pub fn uptime_us(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| Self::elapsed_us(inner))
+    }
+
+    /// Snapshot of every aggregated metric as events, without resetting
+    /// or streaming anything to the sink — the read side of the live
+    /// `/metrics` endpoint. Empty when disabled.
+    pub fn metrics_events(&self) -> Vec<Event> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |inner| inner.metrics.snapshot_events())
+    }
+
+    /// Emits a non-resetting snapshot of every aggregated metric to the
+    /// sink and flushes it. Called at checkpoints so a crashed run's
+    /// trace still carries counter totals and latency distributions;
+    /// [`Telemetry::finish`] later re-emits the final values, and trace
+    /// readers take the last record per name. A no-op after `finish`.
+    pub fn flush_metrics(&self) {
+        let Some(inner) = &self.inner else { return };
+        if inner.finished.load(Ordering::SeqCst) {
+            return;
+        }
+        for event in inner.metrics.snapshot_events() {
+            inner.sink.event(&event);
+        }
+        inner.sink.flush();
     }
 
     /// Finishes the run: flushes every aggregated metric to the sink as
@@ -677,6 +718,29 @@ mod tests {
         let events = sink.events();
         assert_eq!(events.len(), 3, "second finish is a no-op");
         assert!(matches!(&events[0], Event::Counter { name, value: 3 } if name == "ops"));
+    }
+
+    #[test]
+    fn flush_metrics_snapshots_without_resetting() {
+        let (telemetry, sink) = memory_telemetry();
+        telemetry.add_counter("ops", 2);
+        telemetry.flush_metrics();
+        telemetry.add_counter("ops", 3);
+        telemetry.flush_metrics();
+        telemetry.finish();
+        telemetry.flush_metrics(); // no-op after finish
+        let counters: Vec<u64> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter { name, value } if name == "ops" => Some(*value),
+                _ => None,
+            })
+            .collect();
+        // Two mid-run snapshots plus the final drain; last-wins readers
+        // see the true total.
+        assert_eq!(counters, vec![2, 5, 5]);
+        assert_eq!(telemetry.metrics_events().len(), 0, "finish drained");
     }
 
     #[test]

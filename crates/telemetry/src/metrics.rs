@@ -98,6 +98,44 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the bucket containing the target rank, the same scheme
+    /// Prometheus' `histogram_quantile` uses. The estimate is clamped to
+    /// the observed `[min, max]`, so a quantile landing in the first or
+    /// overflow bucket degrades gracefully instead of extrapolating past
+    /// real data. Returns `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (index, &bucket_count) in self.counts.iter().enumerate() {
+            if bucket_count == 0 {
+                continue;
+            }
+            let before = seen as f64;
+            seen += bucket_count;
+            if (seen as f64) < rank {
+                continue;
+            }
+            if index == self.bounds.len() {
+                // Overflow bucket has no upper bound to interpolate
+                // against; the observed max is the best estimate.
+                return self.max;
+            }
+            let lower = if index == 0 {
+                self.min
+            } else {
+                self.bounds[index - 1].max(self.min)
+            };
+            let upper = self.bounds[index].min(self.max);
+            let fraction = ((rank - before) / bucket_count as f64).clamp(0.0, 1.0);
+            return (lower + (upper - lower) * fraction).clamp(self.min, self.max);
+        }
+        self.max
+    }
 }
 
 #[derive(Debug, Default)]
@@ -178,15 +216,37 @@ impl MetricsRegistry {
     pub fn drain_events(&self) -> Vec<Event> {
         let mut state = self.state.lock().expect("metrics lock");
         let state = std::mem::take(&mut *state);
+        Self::state_events(&state)
+    }
+
+    /// Converts every metric into an [`Event`] *without* resetting — the
+    /// live-scrape counterpart of [`MetricsRegistry::drain_events`], used
+    /// by the `/metrics` endpoint and checkpoint-time snapshot flushes.
+    /// Same deterministic ordering.
+    pub fn snapshot_events(&self) -> Vec<Event> {
+        let state = self.state.lock().expect("metrics lock");
+        Self::state_events(&state)
+    }
+
+    fn state_events(state: &State) -> Vec<Event> {
         let mut events = Vec::new();
-        for (name, value) in state.counters {
-            events.push(Event::Counter { name, value });
+        for (name, value) in &state.counters {
+            events.push(Event::Counter {
+                name: name.clone(),
+                value: *value,
+            });
         }
-        for (name, value) in state.gauges {
-            events.push(Event::Gauge { name, value });
+        for (name, value) in &state.gauges {
+            events.push(Event::Gauge {
+                name: name.clone(),
+                value: *value,
+            });
         }
-        for (name, snapshot) in state.histograms {
-            events.push(Event::Histogram { name, snapshot });
+        for (name, snapshot) in &state.histograms {
+            events.push(Event::Histogram {
+                name: name.clone(),
+                snapshot: snapshot.clone(),
+            });
         }
         events
     }
@@ -224,6 +284,65 @@ mod tests {
         assert!(
             (snapshot.mean() - (5.0 + 10.0 + 10.1 + 20.0 + 29.9 + 31.0 + 1e9) / 7.0).abs() < 1e-6
         );
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let registry = MetricsRegistry::default();
+        let buckets = Buckets::linear(10.0, 10.0, 10); // bounds 10..100
+                                                       // 100 values uniform over (0, 100]: value i+1 lands in bucket i/10.
+        for i in 0..100 {
+            registry.record("lat", &buckets, (i + 1) as f64);
+        }
+        let snapshot = registry.histogram("lat").unwrap();
+        // Uniform data: the q-quantile should sit near 100*q.
+        for (q, expected) in [(0.5, 50.0), (0.95, 95.0), (0.99, 99.0)] {
+            let got = snapshot.quantile(q);
+            assert!(
+                (got - expected).abs() <= 1.0,
+                "q={q}: got {got}, expected ~{expected}"
+            );
+        }
+        assert_eq!(snapshot.quantile(0.0), snapshot.min);
+        assert_eq!(snapshot.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = MetricsRegistry::default();
+        empty.record("x", &Buckets::linear(1.0, 1.0, 1), 0.5);
+        let one = empty.histogram("x").unwrap();
+        // Single value: every quantile is that value.
+        assert_eq!(one.quantile(0.5), 0.5);
+        assert_eq!(one.quantile(0.99), 0.5);
+
+        let registry = MetricsRegistry::default();
+        let buckets = Buckets::linear(10.0, 10.0, 2); // bounds 10, 20
+        for v in [100.0, 200.0, 300.0] {
+            registry.record("over", &buckets, v);
+        }
+        // Everything overflowed: quantiles collapse to the observed max.
+        let snapshot = registry.histogram("over").unwrap();
+        assert_eq!(snapshot.quantile(0.5), 300.0);
+
+        let degenerate = HistogramSnapshot::new(&buckets);
+        assert_eq!(degenerate.quantile(0.5), 0.0, "empty histogram");
+    }
+
+    #[test]
+    fn snapshot_events_do_not_reset() {
+        let registry = MetricsRegistry::default();
+        registry.add_counter("ops", 4);
+        registry.set_gauge("g", 2.0);
+        registry.record("h", &Buckets::linear(1.0, 1.0, 1), 0.5);
+        let first = registry.snapshot_events();
+        assert_eq!(first.len(), 3);
+        registry.add_counter("ops", 1);
+        let second = registry.snapshot_events();
+        assert!(matches!(&second[0], Event::Counter { name, value: 5 } if name == "ops"));
+        // drain afterwards still sees everything, then resets.
+        assert_eq!(registry.drain_events().len(), 3);
+        assert!(registry.drain_events().is_empty());
     }
 
     #[test]
