@@ -38,6 +38,13 @@ pub struct GestConfig {
     pub seed_population: Option<PathBuf>,
     /// Worker threads for individual evaluation (0 = all available).
     pub threads: usize,
+    /// Candidates each evaluation slot batches through the simulator's
+    /// lockstep lanes per backend call (`0` and `1` both mean the
+    /// single-candidate path). Like `threads`, an execution detail: it is
+    /// not serialized to XML, never perturbs checkpoint fingerprints, and
+    /// any width produces byte-identical search artifacts — wider lanes
+    /// only amortize per-run setup.
+    pub lane_width: usize,
     /// Write a crash-recovery checkpoint manifest every N generations
     /// (requires `output_dir`; `None` disables checkpointing). The last
     /// generation is always checkpointed when enabled, so a completed run
@@ -271,6 +278,7 @@ pub struct GestConfigBuilder {
     output_dir: Option<PathBuf>,
     seed_population: Option<PathBuf>,
     threads: usize,
+    lane_width: usize,
     checkpoint_every: Option<u32>,
     fault_policy: FaultPolicy,
     whole_instruction_mutation_prob: f64,
@@ -296,6 +304,7 @@ impl GestConfigBuilder {
             output_dir: None,
             seed_population: None,
             threads: 0,
+            lane_width: 1,
             checkpoint_every: None,
             fault_policy: FaultPolicy::default(),
             whole_instruction_mutation_prob: 0.5,
@@ -432,6 +441,15 @@ impl GestConfigBuilder {
         self
     }
 
+    /// Sets how many candidates each evaluation slot batches through the
+    /// simulator's lockstep lanes (0/1 = the single-candidate path). An
+    /// execution detail like [`threads`](Self::threads): results are
+    /// byte-identical at every width.
+    pub fn lane_width(mut self, lane_width: usize) -> Self {
+        self.lane_width = lane_width;
+        self
+    }
+
     /// Writes a crash-recovery checkpoint manifest every `every`
     /// generations (requires an output directory to take effect).
     pub fn checkpoint_every(mut self, every: u32) -> Self {
@@ -536,6 +554,7 @@ impl GestConfigBuilder {
             output_dir: self.output_dir,
             seed_population: self.seed_population,
             threads: self.threads,
+            lane_width: self.lane_width,
             checkpoint_every: self.checkpoint_every,
             fault_policy: self.fault_policy,
             whole_instruction_mutation_prob: self.whole_instruction_mutation_prob,

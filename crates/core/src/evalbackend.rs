@@ -16,7 +16,7 @@
 //! change the evolved result, only the wall-clock it takes.
 
 use crate::error::GestError;
-use crate::measurement::Measurement;
+use crate::measurement::{MeasuredBatch, Measurement};
 use gest_isa::{Gene, Template};
 use gest_sim::RunResult;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -70,6 +70,29 @@ pub trait EvalBackend: Send + Sync + std::fmt::Debug {
         slot: usize,
         request: &EvalRequest<'_>,
     ) -> Result<(Vec<f64>, Option<RunResult>), GestError>;
+
+    /// How many candidates this backend prefers to receive per
+    /// [`measure_batch`](EvalBackend::measure_batch) call. `1` (the
+    /// default) tells the runner to stay on the single-candidate path;
+    /// backends with a genuinely batched substrate (the local simulator's
+    /// lockstep lanes) report their lane width so the runner hands them
+    /// whole chunks.
+    fn lane_width(&self) -> usize {
+        1
+    }
+
+    /// Measures a batch of candidates on one slot, one result per request,
+    /// in order. The default loops [`measure`](EvalBackend::measure), so
+    /// every backend — including `gest-dist`'s `Coordinator` and
+    /// `gest-chaos`'s wrapper — composes with batch-aware callers without
+    /// changes. A failing candidate yields an `Err` in its lane only; the
+    /// runner's [`crate::FaultPolicy`] then handles that lane alone.
+    fn measure_batch(&self, slot: usize, requests: &[EvalRequest<'_>]) -> MeasuredBatch {
+        requests
+            .iter()
+            .map(|request| self.measure(slot, request))
+            .collect()
+    }
 }
 
 /// Renders a panic payload into a human-readable message.
@@ -105,6 +128,32 @@ pub fn catch_measure<T>(
             message: panic_message(payload),
         })
     })
+}
+
+/// Batch counterpart of [`catch_measure`]: a panic anywhere inside the
+/// batched call fails *every* lane with the panic payload, because a
+/// mid-batch panic leaves no way to tell which lanes completed. The
+/// runner then falls back to the single-candidate path per lane, where
+/// the fault policy retries each in isolation.
+pub(crate) fn catch_measure_batch(
+    candidates: &[u64],
+    f: impl FnOnce() -> MeasuredBatch,
+) -> MeasuredBatch {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(results) => results,
+        Err(payload) => {
+            let message = panic_message(payload);
+            candidates
+                .iter()
+                .map(|&candidate| {
+                    Err(GestError::Measurement {
+                        candidate,
+                        message: message.clone(),
+                    })
+                })
+                .collect()
+        }
+    }
 }
 
 /// Runs one backend measurement on a sacrificial thread with a hard
@@ -165,6 +214,7 @@ pub struct LocalBackend {
     measurement: Arc<dyn Measurement>,
     template: Template,
     threads: usize,
+    lane_width: usize,
 }
 
 impl LocalBackend {
@@ -175,7 +225,23 @@ impl LocalBackend {
             measurement,
             template,
             threads,
+            lane_width: 1,
         }
+    }
+
+    /// Sets how many candidates each slot batches through the
+    /// measurement's lockstep simulator core per call (`0` and `1` both
+    /// mean the single-candidate path). An execution detail like
+    /// `threads`: it changes wall-clock, never results.
+    #[must_use]
+    pub fn with_lane_width(mut self, lane_width: usize) -> Self {
+        self.lane_width = lane_width.max(1);
+        self
+    }
+
+    fn materialize(&self, request: &EvalRequest<'_>) -> gest_isa::Program {
+        let body = gest_isa::InstructionPool::flatten(request.genes);
+        self.template.materialize(request.program_name(), body)
     }
 }
 
@@ -200,9 +266,20 @@ impl EvalBackend for LocalBackend {
         _slot: usize,
         request: &EvalRequest<'_>,
     ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
-        let body = gest_isa::InstructionPool::flatten(request.genes);
-        let program = self.template.materialize(request.program_name(), body);
+        let program = self.materialize(request);
         self.measurement.measure_detailed(&program)
+    }
+
+    fn lane_width(&self) -> usize {
+        self.lane_width
+    }
+
+    fn measure_batch(&self, _slot: usize, requests: &[EvalRequest<'_>]) -> MeasuredBatch {
+        let programs: Vec<gest_isa::Program> = requests
+            .iter()
+            .map(|request| self.materialize(request))
+            .collect();
+        self.measurement.measure_batch_detailed(&programs)
     }
 }
 
@@ -284,6 +361,83 @@ mod tests {
         }
     }
 
+    /// Fails odd-id candidates so batch/loop equivalence covers error
+    /// lanes too.
+    #[derive(Debug)]
+    struct ParityBackend;
+
+    impl EvalBackend for ParityBackend {
+        fn name(&self) -> &str {
+            "parity"
+        }
+
+        fn slots(&self, _pending: usize) -> usize {
+            1
+        }
+
+        fn measure(
+            &self,
+            slot: usize,
+            request: &EvalRequest<'_>,
+        ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
+            if request.candidate_id % 2 == 1 {
+                return Err(GestError::Measurement {
+                    candidate: request.candidate_id,
+                    message: "odd lane".into(),
+                });
+            }
+            Ok((vec![request.candidate_id as f64, slot as f64], None))
+        }
+    }
+
+    #[test]
+    fn default_measure_batch_loops_measure_with_per_lane_errors() {
+        let backend = ParityBackend;
+        assert_eq!(backend.lane_width(), 1, "default stays single-candidate");
+        let genes = [];
+        let requests: Vec<EvalRequest<'_>> = (0..5)
+            .map(|id| EvalRequest {
+                generation: 2,
+                candidate_id: id,
+                genes: &genes,
+            })
+            .collect();
+        let batched = backend.measure_batch(3, &requests);
+        assert_eq!(batched.len(), requests.len());
+        for (request, lane) in requests.iter().zip(batched) {
+            match (lane, backend.measure(3, request)) {
+                (Ok(lane), Ok(single)) => assert_eq!(lane, single),
+                (Err(GestError::Measurement { candidate, .. }), Err(_)) => {
+                    assert_eq!(candidate, request.candidate_id);
+                }
+                (lane, single) => panic!(
+                    "candidate {}: lane ok={} but single ok={}",
+                    request.candidate_id,
+                    lane.is_ok(),
+                    single.is_ok()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn catch_measure_batch_fails_every_lane_on_panic() {
+        let candidates = [4, 5, 6];
+        let lanes = catch_measure_batch(&candidates, || panic!("batch fell over"));
+        assert_eq!(lanes.len(), 3);
+        for (lane, &expected) in lanes.iter().zip(&candidates) {
+            match lane {
+                Err(GestError::Measurement { candidate, message }) => {
+                    assert_eq!(*candidate, expected);
+                    assert!(message.contains("batch fell over"), "{message}");
+                }
+                other => panic!("expected per-lane panic error, got {other:?}"),
+            }
+        }
+        let ok = catch_measure_batch(&candidates, || vec![Ok((vec![1.0], None))]);
+        assert_eq!(ok.len(), 1, "non-panicking closures pass through");
+    }
+
     #[test]
     fn local_backend_slots_respect_pending_work() {
         let config = crate::GestConfig::builder("cortex-a7").build().unwrap();
@@ -295,5 +449,48 @@ mod tests {
         assert_eq!(backend.slots(2), 2);
         assert_eq!(backend.slots(0), 1, "at least one slot");
         assert_eq!(backend.name(), "local");
+    }
+
+    #[test]
+    fn local_backend_batches_bit_identically_to_singles() {
+        let config = crate::GestConfig::builder("cortex-a7").build().unwrap();
+        let measurement = crate::Registry::default()
+            .build_measurement("power", config.machine.clone(), config.run_config)
+            .unwrap();
+        let backend = LocalBackend::new(measurement, config.template.clone(), 1).with_lane_width(4);
+        assert_eq!(backend.lane_width(), 4);
+        assert_eq!(
+            LocalBackend::new(Arc::clone(&backend.measurement), config.template.clone(), 1)
+                .with_lane_width(0)
+                .lane_width(),
+            1,
+            "zero clamps to the single path"
+        );
+
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let gene_sets: Vec<Vec<gest_isa::Gene>> = (0..5)
+            .map(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..8).map(|_| config.pool.random_gene(&mut rng)).collect()
+            })
+            .collect();
+        let requests: Vec<EvalRequest<'_>> = gene_sets
+            .iter()
+            .enumerate()
+            .map(|(id, genes)| EvalRequest {
+                generation: 0,
+                candidate_id: id as u64,
+                genes,
+            })
+            .collect();
+        let batched = backend.measure_batch(0, &requests);
+        assert_eq!(batched.len(), requests.len());
+        for (request, lane) in requests.iter().zip(batched) {
+            let single = backend.measure(0, request).unwrap();
+            let lane = lane.unwrap();
+            assert_eq!(lane.0, single.0, "candidate {}", request.candidate_id);
+            assert_eq!(lane.1, single.1, "candidate {}", request.candidate_id);
+        }
     }
 }

@@ -81,8 +81,9 @@ pub use genetics::PoolGenetics;
 #[allow(deprecated)]
 pub use measurement::measurement_by_name;
 pub use measurement::{
-    sim_fast_path_stats, CacheMissMeasurement, IpcMeasurement, Measurement, NoisyMeasurement,
-    PowerMeasurement, SimFastPathStats, TemperatureMeasurement, VoltageNoiseMeasurement,
+    sim_fast_path_stats, CacheMissMeasurement, IpcMeasurement, MeasuredBatch, Measurement,
+    NoisyMeasurement, PowerMeasurement, SimFastPathStats, TemperatureMeasurement,
+    VoltageNoiseMeasurement,
 };
 pub use output::{OutputWriter, RealFs, SavedIndividual, SavedPopulation, WriteFs};
 pub use pools::{didt_pool, full_pool, ipc_pool, llc_pool, power_pool};

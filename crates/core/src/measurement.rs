@@ -15,6 +15,11 @@ use std::fmt::Debug;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Outcome of a batched measurement: one entry per program, in order —
+/// the metric values plus the optional simulator detail, or that lane's
+/// own error.
+pub type MeasuredBatch = Vec<Result<(Vec<f64>, Option<RunResult>), GestError>>;
+
 /// A measurement procedure: run a program, return metric values.
 ///
 /// The first value is the headline metric — by the paper's convention it
@@ -50,6 +55,20 @@ pub trait Measurement: Send + Sync + Debug {
         Ok((self.measure(program)?, None))
     }
 
+    /// Measures a whole batch, one result per program, in order. The
+    /// default loops [`measure_detailed`](Measurement::measure_detailed),
+    /// so every measurement supports batching; sim-backed measurements
+    /// override it to run all programs through the simulator's lockstep
+    /// batch core, which amortizes per-run setup without changing any
+    /// value. A failing program yields an `Err` in its lane only — it
+    /// never disturbs its neighbours.
+    fn measure_batch_detailed(&self, programs: &[Program]) -> MeasuredBatch {
+        programs
+            .iter()
+            .map(|program| self.measure_detailed(program))
+            .collect()
+    }
+
     /// Whether the measured values are a pure function of the program's
     /// *content* (its instructions and template), independent of the
     /// program name, wall-clock time, or any other ambient state. Only
@@ -74,6 +93,12 @@ thread_local! {
     /// storage survive across the many programs a GA worker measures.
     static SIM_SCRATCH: std::cell::RefCell<gest_sim::SimScratch> =
         std::cell::RefCell::new(gest_sim::SimScratch::new());
+
+    /// The batched counterpart: per-lane scratch plus the shared memos
+    /// (fill-pattern hashes, thermal schedule) that make batch evaluation
+    /// cheaper than N single runs.
+    static BATCH_SCRATCH: std::cell::RefCell<gest_sim::BatchScratch> =
+        std::cell::RefCell::new(gest_sim::BatchScratch::new());
 }
 
 // Process-wide fast-path counters, drained from the thread-local scratch
@@ -127,6 +152,34 @@ impl SimBacked {
             Ok(result)
         })
     }
+
+    /// Runs every program through the simulator's lockstep batch core.
+    /// Per-lane results are bit-identical to [`run`](SimBacked::run); the
+    /// process-wide fast-path counters advance exactly as N single runs
+    /// would advance them.
+    fn run_batch(&self, programs: &[Program]) -> Vec<Result<RunResult, GestError>> {
+        BATCH_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let before = (
+                scratch.runs,
+                scratch.steady_hits,
+                scratch.extrapolated_iterations,
+            );
+            let results =
+                self.simulator
+                    .run_batch_with_scratch(programs, &self.run_config, &mut scratch);
+            SIM_RUNS.fetch_add(scratch.runs - before.0, Ordering::Relaxed);
+            SIM_STEADY_HITS.fetch_add(scratch.steady_hits - before.1, Ordering::Relaxed);
+            SIM_EXTRAPOLATED_ITERATIONS.fetch_add(
+                scratch.extrapolated_iterations - before.2,
+                Ordering::Relaxed,
+            );
+            results
+                .into_iter()
+                .map(|lane| lane.map_err(GestError::from))
+                .collect()
+        })
+    }
 }
 
 /// Average-power measurement (the ARM energy-probe stand-in; paper §V).
@@ -142,6 +195,15 @@ impl PowerMeasurement {
             simulator: Simulator::new(machine),
             run_config,
         })
+    }
+
+    /// The one projection from a simulator result to this measurement's
+    /// metric vector, shared by the single and batched paths.
+    fn project(result: RunResult) -> (Vec<f64>, Option<RunResult>) {
+        (
+            vec![result.avg_power_w, result.peak_power_w, result.ipc],
+            Some(result),
+        )
     }
 }
 
@@ -166,11 +228,15 @@ impl Measurement for PowerMeasurement {
         &self,
         program: &Program,
     ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
-        let result = self.0.run(program)?;
-        Ok((
-            vec![result.avg_power_w, result.peak_power_w, result.ipc],
-            Some(result),
-        ))
+        Ok(Self::project(self.0.run(program)?))
+    }
+
+    fn measure_batch_detailed(&self, programs: &[Program]) -> MeasuredBatch {
+        self.0
+            .run_batch(programs)
+            .into_iter()
+            .map(|lane| lane.map(Self::project))
+            .collect()
     }
 }
 
@@ -188,6 +254,15 @@ impl TemperatureMeasurement {
             simulator: Simulator::new(machine),
             run_config,
         })
+    }
+
+    /// The one projection from a simulator result to this measurement's
+    /// metric vector, shared by the single and batched paths.
+    fn project(result: RunResult) -> (Vec<f64>, Option<RunResult>) {
+        (
+            vec![result.temperature_c, result.avg_power_w, result.ipc],
+            Some(result),
+        )
     }
 }
 
@@ -212,11 +287,15 @@ impl Measurement for TemperatureMeasurement {
         &self,
         program: &Program,
     ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
-        let result = self.0.run(program)?;
-        Ok((
-            vec![result.temperature_c, result.avg_power_w, result.ipc],
-            Some(result),
-        ))
+        Ok(Self::project(self.0.run(program)?))
+    }
+
+    fn measure_batch_detailed(&self, programs: &[Program]) -> MeasuredBatch {
+        self.0
+            .run_batch(programs)
+            .into_iter()
+            .map(|lane| lane.map(Self::project))
+            .collect()
     }
 }
 
@@ -233,6 +312,15 @@ impl IpcMeasurement {
             simulator: Simulator::new(machine),
             run_config,
         })
+    }
+
+    /// The one projection from a simulator result to this measurement's
+    /// metric vector, shared by the single and batched paths.
+    fn project(result: RunResult) -> (Vec<f64>, Option<RunResult>) {
+        (
+            vec![result.ipc, result.avg_power_w, result.temperature_c],
+            Some(result),
+        )
     }
 }
 
@@ -257,11 +345,15 @@ impl Measurement for IpcMeasurement {
         &self,
         program: &Program,
     ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
-        let result = self.0.run(program)?;
-        Ok((
-            vec![result.ipc, result.avg_power_w, result.temperature_c],
-            Some(result),
-        ))
+        Ok(Self::project(self.0.run(program)?))
+    }
+
+    fn measure_batch_detailed(&self, programs: &[Program]) -> MeasuredBatch {
+        self.0
+            .run_batch(programs)
+            .into_iter()
+            .map(|lane| lane.map(Self::project))
+            .collect()
     }
 }
 
@@ -293,6 +385,16 @@ impl VoltageNoiseMeasurement {
             run_config,
         }))
     }
+
+    /// The one projection from a simulator result to this measurement's
+    /// metric vector, shared by the single and batched paths.
+    fn project(result: RunResult) -> (Vec<f64>, Option<RunResult>) {
+        let stats = result.voltage.expect("constructor verified the PDN exists");
+        (
+            vec![stats.peak_to_peak(), stats.max_droop(), result.avg_power_w],
+            Some(result),
+        )
+    }
 }
 
 impl Measurement for VoltageNoiseMeasurement {
@@ -316,12 +418,15 @@ impl Measurement for VoltageNoiseMeasurement {
         &self,
         program: &Program,
     ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
-        let result = self.0.run(program)?;
-        let stats = result.voltage.expect("constructor verified the PDN exists");
-        Ok((
-            vec![stats.peak_to_peak(), stats.max_droop(), result.avg_power_w],
-            Some(result),
-        ))
+        Ok(Self::project(self.0.run(program)?))
+    }
+
+    fn measure_batch_detailed(&self, programs: &[Program]) -> MeasuredBatch {
+        self.0
+            .run_batch(programs)
+            .into_iter()
+            .map(|lane| lane.map(Self::project))
+            .collect()
     }
 }
 
@@ -343,6 +448,21 @@ impl CacheMissMeasurement {
             simulator: Simulator::new(machine),
             run_config,
         })
+    }
+
+    /// The one projection from a simulator result to this measurement's
+    /// metric vector, shared by the single and batched paths.
+    fn project(result: RunResult) -> (Vec<f64>, Option<RunResult>) {
+        let misses_per_kinstr =
+            1000.0 * result.l1.misses as f64 / result.instructions.max(1) as f64;
+        (
+            vec![
+                misses_per_kinstr,
+                1.0 - result.l1.hit_rate(),
+                result.avg_power_w,
+            ],
+            Some(result),
+        )
     }
 }
 
@@ -367,17 +487,15 @@ impl Measurement for CacheMissMeasurement {
         &self,
         program: &Program,
     ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
-        let result = self.0.run(program)?;
-        let misses_per_kinstr =
-            1000.0 * result.l1.misses as f64 / result.instructions.max(1) as f64;
-        Ok((
-            vec![
-                misses_per_kinstr,
-                1.0 - result.l1.hit_rate(),
-                result.avg_power_w,
-            ],
-            Some(result),
-        ))
+        Ok(Self::project(self.0.run(program)?))
+    }
+
+    fn measure_batch_detailed(&self, programs: &[Program]) -> MeasuredBatch {
+        self.0
+            .run_batch(programs)
+            .into_iter()
+            .map(|lane| lane.map(Self::project))
+            .collect()
     }
 }
 
@@ -423,6 +541,12 @@ impl NoisyMeasurement {
         let u2 = ((bits & 0xFFFF_FFFF) as f64 + 1.0) / (u32::MAX as f64 + 2.0);
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
+
+    fn perturb(&self, name: &str, values: &mut [f64]) {
+        for (index, value) in values.iter_mut().enumerate() {
+            *value *= 1.0 + self.sigma_rel * self.gaussian(name, index);
+        }
+    }
 }
 
 impl Measurement for NoisyMeasurement {
@@ -446,10 +570,26 @@ impl Measurement for NoisyMeasurement {
         program: &Program,
     ) -> Result<(Vec<f64>, Option<RunResult>), GestError> {
         let (mut values, detail) = self.inner.measure_detailed(program)?;
-        for (index, value) in values.iter_mut().enumerate() {
-            *value *= 1.0 + self.sigma_rel * self.gaussian(&program.name, index);
-        }
+        self.perturb(&program.name, &mut values);
         Ok((values, detail))
+    }
+
+    /// Forwards the whole batch to the wrapped measurement (keeping its
+    /// batched fast path) and perturbs each lane afterwards. Noise is a
+    /// pure function of `(seed, program name, metric index)`, so the
+    /// batched values equal the looped single-program values exactly.
+    fn measure_batch_detailed(&self, programs: &[Program]) -> MeasuredBatch {
+        self.inner
+            .measure_batch_detailed(programs)
+            .into_iter()
+            .zip(programs)
+            .map(|(lane, program)| {
+                lane.map(|(mut values, detail)| {
+                    self.perturb(&program.name, &mut values);
+                    (values, detail)
+                })
+            })
+            .collect()
     }
 }
 
@@ -631,6 +771,72 @@ mod tests {
         let (values, detail) = Flat.measure_detailed(&demo_program()).unwrap();
         assert_eq!(values, vec![1.0]);
         assert!(detail.is_none());
+    }
+
+    #[test]
+    fn batched_measurements_match_singles_lane_for_lane() {
+        let m = PowerMeasurement::new(MachineConfig::cortex_a15(), RunConfig::quick());
+        let programs = vec![
+            demo_program(),
+            // An empty body fails in its lane only (SimError::EmptyProgram).
+            Template::default_stress().materialize("empty", asm::parse_block("").unwrap()),
+            Template::default_stress().materialize(
+                "stream",
+                asm::parse_block("LDR x11, [x10, #0]\nADDI x10, x10, #64").unwrap(),
+            ),
+        ];
+        let batched = m.measure_batch_detailed(&programs);
+        assert_eq!(batched.len(), programs.len());
+        assert!(batched[1].is_err(), "empty lane fails alone");
+        for (program, lane) in programs.iter().zip(&batched) {
+            match (lane, m.measure_detailed(program)) {
+                (Ok((values, detail)), Ok((single_values, single_detail))) => {
+                    assert_eq!(values, &single_values, "{}", program.name);
+                    assert_eq!(detail, &single_detail, "{}", program.name);
+                }
+                (Err(_), Err(_)) => {}
+                (lane, single) => panic!(
+                    "{}: lane ok={} but single ok={}",
+                    program.name,
+                    lane.is_ok(),
+                    single.is_ok()
+                ),
+            }
+        }
+
+        // The noisy wrapper forwards batches; pure per-name noise keeps
+        // batched values equal to looped singles.
+        let noisy = NoisyMeasurement::wrap(Arc::new(m), 0.05, 9);
+        for (program, lane) in programs.iter().zip(noisy.measure_batch_detailed(&programs)) {
+            match (lane, noisy.measure_detailed(program)) {
+                (Ok((values, _)), Ok((single_values, _))) => {
+                    assert_eq!(values, single_values, "{}", program.name);
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("{}: noisy lane/single disagree", program.name),
+            }
+        }
+
+        // A measurement that never overrides the batch hook still batches
+        // through the looping default.
+        #[derive(Debug)]
+        struct Flat;
+        impl Measurement for Flat {
+            fn name(&self) -> &'static str {
+                "flat"
+            }
+            fn metrics(&self) -> &'static [&'static str] {
+                &["one"]
+            }
+            fn measure(&self, _program: &Program) -> Result<Vec<f64>, GestError> {
+                Ok(vec![1.0])
+            }
+        }
+        let flat = Flat.measure_batch_detailed(&programs);
+        assert_eq!(flat.len(), programs.len());
+        for lane in flat {
+            assert_eq!(lane.unwrap().0, vec![1.0]);
+        }
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use crate::checkpoint::{config_fingerprint, Checkpoint};
 use crate::config::GestConfig;
 use crate::error::GestError;
-use crate::evalbackend::{catch_measure, watchdog_measure, EvalBackend, EvalRequest, LocalBackend};
+use crate::evalbackend::{
+    catch_measure, catch_measure_batch, watchdog_measure, EvalBackend, EvalRequest, LocalBackend,
+};
 use crate::evalcache::{genes_hash, CachedEval, EvalCache, EvalCacheStats, EvalKey};
 use crate::fault::QUARANTINE_FITNESS;
 use crate::fitness::{Fitness, FitnessContext};
@@ -136,6 +138,7 @@ pub struct GestRunBuilder {
     eval_cache_handle: Option<Arc<EvalCache>>,
     eval_backend: Option<Arc<dyn EvalBackend>>,
     write_fs: Option<Arc<dyn WriteFs>>,
+    lane_width: Option<usize>,
 }
 
 impl GestRunBuilder {
@@ -185,6 +188,15 @@ impl GestRunBuilder {
     /// execution details), and for the CLI's `--no-eval-cache` flag.
     pub fn eval_cache(mut self, on: bool) -> Self {
         self.eval_cache = Some(on);
+        self
+    }
+
+    /// Overrides [`GestConfig::lane_width`] — needed for resumed runs,
+    /// whose configuration is read back from `config.xml` (which does not
+    /// carry execution details), and for the CLI's `--lane-width` flag.
+    /// Any width produces byte-identical search artifacts.
+    pub fn lane_width(mut self, lane_width: usize) -> Self {
+        self.lane_width = Some(lane_width);
         self
     }
 
@@ -251,6 +263,9 @@ impl GestRunBuilder {
                 if let Some(on) = self.eval_cache {
                     config.eval_cache = on;
                 }
+                if let Some(lane_width) = self.lane_width {
+                    config.lane_width = lane_width;
+                }
                 let fingerprint = config_fingerprint(&config.to_xml().to_string());
                 let measurement = match self.measurement {
                     Some(measurement) => measurement,
@@ -282,6 +297,9 @@ impl GestRunBuilder {
                 }
                 if let Some(on) = self.eval_cache {
                     config.eval_cache = on;
+                }
+                if let Some(lane_width) = self.lane_width {
+                    config.lane_width = lane_width;
                 }
                 let fingerprint = config_fingerprint(&raw);
                 if checkpoint.config_fingerprint != fingerprint {
@@ -473,11 +491,14 @@ impl GestRun {
             None
         };
         let backend = backend.unwrap_or_else(|| {
-            Arc::new(LocalBackend::new(
-                Arc::clone(&measurement),
-                config.template.clone(),
-                config.threads,
-            ))
+            Arc::new(
+                LocalBackend::new(
+                    Arc::clone(&measurement),
+                    config.template.clone(),
+                    config.threads,
+                )
+                .with_lane_width(config.lane_width),
+            )
         });
         let (history, current, best, generation) = match resume {
             None => (History::new(), None, None, 0),
@@ -916,6 +937,15 @@ impl GestRun {
     /// Fans one wave of candidate positions out across the backend's
     /// slots: a shared cursor steals work, write-once slots keep result
     /// order deterministic.
+    ///
+    /// When the backend reports a lane width above one, each cursor claim
+    /// takes a whole chunk and measures its cache misses through
+    /// [`EvalBackend::measure_batch`]. Batching is wall-clock only: every
+    /// lane's measurement is bit-identical to the single path and results
+    /// land in the same write-once slots, so the search cannot observe
+    /// the width. Per-attempt fault handling (watchdog threads, soft
+    /// deadlines) needs one measurement per attempt, so any such policy
+    /// pins the width back to one.
     fn evaluate_wave(
         &self,
         generation: u32,
@@ -927,20 +957,32 @@ impl GestRun {
         if positions.is_empty() {
             return;
         }
-        let slots = self.backend.slots(positions.len()).max(1);
+        let policy = self.config.fault_policy;
+        let width = if policy.watchdog_ms.is_some() || policy.deadline_ms.is_some() {
+            1
+        } else {
+            self.backend.lane_width().max(1)
+        };
+        let slots = self.backend.slots(positions.len().div_ceil(width)).max(1);
         let next = AtomicUsize::new(0);
         let next_ref = &next;
         std::thread::scope(|scope| {
             for slot in 0..slots {
                 scope.spawn(move || loop {
-                    let cursor = next_ref.fetch_add(1, Ordering::Relaxed);
-                    let Some(&index) = positions.get(cursor) else {
+                    let cursor = next_ref.fetch_add(width, Ordering::Relaxed);
+                    if cursor >= positions.len() {
                         break;
-                    };
-                    let outcome =
-                        self.evaluate_candidate(generation, &candidates[index], slot, eval_id);
-                    if results[index].set(outcome).is_err() {
-                        unreachable!("the cursor hands each slot to exactly one worker");
+                    }
+                    let chunk = &positions[cursor..positions.len().min(cursor + width)];
+                    if width == 1 {
+                        let index = chunk[0];
+                        let outcome =
+                            self.evaluate_candidate(generation, &candidates[index], slot, eval_id);
+                        if results[index].set(outcome).is_err() {
+                            unreachable!("the cursor hands each slot to exactly one worker");
+                        }
+                    } else {
+                        self.evaluate_chunk(generation, candidates, chunk, results, slot, eval_id);
                     }
                 });
             }
@@ -1025,18 +1067,132 @@ impl GestRun {
                 }
             }
         };
+        self.finish_candidate_metrics(started, worker, outcome.is_err());
+        drop(span);
+        outcome
+    }
+
+    /// Per-candidate closing metrics, shared by the single and chunked
+    /// paths: evaluation latency, worker utilization, and failures.
+    fn finish_candidate_metrics(&self, started: Instant, worker: usize, failed: bool) {
         if self.telemetry.is_enabled() {
             let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
             self.telemetry
                 .record("eval.latency_us", &latency_buckets(), elapsed_us);
             self.telemetry
                 .add_counter(&format!("eval.worker.{worker}.candidates"), 1);
-            if outcome.is_err() {
+            if failed {
                 self.telemetry.add_counter("eval.failures", 1);
             }
         }
-        drop(span);
-        outcome
+    }
+
+    /// Evaluates one claimed chunk: cache hits complete immediately, the
+    /// misses go to the backend as a single [`EvalBackend::measure_batch`]
+    /// call, and any lane that fails it — error, panic, or a non-finite
+    /// value — falls back to [`GestRun::evaluate_candidate`], where the
+    /// fault policy retries or quarantines that lane in isolation (the
+    /// failed batch attempt does not consume its retry budget). Only
+    /// reached when the backend reports `lane_width() > 1`.
+    fn evaluate_chunk(
+        &self,
+        generation: u32,
+        candidates: &[Candidate<Gene>],
+        chunk: &[usize],
+        results: &[EvalSlot],
+        worker: usize,
+        parent_span: Option<u64>,
+    ) {
+        let span_fields = |candidate: &Candidate<Gene>| {
+            [
+                ("candidate", candidate.id.into()),
+                ("generation", u64::from(generation).into()),
+                ("worker", worker.into()),
+            ]
+        };
+        let mut pending: Vec<(usize, Option<EvalKey>)> = Vec::with_capacity(chunk.len());
+        for &index in chunk {
+            let candidate = &candidates[index];
+            let started = Instant::now();
+            let key = self.eval_key(candidate);
+            if let Some(hit) = self.cached_eval(candidate, key.as_ref()) {
+                drop(self.telemetry.span_under(
+                    parent_span,
+                    "eval.candidate",
+                    &span_fields(candidate),
+                ));
+                self.finish_candidate_metrics(started, worker, false);
+                if results[index].set(Ok(hit)).is_err() {
+                    unreachable!("the cursor hands each chunk to exactly one worker");
+                }
+            } else {
+                pending.push((index, key));
+            }
+        }
+        if pending.is_empty() {
+            return;
+        }
+
+        // One span per in-flight lane; they deliberately overlap, since
+        // the lanes genuinely run together.
+        let batch_started = Instant::now();
+        let spans: Vec<SpanGuard> = pending
+            .iter()
+            .map(|&(index, _)| {
+                self.telemetry.span_under(
+                    parent_span,
+                    "eval.candidate",
+                    &span_fields(&candidates[index]),
+                )
+            })
+            .collect();
+        let requests: Vec<EvalRequest<'_>> = pending
+            .iter()
+            .map(|&(index, _)| EvalRequest {
+                generation,
+                candidate_id: candidates[index].id,
+                genes: &candidates[index].genes,
+            })
+            .collect();
+        let ids: Vec<u64> = requests.iter().map(|r| r.candidate_id).collect();
+        let mut lanes = catch_measure_batch(&ids, || self.backend.measure_batch(worker, &requests));
+        if lanes.len() != requests.len() {
+            // A malformed backend reply fails the whole chunk into the
+            // single-candidate fallback rather than misaligning lanes.
+            let got = lanes.len();
+            lanes = ids
+                .iter()
+                .map(|&candidate| {
+                    Err(GestError::Measurement {
+                        candidate,
+                        message: format!(
+                            "measure_batch returned {got} results for {} requests",
+                            requests.len()
+                        ),
+                    })
+                })
+                .collect();
+        }
+        for (((index, key), lane), span) in pending.into_iter().zip(lanes).zip(spans) {
+            let candidate = &candidates[index];
+            let completed = lane.and_then(|(measurements, detail)| {
+                self.complete_measured(candidate, key, measurements, detail)
+            });
+            let outcome = match completed {
+                Ok(evaluated) => {
+                    drop(span);
+                    self.finish_candidate_metrics(batch_started, worker, false);
+                    Ok(evaluated)
+                }
+                Err(_) => {
+                    drop(span);
+                    self.evaluate_candidate(generation, candidate, worker, parent_span)
+                }
+            };
+            if results[index].set(outcome).is_err() {
+                unreachable!("the cursor hands each chunk to exactly one worker");
+            }
+        }
     }
 
     fn evaluate_one(
@@ -1045,39 +1201,9 @@ impl GestRun {
         candidate: &Candidate<Gene>,
         slot: usize,
     ) -> Result<Evaluated<Gene>, GestError> {
-        // Content-addressed fast path: keyed by what the candidate *is*
-        // (canonical gene bytes), not which generation/id it carries, so
-        // elites and re-bred duplicates skip simulation entirely. Fitness
-        // is always recomputed — it can depend on gene structure and the
-        // pool, which the key does not cover.
-        let key = self.eval_cache.as_ref().map(|_| EvalKey {
-            config_fp: self.config_fingerprint,
-            genes_hash: genes_hash(&candidate.genes),
-        });
-        if let (Some(cache), Some(key)) = (&self.eval_cache, &key) {
-            if let Some(cached) = cache.get(key) {
-                if self.telemetry.is_enabled() {
-                    if let Some(kv) = &cached.detail_kv {
-                        let buckets = sim_buckets();
-                        for &(stat, value) in kv {
-                            self.telemetry
-                                .record(&format!("sim.{stat}"), &buckets, value);
-                        }
-                    }
-                }
-                let fitness = self.fitness.fitness(&FitnessContext {
-                    measurements: &cached.measurements,
-                    genes: &candidate.genes,
-                    pool: &self.config.pool,
-                });
-                return Ok(Evaluated {
-                    id: candidate.id,
-                    parents: candidate.parents,
-                    genes: candidate.genes.clone(),
-                    fitness,
-                    measurements: cached.measurements,
-                });
-            }
+        let key = self.eval_key(candidate);
+        if let Some(hit) = self.cached_eval(candidate, key.as_ref()) {
+            return Ok(hit);
         }
         let request = EvalRequest {
             generation,
@@ -1088,6 +1214,68 @@ impl GestRun {
             Some(watchdog_ms) => watchdog_measure(&self.backend, slot, &request, watchdog_ms)?,
             None => self.backend.measure(slot, &request)?,
         };
+        self.complete_measured(candidate, key, measurements, detail)
+    }
+
+    /// The evaluation cache key for a candidate, when caching is on.
+    /// Content-addressed: keyed by what the candidate *is* (canonical
+    /// gene bytes), not which generation/id it carries, so elites and
+    /// re-bred duplicates skip simulation entirely.
+    fn eval_key(&self, candidate: &Candidate<Gene>) -> Option<EvalKey> {
+        self.eval_cache.as_ref().map(|_| EvalKey {
+            config_fp: self.config_fingerprint,
+            genes_hash: genes_hash(&candidate.genes),
+        })
+    }
+
+    /// Cache-probe half of an evaluation: on a hit, replays the cached
+    /// simulator detail into telemetry and recomputes fitness (it can
+    /// depend on gene structure and the pool, which the key does not
+    /// cover).
+    fn cached_eval(
+        &self,
+        candidate: &Candidate<Gene>,
+        key: Option<&EvalKey>,
+    ) -> Option<Evaluated<Gene>> {
+        let (cache, key) = match (&self.eval_cache, key) {
+            (Some(cache), Some(key)) => (cache, key),
+            _ => return None,
+        };
+        let cached = cache.get(key)?;
+        if self.telemetry.is_enabled() {
+            if let Some(kv) = &cached.detail_kv {
+                let buckets = sim_buckets();
+                for &(stat, value) in kv {
+                    self.telemetry
+                        .record(&format!("sim.{stat}"), &buckets, value);
+                }
+            }
+        }
+        let fitness = self.fitness.fitness(&FitnessContext {
+            measurements: &cached.measurements,
+            genes: &candidate.genes,
+            pool: &self.config.pool,
+        });
+        Some(Evaluated {
+            id: candidate.id,
+            parents: candidate.parents,
+            genes: candidate.genes.clone(),
+            fitness,
+            measurements: cached.measurements,
+        })
+    }
+
+    /// Completion half of an evaluation: validates, exports telemetry
+    /// detail, caches, and scores a freshly measured candidate — the same
+    /// code whether the measurement came from a single call or one lane
+    /// of a batch.
+    fn complete_measured(
+        &self,
+        candidate: &Candidate<Gene>,
+        key: Option<EvalKey>,
+        measurements: Vec<f64>,
+        detail: Option<gest_sim::RunResult>,
+    ) -> Result<Evaluated<Gene>, GestError> {
         // Reject NaN/Inf before the result can reach the cache or a
         // fitness function: non-finite measurements poison comparisons
         // silently, so they count as a measurement failure (and go
@@ -1172,6 +1360,27 @@ mod tests {
         let b = build_run(tiny_config("cortex-a7", "power")).run().unwrap();
         assert_eq!(a.best.genes, b.best.genes);
         assert_eq!(a.best.fitness, b.best.fitness);
+    }
+
+    #[test]
+    fn lane_widths_produce_identical_searches() {
+        let narrow = build_run(tiny_config("cortex-a15", "power")).run().unwrap();
+
+        let mut wide_cfg = tiny_config("cortex-a15", "power");
+        wide_cfg.lane_width = 4;
+        let wide = build_run(wide_cfg).run().unwrap();
+        assert_eq!(wide.best.genes, narrow.best.genes);
+        assert_eq!(wide.best.fitness, narrow.best.fitness);
+        assert_eq!(wide.history.best_series(), narrow.history.best_series());
+
+        // Without the cache every candidate rides a batch lane; the
+        // search still cannot tell.
+        let mut uncached_cfg = tiny_config("cortex-a15", "power");
+        uncached_cfg.eval_cache = false;
+        uncached_cfg.lane_width = 8;
+        let uncached = build_run(uncached_cfg).run().unwrap();
+        assert_eq!(uncached.best.genes, narrow.best.genes);
+        assert_eq!(uncached.best.fitness, narrow.best.fitness);
     }
 
     #[test]

@@ -24,8 +24,11 @@
 //! ```
 
 use gest::chaos::{run_soak, SoakOptions};
-use gest::core::{stats, GestConfig, GestError, GestRun, LocalBackend, Registry, SavedPopulation};
+use gest::core::{
+    stats, GestConfig, GestError, GestRun, LocalBackend, PoolGenetics, Registry, SavedPopulation,
+};
 use gest::dist::{hostname, Coordinator, CoordinatorOptions, Worker};
+use gest::ga::GaEngine;
 use gest::isa::InstrClass;
 use gest::obs::top::{run_top, TopOptions};
 use gest::obs::{ObsSink, StatusServer};
@@ -84,6 +87,8 @@ fn print_usage() {
          --progress                     live per-generation progress on stderr\n    \
          --checkpoint-every=N           write a resumable checkpoint every N generations\n    \
          --no-eval-cache                disable the content-addressed result cache\n    \
+         --lane-width=N                 batch N candidates per simulator call\n                                   \
+         (wall-clock only; results are identical)\n    \
          --workers=ADDR,ADDR            evaluate on remote `gest worker` processes\n    \
          --local-fallback[=N]           degrade to this host after N consecutive\n                                   \
          total-fleet failures (default 3)\n    \
@@ -93,6 +98,7 @@ fn print_usage() {
          --trace[=PATH]                 append to run_trace.jsonl (default: output dir)\n    \
          --progress                     live per-generation progress on stderr\n    \
          --no-eval-cache                disable the content-addressed result cache\n    \
+         --lane-width=N                 batch N candidates per simulator call\n    \
          --workers=ADDR,ADDR            evaluate on remote `gest worker` processes\n    \
          --local-fallback[=N]           degrade to this host after N consecutive\n                                   \
          total-fleet failures (default 3)\n    \
@@ -112,7 +118,10 @@ fn print_usage() {
          --rounds=N --population=N --generations=N --machine=NAME\n    \
          --setup-generations=N          untimed convergence search seeding the timed phase\n    \
          --out=PATH                     where to write the JSON (default BENCH_eval.json)\n    \
-         --require-cache-hits           fail when the cache hit rate is zero\n  \
+         --require-cache-hits           fail when the cache hit rate is zero\n    \
+         --cold                         also time cache-disabled novel candidates,\n                                   \
+         batched vs one at a time (JSON \"cold\" section)\n    \
+         --lane-width=N                 lanes per batch in the cold phase (default 4)\n  \
          gest stats <output_dir>          per-generation report from saved populations\n  \
          gest show <population.bin> [n]   print the n fittest individuals (default 1)\n  \
          gest machines                    list the machine presets\n  \
@@ -132,6 +141,7 @@ struct SearchFlags {
     progress: bool,
     checkpoint_every: Option<u32>,
     no_eval_cache: bool,
+    lane_width: Option<usize>,
     workers: Vec<String>,
     local_fallback_after: Option<u32>,
     status_addr: Option<String>,
@@ -144,6 +154,14 @@ fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchF
             flags.progress = true;
         } else if arg == "--no-eval-cache" {
             flags.no_eval_cache = true;
+        } else if let Some(n) = arg.strip_prefix("--lane-width=") {
+            let width: usize = n.parse().map_err(|_| {
+                GestError::Config(format!("bad lane width {n:?} (want a number ≥ 1)"))
+            })?;
+            if width == 0 {
+                return Err(GestError::Config("lane width must be at least 1".into()));
+            }
+            flags.lane_width = Some(width);
         } else if arg == "--trace" {
             flags.trace = Some(None);
         } else if let Some(path) = arg.strip_prefix("--trace=") {
@@ -510,6 +528,9 @@ fn cmd_run(args: &[String]) -> Result<(), GestError> {
     if flags.no_eval_cache {
         builder = builder.eval_cache(false);
     }
+    if let Some(width) = flags.lane_width {
+        builder = builder.lane_width(width);
+    }
     drive(builder.build()?)?;
     drop(status_server);
     print_artifact_locations(output_dir.as_deref(), trace_path.as_deref());
@@ -552,6 +573,9 @@ fn cmd_resume(args: &[String]) -> Result<(), GestError> {
     }
     if flags.no_eval_cache {
         builder = builder.eval_cache(false);
+    }
+    if let Some(width) = flags.lane_width {
+        builder = builder.lane_width(width);
     }
     let run = builder.build()?;
     eprintln!(
@@ -933,6 +957,8 @@ struct BenchFlags {
     machine: String,
     out: PathBuf,
     require_cache_hits: bool,
+    cold: bool,
+    lane_width: usize,
 }
 
 impl Default for BenchFlags {
@@ -946,6 +972,8 @@ impl Default for BenchFlags {
             machine: "cortex-a15".into(),
             out: PathBuf::from("BENCH_eval.json"),
             require_cache_hits: false,
+            cold: false,
+            lane_width: 4,
         }
     }
 }
@@ -974,6 +1002,10 @@ fn parse_bench_flags(args: &[String]) -> Result<BenchFlags, GestError> {
             flags.out = PathBuf::from(path);
         } else if arg == "--require-cache-hits" {
             flags.require_cache_hits = true;
+        } else if arg == "--cold" {
+            flags.cold = true;
+        } else if let Some(n) = arg.strip_prefix("--lane-width=") {
+            flags.lane_width = number("--lane-width", n)?;
         } else {
             return Err(GestError::Config(format!("unknown bench flag {arg:?}")));
         }
@@ -983,7 +1015,110 @@ fn parse_bench_flags(args: &[String]) -> Result<BenchFlags, GestError> {
             "bench needs at least one round, candidate, and generation".into(),
         ));
     }
+    if flags.lane_width < 2 {
+        return Err(GestError::Config(
+            "--lane-width must be at least 2 so the batched arm differs from width 1".into(),
+        ));
+    }
     Ok(flags)
+}
+
+/// What the `--cold` phase measured: novel-candidate throughput one
+/// candidate at a time versus in lockstep lanes. `candidates` counts one
+/// round's workload; each arm's seconds are its fastest round.
+struct ColdStats {
+    candidates: u64,
+    lane_width: usize,
+    width1_secs: f64,
+    batched_secs: f64,
+    identical: bool,
+}
+
+/// Times the batched simulator core on a *cold* workload: every candidate
+/// is novel (bred once by the GA's seeding path), so neither the
+/// evaluation cache nor steady-state reuse applies — this isolates the
+/// lockstep-lane win on first-sight candidates, the regime early
+/// generations of a search live in. The candidates are materialized once
+/// untimed (program assembly is identical work for both arms), then
+/// measured one at a time and in lockstep lanes; the two arms must agree
+/// bit for bit.
+fn run_cold_bench(flags: &BenchFlags) -> Result<ColdStats, GestError> {
+    use std::time::Instant;
+
+    let config = GestConfig::builder(&flags.machine)
+        .measurement("power")
+        .population_size(flags.population)
+        .individual_size(flags.individual)
+        .generations(flags.generations)
+        .seed(42)
+        .build()?;
+    let measurement = Registry::default().build_measurement(
+        "power",
+        config.machine.clone(),
+        config.run_config,
+    )?;
+
+    let mut ga = config.ga;
+    ga.population_size = flags.population * flags.generations as usize;
+    let mut engine = GaEngine::new(ga, PoolGenetics::new(Arc::clone(&config.pool)), 42);
+    let programs: Vec<gest::isa::Program> = engine
+        .seed()
+        .iter()
+        .map(|candidate| {
+            let body = gest::isa::InstructionPool::flatten(&candidate.genes);
+            config
+                .template
+                .materialize(format!("cold_{}", candidate.id), body)
+        })
+        .collect();
+
+    // One untimed pass warms each path's thread-local simulator scratch.
+    let _ = measurement.measure_detailed(&programs[0]);
+    let _ = measurement.measure_batch_detailed(&programs[..flags.lane_width.min(programs.len())]);
+
+    // Each arm's time is the *fastest* round: both run identical
+    // deterministic work every round, so the minimum is the least
+    // noise-contaminated estimate of its true cost.
+    let mut width1_secs = f64::INFINITY;
+    let mut batched_secs = f64::INFINITY;
+    let mut identical = true;
+    for _ in 0..flags.rounds {
+        let started = Instant::now();
+        let singles: Vec<_> = programs
+            .iter()
+            .map(|program| measurement.measure_detailed(program))
+            .collect();
+        width1_secs = width1_secs.min(started.elapsed().as_secs_f64());
+
+        let started = Instant::now();
+        let mut batched = Vec::with_capacity(programs.len());
+        for chunk in programs.chunks(flags.lane_width) {
+            batched.extend(measurement.measure_batch_detailed(chunk));
+        }
+        batched_secs = batched_secs.min(started.elapsed().as_secs_f64());
+
+        for (single, lane) in singles.iter().zip(&batched) {
+            match (single, lane) {
+                (Ok((values, detail)), Ok((lane_values, lane_detail))) => {
+                    identical &= values.len() == lane_values.len()
+                        && values
+                            .iter()
+                            .zip(lane_values)
+                            .all(|(a, b)| a.to_bits() == b.to_bits())
+                        && detail == lane_detail;
+                }
+                _ => identical = false,
+            }
+        }
+    }
+
+    Ok(ColdStats {
+        candidates: programs.len() as u64,
+        lane_width: flags.lane_width,
+        width1_secs,
+        batched_secs,
+        identical,
+    })
 }
 
 /// Benchmarks candidate evaluation on the default power-virus search:
@@ -1102,6 +1237,16 @@ fn cmd_bench(args: &[String]) -> Result<(), GestError> {
 
     let _ = std::fs::remove_dir_all(&setup_dir);
 
+    let cold = if flags.cold {
+        eprintln!(
+            "bench: cold phase, {} novel candidates per round at lane width {}",
+            candidates, flags.lane_width
+        );
+        Some(run_cold_bench(&flags)?)
+    } else {
+        None
+    };
+
     let fast_best = fast_best.expect("at least one round");
     let base_best = base_best.expect("at least one round");
     let identical = fast_best.0.to_bits() == base_best.0.to_bits()
@@ -1133,6 +1278,22 @@ fn cmd_bench(args: &[String]) -> Result<(), GestError> {
     // entries comparable across PRs and machines: a speedup means little
     // without knowing how many eval threads produced it.
     let eval_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cold_json = cold.as_ref().map_or_else(String::new, |cold| {
+        format!(
+            "  \"cold\": {{\n    \"candidates\": {},\n    \"lane_width\": {},\n    \
+             \"width1_seconds\": {:.6},\n    \"width1_candidates_per_sec\": {:.2},\n    \
+             \"batched_seconds\": {:.6},\n    \"batched_candidates_per_sec\": {:.2},\n    \
+             \"speedup\": {:.2},\n    \"identical_results\": {}\n  }},\n",
+            cold.candidates,
+            cold.lane_width,
+            cold.width1_secs,
+            cold.candidates as f64 / cold.width1_secs,
+            cold.batched_secs,
+            cold.candidates as f64 / cold.batched_secs,
+            cold.width1_secs / cold.batched_secs,
+            cold.identical,
+        )
+    });
     let json = format!(
         "{{\n  \"machine\": \"{}\",\n  \"host\": \"{}\",\n  \"eval_threads\": {},\n  \
          \"measurement\": \"power\",\n  \
@@ -1143,7 +1304,8 @@ fn cmd_bench(args: &[String]) -> Result<(), GestError> {
          \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"cache_hit_rate\": {:.4},\n    \
          \"steady_runs\": {},\n    \"steady_hits\": {},\n    \
          \"steady_trigger_rate\": {:.4},\n    \"extrapolated_iterations\": {}\n  }},\n  \
-         \"baseline\": {{\n    \"seconds\": {:.6},\n    \"candidates_per_sec\": {:.2}\n  }},\n  \
+         \"baseline\": {{\n    \"seconds\": {:.6},\n    \"candidates_per_sec\": {:.2}\n  }},\n\
+         {}  \
          \"speedup\": {:.2},\n  \"identical_results\": {}\n}}\n",
         flags.machine,
         hostname(),
@@ -1165,6 +1327,7 @@ fn cmd_bench(args: &[String]) -> Result<(), GestError> {
         extrapolated,
         base_secs,
         base_rate,
+        cold_json,
         base_secs / fast_secs,
         identical,
     );
@@ -1180,10 +1343,26 @@ fn cmd_bench(args: &[String]) -> Result<(), GestError> {
         trigger_rate * 100.0,
         identical
     );
+    if let Some(cold) = &cold {
+        println!(
+            "cold (novel candidates): width 1: {:.1} candidates/s   \
+             lane width {}: {:.1} candidates/s   speedup: {:.2}x   identical: {}",
+            cold.candidates as f64 / cold.width1_secs,
+            cold.lane_width,
+            cold.candidates as f64 / cold.batched_secs,
+            cold.width1_secs / cold.batched_secs,
+            cold.identical
+        );
+    }
     println!("written to {}", flags.out.display());
     if !identical {
         return Err(GestError::Config(
             "fast path and baseline diverged — the cache or extrapolation is unsound".into(),
+        ));
+    }
+    if cold.as_ref().is_some_and(|cold| !cold.identical) {
+        return Err(GestError::Config(
+            "cold bench: batched lanes diverged from single-candidate runs".into(),
         ));
     }
     if flags.require_cache_hits && cache_hits == 0 {

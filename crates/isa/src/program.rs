@@ -21,10 +21,17 @@ pub enum MemInit {
 impl MemInit {
     /// Applies the initialization to a state's memory buffer.
     pub fn apply(self, state: &mut ArchState) {
+        state.fill_mem(self.fill_byte());
+    }
+
+    /// The repeating byte the initialization fills memory with. Two
+    /// `MemInit`s with equal fill bytes produce identical images (and
+    /// identical [`ArchState::mem_hash`] values) for equal buffer sizes.
+    pub fn fill_byte(self) -> u8 {
         match self {
-            MemInit::Zero => state.fill_mem(0),
-            MemInit::Fill(byte) => state.fill_mem(byte),
-            MemInit::Checkerboard => state.fill_mem(0xAA),
+            MemInit::Zero => 0,
+            MemInit::Fill(byte) => byte,
+            MemInit::Checkerboard => 0xAA,
         }
     }
 }
@@ -65,6 +72,17 @@ impl Program {
     /// Propagates [`ExecError`] from instruction execution.
     pub fn apply_init(&self, state: &mut ArchState) -> Result<(), ExecError> {
         self.mem_init.apply(state);
+        self.apply_init_instrs(state)
+    }
+
+    /// Executes just the init instruction stream, without the memory
+    /// fill. Batched simulation applies [`MemInit`] itself (seeding a
+    /// shared content hash for the fill pattern) and then calls this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from instruction execution.
+    pub fn apply_init_instrs(&self, state: &mut ArchState) -> Result<(), ExecError> {
         let mut pc = 0usize;
         while pc < self.init.len() {
             let effect = self.init[pc].execute(state)?;

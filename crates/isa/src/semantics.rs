@@ -141,6 +141,47 @@ impl ArchState {
         self.mem.len()
     }
 
+    /// Returns the state to its freshly-constructed condition (all
+    /// registers and memory zero) without releasing the memory buffer,
+    /// so pooled states can be recycled across simulation runs.
+    pub fn reset(&mut self) {
+        self.reset_regs();
+        self.mem.fill(0);
+        self.mem_hash.set(0);
+        self.mem_hash_dirty.set(false);
+    }
+
+    /// Zeroes just the register files, leaving the memory buffer (and its
+    /// hash bookkeeping) untouched — for callers that are about to
+    /// overwrite the whole memory image anyway, like batched simulation
+    /// re-filling a pooled state.
+    pub fn reset_regs(&mut self) {
+        self.xregs = [0; NUM_INT_REGS as usize];
+        self.vregs = [[0; 2]; NUM_VEC_REGS as usize];
+    }
+
+    /// Installs a known content hash for the current memory image,
+    /// clearing any pending rescan. Callers that initialize many states
+    /// with the same fill pattern can compute the hash once and seed the
+    /// rest; subsequent [`store`](Self::store) updates stay incremental
+    /// from the seeded value.
+    ///
+    /// Debug builds verify the seed against a full rescan, so any
+    /// mismatch is caught by the test suite rather than silently skewing
+    /// hash-based observers.
+    pub fn seed_mem_hash(&self, hash: u64) {
+        #[cfg(debug_assertions)]
+        {
+            let mut check = 0u64;
+            for (addr, &byte) in self.mem.iter().enumerate() {
+                check ^= mem_byte_mix(addr, byte);
+            }
+            debug_assert_eq!(check, hash, "seeded mem hash must match the image");
+        }
+        self.mem_hash.set(hash);
+        self.mem_hash_dirty.set(false);
+    }
+
     /// Reads an integer register.
     pub fn reg(&self, r: Reg) -> u64 {
         self.xregs[r.index() as usize]
@@ -918,6 +959,39 @@ mod tests {
         let mut t = ArchState::new(256);
         t.mem_mut().copy_from_slice(s.mem());
         assert_eq!(t.mem_hash(), s.mem_hash());
+    }
+
+    #[test]
+    fn reset_and_seeded_hash_match_fresh_state() {
+        let mut s = ArchState::new(256);
+        s.set_reg(x(1), CHECKERBOARD);
+        s.set_vreg(crate::reg::VReg::new(2).unwrap(), [7, 9]);
+        s.set_reg(x(10), 8);
+        run(&mut s, "STR x1, [x10, #0]");
+        s.reset();
+        assert_eq!(s, ArchState::new(256), "reset == freshly constructed");
+        assert_eq!(s.mem_hash(), 0);
+
+        // A seeded hash behaves exactly like a rescanned one: stores keep
+        // updating it incrementally from the seeded base.
+        let mut reference = ArchState::new(256);
+        reference.fill_mem(0x5A);
+        let expected = reference.mem_hash();
+        s.fill_mem(0x5A);
+        s.seed_mem_hash(expected);
+        assert_eq!(s.mem_hash(), expected);
+        s.set_reg(x(1), 3);
+        s.set_reg(x(10), 16);
+        reference.set_reg(x(1), 3);
+        reference.set_reg(x(10), 16);
+        run(&mut s, "STR x1, [x10, #0]");
+        run(&mut reference, "STR x1, [x10, #0]");
+        assert_eq!(s.mem_hash(), reference.mem_hash());
+
+        // reset_regs leaves memory (and its hash) alone.
+        s.reset_regs();
+        assert_eq!(s.reg(x(1)), 0);
+        assert_eq!(s.mem_hash(), reference.mem_hash());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::pipeline::{BranchResolution, Decoded, Pipeline, PipelineSnapshot};
 use crate::power::EnergyModel;
 use crate::predictor::BranchPredictor;
 use crate::result::{RunConfig, RunResult, SimError};
-use crate::thermal::ThermalModel;
+use crate::thermal::ThermalSchedule;
 use gest_isa::{ArchState, Effect, Flow, InstrClass, Program};
 use std::collections::VecDeque;
 
@@ -132,15 +132,13 @@ impl SteadySnapshot {
     }
 }
 
-/// Reusable per-worker simulation buffers plus fast-path statistics.
-///
-/// A fresh scratch is allocated internally by [`Simulator::run`]; callers
-/// evaluating many programs (GA workers, benchmarks) should keep one per
-/// thread and use [`Simulator::run_with_scratch`] so decode buffers, the
-/// per-cycle energy waveform, and the steady-state detector's snapshots
-/// are reused across runs instead of reallocated.
+/// One lane's reusable buffers: decode tables, the per-cycle energy
+/// waveform, the steady-state detector's rings and snapshots, and pooled
+/// instruments recycled across runs. Every buffer here is mutable
+/// per-candidate state — lanes of a batch each own one, so nothing a lane
+/// writes is visible to its neighbours.
 #[derive(Debug, Default)]
-pub struct SimScratch {
+struct LaneScratch {
     cycle_energy_pj: Vec<f64>,
     decoded: Vec<Decoded>,
     class_idx: Vec<usize>,
@@ -151,6 +149,25 @@ pub struct SimScratch {
     fps: VecDeque<u64>,
     prev_snap: SteadySnapshot,
     cur_snap: SteadySnapshot,
+    /// Architectural state recycled by the batch path (a reset + refill is
+    /// far cheaper than reallocating the memory buffer). The single-run
+    /// path deliberately ignores the pool and constructs fresh state.
+    pooled_state: Option<ArchState>,
+    /// Data cache recycled by the batch path (its per-set allocations
+    /// dominate cold-run setup cost).
+    pooled_cache: Option<DataCache>,
+}
+
+/// Reusable per-worker simulation buffers plus fast-path statistics.
+///
+/// A fresh scratch is allocated internally by [`Simulator::run`]; callers
+/// evaluating many programs (GA workers, benchmarks) should keep one per
+/// thread and use [`Simulator::run_with_scratch`] so decode buffers, the
+/// per-cycle energy waveform, and the steady-state detector's snapshots
+/// are reused across runs instead of reallocated.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    lane: LaneScratch,
     /// Runs performed through this scratch.
     pub runs: u64,
     /// Runs in which the steady-state detector fired.
@@ -163,6 +180,34 @@ impl SimScratch {
     /// Creates an empty scratch.
     pub fn new() -> SimScratch {
         SimScratch::default()
+    }
+}
+
+/// Reusable buffers for [`Simulator::run_batch_with_scratch`]: one
+/// [`LaneScratch`] per lane plus batch-shared derived values (fill-pattern
+/// memory hashes, the thermal hold schedule) that are deterministic
+/// functions of the machine and run configuration, so sharing them cannot
+/// perturb any lane's result.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    lanes: Vec<LaneScratch>,
+    /// Memoized `(mem_bytes, fill_byte) → mem_hash` for initial memory
+    /// images; computed by one full scan, seeded into every other lane.
+    fill_hashes: Vec<(usize, u8, u64)>,
+    /// Memoized thermal hold schedule (per machine + hold duration).
+    thermal: Option<ThermalSchedule>,
+    /// Runs performed through this scratch.
+    pub runs: u64,
+    /// Runs in which the steady-state detector fired.
+    pub steady_hits: u64,
+    /// Loop iterations synthesized analytically instead of executed.
+    pub extrapolated_iterations: u64,
+}
+
+impl BatchScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> BatchScratch {
+        BatchScratch::default()
     }
 }
 
@@ -287,6 +332,211 @@ impl Simulator {
         want_traces: bool,
         scratch: &mut SimScratch,
     ) -> Result<(RunResult, Option<Traces>), SimError> {
+        self.validate(program)?;
+        scratch.runs += 1;
+
+        // The single path deliberately keeps today's per-run behavior:
+        // fresh instruments, full lazy hash maintenance, a per-run thermal
+        // schedule. Only the batch path shares derived values across runs.
+        let mut state = ArchState::new(self.machine.mem_bytes);
+        program.apply_init(&mut state)?;
+        let cache = DataCache::new(self.machine.l1d);
+        let energy_model = EnergyModel::new(&self.machine);
+
+        let mut lane = LaneRun::new(
+            &self.machine,
+            program,
+            config,
+            &energy_model,
+            &mut scratch.lane,
+            state,
+            cache,
+        );
+        while !lane.halted {
+            lane.step_iteration();
+        }
+        if let Some(error) = lane.error.take() {
+            return Err(error);
+        }
+        let schedule = ThermalSchedule::new(self.machine.thermal, config.thermal_hold_s);
+        let (result, traces, tally) = lane.finalize(want_traces, &schedule);
+        scratch.steady_hits += tally.steady_hit as u64;
+        scratch.extrapolated_iterations += tally.extrapolated;
+        Ok((result, traces))
+    }
+
+    /// Evaluates a batch of programs in lockstep and returns one result
+    /// per program, in order.
+    ///
+    /// Lanes share only read-only derived values (the machine's decode
+    /// and energy tables, the fill-pattern memory hash, the thermal hold
+    /// schedule); every mutable structure — register files, memory image,
+    /// pipeline, cache, predictor, PDN integrator, toggle/energy
+    /// accounting — is per-lane, and each lane executes its iterations in
+    /// exactly the single-run order. Per-lane results are therefore
+    /// byte-identical to [`run`](Simulator::run) (asserted by the sim
+    /// property tests). Lanes retire independently when their iteration
+    /// budgets, cycle budgets, or steady-state triggers diverge; an
+    /// erroring lane yields its own `Err` without disturbing neighbours.
+    pub fn run_batch(
+        &self,
+        programs: &[Program],
+        config: &RunConfig,
+    ) -> Vec<Result<RunResult, SimError>> {
+        self.run_batch_with_scratch(programs, config, &mut BatchScratch::new())
+    }
+
+    /// Like [`run_batch`](Simulator::run_batch), reusing the caller's
+    /// scratch across calls — the fast path for workers that evaluate a
+    /// generation's candidates in lane-width groups. The scratch pools
+    /// each lane's instruments and memoizes the batch-shared derived
+    /// values, which is where the cold-evaluation speedup comes from.
+    pub fn run_batch_with_scratch(
+        &self,
+        programs: &[Program],
+        config: &RunConfig,
+        scratch: &mut BatchScratch,
+    ) -> Vec<Result<RunResult, SimError>> {
+        self.run_batch_inner(programs, config, false, scratch)
+            .into_iter()
+            .map(|entry| entry.map(|(result, _)| result))
+            .collect()
+    }
+
+    /// Like [`run_batch`](Simulator::run_batch), additionally capturing
+    /// each lane's per-cycle waveforms.
+    pub fn run_batch_traced(
+        &self,
+        programs: &[Program],
+        config: &RunConfig,
+    ) -> Vec<Result<(RunResult, Traces), SimError>> {
+        self.run_batch_inner(programs, config, true, &mut BatchScratch::new())
+            .into_iter()
+            .map(|entry| entry.map(|(result, traces)| (result, traces.expect("traces requested"))))
+            .collect()
+    }
+
+    fn run_batch_inner(
+        &self,
+        programs: &[Program],
+        config: &RunConfig,
+        want_traces: bool,
+        batch: &mut BatchScratch,
+    ) -> Vec<Result<(RunResult, Option<Traces>), SimError>> {
+        if batch.lanes.len() < programs.len() {
+            batch
+                .lanes
+                .resize_with(programs.len(), LaneScratch::default);
+        }
+        let reusable = match &batch.thermal {
+            Some(schedule) => schedule.matches(self.machine.thermal, config.thermal_hold_s),
+            None => false,
+        };
+        if !reusable {
+            batch.thermal = Some(ThermalSchedule::new(
+                self.machine.thermal,
+                config.thermal_hold_s,
+            ));
+        }
+        let energy_model = EnergyModel::new(&self.machine);
+        let BatchScratch {
+            lanes,
+            fill_hashes,
+            thermal,
+            runs,
+            steady_hits,
+            extrapolated_iterations,
+        } = batch;
+        let schedule = thermal.as_ref().expect("schedule built above");
+
+        // Lane setup: recycle pooled instruments where the geometry still
+        // matches, and seed the initial memory image's content hash from
+        // the shared memo so only the first lane with a given fill pattern
+        // pays the full-image scan. The hash is a pure function of
+        // (buffer size, fill byte), so the seeded value is exactly what
+        // the lane's own rescan would have produced.
+        let mut slots: Vec<Result<LaneRun<'_>, SimError>> = programs
+            .iter()
+            .zip(lanes.iter_mut())
+            .map(|(program, lane_scratch)| {
+                self.validate(program)?;
+                *runs += 1;
+                let mut state = match lane_scratch.pooled_state.take() {
+                    Some(mut pooled) if pooled.mem_size() == self.machine.mem_bytes => {
+                        // Registers only: `mem_init.apply` below overwrites
+                        // the whole memory image, so zeroing it first would
+                        // be a wasted pass.
+                        pooled.reset_regs();
+                        pooled
+                    }
+                    _ => ArchState::new(self.machine.mem_bytes),
+                };
+                program.mem_init.apply(&mut state);
+                let fill_byte = program.mem_init.fill_byte();
+                match fill_hashes
+                    .iter()
+                    .find(|&&(len, byte, _)| len == self.machine.mem_bytes && byte == fill_byte)
+                {
+                    Some(&(_, _, hash)) => state.seed_mem_hash(hash),
+                    None => {
+                        let hash = state.mem_hash();
+                        fill_hashes.push((self.machine.mem_bytes, fill_byte, hash));
+                    }
+                }
+                program.apply_init_instrs(&mut state)?;
+                let cache = match lane_scratch.pooled_cache.take() {
+                    Some(mut pooled) if pooled.config() == self.machine.l1d => {
+                        pooled.reset();
+                        pooled
+                    }
+                    _ => DataCache::new(self.machine.l1d),
+                };
+                Ok(LaneRun::new(
+                    &self.machine,
+                    program,
+                    config,
+                    &energy_model,
+                    lane_scratch,
+                    state,
+                    cache,
+                ))
+            })
+            .collect();
+
+        // Lockstep sweeps: one loop-body iteration per active lane per
+        // sweep. Lanes retire independently (iteration/cycle budget,
+        // steady-state confirmation, or execution error), and a lane's
+        // iteration sequence is never interleaved *within* itself, so
+        // the sweep order cannot affect any lane's outcome.
+        loop {
+            let mut active = false;
+            for lane in slots.iter_mut().flatten() {
+                if !lane.halted {
+                    lane.step_iteration();
+                    active = true;
+                }
+            }
+            if !active {
+                break;
+            }
+        }
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                let mut lane = slot?;
+                if let Some(error) = lane.error.take() {
+                    return Err(error);
+                }
+                let (result, traces, tally) = lane.finalize(want_traces, schedule);
+                *steady_hits += tally.steady_hit as u64;
+                *extrapolated_iterations += tally.extrapolated;
+                Ok((result, traces))
+            })
+            .collect()
+    }
+
+    fn validate(&self, program: &Program) -> Result<(), SimError> {
         if program.body.is_empty() {
             return Err(SimError::EmptyProgram);
         }
@@ -295,25 +545,76 @@ impl Simulator {
                 bytes: self.machine.mem_bytes,
             });
         }
-        scratch.runs += 1;
+        Ok(())
+    }
+}
 
-        let mut state = ArchState::new(self.machine.mem_bytes);
-        program.apply_init(&mut state)?;
+/// Per-run fast-path statistics handed back by [`LaneRun::finalize`].
+struct LaneTally {
+    steady_hit: bool,
+    extrapolated: u64,
+}
 
-        let mut pipeline = Pipeline::new(&self.machine);
-        let mut cache = DataCache::new(self.machine.l1d);
-        let mut predictor = BranchPredictor::new(program.body.len());
-        let energy_model = EnergyModel::new(&self.machine);
+/// One candidate's complete in-flight execution state — the "lane" of the
+/// structure-of-arrays core. The single-run path drives exactly one of
+/// these to completion; the batch path drives N of them in lockstep, one
+/// [`step_iteration`](LaneRun::step_iteration) per lane per sweep.
+struct LaneRun<'a> {
+    machine: &'a MachineConfig,
+    program: &'a Program,
+    config: &'a RunConfig,
+    energy_model: &'a EnergyModel,
+    scratch: &'a mut LaneScratch,
+    state: ArchState,
+    pipeline: Pipeline,
+    cache: DataCache,
+    predictor: BranchPredictor,
+    class_counts: [u64; 6],
+    retired: u64,
+    detector_on: bool,
+    /// Echo records are archived only while a snapshot confirmation is
+    /// pending; the steady majority of runs pays just the per-boundary
+    /// fingerprint.
+    recording: bool,
+    /// A pending period-k comparison: `(k, boundary)` says a reference
+    /// snapshot was captured at iteration `boundary` and the matching
+    /// capture is due k iterations later.
+    pending: Option<(usize, u64)>,
+    snap_attempts: u32,
+    steady: Option<(usize, u64)>,
+    /// Statistics of iterations synthesized by the fast path.
+    extra_l1_hits: u64,
+    extra_l1_misses: u64,
+    extra_bp_hits: u64,
+    extra_bp_misses: u64,
+    iterations: u64,
+    /// The lane has retired (budget, steady-state, or error) and must not
+    /// be stepped again.
+    halted: bool,
+    error: Option<SimError>,
+}
+
+impl<'a> LaneRun<'a> {
+    /// Builds a lane around prepared architectural state (memory init and
+    /// init block already applied) and a fresh-or-reset cache.
+    fn new(
+        machine: &'a MachineConfig,
+        program: &'a Program,
+        config: &'a RunConfig,
+        energy_model: &'a EnergyModel,
+        scratch: &'a mut LaneScratch,
+        state: ArchState,
+        cache: DataCache,
+    ) -> LaneRun<'a> {
+        let pipeline = Pipeline::new(machine);
+        let predictor = BranchPredictor::new(program.body.len());
 
         // Pre-decode the static body once, resolving each instruction's
         // class index here instead of linearly scanning per retirement.
         scratch.decoded.clear();
-        scratch.decoded.extend(
-            program
-                .body
-                .iter()
-                .map(|i| Pipeline::decode(&self.machine, i)),
-        );
+        scratch
+            .decoded
+            .extend(program.body.iter().map(|i| Pipeline::decode(machine, i)));
         scratch.class_idx.clear();
         scratch.class_idx.extend(program.body.iter().map(|i| {
             let class = i.opcode().class();
@@ -322,211 +623,276 @@ impl Simulator {
                 .position(|c| *c == class)
                 .expect("class in ALL")
         }));
-        let decoded = &scratch.decoded;
-        let class_idx = &scratch.class_idx;
 
         // Per-cycle dynamic energy, indexed by issue cycle. Reserve from
         // the cycle budget up front (capped for pathological budgets);
         // past the reservation, `ensure_slot` grows geometrically.
-        let cycle_energy_pj = &mut scratch.cycle_energy_pj;
-        cycle_energy_pj.clear();
-        cycle_energy_pj.reserve((config.max_cycles as usize + 1).min(1 << 20));
-        let mut class_counts = [0u64; 6];
-        let mut retired = 0u64;
+        scratch.cycle_energy_pj.clear();
+        scratch
+            .cycle_energy_pj
+            .reserve((config.max_cycles as usize + 1).min(1 << 20));
 
-        // Steady-state detector state. `extra_*` are the statistics of
-        // iterations synthesized by the fast path.
-        let mut detector_on = config.steady_detect;
         scratch.cur_echo.clear();
         scratch.fps.clear();
         while let Some(old) = scratch.history.pop_front() {
             scratch.spare.push(old.recs);
         }
-        // Echo records are archived only while a snapshot confirmation is
-        // pending; the steady majority of runs pays just the per-boundary
-        // fingerprint.
-        let mut recording = false;
-        // A pending period-k comparison: `(k, boundary)` says a reference
-        // snapshot was captured at iteration `boundary` and the matching
-        // capture is due k iterations later.
-        let mut pending: Option<(usize, u64)> = None;
-        let mut snap_attempts = 0u32;
-        let mut steady: Option<(usize, u64)> = None;
-        let mut extra_l1_hits = 0u64;
-        let mut extra_l1_misses = 0u64;
-        let mut extra_bp_hits = 0u64;
-        let mut extra_bp_misses = 0u64;
 
-        let mut iterations = 0u64;
-        'outer: while iterations < config.max_iterations {
-            iterations += 1;
-            let iter_ref = pipeline.fetch_cycle();
-            if recording {
-                scratch.cur_echo.clear();
-            }
-            let mut pc = 0usize;
-            while pc < program.body.len() {
-                let instr = &program.body[pc];
-                let effect = instr.execute(&mut state)?;
+        LaneRun {
+            machine,
+            program,
+            config,
+            energy_model,
+            detector_on: config.steady_detect,
+            scratch,
+            state,
+            pipeline,
+            cache,
+            predictor,
+            class_counts: [0u64; 6],
+            retired: 0,
+            recording: false,
+            pending: None,
+            snap_attempts: 0,
+            steady: None,
+            extra_l1_hits: 0,
+            extra_l1_misses: 0,
+            extra_bp_hits: 0,
+            extra_bp_misses: 0,
+            iterations: 0,
+            halted: false,
+            error: None,
+        }
+    }
 
-                // Branch prediction.
-                let (branch, correct) = if decoded[pc].is_branch {
-                    let predicted = predictor.predict(pc);
-                    let correct = predictor.update(pc, effect.branch_taken);
-                    debug_assert_eq!(correct, predicted == effect.branch_taken);
-                    (
-                        Some(BranchResolution {
-                            taken: effect.branch_taken,
-                            correct,
-                        }),
+    /// Executes one loop-body iteration plus its boundary bookkeeping,
+    /// retiring the lane when an iteration/cycle budget, the steady-state
+    /// detector, or an execution error ends the run. One call corresponds
+    /// to one pass of the classic single-run `while` loop, so interleaving
+    /// calls across lanes cannot reorder anything within a lane.
+    fn step_iteration(&mut self) {
+        if self.halted || self.iterations >= self.config.max_iterations {
+            self.halted = true;
+            return;
+        }
+        self.iterations += 1;
+        let iter_ref = self.pipeline.fetch_cycle();
+        if self.recording {
+            self.scratch.cur_echo.clear();
+        }
+        let mut pc = 0usize;
+        while pc < self.program.body.len() {
+            let instr = &self.program.body[pc];
+            let effect = match instr.execute(&mut self.state) {
+                Ok(effect) => effect,
+                Err(e) => {
+                    self.error = Some(SimError::from(e));
+                    self.halted = true;
+                    return;
+                }
+            };
+
+            // Branch prediction.
+            let (branch, correct) = if self.scratch.decoded[pc].is_branch {
+                let predicted = self.predictor.predict(pc);
+                let correct = self.predictor.update(pc, effect.branch_taken);
+                debug_assert_eq!(correct, predicted == effect.branch_taken);
+                (
+                    Some(BranchResolution {
+                        taken: effect.branch_taken,
                         correct,
-                    )
-                } else {
-                    (None, true)
-                };
+                    }),
+                    correct,
+                )
+            } else {
+                (None, true)
+            };
 
-                // Cache.
-                let mut extra_latency = 0u8;
-                let mut missed = false;
-                if let Some(access) = effect.mem {
-                    if !cache.access(access.addr) {
-                        extra_latency = self.machine.miss_penalty;
-                        missed = true;
-                    }
-                }
-
-                let issued = pipeline.issue(&decoded[pc], extra_latency, branch);
-
-                // Energy attribution at the issue cycle.
-                let latency = decoded[pc].latency + extra_latency;
-                let energy =
-                    energy_model.instruction_pj_indexed(class_idx[pc], &effect, latency, missed);
-                let slot = issued.issue_cycle as usize;
-                ensure_slot(cycle_energy_pj, slot);
-                cycle_energy_pj[slot] += energy;
-
-                class_counts[class_idx[pc]] += 1;
-                retired += 1;
-
-                if recording {
-                    scratch.cur_echo.push(EchoRec {
-                        pc: pc as u32,
-                        effect,
-                        hit: !missed,
-                        correct,
-                        energy_bits: energy.to_bits(),
-                        rel_issue: issued.issue_cycle - iter_ref,
-                        rel_elapsed: pipeline.elapsed_cycles() as i64 - iter_ref as i64,
-                    });
-                }
-
-                // Control flow within the body; skips past the end simply
-                // finish the iteration.
-                pc += 1;
-                if let Flow::Skip(n) = effect.flow {
-                    pc += n as usize;
-                }
-
-                if pipeline.elapsed_cycles() >= config.max_cycles {
-                    break 'outer;
+            // Cache.
+            let mut extra_latency = 0u8;
+            let mut missed = false;
+            if let Some(access) = effect.mem {
+                if !self.cache.access(access.addr) {
+                    extra_latency = self.machine.miss_penalty;
+                    missed = true;
                 }
             }
 
-            // Iteration boundary: fingerprint the finished iteration, pick
-            // the smallest candidate period whose fingerprints repeat, and
-            // confirm with full snapshots k iterations apart. Correctness
-            // rests on the snapshot match alone (fingerprints only schedule
-            // the captures), so a collision can at worst waste an attempt.
-            // Echo records — the replay unit — are archived only between a
-            // reference capture and its confirmation, exactly the k
-            // iterations a successful match replays.
-            if detector_on {
-                if recording {
-                    let recycled = scratch.spare.pop().unwrap_or_default();
-                    let recs = std::mem::replace(&mut scratch.cur_echo, recycled);
-                    scratch.history.push_back(IterEcho {
-                        recs,
-                        start_ref: iter_ref,
-                    });
-                    if scratch.history.len() > STEADY_MAX_PERIOD {
-                        if let Some(old) = scratch.history.pop_front() {
-                            scratch.spare.push(old.recs);
-                        }
-                    }
-                }
-                let fp = state_fingerprint(
-                    &state,
-                    pipeline.fetch_cycle() - iter_ref,
-                    pipeline.fetch_phase(),
-                );
-                scratch.fps.push_back(fp);
-                if scratch.fps.len() > 2 * STEADY_MAX_PERIOD {
-                    scratch.fps.pop_front();
-                }
-                let n = scratch.fps.len();
-                let armed = (1..=STEADY_MAX_PERIOD).find(|&k| {
-                    n >= 2 * k
-                        && (0..k).all(|i| scratch.fps[n - 1 - i] == scratch.fps[n - 1 - k - i])
+            let issued = self
+                .pipeline
+                .issue(&self.scratch.decoded[pc], extra_latency, branch);
+
+            // Energy attribution at the issue cycle.
+            let latency = self.scratch.decoded[pc].latency + extra_latency;
+            let energy = self.energy_model.instruction_pj_indexed(
+                self.scratch.class_idx[pc],
+                &effect,
+                latency,
+                missed,
+            );
+            let slot = issued.issue_cycle as usize;
+            ensure_slot(&mut self.scratch.cycle_energy_pj, slot);
+            self.scratch.cycle_energy_pj[slot] += energy;
+
+            self.class_counts[self.scratch.class_idx[pc]] += 1;
+            self.retired += 1;
+
+            if self.recording {
+                self.scratch.cur_echo.push(EchoRec {
+                    pc: pc as u32,
+                    effect,
+                    hit: !missed,
+                    correct,
+                    energy_bits: energy.to_bits(),
+                    rel_issue: issued.issue_cycle - iter_ref,
+                    rel_elapsed: self.pipeline.elapsed_cycles() as i64 - iter_ref as i64,
                 });
-                if let Some(k) = armed {
-                    if pending == Some((k, iterations - k as u64)) {
-                        scratch
-                            .cur_snap
-                            .capture(&pipeline, &state, &cache, &predictor);
-                        if scratch.prev_snap.matches(&scratch.cur_snap) {
-                            let d = scratch.cur_snap.ref_cycle - scratch.prev_snap.ref_cycle;
-                            if d >= 1 {
-                                steady = Some((k, d));
-                                break 'outer;
-                            }
-                        }
-                        snap_attempts += 1;
-                        if snap_attempts >= STEADY_MAX_ATTEMPTS {
-                            detector_on = false;
-                            recording = false;
-                        }
-                        std::mem::swap(&mut scratch.prev_snap, &mut scratch.cur_snap);
-                        pending = Some((k, iterations));
-                        // The failed block is stale relative to the new
-                        // reference; the next k iterations re-record it.
-                        while let Some(old) = scratch.history.pop_front() {
-                            scratch.spare.push(old.recs);
-                        }
-                    } else {
-                        let waiting = match pending {
-                            Some((pk, pb)) => pk == k && iterations < pb + k as u64,
-                            None => false,
-                        };
-                        if !waiting {
-                            scratch
-                                .prev_snap
-                                .capture(&pipeline, &state, &cache, &predictor);
-                            pending = Some((k, iterations));
-                            recording = true;
-                            while let Some(old) = scratch.history.pop_front() {
-                                scratch.spare.push(old.recs);
-                            }
+            }
+
+            // Control flow within the body; skips past the end simply
+            // finish the iteration.
+            pc += 1;
+            if let Flow::Skip(n) = effect.flow {
+                pc += n as usize;
+            }
+
+            if self.pipeline.elapsed_cycles() >= self.config.max_cycles {
+                self.halted = true;
+                return;
+            }
+        }
+
+        // Iteration boundary: fingerprint the finished iteration, pick
+        // the smallest candidate period whose fingerprints repeat, and
+        // confirm with full snapshots k iterations apart. Correctness
+        // rests on the snapshot match alone (fingerprints only schedule
+        // the captures), so a collision can at worst waste an attempt.
+        // Echo records — the replay unit — are archived only between a
+        // reference capture and its confirmation, exactly the k
+        // iterations a successful match replays.
+        if self.detector_on {
+            if self.recording {
+                let recycled = self.scratch.spare.pop().unwrap_or_default();
+                let recs = std::mem::replace(&mut self.scratch.cur_echo, recycled);
+                self.scratch.history.push_back(IterEcho {
+                    recs,
+                    start_ref: iter_ref,
+                });
+                if self.scratch.history.len() > STEADY_MAX_PERIOD {
+                    if let Some(old) = self.scratch.history.pop_front() {
+                        self.scratch.spare.push(old.recs);
+                    }
+                }
+            }
+            let fp = state_fingerprint(
+                &self.state,
+                self.pipeline.fetch_cycle() - iter_ref,
+                self.pipeline.fetch_phase(),
+            );
+            self.scratch.fps.push_back(fp);
+            if self.scratch.fps.len() > 2 * STEADY_MAX_PERIOD {
+                self.scratch.fps.pop_front();
+            }
+            let fps = &self.scratch.fps;
+            let n = fps.len();
+            let armed = (1..=STEADY_MAX_PERIOD)
+                .find(|&k| n >= 2 * k && (0..k).all(|i| fps[n - 1 - i] == fps[n - 1 - k - i]));
+            if let Some(k) = armed {
+                if self.pending == Some((k, self.iterations - k as u64)) {
+                    self.scratch.cur_snap.capture(
+                        &self.pipeline,
+                        &self.state,
+                        &self.cache,
+                        &self.predictor,
+                    );
+                    if self.scratch.prev_snap.matches(&self.scratch.cur_snap) {
+                        let d = self.scratch.cur_snap.ref_cycle - self.scratch.prev_snap.ref_cycle;
+                        if d >= 1 {
+                            self.steady = Some((k, d));
+                            self.halted = true;
+                            return;
                         }
                     }
+                    self.snap_attempts += 1;
+                    if self.snap_attempts >= STEADY_MAX_ATTEMPTS {
+                        self.detector_on = false;
+                        self.recording = false;
+                    }
+                    std::mem::swap(&mut self.scratch.prev_snap, &mut self.scratch.cur_snap);
+                    self.pending = Some((k, self.iterations));
+                    // The failed block is stale relative to the new
+                    // reference; the next k iterations re-record it.
+                    while let Some(old) = self.scratch.history.pop_front() {
+                        self.scratch.spare.push(old.recs);
+                    }
                 } else {
-                    pending = None;
-                    if recording {
-                        recording = false;
-                        while let Some(old) = scratch.history.pop_front() {
-                            scratch.spare.push(old.recs);
+                    let waiting = match self.pending {
+                        Some((pk, pb)) => pk == k && self.iterations < pb + k as u64,
+                        None => false,
+                    };
+                    if !waiting {
+                        self.scratch.prev_snap.capture(
+                            &self.pipeline,
+                            &self.state,
+                            &self.cache,
+                            &self.predictor,
+                        );
+                        self.pending = Some((k, self.iterations));
+                        self.recording = true;
+                        while let Some(old) = self.scratch.history.pop_front() {
+                            self.scratch.spare.push(old.recs);
                         }
+                    }
+                }
+            } else {
+                self.pending = None;
+                if self.recording {
+                    self.recording = false;
+                    while let Some(old) = self.scratch.history.pop_front() {
+                        self.scratch.spare.push(old.recs);
                     }
                 }
             }
         }
+    }
+
+    /// Replays the confirmed steady block analytically, integrates power,
+    /// thermal, and PDN, and assembles the [`RunResult`]. Consumes the
+    /// lane, returning its instruments to the scratch pool for the next
+    /// run through this lane slot.
+    fn finalize(
+        self,
+        want_traces: bool,
+        schedule: &ThermalSchedule,
+    ) -> (RunResult, Option<Traces>, LaneTally) {
+        let LaneRun {
+            machine,
+            program,
+            config,
+            energy_model,
+            scratch,
+            state,
+            pipeline,
+            cache,
+            predictor,
+            mut class_counts,
+            mut retired,
+            steady,
+            mut extra_l1_hits,
+            mut extra_l1_misses,
+            mut extra_bp_hits,
+            mut extra_bp_misses,
+            mut iterations,
+            ..
+        } = self;
 
         // Analytic replay: every remaining iteration is the recorded one
         // shifted by the period, so its effects can be applied without
         // re-execution — in the same order as real execution, keeping
         // every floating-point sum bit-identical.
+        let mut extrapolated = 0u64;
         let mut elapsed_override: Option<u64> = None;
         if let Some((k, d)) = steady {
-            scratch.steady_hits += 1;
             // The last k archived iterations are the steady block (recorded
             // relative to the matched reference snapshot); every remaining
             // iteration replicates them shifted by multiples of d. Effects
@@ -545,15 +911,15 @@ impl Simulator {
                         break 'replay;
                     }
                     iterations += 1;
-                    scratch.extrapolated_iterations += 1;
+                    extrapolated += 1;
                     let iter = &block[n - k + j];
                     let shift = base + block_shift + (iter.start_ref - block_ref);
                     for rec in &iter.recs {
                         let slot = (shift + rec.rel_issue) as usize;
-                        ensure_slot(cycle_energy_pj, slot);
-                        cycle_energy_pj[slot] += f64::from_bits(rec.energy_bits);
+                        ensure_slot(&mut scratch.cycle_energy_pj, slot);
+                        scratch.cycle_energy_pj[slot] += f64::from_bits(rec.energy_bits);
                         let pc = rec.pc as usize;
-                        class_counts[class_idx[pc]] += 1;
+                        class_counts[scratch.class_idx[pc]] += 1;
                         retired += 1;
                         if rec.effect.mem.is_some() {
                             if rec.hit {
@@ -562,7 +928,7 @@ impl Simulator {
                                 extra_l1_misses += 1;
                             }
                         }
-                        if decoded[pc].is_branch {
+                        if scratch.decoded[pc].is_branch {
                             if rec.correct {
                                 extra_bp_hits += 1;
                             } else {
@@ -584,6 +950,7 @@ impl Simulator {
         let cycles = elapsed_override
             .unwrap_or_else(|| pipeline.elapsed_cycles())
             .max(1);
+        let cycle_energy_pj = &mut scratch.cycle_energy_pj;
         cycle_energy_pj.resize(cycles as usize, 0.0);
 
         // Add static energy to every cycle and integrate.
@@ -594,7 +961,7 @@ impl Simulator {
             total_pj += *slot;
         }
         let avg_power_w = energy_model.cycle_power_w(total_pj / cycles as f64);
-        let chip_power_w = self.machine.cores as f64 * avg_power_w + self.machine.uncore_w;
+        let chip_power_w = machine.cores as f64 * avg_power_w + machine.uncore_w;
 
         // Smoothed peak power.
         let window = config.peak_window.max(1).min(cycle_energy_pj.len());
@@ -608,17 +975,17 @@ impl Simulator {
 
         // Thermal: hold the measured whole-chip power on the RC model (the
         // paper's temperature experiments run a virus instance on every
-        // core and read the chip sensor).
-        let mut thermal = ThermalModel::new(self.machine.thermal);
-        thermal.hold(chip_power_w, config.thermal_hold_s);
-        let temperature_c = thermal.temperature_c();
-        let steady_temp_c = self.machine.thermal.steady_state_c(chip_power_w);
+        // core and read the chip sensor). The precomputed schedule replays
+        // `ThermalModel::hold` bit-identically; batches share one schedule
+        // because it depends only on the machine and the hold duration.
+        let temperature_c = schedule.hold_from_ambient(chip_power_w);
+        let steady_temp_c = machine.thermal.steady_state_c(chip_power_w);
 
         // PDN: drive the RLC network with the per-cycle current waveform.
         let mut voltage_trace = Vec::new();
-        let voltage = self.machine.pdn.map(|pdn_config| {
-            let dt = 1.0 / self.machine.clock_hz;
-            let idle_current = self.machine.energy.static_w / pdn_config.vdd;
+        let voltage = machine.pdn.map(|pdn_config| {
+            let dt = 1.0 / machine.clock_hz;
+            let idle_current = machine.energy.static_w / pdn_config.vdd;
             let mut pdn = Pdn::new(pdn_config, idle_current, dt);
             if want_traces {
                 voltage_trace.reserve(cycle_energy_pj.len());
@@ -655,25 +1022,36 @@ impl Simulator {
             bp_hits as f64 / bp_total as f64
         };
 
-        Ok((
-            RunResult {
-                name: program.name.clone(),
-                cycles,
-                instructions: retired,
-                ipc: retired as f64 / cycles as f64,
-                energy_j: total_pj * 1e-12,
-                avg_power_w,
-                chip_power_w,
-                peak_power_w,
-                temperature_c,
-                steady_temp_c,
-                l1,
-                branch_accuracy,
-                voltage,
-                class_counts,
-            },
+        let result = RunResult {
+            name: program.name.clone(),
+            cycles,
+            instructions: retired,
+            ipc: retired as f64 / cycles as f64,
+            energy_j: total_pj * 1e-12,
+            avg_power_w,
+            chip_power_w,
+            peak_power_w,
+            temperature_c,
+            steady_temp_c,
+            l1,
+            branch_accuracy,
+            voltage,
+            class_counts,
+        };
+
+        // Return the instruments to the pool; the batch path recycles
+        // them (reset + refill) instead of reallocating next run.
+        scratch.pooled_state = Some(state);
+        scratch.pooled_cache = Some(cache);
+
+        (
+            result,
             traces,
-        ))
+            LaneTally {
+                steady_hit: steady.is_some(),
+                extrapolated,
+            },
+        )
     }
 }
 
@@ -974,6 +1352,59 @@ mod tests {
             assert_eq!(reused, fresh, "{body:?}");
         }
         assert_eq!(scratch.runs, 2);
+    }
+
+    #[test]
+    fn batch_lanes_match_single_runs_and_errors_stay_per_lane() {
+        let bodies = [
+            "FMUL v0, v1, v2\nADD x1, x2, x3",
+            "", // empty body: this lane alone must error
+            "MUL x1, x1, x2\nMUL x1, x1, x3",
+            "LDR x11, [x10, #0]\nADDI x10, x10, #64",
+        ];
+        let programs: Vec<Program> = bodies
+            .iter()
+            .enumerate()
+            .map(|(i, body)| {
+                Template::default_stress()
+                    .materialize(format!("lane{i}"), asm::parse_block(body).unwrap())
+            })
+            .collect();
+        let simulator = Simulator::new(MachineConfig::cortex_a15());
+        let config = RunConfig::default();
+        let mut scratch = BatchScratch::new();
+        // Two passes through the same scratch: the second recycles pooled
+        // instruments and the memoized fill hash / thermal schedule.
+        for pass in 0..2 {
+            let batched = simulator.run_batch_with_scratch(&programs, &config, &mut scratch);
+            for (program, lane) in programs.iter().zip(&batched) {
+                assert_eq!(lane, &simulator.run(program, &config), "pass {pass}");
+            }
+            assert_eq!(batched[1], Err(SimError::EmptyProgram));
+        }
+        assert_eq!(scratch.runs, 6, "error lanes past validation still count");
+        assert!(scratch.steady_hits >= 4, "steady lanes must still fire");
+    }
+
+    #[test]
+    fn batch_of_one_matches_run_traced() {
+        let program = Template::default_stress().materialize(
+            "t",
+            asm::parse_block("VFMLA v8, v0, v1\nSDIV x1, x1, x2").unwrap(),
+        );
+        let simulator = Simulator::new(MachineConfig::athlon_x4());
+        let config = RunConfig::quick();
+        let batched = simulator.run_batch(std::slice::from_ref(&program), &config);
+        assert_eq!(batched.len(), 1);
+        assert_eq!(
+            batched[0].as_ref().unwrap(),
+            &simulator.run(&program, &config).unwrap()
+        );
+        let traced = simulator.run_batch_traced(std::slice::from_ref(&program), &config);
+        let (result, traces) = traced.into_iter().next().unwrap().unwrap();
+        let (single, single_traces) = simulator.run_traced(&program, &config).unwrap();
+        assert_eq!(result, single);
+        assert_eq!(traces, single_traces);
     }
 
     #[test]

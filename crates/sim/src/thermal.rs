@@ -93,6 +93,58 @@ impl ThermalModel {
     }
 }
 
+/// A precomputed fixed-duration hold: the per-step exponential decay
+/// factors of [`ThermalModel::hold`], captured once so many runs holding
+/// different powers for the same duration skip the `exp` per step.
+///
+/// [`hold_from_ambient`](Self::hold_from_ambient) replays exactly the
+/// step sequence `hold` would execute from a fresh model — same step
+/// sizes, same `exp` arguments, same update expression — so the result
+/// is bit-identical to `ThermalModel::new(config)` + `hold(p_w, duration)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalSchedule {
+    config: ThermalConfig,
+    duration_s: f64,
+    alphas: Vec<f64>,
+}
+
+impl ThermalSchedule {
+    /// Precomputes the decay factors for holding `duration_s` seconds.
+    pub fn new(config: ThermalConfig, duration_s: f64) -> ThermalSchedule {
+        let tau = config.tau_s();
+        let dt = tau / 10.0;
+        let mut alphas = Vec::new();
+        let mut remaining = duration_s;
+        while remaining > 0.0 {
+            let step = dt.min(remaining);
+            alphas.push((-step / tau).exp());
+            remaining -= step;
+        }
+        ThermalSchedule {
+            config,
+            duration_s,
+            alphas,
+        }
+    }
+
+    /// The parameters this schedule was built for.
+    pub fn matches(&self, config: ThermalConfig, duration_s: f64) -> bool {
+        self.config == config && self.duration_s == duration_s
+    }
+
+    /// Final junction temperature after holding `p_w` from ambient,
+    /// bit-identical to a fresh [`ThermalModel`] running
+    /// [`hold`](ThermalModel::hold).
+    pub fn hold_from_ambient(&self, p_w: f64) -> f64 {
+        let target = self.config.steady_state_c(p_w);
+        let mut t = self.config.ambient_c;
+        for &alpha in &self.alphas {
+            t = target + (t - target) * alpha;
+        }
+        t
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +211,32 @@ mod tests {
         model.hold(10.0, 10.0);
         model.reset();
         assert_eq!(model.temperature_c(), 25.0);
+    }
+
+    #[test]
+    fn schedule_is_bitwise_identical_to_hold() {
+        use crate::machine::MachineConfig;
+        let mut configs: Vec<ThermalConfig> = MachineConfig::all_presets()
+            .iter()
+            .map(|m| m.thermal)
+            .collect();
+        configs.push(config());
+        for thermal in configs {
+            for duration in [0.0, 0.013, 1.0, 30.0, 7.25 * thermal.tau_s()] {
+                let schedule = ThermalSchedule::new(thermal, duration);
+                assert!(schedule.matches(thermal, duration));
+                for p_w in [0.0, 0.75, 5.0, 21.333, 160.0] {
+                    let mut model = ThermalModel::new(thermal);
+                    model.hold(p_w, duration);
+                    assert_eq!(
+                        schedule.hold_from_ambient(p_w).to_bits(),
+                        model.temperature_c().to_bits(),
+                        "p={p_w} duration={duration} r={} c={}",
+                        thermal.r_th,
+                        thermal.c_th
+                    );
+                }
+            }
+        }
     }
 }

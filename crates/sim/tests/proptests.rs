@@ -2,7 +2,7 @@
 //! timing, power, and PDN models must uphold their physical invariants.
 
 use gest_isa::{asm, Program, Template};
-use gest_sim::{MachineConfig, Pdn, RunConfig, Simulator};
+use gest_sim::{BatchScratch, MachineConfig, Pdn, RunConfig, Simulator};
 use proptest::prelude::*;
 
 /// A strategy over small loop bodies drawn from a safe instruction menu.
@@ -100,6 +100,97 @@ proptest! {
                 fast_traces.voltage_v.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 full_traces.voltage_v.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
             );
+        }
+    }
+
+    #[test]
+    fn run_batch_is_field_identical_to_single_runs(
+        batch in prop::collection::vec(
+            prop::collection::vec(
+                prop::sample::select(vec![
+                    "ADD x1, x2, x3",
+                    "MUL x8, x2, x3",
+                    "FMUL v0, v1, v2",
+                    "VFMLA v6, v7, v1",
+                    "LDR x11, [x10, #8]",
+                    "STR x1, [x10, #16]",
+                    "CBNZ x1, #2",
+                    "NOP",
+                ]).prop_map(str::to_owned),
+                // Empty bodies are legal inputs here: they must surface as
+                // per-lane `SimError::EmptyProgram` without disturbing
+                // their neighbours.
+                0..24,
+            ),
+            1..9,
+        )
+    ) {
+        let config = RunConfig {
+            max_iterations: 40,
+            max_cycles: 3000,
+            ..RunConfig::default()
+        };
+        // One scratch across both machines exercises instrument pooling
+        // under geometry changes, not just the first cold batch.
+        let mut scratch = BatchScratch::new();
+        for machine in [MachineConfig::cortex_a15(), MachineConfig::athlon_x4()] {
+            let programs: Vec<Program> = batch
+                .iter()
+                .enumerate()
+                .map(|(i, lines)| {
+                    let body = asm::parse_block(&lines.join("\n")).unwrap();
+                    Template::default_stress().materialize(format!("lane{i}"), body)
+                })
+                .collect();
+            let simulator = Simulator::new(machine);
+
+            let batched = simulator.run_batch_with_scratch(&programs, &config, &mut scratch);
+            prop_assert_eq!(batched.len(), programs.len());
+            let mut single_runs = 0u64;
+            let mut single_steady = 0u64;
+            let mut single_extrapolated = 0u64;
+            for (program, lane) in programs.iter().zip(&batched) {
+                let mut single_scratch = gest_sim::SimScratch::new();
+                let single = simulator.run_with_scratch(program, &config, &mut single_scratch);
+                prop_assert_eq!(lane, &single, "{}", program.name);
+                single_runs += single_scratch.runs;
+                single_steady += single_scratch.steady_hits;
+                single_extrapolated += single_scratch.extrapolated_iterations;
+            }
+            prop_assert_eq!(scratch.runs, single_runs, "aggregate run count");
+            prop_assert_eq!(scratch.steady_hits, single_steady, "aggregate steady hits");
+            prop_assert_eq!(
+                scratch.extrapolated_iterations, single_extrapolated,
+                "aggregate extrapolated iterations"
+            );
+            scratch.runs = 0;
+            scratch.steady_hits = 0;
+            scratch.extrapolated_iterations = 0;
+
+            // Traced batches must match traced singles bit-for-bit too.
+            let traced = simulator.run_batch_traced(&programs, &config);
+            for (program, lane) in programs.iter().zip(traced) {
+                match (lane, simulator.run_traced(program, &config)) {
+                    (Ok((result, traces)), Ok((single, single_traces))) => {
+                        prop_assert_eq!(result, single);
+                        prop_assert_eq!(
+                            traces.power_w.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+                            single_traces.power_w.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+                        );
+                        prop_assert_eq!(
+                            traces.voltage_v.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            single_traces.voltage_v.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                        );
+                    }
+                    (Err(lane_err), Err(single_err)) => prop_assert_eq!(lane_err, single_err),
+                    (lane, single) => prop_assert!(
+                        false,
+                        "lane ok={} but single ok={}",
+                        lane.is_ok(),
+                        single.is_ok()
+                    ),
+                }
+            }
         }
     }
 

@@ -1,0 +1,150 @@
+//! Lane-width determinism matrix: the batched simulator core is an
+//! execution detail, so the *same* search run at lane widths 1, 4, and 8
+//! must leave byte-identical artifacts on disk — same population files,
+//! same checkpoint state, same winner.
+//!
+//! The CI determinism job runs this file in release mode at several
+//! thread counts (`GEST_TEST_THREADS`); the widths cover the unbatched
+//! path, the bench default, and a width past the
+//! heterogeneous-retirement regime.
+
+use gest::core::{Checkpoint, GestConfig, GestRun, OutputWriter};
+use std::path::{Path, PathBuf};
+
+/// Evaluation thread count under test; the CI matrix varies this.
+fn test_threads() -> usize {
+    std::env::var("GEST_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gest_lanes_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config_for(dir: &Path, lane_width: usize) -> GestConfig {
+    GestConfig::builder("cortex-a15")
+        .measurement("power")
+        .population_size(8)
+        .individual_size(10)
+        .generations(6)
+        .seed(4242)
+        .threads(test_threads())
+        .lane_width(lane_width)
+        .output_dir(dir)
+        .checkpoint_every(3)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn lane_widths_1_4_and_8_leave_byte_identical_artifacts() {
+    let mut reference: Option<(PathBuf, Vec<Vec<u8>>, Checkpoint)> = None;
+    let mut dirs = Vec::new();
+    for width in [1usize, 4, 8] {
+        let dir = temp_dir(&format!("w{width}"));
+        GestRun::builder()
+            .config(config_for(&dir, width))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+
+        let files = OutputWriter::population_files(&dir).unwrap();
+        assert_eq!(
+            files.len(),
+            6,
+            "one population per generation at width {width}"
+        );
+        let populations: Vec<Vec<u8>> = files
+            .iter()
+            .map(|file| std::fs::read(file).unwrap())
+            .collect();
+        let manifest = Checkpoint::load(&dir).unwrap();
+
+        match &reference {
+            None => reference = Some((dir.clone(), populations, manifest)),
+            Some((ref_dir, ref_populations, ref_manifest)) => {
+                for (generation, (a, b)) in ref_populations.iter().zip(&populations).enumerate() {
+                    assert_eq!(
+                        a,
+                        b,
+                        "population {generation} at lane width {width} differs from {}",
+                        ref_dir.display()
+                    );
+                }
+                // The checkpoint fingerprint hashes the configuration XML,
+                // which names the (necessarily different) output directory;
+                // everything the search computed must agree.
+                assert_eq!(manifest.generation, ref_manifest.generation);
+                assert_eq!(manifest.engine, ref_manifest.engine);
+                assert_eq!(manifest.history, ref_manifest.history);
+                assert_eq!(manifest.best, ref_manifest.best);
+            }
+        }
+        dirs.push(dir);
+    }
+    for dir in dirs {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn resuming_at_a_different_lane_width_changes_nothing() {
+    let dir_narrow = temp_dir("resume_ref");
+    let dir_switched = temp_dir("resume_switch");
+
+    // Reference: an uninterrupted width-1 run.
+    let reference = GestRun::builder()
+        .config(config_for(&dir_narrow, 1))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+
+    // Victim: checkpoint halfway at width 1, then resume *batched* — the
+    // CLI's `gest resume --lane-width=8` path. Width is an execution
+    // detail, so the resumed half must not notice the switch.
+    {
+        let mut run = GestRun::builder()
+            .config(config_for(&dir_switched, 1))
+            .build()
+            .unwrap();
+        for _ in 0..3 {
+            run.step().unwrap();
+        }
+    }
+    let summary = GestRun::builder()
+        .resume_from(&dir_switched)
+        .lane_width(8)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+
+    assert_eq!(summary.best.genes, reference.best.genes);
+    assert_eq!(
+        summary.best.fitness.to_bits(),
+        reference.best.fitness.to_bits()
+    );
+    assert_eq!(summary.history.summaries(), reference.history.summaries());
+
+    let switched_files = OutputWriter::population_files(&dir_switched).unwrap();
+    let reference_files = OutputWriter::population_files(&dir_narrow).unwrap();
+    assert_eq!(switched_files.len(), 6);
+    for (a, b) in switched_files.iter().zip(&reference_files) {
+        assert_eq!(
+            std::fs::read(a).unwrap(),
+            std::fs::read(b).unwrap(),
+            "{} differs from {}",
+            a.display(),
+            b.display()
+        );
+    }
+
+    std::fs::remove_dir_all(&dir_narrow).unwrap();
+    std::fs::remove_dir_all(&dir_switched).unwrap();
+}
