@@ -65,6 +65,7 @@ mod pools;
 mod registry;
 mod runner;
 pub mod stats;
+pub mod surrogate;
 
 pub use checkpoint::{config_fingerprint, Checkpoint, CHECKPOINT_FILE, CHECKPOINT_VERSION};
 pub use config::{GestConfig, GestConfigBuilder};
@@ -88,4 +89,5 @@ pub use measurement::{
 pub use output::{OutputWriter, RealFs, SavedIndividual, SavedPopulation, WriteFs};
 pub use pools::{didt_pool, full_pool, ipc_pool, llc_pool, power_pool};
 pub use registry::{FitnessParams, Registry};
-pub use runner::{GestRun, GestRunBuilder, RunSummary};
+pub use runner::{GestRun, GestRunBuilder, RunSummary, SurrogateStats};
+pub use surrogate::{SurrogateMode, SurrogateModel, SurrogateOptions};

@@ -1,0 +1,547 @@
+//! Online surrogate fitness model for screened evaluation.
+//!
+//! At production scale most candidates a GA breeds are *novel*, so the
+//! content-addressed eval cache never pays for them and every one costs a
+//! full simulation. This module learns a cheap stand-in: an incremental
+//! ridge regression from genome features ([`gest_isa::features`]) to
+//! measured fitness, trained on every `(features → fitness)` pair the run
+//! produces. The runner ranks each freshly bred generation by predicted
+//! fitness, fully simulates only the top-K plus a seeded exploration
+//! quota, and assigns calibrated surrogate fitness to the rest — but only
+//! once a *confidence gate* opens: while the rolling Spearman rank
+//! correlation between predictions and measurements is below threshold
+//! (or too few samples exist), every candidate is still fully simulated.
+//!
+//! Determinism: the model is plain `f64` arithmetic updated on the
+//! runner's main thread in canonical candidate order, its weights are
+//! refit once per generation by Gaussian elimination (no iterative or
+//! randomized solver), and its full state round-trips through a
+//! `GESTSUR1` sidecar written at every checkpoint — so same-seed
+//! surrogate runs are byte-identical to each other at any thread count or
+//! lane width, and a resumed run continues exactly where the model left
+//! off.
+
+use crate::error::GestError;
+use crate::output::WriteFs;
+use gest_isa::codec::{Decoder, Encoder};
+use gest_isa::features::{FeatureVec, FEATURE_DIM};
+use std::collections::VecDeque;
+use std::path::Path;
+
+/// Sidecar magic ("GESTSUR" + format version).
+const MAGIC: &[u8] = b"GESTSUR1";
+/// Bumped when the encoding below changes shape.
+const VERSION: u32 = 1;
+/// File name of the model sidecar inside a run's output directory.
+pub const SURROGATE_FILE: &str = "surrogate.bin";
+
+/// Ridge regularizer: keeps the normal equations positive definite (the
+/// solve can never hit a zero pivot) and shrinks weights while the sample
+/// count is small. Features are normalized to `[0, 1]`, so a fixed small
+/// value suits every machine/measurement combination.
+const RIDGE_LAMBDA: f64 = 1e-3;
+
+/// Rolling window of `(predicted, actual)` pairs backing the Spearman
+/// estimate and the affine calibration. Big enough to span several
+/// generations at paper-scale population sizes, small enough that the
+/// per-generation rank computation stays negligible.
+const PAIR_WINDOW: usize = 256;
+
+/// Confidence gate: screening only activates while the rolling Spearman
+/// rank correlation is at least this. Below it the model's ranking cannot
+/// be trusted and the run degrades to 100% full simulation.
+pub const SPEARMAN_GATE: f64 = 0.6;
+
+/// How the runner uses the surrogate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SurrogateMode {
+    /// No surrogate: every candidate is fully simulated (the default;
+    /// existing byte-identity suites are untouched).
+    #[default]
+    Off,
+    /// Screen each bred generation: simulate the top-K predicted
+    /// candidates plus an exploration quota, assign calibrated surrogate
+    /// fitness to the rest.
+    Screen,
+}
+
+/// Execution-style surrogate knobs. Like `threads` and `lane_width`,
+/// these are *not* serialized to `config.xml` and do not perturb the
+/// configuration fingerprint; the CLI and builders override them per
+/// invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SurrogateOptions {
+    /// Off (default) or screening.
+    pub mode: SurrogateMode,
+    /// Candidates fully simulated per generation when screening
+    /// (`0` = auto: a quarter of the population, at least one).
+    pub topk: usize,
+    /// Exploration quota: screened-out candidates still fully simulated,
+    /// drawn by a seeded reservoir so the model keeps learning outside
+    /// its own top picks.
+    pub explore: usize,
+}
+
+impl Default for SurrogateOptions {
+    fn default() -> SurrogateOptions {
+        SurrogateOptions {
+            mode: SurrogateMode::Off,
+            topk: 0,
+            explore: 2,
+        }
+    }
+}
+
+/// The incremental ridge-regression surrogate.
+///
+/// Accumulates the normal equations `XᵀX` / `Xᵀy` one observation at a
+/// time and refits exact weights once per generation. All state needed to
+/// continue bit-identically — including the rolling prediction window —
+/// round-trips through [`SurrogateModel::encode`].
+#[derive(Debug, Clone)]
+pub struct SurrogateModel {
+    /// `XᵀX` accumulation (dense, symmetric, FEATURE_DIM²).
+    xtx: Vec<f64>,
+    /// `Xᵀy` accumulation.
+    xty: [f64; FEATURE_DIM],
+    /// Last fitted weights (all zero until the first [`fit`](Self::fit)).
+    weights: [f64; FEATURE_DIM],
+    /// Observations accumulated so far.
+    samples: u64,
+    /// Rolling `(predicted, actual)` pairs, oldest first.
+    pairs: VecDeque<(f64, f64)>,
+}
+
+impl Default for SurrogateModel {
+    fn default() -> SurrogateModel {
+        SurrogateModel::new()
+    }
+}
+
+impl SurrogateModel {
+    /// An empty model: zero weights, no observations.
+    pub fn new() -> SurrogateModel {
+        SurrogateModel {
+            xtx: vec![0.0; FEATURE_DIM * FEATURE_DIM],
+            xty: [0.0; FEATURE_DIM],
+            weights: [0.0; FEATURE_DIM],
+            samples: 0,
+            pairs: VecDeque::new(),
+        }
+    }
+
+    /// Observations accumulated so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Folds one measured pair into the normal equations. Callers must
+    /// invoke this in canonical candidate order on one thread — f64
+    /// accumulation order is part of the deterministic state.
+    pub fn observe(&mut self, features: &FeatureVec, fitness: f64) {
+        for row in 0..FEATURE_DIM {
+            for col in 0..FEATURE_DIM {
+                self.xtx[row * FEATURE_DIM + col] += features[row] * features[col];
+            }
+            self.xty[row] += features[row] * fitness;
+        }
+        self.samples += 1;
+    }
+
+    /// Records an out-of-sample `(predicted, actual)` pair into the
+    /// rolling window backing [`spearman`](Self::spearman) and the
+    /// calibration. The prediction must have been made *before* the
+    /// actual value was observed by [`observe`](Self::observe), so the
+    /// window estimates genuine generalization, not training fit.
+    pub fn record_pair(&mut self, predicted: f64, actual: f64) {
+        if self.pairs.len() == PAIR_WINDOW {
+            self.pairs.pop_front();
+        }
+        self.pairs.push_back((predicted, actual));
+    }
+
+    /// Refits the weights from the accumulated normal equations by
+    /// Gaussian elimination with partial pivoting on
+    /// `XᵀX + λI` (positive definite by construction). O(D³) with D=16 —
+    /// microseconds, run once per generation.
+    pub fn fit(&mut self) {
+        if self.samples == 0 {
+            return;
+        }
+        let d = FEATURE_DIM;
+        let mut a = self.xtx.clone();
+        for i in 0..d {
+            a[i * d + i] += RIDGE_LAMBDA;
+        }
+        let mut b = self.xty;
+        for col in 0..d {
+            let pivot_row = (col..d)
+                .max_by(|&x, &y| a[x * d + col].abs().total_cmp(&a[y * d + col].abs()))
+                .expect("non-empty range");
+            if pivot_row != col {
+                for k in 0..d {
+                    a.swap(col * d + k, pivot_row * d + k);
+                }
+                b.swap(col, pivot_row);
+            }
+            let pivot = a[col * d + col];
+            if pivot.abs() < 1e-12 {
+                continue;
+            }
+            for row in (col + 1)..d {
+                let factor = a[row * d + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in col..d {
+                    a[row * d + k] -= factor * a[col * d + k];
+                }
+                b[row] -= factor * b[col];
+            }
+        }
+        let mut weights = [0.0; FEATURE_DIM];
+        for col in (0..d).rev() {
+            let mut value = b[col];
+            for k in (col + 1)..d {
+                value -= a[col * d + k] * weights[k];
+            }
+            let pivot = a[col * d + col];
+            weights[col] = if pivot.abs() < 1e-12 {
+                0.0
+            } else {
+                value / pivot
+            };
+        }
+        self.weights = weights;
+    }
+
+    /// Raw predicted fitness under the current weights (zero before the
+    /// first fit). Used for *ranking* candidates; see
+    /// [`calibrated`](Self::calibrated) for assignable values.
+    pub fn predict(&self, features: &FeatureVec) -> f64 {
+        features.iter().zip(&self.weights).map(|(x, w)| x * w).sum()
+    }
+
+    /// Calibrates a raw prediction into the measured-fitness scale: an
+    /// affine least-squares map `actual ≈ a·predicted + b` fitted over
+    /// the rolling window, clamped to the window's observed
+    /// `[min, max]` actual range. The clamp guarantees a surrogate-scored
+    /// candidate can never claim a fitness above anything actually
+    /// measured — predicted values may steer selection, but cannot
+    /// fabricate a new best.
+    pub fn calibrated(&self, predicted: f64) -> f64 {
+        if self.pairs.is_empty() {
+            return predicted;
+        }
+        let n = self.pairs.len() as f64;
+        let (mut sum_p, mut sum_a, mut sum_pp, mut sum_pa) = (0.0, 0.0, 0.0, 0.0);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(p, a) in &self.pairs {
+            sum_p += p;
+            sum_a += a;
+            sum_pp += p * p;
+            sum_pa += p * a;
+            lo = lo.min(a);
+            hi = hi.max(a);
+        }
+        let denom = n * sum_pp - sum_p * sum_p;
+        let value = if denom.abs() < 1e-12 {
+            sum_a / n
+        } else {
+            let slope = (n * sum_pa - sum_p * sum_a) / denom;
+            let intercept = (sum_a - slope * sum_p) / n;
+            slope * predicted + intercept
+        };
+        value.clamp(lo, hi)
+    }
+
+    /// Spearman rank correlation over the rolling window (`None` while
+    /// fewer than two pairs exist or either side has no rank variance).
+    pub fn spearman(&self) -> Option<f64> {
+        if self.pairs.len() < 2 {
+            return None;
+        }
+        let predicted: Vec<f64> = self.pairs.iter().map(|&(p, _)| p).collect();
+        let actual: Vec<f64> = self.pairs.iter().map(|&(_, a)| a).collect();
+        pearson(&ranks(&predicted), &ranks(&actual))
+    }
+
+    /// Whether the confidence gate is open: enough samples to have seen
+    /// the search space (`min_samples`) *and* a trustworthy rolling rank
+    /// correlation.
+    pub fn gate_open(&self, min_samples: u64) -> bool {
+        self.samples >= min_samples && self.spearman().is_some_and(|rho| rho >= SPEARMAN_GATE)
+    }
+
+    /// Serializes the full model state, stamped with the run's
+    /// configuration fingerprint and the checkpoint generation it
+    /// accompanies.
+    pub fn encode(&self, config_fp: u64, generation: u32) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.bytes(MAGIC);
+        enc.u32(VERSION);
+        enc.u64(config_fp);
+        enc.u32(generation);
+        enc.u32(FEATURE_DIM as u32);
+        for &value in &self.xtx {
+            enc.f64(value);
+        }
+        for &value in &self.xty {
+            enc.f64(value);
+        }
+        for &value in &self.weights {
+            enc.f64(value);
+        }
+        enc.u64(self.samples);
+        enc.varint(self.pairs.len() as u64);
+        for &(predicted, actual) in &self.pairs {
+            enc.f64(predicted);
+            enc.f64(actual);
+        }
+        enc.into_bytes()
+    }
+
+    /// Decodes a sidecar produced by [`encode`](Self::encode), returning
+    /// the stamped `(config_fp, generation)` alongside the model.
+    ///
+    /// # Errors
+    ///
+    /// [`GestError::Config`] on a bad magic/version/dimension; codec
+    /// errors on truncation.
+    pub fn decode(bytes: &[u8]) -> Result<(u64, u32, SurrogateModel), GestError> {
+        let mut dec = Decoder::new(bytes);
+        let magic = dec.bytes()?;
+        if magic != MAGIC {
+            return Err(GestError::Config(
+                "surrogate sidecar: bad magic (not a GESTSUR1 file)".into(),
+            ));
+        }
+        let version = dec.u32()?;
+        if version != VERSION {
+            return Err(GestError::Config(format!(
+                "surrogate sidecar: unsupported version {version}"
+            )));
+        }
+        let config_fp = dec.u64()?;
+        let generation = dec.u32()?;
+        let dim = dec.u32()? as usize;
+        if dim != FEATURE_DIM {
+            return Err(GestError::Config(format!(
+                "surrogate sidecar: feature dimension {dim} != {FEATURE_DIM}"
+            )));
+        }
+        let mut model = SurrogateModel::new();
+        for value in model.xtx.iter_mut() {
+            *value = dec.f64()?;
+        }
+        for value in model.xty.iter_mut() {
+            *value = dec.f64()?;
+        }
+        for value in model.weights.iter_mut() {
+            *value = dec.f64()?;
+        }
+        model.samples = dec.u64()?;
+        let pairs = dec.varint()? as usize;
+        if pairs > PAIR_WINDOW {
+            return Err(GestError::Config(format!(
+                "surrogate sidecar: window of {pairs} pairs exceeds the cap"
+            )));
+        }
+        for _ in 0..pairs {
+            let predicted = dec.f64()?;
+            let actual = dec.f64()?;
+            model.pairs.push_back((predicted, actual));
+        }
+        Ok((config_fp, generation, model))
+    }
+
+    /// Writes the sidecar atomically into a run's output directory.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the [`WriteFs`].
+    pub fn save_via(
+        &self,
+        dir: &Path,
+        fs: &dyn WriteFs,
+        config_fp: u64,
+        generation: u32,
+    ) -> Result<(), GestError> {
+        fs.write_atomic(
+            &dir.join(SURROGATE_FILE),
+            &self.encode(config_fp, generation),
+        )
+        .map_err(GestError::from)
+    }
+
+    /// Loads the sidecar from a run's output directory, validating its
+    /// fingerprint and generation stamp. Returns `None` (best-effort,
+    /// with a stderr warning) when the file is absent, corrupt, or stale
+    /// — the caller then warm-starts the model from the restored
+    /// population instead.
+    pub fn load(dir: &Path, config_fp: u64, generation: u32) -> Option<SurrogateModel> {
+        let path = dir.join(SURROGATE_FILE);
+        let bytes = std::fs::read(&path).ok()?;
+        match SurrogateModel::decode(&bytes) {
+            Ok((fp, stamped, model)) if fp == config_fp && stamped == generation => Some(model),
+            Ok((fp, stamped, _)) => {
+                eprintln!(
+                    "gest: surrogate sidecar {} is stale (fingerprint {fp:016x} at \
+                     generation {stamped}, expected {config_fp:016x} at {generation}); \
+                     warm-starting the model from the restored population",
+                    path.display()
+                );
+                None
+            }
+            Err(error) => {
+                eprintln!(
+                    "gest: surrogate sidecar {} is unreadable ({error}); \
+                     warm-starting the model from the restored population",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+}
+
+/// Fractional ranks (1-based) with tie-averaging, the standard Spearman
+/// pre-pass.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]).then(a.cmp(&b)));
+    let mut out = vec![0.0; values.len()];
+    let mut start = 0;
+    while start < order.len() {
+        let mut end = start + 1;
+        while end < order.len() && values[order[end]] == values[order[start]] {
+            end += 1;
+        }
+        // Average rank of the tied block: ranks are 1-based.
+        let rank = (start + 1 + end) as f64 / 2.0;
+        for &index in &order[start..end] {
+            out[index] = rank;
+        }
+        start = end;
+    }
+    out
+}
+
+/// Pearson correlation; `None` when either side has no variance.
+fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    let n = a.len() as f64;
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let (mut cov, mut var_a, mut var_b) = (0.0, 0.0, 0.0);
+    for (&x, &y) in a.iter().zip(b) {
+        let (dx, dy) = (x - mean_a, y - mean_b);
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    if var_a < 1e-12 || var_b < 1e-12 {
+        return None;
+    }
+    Some(cov / (var_a * var_b).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feature(values: &[(usize, f64)]) -> FeatureVec {
+        let mut x = [0.0; FEATURE_DIM];
+        x[FEATURE_DIM - 1] = 1.0;
+        for &(index, value) in values {
+            x[index] = value;
+        }
+        x
+    }
+
+    #[test]
+    fn learns_a_linear_relationship() {
+        let mut model = SurrogateModel::new();
+        // fitness = 3*x0 + 1, sampled at a few points.
+        for i in 0..20 {
+            let x = f64::from(i) / 20.0;
+            model.observe(&feature(&[(0, x)]), 3.0 * x + 1.0);
+        }
+        model.fit();
+        let predicted = model.predict(&feature(&[(0, 0.5)]));
+        assert!((predicted - 2.5).abs() < 0.05, "{predicted}");
+    }
+
+    #[test]
+    fn spearman_tracks_rank_agreement() {
+        let mut model = SurrogateModel::new();
+        for i in 0..32 {
+            let v = f64::from(i);
+            model.record_pair(v, v * 2.0 + 1.0); // perfectly monotone
+        }
+        assert!((model.spearman().unwrap() - 1.0).abs() < 1e-9);
+
+        let mut anti = SurrogateModel::new();
+        for i in 0..32 {
+            anti.record_pair(f64::from(i), f64::from(-i));
+        }
+        assert!((anti.spearman().unwrap() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_needs_samples_and_correlation() {
+        let mut model = SurrogateModel::new();
+        assert!(!model.gate_open(4));
+        for i in 0..8 {
+            let v = f64::from(i);
+            model.observe(&feature(&[(0, v / 8.0)]), v);
+            model.record_pair(v, v);
+        }
+        assert!(model.gate_open(4));
+        assert!(!model.gate_open(100), "sample floor still applies");
+    }
+
+    #[test]
+    fn calibration_clamps_to_observed_fitness() {
+        let mut model = SurrogateModel::new();
+        for i in 0..16 {
+            let v = f64::from(i);
+            model.record_pair(v, v); // identity map, actuals in [0, 15]
+        }
+        assert!(model.calibrated(100.0) <= 15.0);
+        assert!(model.calibrated(-5.0) >= 0.0);
+        let mid = model.calibrated(7.0);
+        assert!((mid - 7.0).abs() < 1e-9, "{mid}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_bit_exactly() {
+        let mut model = SurrogateModel::new();
+        for i in 0..10 {
+            let v = f64::from(i) / 3.0;
+            model.observe(&feature(&[(0, v), (3, 1.0 - v)]), v * 7.0);
+            model.record_pair(v, v * 7.0 + 0.1);
+        }
+        model.fit();
+        let bytes = model.encode(0xfeed, 4);
+        let (fp, generation, restored) = SurrogateModel::decode(&bytes).unwrap();
+        assert_eq!((fp, generation), (0xfeed, 4));
+        assert_eq!(restored.encode(0xfeed, 4), bytes);
+        for (a, b) in model.weights.iter().zip(&restored.weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(model.samples, restored.samples);
+        assert_eq!(model.pairs, restored.pairs);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(SurrogateModel::decode(b"not a sidecar").is_err());
+        let bytes = SurrogateModel::new().encode(1, 0);
+        assert!(SurrogateModel::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Deterministic exploration sampling for surrogate-screened evaluation.
+//!
+//! When the runner screens a generation down to the top-K predicted
+//! candidates, a small *exploration quota* of the screened-out rest is
+//! still fully simulated, so the surrogate keeps receiving training
+//! pairs outside its own top picks (otherwise the model only ever sees
+//! candidates it already likes, and its rank correlation estimate goes
+//! stale). The quota is drawn by reservoir sampling from a dedicated
+//! SplitMix64 stream seeded by `(run seed, generation)` — deliberately
+//! *not* the breeding RNG, whose stream position is part of the
+//! checkpointed search state and must not depend on whether screening is
+//! enabled. Same seed + same generation + same pool ⇒ same picks, on any
+//! thread count or lane width.
+
+/// A deterministic index sampler for exploration quotas.
+#[derive(Debug, Clone)]
+pub struct ExplorationSampler {
+    state: u64,
+}
+
+impl ExplorationSampler {
+    /// Creates a sampler for one generation of one run. The seed mixing
+    /// keeps streams for different generations (and different runs)
+    /// decorrelated while staying independent of the breeding RNG.
+    pub fn new(seed: u64, generation: u32) -> ExplorationSampler {
+        let mut sampler = ExplorationSampler {
+            state: seed
+                ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(generation).wrapping_add(1)),
+        };
+        // Discard a few outputs so nearby seeds diverge immediately.
+        sampler.next_u64();
+        sampler.next_u64();
+        sampler
+    }
+
+    /// SplitMix64 step: a full-period 64-bit mixer, deterministic and
+    /// platform-independent.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Draws up to `quota` items from `pool` by reservoir sampling
+    /// (Algorithm R) and returns them sorted ascending — a canonical
+    /// order, so callers iterate the picks deterministically. When the
+    /// pool is no larger than the quota, every item is returned.
+    pub fn reservoir(&mut self, pool: &[usize], quota: usize) -> Vec<usize> {
+        if pool.len() <= quota {
+            return pool.to_vec();
+        }
+        let mut picks: Vec<usize> = pool[..quota].to_vec();
+        for (seen, &item) in pool.iter().enumerate().skip(quota) {
+            let slot = (self.next_u64() % (seen as u64 + 1)) as usize;
+            if slot < quota {
+                picks[slot] = item;
+            }
+        }
+        picks.sort_unstable();
+        picks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_and_generation_sample_identically() {
+        let pool: Vec<usize> = (0..40).collect();
+        let a = ExplorationSampler::new(7, 3).reservoir(&pool, 5);
+        let b = ExplorationSampler::new(7, 3).reservoir(&pool, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted: {a:?}");
+    }
+
+    #[test]
+    fn different_generations_sample_differently() {
+        let pool: Vec<usize> = (0..40).collect();
+        let a = ExplorationSampler::new(7, 3).reservoir(&pool, 5);
+        let b = ExplorationSampler::new(7, 4).reservoir(&pool, 5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn small_pools_are_returned_whole() {
+        let pool = [3, 9, 11];
+        let picks = ExplorationSampler::new(1, 0).reservoir(&pool, 5);
+        assert_eq!(picks, pool);
+    }
+
+    #[test]
+    fn quota_zero_samples_nothing() {
+        let pool: Vec<usize> = (0..10).collect();
+        assert!(ExplorationSampler::new(1, 0).reservoir(&pool, 0).is_empty());
+    }
+}

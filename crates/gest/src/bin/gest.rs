@@ -17,6 +17,8 @@
 //!                                  endpoint (/status polled every 2 s)
 //! gest bench [flags]               time candidate evaluation with and without
 //!                                  the fast path; writes BENCH_eval.json
+//!                                  (--surrogate: screened vs exact evaluation,
+//!                                  writes BENCH_surrogate.json)
 //! gest stats <output_dir>          per-generation report from saved populations
 //! gest show <population.bin> [n]   print individuals from a population file
 //! gest machines                    list the machine presets
@@ -26,6 +28,7 @@
 use gest::chaos::{run_soak, SoakOptions};
 use gest::core::{
     stats, GestConfig, GestError, GestRun, LocalBackend, PoolGenetics, Registry, SavedPopulation,
+    SurrogateMode, SurrogateOptions,
 };
 use gest::dist::{hostname, Coordinator, CoordinatorOptions, Worker};
 use gest::ga::GaEngine;
@@ -89,6 +92,13 @@ fn print_usage() {
          --no-eval-cache                disable the content-addressed result cache\n    \
          --lane-width=N                 batch N candidates per simulator call\n                                   \
          (wall-clock only; results are identical)\n    \
+         --surrogate=off|screen         surrogate screening: simulate only the\n                                   \
+         predicted top-K of each bred generation\n                                   \
+         plus an exploration quota (default off)\n    \
+         --surrogate-topk=K             fully simulated per generation when\n                                   \
+         screening (default: population/4)\n    \
+         --surrogate-explore=Q          exploration quota kept fully simulated\n                                   \
+         while screening (default 2)\n    \
          --workers=ADDR,ADDR            evaluate on remote `gest worker` processes\n    \
          --local-fallback[=N]           degrade to this host after N consecutive\n                                   \
          total-fleet failures (default 3)\n    \
@@ -99,6 +109,9 @@ fn print_usage() {
          --progress                     live per-generation progress on stderr\n    \
          --no-eval-cache                disable the content-addressed result cache\n    \
          --lane-width=N                 batch N candidates per simulator call\n    \
+         --surrogate=off|screen --surrogate-topk=K --surrogate-explore=Q\n                                   \
+         surrogate screening, as for `gest run`\n                                   \
+         (the model resumes from surrogate.bin)\n    \
          --workers=ADDR,ADDR            evaluate on remote `gest worker` processes\n    \
          --local-fallback[=N]           degrade to this host after N consecutive\n                                   \
          total-fleet failures (default 3)\n    \
@@ -121,7 +134,12 @@ fn print_usage() {
          --require-cache-hits           fail when the cache hit rate is zero\n    \
          --cold                         also time cache-disabled novel candidates,\n                                   \
          batched vs one at a time (JSON \"cold\" section)\n    \
-         --lane-width=N                 lanes per batch in the cold phase (default 4)\n  \
+         --lane-width=N                 lanes per batch in the cold phase (default 4)\n    \
+         --surrogate                    screened vs exact evaluation on a fresh\n                                   \
+         novel-heavy search (default out:\n                                   \
+         BENCH_surrogate.json, \"surrogate\" section)\n    \
+         --surrogate-topk=K --surrogate-explore=Q\n                                   \
+         screen knobs for the --surrogate phase\n  \
          gest stats <output_dir>          per-generation report from saved populations\n  \
          gest show <population.bin> [n]   print the n fittest individuals (default 1)\n  \
          gest machines                    list the machine presets\n  \
@@ -145,6 +163,26 @@ struct SearchFlags {
     workers: Vec<String>,
     local_fallback_after: Option<u32>,
     status_addr: Option<String>,
+    surrogate: Option<SurrogateMode>,
+    surrogate_topk: Option<usize>,
+    surrogate_explore: Option<usize>,
+}
+
+/// Builds the run-level surrogate options from search flags, or `None`
+/// when `--surrogate` was not given (the config default, off, applies).
+fn surrogate_options(flags: &SearchFlags) -> Option<SurrogateOptions> {
+    let mode = flags.surrogate?;
+    let mut options = SurrogateOptions {
+        mode,
+        ..SurrogateOptions::default()
+    };
+    if let Some(topk) = flags.surrogate_topk {
+        options.topk = topk;
+    }
+    if let Some(explore) = flags.surrogate_explore {
+        options.explore = explore;
+    }
+    Some(options)
 }
 
 fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchFlags, GestError> {
@@ -162,6 +200,30 @@ fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchF
                 return Err(GestError::Config("lane width must be at least 1".into()));
             }
             flags.lane_width = Some(width);
+        } else if let Some(mode) = arg.strip_prefix("--surrogate=") {
+            flags.surrogate = Some(match mode {
+                "off" => SurrogateMode::Off,
+                "screen" => SurrogateMode::Screen,
+                other => {
+                    return Err(GestError::Config(format!(
+                        "bad surrogate mode {other:?} (want off or screen)"
+                    )))
+                }
+            });
+        } else if let Some(n) = arg.strip_prefix("--surrogate-topk=") {
+            let topk: usize = n.parse().map_err(|_| {
+                GestError::Config(format!("bad surrogate top-K {n:?} (want a number ≥ 1)"))
+            })?;
+            if topk == 0 {
+                return Err(GestError::Config(
+                    "--surrogate-topk must be at least 1 (omit it for auto)".into(),
+                ));
+            }
+            flags.surrogate_topk = Some(topk);
+        } else if let Some(n) = arg.strip_prefix("--surrogate-explore=") {
+            flags.surrogate_explore = Some(n.parse().map_err(|_| {
+                GestError::Config(format!("bad exploration quota {n:?} (want a number ≥ 0)"))
+            })?);
         } else if arg == "--trace" {
             flags.trace = Some(None);
         } else if let Some(path) = arg.strip_prefix("--trace=") {
@@ -223,6 +285,14 @@ fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchF
     if flags.local_fallback_after.is_some() && flags.workers.is_empty() {
         return Err(GestError::Config(
             "--local-fallback only applies together with --workers".into(),
+        ));
+    }
+    if (flags.surrogate_topk.is_some() || flags.surrogate_explore.is_some())
+        && flags.surrogate != Some(SurrogateMode::Screen)
+    {
+        return Err(GestError::Config(
+            "--surrogate-topk/--surrogate-explore only apply together with --surrogate=screen"
+                .into(),
         ));
     }
     Ok(flags)
@@ -531,6 +601,9 @@ fn cmd_run(args: &[String]) -> Result<(), GestError> {
     if let Some(width) = flags.lane_width {
         builder = builder.lane_width(width);
     }
+    if let Some(options) = surrogate_options(&flags) {
+        builder = builder.surrogate(options);
+    }
     drive(builder.build()?)?;
     drop(status_server);
     print_artifact_locations(output_dir.as_deref(), trace_path.as_deref());
@@ -576,6 +649,9 @@ fn cmd_resume(args: &[String]) -> Result<(), GestError> {
     }
     if let Some(width) = flags.lane_width {
         builder = builder.lane_width(width);
+    }
+    if let Some(options) = surrogate_options(&flags) {
+        builder = builder.surrogate(options);
     }
     let run = builder.build()?;
     eprintln!(
@@ -648,6 +724,7 @@ struct TraceReport {
     counters: BTreeMap<String, u64>,
     generation_rows: Vec<String>,
     health_rows: Vec<String>,
+    surrogate_rows: Vec<String>,
     histograms: BTreeMap<String, gest::telemetry::HistogramSnapshot>,
 }
 
@@ -714,6 +791,21 @@ impl TraceReport {
                     field_of(fields, "generation"),
                     field_of(fields, "best_fitness"),
                     field_of(fields, "mean_fitness"),
+                ));
+            }
+            Event::Point { name, fields, .. } if name == "surrogate" => {
+                self.surrogate_rows.push(format!(
+                    "  {:>11} {:>9} {:>10} {:>7} {:>12} {:>9}",
+                    field_of(fields, "generation"),
+                    field_of(fields, "screened"),
+                    field_of(fields, "simulated"),
+                    if field_of(fields, "gate") == "1" {
+                        "open"
+                    } else {
+                        "closed"
+                    },
+                    field_of(fields, "screen_rate"),
+                    field_of(fields, "spearman"),
                 ));
             }
             Event::Point { name, fields, .. } if name == "health" => {
@@ -885,6 +977,32 @@ fn cmd_report(path: Option<&str>) -> Result<(), GestError> {
         }
     }
 
+    // --- Surrogate screening, from per-generation surrogate points.
+    // Traces from runs without --surrogate=screen simply have no such
+    // points and skip the section. The spearman column is the rank
+    // correlation trend: "?" until the rolling window has enough pairs.
+    if !report.surrogate_rows.is_empty() {
+        println!("\nsurrogate screening");
+        println!(
+            "  {:>11} {:>9} {:>10} {:>7} {:>12} {:>9}",
+            "generation", "screened", "simulated", "gate", "screen-rate", "spearman"
+        );
+        for row in &report.surrogate_rows {
+            println!("{row}");
+        }
+        let find = |wanted: &str| report.counters.get(wanted).copied();
+        if let (Some(screened), Some(simulated)) =
+            (find("surrogate.screened"), find("surrogate.simulated"))
+        {
+            if screened + simulated > 0 {
+                println!(
+                    "  overall: {:.1}% screened ({screened} screened, {simulated} simulated)",
+                    100.0 * screened as f64 / (screened + simulated) as f64
+                );
+            }
+        }
+    }
+
     // --- Histogram summaries with interpolated percentiles (eval
     // latency, simulator stats). ---
     if !report.histograms.is_empty() {
@@ -955,10 +1073,13 @@ struct BenchFlags {
     generations: u32,
     setup_generations: u32,
     machine: String,
-    out: PathBuf,
+    out: Option<PathBuf>,
     require_cache_hits: bool,
     cold: bool,
     lane_width: usize,
+    surrogate: bool,
+    surrogate_topk: usize,
+    surrogate_explore: usize,
 }
 
 impl Default for BenchFlags {
@@ -970,11 +1091,29 @@ impl Default for BenchFlags {
             generations: 8,
             setup_generations: 40,
             machine: "cortex-a15".into(),
-            out: PathBuf::from("BENCH_eval.json"),
+            out: None,
             require_cache_hits: false,
             cold: false,
             lane_width: 4,
+            surrogate: false,
+            surrogate_topk: 0,
+            surrogate_explore: 2,
         }
+    }
+}
+
+impl BenchFlags {
+    /// Where the JSON lands: `--out` if given, else a default named for
+    /// the bench variant so `bench` and `bench --surrogate` do not
+    /// clobber each other's committed baselines.
+    fn out_path(&self) -> PathBuf {
+        self.out.clone().unwrap_or_else(|| {
+            PathBuf::from(if self.surrogate {
+                "BENCH_surrogate.json"
+            } else {
+                "BENCH_eval.json"
+            })
+        })
     }
 }
 
@@ -999,11 +1138,17 @@ fn parse_bench_flags(args: &[String]) -> Result<BenchFlags, GestError> {
         } else if let Some(name) = arg.strip_prefix("--machine=") {
             flags.machine = name.to_string();
         } else if let Some(path) = arg.strip_prefix("--out=") {
-            flags.out = PathBuf::from(path);
+            flags.out = Some(PathBuf::from(path));
         } else if arg == "--require-cache-hits" {
             flags.require_cache_hits = true;
         } else if arg == "--cold" {
             flags.cold = true;
+        } else if arg == "--surrogate" {
+            flags.surrogate = true;
+        } else if let Some(n) = arg.strip_prefix("--surrogate-topk=") {
+            flags.surrogate_topk = number("--surrogate-topk", n)?;
+        } else if let Some(n) = arg.strip_prefix("--surrogate-explore=") {
+            flags.surrogate_explore = number("--surrogate-explore", n)?;
         } else if let Some(n) = arg.strip_prefix("--lane-width=") {
             flags.lane_width = number("--lane-width", n)?;
         } else {
@@ -1020,7 +1165,101 @@ fn parse_bench_flags(args: &[String]) -> Result<BenchFlags, GestError> {
             "--lane-width must be at least 2 so the batched arm differs from width 1".into(),
         ));
     }
+    if flags.surrogate && (flags.cold || flags.require_cache_hits) {
+        return Err(GestError::Config(
+            "--surrogate is its own bench phase; run --cold/--require-cache-hits separately".into(),
+        ));
+    }
+    if (flags.surrogate_topk != 0 || flags.surrogate_explore != 2) && !flags.surrogate {
+        return Err(GestError::Config(
+            "--surrogate-topk/--surrogate-explore only apply together with --surrogate".into(),
+        ));
+    }
     Ok(flags)
+}
+
+/// Pretty-prints a JSON value with two-space indentation —
+/// [`Value::write`] is compact, and the bench files are committed and
+/// diffed by humans.
+fn write_json_pretty(value: &Value, depth: usize, out: &mut String) {
+    match value {
+        Value::Obj(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, child)) in entries.iter().enumerate() {
+                for _ in 0..=depth {
+                    out.push_str("  ");
+                }
+                Value::Str(key.clone()).write(out);
+                out.push_str(": ");
+                write_json_pretty(child, depth + 1, out);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push('}');
+        }
+        Value::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                for _ in 0..=depth {
+                    out.push_str("  ");
+                }
+                write_json_pretty(item, depth + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push(']');
+        }
+        other => other.write(out),
+    }
+}
+
+/// Merge-updates a bench JSON file: each top-level key in `fresh`
+/// replaces its previous value, every other section is preserved — so
+/// the elite-heavy, `--cold`, and `--surrogate` writers can share one
+/// file without clobbering each other's results. An unreadable or
+/// non-object existing file is replaced wholesale rather than failing
+/// the bench.
+fn merge_bench_file(path: &Path, fresh: Vec<(String, Value)>) -> Result<(), GestError> {
+    let mut entries = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Value::parse(text.trim()).ok())
+        .and_then(|existing| match existing {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        })
+        .unwrap_or_default();
+    for (key, value) in fresh {
+        match entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = value,
+            None => entries.push((key, value)),
+        }
+    }
+    let mut text = String::new();
+    write_json_pretty(&Value::Obj(entries), 0, &mut text);
+    text.push('\n');
+    std::fs::write(path, text)?;
+    Ok(())
+}
+
+/// [`Value::Num`] rounded to six decimals: enough for seconds and rates,
+/// short enough that committed bench JSON diffs stay readable.
+fn json_num(value: f64) -> Value {
+    Value::Num((value * 1e6).round() / 1e6)
+}
+
+/// An object entry, saving the `.to_string()` noise at call sites.
+fn json_entry(key: &str, value: Value) -> (String, Value) {
+    (key.to_string(), value)
 }
 
 /// What the `--cold` phase measured: novel-candidate throughput one
@@ -1136,6 +1375,10 @@ fn cmd_bench(args: &[String]) -> Result<(), GestError> {
     use std::time::Instant;
 
     let flags = parse_bench_flags(args)?;
+    let out = flags.out_path();
+    if flags.surrogate {
+        return run_surrogate_bench(&flags, &out);
+    }
     let config = |steady: bool, seed_pop: Option<&Path>| -> Result<GestConfig, GestError> {
         let mut config = GestConfig::builder(&flags.machine)
             .measurement("power")
@@ -1278,60 +1521,66 @@ fn cmd_bench(args: &[String]) -> Result<(), GestError> {
     // entries comparable across PRs and machines: a speedup means little
     // without knowing how many eval threads produced it.
     let eval_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let cold_json = cold.as_ref().map_or_else(String::new, |cold| {
-        format!(
-            "  \"cold\": {{\n    \"candidates\": {},\n    \"lane_width\": {},\n    \
-             \"width1_seconds\": {:.6},\n    \"width1_candidates_per_sec\": {:.2},\n    \
-             \"batched_seconds\": {:.6},\n    \"batched_candidates_per_sec\": {:.2},\n    \
-             \"speedup\": {:.2},\n    \"identical_results\": {}\n  }},\n",
-            cold.candidates,
-            cold.lane_width,
-            cold.width1_secs,
-            cold.candidates as f64 / cold.width1_secs,
-            cold.batched_secs,
-            cold.candidates as f64 / cold.batched_secs,
-            cold.width1_secs / cold.batched_secs,
-            cold.identical,
-        )
-    });
-    let json = format!(
-        "{{\n  \"machine\": \"{}\",\n  \"host\": \"{}\",\n  \"eval_threads\": {},\n  \
-         \"measurement\": \"power\",\n  \
-         \"population\": {},\n  \"individual_size\": {},\n  \"generations\": {},\n  \
-         \"setup_generations\": {},\n  \
-         \"rounds\": {},\n  \"candidates\": {},\n  \"fast\": {{\n    \
-         \"seconds\": {:.6},\n    \"candidates_per_sec\": {:.2},\n    \
-         \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"cache_hit_rate\": {:.4},\n    \
-         \"steady_runs\": {},\n    \"steady_hits\": {},\n    \
-         \"steady_trigger_rate\": {:.4},\n    \"extrapolated_iterations\": {}\n  }},\n  \
-         \"baseline\": {{\n    \"seconds\": {:.6},\n    \"candidates_per_sec\": {:.2}\n  }},\n\
-         {}  \
-         \"speedup\": {:.2},\n  \"identical_results\": {}\n}}\n",
-        flags.machine,
-        hostname(),
-        eval_threads,
-        flags.population,
-        flags.individual,
-        flags.generations,
-        flags.setup_generations,
-        flags.rounds,
-        total,
-        fast_secs,
-        fast_rate,
-        cache_hits,
-        cache_misses,
-        hit_rate,
-        steady_runs,
-        steady_hits,
-        trigger_rate,
-        extrapolated,
-        base_secs,
-        base_rate,
-        cold_json,
-        base_secs / fast_secs,
-        identical,
-    );
-    std::fs::write(&flags.out, &json)?;
+    let mut fresh = vec![
+        json_entry("machine", Value::Str(flags.machine.clone())),
+        json_entry("host", Value::Str(hostname())),
+        json_entry("eval_threads", json_num(eval_threads as f64)),
+        json_entry("measurement", Value::Str("power".into())),
+        json_entry("population", json_num(flags.population as f64)),
+        json_entry("individual_size", json_num(flags.individual as f64)),
+        json_entry("generations", json_num(f64::from(flags.generations))),
+        json_entry(
+            "setup_generations",
+            json_num(f64::from(flags.setup_generations)),
+        ),
+        json_entry("rounds", json_num(f64::from(flags.rounds))),
+        json_entry("candidates", json_num(total as f64)),
+        json_entry(
+            "fast",
+            Value::Obj(vec![
+                json_entry("seconds", json_num(fast_secs)),
+                json_entry("candidates_per_sec", json_num(fast_rate)),
+                json_entry("cache_hits", json_num(cache_hits as f64)),
+                json_entry("cache_misses", json_num(cache_misses as f64)),
+                json_entry("cache_hit_rate", json_num(hit_rate)),
+                json_entry("steady_runs", json_num(steady_runs as f64)),
+                json_entry("steady_hits", json_num(steady_hits as f64)),
+                json_entry("steady_trigger_rate", json_num(trigger_rate)),
+                json_entry("extrapolated_iterations", json_num(extrapolated as f64)),
+            ]),
+        ),
+        json_entry(
+            "baseline",
+            Value::Obj(vec![
+                json_entry("seconds", json_num(base_secs)),
+                json_entry("candidates_per_sec", json_num(base_rate)),
+            ]),
+        ),
+    ];
+    if let Some(cold) = &cold {
+        fresh.push(json_entry(
+            "cold",
+            Value::Obj(vec![
+                json_entry("candidates", json_num(cold.candidates as f64)),
+                json_entry("lane_width", json_num(cold.lane_width as f64)),
+                json_entry("width1_seconds", json_num(cold.width1_secs)),
+                json_entry(
+                    "width1_candidates_per_sec",
+                    json_num(cold.candidates as f64 / cold.width1_secs),
+                ),
+                json_entry("batched_seconds", json_num(cold.batched_secs)),
+                json_entry(
+                    "batched_candidates_per_sec",
+                    json_num(cold.candidates as f64 / cold.batched_secs),
+                ),
+                json_entry("speedup", json_num(cold.width1_secs / cold.batched_secs)),
+                json_entry("identical_results", Value::Bool(cold.identical)),
+            ]),
+        ));
+    }
+    fresh.push(json_entry("speedup", json_num(base_secs / fast_secs)));
+    fresh.push(json_entry("identical_results", Value::Bool(identical)));
+    merge_bench_file(&out, fresh)?;
     println!(
         "fast path: {fast_rate:.1} candidates/s   baseline: {base_rate:.1} candidates/s   \
          speedup: {:.2}x",
@@ -1354,7 +1603,7 @@ fn cmd_bench(args: &[String]) -> Result<(), GestError> {
             cold.identical
         );
     }
-    println!("written to {}", flags.out.display());
+    println!("written to {}", out.display());
     if !identical {
         return Err(GestError::Config(
             "fast path and baseline diverged — the cache or extrapolation is unsound".into(),
@@ -1370,6 +1619,155 @@ fn cmd_bench(args: &[String]) -> Result<(), GestError> {
             "--require-cache-hits: the evaluation cache never hit".into(),
         ));
     }
+    Ok(())
+}
+
+/// One arm of the surrogate bench: its fastest-round time, the best
+/// measured fitness its search converged to, and (screened arm only)
+/// the run's surrogate statistics.
+struct SurrogateArm {
+    secs: f64,
+    best: f64,
+    stats: Option<gest::core::SurrogateStats>,
+}
+
+/// Benchmarks surrogate-screened evaluation against exact evaluation in
+/// the regime the screen targets: a *fresh* search whose bred candidates
+/// are mostly novel, so the content-addressed cache cannot help and each
+/// simulated candidate pays full price. Both arms run the identical
+/// configuration and seed at the same lane width; the screened arm
+/// additionally ranks every generation with the online surrogate and
+/// fully simulates only the predicted top-K plus the exploration quota.
+/// Each arm's time is its fastest round — every round repeats identical
+/// deterministic work, so the minimum is the least noise-contaminated
+/// estimate.
+fn run_surrogate_bench(flags: &BenchFlags, out: &Path) -> Result<(), GestError> {
+    use std::time::Instant;
+
+    let candidates = flags.population as u64 * u64::from(flags.generations);
+    eprintln!(
+        "bench: surrogate screen vs exact, machine {}, {} novel-heavy candidates ({} x {}), \
+         lane width {}, {} round{}",
+        flags.machine,
+        candidates,
+        flags.population,
+        flags.generations,
+        flags.lane_width,
+        flags.rounds,
+        if flags.rounds == 1 { "" } else { "s" },
+    );
+    let run_arm = |options: SurrogateOptions| -> Result<SurrogateArm, GestError> {
+        let mut arm = SurrogateArm {
+            secs: f64::INFINITY,
+            best: f64::NAN,
+            stats: None,
+        };
+        for _ in 0..flags.rounds {
+            let config = GestConfig::builder(&flags.machine)
+                .measurement("power")
+                .population_size(flags.population)
+                .individual_size(flags.individual)
+                .generations(flags.generations)
+                .seed(42)
+                .surrogate(options)
+                .build()?;
+            let mut run = GestRun::builder()
+                .config(config)
+                .lane_width(flags.lane_width)
+                .build()?;
+            let started = Instant::now();
+            while !run.is_complete() {
+                run.step()?;
+            }
+            arm.secs = arm.secs.min(started.elapsed().as_secs_f64());
+            arm.best = run.best().expect("a generation completed").fitness;
+            arm.stats = run.surrogate_stats();
+            run.finish();
+        }
+        Ok(arm)
+    };
+
+    let exact = run_arm(SurrogateOptions::default())?;
+    let screened = run_arm(SurrogateOptions {
+        mode: SurrogateMode::Screen,
+        topk: flags.surrogate_topk,
+        explore: flags.surrogate_explore,
+    })?;
+    let stats = screened.stats.ok_or_else(|| {
+        GestError::Config("surrogate bench: the screened run reported no surrogate stats".into())
+    })?;
+
+    let exact_cps = candidates as f64 / exact.secs;
+    let screened_cps = candidates as f64 / screened.secs;
+    let screen_share = if stats.screened + stats.simulated > 0 {
+        stats.screened as f64 / (stats.screened + stats.simulated) as f64
+    } else {
+        0.0
+    };
+    let rel_err = (exact.best - screened.best).abs() / exact.best.abs().max(f64::MIN_POSITIVE);
+
+    let eval_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let fresh = vec![
+        json_entry("machine", Value::Str(flags.machine.clone())),
+        json_entry("host", Value::Str(hostname())),
+        json_entry("eval_threads", json_num(eval_threads as f64)),
+        json_entry(
+            "surrogate",
+            Value::Obj(vec![
+                json_entry("population", json_num(flags.population as f64)),
+                json_entry("individual_size", json_num(flags.individual as f64)),
+                json_entry("generations", json_num(f64::from(flags.generations))),
+                json_entry("rounds", json_num(f64::from(flags.rounds))),
+                json_entry("lane_width", json_num(flags.lane_width as f64)),
+                json_entry("topk", json_num(flags.surrogate_topk as f64)),
+                json_entry("explore", json_num(flags.surrogate_explore as f64)),
+                json_entry("candidates", json_num(candidates as f64)),
+                json_entry(
+                    "exact",
+                    Value::Obj(vec![
+                        json_entry("seconds", json_num(exact.secs)),
+                        json_entry("candidates_per_sec", json_num(exact_cps)),
+                        json_entry("best_fitness", json_num(exact.best)),
+                    ]),
+                ),
+                json_entry(
+                    "screened",
+                    Value::Obj(vec![
+                        json_entry("seconds", json_num(screened.secs)),
+                        json_entry("candidates_per_sec", json_num(screened_cps)),
+                        json_entry("best_fitness", json_num(screened.best)),
+                        json_entry("screen_rate", json_num(screen_share)),
+                        json_entry("screened", json_num(stats.screened as f64)),
+                        json_entry("simulated", json_num(stats.simulated as f64)),
+                        json_entry("spearman", stats.spearman.map_or(Value::Null, json_num)),
+                        json_entry("gate_open", Value::Bool(stats.gate_open)),
+                        json_entry("samples", json_num(stats.samples as f64)),
+                    ]),
+                ),
+                json_entry("speedup", json_num(exact.secs / screened.secs)),
+                json_entry("best_fitness_rel_err", json_num(rel_err)),
+            ]),
+        ),
+    ];
+    merge_bench_file(out, fresh)?;
+
+    println!(
+        "exact: {exact_cps:.1} candidates/s   screened: {screened_cps:.1} candidates/s   \
+         speedup: {:.2}x",
+        exact.secs / screened.secs
+    );
+    println!(
+        "screen rate: {:.1}%   spearman: {}   best fitness: exact {:.5} vs screened {:.5} \
+         ({:.2}% apart)",
+        screen_share * 100.0,
+        stats
+            .spearman
+            .map_or_else(|| "-".to_string(), |s| format!("{s:.4}")),
+        exact.best,
+        screened.best,
+        rel_err * 100.0
+    );
+    println!("written to {}", out.display());
     Ok(())
 }
 

@@ -40,6 +40,7 @@ pub mod codec;
 mod def;
 mod def_xml;
 mod error;
+pub mod features;
 mod instruction;
 mod opcode;
 mod program;

@@ -1,0 +1,192 @@
+//! Surrogate-screened determinism matrix: screening is an execution
+//! policy, so the *same* screened search must leave byte-identical
+//! artifacts at every evaluation thread count and lane width — same
+//! population files, same checkpoint state, same model sidecar — and a
+//! run resumed mid-search must restore the model bit-exactly from
+//! `surrogate.bin` rather than re-deriving an approximation.
+
+use gest::core::{
+    Checkpoint, GestConfig, GestRun, OutputWriter, SurrogateMode, SurrogateModel, SurrogateOptions,
+};
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gest_surrogate_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn screen_options() -> SurrogateOptions {
+    SurrogateOptions {
+        mode: SurrogateMode::Screen,
+        topk: 3,
+        explore: 2,
+    }
+}
+
+fn config_for(dir: &Path, threads: usize, lane_width: usize) -> GestConfig {
+    GestConfig::builder("cortex-a15")
+        .measurement("power")
+        .population_size(10)
+        .individual_size(12)
+        .generations(8)
+        .seed(777)
+        .threads(threads)
+        .lane_width(lane_width)
+        .surrogate(screen_options())
+        .output_dir(dir)
+        .checkpoint_every(4)
+        .build()
+        .unwrap()
+}
+
+/// The model sidecar re-encoded with a neutral stamp: runs in different
+/// directories carry different configuration fingerprints (the XML names
+/// the output directory), so the comparison must be on model state alone.
+fn model_bytes(dir: &Path) -> Vec<u8> {
+    let bytes = std::fs::read(dir.join(gest::core::surrogate::SURROGATE_FILE)).unwrap();
+    let (_fp, _generation, model) = SurrogateModel::decode(&bytes).unwrap();
+    model.encode(0, 0)
+}
+
+struct ReferenceRun {
+    dir: PathBuf,
+    populations: Vec<Vec<u8>>,
+    manifest: Checkpoint,
+    model: Vec<u8>,
+}
+
+#[test]
+fn screened_runs_are_byte_identical_across_threads_and_lane_widths() {
+    let mut reference: Option<ReferenceRun> = None;
+    let mut dirs = Vec::new();
+    for threads in [1usize, 4] {
+        for width in [1usize, 4] {
+            let dir = temp_dir(&format!("t{threads}_w{width}"));
+            GestRun::builder()
+                .config(config_for(&dir, threads, width))
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+
+            let populations: Vec<Vec<u8>> = OutputWriter::population_files(&dir)
+                .unwrap()
+                .iter()
+                .map(|file| std::fs::read(file).unwrap())
+                .collect();
+            assert_eq!(
+                populations.len(),
+                8,
+                "one population per generation at {threads} threads, lane width {width}"
+            );
+            let manifest = Checkpoint::load(&dir).unwrap();
+            let model = model_bytes(&dir);
+
+            match &reference {
+                None => {
+                    reference = Some(ReferenceRun {
+                        dir: dir.clone(),
+                        populations,
+                        manifest,
+                        model,
+                    })
+                }
+                Some(reference) => {
+                    for (generation, (a, b)) in
+                        reference.populations.iter().zip(&populations).enumerate()
+                    {
+                        assert_eq!(
+                            a,
+                            b,
+                            "population {generation} at {threads} threads, lane width {width} \
+                             differs from {}",
+                            reference.dir.display()
+                        );
+                    }
+                    // The fingerprint hashes the configuration XML, which
+                    // names the (necessarily different) output directory;
+                    // everything the search computed must agree.
+                    assert_eq!(manifest.generation, reference.manifest.generation);
+                    assert_eq!(manifest.engine, reference.manifest.engine);
+                    assert_eq!(manifest.history, reference.manifest.history);
+                    assert_eq!(manifest.best, reference.manifest.best);
+                    assert_eq!(
+                        model, reference.model,
+                        "surrogate model at {threads} threads, lane width {width} diverged"
+                    );
+                }
+            }
+            dirs.push(dir);
+        }
+    }
+    for dir in dirs {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn resuming_mid_run_restores_the_model_bit_exactly() {
+    let dir_reference = temp_dir("resume_ref");
+    let dir_resumed = temp_dir("resume_cut");
+
+    // Reference: the same screened search, never interrupted.
+    let reference = GestRun::builder()
+        .config(config_for(&dir_reference, 1, 4))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+
+    // Victim: killed right after the generation-4 checkpoint.
+    let samples_at_cut = {
+        let mut run = GestRun::builder()
+            .config(config_for(&dir_resumed, 1, 4))
+            .build()
+            .unwrap();
+        for _ in 0..4 {
+            run.step().unwrap();
+        }
+        run.surrogate_stats().expect("screening is on").samples
+    };
+
+    let resumed = GestRun::builder()
+        .resume_from(&dir_resumed)
+        .surrogate(screen_options())
+        .build()
+        .unwrap();
+    assert_eq!(
+        resumed.surrogate_stats().expect("screening is on").samples,
+        samples_at_cut,
+        "the sidecar, not a warm-start approximation, must seed the resumed model"
+    );
+    let summary = resumed.run().unwrap();
+
+    assert_eq!(summary.best.genes, reference.best.genes);
+    assert_eq!(
+        summary.best.fitness.to_bits(),
+        reference.best.fitness.to_bits()
+    );
+    assert_eq!(summary.history.summaries(), reference.history.summaries());
+
+    let resumed_files = OutputWriter::population_files(&dir_resumed).unwrap();
+    let reference_files = OutputWriter::population_files(&dir_reference).unwrap();
+    assert_eq!(resumed_files.len(), 8);
+    for (a, b) in resumed_files.iter().zip(&reference_files) {
+        assert_eq!(
+            std::fs::read(a).unwrap(),
+            std::fs::read(b).unwrap(),
+            "{} differs from {}",
+            a.display(),
+            b.display()
+        );
+    }
+    assert_eq!(
+        model_bytes(&dir_resumed),
+        model_bytes(&dir_reference),
+        "the final model must not remember the interruption"
+    );
+
+    std::fs::remove_dir_all(&dir_reference).unwrap();
+    std::fs::remove_dir_all(&dir_resumed).unwrap();
+}

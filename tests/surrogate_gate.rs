@@ -1,0 +1,100 @@
+//! Confidence-gate degradation: a fitness that is pseudorandom in the
+//! program content is unlearnable, so the rolling rank correlation can
+//! never clear the gate — a screened run must degrade to 100% full
+//! simulation and say so in its telemetry, rather than assigning
+//! garbage surrogate fitness.
+
+use gest::core::{GestConfig, GestError, GestRun, Measurement, SurrogateMode, SurrogateOptions};
+use gest::isa::Program;
+use gest::telemetry::{Event, MemorySink, Telemetry};
+use std::sync::Arc;
+
+/// FNV-1a over the loop-body text, mapped to (0, 1]: deterministic per
+/// content but structureless to a regression on genome features. A
+/// merely *inverted* signal would not do here — ridge regression learns
+/// a negated power curve as easily as the original, and the rank
+/// correlation (squared in spirit) would still clear the gate.
+#[derive(Debug)]
+struct AdversarialMeasurement;
+
+impl Measurement for AdversarialMeasurement {
+    fn name(&self) -> &'static str {
+        "adversarial"
+    }
+    fn metrics(&self) -> &'static [&'static str] {
+        &["noise"]
+    }
+    fn measure(&self, program: &Program) -> Result<Vec<f64>, GestError> {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for instruction in &program.body {
+            for byte in instruction.to_string().bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0100_0000_01b3);
+            }
+        }
+        Ok(vec![(hash >> 11) as f64 / (1u64 << 53) as f64 + 1e-9])
+    }
+    fn content_pure(&self) -> bool {
+        true
+    }
+}
+
+#[test]
+fn unlearnable_fitness_closes_the_gate_and_degrades_to_full_simulation() {
+    let sink = Arc::new(MemorySink::default());
+    let mut config = GestConfig::builder("cortex-a15")
+        .measurement("power")
+        .population_size(8)
+        .individual_size(10)
+        .generations(6)
+        .seed(99)
+        .surrogate(SurrogateOptions {
+            mode: SurrogateMode::Screen,
+            topk: 2,
+            explore: 1,
+        })
+        .build()
+        .unwrap();
+    config.telemetry = Telemetry::new(sink.clone());
+
+    let mut run = GestRun::builder()
+        .config(config)
+        .measurement(Arc::new(AdversarialMeasurement))
+        .build()
+        .unwrap();
+    while !run.is_complete() {
+        run.step().unwrap();
+    }
+    let stats = run.surrogate_stats().expect("screening is on");
+    assert_eq!(
+        stats.screened, 0,
+        "no candidate may receive surrogate fitness under an unlearnable measurement"
+    );
+    assert!(!stats.gate_open, "the gate must stay closed: {stats:?}");
+    assert!(
+        stats.spearman.is_none_or(|s| s < 0.6),
+        "rank correlation cleared the gate on noise: {stats:?}"
+    );
+    run.finish();
+
+    let events = sink.events();
+    let gate_closed = events.iter().rev().find_map(|event| match event {
+        Event::Counter { name, value } if name == "surrogate.gate_closed" => Some(*value),
+        _ => None,
+    });
+    assert!(
+        gate_closed.is_some_and(|count| count >= 1),
+        "the degraded generations must be counted: {gate_closed:?}"
+    );
+    assert!(
+        events.iter().any(|event| matches!(
+            event,
+            Event::Point { name, fields, .. }
+                if name == "health"
+                    && fields
+                        .iter()
+                        .any(|(k, v)| k == "surrogate_gate_closed" && v.to_string() == "1")
+        )),
+        "health points must carry the degradation warning"
+    );
+}
