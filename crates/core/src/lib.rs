@@ -86,8 +86,8 @@ pub use measurement::{
     NoisyMeasurement, PowerMeasurement, SimFastPathStats, TemperatureMeasurement,
     VoltageNoiseMeasurement,
 };
-pub use output::{OutputWriter, RealFs, SavedIndividual, SavedPopulation, WriteFs};
+pub use output::{OutputWriter, RealFs, RunIdAllocator, SavedIndividual, SavedPopulation, WriteFs};
 pub use pools::{didt_pool, full_pool, ipc_pool, llc_pool, power_pool};
 pub use registry::{FitnessParams, Registry};
-pub use runner::{GestRun, GestRunBuilder, RunSummary, SurrogateStats};
+pub use runner::{GestRun, GestRunBuilder, RunSummary, StepOutcome, SurrogateStats};
 pub use surrogate::{SurrogateMode, SurrogateModel, SurrogateOptions};

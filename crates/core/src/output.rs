@@ -19,9 +19,85 @@ use gest_isa::codec::{Decoder, Encoder};
 use gest_isa::{CodecError, Gene, InstructionPool, Template};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Magic bytes identifying a population file.
 const MAGIC: &[u8; 8] = b"GESTPOP1";
+
+/// Collision-free run-directory ids: `r<prefix>-<seq>`, where the prefix
+/// is derived from a seed (stable across restarts of the same service)
+/// and the sequence number is monotonic within the allocator.
+///
+/// `gest-serve` names every submitted run's directory through one of
+/// these; `gest run` falls back to one when neither `--dir` nor an
+/// `<output dir=...>` element names a directory. Ids are made
+/// collision-free on disk by [`RunIdAllocator::allocate_dir`], which
+/// skips sequence numbers whose directory already exists (so a restarted
+/// allocator continues monotonically past its predecessor's runs).
+#[derive(Debug)]
+pub struct RunIdAllocator {
+    prefix: String,
+    next: AtomicU64,
+}
+
+impl RunIdAllocator {
+    /// An allocator whose id prefix is derived deterministically from
+    /// `seed` (FNV-1a over the seed bytes, rendered as 8 hex digits).
+    pub fn seeded(seed: u64) -> RunIdAllocator {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in seed.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        RunIdAllocator {
+            prefix: format!("{:08x}", (hash >> 32) as u32 ^ hash as u32),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// An allocator seeded from process id and wall-clock time — for
+    /// callers without a natural seed (`gest run` with no directory).
+    pub fn from_entropy() -> RunIdAllocator {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.subsec_nanos() as u64 ^ d.as_secs());
+        RunIdAllocator::seeded(nanos ^ (u64::from(std::process::id()) << 32))
+    }
+
+    /// Advances the sequence so the next issued number is at least
+    /// `floor` — how a restarted service skips ids its predecessor
+    /// already handed out.
+    pub fn advance_past(&self, floor: u64) {
+        self.next.fetch_max(floor, Ordering::Relaxed);
+    }
+
+    /// The next id in the sequence (no filesystem interaction).
+    pub fn next_id(&self) -> String {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        format!("r{}-{seq:04}", self.prefix)
+    }
+
+    /// Allocates the next id whose directory under `root` does not exist
+    /// yet, creates that directory, and returns `(id, path)`. Existing
+    /// directories (from an earlier service incarnation with the same
+    /// seed) are skipped, keeping the sequence monotonic across restarts.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating `root` or the run directory.
+    pub fn allocate_dir(&self, root: &Path) -> Result<(String, PathBuf), GestError> {
+        fs::create_dir_all(root)?;
+        loop {
+            let id = self.next_id();
+            let dir = root.join(&id);
+            match fs::create_dir(&dir) {
+                Ok(()) => return Ok((id, dir)),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
 
 /// One individual as stored in a population file.
 #[derive(Debug, Clone, PartialEq)]
@@ -480,5 +556,29 @@ mod tests {
         let loaded = SavedPopulation::load(&files[0]).unwrap();
         assert_eq!(loaded.generation, 3);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_id_allocator_is_seeded_monotonic_and_collision_free() {
+        // Same seed, same id sequence; different seed, different prefix.
+        let a = RunIdAllocator::seeded(7);
+        let b = RunIdAllocator::seeded(7);
+        let first = a.next_id();
+        assert_eq!(first, b.next_id());
+        assert_ne!(first, a.next_id(), "sequence numbers are monotonic");
+        assert_ne!(first, RunIdAllocator::seeded(8).next_id());
+
+        // On-disk allocation skips directories an earlier incarnation of
+        // the same allocator already claimed.
+        let root = std::env::temp_dir().join(format!("gest_runid_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let earlier = RunIdAllocator::seeded(7);
+        let (first_id, first_dir) = earlier.allocate_dir(&root).unwrap();
+        let restarted = RunIdAllocator::seeded(7);
+        let (second_id, second_dir) = restarted.allocate_dir(&root).unwrap();
+        assert_ne!(first_id, second_id);
+        assert_ne!(first_dir, second_dir);
+        assert!(first_dir.is_dir() && second_dir.is_dir());
+        fs::remove_dir_all(&root).unwrap();
     }
 }

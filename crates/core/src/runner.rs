@@ -42,6 +42,36 @@ fn sim_buckets() -> Buckets {
 /// evaluation slot through the dispatch cursor.
 type EvalSlot = OnceLock<Result<Evaluated<Gene>, GestError>>;
 
+/// What one [`GestRun::step`] call did — the contract that lets an
+/// external scheduler (e.g. `gest-serve`) multiplex many runs over one
+/// thread by repeatedly stepping each until `Budget`.
+///
+/// `Converged` is advisory: the generation ran and the budget still has
+/// room, but the search health reports a fitness plateau. A driver that
+/// wants byte-identical artifacts to `GestRun::run` must keep stepping
+/// through `Converged` until `Budget` (the blocking loop does exactly
+/// that); a scheduler may instead use it to deprioritize stalled runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One generation completed; budget remains and fitness is still
+    /// improving.
+    Progressed,
+    /// One generation completed and budget remains, but the convergence
+    /// history reports a plateau (see [`crate::health`]).
+    Converged,
+    /// The configured generation budget is exhausted. The call that
+    /// completes the final generation returns `Budget`; further calls
+    /// are no-ops that return `Budget` again.
+    Budget,
+}
+
+impl StepOutcome {
+    /// Whether the run has nothing left to do (`Budget`).
+    pub fn is_terminal(self) -> bool {
+        matches!(self, StepOutcome::Budget)
+    }
+}
+
 /// Final outcome of a GeST search.
 #[derive(Debug, Clone)]
 pub struct RunSummary {
@@ -744,6 +774,18 @@ impl GestRun {
         self.generation >= self.config.generations
     }
 
+    /// The run's output directory, when one is configured.
+    pub fn output_dir(&self) -> Option<&std::path::Path> {
+        self.writer.as_ref().map(OutputWriter::dir)
+    }
+
+    /// The FNV-1a fingerprint of the run's canonical `config.xml`
+    /// rendering — the key under which checkpoints and shared eval-cache
+    /// handles are matched.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fingerprint
+    }
+
     /// Materializes an individual's genes into a runnable program.
     pub fn materialize(&self, name: &str, genes: &[Gene]) -> Program {
         let body = gest_isa::InstructionPool::flatten(genes);
@@ -752,11 +794,19 @@ impl GestRun {
 
     /// Advances one generation: seeds on the first call, breeds afterwards;
     /// evaluates candidates in parallel; records history and outputs.
+    /// Returns what the step did (see [`StepOutcome`]); once the
+    /// generation budget is exhausted the call is a no-op returning
+    /// [`StepOutcome::Budget`]. Inspect the results through
+    /// [`GestRun::population`], [`GestRun::best`], and
+    /// [`GestRun::history`].
     ///
     /// # Errors
     ///
     /// Measurement/simulation errors; I/O errors when saving.
-    pub fn step(&mut self) -> Result<&Population<Gene>, GestError> {
+    pub fn step(&mut self) -> Result<StepOutcome, GestError> {
+        if self.is_complete() {
+            return Ok(StepOutcome::Budget);
+        }
         let run_id = self.run_span.as_ref().and_then(SpanGuard::id);
         let generation_span = self.telemetry.span_under(
             run_id,
@@ -788,6 +838,7 @@ impl GestRun {
                 self.best = Some(best.clone());
             }
         }
+        let report = health::report(self.generation, &population, &self.history);
         if self.telemetry.is_enabled() {
             if let Some(best) = population.best() {
                 self.telemetry.point(
@@ -806,7 +857,7 @@ impl GestRun {
                     ],
                 );
             }
-            self.emit_health(&population);
+            self.emit_health(&population, &report);
         }
         if let Some(writer) = &self.writer {
             let _save_span = self.telemetry.span("save");
@@ -824,7 +875,13 @@ impl GestRun {
             }
         }
         drop(generation_span);
-        Ok(self.current.as_ref().expect("just assigned"))
+        Ok(if self.is_complete() {
+            StepOutcome::Budget
+        } else if report.plateaued {
+            StepOutcome::Converged
+        } else {
+            StepOutcome::Progressed
+        })
     }
 
     /// Emits the per-generation search-health snapshot (diversity, stall,
@@ -832,8 +889,7 @@ impl GestRun {
     /// `/status` scrape sees current values instead of only the
     /// end-of-run drain. Telemetry-only: nothing here is read back by the
     /// GA, so the evolved result is independent of whether it runs.
-    fn emit_health(&self, population: &Population<Gene>) {
-        let report = health::report(self.generation, population, &self.history);
+    fn emit_health(&self, population: &Population<Gene>, report: &health::HealthReport) {
         let mut fields: Vec<(&str, FieldValue)> = vec![
             ("generation", u64::from(report.generation).into()),
             ("diversity", report.diversity.into()),
@@ -990,9 +1046,11 @@ impl GestRun {
     ///
     /// Propagates the first error from any generation.
     pub fn run(mut self) -> Result<RunSummary, GestError> {
-        while self.generation < self.config.generations {
-            self.step()?;
-        }
+        // `Converged` is advisory (see [`StepOutcome`]): the blocking
+        // driver steps through plateaus until the budget is spent, which
+        // is what keeps its artifacts byte-identical to a scheduler that
+        // does the same.
+        while !self.step()?.is_terminal() {}
         self.finish();
         let best = self.best.expect("at least one generation ran");
         let best_program = {
@@ -1841,15 +1899,46 @@ mod tests {
         assert!(run.population().is_none());
         assert_eq!(run.generation(), 0);
         assert!(!run.is_complete());
-        let population = run.step().unwrap();
+        assert!(!run.step().unwrap().is_terminal());
+        let population = run.population().unwrap();
         assert_eq!(population.generation, 0);
         assert_eq!(population.len(), 6);
-        run.step().unwrap();
+        assert!(!run.step().unwrap().is_terminal());
         assert_eq!(run.population().unwrap().generation, 1);
         assert_eq!(run.history().summaries().len(), 2);
         assert_eq!(run.generation(), 2);
         assert_eq!(run.target_generations(), 3);
         assert!(run.best().is_some());
+    }
+
+    #[test]
+    fn step_outcomes_form_a_resumable_state_machine() {
+        // 3 configured generations: two non-terminal steps, then the
+        // budget-exhausting one, then no-ops forever after — with no
+        // state perturbed by the extra calls.
+        let mut run = build_run(tiny_config("cortex-a15", "power"));
+        assert!(!run.step().unwrap().is_terminal());
+        assert!(!run.step().unwrap().is_terminal());
+        assert_eq!(run.step().unwrap(), StepOutcome::Budget);
+        assert!(run.is_complete());
+        let best = run.best().unwrap().clone();
+        assert_eq!(run.step().unwrap(), StepOutcome::Budget);
+        assert_eq!(run.generation(), 3);
+        assert_eq!(run.history().summaries().len(), 3);
+        assert_eq!(
+            run.best().unwrap().fitness.to_bits(),
+            best.fitness.to_bits()
+        );
+
+        // Step-driven and blocking-loop drivers agree bit for bit.
+        let stepped_best = run.best().unwrap().clone();
+        run.finish();
+        let blocking = build_run(tiny_config("cortex-a15", "power")).run().unwrap();
+        assert_eq!(blocking.best.genes, stepped_best.genes);
+        assert_eq!(
+            blocking.best.fitness.to_bits(),
+            stepped_best.fitness.to_bits()
+        );
     }
 
     #[test]
@@ -2294,7 +2383,8 @@ mod tests {
         let mut seeded_cfg = tiny_config("cortex-a15", "power");
         seeded_cfg.seed_population = Some(files.last().unwrap().clone());
         let mut seeded = build_run(seeded_cfg);
-        let first = seeded.step().unwrap();
+        seeded.step().unwrap();
+        let first = seeded.population().unwrap();
         assert!(
             first.best().unwrap().fitness >= summary.best.fitness * 0.99,
             "seeded run should start near the previous best"

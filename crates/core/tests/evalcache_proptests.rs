@@ -27,7 +27,8 @@ fn evaluate(machine: &str, seed: u64, cache: bool) -> Vec<(u32, u64, u64, Vec<u6
         .unwrap();
     let mut rows = Vec::new();
     while !run.is_complete() {
-        let population = run.step().unwrap();
+        run.step().unwrap();
+        let population = run.population().unwrap();
         for individual in &population.individuals {
             rows.push((
                 population.generation,

@@ -4,12 +4,17 @@
 //!
 //! ```text
 //! gest run <config.xml> [--trace[=PATH]] [--progress] [--checkpoint-every=N]
-//!          [--no-eval-cache]        run a GA search from a main configuration
+//!          [--no-eval-cache] [--dir=PATH]
+//!                                  run a GA search from a main configuration
 //! gest resume <output_dir> [--trace[=PATH]] [--progress] [--no-eval-cache]
 //!                                  continue a checkpointed run after a crash
+//! gest serve --listen=ADDR [--workers=A,B] [--max-active=N] [--state-dir=PATH]
+//!                                  multi-tenant search service: POST configs to
+//!                                  /runs, stream progress via SSE, fetch
+//!                                  artifacts; SIGTERM checkpoints active runs
 //! gest worker --listen=ADDR [--once]
 //!                                  serve measurements to a remote `gest run`;
-//!                                  `run`/`resume` take --workers=ADDR,ADDR
+//!                                  `run`/`resume`/`serve` take --workers=ADDR,ADDR
 //!                                  to evaluate on such workers
 //! gest report <run_trace.jsonl>    summarize a trace: phases, slow candidates,
 //!                                  operator mix, cache, convergence vs wall-clock
@@ -27,14 +32,15 @@
 
 use gest::chaos::{run_soak, SoakOptions};
 use gest::core::{
-    stats, GestConfig, GestError, GestRun, LocalBackend, PoolGenetics, Registry, SavedPopulation,
-    SurrogateMode, SurrogateOptions,
+    stats, EvalBackend, GestConfig, GestError, GestRun, LocalBackend, PoolGenetics, Registry,
+    RunIdAllocator, SavedPopulation, StepOutcome, SurrogateMode, SurrogateOptions,
 };
 use gest::dist::{hostname, Coordinator, CoordinatorOptions, Worker};
 use gest::ga::GaEngine;
 use gest::isa::InstrClass;
 use gest::obs::top::{run_top, TopOptions};
 use gest::obs::{ObsSink, StatusServer};
+use gest::serve::{ServeOptions, ServeServer};
 use gest::sim::{MachineConfig, RunConfig, Simulator};
 use gest::telemetry::json::Value;
 use gest::telemetry::{ConsoleSink, Event, JsonlSink, MultiSink, Sink, Telemetry};
@@ -59,6 +65,7 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("machines") => cmd_machines(),
         Some("workloads") => cmd_workloads(args.get(1).map(String::as_str)),
@@ -90,6 +97,9 @@ fn print_usage() {
          --progress                     live per-generation progress on stderr\n    \
          --checkpoint-every=N           write a resumable checkpoint every N generations\n    \
          --no-eval-cache                disable the content-addressed result cache\n    \
+         --dir=PATH                     output directory (beats the config's\n                                   \
+         <output dir=...>; with neither, a fresh\n                                   \
+         directory under ./gest_runs is allocated)\n    \
          --lane-width=N                 batch N candidates per simulator call\n                                   \
          (wall-clock only; results are identical)\n    \
          --surrogate=off|screen         surrogate screening: simulate only the\n                                   \
@@ -122,6 +132,13 @@ fn print_usage() {
          --once                         print one frame and exit\n  \
          gest worker --listen=ADDR        serve measurements to a remote `gest run`\n    \
          --once                         exit after serving one coordinator session\n  \
+         gest serve --listen=ADDR         multi-tenant search service (REST + SSE)\n    \
+         --workers=ADDR,ADDR            lease remote workers to one resident run\n    \
+         --max-active=N                 resident-run budget; extra runs wait as\n                                   \
+         checkpoints on disk (default 4)\n    \
+         --state-dir=PATH               run index + allocated run directories\n                                   \
+         (default ./gest_serve)\n    \
+         --id-seed=N                    seed for the run-id sequence\n  \
          gest chaos --seed=S --faults=K   fault-injection soak: a checkpointed,\n                                   \
          distributed, cached run under K seeded faults\n                                   \
          must match the fault-free run byte-for-byte\n    \
@@ -157,6 +174,7 @@ struct SearchFlags {
     positional: Option<String>,
     trace: Option<Option<String>>,
     progress: bool,
+    dir: Option<PathBuf>,
     checkpoint_every: Option<u32>,
     no_eval_cache: bool,
     lane_width: Option<usize>,
@@ -259,6 +277,16 @@ fn parse_search_flags(args: &[String], allow_checkpoint: bool) -> Result<SearchF
                 ));
             }
             flags.local_fallback_after = Some(after);
+        } else if let Some(path) = arg.strip_prefix("--dir=") {
+            if !allow_checkpoint {
+                return Err(GestError::Config(format!(
+                    "{arg:?} only applies to `gest run` (resume's directory is positional)"
+                )));
+            }
+            if path.is_empty() {
+                return Err(GestError::Config("--dir needs a path".into()));
+            }
+            flags.dir = Some(PathBuf::from(path));
         } else if let Some(n) = arg.strip_prefix("--checkpoint-every=") {
             if !allow_checkpoint {
                 return Err(GestError::Config(format!(
@@ -390,13 +418,19 @@ fn start_status_server(
 /// finishes telemetry and prints the best result.
 fn drive(mut run: GestRun) -> Result<(), GestError> {
     while !run.is_complete() {
-        let population = run.step()?;
+        let outcome = run.step()?;
+        let population = run.population().expect("population exists after a step");
         let best = population.best().expect("non-empty population");
         eprintln!(
-            "generation {:>4}: best fitness {:.5} (mean {:.5})",
+            "generation {:>4}: best fitness {:.5} (mean {:.5}){}",
             population.generation,
             best.fitness,
-            population.mean_fitness()
+            population.mean_fitness(),
+            if outcome == StepOutcome::Converged {
+                " [plateau]"
+            } else {
+                ""
+            }
         );
     }
     run.finish();
@@ -494,6 +528,88 @@ fn cmd_worker(args: &[String]) -> Result<(), GestError> {
     worker.run().map_err(GestError::from)
 }
 
+/// `gest serve`: the multi-tenant search service. Runs until SIGTERM or
+/// ctrl-c, then checkpoints every active run so the next `gest serve`
+/// over the same state directory resumes them bit-exactly.
+fn cmd_serve(args: &[String]) -> Result<(), GestError> {
+    let mut listen: Option<String> = None;
+    let mut workers: Vec<String> = Vec::new();
+    let mut state_dir = PathBuf::from("gest_serve");
+    let mut max_active: usize = 4;
+    let mut id_seed: u64 = 0;
+    for arg in args {
+        if let Some(addr) = arg.strip_prefix("--listen=") {
+            listen = Some(addr.to_string());
+        } else if let Some(list) = arg.strip_prefix("--workers=") {
+            workers = list
+                .split(',')
+                .map(str::trim)
+                .filter(|addr| !addr.is_empty())
+                .map(str::to_string)
+                .collect();
+            if workers.is_empty() {
+                return Err(GestError::Config(
+                    "--workers needs at least one host:port address".into(),
+                ));
+            }
+        } else if let Some(path) = arg.strip_prefix("--state-dir=") {
+            state_dir = PathBuf::from(path);
+        } else if let Some(n) = arg.strip_prefix("--max-active=") {
+            max_active = n.parse().map_err(|_| {
+                GestError::Config(format!("bad --max-active {n:?} (want a number ≥ 1)"))
+            })?;
+            if max_active == 0 {
+                return Err(GestError::Config("--max-active must be at least 1".into()));
+            }
+        } else if let Some(n) = arg.strip_prefix("--id-seed=") {
+            id_seed = n
+                .parse()
+                .map_err(|_| GestError::Config(format!("bad --id-seed {n:?}")))?;
+        } else {
+            return Err(GestError::Config(format!("unknown serve flag {arg:?}")));
+        }
+    }
+    let listen = required(listen.as_deref(), "--listen=HOST:PORT")?.to_string();
+    let mut options = ServeOptions::new(state_dir.clone());
+    options.max_active = max_active;
+    options.id_seed = id_seed;
+    if !workers.is_empty() {
+        options.fleet = Some(workers.join(","));
+        let fleet = workers.clone();
+        options.backend_factory = Some(Arc::new(move |config_xml: &str| {
+            let coordinator =
+                connect_workers(&fleet, config_xml.to_string(), Telemetry::disabled(), None)?
+                    .expect("non-empty worker list yields a coordinator");
+            Ok(coordinator as Arc<dyn EvalBackend>)
+        }));
+    }
+    gest::serve::install_signal_handlers();
+    let mut server = ServeServer::start(listen.as_str(), options)
+        .map_err(|e| GestError::Config(format!("cannot serve on {listen}: {e}")))?;
+    eprintln!(
+        "gest serve on http://{}/ — state in {}, up to {} resident run{}{}",
+        server.addr(),
+        state_dir.display(),
+        max_active,
+        if max_active == 1 { "" } else { "s" },
+        if workers.is_empty() {
+            String::new()
+        } else {
+            format!(", fleet {}", workers.join(","))
+        }
+    );
+    eprintln!(
+        "submit with: curl --data-binary @config.xml http://{}/runs",
+        server.addr()
+    );
+    while !gest::serve::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("shutdown signal received; checkpointing active runs");
+    server.shutdown();
+    Ok(())
+}
+
 /// `gest chaos`: the fault-injection soak. Runs the same small search
 /// twice — once clean, once distributed under a seeded fault plan with
 /// every chaos shim installed (and, when scheduled, the whole in-process
@@ -556,6 +672,20 @@ fn cmd_run(args: &[String]) -> Result<(), GestError> {
     let path = required(flags.positional.as_deref(), "path to config.xml")?;
     let text = std::fs::read_to_string(path)?;
     let mut config = GestConfig::from_xml_str(&text)?;
+    // Output directory precedence: --dir beats the configuration's
+    // <output dir=...>; when neither names one, allocate a fresh
+    // directory under ./gest_runs so artifacts are never silently lost.
+    if let Some(dir) = &flags.dir {
+        config.output_dir = Some(dir.clone());
+    }
+    if config.output_dir.is_none() {
+        let (id, dir) = RunIdAllocator::from_entropy().allocate_dir(Path::new("gest_runs"))?;
+        eprintln!(
+            "no output directory configured; allocated {} (run id {id})",
+            dir.display()
+        );
+        config.output_dir = Some(dir);
+    }
     if let Some(every) = flags.checkpoint_every {
         if config.output_dir.is_none() {
             return Err(GestError::Config(

@@ -33,6 +33,10 @@
 //!   `/status` + `/trace` HTTP endpoint (`gest run --status-addr`) and
 //!   the `gest top` console dashboard, strictly read-only over the
 //!   search;
+//! * [`serve`] — the multi-tenant search service (`gest serve`): REST
+//!   run submission, SSE progress streams, and a resumable
+//!   generation-step scheduler multiplexing runs with checkpoint-backed
+//!   eviction;
 //! * [`xml`] — the minimal XML parser behind the configuration files.
 //!
 //! # Quick start
@@ -66,6 +70,7 @@ pub use gest_dist as dist;
 pub use gest_ga as ga;
 pub use gest_isa as isa;
 pub use gest_obs as obs;
+pub use gest_serve as serve;
 pub use gest_sim as sim;
 pub use gest_telemetry as telemetry;
 pub use gest_workloads as workloads;

@@ -3,12 +3,15 @@
 //! `gest top` and the tests.
 //!
 //! Request parsing is hand-rolled in the same spirit as the `GESTDST1`
-//! frame codec: total over arbitrary bytes, bounded (8 KiB of headers),
-//! and malformed input gets a `400` response — never a panic. Only
-//! `GET` is served; every response closes the connection, so there is no
-//! keep-alive state machine to get wrong. One thread accepts, one short-
-//! lived thread serves each connection — scrape traffic is a few
-//! requests per second, not a web workload.
+//! frame codec: total over arbitrary bytes, bounded (8 KiB of headers,
+//! 1 MiB of body), and malformed input gets a `400` response — never a
+//! panic. The parser ([`read_http_request`]) is shared with
+//! `gest-serve`, whose REST API needs `POST`/`DELETE` and
+//! `Content-Length`-driven bodies; the status endpoint itself still
+//! serves only `GET`. Every response closes the connection, so there is
+//! no keep-alive state machine to get wrong. One thread accepts, one
+//! short-lived thread serves each connection — scrape and control
+//! traffic is a few requests per second, not a web workload.
 
 use crate::{prom, ObsSink};
 use gest_telemetry::Telemetry;
@@ -20,9 +23,14 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Upper bound on a request head (request line + headers). Anything
-/// longer is rejected as malformed — real scrapers send a few hundred
-/// bytes.
-const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// longer is rejected as malformed — real clients send a few hundred
+/// bytes of headers.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Upper bound on a request body — sized for realistic config-XML
+/// uploads (a large instruction pool renders to tens of KiB). Anything
+/// longer earns a `413 Payload Too Large`.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
 /// Per-connection socket timeout: a stalled or byte-dribbling client
 /// gets cut off instead of pinning a handler thread.
@@ -114,72 +122,135 @@ impl Drop for StatusServer {
     }
 }
 
-/// What request parsing decided.
-enum Request {
-    Get(String),
-    /// Syntactically broken input (response: 400).
-    Malformed,
-    /// Valid HTTP but a method we do not serve (response: 405).
-    BadMethod,
+/// A successfully parsed HTTP/1.1 request: method, split target, and the
+/// `Content-Length`-delimited body (empty when the header is absent).
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// The request method, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The target path with any query string stripped.
+    pub path: String,
+    /// The query string after `?`, when present.
+    pub query: Option<String>,
+    /// The request body, `Content-Length` bytes of it.
+    pub body: Vec<u8>,
 }
 
-/// Reads and parses one request head from the stream. Total: any byte
-/// sequence maps to a `Request`; I/O errors (including timeouts) map to
-/// `None`, which drops the connection without a response.
-fn read_request(stream: &mut TcpStream) -> Option<Request> {
+/// What request parsing decided.
+#[derive(Debug)]
+pub enum ParsedRequest {
+    /// A well-formed request.
+    Request(HttpRequest),
+    /// Syntactically broken input or an oversized head (response: 400).
+    Malformed,
+    /// Valid HTTP whose declared body exceeds [`MAX_BODY_BYTES`]
+    /// (response: 413).
+    TooLarge,
+}
+
+/// Reads and parses one request (head + `Content-Length` body) from the
+/// stream. Total: any byte sequence maps to a [`ParsedRequest`]; I/O
+/// errors (including timeouts) map to `None`, which callers treat as
+/// "drop the connection without a response". Shared by the status
+/// endpoint and `gest-serve` — the route tables differ, the wire
+/// handling must not.
+pub fn read_http_request(stream: &mut TcpStream) -> Option<ParsedRequest> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    loop {
-        // Stop as soon as the head is complete; bodies are ignored (GET).
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
-            break;
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
         }
-        if buf.len() >= MAX_REQUEST_BYTES {
-            return Some(Request::Malformed);
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Some(ParsedRequest::Malformed);
         }
         match stream.read(&mut chunk) {
-            Ok(0) => break, // EOF: parse whatever arrived.
+            Ok(0) => {
+                // EOF before the head completed: parse whatever arrived.
+                break buf.len();
+            }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(_) => return None,
         }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let request_line = head.lines().next().unwrap_or("");
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ');
     let (method, target, version) = (parts.next(), parts.next(), parts.next());
     let (Some(method), Some(target), Some(version)) = (method, target, version) else {
-        return Some(Request::Malformed);
+        return Some(ParsedRequest::Malformed);
     };
     if parts.next().is_some() || !version.starts_with("HTTP/1.") || !target.starts_with('/') {
-        return Some(Request::Malformed);
+        return Some(ParsedRequest::Malformed);
     }
-    if method != "GET" {
-        return Some(Request::BadMethod);
+    let mut content_length: usize = 0;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let Ok(length) = value.trim().parse::<usize>() else {
+                return Some(ParsedRequest::Malformed);
+            };
+            content_length = length;
+        } else if name.trim().eq_ignore_ascii_case("transfer-encoding") {
+            // No chunked support: a body without a declared length
+            // cannot be framed, so reject rather than misread it.
+            return Some(ParsedRequest::Malformed);
+        }
     }
-    // Strip any query string; routes carry no parameters.
-    let path = target.split('?').next().unwrap_or(target);
-    Some(Request::Get(path.to_string()))
+    if content_length > MAX_BODY_BYTES {
+        return Some(ParsedRequest::TooLarge);
+    }
+    let mut body = buf[head_end..].to_vec();
+    body.truncate(content_length);
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Some(ParsedRequest::Malformed), // truncated body
+            Ok(n) => {
+                let want = content_length - body.len();
+                body.extend_from_slice(&chunk[..n.min(want)]);
+            }
+            Err(_) => return None,
+        }
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), Some(query.to_string())),
+        None => (target.to_string(), None),
+    };
+    Some(ParsedRequest::Request(HttpRequest {
+        method: method.to_string(),
+        path,
+        query,
+        body,
+    }))
 }
 
-fn write_response(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+/// Writes one `Connection: close` HTTP/1.1 response. Best-effort: the
+/// peer may already have hung up, so write errors are swallowed.
+pub fn write_http_response(stream: &mut TcpStream, status: &str, content_type: &str, body: &[u8]) {
     let header = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
-    // Best-effort: the scraper may already have hung up.
     let _ = stream.write_all(header.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.write_all(body);
     let _ = stream.flush();
+}
+
+fn write_response(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    write_http_response(stream, status, content_type, body.as_bytes());
 }
 
 fn serve_connection(mut stream: TcpStream, telemetry: &Telemetry, obs: &ObsSink) {
     let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    let Some(request) = read_request(&mut stream) else {
+    let Some(request) = read_http_request(&mut stream) else {
         return;
     };
     match request {
-        Request::Malformed => {
+        ParsedRequest::Malformed => {
             write_response(
                 &mut stream,
                 "400 Bad Request",
@@ -187,7 +258,15 @@ fn serve_connection(mut stream: TcpStream, telemetry: &Telemetry, obs: &ObsSink)
                 "bad request\n",
             );
         }
-        Request::BadMethod => {
+        ParsedRequest::TooLarge => {
+            write_response(
+                &mut stream,
+                "413 Payload Too Large",
+                "text/plain",
+                "request body exceeds the 1 MiB cap\n",
+            );
+        }
+        ParsedRequest::Request(request) if request.method != "GET" => {
             write_response(
                 &mut stream,
                 "405 Method Not Allowed",
@@ -195,7 +274,7 @@ fn serve_connection(mut stream: TcpStream, telemetry: &Telemetry, obs: &ObsSink)
                 "only GET is supported\n",
             );
         }
-        Request::Get(path) => match path.as_str() {
+        ParsedRequest::Request(request) => match request.path.as_str() {
             "/metrics" => {
                 let body = prom::render_metrics(&telemetry.metrics_events(), telemetry.uptime_us());
                 write_response(
@@ -238,6 +317,25 @@ fn serve_connection(mut stream: TcpStream, telemetry: &Telemetry, obs: &ObsSink)
 ///
 /// Connection/socket errors, or a response that is not parseable HTTP.
 pub fn http_get(addr: &str, path: &str, timeout: Duration) -> io::Result<(u16, String)> {
+    let (status, body) = http_request(addr, "GET", path, &[], timeout)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// One-shot HTTP request with an arbitrary method and body against
+/// `addr` (host:port), returning `(status_code, body_bytes)` — the
+/// client side of the `gest-serve` REST API (config-XML uploads, binary
+/// artifact downloads). Dependency-free by design.
+///
+/// # Errors
+///
+/// Connection/socket errors, or a response that is not parseable HTTP.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<(u16, Vec<u8>)> {
     let mut resolved = addr.to_socket_addrs()?;
     let target = resolved.next().ok_or_else(|| {
         io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
@@ -245,20 +343,26 @@ pub fn http_get(addr: &str, path: &str, timeout: Duration) -> io::Result<(u16, S
     let mut stream = TcpStream::connect_timeout(&target, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
     stream.write_all(request.as_bytes())?;
-    let mut response = String::new();
-    stream.read_to_string(&mut response)?;
-    let (head, body) = response
-        .split_once("\r\n\r\n")
+    stream.write_all(body)?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let separator = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body separator"))?;
+    let head = String::from_utf8_lossy(&response[..separator]);
     let status = head
         .lines()
         .next()
         .and_then(|line| line.split(' ').nth(1))
         .and_then(|code| code.parse::<u16>().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
-    Ok((status, body.to_string()))
+    Ok((status, response[separator + 4..].to_vec()))
 }
 
 #[cfg(test)]
@@ -338,10 +442,59 @@ mod tests {
         let _ = stream.read_to_string(&mut response);
         assert!(response.starts_with("HTTP/1.1 405"), "got {response:?}");
 
+        // A body over the 1 MiB cap is refused up front with 413 — the
+        // server never tries to buffer it.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(timeout)).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nContent-Length: 1048577\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(response.starts_with("HTTP/1.1 413"), "got {response:?}");
+
         // A connect-then-slam client leaves the server serving.
         drop(TcpStream::connect(addr).unwrap());
         let (code, _) = http_get(&addr.to_string(), "/metrics", timeout).unwrap();
         assert_eq!(code, 200);
+    }
+
+    #[test]
+    fn parser_reads_content_length_bodies() {
+        // A one-connection echo fixture for the shared parser.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let parsed = read_http_request(&mut stream).unwrap();
+            let ParsedRequest::Request(request) = parsed else {
+                panic!("want a request, got {parsed:?}");
+            };
+            write_http_response(
+                &mut stream,
+                "200 OK",
+                "application/octet-stream",
+                &request.body,
+            );
+            request
+        });
+        // Body split across writes: the parser must keep reading past the
+        // head until Content-Length bytes arrived.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /runs?priority=2 HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello")
+            .unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        stream.write_all(b" world").unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        let request = server.join().unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/runs");
+        assert_eq!(request.query.as_deref(), Some("priority=2"));
+        assert_eq!(request.body, b"hello world");
+        assert!(response.ends_with(b"hello world"));
     }
 
     #[test]

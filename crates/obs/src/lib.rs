@@ -29,7 +29,10 @@ pub mod http;
 pub mod prom;
 pub mod top;
 
-pub use http::{http_get, StatusServer};
+pub use http::{
+    http_get, http_request, read_http_request, write_http_response, HttpRequest, ParsedRequest,
+    StatusServer, MAX_BODY_BYTES, MAX_HEAD_BYTES,
+};
 
 use gest_telemetry::json::Value;
 use gest_telemetry::{Event, FieldValue, Sink, Telemetry};

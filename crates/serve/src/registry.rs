@@ -1,0 +1,345 @@
+//! The run registry: the in-memory table of every submitted run plus its
+//! on-disk mirror, which is what lets a restarted server pick up exactly
+//! where the killed one stopped.
+//!
+//! Persistence is two-level. `serve_index.json` in the service state
+//! directory lists every run id with its directory (runs may live
+//! outside the state directory when the submitted configuration names an
+//! `<output dir=...>`). Each run directory then carries a
+//! `serve_run.json` manifest with the run's last persisted state,
+//! priority, and canonical configuration XML — enough to rebuild the
+//! registry entry and, together with the run's checkpoint, the search
+//! itself.
+
+use gest_core::GestError;
+use gest_telemetry::json::Value;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Name of the per-run manifest inside a run directory.
+pub const RUN_MANIFEST_FILE: &str = "serve_run.json";
+
+/// Name of the run index inside the service state directory.
+pub const INDEX_FILE: &str = "serve_index.json";
+
+/// Lifecycle state of a submitted run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// Submitted, not yet scheduled (or rehydrating after a restart).
+    Pending,
+    /// The scheduler is advancing it (possibly evicted to its checkpoint
+    /// between slices).
+    Running,
+    /// All configured generations completed.
+    Done,
+    /// A step failed; see [`RunEntry::error`].
+    Failed,
+    /// Cancelled via `DELETE /runs/{id}`.
+    Cancelled,
+}
+
+impl RunState {
+    /// Whether the scheduler has nothing left to do for this run.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            RunState::Done | RunState::Failed | RunState::Cancelled
+        )
+    }
+
+    fn parse(text: &str) -> Option<RunState> {
+        Some(match text {
+            "pending" => RunState::Pending,
+            "running" => RunState::Running,
+            "done" => RunState::Done,
+            "failed" => RunState::Failed,
+            "cancelled" => RunState::Cancelled,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RunState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RunState::Pending => "pending",
+            RunState::Running => "running",
+            RunState::Done => "done",
+            RunState::Failed => "failed",
+            RunState::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// One submitted run as the registry tracks it.
+#[derive(Debug, Clone)]
+pub struct RunEntry {
+    /// Service-unique run id (allocated by [`gest_core::RunIdAllocator`]).
+    pub id: String,
+    /// The run's output directory (artifacts, checkpoint, trace,
+    /// manifest all live here).
+    pub dir: PathBuf,
+    /// Canonical configuration XML (the exact text a fresh activation
+    /// parses, and whose fingerprint keys the shared eval cache).
+    pub config_xml: String,
+    /// Steps granted per scheduling round (≥ 1).
+    pub priority: u32,
+    /// Current lifecycle state.
+    pub state: RunState,
+    /// Generations completed so far.
+    pub generation: u32,
+    /// Configured generation budget.
+    pub target_generations: u32,
+    /// Best measured fitness so far, if any generation completed.
+    pub best_fitness: Option<f64>,
+    /// Whether the latest step reported a fitness plateau
+    /// ([`gest_core::StepOutcome::Converged`]).
+    pub converged: bool,
+    /// Failure description when [`RunState::Failed`].
+    pub error: Option<String>,
+    /// Set by `DELETE /runs/{id}`; the scheduler finalizes the
+    /// cancellation at the next slice boundary.
+    pub cancel_requested: bool,
+}
+
+impl RunEntry {
+    /// A fresh entry for a just-submitted run.
+    pub fn new(
+        id: String,
+        dir: PathBuf,
+        config_xml: String,
+        priority: u32,
+        target_generations: u32,
+    ) -> RunEntry {
+        RunEntry {
+            id,
+            dir,
+            config_xml,
+            priority,
+            state: RunState::Pending,
+            generation: 0,
+            target_generations,
+            best_fitness: None,
+            converged: false,
+            error: None,
+            cancel_requested: false,
+        }
+    }
+
+    /// The entry's status document, served by `GET /runs` and
+    /// `GET /runs/{id}`.
+    pub fn status_json(&self) -> Value {
+        Value::Obj(vec![
+            ("id".into(), Value::Str(self.id.clone())),
+            ("state".into(), Value::Str(self.state.to_string())),
+            ("generation".into(), Value::Num(f64::from(self.generation))),
+            (
+                "target_generations".into(),
+                Value::Num(f64::from(self.target_generations)),
+            ),
+            (
+                "best_fitness".into(),
+                self.best_fitness.map_or(Value::Null, Value::Num),
+            ),
+            ("converged".into(), Value::Bool(self.converged)),
+            ("priority".into(), Value::Num(f64::from(self.priority))),
+            ("dir".into(), Value::Str(self.dir.display().to_string())),
+            (
+                "error".into(),
+                self.error.clone().map_or(Value::Null, Value::Str),
+            ),
+        ])
+    }
+
+    /// Writes the run's on-disk manifest (tmp + rename, so a crash
+    /// mid-write leaves the previous manifest in charge).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing into the run directory.
+    pub fn persist(&self) -> Result<(), GestError> {
+        let manifest = Value::Obj(vec![
+            ("id".into(), Value::Str(self.id.clone())),
+            ("state".into(), Value::Str(self.state.to_string())),
+            ("priority".into(), Value::Num(f64::from(self.priority))),
+            ("generation".into(), Value::Num(f64::from(self.generation))),
+            (
+                "target_generations".into(),
+                Value::Num(f64::from(self.target_generations)),
+            ),
+            (
+                "best_fitness".into(),
+                self.best_fitness.map_or(Value::Null, Value::Num),
+            ),
+            (
+                "error".into(),
+                self.error.clone().map_or(Value::Null, Value::Str),
+            ),
+            ("config_xml".into(), Value::Str(self.config_xml.clone())),
+        ]);
+        let mut text = String::new();
+        manifest.write(&mut text);
+        text.push('\n');
+        atomic_write(&self.dir.join(RUN_MANIFEST_FILE), text.as_bytes())
+    }
+
+    /// Reads a run's manifest back from its directory.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or a manifest that does not parse as the expected
+    /// document (reported as [`GestError::Config`]).
+    pub fn load(dir: &Path) -> Result<RunEntry, GestError> {
+        let path = dir.join(RUN_MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path)?;
+        let bad = |what: &str| {
+            GestError::Config(format!("{}: missing or invalid {what}", path.display()))
+        };
+        let doc = Value::parse(text.trim())
+            .map_err(|e| GestError::Config(format!("{}: {e}", path.display())))?;
+        let id = doc
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("id"))?
+            .to_string();
+        let state = doc
+            .get("state")
+            .and_then(Value::as_str)
+            .and_then(RunState::parse)
+            .ok_or_else(|| bad("state"))?;
+        let priority = doc
+            .get("priority")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad("priority"))? as u32;
+        let generation = doc
+            .get("generation")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad("generation"))? as u32;
+        let target_generations = doc
+            .get("target_generations")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad("target_generations"))? as u32;
+        let best_fitness = doc.get("best_fitness").and_then(Value::as_f64);
+        let error = doc.get("error").and_then(Value::as_str).map(str::to_string);
+        let config_xml = doc
+            .get("config_xml")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("config_xml"))?
+            .to_string();
+        Ok(RunEntry {
+            id,
+            dir: dir.to_path_buf(),
+            config_xml,
+            priority: priority.max(1),
+            state,
+            generation,
+            target_generations,
+            best_fitness,
+            converged: false,
+            error,
+            cancel_requested: false,
+        })
+    }
+}
+
+/// Writes the state directory's run index: every id with its directory,
+/// in submission order.
+///
+/// # Errors
+///
+/// I/O errors writing into the state directory.
+pub fn save_index(state_dir: &Path, entries: &[RunEntry]) -> Result<(), GestError> {
+    let index = Value::Arr(
+        entries
+            .iter()
+            .map(|entry| {
+                Value::Obj(vec![
+                    ("id".into(), Value::Str(entry.id.clone())),
+                    ("dir".into(), Value::Str(entry.dir.display().to_string())),
+                ])
+            })
+            .collect(),
+    );
+    let mut text = String::new();
+    index.write(&mut text);
+    text.push('\n');
+    atomic_write(&state_dir.join(INDEX_FILE), text.as_bytes())
+}
+
+/// Reads the run index back; a missing index is an empty service.
+///
+/// # Errors
+///
+/// I/O errors other than the index not existing; an unparseable index
+/// (reported as [`GestError::Config`]).
+pub fn load_index(state_dir: &Path) -> Result<Vec<(String, PathBuf)>, GestError> {
+    let path = state_dir.join(INDEX_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let doc = Value::parse(text.trim())
+        .map_err(|e| GestError::Config(format!("{}: {e}", path.display())))?;
+    let Some(rows) = doc.as_arr() else {
+        return Err(GestError::Config(format!(
+            "{}: expected a JSON array",
+            path.display()
+        )));
+    };
+    let mut index = Vec::new();
+    for row in rows {
+        let (Some(id), Some(dir)) = (
+            row.get("id").and_then(Value::as_str),
+            row.get("dir").and_then(Value::as_str),
+        ) else {
+            return Err(GestError::Config(format!(
+                "{}: index rows need id and dir",
+                path.display()
+            )));
+        };
+        index.push((id.to_string(), PathBuf::from(dir)));
+    }
+    Ok(index)
+}
+
+/// Tmp-then-rename write, the same durability idiom checkpoints use.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), GestError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_and_index_round_trip() {
+        let dir = std::env::temp_dir().join(format!("gest_serve_reg_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut entry = RunEntry::new("r1".into(), dir.clone(), "<gest seed=\"1\"/>".into(), 3, 8);
+        entry.state = RunState::Running;
+        entry.generation = 5;
+        entry.best_fitness = Some(1.25);
+        entry.persist().unwrap();
+
+        let loaded = RunEntry::load(&dir).unwrap();
+        assert_eq!(loaded.id, "r1");
+        assert_eq!(loaded.state, RunState::Running);
+        assert_eq!(loaded.priority, 3);
+        assert_eq!(loaded.generation, 5);
+        assert_eq!(loaded.target_generations, 8);
+        assert_eq!(loaded.best_fitness, Some(1.25));
+        assert_eq!(loaded.config_xml, "<gest seed=\"1\"/>");
+
+        save_index(&dir, std::slice::from_ref(&entry)).unwrap();
+        let index = load_index(&dir).unwrap();
+        assert_eq!(index, vec![("r1".to_string(), dir.clone())]);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

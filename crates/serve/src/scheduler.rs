@@ -1,0 +1,329 @@
+//! The single-threaded run scheduler.
+//!
+//! One thread owns every resident [`GestRun`] and multiplexes them over
+//! the [`GestRun::step`] state machine: each scheduling slice advances
+//! one run by `priority` generations, slices rotate round-robin over the
+//! runnable runs, and once more runs are live than `max_active` allows,
+//! the least-recently-stepped resident is evicted — checkpointed to its
+//! directory and dropped — then rehydrated through the bit-exact resume
+//! path when its next slice comes up.
+//!
+//! Determinism: a run's search state never leaves its own `GestRun` (and
+//! its own directory while evicted), so interleaving cannot couple runs.
+//! The one shared structure, the eval-cache pool, is keyed by config
+//! fingerprint and content-addressed — a hit is bit-identical to a fresh
+//! evaluation, so sharing saves work without changing any run's result.
+
+use crate::registry::{RunEntry, RunState};
+use crate::{Shared, POLL_INTERVAL};
+use gest_core::{
+    config_fingerprint, EvalCache, GestConfig, GestError, GestRun, StepOutcome, CHECKPOINT_FILE,
+};
+use gest_telemetry::{JsonlSink, Sink, Telemetry};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Trace file every serve-managed run writes (the SSE source).
+pub const TRACE_FILE: &str = "run_trace.jsonl";
+
+/// A run currently holding live search state in memory.
+struct ResidentRun {
+    id: String,
+    run: GestRun,
+    /// The run's JSONL trace sink, flushed after every step so the SSE
+    /// tail sees events promptly.
+    sink: Arc<JsonlSink>,
+    /// Monotonic last-stepped stamp; the minimum is the eviction victim.
+    touched: u64,
+}
+
+/// Mutates one registry entry under the lock, then best-effort persists
+/// its manifest when `persist` is set.
+fn with_entry(shared: &Shared, id: &str, persist: bool, mutate: impl FnOnce(&mut RunEntry)) {
+    let mut runs = shared.lock_runs();
+    let Some(entry) = runs.iter_mut().find(|run| run.id == id) else {
+        return;
+    };
+    mutate(entry);
+    if persist {
+        if let Err(error) = entry.persist() {
+            eprintln!("gest serve: cannot persist manifest for {id}: {error}");
+        }
+    }
+}
+
+/// The scheduler thread body; returns when [`Shared::stop`] is set,
+/// after checkpointing every resident run.
+pub(crate) fn scheduler_loop(shared: &Arc<Shared>) {
+    let mut resident: Vec<ResidentRun> = Vec::new();
+    let mut caches: HashMap<u64, Arc<EvalCache>> = HashMap::new();
+    // Which resident run holds the factory (fleet) backend, if any: a
+    // worker serves one coordinator session at a time, so the fleet is a
+    // lease, not a pool.
+    let mut fleet_lease: Option<String> = None;
+    let mut clock: u64 = 0;
+    let mut cursor: usize = 0;
+
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            park_residents(shared, resident);
+            return;
+        }
+
+        // Finalize cancellations first: a cancelled run must stop
+        // consuming slices immediately.
+        let cancelled: Vec<String> = shared
+            .lock_runs()
+            .iter()
+            .filter(|run| run.cancel_requested && !run.state.is_terminal())
+            .map(|run| run.id.clone())
+            .collect();
+        for id in cancelled {
+            if let Some(index) = resident.iter().position(|r| r.id == id) {
+                let mut managed = resident.swap_remove(index);
+                if managed.run.generation() >= 1 {
+                    // Best-effort: leave a resumable checkpoint behind so
+                    // the work done so far is not lost to the cancel.
+                    if let Err(error) = managed.run.checkpoint_now() {
+                        eprintln!("gest serve: cancel checkpoint for {id} failed: {error}");
+                    }
+                }
+                managed.run.finish();
+                managed.sink.flush();
+                release_lease(&mut fleet_lease, &id);
+            }
+            with_entry(shared, &id, true, |entry| entry.state = RunState::Cancelled);
+        }
+
+        // Pick the next runnable run, round-robin.
+        let next = {
+            let runs = shared.lock_runs();
+            let runnable: Vec<(String, u32)> = runs
+                .iter()
+                .filter(|run| !run.state.is_terminal() && !run.cancel_requested)
+                .map(|run| (run.id.clone(), run.priority))
+                .collect();
+            if runnable.is_empty() {
+                // Idle: wait for a submission/cancel/stop, bounded so the
+                // stop flag is polled even if a wakeup is lost.
+                let _ = shared.wake.wait_timeout(runs, POLL_INTERVAL);
+                continue;
+            }
+            let pick = runnable[cursor % runnable.len()].clone();
+            cursor = cursor.wrapping_add(1);
+            pick
+        };
+        let (id, priority) = next;
+
+        // Make the run resident, evicting the least-recently-stepped one
+        // if the residency budget is full.
+        if !resident.iter().any(|r| r.id == id) {
+            while resident.len() >= shared.options.max_active {
+                let victim = resident
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, r)| r.touched)
+                    .map(|(index, _)| index)
+                    .expect("resident is non-empty");
+                evict(shared, resident.swap_remove(victim), &mut fleet_lease);
+            }
+            match activate(shared, &id, &mut caches, &mut fleet_lease) {
+                Ok(mut managed) => {
+                    clock += 1;
+                    managed.touched = clock;
+                    with_entry(shared, &id, true, |entry| entry.state = RunState::Running);
+                    resident.push(managed);
+                }
+                Err(error) => {
+                    eprintln!("gest serve: cannot activate run {id}: {error}");
+                    with_entry(shared, &id, true, |entry| {
+                        entry.state = RunState::Failed;
+                        entry.error = Some(error.to_string());
+                    });
+                    continue;
+                }
+            }
+        }
+        let slot = resident
+            .iter()
+            .position(|r| r.id == id)
+            .expect("just activated");
+        clock += 1;
+        resident[slot].touched = clock;
+
+        // The slice: `priority` generations, ending early on budget
+        // exhaustion, error, cancel, or shutdown.
+        let mut finished = false;
+        for _ in 0..priority.max(1) {
+            if shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let cancel = shared
+                .lock_runs()
+                .iter()
+                .find(|run| run.id == id)
+                .is_some_and(|run| run.cancel_requested);
+            if cancel {
+                break;
+            }
+            let managed = &mut resident[slot];
+            match managed.run.step() {
+                Ok(outcome) => {
+                    managed.sink.flush();
+                    let generation = managed.run.generation();
+                    let best = managed.run.best().map(|best| best.fitness);
+                    with_entry(shared, &id, false, |entry| {
+                        entry.generation = generation;
+                        entry.best_fitness = best;
+                        entry.converged = outcome == StepOutcome::Converged;
+                    });
+                    if outcome.is_terminal() {
+                        finished = true;
+                        break;
+                    }
+                }
+                Err(error) => {
+                    eprintln!("gest serve: run {id} failed: {error}");
+                    let mut managed = resident.swap_remove(slot);
+                    managed.run.finish();
+                    managed.sink.flush();
+                    release_lease(&mut fleet_lease, &id);
+                    with_entry(shared, &id, true, |entry| {
+                        entry.state = RunState::Failed;
+                        entry.error = Some(error.to_string());
+                    });
+                    finished = true;
+                    break;
+                }
+            }
+        }
+        if finished {
+            if let Some(index) = resident.iter().position(|r| r.id == id) {
+                let mut managed = resident.swap_remove(index);
+                managed.run.finish();
+                managed.sink.flush();
+                release_lease(&mut fleet_lease, &id);
+                with_entry(shared, &id, true, |entry| entry.state = RunState::Done);
+            }
+        }
+    }
+}
+
+/// Graceful shutdown: checkpoint every resident run (so a restarted
+/// server resumes bit-exactly) and persist its manifest as still
+/// running.
+fn park_residents(shared: &Shared, resident: Vec<ResidentRun>) {
+    for managed in resident {
+        let id = managed.id.clone();
+        if managed.run.generation() >= 1 {
+            if let Err(error) = managed.run.checkpoint_now() {
+                eprintln!(
+                    "gest serve: shutdown checkpoint for {id} failed: {error}; \
+                     the run will restart from its last durable checkpoint"
+                );
+            }
+        }
+        managed.sink.flush();
+        // No `finish()`: shutdown pauses the run, the restarted server
+        // appends to the same trace.
+        drop(managed);
+        with_entry(shared, &id, true, |entry| entry.state = RunState::Running);
+    }
+}
+
+/// Eviction: checkpoint to the run directory, persist the manifest, drop
+/// the live state. The run rehydrates through [`GestRun::resume`]'s
+/// bit-exact path at its next slice.
+fn evict(shared: &Shared, managed: ResidentRun, fleet_lease: &mut Option<String>) {
+    let id = managed.id.clone();
+    if let Err(error) = managed.run.checkpoint_now() {
+        // A run that cannot persist its resume point cannot be evicted
+        // safely; failing it loudly beats silently restarting it later.
+        eprintln!("gest serve: eviction checkpoint for {id} failed: {error}");
+        with_entry(shared, &id, true, |entry| {
+            entry.state = RunState::Failed;
+            entry.error = Some(format!("eviction checkpoint failed: {error}"));
+        });
+        release_lease(fleet_lease, &id);
+        return;
+    }
+    managed.sink.flush();
+    release_lease(fleet_lease, &id);
+    with_entry(shared, &id, true, |entry| entry.converged = false);
+}
+
+fn release_lease(fleet_lease: &mut Option<String>, id: &str) {
+    if fleet_lease.as_deref() == Some(id) {
+        *fleet_lease = None;
+    }
+}
+
+/// Builds the live [`GestRun`] for an entry: the bit-exact resume path
+/// when the directory holds a checkpoint, a fresh build from the stored
+/// canonical XML otherwise (a kill before the first checkpoint restarts
+/// from generation 0 and deterministically rewrites the same artifacts).
+fn activate(
+    shared: &Shared,
+    id: &str,
+    caches: &mut HashMap<u64, Arc<EvalCache>>,
+    fleet_lease: &mut Option<String>,
+) -> Result<ResidentRun, GestError> {
+    let entry = shared
+        .lock_runs()
+        .iter()
+        .find(|run| run.id == id)
+        .cloned()
+        .ok_or_else(|| GestError::Config(format!("run {id} vanished from the registry")))?;
+    std::fs::create_dir_all(&entry.dir)?;
+    let config = GestConfig::from_xml_str(&entry.config_xml)?;
+    let resume = entry.dir.join(CHECKPOINT_FILE).exists();
+    let trace = entry.dir.join(TRACE_FILE);
+    let sink = Arc::new(if resume {
+        JsonlSink::append(&trace)?
+    } else {
+        JsonlSink::create(&trace)?
+    });
+    let telemetry = Telemetry::new(Arc::clone(&sink) as Arc<dyn Sink>);
+
+    // The shared eval cache for this configuration fingerprint: warm if
+    // any earlier activation of the same config populated it.
+    let fingerprint = config_fingerprint(&config.to_xml().to_string());
+    let cache = Arc::clone(
+        caches
+            .entry(fingerprint)
+            .or_insert_with(|| Arc::new(EvalCache::new(config.eval_cache_bytes, fingerprint))),
+    );
+
+    let mut builder = GestRun::builder()
+        .telemetry(telemetry)
+        .eval_cache_handle(cache);
+    builder = if resume {
+        builder.resume_from(&entry.dir)
+    } else {
+        builder.config(config)
+    };
+    if let Some(factory) = &shared.options.backend_factory {
+        if fleet_lease.is_none() {
+            match factory(&entry.config_xml) {
+                Ok(backend) => {
+                    builder = builder.eval_backend(backend);
+                    *fleet_lease = Some(id.to_string());
+                }
+                Err(error) => {
+                    eprintln!(
+                        "gest serve: fleet backend for {id} unavailable ({error}); \
+                         evaluating locally"
+                    );
+                }
+            }
+        }
+    }
+    let run = builder.build()?;
+    Ok(ResidentRun {
+        id: id.to_string(),
+        run,
+        sink,
+        touched: 0,
+    })
+}
