@@ -168,7 +168,7 @@ mod tests {
     fn faults_are_capped_per_candidate_and_queue_drains_in_order() {
         // A full-size plan covers every kind, so its backend
         // sub-schedule is exactly the three backend faults.
-        let plan = FaultPlan::generate(0, FaultKind::ALL.len());
+        let plan = FaultPlan::generate(0, FaultKind::DIST.len());
         let expected: Vec<FaultKind> = plan
             .for_layer(FaultLayer::Backend)
             .iter()
@@ -190,7 +190,7 @@ mod tests {
 
     #[test]
     fn injected_panic_is_contained_by_catch_measure() {
-        let plan = FaultPlan::generate(0, FaultKind::ALL.len());
+        let plan = FaultPlan::generate(0, FaultKind::DIST.len());
         let chaos =
             Arc::new(ChaosBackend::new(Arc::new(Probe), &plan, Telemetry::disabled()).hang_ms(1));
         // Drive candidates until every backend fault has fired; each

@@ -14,12 +14,32 @@
 //! * [`FaultKind::CorruptCacheRecord`] — the next sidecar write flips
 //!   one bit, breaking the final record's CRC; the v2 sidecar loader
 //!   drops exactly that record and keeps the rest.
+//!
+//! The serve seams ride the same decorator — `gest-serve` routes its
+//! registry manifests and every managed run's checkpoints through the
+//! service's `WriteFs`:
+//!
+//! * [`FaultKind::RegistryPersistEnospc`] — the next `serve_run.json`
+//!   manifest write fails with ENOSPC; the scheduler must record the
+//!   staleness in the entry and keep going;
+//! * [`FaultKind::RegistryPersistTorn`] — a `serve_run.json` write
+//!   tears (half the bytes, reported success);
+//! * [`FaultKind::ServeCheckpointEnospc`] — **two consecutive**
+//!   checkpoint manifest writes fail with ENOSPC, punching through
+//!   core's internal retry-once so the failure surfaces to the serve
+//!   scheduler's eviction-retry / transient-restart machinery.
 
 use crate::plan::{FaultKind, FaultPlan};
 use gest_core::{RealFs, WriteFs, CHECKPOINT_FILE, EVAL_CACHE_FILE};
+use gest_serve::registry::RUN_MANIFEST_FILE;
 use gest_telemetry::Telemetry;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// How many consecutive checkpoint writes
+/// [`FaultKind::ServeCheckpointEnospc`] fails: one more than core's
+/// internal retry, so the error escapes `checkpoint_now`.
+const SERVE_CHECKPOINT_ENOSPC_BURST: u32 = 2;
 
 /// A `WriteFs` decorator over [`RealFs`] that tears, rejects, or
 /// corrupts artifact writes according to the plan.
@@ -30,10 +50,14 @@ pub struct ChaosFs {
     torn_checkpoint: AtomicBool,
     disk_full: AtomicBool,
     corrupt_cache: AtomicBool,
+    registry_enospc: AtomicBool,
+    registry_torn: AtomicBool,
+    serve_checkpoint_enospc: AtomicU32,
 }
 
 impl ChaosFs {
-    /// Arms the persistence-layer faults present in `plan`.
+    /// Arms the persistence-layer faults present in `plan` (the serve
+    /// seams included, when the plan schedules them).
     pub fn new(plan: &FaultPlan, telemetry: Telemetry) -> ChaosFs {
         let armed = |kind| plan.faults().contains(&kind);
         ChaosFs {
@@ -42,15 +66,29 @@ impl ChaosFs {
             torn_checkpoint: AtomicBool::new(armed(FaultKind::TornCheckpointWrite)),
             disk_full: AtomicBool::new(armed(FaultKind::DiskFullOnSave)),
             corrupt_cache: AtomicBool::new(armed(FaultKind::CorruptCacheRecord)),
+            registry_enospc: AtomicBool::new(armed(FaultKind::RegistryPersistEnospc)),
+            registry_torn: AtomicBool::new(armed(FaultKind::RegistryPersistTorn)),
+            serve_checkpoint_enospc: AtomicU32::new(if armed(FaultKind::ServeCheckpointEnospc) {
+                SERVE_CHECKPOINT_ENOSPC_BURST
+            } else {
+                0
+            }),
         }
     }
 
     /// Persistence faults still armed.
     pub fn remaining(&self) -> usize {
-        [&self.torn_checkpoint, &self.disk_full, &self.corrupt_cache]
-            .iter()
-            .filter(|latch| latch.load(Ordering::SeqCst))
-            .count()
+        [
+            &self.torn_checkpoint,
+            &self.disk_full,
+            &self.corrupt_cache,
+            &self.registry_enospc,
+            &self.registry_torn,
+        ]
+        .iter()
+        .filter(|latch| latch.load(Ordering::SeqCst))
+        .count()
+            + usize::from(self.serve_checkpoint_enospc.load(Ordering::SeqCst) > 0)
     }
 
     fn fire(&self, kind: FaultKind, path: &Path) {
@@ -76,6 +114,31 @@ impl WriteFs for ChaosFs {
             if self.disk_full.swap(false, Ordering::SeqCst) {
                 self.fire(FaultKind::DiskFullOnSave, path);
                 return Err(std::io::Error::other("chaos: injected disk-full (ENOSPC)"));
+            }
+            // fetch_update: decrement while positive, atomically — the
+            // burst must fail exactly N writes even if two runs
+            // checkpoint concurrently.
+            let burst = self
+                .serve_checkpoint_enospc
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok();
+            if burst {
+                self.fire(FaultKind::ServeCheckpointEnospc, path);
+                return Err(std::io::Error::other(
+                    "chaos: injected serve-checkpoint disk-full (ENOSPC)",
+                ));
+            }
+        }
+        if name == RUN_MANIFEST_FILE {
+            if self.registry_enospc.swap(false, Ordering::SeqCst) {
+                self.fire(FaultKind::RegistryPersistEnospc, path);
+                return Err(std::io::Error::other(
+                    "chaos: injected registry disk-full (ENOSPC)",
+                ));
+            }
+            if self.registry_torn.swap(false, Ordering::SeqCst) {
+                self.fire(FaultKind::RegistryPersistTorn, path);
+                return self.inner.write_atomic(path, &bytes[..bytes.len() / 2]);
             }
         }
         if name == EVAL_CACHE_FILE && self.corrupt_cache.swap(false, Ordering::SeqCst) {
@@ -105,8 +168,9 @@ mod tests {
     #[test]
     fn each_persistence_fault_fires_exactly_once() {
         let dir = temp_dir("latch");
-        // A full-size plan arms all three persistence faults.
-        let plan = FaultPlan::generate(0, FaultKind::ALL.len());
+        // A full-size dist plan arms the three classic persistence
+        // faults (and none of the serve seams).
+        let plan = FaultPlan::generate(0, FaultKind::DIST.len());
         let fs = ChaosFs::new(&plan, Telemetry::disabled());
         assert_eq!(fs.remaining(), 3);
 
@@ -147,6 +211,43 @@ mod tests {
         let other = dir.join("population_0001.bin");
         fs.write_atomic(&other, &payload).unwrap();
         assert_eq!(std::fs::read(&other).unwrap(), payload);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_seam_faults_fire_on_registry_and_checkpoint_writes() {
+        let dir = temp_dir("serve_latch");
+        let plan = FaultPlan::generate_from(0, FaultKind::SERVE.len(), &FaultKind::SERVE);
+        let fs = ChaosFs::new(&plan, Telemetry::disabled());
+        // All serve seams armed, no classic persistence faults: the
+        // serve taxonomy excludes them.
+        assert_eq!(fs.remaining(), 3);
+
+        let payload = vec![0xCD; 64];
+
+        // Registry manifest: first write ENOSPC, second torn, later clean.
+        let manifest = dir.join(RUN_MANIFEST_FILE);
+        let err = fs.write_atomic(&manifest, &payload).unwrap_err();
+        assert!(err.to_string().contains("registry disk-full"), "{err}");
+        fs.write_atomic(&manifest, &payload).unwrap();
+        assert_eq!(std::fs::read(&manifest).unwrap().len(), 32, "torn write");
+        fs.write_atomic(&manifest, &payload).unwrap();
+        assert_eq!(std::fs::read(&manifest).unwrap(), payload);
+
+        // Checkpoint: a burst of two consecutive ENOSPC failures — one
+        // more than core's internal retry — then clean.
+        let checkpoint = dir.join(CHECKPOINT_FILE);
+        for attempt in 0..SERVE_CHECKPOINT_ENOSPC_BURST {
+            let err = fs.write_atomic(&checkpoint, &payload).unwrap_err();
+            assert!(
+                err.to_string().contains("serve-checkpoint disk-full"),
+                "attempt {attempt}: {err}"
+            );
+        }
+        fs.write_atomic(&checkpoint, &payload).unwrap();
+        assert_eq!(std::fs::read(&checkpoint).unwrap(), payload);
+
+        assert_eq!(fs.remaining(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -33,6 +33,14 @@
 //! checkpoint artifacts **byte-identical** to the fault-free same-seed
 //! run. Run it from the CLI with `gest chaos --seed=S --faults=K`.
 //!
+//! The [`serve`] module lifts the same discipline to the gest-serve
+//! service layer: a live server under serve-seam faults (a panic
+//! escaping `step()`, ENOSPC/torn writes on registry manifests and
+//! eviction checkpoints, measurement faults inside managed runs) must
+//! keep answering its API, land every faulted run in a documented
+//! terminal state, and complete every unaffected run byte-identical to
+//! its blocking reference. Run it with `gest chaos --serve --seed=S`.
+//!
 //! Every injection increments a `chaos.fault.<name>` telemetry counter
 //! before firing, so tests can assert which faults actually happened
 //! rather than trusting the schedule.
@@ -41,6 +49,7 @@ mod backend;
 mod fs;
 mod plan;
 mod rng;
+pub mod serve;
 pub mod soak;
 mod transport;
 
@@ -48,5 +57,8 @@ pub use backend::ChaosBackend;
 pub use fs::ChaosFs;
 pub use plan::{FaultKind, FaultLayer, FaultPlan};
 pub use rng::Xoshiro256;
+pub use serve::{
+    run_serve_soak, ServeRunOutcome, ServeSoakOptions, ServeSoakReport, StepPanicBackend,
+};
 pub use soak::{run_soak, SoakOptions, SoakReport};
 pub use transport::ChaosTransport;

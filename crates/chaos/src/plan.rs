@@ -12,8 +12,9 @@ use std::collections::VecDeque;
 use std::fmt;
 
 /// Every fault the chaos layer knows how to inject, spanning the three
-/// seams (evaluation backend, dist transport, write path) plus the one
-/// harness-level fault (killing worker processes).
+/// classic seams (evaluation backend, dist transport, write path), the
+/// one harness-level fault (killing worker processes), and the serve
+/// seams added with the gest-serve supervision layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// The measurement panics mid-flight (contained by
@@ -46,6 +47,22 @@ pub enum FaultKind {
     /// An eval-cache sidecar write flips a bit, corrupting the final
     /// record's CRC.
     CorruptCacheRecord,
+    /// A panic escapes `GestRun::step()` on the serve scheduler thread
+    /// (injected by panicking inside the backend's `slots()` hook, which
+    /// runs on the stepping thread outside `catch_measure`); the
+    /// scheduler must quarantine the run, not unwind.
+    StepPanic,
+    /// A serve registry manifest (`serve_run.json`) write fails with
+    /// ENOSPC; the scheduler must record the staleness, not crash.
+    RegistryPersistEnospc,
+    /// A serve registry manifest write tears: half the bytes land and
+    /// the writer is told it succeeded. Rehydration must skip the
+    /// unreadable manifest rather than wedge the service.
+    RegistryPersistTorn,
+    /// Two consecutive checkpoint writes of a serve-managed run fail
+    /// with ENOSPC — punching through core's internal retry-once so the
+    /// failure surfaces to the scheduler's eviction/restart machinery.
+    ServeCheckpointEnospc,
 }
 
 /// The seam a [`FaultKind`] is injected through.
@@ -60,11 +77,14 @@ pub enum FaultLayer {
     Fs,
     /// Executed by the soak harness itself (process-level).
     Harness,
+    /// Injected inside the serve scheduler's step path (the serve soak's
+    /// step-panic shim).
+    Serve,
 }
 
 impl FaultKind {
     /// Every fault kind, in declaration order.
-    pub const ALL: [FaultKind; 11] = [
+    pub const ALL: [FaultKind; 15] = [
         FaultKind::MeasurePanic,
         FaultKind::MeasureHang,
         FaultKind::NonFiniteMeasurement,
@@ -76,6 +96,41 @@ impl FaultKind {
         FaultKind::TornCheckpointWrite,
         FaultKind::DiskFullOnSave,
         FaultKind::CorruptCacheRecord,
+        FaultKind::StepPanic,
+        FaultKind::RegistryPersistEnospc,
+        FaultKind::RegistryPersistTorn,
+        FaultKind::ServeCheckpointEnospc,
+    ];
+
+    /// The original distributed-run taxonomy — exactly the kinds (and
+    /// order) [`FaultPlan::generate`] has always drawn from, kept
+    /// separate so plans stay byte-identical per seed as new serve-seam
+    /// kinds are added to [`FaultKind::ALL`].
+    pub const DIST: [FaultKind; 11] = [
+        FaultKind::MeasurePanic,
+        FaultKind::MeasureHang,
+        FaultKind::NonFiniteMeasurement,
+        FaultKind::DropFrame,
+        FaultKind::GarbleFrame,
+        FaultKind::TruncateFrame,
+        FaultKind::DelayHeartbeat,
+        FaultKind::KillWorker,
+        FaultKind::TornCheckpointWrite,
+        FaultKind::DiskFullOnSave,
+        FaultKind::CorruptCacheRecord,
+    ];
+
+    /// The serve-seam taxonomy the `gest chaos --serve` soak draws from:
+    /// backend faults inside a serve-managed run plus the four
+    /// serve-specific seams.
+    pub const SERVE: [FaultKind; 7] = [
+        FaultKind::MeasurePanic,
+        FaultKind::MeasureHang,
+        FaultKind::NonFiniteMeasurement,
+        FaultKind::StepPanic,
+        FaultKind::RegistryPersistEnospc,
+        FaultKind::RegistryPersistTorn,
+        FaultKind::ServeCheckpointEnospc,
     ];
 
     /// Stable snake_case name, used in telemetry counters and reports.
@@ -92,6 +147,10 @@ impl FaultKind {
             FaultKind::TornCheckpointWrite => "torn_checkpoint_write",
             FaultKind::DiskFullOnSave => "disk_full_on_save",
             FaultKind::CorruptCacheRecord => "corrupt_cache_record",
+            FaultKind::StepPanic => "step_panic",
+            FaultKind::RegistryPersistEnospc => "registry_persist_enospc",
+            FaultKind::RegistryPersistTorn => "registry_persist_torn",
+            FaultKind::ServeCheckpointEnospc => "serve_checkpoint_enospc",
         }
     }
 
@@ -112,8 +171,12 @@ impl FaultKind {
             | FaultKind::DelayHeartbeat => FaultLayer::Transport,
             FaultKind::TornCheckpointWrite
             | FaultKind::DiskFullOnSave
-            | FaultKind::CorruptCacheRecord => FaultLayer::Fs,
+            | FaultKind::CorruptCacheRecord
+            | FaultKind::RegistryPersistEnospc
+            | FaultKind::RegistryPersistTorn
+            | FaultKind::ServeCheckpointEnospc => FaultLayer::Fs,
             FaultKind::KillWorker => FaultLayer::Harness,
+            FaultKind::StepPanic => FaultLayer::Serve,
         }
     }
 }
@@ -124,13 +187,14 @@ impl fmt::Display for FaultKind {
     }
 }
 
-/// A deterministic fault schedule: a pure function of `(seed, count)`.
+/// A deterministic fault schedule: a pure function of `(seed, count)`
+/// and the taxonomy it draws from.
 ///
-/// The first `min(count, 11)` entries are a seeded shuffle of *all*
-/// fault kinds, so any plan with `count >= 11` is guaranteed to exercise
-/// the full taxonomy; entries beyond that are drawn uniformly. This
-/// breadth-first shape is what lets the soak assert "at least N distinct
-/// fault kinds fired" without retry loops.
+/// The first `min(count, kinds.len())` entries are a seeded shuffle of
+/// the whole taxonomy, so any large-enough plan is guaranteed to
+/// exercise every kind; entries beyond that are drawn uniformly. This
+/// breadth-first shape is what lets the soaks assert "at least N
+/// distinct fault kinds fired" without retry loops.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     seed: u64,
@@ -138,10 +202,25 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
-    /// Generates the plan for `seed` with `count` scheduled faults.
+    /// Generates the plan for `seed` with `count` scheduled faults drawn
+    /// from the classic distributed-run taxonomy ([`FaultKind::DIST`]).
+    /// Byte-stable per seed across releases: new fault kinds join via
+    /// new taxonomies ([`FaultPlan::generate_from`]), never this one.
     pub fn generate(seed: u64, count: usize) -> FaultPlan {
+        FaultPlan::generate_from(seed, count, &FaultKind::DIST)
+    }
+
+    /// Generates the plan for `seed` with `count` faults drawn from an
+    /// explicit taxonomy — e.g. [`FaultKind::SERVE`] for the
+    /// `gest chaos --serve` soak.
+    ///
+    /// # Panics
+    ///
+    /// If `kinds` is empty.
+    pub fn generate_from(seed: u64, count: usize, kinds: &[FaultKind]) -> FaultPlan {
+        assert!(!kinds.is_empty(), "a fault taxonomy cannot be empty");
         let mut rng = Xoshiro256::seeded(seed);
-        let mut shuffled = FaultKind::ALL.to_vec();
+        let mut shuffled = kinds.to_vec();
         for i in (1..shuffled.len()).rev() {
             let j = rng.below(i as u64 + 1) as usize;
             shuffled.swap(i, j);
@@ -151,8 +230,8 @@ impl FaultPlan {
             match shuffled.get(slot) {
                 Some(&kind) => faults.push(kind),
                 None => {
-                    let pick = rng.below(FaultKind::ALL.len() as u64) as usize;
-                    faults.push(FaultKind::ALL[pick]);
+                    let pick = rng.below(kinds.len() as u64) as usize;
+                    faults.push(kinds[pick]);
                 }
             }
         }
@@ -215,22 +294,53 @@ mod tests {
     }
 
     #[test]
-    fn a_full_size_plan_covers_every_kind() {
+    fn a_full_size_plan_covers_every_dist_kind() {
         for seed in 0..32 {
-            let plan = FaultPlan::generate(seed, FaultKind::ALL.len());
+            let plan = FaultPlan::generate(seed, FaultKind::DIST.len());
             let distinct: HashSet<FaultKind> = plan.faults().iter().copied().collect();
-            assert_eq!(distinct.len(), FaultKind::ALL.len(), "seed {seed}");
+            assert_eq!(distinct.len(), FaultKind::DIST.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generate_draws_from_the_dist_taxonomy_only() {
+        // The serve-seam kinds joined FaultKind::ALL but must never
+        // appear in a classic plan — that would reshuffle every seeded
+        // schedule the dist soak's assertions are pinned to.
+        let plan = FaultPlan::generate(0xC0FFEE, 100);
+        assert!(plan
+            .faults()
+            .iter()
+            .all(|kind| FaultKind::DIST.contains(kind)));
+    }
+
+    #[test]
+    fn serve_taxonomy_plans_cover_every_serve_kind() {
+        for seed in 0..32 {
+            let plan = FaultPlan::generate_from(seed, FaultKind::SERVE.len(), &FaultKind::SERVE);
+            let distinct: HashSet<FaultKind> = plan.faults().iter().copied().collect();
+            assert_eq!(distinct.len(), FaultKind::SERVE.len(), "seed {seed}");
         }
     }
 
     #[test]
     fn layers_partition_the_schedule() {
         let plan = FaultPlan::generate(7, 25);
+        let mut serve = FaultPlan::generate_from(7, 10, &FaultKind::SERVE)
+            .faults()
+            .to_vec();
+        let mut all = plan.faults().to_vec();
+        all.append(&mut serve);
+        let plan = FaultPlan {
+            seed: 7,
+            faults: all,
+        };
         let split: usize = [
             FaultLayer::Backend,
             FaultLayer::Transport,
             FaultLayer::Fs,
             FaultLayer::Harness,
+            FaultLayer::Serve,
         ]
         .into_iter()
         .map(|layer| plan.for_layer(layer).len())

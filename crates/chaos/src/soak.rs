@@ -129,8 +129,9 @@ impl fmt::Display for SoakReport {
 /// The search both runs execute. Small but complete: checkpointing
 /// every 2 of 6 generations, eval cache on, 2 runner threads, a retry
 /// budget that out-lasts the per-candidate injection cap, and a 500 ms
-/// watchdog for the injected hangs to trip.
-fn soak_config(dir: &Path, seed: u64) -> Result<GestConfig, GestError> {
+/// watchdog for the injected hangs to trip. Shared with the serve soak,
+/// which runs several of these at consecutive seeds.
+pub(crate) fn soak_config(dir: &Path, seed: u64) -> Result<GestConfig, GestError> {
     GestConfig::builder("cortex-a15")
         .measurement("power")
         .population_size(8)
@@ -152,7 +153,7 @@ fn soak_config(dir: &Path, seed: u64) -> Result<GestConfig, GestError> {
 
 /// Reads every artifact byte-identity cares about: per-generation
 /// population files, the checkpoint manifest, and `config.xml`.
-fn artifact_snapshot(dir: &Path) -> Result<BTreeMap<String, Vec<u8>>, GestError> {
+pub(crate) fn artifact_snapshot(dir: &Path) -> Result<BTreeMap<String, Vec<u8>>, GestError> {
     let mut snapshot = BTreeMap::new();
     for entry in std::fs::read_dir(dir).map_err(GestError::Io)? {
         let path = entry.map_err(GestError::Io)?.path();

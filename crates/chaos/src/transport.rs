@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn transport_faults_break_decoding_without_breaking_the_process() {
-        let plan = FaultPlan::generate(3, FaultKind::ALL.len());
+        let plan = FaultPlan::generate(3, FaultKind::DIST.len());
         let expected: Vec<FaultKind> = plan
             .for_layer(FaultLayer::Transport)
             .iter()

@@ -40,6 +40,24 @@ pub enum GestError {
     },
 }
 
+impl GestError {
+    /// Whether the error is plausibly transient — an I/O, backend, or
+    /// measurement fault that a retry from the last checkpoint could
+    /// clear (a full disk drained, a fleet that came back, a flaky
+    /// measurement) — as opposed to a configuration or logic fault that
+    /// would fail identically on every attempt.
+    ///
+    /// This is the classification the serve scheduler's restart policy
+    /// uses: transient step failures consume the run's bounded restart
+    /// budget; permanent ones fail the run immediately.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            GestError::Io(_) | GestError::Backend(_) | GestError::Measurement { .. }
+        )
+    }
+}
+
 impl fmt::Display for GestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -123,5 +141,20 @@ mod tests {
 
         let err = GestError::Config("bad".into());
         assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn transient_faults_are_io_backend_and_measurement() {
+        assert!(GestError::Io(std::io::Error::other("enospc")).is_transient());
+        assert!(GestError::Backend("fleet down".into()).is_transient());
+        assert!(GestError::Measurement {
+            candidate: 7,
+            message: "worker died".into()
+        }
+        .is_transient());
+
+        assert!(!GestError::Config("bad machine".into()).is_transient());
+        assert!(!GestError::from(IsaError::UnknownMnemonic("FOO".into())).is_transient());
+        assert!(!GestError::from(SimError::EmptyProgram).is_transient());
     }
 }

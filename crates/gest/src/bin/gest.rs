@@ -30,7 +30,7 @@
 //! gest workloads [machine]         measure every baseline workload on a machine
 //! ```
 
-use gest::chaos::{run_soak, SoakOptions};
+use gest::chaos::{run_serve_soak, run_soak, ServeSoakOptions, SoakOptions};
 use gest::core::{
     stats, EvalBackend, GestConfig, GestError, GestRun, LocalBackend, PoolGenetics, Registry,
     RunIdAllocator, SavedPopulation, StepOutcome, SurrogateMode, SurrogateOptions,
@@ -138,11 +138,22 @@ fn print_usage() {
          checkpoints on disk (default 4)\n    \
          --state-dir=PATH               run index + allocated run directories\n                                   \
          (default ./gest_serve)\n    \
-         --id-seed=N                    seed for the run-id sequence\n  \
+         --id-seed=N                    seed for the run-id sequence\n    \
+         --max-pending=N                admission cap on queued runs; over it,\n                                   \
+         POST /runs answers 503 + Retry-After\n    \
+         --min-free-mb=N                free-disk floor for admission (default 16;\n                                   \
+         below it, POST /runs answers 503)\n    \
+         --restart-budget=N             transient-fault restarts per run before\n                                   \
+         it is marked failed (default 2)\n  \
          gest chaos --seed=S --faults=K   fault-injection soak: a checkpointed,\n                                   \
          distributed, cached run under K seeded faults\n                                   \
          must match the fault-free run byte-for-byte\n    \
-         --dir=PATH --workers=N --keep  scratch dir, in-process fleet size, keep artifacts\n  \
+         --dir=PATH --workers=N --keep  scratch dir, in-process fleet size, keep artifacts\n    \
+         --serve [--runs=N]             soak a live gest-serve instead: N runs under\n                                   \
+         serve-seam faults (step panics, registry and\n                                   \
+         checkpoint ENOSPC/torn writes); the server must\n                                   \
+         keep answering, faulted runs must land in\n                                   \
+         documented states, clean runs byte-identical\n  \
          gest report <run_trace.jsonl>    summarize a trace written by run --trace\n  \
          gest bench [flags]               compare fast-path vs baseline evaluation speed\n    \
          --rounds=N --population=N --generations=N --machine=NAME\n    \
@@ -537,6 +548,9 @@ fn cmd_serve(args: &[String]) -> Result<(), GestError> {
     let mut state_dir = PathBuf::from("gest_serve");
     let mut max_active: usize = 4;
     let mut id_seed: u64 = 0;
+    let mut max_pending: Option<usize> = None;
+    let mut min_free_mb: Option<u64> = None;
+    let mut restart_budget: Option<u32> = None;
     for arg in args {
         if let Some(addr) = arg.strip_prefix("--listen=") {
             listen = Some(addr.to_string());
@@ -565,6 +579,18 @@ fn cmd_serve(args: &[String]) -> Result<(), GestError> {
             id_seed = n
                 .parse()
                 .map_err(|_| GestError::Config(format!("bad --id-seed {n:?}")))?;
+        } else if let Some(n) = arg.strip_prefix("--max-pending=") {
+            max_pending = Some(n.parse().map_err(|_| {
+                GestError::Config(format!("bad --max-pending {n:?} (want a number)"))
+            })?);
+        } else if let Some(n) = arg.strip_prefix("--min-free-mb=") {
+            min_free_mb = Some(n.parse().map_err(|_| {
+                GestError::Config(format!("bad --min-free-mb {n:?} (want a number)"))
+            })?);
+        } else if let Some(n) = arg.strip_prefix("--restart-budget=") {
+            restart_budget = Some(n.parse().map_err(|_| {
+                GestError::Config(format!("bad --restart-budget {n:?} (want a number)"))
+            })?);
         } else {
             return Err(GestError::Config(format!("unknown serve flag {arg:?}")));
         }
@@ -573,6 +599,13 @@ fn cmd_serve(args: &[String]) -> Result<(), GestError> {
     let mut options = ServeOptions::new(state_dir.clone());
     options.max_active = max_active;
     options.id_seed = id_seed;
+    options.max_pending = max_pending;
+    if let Some(mb) = min_free_mb {
+        options.min_free_bytes = mb.saturating_mul(1 << 20);
+    }
+    if let Some(budget) = restart_budget {
+        options.restart_budget = budget;
+    }
     if !workers.is_empty() {
         options.fleet = Some(workers.join(","));
         let fleet = workers.clone();
@@ -617,19 +650,22 @@ fn cmd_serve(args: &[String]) -> Result<(), GestError> {
 /// byte for byte.
 fn cmd_chaos(args: &[String]) -> Result<(), GestError> {
     let mut seed: u64 = 1;
-    let mut faults: usize = 12;
+    let mut faults: Option<usize> = None;
     let mut dir: Option<PathBuf> = None;
     let mut workers: usize = 2;
     let mut keep = false;
+    let mut serve = false;
+    let mut runs: Option<usize> = None;
     for arg in args {
         if let Some(v) = arg.strip_prefix("--seed=") {
             seed = v
                 .parse()
                 .map_err(|_| GestError::Config(format!("bad seed {v:?}")))?;
         } else if let Some(v) = arg.strip_prefix("--faults=") {
-            faults = v
-                .parse()
-                .map_err(|_| GestError::Config(format!("bad fault count {v:?}")))?;
+            faults = Some(
+                v.parse()
+                    .map_err(|_| GestError::Config(format!("bad fault count {v:?}")))?,
+            );
         } else if let Some(v) = arg.strip_prefix("--dir=") {
             dir = Some(PathBuf::from(v));
         } else if let Some(v) = arg.strip_prefix("--workers=") {
@@ -641,6 +677,13 @@ fn cmd_chaos(args: &[String]) -> Result<(), GestError> {
                     "chaos needs at least one in-process worker".into(),
                 ));
             }
+        } else if let Some(v) = arg.strip_prefix("--runs=") {
+            runs = Some(
+                v.parse()
+                    .map_err(|_| GestError::Config(format!("bad run count {v:?}")))?,
+            );
+        } else if arg == "--serve" {
+            serve = true;
         } else if arg == "--keep" {
             keep = true;
         } else {
@@ -649,11 +692,15 @@ fn cmd_chaos(args: &[String]) -> Result<(), GestError> {
     }
     let dir = dir
         .unwrap_or_else(|| std::env::temp_dir().join(format!("gest_chaos_{}", std::process::id())));
-    let mut options = SoakOptions::new(seed, faults, dir);
+    if serve {
+        return cmd_chaos_serve(seed, faults, dir, runs, keep);
+    }
+    let mut options = SoakOptions::new(seed, faults.unwrap_or(12), dir);
     options.workers = workers;
     options.keep_dir = keep;
     eprintln!(
-        "chaos soak: seed {seed:#x}, {faults} scheduled faults, {workers} in-process worker{}",
+        "chaos soak: seed {seed:#x}, {} scheduled faults, {workers} in-process worker{}",
+        options.faults,
         if workers == 1 { "" } else { "s" }
     );
     let report = run_soak(&options)?;
@@ -665,6 +712,58 @@ fn cmd_chaos(args: &[String]) -> Result<(), GestError> {
         )));
     }
     Ok(())
+}
+
+/// `gest chaos --serve`: the serve-layer soak. Boots a real
+/// [`ServeServer`] whose backend stack and write path are wrapped in
+/// chaos shims, submits several runs over HTTP, and fails unless the
+/// server keeps answering, every faulted run lands in a documented
+/// terminal state, and every completed run's artifacts are
+/// byte-identical to its blocking same-seed reference.
+fn cmd_chaos_serve(
+    seed: u64,
+    faults: Option<usize>,
+    dir: PathBuf,
+    runs: Option<usize>,
+    keep: bool,
+) -> Result<(), GestError> {
+    let mut options = ServeSoakOptions::new(seed, dir);
+    if let Some(faults) = faults {
+        options.faults = faults;
+    }
+    if let Some(runs) = runs {
+        if runs == 0 {
+            return Err(GestError::Config("--runs must be at least 1".into()));
+        }
+        options.runs = runs;
+    }
+    options.keep_dir = keep;
+    eprintln!(
+        "serve chaos soak: seed {seed:#x}, {} scheduled faults, {} managed run{}",
+        options.faults,
+        options.runs,
+        if options.runs == 1 { "" } else { "s" }
+    );
+    let report = run_serve_soak(&options)?;
+    print!("{report}");
+    let mut failures = Vec::new();
+    if !report.completed_runs_byte_identical() {
+        failures.push("completed runs diverged from their fault-free references");
+    }
+    if !report.faulted_runs_documented() {
+        failures.push("a faulted run landed in an undocumented state");
+    }
+    if report.distinct_fired() < 4 {
+        failures.push("fewer than 4 distinct fault kinds fired");
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(GestError::Backend(format!(
+            "serve chaos soak failed: {}",
+            failures.join("; ")
+        )))
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), GestError> {

@@ -230,10 +230,31 @@ pub fn read_http_request(stream: &mut TcpStream) -> Option<ParsedRequest> {
 /// Writes one `Connection: close` HTTP/1.1 response. Best-effort: the
 /// peer may already have hung up, so write errors are swallowed.
 pub fn write_http_response(stream: &mut TcpStream, status: &str, content_type: &str, body: &[u8]) {
-    let header = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_http_response_with_headers(stream, status, content_type, &[], body);
+}
+
+/// [`write_http_response`] with extra response headers — how `gest-serve`
+/// attaches `Retry-After` to its admission-control `503`s. Each pair is
+/// rendered as `name: value`; callers must pass well-formed header
+/// names/values (no CR/LF).
+pub fn write_http_response_with_headers(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) {
+    let mut header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        header.push_str(name);
+        header.push_str(": ");
+        header.push_str(value);
+        header.push_str("\r\n");
+    }
+    header.push_str("Connection: close\r\n\r\n");
     let _ = stream.write_all(header.as_bytes());
     let _ = stream.write_all(body);
     let _ = stream.flush();

@@ -132,6 +132,22 @@ pub fn render_status(status: &Value) -> String {
             );
         }
     }
+    if let Some(serve) = status.get("serve") {
+        let count = |key: &str| serve.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "serve   queue {}   activations {}   evictions {}   restarts {}   \
+             quarantines {}   expirations {}   persist-failures {}   rejections {}",
+            count("queue_depth"),
+            count("activations"),
+            count("evictions"),
+            count("restarts"),
+            count("quarantines"),
+            count("expirations"),
+            count("persist_failures"),
+            count("rejections"),
+        );
+    }
     let workers = status.get("workers").and_then(Value::as_arr).unwrap_or(&[]);
     if !workers.is_empty() {
         let _ = writeln!(
@@ -227,6 +243,19 @@ mod tests {
         assert!(frame.contains("nodeA"));
         assert!(frame.contains("alive"));
         assert!(frame.contains("0.2s"));
+    }
+
+    #[test]
+    fn renders_a_serve_status_row() {
+        let json = r#"{"uptime_us":2000000,"serve":{"queue_depth":3,"activations":7,
+            "evictions":2,"restarts":1,"quarantines":1,"expirations":0,
+            "persist_failures":0,"rejections":4},"runs":[]}"#;
+        let frame = render_status(&Value::parse(json).unwrap());
+        assert!(frame.contains("serve   queue 3"), "{frame}");
+        assert!(frame.contains("activations 7"), "{frame}");
+        assert!(frame.contains("restarts 1"), "{frame}");
+        assert!(frame.contains("quarantines 1"), "{frame}");
+        assert!(frame.contains("rejections 4"), "{frame}");
     }
 
     #[test]

@@ -7,10 +7,14 @@
 //! bodies (the submitted configuration XML) ride the same code path the
 //! status server uses.
 
+use crate::registry::RunQuota;
 use crate::scheduler::TRACE_FILE;
-use crate::{Shared, POLL_INTERVAL};
+use crate::{Shared, SubmitError, POLL_INTERVAL};
 use gest_core::{GestConfig, OutputWriter, CHECKPOINT_FILE};
-use gest_obs::{read_http_request, write_http_response, HttpRequest, ParsedRequest};
+use gest_obs::{
+    read_http_request, write_http_response, write_http_response_with_headers, HttpRequest,
+    ParsedRequest,
+};
 use gest_telemetry::json::Value;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::net::{TcpListener, TcpStream};
@@ -88,10 +92,14 @@ fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &HttpRequest) {
             stream,
             "200 OK",
             "text/plain",
-            b"gest-serve: POST /runs, GET /runs, GET /runs/{id}, \
+            b"gest-serve: POST /runs, GET /runs, GET /status, GET /runs/{id}, \
               GET /runs/{id}/events, GET /runs/{id}/artifacts/{population|checkpoint|report}, \
               DELETE /runs/{id}\n",
         ),
+        ("GET", ["status"]) => {
+            let doc = service_status(shared);
+            write_json(stream, "200 OK", &doc);
+        }
         ("GET", ["runs"]) => {
             let list = Value::Arr(
                 shared
@@ -146,6 +154,39 @@ fn status_of(shared: &Shared, id: &str) -> Option<Value> {
         .map(|entry| entry.status_json())
 }
 
+/// `GET /status`: the service-wide health document — uptime, the
+/// scheduler's supervision counters, queue depth, and every run's status
+/// document. `gest top` renders the `serve` object as its serve row.
+fn service_status(shared: &Shared) -> Value {
+    let telemetry = shared.telemetry();
+    let counter = |name: &str| Value::Num(telemetry.counter_value(name) as f64);
+    let serve = Value::Obj(vec![
+        (
+            "queue_depth".into(),
+            Value::Num(shared.queue_depth() as f64),
+        ),
+        ("activations".into(), counter("serve.activations")),
+        ("evictions".into(), counter("serve.evictions")),
+        ("restarts".into(), counter("serve.restarts")),
+        ("quarantines".into(), counter("serve.quarantines")),
+        ("expirations".into(), counter("serve.expirations")),
+        ("persist_failures".into(), counter("serve.persist_failures")),
+        ("rejections".into(), counter("serve.rejections")),
+    ]);
+    let runs = Value::Arr(
+        shared
+            .lock_runs()
+            .iter()
+            .map(|entry| entry.status_json())
+            .collect(),
+    );
+    Value::Obj(vec![
+        ("uptime_us".into(), Value::Num(telemetry.uptime_us() as f64)),
+        ("serve".into(), serve),
+        ("runs".into(), runs),
+    ])
+}
+
 /// One `key=value` from a query string, if present.
 fn query_param<'q>(query: Option<&'q str>, key: &str) -> Option<&'q str> {
     query?
@@ -156,7 +197,11 @@ fn query_param<'q>(query: Option<&'q str>, key: &str) -> Option<&'q str> {
 }
 
 /// `POST /runs`: body is the configuration XML; `?seed=N` overrides the
-/// config's seed and `?priority=P` sets the scheduling weight.
+/// config's seed, `?priority=P` sets the scheduling weight, and
+/// `?max_generations=N` / `?deadline_s=S` set per-run quotas (terminal
+/// state `Expired` with a resumable checkpoint left behind). Admission
+/// control (`--max-pending`, disk preflight) answers `503` with a
+/// `Retry-After` header.
 fn submit(stream: &mut TcpStream, shared: &Arc<Shared>, request: &HttpRequest) {
     let Ok(body) = std::str::from_utf8(&request.body) else {
         write_http_response(
@@ -207,7 +252,36 @@ fn submit(stream: &mut TcpStream, shared: &Arc<Shared>, request: &HttpRequest) {
             return;
         }
     };
-    match shared.submit(config, priority) {
+    let mut quota = RunQuota::default();
+    match query_param(query, "max_generations").map(str::parse::<u32>) {
+        None => {}
+        Some(Ok(cap)) => quota.max_generations = Some(cap),
+        Some(Err(_)) => {
+            write_http_response(
+                stream,
+                "400 Bad Request",
+                "text/plain",
+                b"max_generations must be an unsigned integer\n",
+            );
+            return;
+        }
+    }
+    match query_param(query, "deadline_s").map(str::parse::<f64>) {
+        None => {}
+        Some(Ok(seconds)) if seconds.is_finite() && seconds >= 0.0 => {
+            quota.deadline = Some(Duration::from_secs_f64(seconds));
+        }
+        Some(_) => {
+            write_http_response(
+                stream,
+                "400 Bad Request",
+                "text/plain",
+                b"deadline_s must be a non-negative number of seconds\n",
+            );
+            return;
+        }
+    }
+    match shared.submit(config, priority, quota) {
         Ok(entry) => {
             let doc = Value::Obj(vec![
                 ("id".into(), Value::Str(entry.id.clone())),
@@ -215,7 +289,22 @@ fn submit(stream: &mut TcpStream, shared: &Arc<Shared>, request: &HttpRequest) {
             ]);
             write_json(stream, "201 Created", &doc);
         }
-        Err(error) => write_http_response(
+        Err(SubmitError::Busy {
+            reason,
+            retry_after_s,
+        }) => {
+            // Graceful degradation: the service is healthy but loaded —
+            // shed the submission, keep stepping resident runs, and tell
+            // the client when to come back.
+            write_http_response_with_headers(
+                stream,
+                "503 Service Unavailable",
+                "text/plain",
+                &[("Retry-After", retry_after_s.to_string().as_str())],
+                format!("{reason}\n").as_bytes(),
+            );
+        }
+        Err(SubmitError::Invalid(error)) => write_http_response(
             stream,
             "409 Conflict",
             "text/plain",

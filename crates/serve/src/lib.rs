@@ -23,24 +23,37 @@
 //!
 //! | Route | Method | Effect |
 //! |---|---|---|
-//! | `/runs` | POST | submit config XML (`?seed=N&priority=P`) → run id |
+//! | `/runs` | POST | submit config XML (`?seed=N&priority=P&max_generations=N&deadline_s=S`) → run id |
 //! | `/runs` | GET | list every run's status document |
-//! | `/runs/{id}` | GET | state, generation, best fitness, health |
+//! | `/runs/{id}` | GET | state, generation, best fitness, restarts, health |
 //! | `/runs/{id}/events` | GET | SSE stream tailing the run's trace |
 //! | `/runs/{id}/artifacts/population` | GET | latest population file |
 //! | `/runs/{id}/artifacts/checkpoint` | GET | checkpoint manifest |
 //! | `/runs/{id}/artifacts/report` | GET | per-generation text report |
 //! | `/runs/{id}` | DELETE | cancel |
+//! | `/status` | GET | service health: uptime, scheduler counters, every run |
+//!
+//! Submissions pass admission control first: a queue-depth cap
+//! (`max_pending`) and a free-disk floor (`min_free_bytes`) each turn
+//! `POST /runs` into `503 Service Unavailable` with a `Retry-After`
+//! header while resident runs keep stepping. Runs that step into
+//! trouble are supervised rather than trusted: a panic escaping
+//! `step()` quarantines the run (terminal `quarantined`, payload in the
+//! status document), transient faults restart it from its last
+//! checkpoint under a bounded budget, and per-run quotas
+//! (`?max_generations=`, `?deadline_s=`) expire it at a slice boundary
+//! with its checkpoint left behind for `gest resume`.
 
 pub mod api;
 pub mod registry;
 pub mod scheduler;
 
-pub use registry::{RunEntry, RunState};
+pub use registry::{RunEntry, RunQuota, RunState};
 
-use gest_core::{EvalBackend, GestConfig, GestError, RunIdAllocator};
+use gest_core::{EvalBackend, GestConfig, GestError, RealFs, RunIdAllocator, WriteFs};
+use gest_telemetry::Telemetry;
 use std::net::{SocketAddr, ToSocketAddrs};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -72,6 +85,27 @@ pub struct ServeOptions {
     pub backend_factory: Option<BackendFactory>,
     /// Human-readable description of the factory fleet, for logs.
     pub fleet: Option<String>,
+    /// Admission cap on non-terminal runs: once this many runs are
+    /// pending or running, `POST /runs` answers `503` with `Retry-After`
+    /// until one finishes. `None` = unbounded.
+    pub max_pending: Option<usize>,
+    /// Free-space preflight on the state directory's filesystem: when
+    /// fewer bytes than this are available, submissions are rejected
+    /// with `503` (resident runs keep stepping). `0` disables the
+    /// preflight; it is also skipped where the probe is unavailable.
+    pub min_free_bytes: u64,
+    /// How many times a run may be restarted from its last checkpoint
+    /// after a *transient* step fault (I/O, backend, measurement) before
+    /// it is marked `Failed`. Permanent faults never retry.
+    pub restart_budget: u32,
+    /// The write seam for registry manifests, the run index, and every
+    /// managed run's checkpoint artifacts. Production: [`RealFs`];
+    /// chaos harnesses substitute a fault-injecting shim.
+    pub write_fs: Arc<dyn WriteFs>,
+    /// Telemetry handle for the scheduler's counters
+    /// (`serve.activations`, `serve.restarts`, …), surfaced by
+    /// `GET /status` and `gest top`.
+    pub telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for ServeOptions {
@@ -81,13 +115,23 @@ impl std::fmt::Debug for ServeOptions {
             .field("max_active", &self.max_active)
             .field("id_seed", &self.id_seed)
             .field("fleet", &self.fleet)
+            .field("max_pending", &self.max_pending)
+            .field("min_free_bytes", &self.min_free_bytes)
+            .field("restart_budget", &self.restart_budget)
             .finish()
     }
 }
 
 impl ServeOptions {
+    /// Default free-space floor for the submission preflight: 16 MiB.
+    pub const DEFAULT_MIN_FREE_BYTES: u64 = 16 << 20;
+
+    /// Default per-run transient-fault restart budget.
+    pub const DEFAULT_RESTART_BUDGET: u32 = 2;
+
     /// Options with the given state directory and the defaults:
-    /// `max_active = 4`, local evaluation, id seed 0.
+    /// `max_active = 4`, local evaluation, id seed 0, unbounded
+    /// admissions over a 16 MiB free-space floor, restart budget 2.
     pub fn new(state_dir: impl Into<PathBuf>) -> ServeOptions {
         ServeOptions {
             state_dir: state_dir.into(),
@@ -95,6 +139,11 @@ impl ServeOptions {
             id_seed: 0,
             backend_factory: None,
             fleet: None,
+            max_pending: None,
+            min_free_bytes: Self::DEFAULT_MIN_FREE_BYTES,
+            restart_budget: Self::DEFAULT_RESTART_BUDGET,
+            write_fs: Arc::new(RealFs),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -112,6 +161,21 @@ pub(crate) struct Shared {
     pub(crate) allocator: RunIdAllocator,
 }
 
+/// Why `POST /runs` was not answered `201`.
+pub(crate) enum SubmitError {
+    /// Admission control rejected the submission — the service is
+    /// healthy but loaded (queue cap) or its disk is nearly full. Maps
+    /// to `503` with a `Retry-After` header; resident runs keep
+    /// stepping.
+    Busy { reason: String, retry_after_s: u64 },
+    /// The submission itself is unusable (e.g. its output directory
+    /// already belongs to another run). Maps to `409`.
+    Invalid(GestError),
+}
+
+/// `Retry-After` hint attached to admission-control rejections.
+pub(crate) const RETRY_AFTER_S: u64 = 5;
+
 impl Shared {
     pub(crate) fn lock_runs(&self) -> MutexGuard<'_, Vec<RunEntry>> {
         // A panic while holding the lock leaves the registry in its last
@@ -119,12 +183,79 @@ impl Shared {
         self.runs.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    pub(crate) fn telemetry(&self) -> &Telemetry {
+        &self.options.telemetry
+    }
+
+    /// Runs the scheduler still owes work: pending or running.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.lock_runs()
+            .iter()
+            .filter(|run| !run.state.is_terminal())
+            .count()
+    }
+
+    /// The admission preflight: queue-depth cap, then free-disk floor.
+    /// `Some(reason)` means shed this submission with `503`.
+    fn admission_rejection(&self) -> Option<String> {
+        if let Some(cap) = self.options.max_pending {
+            let depth = self.queue_depth();
+            if depth >= cap {
+                return Some(format!(
+                    "queue full: {depth} run(s) pending or running (--max-pending={cap})"
+                ));
+            }
+        }
+        if self.options.min_free_bytes > 0 {
+            if let Some(free) = free_disk_bytes(&self.options.state_dir) {
+                if free < self.options.min_free_bytes {
+                    return Some(format!(
+                        "state directory filesystem low on space: {free} bytes free, \
+                         {} required",
+                        self.options.min_free_bytes
+                    ));
+                }
+            }
+        }
+        None
+    }
+
     /// Submits a parsed configuration: allocates id + directory, records
     /// the entry, persists manifest and index, and wakes the scheduler.
     pub(crate) fn submit(
         &self,
+        config: GestConfig,
+        priority: u32,
+        quota: RunQuota,
+    ) -> Result<RunEntry, SubmitError> {
+        if let Some(reason) = self.admission_rejection() {
+            self.options.telemetry.add_counter("serve.rejections", 1);
+            return Err(SubmitError::Busy {
+                reason,
+                retry_after_s: RETRY_AFTER_S,
+            });
+        }
+        match self.admit(config, priority, quota) {
+            Ok(entry) => Ok(entry),
+            // A submission-time persist failure is a disk problem, not a
+            // bad request: shed it as `503` so the client retries once
+            // the disk drains, same as the preflight rejections.
+            Err(GestError::Io(error)) => {
+                self.options.telemetry.add_counter("serve.rejections", 1);
+                Err(SubmitError::Busy {
+                    reason: format!("cannot persist the submission: {error}"),
+                    retry_after_s: RETRY_AFTER_S,
+                })
+            }
+            Err(error) => Err(SubmitError::Invalid(error)),
+        }
+    }
+
+    fn admit(
+        &self,
         mut config: GestConfig,
         priority: u32,
+        quota: RunQuota,
     ) -> Result<RunEntry, GestError> {
         let (id, dir) = match &config.output_dir {
             Some(dir) => {
@@ -139,7 +270,8 @@ impl Shared {
             }
         };
         let config_xml = config.to_xml().to_string();
-        let entry = RunEntry::new(id, dir, config_xml, priority.max(1), config.generations);
+        let mut entry = RunEntry::new(id, dir, config_xml, priority.max(1), config.generations);
+        entry.quota = quota;
         let mut runs = self.lock_runs();
         // Terminal runs keep their claim too: resubmitting into a finished
         // run's directory would resume it under a duplicate id.
@@ -150,13 +282,63 @@ impl Shared {
                 clash.id
             )));
         }
-        entry.persist()?;
+        entry.persist_via(&*self.options.write_fs)?;
         runs.push(entry.clone());
-        registry::save_index(&self.options.state_dir, &runs)?;
+        registry::save_index_via(&*self.options.write_fs, &self.options.state_dir, &runs)?;
         drop(runs);
         self.wake.notify_all();
         Ok(entry)
     }
+}
+
+/// Bytes available to unprivileged writers on `path`'s filesystem, via
+/// `statvfs(2)` — declared directly (`std` links libc already), keeping
+/// the crate dependency-free. `None` when the probe fails or the
+/// platform has no `statvfs`.
+#[cfg(target_os = "linux")]
+fn free_disk_bytes(path: &Path) -> Option<u64> {
+    use std::os::unix::ffi::OsStrExt;
+
+    // glibc's LP64 struct statvfs layout; padded generously so a
+    // differing libc layout can only over-allocate, never overflow.
+    #[repr(C)]
+    struct StatVfs {
+        f_bsize: u64,
+        f_frsize: u64,
+        f_blocks: u64,
+        f_bfree: u64,
+        f_bavail: u64,
+        _rest: [u64; 16],
+    }
+    extern "C" {
+        fn statvfs(path: *const u8, buf: *mut StatVfs) -> i32;
+    }
+    let mut raw = path.as_os_str().as_bytes().to_vec();
+    raw.push(0);
+    let mut stat = StatVfs {
+        f_bsize: 0,
+        f_frsize: 0,
+        f_blocks: 0,
+        f_bfree: 0,
+        f_bavail: 0,
+        _rest: [0; 16],
+    };
+    let rc = unsafe { statvfs(raw.as_ptr(), &mut stat) };
+    if rc != 0 {
+        return None;
+    }
+    let frsize = if stat.f_frsize > 0 {
+        stat.f_frsize
+    } else {
+        stat.f_bsize
+    };
+    Some(stat.f_bavail.saturating_mul(frsize))
+}
+
+/// No free-space probe off Linux: the preflight is skipped.
+#[cfg(not(target_os = "linux"))]
+fn free_disk_bytes(_path: &Path) -> Option<u64> {
+    None
 }
 
 /// The running service: HTTP accept loop plus the scheduler thread.
@@ -192,10 +374,16 @@ impl ServeServer {
     /// configuration errors for `max_active = 0`.
     pub fn start(
         listen: impl ToSocketAddrs,
-        options: ServeOptions,
+        mut options: ServeOptions,
     ) -> Result<ServeServer, GestError> {
         if options.max_active == 0 {
             return Err(GestError::Config("--max-active must be at least 1".into()));
+        }
+        // Scheduler counters live in the telemetry metrics registry; a
+        // disabled handle would silently drop them, so upgrade it to an
+        // enabled handle over a no-op sink (registry only, no stream).
+        if !options.telemetry.is_enabled() {
+            options.telemetry = Telemetry::new(Arc::new(gest_telemetry::NoopSink));
         }
         std::fs::create_dir_all(&options.state_dir)?;
         let runs = rehydrate(&options)?;

@@ -11,10 +11,11 @@
 //! registry entry and, together with the run's checkpoint, the search
 //! itself.
 
-use gest_core::GestError;
+use gest_core::{GestError, RealFs, WriteFs};
 use gest_telemetry::json::Value;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Name of the per-run manifest inside a run directory.
 pub const RUN_MANIFEST_FILE: &str = "serve_run.json";
@@ -32,10 +33,19 @@ pub enum RunState {
     Running,
     /// All configured generations completed.
     Done,
-    /// A step failed; see [`RunEntry::error`].
+    /// A step failed permanently (a config/logic fault, or the restart
+    /// budget for transient faults is exhausted); see [`RunEntry::error`].
     Failed,
     /// Cancelled via `DELETE /runs/{id}`.
     Cancelled,
+    /// A panic escaped [`gest_core::GestRun::step`]; the poisoned live
+    /// state was discarded and the run is never rescheduled. The panic
+    /// payload is in [`RunEntry::error`].
+    Quarantined,
+    /// A submission quota (`?max_generations=N` or `?deadline_s=S`)
+    /// expired at a slice boundary; a resumable checkpoint of the work
+    /// done so far is left in the run directory.
+    Expired,
 }
 
 impl RunState {
@@ -43,7 +53,11 @@ impl RunState {
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            RunState::Done | RunState::Failed | RunState::Cancelled
+            RunState::Done
+                | RunState::Failed
+                | RunState::Cancelled
+                | RunState::Quarantined
+                | RunState::Expired
         )
     }
 
@@ -54,6 +68,8 @@ impl RunState {
             "done" => RunState::Done,
             "failed" => RunState::Failed,
             "cancelled" => RunState::Cancelled,
+            "quarantined" => RunState::Quarantined,
+            "expired" => RunState::Expired,
             _ => return None,
         })
     }
@@ -67,8 +83,22 @@ impl fmt::Display for RunState {
             RunState::Done => "done",
             RunState::Failed => "failed",
             RunState::Cancelled => "cancelled",
+            RunState::Quarantined => "quarantined",
+            RunState::Expired => "expired",
         })
     }
+}
+
+/// Per-run quotas accepted at submission time and enforced by the
+/// scheduler at slice boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunQuota {
+    /// Cap on generations the service will run (`?max_generations=N`);
+    /// the run expires with a resumable checkpoint once reached.
+    pub max_generations: Option<u32>,
+    /// Wall-clock budget from submission (`?deadline_s=S`). Measured
+    /// per server process: a restarted server grants a fresh window.
+    pub deadline: Option<Duration>,
 }
 
 /// One submitted run as the registry tracks it.
@@ -95,11 +125,23 @@ pub struct RunEntry {
     /// Whether the latest step reported a fitness plateau
     /// ([`gest_core::StepOutcome::Converged`]).
     pub converged: bool,
-    /// Failure description when [`RunState::Failed`].
+    /// Failure description when [`RunState::Failed`], the panic payload
+    /// when [`RunState::Quarantined`], the expiry reason when
+    /// [`RunState::Expired`] — or a staleness note while the run is
+    /// still live (a manifest persist failed, or a transient fault is
+    /// being retried).
     pub error: Option<String>,
     /// Set by `DELETE /runs/{id}`; the scheduler finalizes the
     /// cancellation at the next slice boundary.
     pub cancel_requested: bool,
+    /// How many times the scheduler restarted this run from its last
+    /// checkpoint after a transient step fault.
+    pub restarts: u32,
+    /// Submission quotas, enforced at slice boundaries.
+    pub quota: RunQuota,
+    /// When this entry was admitted (or rehydrated) — the anchor for
+    /// [`RunQuota::deadline`].
+    pub submitted: Instant,
 }
 
 impl RunEntry {
@@ -123,6 +165,9 @@ impl RunEntry {
             converged: false,
             error: None,
             cancel_requested: false,
+            restarts: 0,
+            quota: RunQuota::default(),
+            submitted: Instant::now(),
         }
     }
 
@@ -144,6 +189,19 @@ impl RunEntry {
             ("converged".into(), Value::Bool(self.converged)),
             ("priority".into(), Value::Num(f64::from(self.priority))),
             ("dir".into(), Value::Str(self.dir.display().to_string())),
+            ("restarts".into(), Value::Num(f64::from(self.restarts))),
+            (
+                "max_generations".into(),
+                self.quota
+                    .max_generations
+                    .map_or(Value::Null, |n| Value::Num(f64::from(n))),
+            ),
+            (
+                "deadline_s".into(),
+                self.quota
+                    .deadline
+                    .map_or(Value::Null, |d| Value::Num(d.as_secs_f64())),
+            ),
             (
                 "error".into(),
                 self.error.clone().map_or(Value::Null, Value::Str),
@@ -158,6 +216,17 @@ impl RunEntry {
     ///
     /// I/O errors writing into the run directory.
     pub fn persist(&self) -> Result<(), GestError> {
+        self.persist_via(&RealFs)
+    }
+
+    /// [`RunEntry::persist`] through an explicit write seam — the
+    /// production path with the service's [`WriteFs`], which chaos
+    /// harnesses substitute to inject registry-persist faults.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing into the run directory.
+    pub fn persist_via(&self, fs: &dyn WriteFs) -> Result<(), GestError> {
         let manifest = Value::Obj(vec![
             ("id".into(), Value::Str(self.id.clone())),
             ("state".into(), Value::Str(self.state.to_string())),
@@ -171,6 +240,19 @@ impl RunEntry {
                 "best_fitness".into(),
                 self.best_fitness.map_or(Value::Null, Value::Num),
             ),
+            ("restarts".into(), Value::Num(f64::from(self.restarts))),
+            (
+                "max_generations".into(),
+                self.quota
+                    .max_generations
+                    .map_or(Value::Null, |n| Value::Num(f64::from(n))),
+            ),
+            (
+                "deadline_s".into(),
+                self.quota
+                    .deadline
+                    .map_or(Value::Null, |d| Value::Num(d.as_secs_f64())),
+            ),
             (
                 "error".into(),
                 self.error.clone().map_or(Value::Null, Value::Str),
@@ -180,7 +262,8 @@ impl RunEntry {
         let mut text = String::new();
         manifest.write(&mut text);
         text.push('\n');
-        atomic_write(&self.dir.join(RUN_MANIFEST_FILE), text.as_bytes())
+        fs.write_atomic(&self.dir.join(RUN_MANIFEST_FILE), text.as_bytes())
+            .map_err(GestError::Io)
     }
 
     /// Reads a run's manifest back from its directory.
@@ -221,6 +304,18 @@ impl RunEntry {
             .ok_or_else(|| bad("target_generations"))? as u32;
         let best_fitness = doc.get("best_fitness").and_then(Value::as_f64);
         let error = doc.get("error").and_then(Value::as_str).map(str::to_string);
+        // Absent in manifests written before run supervision existed.
+        let restarts = doc.get("restarts").and_then(Value::as_u64).unwrap_or(0) as u32;
+        let quota = RunQuota {
+            max_generations: doc
+                .get("max_generations")
+                .and_then(Value::as_u64)
+                .map(|n| n as u32),
+            deadline: doc
+                .get("deadline_s")
+                .and_then(Value::as_f64)
+                .map(Duration::from_secs_f64),
+        };
         let config_xml = doc
             .get("config_xml")
             .and_then(Value::as_str)
@@ -238,6 +333,9 @@ impl RunEntry {
             converged: false,
             error,
             cancel_requested: false,
+            restarts,
+            quota,
+            submitted: Instant::now(),
         })
     }
 }
@@ -249,6 +347,20 @@ impl RunEntry {
 ///
 /// I/O errors writing into the state directory.
 pub fn save_index(state_dir: &Path, entries: &[RunEntry]) -> Result<(), GestError> {
+    save_index_via(&RealFs, state_dir, entries)
+}
+
+/// [`save_index`] through an explicit write seam (see
+/// [`RunEntry::persist_via`]).
+///
+/// # Errors
+///
+/// I/O errors writing into the state directory.
+pub fn save_index_via(
+    fs: &dyn WriteFs,
+    state_dir: &Path,
+    entries: &[RunEntry],
+) -> Result<(), GestError> {
     let index = Value::Arr(
         entries
             .iter()
@@ -263,7 +375,8 @@ pub fn save_index(state_dir: &Path, entries: &[RunEntry]) -> Result<(), GestErro
     let mut text = String::new();
     index.write(&mut text);
     text.push('\n');
-    atomic_write(&state_dir.join(INDEX_FILE), text.as_bytes())
+    fs.write_atomic(&state_dir.join(INDEX_FILE), text.as_bytes())
+        .map_err(GestError::Io)
 }
 
 /// Reads the run index back; a missing index is an empty service.
@@ -303,14 +416,6 @@ pub fn load_index(state_dir: &Path) -> Result<Vec<(String, PathBuf)>, GestError>
     Ok(index)
 }
 
-/// Tmp-then-rename write, the same durability idiom checkpoints use.
-fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), GestError> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path)?;
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +430,11 @@ mod tests {
         entry.state = RunState::Running;
         entry.generation = 5;
         entry.best_fitness = Some(1.25);
+        entry.restarts = 2;
+        entry.quota = RunQuota {
+            max_generations: Some(6),
+            deadline: Some(Duration::from_secs(30)),
+        };
         entry.persist().unwrap();
 
         let loaded = RunEntry::load(&dir).unwrap();
@@ -334,12 +444,41 @@ mod tests {
         assert_eq!(loaded.generation, 5);
         assert_eq!(loaded.target_generations, 8);
         assert_eq!(loaded.best_fitness, Some(1.25));
+        assert_eq!(loaded.restarts, 2);
+        assert_eq!(loaded.quota, entry.quota);
         assert_eq!(loaded.config_xml, "<gest seed=\"1\"/>");
 
         save_index(&dir, std::slice::from_ref(&entry)).unwrap();
         let index = load_index(&dir).unwrap();
         assert_eq!(index, vec![("r1".to_string(), dir.clone())]);
 
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn supervision_states_round_trip_and_are_terminal() {
+        for state in [RunState::Quarantined, RunState::Expired] {
+            assert!(state.is_terminal());
+            assert_eq!(RunState::parse(&state.to_string()), Some(state));
+        }
+    }
+
+    #[test]
+    fn manifests_without_supervision_fields_load_with_defaults() {
+        let dir = std::env::temp_dir().join(format!("gest_serve_reg_old_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // The PR 9 manifest shape, before restarts/quotas existed.
+        std::fs::write(
+            dir.join(RUN_MANIFEST_FILE),
+            "{\"id\":\"r9\",\"state\":\"running\",\"priority\":1,\"generation\":2,\
+             \"target_generations\":6,\"best_fitness\":null,\"error\":null,\
+             \"config_xml\":\"<gest/>\"}\n",
+        )
+        .unwrap();
+        let loaded = RunEntry::load(&dir).unwrap();
+        assert_eq!(loaded.restarts, 0);
+        assert_eq!(loaded.quota, RunQuota::default());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,4 +1,4 @@
-//! The single-threaded run scheduler.
+//! The single-threaded run scheduler and its supervision layer.
 //!
 //! One thread owns every resident [`GestRun`] and multiplexes them over
 //! the [`GestRun::step`] state machine: each scheduling slice advances
@@ -7,6 +7,25 @@
 //! the least-recently-stepped resident is evicted — checkpointed to its
 //! directory and dropped — then rehydrated through the bit-exact resume
 //! path when its next slice comes up.
+//!
+//! Supervision: the scheduler is only as robust as its least lucky
+//! tenant, so every step is contained and classified.
+//!
+//! * A **panic** escaping `step()` is caught with `catch_unwind`; the
+//!   poisoned live state is discarded and the run lands in the terminal
+//!   [`RunState::Quarantined`] state with the panic payload in its
+//!   status document. The scheduler thread — and every other run —
+//!   keeps going.
+//! * A **transient** step error ([`GestError::is_transient`]: I/O,
+//!   backend, measurement faults) consumes one unit of the run's
+//!   bounded restart budget: the live state is dropped, a deterministic
+//!   exponential backoff delays the retry, and the run rehydrates from
+//!   its last checkpoint through the bit-exact resume path. Only an
+//!   exhausted budget (or a permanent config/logic fault) marks the run
+//!   [`RunState::Failed`].
+//! * **Quotas** (`?max_generations=N`, `?deadline_s=S`) are enforced at
+//!   slice boundaries: the run is checkpointed and parked in the
+//!   terminal [`RunState::Expired`] state, resumable by hand later.
 //!
 //! Determinism: a run's search state never leaves its own `GestRun` (and
 //! its own directory while evicted), so interleaving cannot couple runs.
@@ -21,11 +40,31 @@ use gest_core::{
 };
 use gest_telemetry::{JsonlSink, Sink, Telemetry};
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Trace file every serve-managed run writes (the SSE source).
 pub const TRACE_FILE: &str = "run_trace.jsonl";
+
+/// Prefix of the staleness note recorded when a manifest persist fails;
+/// cleared automatically by the next successful persist.
+pub(crate) const PERSIST_STALE: &str = "manifest persist failed";
+
+/// First restart delay after a transient fault; doubles per attempt.
+const RESTART_BACKOFF_BASE_MS: u64 = 100;
+
+/// Ceiling on the restart backoff.
+const RESTART_BACKOFF_MAX_MS: u64 = 5_000;
+
+/// Deterministic restart delay: `base << (attempt - 1)`, capped — the
+/// same shape as `gest_core::FaultPolicy::backoff`, so a failing run's
+/// schedule is a pure function of its attempt count.
+fn restart_backoff(attempt: u32) -> Duration {
+    let shift = attempt.saturating_sub(1).min(16);
+    Duration::from_millis((RESTART_BACKOFF_BASE_MS << shift).min(RESTART_BACKOFF_MAX_MS))
+}
 
 /// A run currently holding live search state in memory.
 struct ResidentRun {
@@ -38,8 +77,11 @@ struct ResidentRun {
     touched: u64,
 }
 
-/// Mutates one registry entry under the lock, then best-effort persists
-/// its manifest when `persist` is set.
+/// Mutates one registry entry under the lock, then persists its manifest
+/// when `persist` is set. A persist failure is *recorded*, not just
+/// logged: the entry's `error` field carries a staleness note (cleared
+/// by the next successful persist) and `serve.persist_failures` counts
+/// it, so clients can see their status document may be behind.
 fn with_entry(shared: &Shared, id: &str, persist: bool, mutate: impl FnOnce(&mut RunEntry)) {
     let mut runs = shared.lock_runs();
     let Some(entry) = runs.iter_mut().find(|run| run.id == id) else {
@@ -47,10 +89,52 @@ fn with_entry(shared: &Shared, id: &str, persist: bool, mutate: impl FnOnce(&mut
     };
     mutate(entry);
     if persist {
-        if let Err(error) = entry.persist() {
+        if entry
+            .error
+            .as_deref()
+            .is_some_and(|e| e.starts_with(PERSIST_STALE))
+        {
+            entry.error = None;
+        }
+        if let Err(error) = entry.persist_via(&*shared.options.write_fs) {
+            shared.telemetry().add_counter("serve.persist_failures", 1);
+            entry.error = Some(format!(
+                "{PERSIST_STALE}: {error} (status doc may be stale)"
+            ));
             eprintln!("gest serve: cannot persist manifest for {id}: {error}");
         }
     }
+}
+
+/// Renders a `catch_unwind` payload for the status document.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Why a slice-boundary quota check parked the run, if it did.
+fn quota_expiry(entry: &RunEntry) -> Option<String> {
+    if let Some(cap) = entry.quota.max_generations {
+        if entry.generation >= cap {
+            return Some(format!(
+                "generation quota reached: {} of max_generations={cap}",
+                entry.generation
+            ));
+        }
+    }
+    if let Some(deadline) = entry.quota.deadline {
+        if entry.submitted.elapsed() >= deadline {
+            return Some(format!(
+                "deadline_s={} elapsed at generation {}",
+                deadline.as_secs_f64(),
+                entry.generation
+            ));
+        }
+    }
+    None
 }
 
 /// The scheduler thread body; returns when [`Shared::stop`] is set,
@@ -62,6 +146,9 @@ pub(crate) fn scheduler_loop(shared: &Arc<Shared>) {
     // worker serves one coordinator session at a time, so the fleet is a
     // lease, not a pool.
     let mut fleet_lease: Option<String> = None;
+    // Runs waiting out their restart backoff: not runnable until the
+    // deadline passes.
+    let mut backoff: HashMap<String, Instant> = HashMap::new();
     let mut clock: u64 = 0;
     let mut cursor: usize = 0;
 
@@ -70,6 +157,9 @@ pub(crate) fn scheduler_loop(shared: &Arc<Shared>) {
             park_residents(shared, resident);
             return;
         }
+        let telemetry = shared.telemetry();
+        telemetry.set_gauge("serve.resident", resident.len() as f64);
+        telemetry.set_gauge("serve.queue_depth", shared.queue_depth() as f64);
 
         // Finalize cancellations first: a cancelled run must stop
         // consuming slices immediately.
@@ -93,20 +183,29 @@ pub(crate) fn scheduler_loop(shared: &Arc<Shared>) {
                 managed.sink.flush();
                 release_lease(&mut fleet_lease, &id);
             }
+            backoff.remove(&id);
             with_entry(shared, &id, true, |entry| entry.state = RunState::Cancelled);
         }
 
-        // Pick the next runnable run, round-robin.
+        // Pick the next runnable run, round-robin. Runs waiting out a
+        // restart backoff are skipped until their deadline passes.
+        let now = Instant::now();
+        backoff.retain(|_, until| *until > now);
         let next = {
             let runs = shared.lock_runs();
             let runnable: Vec<(String, u32)> = runs
                 .iter()
-                .filter(|run| !run.state.is_terminal() && !run.cancel_requested)
+                .filter(|run| {
+                    !run.state.is_terminal()
+                        && !run.cancel_requested
+                        && !backoff.contains_key(&run.id)
+                })
                 .map(|run| (run.id.clone(), run.priority))
                 .collect();
             if runnable.is_empty() {
-                // Idle: wait for a submission/cancel/stop, bounded so the
-                // stop flag is polled even if a wakeup is lost.
+                // Idle (or everything is backing off): wait for a
+                // submission/cancel/stop, bounded so the stop flag and
+                // backoff deadlines are polled even without a wakeup.
                 let _ = shared.wake.wait_timeout(runs, POLL_INTERVAL);
                 continue;
             }
@@ -115,6 +214,34 @@ pub(crate) fn scheduler_loop(shared: &Arc<Shared>) {
             pick
         };
         let (id, priority) = next;
+
+        // Slice-boundary quota check — before the run spends anything
+        // further. An expired resident is checkpointed so the terminal
+        // state always leaves a resumable anchor behind.
+        let entry_snapshot = shared.lock_runs().iter().find(|r| r.id == id).cloned();
+        let Some(entry_snapshot) = entry_snapshot else {
+            continue;
+        };
+        if let Some(reason) = quota_expiry(&entry_snapshot) {
+            if let Some(index) = resident.iter().position(|r| r.id == id) {
+                let mut managed = resident.swap_remove(index);
+                if managed.run.generation() >= 1 {
+                    if let Err(error) = managed.run.checkpoint_now() {
+                        eprintln!("gest serve: expiry checkpoint for {id} failed: {error}");
+                    }
+                }
+                managed.run.finish();
+                managed.sink.flush();
+                release_lease(&mut fleet_lease, &id);
+            }
+            telemetry.add_counter("serve.expirations", 1);
+            eprintln!("gest serve: run {id} expired: {reason}");
+            with_entry(shared, &id, true, |entry| {
+                entry.state = RunState::Expired;
+                entry.error = Some(format!("expired: {reason}"));
+            });
+            continue;
+        }
 
         // Make the run resident, evicting the least-recently-stepped one
         // if the residency budget is full.
@@ -130,6 +257,7 @@ pub(crate) fn scheduler_loop(shared: &Arc<Shared>) {
             }
             match activate(shared, &id, &mut caches, &mut fleet_lease) {
                 Ok(mut managed) => {
+                    telemetry.add_counter("serve.activations", 1);
                     clock += 1;
                     managed.touched = clock;
                     with_entry(shared, &id, true, |entry| entry.state = RunState::Running);
@@ -152,10 +280,15 @@ pub(crate) fn scheduler_loop(shared: &Arc<Shared>) {
         clock += 1;
         resident[slot].touched = clock;
 
-        // The slice: `priority` generations, ending early on budget
-        // exhaustion, error, cancel, or shutdown.
+        // The slice: `priority` generations — trimmed so a generation
+        // quota is hit exactly at a slice boundary — ending early on
+        // budget exhaustion, error, panic, cancel, or shutdown.
+        let mut steps = u64::from(priority.max(1));
+        if let Some(cap) = entry_snapshot.quota.max_generations {
+            steps = steps.min(u64::from(cap.saturating_sub(entry_snapshot.generation)));
+        }
         let mut finished = false;
-        for _ in 0..priority.max(1) {
+        for _ in 0..steps {
             if shared.stop.load(Ordering::SeqCst) {
                 break;
             }
@@ -168,8 +301,32 @@ pub(crate) fn scheduler_loop(shared: &Arc<Shared>) {
                 break;
             }
             let managed = &mut resident[slot];
-            match managed.run.step() {
-                Ok(outcome) => {
+            // Panic containment: `GestRun` is not `UnwindSafe` on paper
+            // (interior mutexes), but every lock in the stack recovers
+            // from poisoning and the run is discarded on panic, so the
+            // assertion is sound — nothing observes the broken state.
+            let step = std::panic::catch_unwind(AssertUnwindSafe(|| managed.run.step()));
+            match step {
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    eprintln!("gest serve: run {id} panicked in step(): {message}");
+                    telemetry.add_counter("serve.quarantines", 1);
+                    let managed = resident.swap_remove(slot);
+                    // No `finish()`: the run died mid-step and its state
+                    // is poisoned; even the teardown is contained.
+                    let _ = std::panic::catch_unwind(AssertUnwindSafe(move || {
+                        managed.sink.flush();
+                        drop(managed);
+                    }));
+                    release_lease(&mut fleet_lease, &id);
+                    with_entry(shared, &id, true, |entry| {
+                        entry.state = RunState::Quarantined;
+                        entry.error = Some(format!("step panicked: {message}"));
+                    });
+                    finished = true;
+                    break;
+                }
+                Ok(Ok(outcome)) => {
                     managed.sink.flush();
                     let generation = managed.run.generation();
                     let best = managed.run.best().map(|best| best.fitness);
@@ -183,16 +340,45 @@ pub(crate) fn scheduler_loop(shared: &Arc<Shared>) {
                         break;
                     }
                 }
-                Err(error) => {
-                    eprintln!("gest serve: run {id} failed: {error}");
+                Ok(Err(error)) => {
                     let mut managed = resident.swap_remove(slot);
                     managed.run.finish();
                     managed.sink.flush();
                     release_lease(&mut fleet_lease, &id);
-                    with_entry(shared, &id, true, |entry| {
-                        entry.state = RunState::Failed;
-                        entry.error = Some(error.to_string());
-                    });
+                    let budget = shared.options.restart_budget;
+                    let restarts = entry_snapshot.restarts;
+                    if error.is_transient() && restarts < budget {
+                        // Transient fault: drop the live state and retry
+                        // from the last checkpoint (bit-exact resume)
+                        // after a deterministic backoff.
+                        let attempt = restarts + 1;
+                        let delay = restart_backoff(attempt);
+                        eprintln!(
+                            "gest serve: run {id} hit a transient fault ({error}); \
+                             restart {attempt}/{budget} from its last checkpoint \
+                             in {delay:?}"
+                        );
+                        telemetry.add_counter("serve.restarts", 1);
+                        backoff.insert(id.clone(), Instant::now() + delay);
+                        with_entry(shared, &id, true, |entry| {
+                            entry.restarts = attempt;
+                            entry.state = RunState::Pending;
+                            entry.error = Some(format!(
+                                "transient fault (restart {attempt}/{budget} scheduled): {error}"
+                            ));
+                        });
+                    } else {
+                        let why = if error.is_transient() {
+                            format!("restart budget ({budget}) exhausted: {error}")
+                        } else {
+                            error.to_string()
+                        };
+                        eprintln!("gest serve: run {id} failed: {why}");
+                        with_entry(shared, &id, true, |entry| {
+                            entry.state = RunState::Failed;
+                            entry.error = Some(why.clone());
+                        });
+                    }
                     finished = true;
                     break;
                 }
@@ -204,7 +390,12 @@ pub(crate) fn scheduler_loop(shared: &Arc<Shared>) {
                 managed.run.finish();
                 managed.sink.flush();
                 release_lease(&mut fleet_lease, &id);
-                with_entry(shared, &id, true, |entry| entry.state = RunState::Done);
+                with_entry(shared, &id, true, |entry| {
+                    entry.state = RunState::Done;
+                    // A completed run has no live failure: drop any
+                    // stale restart/persist note.
+                    entry.error = None;
+                });
             }
         }
     }
@@ -234,20 +425,31 @@ fn park_residents(shared: &Shared, resident: Vec<ResidentRun>) {
 
 /// Eviction: checkpoint to the run directory, persist the manifest, drop
 /// the live state. The run rehydrates through [`GestRun::resume`]'s
-/// bit-exact path at its next slice.
+/// bit-exact path at its next slice. The checkpoint is retried once
+/// (the PR 5 retry-once discipline — `checkpoint_now` already retries
+/// the manifest write internally, so this covers a *persistently*
+/// failing first round) before the run is failed.
 fn evict(shared: &Shared, managed: ResidentRun, fleet_lease: &mut Option<String>) {
     let id = managed.id.clone();
-    if let Err(error) = managed.run.checkpoint_now() {
+    let checkpointed = managed.run.checkpoint_now().or_else(|first| {
+        eprintln!("gest serve: eviction checkpoint for {id} failed ({first}); retrying once");
+        shared
+            .telemetry()
+            .add_counter("serve.evict_checkpoint_retries", 1);
+        managed.run.checkpoint_now()
+    });
+    if let Err(error) = checkpointed {
         // A run that cannot persist its resume point cannot be evicted
         // safely; failing it loudly beats silently restarting it later.
-        eprintln!("gest serve: eviction checkpoint for {id} failed: {error}");
+        eprintln!("gest serve: eviction checkpoint for {id} failed twice: {error}");
         with_entry(shared, &id, true, |entry| {
             entry.state = RunState::Failed;
-            entry.error = Some(format!("eviction checkpoint failed: {error}"));
+            entry.error = Some(format!("eviction checkpoint failed twice: {error}"));
         });
         release_lease(fleet_lease, &id);
         return;
     }
+    shared.telemetry().add_counter("serve.evictions", 1);
     managed.sink.flush();
     release_lease(fleet_lease, &id);
     with_entry(shared, &id, true, |entry| entry.converged = false);
@@ -297,7 +499,8 @@ fn activate(
 
     let mut builder = GestRun::builder()
         .telemetry(telemetry)
-        .eval_cache_handle(cache);
+        .eval_cache_handle(cache)
+        .write_fs(Arc::clone(&shared.options.write_fs));
     builder = if resume {
         builder.resume_from(&entry.dir)
     } else {
@@ -326,4 +529,108 @@ fn activate(
         sink,
         touched: 0,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restart_backoff_is_deterministic_exponential_and_capped() {
+        assert_eq!(restart_backoff(1), Duration::from_millis(100));
+        assert_eq!(restart_backoff(2), Duration::from_millis(200));
+        assert_eq!(restart_backoff(3), Duration::from_millis(400));
+        assert_eq!(restart_backoff(10), Duration::from_millis(5_000));
+        assert_eq!(restart_backoff(64), Duration::from_millis(5_000));
+    }
+
+    #[test]
+    fn quota_expiry_reads_generations_and_deadline() {
+        let mut entry = RunEntry::new("r".into(), "/tmp/r".into(), "<gest/>".into(), 1, 10);
+        assert_eq!(quota_expiry(&entry), None);
+        entry.quota.max_generations = Some(4);
+        entry.generation = 3;
+        assert_eq!(quota_expiry(&entry), None);
+        entry.generation = 4;
+        assert!(quota_expiry(&entry).unwrap().contains("generation quota"));
+        entry.quota.max_generations = None;
+        entry.quota.deadline = Some(Duration::from_secs(0));
+        assert!(quota_expiry(&entry).unwrap().contains("deadline_s"));
+    }
+
+    #[test]
+    fn with_entry_records_persist_failures_and_clears_them_on_recovery() {
+        use crate::ServeOptions;
+        use gest_core::{RunIdAllocator, WriteFs};
+        use gest_telemetry::NoopSink;
+        use std::path::Path;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::{Condvar, Mutex};
+
+        /// Fails every write while `broken` holds.
+        #[derive(Debug)]
+        struct FlakyFs(AtomicBool);
+        impl WriteFs for FlakyFs {
+            fn write_atomic(&self, _path: &Path, _bytes: &[u8]) -> std::io::Result<()> {
+                if self.0.load(Ordering::SeqCst) {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::StorageFull,
+                        "disk full",
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+
+        let fs = Arc::new(FlakyFs(AtomicBool::new(true)));
+        let dir = std::env::temp_dir().join(format!("gest_with_entry_{}", std::process::id()));
+        let mut options = ServeOptions::new(&dir);
+        options.write_fs = Arc::clone(&fs) as Arc<dyn WriteFs>;
+        options.telemetry = Telemetry::new(Arc::new(NoopSink));
+        let telemetry = options.telemetry.clone();
+        let shared = Shared {
+            options,
+            runs: Mutex::new(vec![RunEntry::new(
+                "r1".into(),
+                dir.clone(),
+                "<gest/>".into(),
+                1,
+                6,
+            )]),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+            allocator: RunIdAllocator::seeded(0),
+        };
+
+        // A failing persist still applies the mutation, but records the
+        // failure in the entry's error and the counter — the status doc
+        // says both what the run is doing and that the doc may be stale.
+        with_entry(&shared, "r1", true, |entry| entry.generation = 3);
+        assert_eq!(telemetry.counter_value("serve.persist_failures"), 1);
+        let entry = shared.lock_runs()[0].clone();
+        assert_eq!(entry.generation, 3);
+        let error = entry.error.expect("persist failure recorded");
+        assert!(error.starts_with(PERSIST_STALE), "{error}");
+        assert!(error.contains("disk full"), "{error}");
+
+        // Once the disk drains, the next successful persist clears the
+        // stale marker (and only that marker).
+        fs.0.store(false, Ordering::SeqCst);
+        with_entry(&shared, "r1", true, |entry| entry.generation = 4);
+        let entry = shared.lock_runs()[0].clone();
+        assert_eq!(entry.generation, 4);
+        assert_eq!(entry.error, None);
+        assert_eq!(telemetry.counter_value("serve.persist_failures"), 1);
+    }
+
+    #[test]
+    fn panic_payloads_render_for_str_string_and_other() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(payload.as_ref()), "boom");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(String::from("kaboom"));
+        assert_eq!(panic_message(payload.as_ref()), "kaboom");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(42_u32);
+        assert_eq!(panic_message(payload.as_ref()), "non-string panic payload");
+    }
 }
